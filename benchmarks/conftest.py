@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one table or figure from
+the paper.  Suites are generated once per process and cached here;
+"small" suites keep the default run fast, and the full 19-suite matrix
+is used where the paper's table spans all benchmarks.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List
+
+from repro.classfile.classfile import ClassFile
+from repro.corpus.suites import SUITE_ORDER, generate_suite
+from repro.jar.formats import JarSizes, jar_sizes, strip_classes
+
+#: Suites used when a table needs the whole corpus.  Ordered by size
+#: so printed tables read like the paper's.
+ALL_SUITES: List[str] = list(SUITE_ORDER)
+
+#: Representative subset for expensive per-variant sweeps.
+MEDIUM_SUITES = ["Hanoi", "compress", "db", "raytrace", "jess",
+                 "icebrowserbean", "javac", "mpegaudio", "jack"]
+
+
+@functools.lru_cache(maxsize=None)
+def stripped_suite(name: str) -> tuple:
+    """(ordered class files, stripped of debug info) for one suite."""
+    classes = strip_classes(generate_suite(name))
+    return tuple(classes[key] for key in sorted(classes))
+
+
+@functools.lru_cache(maxsize=None)
+def suite_jar_sizes(name: str) -> JarSizes:
+    return jar_sizes(generate_suite(name))
+
+
+def suite_classfiles(name: str) -> List[ClassFile]:
+    return list(stripped_suite(name))
+
+
+def print_table(title: str, header: List[str],
+                rows: List[List[object]]) -> None:
+    """Print one reproduction table in a fixed-width layout."""
+    print(f"\n== {title} ==")
+    widths = [max(len(str(header[i])),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(header))]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w)
+                        for cell, w in zip(row, widths)))
+
+
+def pct(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:.0f}%" if whole else "-"

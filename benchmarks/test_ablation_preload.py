@@ -1,0 +1,47 @@
+"""Section 14 ablation: preloaded reference dictionaries.
+
+The paper's conclusion proposes seeding the coders with "a standard
+set of preloaded references to frequently used package names, classes,
+method references and so on", expecting it "would help on small
+archives" while "preloaded references that were never used would
+degrade compression".  This ablation measures that trade-off across
+archive sizes.
+"""
+
+from repro.pack import PackOptions, pack_archive
+
+from conftest import print_table, suite_classfiles
+
+SUITES = ["Hanoi_jax", "db", "Hanoi_big", "Hanoi", "compress",
+          "raytrace", "icebrowserbean", "jess", "javac", "tools"]
+
+
+def _measure():
+    rows = []
+    for name in SUITES:
+        classfiles = suite_classfiles(name)
+        plain = len(pack_archive(classfiles))
+        preloaded = len(pack_archive(classfiles,
+                                     PackOptions(preload=True)))
+        rows.append((name, plain, preloaded))
+    return rows
+
+
+def test_ablation_preload(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    printable = [[name, plain, preloaded,
+                  f"{100 * (plain - preloaded) / plain:+.1f}%"]
+                 for name, plain, preloaded in rows]
+    print_table("Section 14 ablation: preloaded dictionaries",
+                ["suite", "plain", "preloaded", "saving"], printable)
+    smallest = rows[:4]
+    # Preloading helps the small archives...
+    for name, plain, preloaded in smallest:
+        assert preloaded < plain, name
+    # ...and the relative benefit shrinks as archives grow.
+    small_gain = sum((p - q) / p for _, p, q in rows[:3]) / 3
+    large_gain = sum((p - q) / p for _, p, q in rows[-3:]) / 3
+    assert small_gain > large_gain
+    # Never catastrophic on large archives.
+    for name, plain, preloaded in rows:
+        assert preloaded < plain * 1.05, name

@@ -1,0 +1,60 @@
+"""Figure 2: compression ratio vs jar size, for j0r.gz / Jazz / Packed.
+
+The paper's scatter plot shows, for every benchmark, the size of each
+format as a % of the jar file, against the jar file's size (log
+scale).  Reproduction targets: the three series stay ordered
+(Packed < Jazz < j0r.gz almost everywhere) and the Packed series
+trends *down* as archives grow — bigger archives share more.
+"""
+
+import math
+
+from repro.baselines.jazz import jazz_pack
+from repro.pack import pack_archive
+
+from conftest import (
+    ALL_SUITES,
+    print_table,
+    suite_classfiles,
+    suite_jar_sizes,
+)
+
+
+def _series():
+    points = []
+    for name in ALL_SUITES:
+        sizes = suite_jar_sizes(name)
+        classfiles = suite_classfiles(name)
+        jar_kb = sizes.sjar / 1024
+        points.append((
+            name, jar_kb,
+            100 * sizes.sj0r_gz / sizes.sjar,
+            100 * len(jazz_pack(classfiles)) / sizes.sjar,
+            100 * len(pack_archive(classfiles)) / sizes.sjar,
+        ))
+    points.sort(key=lambda p: p[1])
+    return points
+
+
+def test_figure2(benchmark):
+    points = benchmark.pedantic(_series, rounds=1, iterations=1)
+    rows = [[name, f"{jar_kb:.1f}", f"{j0rgz:.0f}%", f"{jazz:.0f}%",
+             f"{packed:.0f}%"]
+            for name, jar_kb, j0rgz, jazz, packed in points]
+    print_table(
+        "Figure 2: size as % of jar, by jar size (KBytes, ascending)",
+        ["benchmark", "jar KB", "j0r.gz", "Jazz", "Packed"], rows)
+    for name, _, j0rgz, jazz, packed in points:
+        assert packed < jazz, name
+        assert packed < j0rgz, name
+    # Trend: regress packed% against log(jar size); slope must be
+    # negative (compression improves with archive size).
+    xs = [math.log(p[1]) for p in points]
+    ys = [p[4] for p in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    slope = sum((x - mean_x) * (y - mean_y)
+                for x, y in zip(xs, ys)) / \
+        sum((x - mean_x) ** 2 for x in xs)
+    assert slope < 0

@@ -1,0 +1,44 @@
+"""Table 2: class-file component breakdown (swingall & javac analogs).
+
+Paper columns (uncompressed KBytes): total, field definitions, method
+definitions, code, other constant pool, Utf8 entries, Utf8 if shared,
+Utf8 if shared & factored.  Reproduction targets: the constant pool —
+and the Utf8 entries in particular — dominate; sharing shrinks Utf8
+substantially and factoring shrinks it much further (the paper:
+2,037 -> 1,704 -> 371 K for swingall).
+"""
+
+from repro.classfile.analysis import breakdown
+
+from conftest import print_table, suite_classfiles
+
+
+def _row(name):
+    result = breakdown(suite_classfiles(name))
+    return name, result
+
+
+def test_table2(benchmark):
+    results = benchmark.pedantic(
+        lambda: [_row("swingall"), _row("javac")], rounds=1, iterations=1)
+    rows = []
+    for name, result in results:
+        data = result.as_dict()
+        rows.append([name] + [round(data[key] / 1024, 1) for key in (
+            "total", "field_definitions", "method_definitions", "code",
+            "other_constant_pool", "utf8_entries", "utf8_shared",
+            "utf8_shared_factored")])
+    print_table(
+        "Table 2: class-file breakdown (uncompressed KBytes)",
+        ["suite", "total", "fields", "methods", "code", "other CP",
+         "Utf8", "Utf8 shared", "Utf8 shared+factored"],
+        rows)
+    for name, result in results:
+        pool_total = result.utf8_entries + result.other_constant_pool
+        # The constant pool makes up most of the class file.
+        assert pool_total > result.total * 0.4, name
+        # Utf8 alone is the single largest component.
+        assert result.utf8_entries >= result.code * 0.8, name
+        # Sharing and factoring each give a real reduction.
+        assert result.utf8_shared < result.utf8_entries * 0.95, name
+        assert result.utf8_shared_factored < result.utf8_shared * 0.7, name

@@ -1,0 +1,60 @@
+"""Table 5: effects of separate packing and of disabling gzip.
+
+Paper rows (as % of the gzip'd-classfile jar): Standard, Packed
+Separately, Not gzip'd, Packed Separately and not gzip'd, for javac
+and mpegaudio.  Reproduction targets: Standard is far below 100%;
+packing each class separately costs a lot (sharing is a large part of
+the win); disabling the zlib stage costs even more; doing both can
+approach or exceed the jar size.
+"""
+
+from repro.pack import PackOptions, pack_archive
+from repro.pack import pack_each_separately
+
+from conftest import pct, print_table, suite_classfiles, suite_jar_sizes
+
+SUITES = ["javac", "mpegaudio"]
+
+
+def _measure():
+    results = {}
+    for name in SUITES:
+        classfiles = suite_classfiles(name)
+        baseline = suite_jar_sizes(name).sjar
+        standard = len(pack_archive(classfiles))
+        separate = pack_each_separately(classfiles)
+        no_gzip = len(pack_archive(classfiles,
+                                   PackOptions(compress=False)))
+        separate_no_gzip = pack_each_separately(
+            classfiles, PackOptions(compress=False))
+        results[name] = {
+            "Standard": standard,
+            "Packed Separately": separate,
+            "Not gzip'd": no_gzip,
+            "Packed Separately and not gzip'd": separate_no_gzip,
+            "_baseline": baseline,
+        }
+    return results
+
+
+def test_table5(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    options = ["Standard", "Packed Separately", "Not gzip'd",
+               "Packed Separately and not gzip'd"]
+    rows = []
+    for option in options:
+        row = [option]
+        for name in SUITES:
+            data = results[name]
+            row.append(pct(data[option], data["_baseline"]))
+        rows.append(row)
+    print_table("Table 5: packing modes (% of sjar baseline)",
+                ["option"] + SUITES, rows)
+    for name in SUITES:
+        data = results[name]
+        baseline = data["_baseline"]
+        assert data["Standard"] < baseline * 0.6, name
+        assert data["Packed Separately"] > data["Standard"] * 1.3, name
+        assert data["Not gzip'd"] > data["Standard"] * 1.3, name
+        assert data["Packed Separately and not gzip'd"] > \
+            data["Not gzip'd"], name

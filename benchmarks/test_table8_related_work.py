@@ -1,0 +1,68 @@
+"""Table 8: wire-code compression results in related work.
+
+The paper quotes (as % of gzip'd class files): Slim Binaries 59,
+shrinkers 65-83, jar.gz 55-85, Clazz 52-90, Jazz 40-70, and this paper
+17-41 (on programs > 10K).  We report the quoted ranges verbatim
+alongside the ranges *measured* on our corpus for the rows we
+implement (jar.gz = sj0r.gz, Clazz, Jazz, Packed).  Reproduction
+target: the measured ranges preserve the ordering — Packed < Jazz <
+Clazz/jar.gz — with Packed's band clearly the lowest.
+"""
+
+from repro.baselines.clazz import clazz_total_size
+from repro.baselines.jazz import jazz_pack
+from repro.pack import pack_archive
+
+from conftest import print_table, suite_classfiles, suite_jar_sizes
+
+#: Quoted ranges from the paper's Table 8 (% of gzip'd classfiles).
+QUOTED = [
+    ("Slim Binaries [KF97]", "59", None),
+    ("JShrink, DashO, and Jax", "65-83", None),
+    ("jar.gz format (2.1)", "55-85", "sj0r.gz"),
+    ("Clazz format [HC98]", "52-90", "clazz"),
+    ("Jazz format [BHV98]", "40-70", "jazz"),
+    ("This paper (>10K programs)", "17-41", "packed"),
+]
+
+SUITES = ["raytrace", "jess", "icebrowserbean", "javac", "mpegaudio",
+          "jack", "tools", "javafig", "ImageEditor"]
+
+
+def _measure():
+    measured = {"sj0r.gz": [], "clazz": [], "jazz": [], "packed": []}
+    for name in SUITES:
+        classfiles = suite_classfiles(name)
+        baseline = suite_jar_sizes(name).sjar
+        measured["sj0r.gz"].append(
+            100 * suite_jar_sizes(name).sj0r_gz / baseline)
+        measured["clazz"].append(
+            100 * clazz_total_size(classfiles) / baseline)
+        measured["jazz"].append(
+            100 * len(jazz_pack(classfiles)) / baseline)
+        measured["packed"].append(
+            100 * len(pack_archive(classfiles)) / baseline)
+    return measured
+
+
+def test_table8(benchmark):
+    measured = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = []
+    for label, quoted, key in QUOTED:
+        if key is None:
+            rows.append([label, quoted, "(not implemented)"])
+        else:
+            values = measured[key]
+            rows.append([label, quoted,
+                         f"{min(values):.0f}-{max(values):.0f}"])
+    print_table("Table 8: related work (% of gzip'd classfiles; "
+                "quoted vs measured)",
+                ["system", "paper", "measured"], rows)
+    # Ordering per suite: packed < jazz < clazz; jazz also beats
+    # whole-archive gzip on average (the bands overlap across suites,
+    # exactly as the paper's quoted ranges overlap).
+    for packed, jazz, clazz in zip(measured["packed"], measured["jazz"],
+                                   measured["clazz"]):
+        assert packed < jazz < clazz
+    assert sum(measured["jazz"]) / len(SUITES) < \
+        sum(measured["sj0r.gz"]) / len(SUITES)

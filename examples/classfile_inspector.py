@@ -1,0 +1,120 @@
+"""Class-file inspector: the library as a general JVM toolkit.
+
+Compiles a sample class, then dumps its constant pool, members,
+disassembled bytecode, size breakdown, and the restructured (Figure 1)
+view of the same class — the shapes the packed format actually encodes.
+
+Run: ``python examples/classfile_inspector.py``
+"""
+
+from repro import compile_sources, write_class
+from repro.classfile import constant_pool as cp
+from repro.classfile.analysis import breakdown
+from repro.classfile.bytecode import disassemble
+from repro.classfile.constants import ConstantTag
+from repro.ir.build import build_class
+
+SOURCE = """
+package tools.demo;
+
+public class WordCount {
+    static final String SEPARATOR = " ";
+    int words;
+    int lines;
+
+    public WordCount() {
+        this.words = 0;
+        this.lines = 0;
+    }
+
+    public void feed(String line) {
+        lines = lines + 1;
+        boolean inWord = false;
+        for (int i = 0; i < line.length(); i = i + 1) {
+            char c = line.charAt(i);
+            if (c == ' ' || c == '\\t') {
+                inWord = false;
+            } else if (!inWord) {
+                inWord = true;
+                words = words + 1;
+            }
+        }
+    }
+
+    public String summary() {
+        return lines + SEPARATOR + words;
+    }
+}
+"""
+
+
+def main() -> None:
+    classes = compile_sources([SOURCE])
+    classfile = classes["tools/demo/WordCount"]
+    data = write_class(classfile)
+    print(f"class {classfile.name}: {len(data)} bytes")
+    print(f"extends {classfile.super_name}\n")
+
+    print("== constant pool ==")
+    for index, entry in classfile.pool.entries():
+        kind = ConstantTag.NAMES[entry.tag]
+        if isinstance(entry, cp.Utf8):
+            detail = repr(entry.value)
+        elif isinstance(entry, (cp.Fieldref, cp.Methodref)):
+            owner, name, descriptor = classfile.pool.member_ref(index)
+            detail = f"{owner}.{name} {descriptor}"
+        elif isinstance(entry, cp.ClassInfo):
+            detail = classfile.pool.class_name(index)
+        elif isinstance(entry, cp.StringConst):
+            detail = repr(classfile.pool.string_value(index))
+        else:
+            detail = repr(getattr(entry, "value", entry))
+        print(f"  #{index:<3} {kind:<18} {detail}")
+
+    print("\n== methods ==")
+    for method in classfile.methods:
+        name = classfile.member_name(method)
+        descriptor = classfile.member_descriptor(method)
+        code = method.code()
+        print(f"\n{name} {descriptor}")
+        if code is None:
+            print("  (no code)")
+            continue
+        print(f"  max_stack={code.max_stack} max_locals={code.max_locals}")
+        for instruction in disassemble(code.code):
+            operand = ""
+            if instruction.cp_index is not None:
+                operand = f" #{instruction.cp_index}"
+            elif instruction.local is not None:
+                operand = f" slot {instruction.local}"
+            elif instruction.immediate is not None:
+                operand = f" {instruction.immediate}"
+            elif instruction.target is not None:
+                operand = f" -> {instruction.target}"
+            print(f"  {instruction.offset:4d}: "
+                  f"{instruction.mnemonic}{operand}")
+
+    print("\n== size breakdown (Table 2 components) ==")
+    for key, value in breakdown([classfile]).as_dict().items():
+        print(f"  {key:24s} {value:6d} bytes")
+
+    print("\n== restructured view (Figure 1) ==")
+    definition = build_class(classfile)
+    this = definition.this_class
+    print(f"  package name : {this.package.name!r}")
+    print(f"  simple name  : {this.simple.name!r}")
+    for field in definition.fields:
+        print(f"  field  {field.ref.name.name}: "
+              f"{field.ref.type.descriptor} "
+              f"(constant={field.constant})")
+    for method in definition.methods:
+        ref = method.ref
+        args = ", ".join(t.descriptor for t in ref.arg_types)
+        print(f"  method {ref.name.name}({args}) -> "
+              f"{ref.return_type.descriptor}, "
+              f"{len(method.code.instructions) if method.code else 0} "
+              "instructions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Quickstart: compile Java source, pack it, unpack it, compare sizes.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    archives_equal,
+    compile_sources,
+    jar_sizes,
+    pack_archive,
+    strip_classes,
+    unpack_archive,
+    verify_archive,
+    write_class,
+)
+
+SOURCES = [
+    """
+package demo.bank;
+
+public class Account {
+    static final double OVERDRAFT_FEE = 35.0;
+    String owner;
+    double balance;
+
+    public Account(String owner, double balance) {
+        this.owner = owner;
+        this.balance = balance;
+    }
+
+    public double deposit(double amount) {
+        if (amount <= 0.0) {
+            throw new IllegalArgumentException("amount must be positive");
+        }
+        balance = balance + amount;
+        return balance;
+    }
+
+    public double withdraw(double amount) {
+        balance = balance - amount;
+        if (balance < 0.0) {
+            balance = balance - OVERDRAFT_FEE;
+        }
+        return balance;
+    }
+
+    public String describe() {
+        return owner + ": " + balance;
+    }
+}
+""",
+    """
+package demo.bank;
+
+public class Ledger {
+    Account[] accounts;
+    int count;
+
+    public Ledger(int capacity) {
+        this.accounts = new Account[capacity];
+        this.count = 0;
+    }
+
+    public void add(Account account) {
+        accounts[count] = account;
+        count = count + 1;
+    }
+
+    public double total() {
+        double sum = 0.0;
+        for (int i = 0; i < count; i = i + 1) {
+            sum = sum + accounts[i].balance;
+        }
+        return sum;
+    }
+
+    public void report() {
+        for (int i = 0; i < count; i = i + 1) {
+            System.out.println(accounts[i].describe());
+        }
+        System.out.println("total: " + total());
+    }
+}
+""",
+]
+
+
+def main() -> None:
+    # 1. Compile mini-Java to genuine JVM class files.
+    classes = compile_sources(SOURCES)
+    ordered = [classes[name] for name in sorted(classes)]
+    verify_archive(ordered)
+    raw = sum(len(write_class(c)) for c in ordered)
+    print(f"compiled {len(ordered)} classes, {raw} bytes of .class data")
+
+    # 2. Pack them with the paper's wire format.
+    packed = pack_archive(ordered)
+    print(f"packed archive: {len(packed)} bytes "
+          f"({100 * len(packed) / raw:.0f}% of the class files)")
+
+    # 3. Compare with the jar-format baselines.
+    sizes = jar_sizes(classes)
+    print(f"jar (per-file deflate): {sizes.sjar} bytes")
+    print(f"j0r.gz (whole-archive): {sizes.sj0r_gz} bytes")
+    print(f"packed vs jar: {100 * len(packed) / sizes.sjar:.0f}%")
+
+    # 4. Unpack and check nothing was lost.
+    restored = unpack_archive(packed)
+    verify_archive(restored)
+    stripped = strip_classes(classes)
+    reference = [stripped[name] for name in sorted(stripped)]
+    assert archives_equal(reference, restored)
+    print("roundtrip verified: decompressed classes are semantically "
+          "identical")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Compare every Section 5 reference-encoding scheme on one suite.
+
+Shows the Table 3 experiment as a library user would run it on their
+own archive: the same class files packed under each reference scheme,
+with per-category attribution for the winner.
+
+Run: ``python examples/scheme_comparison.py [suite]``
+"""
+
+import sys
+
+from repro import generate_suite, strip_classes
+from repro.ir.build import build_archive
+from repro.pack import TABLE3_VARIANTS, unpack_archive
+from repro.pack.compressor import Compressor
+from repro.pack.stats import collect_stats
+
+
+def main() -> None:
+    suite = sys.argv[1] if len(sys.argv) > 1 else "jess"
+    classes = strip_classes(generate_suite(suite))
+    ordered = [classes[name] for name in sorted(classes)]
+    archive = build_archive(ordered)
+    print(f"suite {suite!r}: {len(ordered)} classes\n")
+
+    results = []
+    for label, options in TABLE3_VARIANTS.items():
+        compressor = Compressor(options)
+        packed = compressor.pack(archive)
+        ref_bytes = sum(
+            size for name, size in
+            compressor.stream_sizes(compressed=True).items()
+            if name.startswith("refs."))
+        # Confirm the archive decodes under the same options.
+        unpack_archive(packed, options)
+        results.append((label, len(packed), ref_bytes, compressor))
+
+    width = max(len(label) for label, *_ in results)
+    print(f"{'scheme'.ljust(width)}  {'archive':>8}  {'ref streams':>11}")
+    for label, total, refs, _ in results:
+        print(f"{label.ljust(width)}  {total:8d}  {refs:11d}")
+
+    best = min(results, key=lambda row: row[1])
+    print(f"\nbest: {best[0]} ({best[1]} bytes)")
+    stats = collect_stats(best[3].stream_sizes())
+    print("composition of the best archive:")
+    for category in ("strings", "opcodes", "ints", "refs", "misc"):
+        print(f"  {category:8s} {100 * stats.fraction(category):5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro: a reproduction of "Compressing Java Class Files"
+(William Pugh, PLDI 1999).
+
+The package provides the paper's packed wire format for collections of
+JVM class files, every substrate it depends on (a full class-file
+reader/writer, a mini-Java compiler to synthesize corpora, jar
+containers, move-to-front skiplist queues, integer/Huffman/arithmetic
+codecs), the related-work baselines (Jazz, Clazz), and the benchmark
+harness that regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro import generate_suite, strip_classes
+    from repro import pack_archive, unpack_archive
+
+    classes = strip_classes(generate_suite("javac"))
+    ordered = [classes[name] for name in sorted(classes)]
+    packed = pack_archive(ordered)
+    restored = unpack_archive(packed)
+"""
+
+from .classfile import (
+    ClassFile,
+    normalize,
+    parse_class,
+    verify_archive,
+    verify_class,
+    write_class,
+)
+from .corpus import SUITE_ORDER, generate_suite, suite_names
+from .jar import build_baselines, jar_sizes, make_jar, strip_classes
+from .loader import EagerClassLoader, eager_order
+from .minijava import compile_sources
+from .pack import (
+    PackOptions,
+    archives_equal,
+    pack_archive,
+    pack_archive_with_stats,
+    semantic_equal,
+    unpack_archive,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClassFile",
+    "EagerClassLoader",
+    "PackOptions",
+    "SUITE_ORDER",
+    "archives_equal",
+    "build_baselines",
+    "compile_sources",
+    "eager_order",
+    "generate_suite",
+    "jar_sizes",
+    "make_jar",
+    "normalize",
+    "pack_archive",
+    "pack_archive_with_stats",
+    "parse_class",
+    "semantic_equal",
+    "strip_classes",
+    "suite_names",
+    "unpack_archive",
+    "verify_archive",
+    "verify_class",
+    "write_class",
+]

@@ -1,0 +1,12 @@
+"""Related-work baselines: Jazz [BHV98] and Clazz [HC98]."""
+
+from .clazz import clazz_pack, clazz_total_size, clazz_unpack
+from .jazz import jazz_pack, jazz_unpack
+
+__all__ = [
+    "clazz_pack",
+    "clazz_total_size",
+    "clazz_unpack",
+    "jazz_pack",
+    "jazz_unpack",
+]

@@ -1,0 +1,31 @@
+"""The Clazz format [HC98] (Section 13.1) as a baseline.
+
+Clazz was the predecessor of Jazz: the same custom-coded structure,
+but "applied to individual classfiles in isolation" — so nothing is
+shared across class files, and compression suffers accordingly.  We
+model it faithfully as the Jazz codec applied one class at a time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..classfile.classfile import ClassFile
+from .jazz import JazzCompressor, JazzDecompressor
+
+
+def clazz_pack(classfiles: List[ClassFile]) -> List[bytes]:
+    """Compress each class file in isolation; one blob per class."""
+    return [JazzCompressor().pack([classfile]) for classfile in classfiles]
+
+
+def clazz_unpack(blobs: List[bytes]) -> List[ClassFile]:
+    out: List[ClassFile] = []
+    for blob in blobs:
+        out.extend(JazzDecompressor(blob).unpack())
+    return out
+
+
+def clazz_total_size(classfiles: List[ClassFile]) -> int:
+    """Total archive size under per-class Clazz compression."""
+    return sum(len(blob) for blob in clazz_pack(classfiles))

@@ -1,0 +1,600 @@
+"""A reimplementation of the Jazz archive format [BHV98] (Section 13.1).
+
+Jazz, per the paper's description, is "a less radical format" than the
+packed format:
+
+* it keeps the standard kinds of constant-pool entries but moves them
+  into a **global constant pool** shared across all class files;
+* it does **no factoring** — class names and descriptors remain whole
+  Utf8 strings;
+* constant-pool indices inside bytecode are encoded with a **static
+  per-kind Huffman code** that ignores locality of reference.
+
+This module implements both directions so the baseline can be
+validated by roundtrip, not just measured.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..classfile import constant_pool as cp
+from ..classfile import mutf8
+from ..classfile.attributes import (
+    CodeAttribute,
+    ConstantValueAttribute,
+    ExceptionsAttribute,
+    ExceptionTableEntry,
+)
+from ..classfile.bytecode import (
+    Instruction,
+    SwitchData,
+    assemble,
+    disassemble,
+    layout,
+)
+from ..classfile.classfile import ClassFile
+from ..classfile.members import FieldInfo, MethodInfo
+from ..classfile.opcodes import OPCODES, OperandKind as K
+from ..coding.huffman import HuffmanCoder
+from ..coding.varint import read_uvarint, write_uvarint
+
+MAGIC = b"JAZZ"
+
+#: Entry kinds with their own global table and Huffman code.
+KINDS = ["utf8", "int", "float", "long", "double", "class", "string",
+         "nat", "fieldref", "methodref", "imethodref"]
+
+_CP_KIND_FOR_OPERAND = {
+    K.CP_FIELD: "fieldref",
+    K.CP_METHOD: "methodref",
+    K.CP_IMETHOD: "imethodref",
+    K.CP_CLASS: "class",
+}
+
+
+class JazzError(ValueError):
+    """Raised on malformed Jazz archives."""
+
+
+class _GlobalPool:
+    """Per-kind interned global tables."""
+
+    def __init__(self):
+        self.tables: Dict[str, List] = {kind: [] for kind in KINDS}
+        self._intern: Dict[str, Dict] = {kind: {} for kind in KINDS}
+
+    def add(self, kind: str, value) -> int:
+        table = self._intern[kind]
+        index = table.get(value)
+        if index is None:
+            index = len(self.tables[kind])
+            self.tables[kind].append(value)
+            table[value] = index
+        return index
+
+    def intern_entry(self, pool: cp.ConstantPool,
+                     index: int) -> Tuple[str, int]:
+        """Intern the entry at local ``index``; returns (kind, gid)."""
+        entry = pool[index]
+        if isinstance(entry, cp.Utf8):
+            return "utf8", self.add("utf8", entry.value)
+        if isinstance(entry, cp.IntegerConst):
+            return "int", self.add("int", entry.value)
+        if isinstance(entry, cp.FloatConst):
+            return "float", self.add("float", entry.bits)
+        if isinstance(entry, cp.LongConst):
+            return "long", self.add("long", entry.value)
+        if isinstance(entry, cp.DoubleConst):
+            return "double", self.add("double", entry.bits)
+        if isinstance(entry, cp.ClassInfo):
+            name = pool.utf8_value(entry.name_index)
+            return "class", self.add("class", self.add("utf8", name))
+        if isinstance(entry, cp.StringConst):
+            text = pool.utf8_value(entry.utf8_index)
+            return "string", self.add("string", self.add("utf8", text))
+        if isinstance(entry, cp.NameAndType):
+            pair = (self.add("utf8", pool.utf8_value(entry.name_index)),
+                    self.add("utf8",
+                             pool.utf8_value(entry.descriptor_index)))
+            return "nat", self.add("nat", pair)
+        if isinstance(entry, (cp.Fieldref, cp.Methodref,
+                              cp.InterfaceMethodref)):
+            owner = pool.class_name(entry.class_index)
+            class_gid = self.add("class", self.add("utf8", owner))
+            nat = pool[entry.name_and_type_index]
+            nat_gid = self.add("nat", (
+                self.add("utf8", pool.utf8_value(nat.name_index)),
+                self.add("utf8", pool.utf8_value(nat.descriptor_index))))
+            kind = {cp.Fieldref: "fieldref", cp.Methodref: "methodref",
+                    cp.InterfaceMethodref: "imethodref"}[type(entry)]
+            return kind, self.add(kind, (class_gid, nat_gid))
+        raise JazzError(f"unsupported entry {entry!r}")
+
+    # -- serialization ----------------------------------------------------
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+        write_uvarint(out, len(self.tables["utf8"]))
+        for text in self.tables["utf8"]:
+            encoded = mutf8.encode(text)
+            write_uvarint(out, len(encoded))
+            out.extend(encoded)
+        for kind in ("int", "long"):
+            values = self.tables[kind]
+            write_uvarint(out, len(values))
+            for value in values:
+                write_uvarint(out, value & ((1 << 64) - 1))
+        for kind, fmt in (("float", ">I"), ("double", ">Q")):
+            values = self.tables[kind]
+            write_uvarint(out, len(values))
+            for bits in values:
+                out.extend(struct.pack(fmt, bits))
+        for kind in ("class", "string"):
+            values = self.tables[kind]
+            write_uvarint(out, len(values))
+            for utf8_gid in values:
+                write_uvarint(out, utf8_gid)
+        write_uvarint(out, len(self.tables["nat"]))
+        for name_gid, descriptor_gid in self.tables["nat"]:
+            write_uvarint(out, name_gid)
+            write_uvarint(out, descriptor_gid)
+        for kind in ("fieldref", "methodref", "imethodref"):
+            values = self.tables[kind]
+            write_uvarint(out, len(values))
+            for class_gid, nat_gid in values:
+                write_uvarint(out, class_gid)
+                write_uvarint(out, nat_gid)
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "_GlobalPool":
+        pool = cls()
+        pos = 0
+        count, pos = read_uvarint(data, pos)
+        for _ in range(count):
+            length, pos = read_uvarint(data, pos)
+            pool.tables["utf8"].append(mutf8.decode(data[pos:pos + length]))
+            pos += length
+        for kind in ("int", "long"):
+            count, pos = read_uvarint(data, pos)
+            for _ in range(count):
+                raw, pos = read_uvarint(data, pos)
+                if raw >= 1 << 63:
+                    raw -= 1 << 64
+                pool.tables[kind].append(raw)
+        for kind, width, fmt in (("float", 4, ">I"), ("double", 8, ">Q")):
+            count, pos = read_uvarint(data, pos)
+            for _ in range(count):
+                pool.tables[kind].append(
+                    struct.unpack(fmt, data[pos:pos + width])[0])
+                pos += width
+        for kind in ("class", "string"):
+            count, pos = read_uvarint(data, pos)
+            for _ in range(count):
+                gid, pos = read_uvarint(data, pos)
+                pool.tables[kind].append(gid)
+        count, pos = read_uvarint(data, pos)
+        for _ in range(count):
+            name_gid, pos = read_uvarint(data, pos)
+            descriptor_gid, pos = read_uvarint(data, pos)
+            pool.tables["nat"].append((name_gid, descriptor_gid))
+        for kind in ("fieldref", "methodref", "imethodref"):
+            count, pos = read_uvarint(data, pos)
+            for _ in range(count):
+                class_gid, pos = read_uvarint(data, pos)
+                nat_gid, pos = read_uvarint(data, pos)
+                pool.tables[kind].append((class_gid, nat_gid))
+        return pool
+
+
+class JazzCompressor:
+    """Encoder: class files -> Jazz archive bytes."""
+
+    def __init__(self):
+        self.pool = _GlobalPool()
+        self.structure = bytearray()
+        #: per-kind operand index sequences, Huffman-coded at the end.
+        self.index_sequences: Dict[str, List[int]] = {
+            kind: [] for kind in KINDS}
+
+    def pack(self, classfiles: List[ClassFile]) -> bytes:
+        write_uvarint(self.structure, len(classfiles))
+        for classfile in classfiles:
+            self._encode_class(classfile)
+        tables = zlib.compress(self.pool.serialize(), 9)
+        structure = zlib.compress(bytes(self.structure), 9)
+        huffman = self._encode_indices()
+        out = bytearray(MAGIC)
+        for section in (tables, structure, huffman):
+            out.extend(struct.pack(">I", len(section)))
+            out.extend(section)
+        return bytes(out)
+
+    def _encode_indices(self) -> bytes:
+        out = bytearray()
+        for kind in KINDS:
+            sequence = self.index_sequences[kind]
+            write_uvarint(out, len(sequence))
+            if not sequence:
+                continue
+            frequencies: Dict[int, int] = {}
+            for symbol in sequence:
+                frequencies[symbol] = frequencies.get(symbol, 0) + 1
+            coder = HuffmanCoder(frequencies)
+            write_uvarint(out, len(coder.lengths))
+            for symbol in sorted(coder.lengths):
+                write_uvarint(out, symbol)
+                out.append(coder.lengths[symbol])
+            payload = coder.encode(sequence)
+            write_uvarint(out, len(payload))
+            out.extend(payload)
+        return bytes(out)
+
+    # -- structure --------------------------------------------------------
+
+    def _u(self, value: int) -> None:
+        write_uvarint(self.structure, value)
+
+    def _gid(self, kind: str, gid: int) -> None:
+        """Queue a per-kind global index for Huffman coding."""
+        self.index_sequences[kind].append(gid)
+
+    def _entry_gid(self, classfile: ClassFile, index: int,
+                   expected_kind: Optional[str] = None) -> None:
+        kind, gid = self.pool.intern_entry(classfile.pool, index)
+        if expected_kind is not None and kind != expected_kind:
+            raise JazzError(f"expected {expected_kind}, found {kind}")
+        self._gid(kind, gid)
+
+    def _encode_class(self, classfile: ClassFile) -> None:
+        self._u(classfile.access_flags)
+        self._entry_gid(classfile, classfile.this_class, "class")
+        self._u(1 if classfile.super_class else 0)
+        if classfile.super_class:
+            self._entry_gid(classfile, classfile.super_class, "class")
+        self._u(len(classfile.interfaces))
+        for interface in classfile.interfaces:
+            self._entry_gid(classfile, interface, "class")
+        self._u(len(classfile.fields))
+        self._u(len(classfile.methods))
+        for member in classfile.fields:
+            self._encode_member(classfile, member, is_field=True)
+        for member in classfile.methods:
+            self._encode_member(classfile, member, is_field=False)
+
+    def _encode_member(self, classfile: ClassFile, member,
+                       is_field: bool) -> None:
+        pool = classfile.pool
+        self._u(member.access_flags)
+        self._gid("utf8", self.pool.add(
+            "utf8", pool.utf8_value(member.name_index)))
+        self._gid("utf8", self.pool.add(
+            "utf8", pool.utf8_value(member.descriptor_index)))
+        constant = None
+        exceptions = None
+        code = None
+        for attribute in member.attributes:
+            if isinstance(attribute, ConstantValueAttribute):
+                constant = attribute
+            elif isinstance(attribute, ExceptionsAttribute):
+                exceptions = attribute
+            elif isinstance(attribute, CodeAttribute):
+                code = attribute
+        bits = (1 if constant else 0) | (2 if exceptions else 0) | \
+            (4 if code else 0)
+        self._u(bits)
+        if constant is not None:
+            entry = pool[constant.value_index]
+            kind = {cp.IntegerConst: "int", cp.FloatConst: "float",
+                    cp.LongConst: "long", cp.DoubleConst: "double",
+                    cp.StringConst: "string"}[type(entry)]
+            self._u(KINDS.index(kind))
+            self._entry_gid(classfile, constant.value_index, kind)
+        if exceptions is not None:
+            self._u(len(exceptions.exception_indices))
+            for index in exceptions.exception_indices:
+                self._entry_gid(classfile, index, "class")
+        if code is not None:
+            self._encode_code(classfile, code)
+
+    def _encode_code(self, classfile: ClassFile,
+                     code: CodeAttribute) -> None:
+        self._u(code.max_stack)
+        self._u(code.max_locals)
+        instructions = disassemble(code.code)
+        self._u(len(instructions))
+        for instruction in instructions:
+            self._encode_instruction(classfile, instruction)
+        self._u(len(code.exception_table))
+        for entry in code.exception_table:
+            self._u(entry.start_pc)
+            self._u(entry.end_pc)
+            self._u(entry.handler_pc)
+            self._u(1 if entry.catch_type else 0)
+            if entry.catch_type:
+                self._entry_gid(classfile, entry.catch_type, "class")
+
+    def _encode_instruction(self, classfile: ClassFile,
+                            instruction: Instruction) -> None:
+        pool = classfile.pool
+        spec = instruction.spec
+        self.structure.append(instruction.opcode)
+        if spec.is_switch:
+            switch = instruction.switch
+            self._u(switch.default - instruction.offset + (1 << 20))
+            if switch.is_table:
+                self._u(1)
+                self._u(switch.low + (1 << 20))
+                self._u(len(switch.pairs))
+                for _, target in switch.pairs:
+                    self._u(target - instruction.offset + (1 << 20))
+            else:
+                self._u(0)
+                self._u(len(switch.pairs))
+                for match, target in switch.pairs:
+                    self._u(match + (1 << 20))
+                    self._u(target - instruction.offset + (1 << 20))
+            return
+        for kind in spec.operands:
+            if kind == K.LOCAL:
+                self._u(instruction.local)
+            elif kind in (K.SBYTE, K.SSHORT, K.IINC_DELTA):
+                self._u(instruction.immediate + (1 << 16))
+            elif kind in (K.BRANCH2, K.BRANCH4):
+                self._u(instruction.target - instruction.offset + (1 << 20))
+            elif kind == K.ATYPE:
+                self._u(instruction.atype)
+            elif kind == K.DIMS:
+                self._u(instruction.dims)
+            elif kind == K.COUNT:
+                self._u(instruction.count)
+            elif kind == K.ZERO:
+                pass
+            elif kind in (K.CP_LDC, K.CP_LDC_W, K.CP_LDC2_W):
+                entry_kind, gid = self.pool.intern_entry(
+                    pool, instruction.cp_index)
+                self._u(KINDS.index(entry_kind))
+                self._gid(entry_kind, gid)
+            elif kind in _CP_KIND_FOR_OPERAND:
+                self._entry_gid(classfile, instruction.cp_index,
+                                _CP_KIND_FOR_OPERAND[kind])
+            else:  # pragma: no cover
+                raise JazzError(f"unhandled operand {kind}")
+
+
+class JazzDecompressor:
+    """Decoder: Jazz archive bytes -> class files."""
+
+    def __init__(self, data: bytes):
+        if data[:4] != MAGIC:
+            raise JazzError("bad Jazz magic")
+        pos = 4
+        sections = []
+        for _ in range(3):
+            length = struct.unpack(">I", data[pos:pos + 4])[0]
+            pos += 4
+            sections.append(data[pos:pos + length])
+            pos += length
+        self.pool = _GlobalPool.deserialize(zlib.decompress(sections[0]))
+        self.structure = zlib.decompress(sections[1])
+        self.pos = 0
+        self._queues: Dict[str, List[int]] = {}
+        self._queue_pos: Dict[str, int] = {}
+        self._decode_indices(sections[2])
+
+    def _decode_indices(self, data: bytes) -> None:
+        pos = 0
+        for kind in KINDS:
+            count, pos = read_uvarint(data, pos)
+            if not count:
+                self._queues[kind] = []
+                self._queue_pos[kind] = 0
+                continue
+            symbol_count, pos = read_uvarint(data, pos)
+            lengths: Dict[int, int] = {}
+            for _ in range(symbol_count):
+                symbol, pos = read_uvarint(data, pos)
+                lengths[symbol] = data[pos]
+                pos += 1
+            payload_length, pos = read_uvarint(data, pos)
+            payload = data[pos:pos + payload_length]
+            pos += payload_length
+            coder = HuffmanCoder.from_lengths(lengths)
+            self._queues[kind] = coder.decode(payload, count)
+            self._queue_pos[kind] = 0
+
+    # -- structure --------------------------------------------------------
+
+    def _u(self) -> int:
+        value, self.pos = read_uvarint(self.structure, self.pos)
+        return value
+
+    def _gid(self, kind: str) -> int:
+        position = self._queue_pos[kind]
+        self._queue_pos[kind] = position + 1
+        return self._queues[kind][position]
+
+    def unpack(self) -> List[ClassFile]:
+        count = self._u()
+        return [self._decode_class() for _ in range(count)]
+
+    # -- global -> local pool ----------------------------------------------
+
+    def _local_entry(self, pool: cp.ConstantPool, kind: str,
+                     gid: int) -> int:
+        tables = self.pool.tables
+        if kind == "utf8":
+            return pool.utf8(tables["utf8"][gid])
+        if kind == "int":
+            return pool.add(cp.IntegerConst(tables["int"][gid]))
+        if kind == "float":
+            return pool.add(cp.FloatConst(tables["float"][gid]))
+        if kind == "long":
+            return pool.add(cp.LongConst(tables["long"][gid]))
+        if kind == "double":
+            return pool.add(cp.DoubleConst(tables["double"][gid]))
+        if kind == "class":
+            return pool.class_info(tables["utf8"][tables["class"][gid]])
+        if kind == "string":
+            return pool.string(tables["utf8"][tables["string"][gid]])
+        if kind == "nat":
+            name_gid, descriptor_gid = tables["nat"][gid]
+            return pool.name_and_type(tables["utf8"][name_gid],
+                                      tables["utf8"][descriptor_gid])
+        class_gid, nat_gid = tables[kind][gid]
+        owner = tables["utf8"][tables["class"][class_gid]]
+        name_gid, descriptor_gid = tables["nat"][nat_gid]
+        name = tables["utf8"][name_gid]
+        descriptor = tables["utf8"][descriptor_gid]
+        if kind == "fieldref":
+            return pool.fieldref(owner, name, descriptor)
+        if kind == "methodref":
+            return pool.methodref(owner, name, descriptor)
+        if kind == "imethodref":
+            return pool.interface_methodref(owner, name, descriptor)
+        raise JazzError(f"unknown kind {kind}")
+
+    def _decode_class(self) -> ClassFile:
+        classfile = ClassFile()
+        pool = classfile.pool
+        classfile.access_flags = self._u()
+        classfile.this_class = self._local_entry(pool, "class",
+                                                 self._gid("class"))
+        if self._u():
+            classfile.super_class = self._local_entry(
+                pool, "class", self._gid("class"))
+        interface_count = self._u()
+        classfile.interfaces = [
+            self._local_entry(pool, "class", self._gid("class"))
+            for _ in range(interface_count)]
+        field_count = self._u()
+        method_count = self._u()
+        for _ in range(field_count):
+            classfile.fields.append(
+                self._decode_member(pool, FieldInfo))
+        for _ in range(method_count):
+            classfile.methods.append(
+                self._decode_member(pool, MethodInfo))
+        return classfile
+
+    def _decode_member(self, pool: cp.ConstantPool, factory):
+        access_flags = self._u()
+        name_index = self._local_entry(pool, "utf8", self._gid("utf8"))
+        descriptor_index = self._local_entry(pool, "utf8",
+                                             self._gid("utf8"))
+        member = factory(access_flags, name_index, descriptor_index)
+        bits = self._u()
+        if bits & 1:
+            kind = KINDS[self._u()]
+            member.attributes.append(ConstantValueAttribute(
+                self._local_entry(pool, kind, self._gid(kind))))
+        if bits & 2:
+            count = self._u()
+            member.attributes.append(ExceptionsAttribute([
+                self._local_entry(pool, "class", self._gid("class"))
+                for _ in range(count)]))
+        if bits & 4:
+            member.attributes.append(self._decode_code(pool))
+        return member
+
+    def _decode_code(self, pool: cp.ConstantPool) -> CodeAttribute:
+        max_stack = self._u()
+        max_locals = self._u()
+        instruction_count = self._u()
+        instructions = [self._decode_instruction(pool)
+                        for _ in range(instruction_count)]
+        layout(instructions)
+        # Branch targets were encoded as deltas against the original
+        # offsets, which the canonical layout reproduces; make them
+        # absolute now that offsets are assigned.
+        for instruction in instructions:
+            if getattr(instruction, "_target_is_relative", False):
+                instruction.target += instruction.offset
+            if getattr(instruction, "_switch_is_relative", False):
+                switch = instruction.switch
+                switch.default += instruction.offset
+                switch.pairs = [(m, t + instruction.offset)
+                                for m, t in switch.pairs]
+        raw = assemble(instructions, relayout=False)
+        handler_count = self._u()
+        table = []
+        for _ in range(handler_count):
+            start = self._u()
+            end = self._u()
+            handler_pc = self._u()
+            catch_type = 0
+            if self._u():
+                catch_type = self._local_entry(pool, "class",
+                                               self._gid("class"))
+            table.append(ExceptionTableEntry(start, end, handler_pc,
+                                             catch_type))
+        return CodeAttribute(max_stack, max_locals, raw, table)
+
+    def _decode_instruction(self, pool: cp.ConstantPool) -> Instruction:
+        opcode = self.structure[self.pos]
+        self.pos += 1
+        spec = OPCODES[opcode]
+        instruction = Instruction(opcode)
+        # Offsets are assigned later by layout(); decode targets as
+        # deltas against a running offset we maintain here.
+        if spec.is_switch:
+            default_delta = self._u() - (1 << 20)
+            is_table = bool(self._u())
+            if is_table:
+                low = self._u() - (1 << 20)
+                count = self._u()
+                pairs = [(low + i, self._u() - (1 << 20))
+                         for i in range(count)]
+                instruction.switch = SwitchData(default_delta, low, pairs)
+            else:
+                count = self._u()
+                pairs = []
+                for _ in range(count):
+                    match = self._u() - (1 << 20)
+                    target = self._u() - (1 << 20)
+                    pairs.append((match, target))
+                instruction.switch = SwitchData(default_delta, None, pairs)
+            instruction._switch_is_relative = True  # type: ignore
+            return instruction
+        for kind in spec.operands:
+            if kind == K.LOCAL:
+                instruction.local = self._u()
+            elif kind in (K.SBYTE, K.SSHORT, K.IINC_DELTA):
+                instruction.immediate = self._u() - (1 << 16)
+            elif kind in (K.BRANCH2, K.BRANCH4):
+                instruction.target = self._u() - (1 << 20)
+                instruction._target_is_relative = True  # type: ignore
+            elif kind == K.ATYPE:
+                instruction.atype = self._u()
+            elif kind == K.DIMS:
+                instruction.dims = self._u()
+            elif kind == K.COUNT:
+                instruction.count = self._u()
+            elif kind == K.ZERO:
+                pass
+            elif kind in (K.CP_LDC, K.CP_LDC_W, K.CP_LDC2_W):
+                entry_kind = KINDS[self._u()]
+                instruction.cp_index = self._local_entry(
+                    pool, entry_kind, self._gid(entry_kind))
+            elif kind in _CP_KIND_FOR_OPERAND:
+                entry_kind = _CP_KIND_FOR_OPERAND[kind]
+                instruction.cp_index = self._local_entry(
+                    pool, entry_kind, self._gid(entry_kind))
+            else:  # pragma: no cover
+                raise JazzError(f"unhandled operand {kind}")
+        return instruction
+
+
+def jazz_pack(classfiles: List[ClassFile]) -> bytes:
+    """Compress class files into a Jazz archive."""
+    return JazzCompressor().pack(classfiles)
+
+
+def jazz_unpack(data: bytes) -> List[ClassFile]:
+    """Decompress a Jazz archive."""
+    decompressor = JazzDecompressor(data)
+    classfiles = decompressor.unpack()
+    return classfiles

@@ -1,0 +1,14 @@
+"""Bytecode compression machinery (Section 7)."""
+
+from .analysis import ComponentSizes, bytecode_components
+from .custom_opcodes import PairRule, combine_pairs, expand_rules
+from .stack_state import StackTracker
+
+__all__ = [
+    "ComponentSizes",
+    "PairRule",
+    "StackTracker",
+    "bytecode_components",
+    "combine_pairs",
+    "expand_rules",
+]

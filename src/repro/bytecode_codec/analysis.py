@@ -1,0 +1,109 @@
+"""Bytecode component compression measurement (Table 4).
+
+For a collection of class files this module separates code into the
+paper's component streams and reports, per component, the raw and
+zlib-compressed sizes:
+
+* the undivided bytecode **bytestream**,
+* the **opcode** stream alone,
+* the opcode stream with **stack-state collapsing** (Section 7.1),
+* the opcode stream after **custom-opcode** pair combining (7.2),
+* **register numbers**, **branch offsets** and **method references**.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..classfile.classfile import ClassFile
+from ..coding.varint import encode_uvarints, write_svarint
+from ..ir.build import build_class
+from ..ir.model import Interner
+from .apply import OPCODES_BY_NAME, apply_instruction_state
+from ..pack.sizes import ir_instruction_size
+from .custom_opcodes import combine_pairs, sequences_to_bytes
+from .stack_state import StackTracker
+
+
+@dataclass
+class ComponentSizes:
+    raw: int
+    compressed: int
+
+    @property
+    def ratio(self) -> float:
+        return self.compressed / self.raw if self.raw else 0.0
+
+
+def _sizes(data: bytes) -> ComponentSizes:
+    return ComponentSizes(len(data), len(zlib.compress(data, 9)))
+
+
+def bytecode_components(classfiles: Iterable[ClassFile]
+                        ) -> Dict[str, ComponentSizes]:
+    """Measure every Table 4 component over ``classfiles``."""
+    interner = Interner()
+    bytestream = bytearray()
+    opcode_sequences: List[List[int]] = []
+    collapsed_sequences: List[List[int]] = []
+    registers = bytearray()
+    branches = bytearray()
+    method_ref_indices: List[int] = []
+    #: naive sequential ids for method references, mirroring what a
+    #: reference stream carries before entropy coding.
+    method_ids: Dict[object, int] = {}
+
+    for classfile in classfiles:
+        for member in classfile.methods:
+            code = member.code()
+            if code is None:
+                continue
+            bytestream.extend(code.code)
+        definition = build_class(classfile, interner)
+        for method in definition.methods:
+            if method.code is None:
+                continue
+            opcodes: List[int] = []
+            collapsed: List[int] = []
+            tracker = StackTracker()
+            offset = 0
+            from ..classfile.opcodes import OPCODES
+            from ..pack.compressor import OPCODES_BY_NAME
+            for instruction in method.code.instructions:
+                tracker.at_instruction(offset)
+                mnemonic = OPCODES[instruction.opcode].mnemonic
+                opcodes.append(instruction.opcode)
+                collapsed.append(OPCODES_BY_NAME[tracker.collapse(mnemonic)])
+                if instruction.local is not None:
+                    registers.append(min(instruction.local, 255))
+                if instruction.target is not None:
+                    write_svarint(branches, instruction.target - offset)
+                if instruction.switch_pairs is not None:
+                    write_svarint(branches,
+                                  instruction.switch_default - offset)
+                    for _, target in instruction.switch_pairs:
+                        write_svarint(branches, target - offset)
+                if instruction.method_ref is not None:
+                    key = instruction.method_ref
+                    if key not in method_ids:
+                        method_ids[key] = len(method_ids)
+                    method_ref_indices.append(method_ids[key])
+                apply_instruction_state(tracker, instruction, offset)
+                offset += ir_instruction_size(instruction, offset)
+            opcode_sequences.append(opcodes)
+            collapsed_sequences.append(collapsed)
+
+    custom_sequences, rules = combine_pairs(collapsed_sequences)
+    return {
+        "bytestream": _sizes(bytes(bytestream)),
+        "opcodes": _sizes(sequences_to_bytes(opcode_sequences)),
+        "opcodes_stack_state": _sizes(
+            sequences_to_bytes(collapsed_sequences)),
+        "opcodes_custom": _sizes(sequences_to_bytes(custom_sequences)),
+        "registers": _sizes(bytes(registers)),
+        "branch_offsets": _sizes(bytes(branches)),
+        "method_references": _sizes(
+            encode_uvarints(method_ref_indices)),
+    }

@@ -1,0 +1,161 @@
+"""Custom-opcode pair combining (Section 7.2).
+
+The paper's experiment, after [EEF+97, FP95]: repeatedly find the pair
+of adjacent opcodes (or a *skip-pair* — two opcodes with one wildcard
+slot between them) whose replacement by a fresh opcode most reduces the
+estimated encoded length, where a symbol occurring with frequency ``p``
+costs ``log2(1/p)`` bits.  After each introduction the frequencies are
+recalculated.
+
+The paper found this "substantially decreased the number of opcodes"
+but barely improved the gzipped size, and dropped it; the benchmark
+``test_table4_bytecode.py`` reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Fresh opcodes can use the byte values the JVM leaves unassigned
+#: (0xCA breakpoint slot and 0xCB-0xFF), keeping sequences byte-wide.
+FIRST_FRESH = 0xCA
+MAX_FRESH = 0x100 - FIRST_FRESH
+
+
+@dataclass(frozen=True)
+class PairRule:
+    """One introduced opcode: ``first [skip] second`` -> ``fresh``."""
+
+    fresh: int
+    first: int
+    second: int
+    skip: bool  # True when a wildcard slot sits between the two
+
+
+def _entropy_cost(frequencies: Dict[int, int]) -> Dict[int, float]:
+    total = sum(frequencies.values()) or 1
+    return {symbol: math.log2(total / count)
+            for symbol, count in frequencies.items()}
+
+
+def _count_pairs(sequences: List[List[int]]
+                 ) -> Tuple[Dict[Tuple[int, int], int],
+                            Dict[Tuple[int, int], int]]:
+    adjacent: Dict[Tuple[int, int], int] = {}
+    skip: Dict[Tuple[int, int], int] = {}
+    for sequence in sequences:
+        for i in range(len(sequence) - 1):
+            pair = (sequence[i], sequence[i + 1])
+            adjacent[pair] = adjacent.get(pair, 0) + 1
+        for i in range(len(sequence) - 2):
+            pair = (sequence[i], sequence[i + 2])
+            skip[pair] = skip.get(pair, 0) + 1
+    return adjacent, skip
+
+
+def _apply_rule(sequence: List[int], rule: PairRule) -> List[int]:
+    out: List[int] = []
+    i = 0
+    n = len(sequence)
+    while i < n:
+        if not rule.skip and i + 1 < n and \
+                sequence[i] == rule.first and sequence[i + 1] == rule.second:
+            out.append(rule.fresh)
+            i += 2
+        elif rule.skip and i + 2 < n and \
+                sequence[i] == rule.first and \
+                sequence[i + 2] == rule.second:
+            # The wildcard operand follows the fresh opcode.
+            out.append(rule.fresh)
+            out.append(sequence[i + 1])
+            i += 3
+        else:
+            out.append(sequence[i])
+            i += 1
+    return out
+
+
+def combine_pairs(sequences: List[List[int]],
+                  max_rules: int = MAX_FRESH,
+                  min_gain_bits: float = 64.0
+                  ) -> Tuple[List[List[int]], List[PairRule]]:
+    """Greedy pair combining; returns (rewritten sequences, rules).
+
+    ``min_gain_bits`` stops the loop when the best candidate saves less
+    than that many estimated bits (the dictionary row itself costs a
+    few bytes to transmit).
+    """
+    sequences = [list(sequence) for sequence in sequences]
+    rules: List[PairRule] = []
+    while len(rules) < max_rules:
+        frequencies: Dict[int, int] = {}
+        for sequence in sequences:
+            for symbol in sequence:
+                frequencies[symbol] = frequencies.get(symbol, 0) + 1
+        cost = _entropy_cost(frequencies)
+        total = sum(frequencies.values())
+        if total == 0:
+            break
+        adjacent, skip = _count_pairs(sequences)
+        best: Optional[Tuple[float, Tuple[int, int], bool]] = None
+        for pairs, is_skip in ((adjacent, False), (skip, True)):
+            for (first, second), count in pairs.items():
+                if count < 4:
+                    continue
+                new_cost = math.log2(max(total, 2) / count)
+                gain = count * (cost[first] + cost[second] - new_cost)
+                if best is None or gain > best[0]:
+                    best = (gain, (first, second), is_skip)
+        if best is None or best[0] < min_gain_bits:
+            break
+        fresh = FIRST_FRESH + len(rules)
+        (gain, (first, second), is_skip) = best
+        rule = PairRule(fresh, first, second, is_skip)
+        rules.append(rule)
+        sequences = [_apply_rule(sequence, rule) for sequence in sequences]
+    return sequences, rules
+
+
+def expand_rules(sequences: List[List[int]],
+                 rules: List[PairRule]) -> List[List[int]]:
+    """Inverse of :func:`combine_pairs` (the cheap decompressor side).
+
+    Rules must be undone in *reverse introduction order*: a later rule
+    may capture an earlier rule's fresh opcode (or sit between a skip
+    rule's opcode and its wildcard operand), so expanding all rules in
+    one simultaneous pass would reassemble operands in the wrong
+    positions.  Each rule's definition only mentions symbols that
+    existed before it, so one pass per rule suffices.
+    """
+    out: List[List[int]] = []
+    for sequence in sequences:
+        current = list(sequence)
+        for rule in reversed(rules):
+            expanded: List[int] = []
+            i = 0
+            while i < len(current):
+                if current[i] != rule.fresh:
+                    expanded.append(current[i])
+                    i += 1
+                elif rule.skip:
+                    expanded.append(rule.first)
+                    expanded.append(current[i + 1])
+                    expanded.append(rule.second)
+                    i += 2
+                else:
+                    expanded.append(rule.first)
+                    expanded.append(rule.second)
+                    i += 1
+            current = expanded
+        out.append(current)
+    return out
+
+
+def sequences_to_bytes(sequences: List[List[int]]) -> bytes:
+    """Flatten opcode sequences to a byte stream for zlib comparison."""
+    out = bytearray()
+    for sequence in sequences:
+        out.extend(sequence)
+    return bytes(out)

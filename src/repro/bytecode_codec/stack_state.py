@@ -1,0 +1,501 @@
+"""Approximate stack-state tracking and opcode collapsing (Section 7.1).
+
+The compressor computes, before each instruction, an approximation of
+the operand stack's contents (number and types of values).  When the
+state is known, typed opcode families collapse onto a single canonical
+member (``ladd``/``fadd``/``dadd`` all become ``iadd``), and the
+decompressor — running this *same* state machine over the decoded
+stream — regenerates the original opcode from the types on its own
+stack.  The computation is forward-only and remembers the state over
+at most one pending forward branch at a time, exactly the paper's
+constraints; whenever the state is unknown, opcodes pass through
+unchanged, so the scheme is always lossless.
+
+The stack is modeled at slot granularity.  Each slot holds one of:
+
+* a primitive category: ``I`` (covers int/byte/short/char/boolean),
+  ``F``, ``J``, ``D`` (wide values occupy their category slot plus a
+  ``#`` second-half slot above it),
+* a reference descriptor (``Ljava/lang/String;``, ``[I``, ...) when
+  known, or the generic ``A`` when only "some reference" is known,
+* ``N`` for null, ``R`` for a ``jsr`` return address.
+
+The same object is also used to derive the (top-two-categories)
+context for method-reference MTF queues (Section 5.1.6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..classfile.descriptors import parse_method_descriptor
+from ..classfile.opcodes import ATYPE_DESCRIPTORS, BY_NAME
+
+SECOND = "#"
+
+_OP = {name: spec.opcode for name, spec in BY_NAME.items()}
+
+#: Typed families: canonical mnemonic -> {type category: member mnemonic}.
+ARITH_FAMILIES = {
+    "iadd": {"I": "iadd", "J": "ladd", "F": "fadd", "D": "dadd"},
+    "isub": {"I": "isub", "J": "lsub", "F": "fsub", "D": "dsub"},
+    "imul": {"I": "imul", "J": "lmul", "F": "fmul", "D": "dmul"},
+    "idiv": {"I": "idiv", "J": "ldiv", "F": "fdiv", "D": "ddiv"},
+    "irem": {"I": "irem", "J": "lrem", "F": "frem", "D": "drem"},
+    "ineg": {"I": "ineg", "J": "lneg", "F": "fneg", "D": "dneg"},
+    "iand": {"I": "iand", "J": "land"},
+    "ior": {"I": "ior", "J": "lor"},
+    "ixor": {"I": "ixor", "J": "lxor"},
+}
+SHIFT_FAMILIES = {
+    "ishl": {"I": "ishl", "J": "lshl"},
+    "ishr": {"I": "ishr", "J": "lshr"},
+    "iushr": {"I": "iushr", "J": "lushr"},
+}
+RETURN_FAMILY = {"I": "ireturn", "J": "lreturn", "F": "freturn",
+                 "D": "dreturn", "A": "areturn"}
+STORE_FAMILIES = {
+    "": {"I": "istore", "J": "lstore", "F": "fstore", "D": "dstore",
+         "A": "astore"},
+    "_0": {"I": "istore_0", "J": "lstore_0", "F": "fstore_0",
+           "D": "dstore_0", "A": "astore_0"},
+    "_1": {"I": "istore_1", "J": "lstore_1", "F": "fstore_1",
+           "D": "dstore_1", "A": "astore_1"},
+    "_2": {"I": "istore_2", "J": "lstore_2", "F": "fstore_2",
+           "D": "dstore_2", "A": "astore_2"},
+    "_3": {"I": "istore_3", "J": "lstore_3", "F": "fstore_3",
+           "D": "dstore_3", "A": "astore_3"},
+}
+ALOAD_FAMILY = {"I": "iaload", "J": "laload", "F": "faload",
+                "D": "daload", "A": "aaload", "B": "baload",
+                "C": "caload", "S": "saload"}
+ASTORE_FAMILY = {"I": "iastore", "J": "lastore", "F": "fastore",
+                 "D": "dastore", "A": "aastore", "B": "bastore",
+                 "C": "castore", "S": "sastore"}
+
+#: member mnemonic -> (canonical mnemonic, family dict)
+_MEMBER_TO_FAMILY: Dict[str, Tuple[str, Dict[str, str]]] = {}
+for _fams in (ARITH_FAMILIES, SHIFT_FAMILIES):
+    for _canon, _family in _fams.items():
+        for _member in _family.values():
+            _MEMBER_TO_FAMILY[_member] = (_canon, _family)
+for _member in RETURN_FAMILY.values():
+    _MEMBER_TO_FAMILY[_member] = ("ireturn", RETURN_FAMILY)
+for _suffix, _family in STORE_FAMILIES.items():
+    for _member in _family.values():
+        _MEMBER_TO_FAMILY[_member] = ("istore" + _suffix, _family)
+for _member in ALOAD_FAMILY.values():
+    _MEMBER_TO_FAMILY[_member] = ("iaload", ALOAD_FAMILY)
+for _member in ASTORE_FAMILY.values():
+    _MEMBER_TO_FAMILY[_member] = ("iastore", ASTORE_FAMILY)
+
+
+def value_category(slot_type: str) -> str:
+    """Map a slot type to a family category letter."""
+    if slot_type in ("I", "J", "F", "D"):
+        return slot_type
+    if slot_type in ("N", "A") or slot_type.startswith(("L", "[")):
+        return "A"
+    return "?"  # SECOND, R, or anything unexpected
+
+
+def _element_category(array_type: str) -> Optional[str]:
+    """Family category of an array's elements, if determinable."""
+    if not array_type.startswith("["):
+        return None
+    element = array_type[1:]
+    if element in ("I",):
+        return "I"
+    if element in ("B", "Z"):
+        return "B"
+    if element == "C":
+        return "C"
+    if element == "S":
+        return "S"
+    if element == "J":
+        return "J"
+    if element == "F":
+        return "F"
+    if element == "D":
+        return "D"
+    return "A"  # reference or nested array elements
+
+
+def _push_type(stack: List[str], descriptor: str) -> None:
+    if descriptor == "V":
+        return
+    if descriptor in ("J", "D"):
+        stack.append(descriptor)
+        stack.append(SECOND)
+    elif descriptor in ("B", "C", "S", "Z", "I"):
+        stack.append("I")
+    elif descriptor == "F":
+        stack.append("F")
+    else:
+        stack.append(descriptor)
+
+
+class StackTracker:
+    """The per-method approximate stack state."""
+
+    def __init__(self):
+        self.stack: Optional[List[str]] = []
+        #: single pending forward-branch state: (offset, stack copy)
+        self.pending: Optional[Tuple[int, List[str]]] = None
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def known(self) -> bool:
+        return self.stack is not None
+
+    def top_value_type(self, depth: int = 0) -> Optional[str]:
+        """Type of the value ``depth`` values below the top (0 = top)."""
+        if self.stack is None:
+            return None
+        index = len(self.stack) - 1
+        for _ in range(depth + 1):
+            if index < 0:
+                return None
+            if self.stack[index] == SECOND:
+                index -= 1
+            if index < 0:
+                return None
+            value_type = self.stack[index]
+            index -= 1
+        return value_type
+
+    def top_categories(self) -> Tuple[str, str]:
+        """Top-two value categories, for MTF context selection."""
+        if self.stack is None:
+            return ("?", "?")
+        first = self.top_value_type(0)
+        second = self.top_value_type(1)
+        return (
+            value_category(first) if first is not None else "-",
+            value_category(second) if second is not None else "-",
+        )
+
+    # -- control flow -----------------------------------------------------
+
+    def at_instruction(self, offset: int) -> None:
+        """Call before processing the instruction at ``offset``."""
+        if self.pending is not None and self.pending[0] == offset:
+            _, saved = self.pending
+            self.pending = None
+            if self.stack is None:
+                self.stack = saved
+            elif saved is not None and saved != self.stack:
+                self.stack = None
+
+    def _save_branch(self, current_offset: int, target: int) -> None:
+        if target > current_offset and self.pending is None and \
+                self.stack is not None:
+            self.pending = (target, list(self.stack))
+
+    # -- collapse / expand -------------------------------------------------
+
+    def collapse(self, mnemonic: str) -> str:
+        """Compressor side: canonicalize ``mnemonic`` if the state
+        determines it; otherwise return it unchanged."""
+        entry = _MEMBER_TO_FAMILY.get(mnemonic)
+        if entry is None or self.stack is None:
+            return mnemonic
+        canonical, family = entry
+        regenerated = self._regenerate(canonical, family)
+        if regenerated == mnemonic:
+            return canonical
+        return mnemonic
+
+    def expand(self, mnemonic: str) -> str:
+        """Decompressor side: regenerate the original opcode for a
+        canonical family member when the state determines it."""
+        entry = _MEMBER_TO_FAMILY.get(mnemonic)
+        if entry is None or self.stack is None:
+            return mnemonic
+        canonical, family = entry
+        if mnemonic != canonical:
+            return mnemonic
+        regenerated = self._regenerate(canonical, family)
+        return regenerated if regenerated is not None else mnemonic
+
+    def _regenerate(self, canonical: str,
+                    family: Dict[str, str]) -> Optional[str]:
+        """Which family member does the current state imply for the
+        canonical opcode?  None when the state cannot tell."""
+        if canonical in ("iaload", "iastore"):
+            return self._regenerate_array(canonical)
+        if canonical in SHIFT_FAMILIES:
+            # Shift: value is one below the int shift amount.
+            value_type = self.top_value_type(1)
+        else:
+            value_type = self.top_value_type(0)
+        if value_type is None:
+            return None
+        category = value_category(value_type)
+        return family.get(category)
+
+    def _regenerate_array(self, canonical: str) -> Optional[str]:
+        if self.stack is None:
+            return None
+        if canonical == "iaload":
+            array_type = self.top_value_type(1)
+            family = ALOAD_FAMILY
+        else:
+            # xastore: [array, index, value]; the value may be wide,
+            # which top_value_type's second-half markers disambiguate.
+            array_type = self.top_value_type(2)
+            family = ASTORE_FAMILY
+        if array_type is None:
+            return None
+        category = _element_category(array_type)
+        if category is None:
+            return None
+        return family.get(category)
+
+    # -- effects -----------------------------------------------------------
+
+    def apply(self, mnemonic: str, offset: int, *,
+              local: Optional[int] = None,
+              field_descriptor: Optional[str] = None,
+              method_descriptor: Optional[str] = None,
+              is_static_call: bool = False,
+              const_kind: Optional[str] = None,
+              class_descriptor: Optional[str] = None,
+              atype: Optional[int] = None,
+              dims: Optional[int] = None,
+              branch_target: Optional[int] = None,
+              switch: bool = False) -> None:
+        """Update the state across one (original, expanded) instruction.
+
+        ``mnemonic`` must be the *real* (uncollapsed) mnemonic.  Branch
+        and terminator bookkeeping is included: call exactly once per
+        instruction, after collapse/expand decisions were made.
+        """
+        stack = self.stack
+        if switch:
+            self.stack = None
+            return
+        if mnemonic in ("goto", "goto_w"):
+            if branch_target is not None:
+                self._save_branch(offset, branch_target)
+            self.stack = None
+            return
+        if mnemonic in ("ireturn", "lreturn", "freturn", "dreturn",
+                        "areturn", "return", "athrow", "ret"):
+            self.stack = None
+            return
+        if mnemonic in ("jsr", "jsr_w"):
+            self.stack = None
+            return
+        if stack is None:
+            return
+        try:
+            self._apply_effect(stack, mnemonic, field_descriptor,
+                               method_descriptor, is_static_call,
+                               const_kind, class_descriptor, atype, dims)
+        except _Unknown:
+            self.stack = None
+            if branch_target is not None:
+                # Even with an unknown result we no longer know the
+                # state; do not save.
+                return
+            return
+        if branch_target is not None:
+            self._save_branch(offset, branch_target)
+
+    def _apply_effect(self, stack: List[str], mnemonic: str,
+                      field_descriptor, method_descriptor, is_static_call,
+                      const_kind, class_descriptor, atype, dims) -> None:
+        pop = self._pop_value
+        if mnemonic == "nop" or mnemonic == "iinc":
+            return
+        if mnemonic == "aconst_null":
+            stack.append("N")
+            return
+        if mnemonic.startswith("iconst") or mnemonic in ("bipush", "sipush"):
+            stack.append("I")
+            return
+        if mnemonic.startswith("lconst"):
+            _push_type(stack, "J")
+            return
+        if mnemonic.startswith("fconst"):
+            stack.append("F")
+            return
+        if mnemonic.startswith("dconst"):
+            _push_type(stack, "D")
+            return
+        if mnemonic in ("ldc", "ldc_w", "ldc2_w"):
+            kinds = {"int": "I", "float": "F", "long": "J", "double": "D",
+                     "string": "Ljava/lang/String;"}
+            _push_type(stack, kinds[const_kind])
+            return
+        if mnemonic[1:] in ("load", "load_0", "load_1", "load_2",
+                            "load_3") and mnemonic[0] in "ilfda":
+            kinds = {"i": "I", "l": "J", "f": "F", "d": "D", "a": "A"}
+            _push_type(stack, kinds[mnemonic[0]])
+            return
+        if mnemonic in ALOAD_FAMILY.values():
+            pop()  # index
+            array_type = pop()
+            element = {"iaload": "I", "laload": "J", "faload": "F",
+                       "daload": "D", "baload": "I", "caload": "I",
+                       "saload": "I"}.get(mnemonic)
+            if mnemonic == "aaload":
+                if array_type.startswith("["):
+                    _push_type(stack, array_type[1:])
+                else:
+                    stack.append("A")
+            else:
+                _push_type(stack, element)
+            return
+        if mnemonic[1:] in ("store", "store_0", "store_1", "store_2",
+                            "store_3") and mnemonic[0] in "ilfda":
+            pop()
+            return
+        if mnemonic in ASTORE_FAMILY.values():
+            pop()  # value
+            pop()  # index
+            pop()  # array
+            return
+        if mnemonic == "pop":
+            self._pop_slot(stack)
+            return
+        if mnemonic == "pop2":
+            self._pop_slot(stack)
+            self._pop_slot(stack)
+            return
+        if mnemonic == "dup":
+            stack.append(stack[-1])
+            return
+        if mnemonic == "dup_x1":
+            stack.insert(len(stack) - 2, stack[-1])
+            return
+        if mnemonic == "dup_x2":
+            stack.insert(len(stack) - 3, stack[-1])
+            return
+        if mnemonic == "dup2":
+            stack.extend(stack[-2:])
+            return
+        if mnemonic == "dup2_x1":
+            tail = stack[-2:]
+            stack[len(stack) - 3:len(stack) - 3] = tail
+            return
+        if mnemonic == "dup2_x2":
+            tail = stack[-2:]
+            stack[len(stack) - 4:len(stack) - 4] = tail
+            return
+        if mnemonic == "swap":
+            stack[-1], stack[-2] = stack[-2], stack[-1]
+            return
+        entry = _MEMBER_TO_FAMILY.get(mnemonic)
+        if entry is not None and entry[0] in ARITH_FAMILIES:
+            if mnemonic.endswith("neg"):
+                value = pop()
+                _push_type(stack, value_category(value))
+                return
+            pop()
+            left = pop()
+            _push_type(stack, value_category(left))
+            return
+        if entry is not None and entry[0] in SHIFT_FAMILIES:
+            pop()  # shift amount
+            value = pop()
+            _push_type(stack, value_category(value))
+            return
+        if mnemonic[0] in "ilfd" and "2" in mnemonic and \
+                len(mnemonic) == 3:
+            pop()
+            target = mnemonic[2]
+            _push_type(stack, {"i": "I", "l": "J", "f": "F", "d": "D",
+                               "b": "B", "c": "C", "s": "S"}[target])
+            return
+        if mnemonic in ("lcmp", "fcmpl", "fcmpg", "dcmpl", "dcmpg"):
+            pop()
+            pop()
+            stack.append("I")
+            return
+        if mnemonic in ("ifeq", "ifne", "iflt", "ifge", "ifgt", "ifle",
+                        "ifnull", "ifnonnull"):
+            pop()
+            return
+        if mnemonic.startswith(("if_icmp", "if_acmp")):
+            pop()
+            pop()
+            return
+        if mnemonic == "getstatic":
+            _push_type(stack, field_descriptor)
+            return
+        if mnemonic == "getfield":
+            pop()
+            _push_type(stack, field_descriptor)
+            return
+        if mnemonic == "putstatic":
+            pop()
+            return
+        if mnemonic == "putfield":
+            pop()
+            pop()
+            return
+        if mnemonic in ("invokevirtual", "invokespecial", "invokestatic",
+                        "invokeinterface"):
+            args, ret = parse_method_descriptor(method_descriptor)
+            for _ in args:
+                pop()
+            if not is_static_call:
+                pop()
+            _push_type(stack, ret)
+            return
+        if mnemonic == "new":
+            _push_type(stack, class_descriptor)
+            return
+        if mnemonic == "newarray":
+            pop()
+            stack.append("[" + ATYPE_DESCRIPTORS[atype])
+            return
+        if mnemonic == "anewarray":
+            pop()
+            stack.append("[" + class_descriptor)
+            return
+        if mnemonic == "multianewarray":
+            for _ in range(dims):
+                pop()
+            _push_type(stack, class_descriptor)
+            return
+        if mnemonic == "arraylength":
+            pop()
+            stack.append("I")
+            return
+        if mnemonic in ("checkcast",):
+            pop()
+            _push_type(stack, class_descriptor)
+            return
+        if mnemonic == "instanceof":
+            pop()
+            stack.append("I")
+            return
+        if mnemonic in ("monitorenter", "monitorexit"):
+            pop()
+            return
+        raise _Unknown(mnemonic)
+
+    def _pop_value(self) -> str:
+        stack = self.stack
+        if not stack:
+            raise _Unknown("underflow")
+        top = stack.pop()
+        if top == SECOND:
+            if not stack:
+                raise _Unknown("underflow")
+            return stack.pop()
+        return top
+
+    @staticmethod
+    def _pop_slot(stack: List[str]) -> str:
+        if not stack:
+            raise _Unknown("underflow")
+        return stack.pop()
+
+
+class _Unknown(Exception):
+    """Internal: the effect cannot be modeled; state becomes unknown."""

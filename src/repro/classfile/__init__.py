@@ -1,0 +1,35 @@
+"""JVM class-file substrate: parsing, writing, bytecode, transforms."""
+
+from .attributes import (
+    CodeAttribute,
+    ConstantValueAttribute,
+    ExceptionsAttribute,
+    ExceptionTableEntry,
+)
+from .bytecode import Instruction, assemble, disassemble
+from .classfile import ClassFile, ClassFileError, parse_class, write_class
+from .constant_pool import ConstantPool
+from .constants import AccessFlags, ConstantTag
+from .transform import normalize
+from .verify import VerificationError, verify_archive, verify_class
+
+__all__ = [
+    "AccessFlags",
+    "ClassFile",
+    "ClassFileError",
+    "CodeAttribute",
+    "ConstantPool",
+    "ConstantTag",
+    "ConstantValueAttribute",
+    "ExceptionTableEntry",
+    "ExceptionsAttribute",
+    "Instruction",
+    "VerificationError",
+    "assemble",
+    "disassemble",
+    "normalize",
+    "parse_class",
+    "verify_archive",
+    "verify_class",
+    "write_class",
+]

@@ -1,0 +1,171 @@
+"""Size accounting over class files (the paper's Table 2).
+
+Breaks a collection of class files into the components the paper
+reports: field definitions, method definitions, Code attributes, Utf8
+constant-pool entries, and the rest of the constant pool — plus the
+"if shared" and "if shared & factored" what-if sizes for Utf8 data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from . import constant_pool as cp
+from . import mutf8
+from .attributes import CodeAttribute
+from .classfile import ClassFile
+from .classfile import _attribute_body  # noqa: F401  (sizes via writer)
+
+
+@dataclass
+class Breakdown:
+    """Byte totals for one collection of class files."""
+
+    total: int = 0
+    field_definitions: int = 0
+    method_definitions: int = 0
+    code: int = 0
+    utf8_entries: int = 0
+    other_constant_pool: int = 0
+    utf8_shared: int = 0
+    utf8_shared_factored: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "total": self.total,
+            "field_definitions": self.field_definitions,
+            "method_definitions": self.method_definitions,
+            "code": self.code,
+            "other_constant_pool": self.other_constant_pool,
+            "utf8_entries": self.utf8_entries,
+            "utf8_shared": self.utf8_shared,
+            "utf8_shared_factored": self.utf8_shared_factored,
+        }
+
+
+def _entry_size(entry: cp.Entry) -> int:
+    """On-disk byte size of one constant-pool entry (incl. tag)."""
+    if isinstance(entry, cp.Utf8):
+        return 3 + len(mutf8.encode(entry.value))
+    if isinstance(entry, (cp.IntegerConst, cp.FloatConst)):
+        return 5
+    if isinstance(entry, (cp.LongConst, cp.DoubleConst)):
+        return 9
+    if isinstance(entry, (cp.ClassInfo, cp.StringConst)):
+        return 3
+    return 5  # member refs and NameAndType: tag + two u2 indices
+
+
+def _member_size(member, pool: cp.ConstantPool) -> Tuple[int, int]:
+    """(definition bytes, code bytes) for a field or method."""
+    definition = 8  # access_flags, name, descriptor, attr count
+    code_bytes = 0
+    for attribute in member.attributes:
+        body = len(_attribute_body(attribute, pool))
+        attr_size = 6 + body  # name index + length + payload
+        if isinstance(attribute, CodeAttribute):
+            code_bytes += attr_size
+        else:
+            definition += attr_size
+    return definition, code_bytes
+
+
+def _factored_utf8_chars(values: Set[str]) -> int:
+    """Character bytes remaining after the Section 3/4 factoring.
+
+    Factoring splits class names into package + simple names and
+    replaces descriptor strings with structural references, so the
+    remaining string payload is the set of distinct *simple* tokens.
+    """
+    tokens: Set[str] = set()
+    for value in values:
+        if value.startswith("(") or \
+                (value.startswith("L") and value.endswith(";")) or \
+                value.startswith("["):
+            # A descriptor: its class names decompose into tokens and
+            # the structure itself becomes references (no chars).
+            for part in _descriptor_class_names(value):
+                _split_class_name(part, tokens)
+            continue
+        if "/" in value:
+            _split_class_name(value, tokens)
+            continue
+        tokens.add(value)
+    return sum(len(mutf8.encode(token)) + 2 for token in tokens)
+
+
+def _descriptor_class_names(descriptor: str) -> List[str]:
+    names: List[str] = []
+    pos = 0
+    while pos < len(descriptor):
+        char = descriptor[pos]
+        if char == "L":
+            end = descriptor.find(";", pos)
+            if end < 0:
+                break
+            names.append(descriptor[pos + 1:end])
+            pos = end + 1
+        else:
+            pos += 1
+    return names
+
+
+def _split_class_name(name: str, tokens: Set[str]) -> None:
+    if "/" in name:
+        package, simple = name.rsplit("/", 1)
+        tokens.add(package)
+        tokens.add(simple)
+    else:
+        tokens.add(name)
+
+
+def breakdown(classfiles: Iterable[ClassFile]) -> Breakdown:
+    """Compute the Table 2 component breakdown."""
+    result = Breakdown()
+    shared_utf8: Set[str] = set()
+    for classfile in classfiles:
+        pool = classfile.pool
+
+        # Attribute-name Utf8 entries are interned lazily at write
+        # time; intern them now so pool accounting matches the bytes
+        # that serialization would produce.
+        def intern_names(attributes) -> None:
+            for attribute in attributes:
+                pool.utf8(attribute.name)
+                if isinstance(attribute, CodeAttribute):
+                    intern_names(attribute.attributes)
+
+        intern_names(classfile.attributes)
+        for member in list(classfile.fields) + list(classfile.methods):
+            intern_names(member.attributes)
+
+        header = 8  # magic, minor/major version
+        pool_header = 2
+        class_header = 8 + 2 * len(classfile.interfaces) + 6
+        result.total += header + pool_header + class_header
+        for _, entry in pool.entries():
+            size = _entry_size(entry)
+            result.total += size
+            if isinstance(entry, cp.Utf8):
+                result.utf8_entries += size
+                shared_utf8.add(entry.value)
+            else:
+                result.other_constant_pool += size
+        for member in classfile.fields:
+            definition, code_bytes = _member_size(member, pool)
+            result.field_definitions += definition
+            result.code += code_bytes
+            result.total += definition + code_bytes
+        for member in classfile.methods:
+            definition, code_bytes = _member_size(member, pool)
+            result.method_definitions += definition
+            result.code += code_bytes
+            result.total += definition + code_bytes
+        for attribute in classfile.attributes:
+            size = 6 + len(_attribute_body(attribute, pool))
+            result.total += size
+    result.utf8_shared = sum(
+        3 + len(mutf8.encode(value)) for value in shared_utf8)
+    result.utf8_shared_factored = _factored_utf8_chars(shared_utf8)
+    return result

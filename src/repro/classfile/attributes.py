@@ -1,0 +1,150 @@
+"""Typed class-file attributes.
+
+Every attribute the paper's corpus exercises is modeled explicitly;
+anything else survives parsing as a :class:`RawAttribute` (and is
+dropped when packing, per Section 2 of the paper, because constant-pool
+renumbering would invalidate indices buried inside it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+@dataclass
+class ExceptionTableEntry:
+    """One row of a Code attribute's exception table."""
+
+    start_pc: int
+    end_pc: int
+    handler_pc: int
+    #: Constant-pool index of the catch type's Class entry, or 0 for
+    #: a finally-style catch-all handler.
+    catch_type: int
+
+
+@dataclass
+class CodeAttribute:
+    """The Code attribute: bytecode plus exception handlers."""
+
+    max_stack: int
+    max_locals: int
+    code: bytes
+    exception_table: List[ExceptionTableEntry] = field(default_factory=list)
+    attributes: List["Attribute"] = field(default_factory=list)
+
+    name = "Code"
+
+
+@dataclass
+class ConstantValueAttribute:
+    """ConstantValue: constant-pool index of a field's initial value."""
+
+    value_index: int
+
+    name = "ConstantValue"
+
+
+@dataclass
+class ExceptionsAttribute:
+    """Exceptions: declared thrown exception classes (CP indices)."""
+
+    exception_indices: List[int] = field(default_factory=list)
+
+    name = "Exceptions"
+
+
+@dataclass
+class SourceFileAttribute:
+    source_file_index: int
+
+    name = "SourceFile"
+
+
+@dataclass
+class LineNumberEntry:
+    start_pc: int
+    line_number: int
+
+
+@dataclass
+class LineNumberTableAttribute:
+    entries: List[LineNumberEntry] = field(default_factory=list)
+
+    name = "LineNumberTable"
+
+
+@dataclass
+class LocalVariableEntry:
+    start_pc: int
+    length: int
+    name_index: int
+    descriptor_index: int
+    index: int
+
+
+@dataclass
+class LocalVariableTableAttribute:
+    entries: List[LocalVariableEntry] = field(default_factory=list)
+
+    name = "LocalVariableTable"
+
+
+@dataclass
+class SyntheticAttribute:
+    name = "Synthetic"
+
+
+@dataclass
+class DeprecatedAttribute:
+    name = "Deprecated"
+
+
+@dataclass
+class InnerClassEntry:
+    inner_class_index: int
+    outer_class_index: int
+    inner_name_index: int
+    inner_access_flags: int
+
+
+@dataclass
+class InnerClassesAttribute:
+    entries: List[InnerClassEntry] = field(default_factory=list)
+
+    name = "InnerClasses"
+
+
+@dataclass
+class RawAttribute:
+    """An attribute we do not interpret; kept verbatim."""
+
+    raw_name: str
+    data: bytes
+
+    @property
+    def name(self) -> str:
+        return self.raw_name
+
+
+Attribute = Union[
+    CodeAttribute, ConstantValueAttribute, ExceptionsAttribute,
+    SourceFileAttribute, LineNumberTableAttribute,
+    LocalVariableTableAttribute, SyntheticAttribute, DeprecatedAttribute,
+    InnerClassesAttribute, RawAttribute,
+]
+
+
+def find_attribute(attributes: List[Attribute],
+                   name: str) -> Optional[Attribute]:
+    """Return the first attribute called ``name``, or ``None``."""
+    for attribute in attributes:
+        if attribute.name == name:
+            return attribute
+    return None
+
+
+def remove_attributes(attributes: List[Attribute], names) -> List[Attribute]:
+    """Return ``attributes`` without any whose name is in ``names``."""
+    return [a for a in attributes if a.name not in names]

@@ -1,0 +1,355 @@
+"""Bytecode disassembly and assembly.
+
+The disassembler turns the raw ``code[]`` array of a Code attribute
+into a list of :class:`Instruction` objects with *absolute* branch
+targets; the assembler is its inverse.  The pair is bit-faithful for
+canonically encoded code (shortest instruction forms, which is what
+our mini-Java compiler and the packed-format reconstructor both emit);
+non-canonical encodings (e.g. a ``wide iload`` of a small index)
+reassemble to the canonical form with identical semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .io import ByteReader, ByteWriter
+from .opcodes import BY_NAME, OPCODES, WIDE, OperandKind as K, OpSpec
+
+
+class BytecodeError(ValueError):
+    """Raised for malformed bytecode."""
+
+
+@dataclass
+class SwitchData:
+    """Payload of a tableswitch or lookupswitch instruction.
+
+    ``default`` and every target are absolute code offsets.
+    For tableswitch, ``low`` is set and ``pairs`` holds
+    ``(low + i, target)`` rows in order; for lookupswitch ``low`` is
+    ``None`` and ``pairs`` holds sorted ``(match, target)`` rows.
+    """
+
+    default: int
+    low: Optional[int]
+    pairs: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def is_table(self) -> bool:
+        return self.low is not None
+
+
+@dataclass
+class Instruction:
+    """One decoded JVM instruction."""
+
+    opcode: int
+    offset: int = 0
+    #: ``True`` when the instruction used the ``wide`` prefix.
+    wide: bool = False
+    local: Optional[int] = None
+    #: Immediate value (bipush/sipush) or iinc delta.
+    immediate: Optional[int] = None
+    cp_index: Optional[int] = None
+    #: Absolute branch target.
+    target: Optional[int] = None
+    atype: Optional[int] = None
+    dims: Optional[int] = None
+    count: Optional[int] = None
+    switch: Optional[SwitchData] = None
+
+    @property
+    def spec(self) -> OpSpec:
+        return OPCODES[self.opcode]
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{self.offset:4d}: {self.mnemonic}"]
+        for label, value in (("local", self.local),
+                             ("imm", self.immediate),
+                             ("cp", self.cp_index),
+                             ("->", self.target)):
+            if value is not None:
+                parts.append(f"{label} {value}")
+        return " ".join(parts)
+
+
+def _needs_wide(instruction: Instruction) -> bool:
+    """Whether canonical encoding requires the wide prefix."""
+    spec = instruction.spec
+    if K.LOCAL not in spec.operands:
+        return False
+    if instruction.local is not None and instruction.local > 0xFF:
+        return True
+    if spec.mnemonic == "iinc" and instruction.immediate is not None and \
+            not -128 <= instruction.immediate <= 127:
+        return True
+    return False
+
+
+def disassemble(code: bytes) -> List[Instruction]:
+    """Decode ``code[]`` into a list of instructions."""
+    reader = ByteReader(code)
+    instructions: List[Instruction] = []
+    while reader.remaining():
+        offset = reader.pos
+        opcode = reader.u1()
+        wide = False
+        if opcode == WIDE:
+            wide = True
+            opcode = reader.u1()
+        spec = OPCODES.get(opcode)
+        if spec is None:
+            raise BytecodeError(f"unknown opcode {opcode:#x} at {offset}")
+        instruction = Instruction(opcode, offset, wide)
+        if spec.is_switch:
+            instruction.switch = _read_switch(reader, offset, spec)
+            instructions.append(instruction)
+            continue
+        for kind in spec.operands:
+            if kind == K.LOCAL:
+                instruction.local = reader.u2() if wide else reader.u1()
+            elif kind == K.SBYTE:
+                instruction.immediate = reader.s1()
+            elif kind == K.SSHORT:
+                instruction.immediate = reader.s2()
+            elif kind == K.IINC_DELTA:
+                instruction.immediate = reader.s2() if wide else reader.s1()
+            elif kind == K.CP_LDC:
+                instruction.cp_index = reader.u1()
+            elif kind in (K.CP_LDC_W, K.CP_LDC2_W, K.CP_FIELD,
+                          K.CP_METHOD, K.CP_IMETHOD, K.CP_CLASS):
+                instruction.cp_index = reader.u2()
+            elif kind == K.BRANCH2:
+                instruction.target = offset + reader.s2()
+            elif kind == K.BRANCH4:
+                instruction.target = offset + reader.s4()
+            elif kind == K.ATYPE:
+                instruction.atype = reader.u1()
+            elif kind == K.DIMS:
+                instruction.dims = reader.u1()
+            elif kind == K.COUNT:
+                instruction.count = reader.u1()
+            elif kind == K.ZERO:
+                if reader.u1() != 0:
+                    raise BytecodeError(
+                        f"invokeinterface trailing byte not zero at {offset}")
+            else:  # pragma: no cover - exhaustive over kinds
+                raise BytecodeError(f"unhandled operand kind {kind}")
+        instructions.append(instruction)
+    return instructions
+
+
+def _read_switch(reader: ByteReader, offset: int, spec: OpSpec) -> SwitchData:
+    while reader.pos % 4 != 0:
+        if reader.u1() != 0:
+            raise BytecodeError(f"non-zero switch padding at {reader.pos}")
+    default = offset + reader.s4()
+    if spec.mnemonic == "tableswitch":
+        low = reader.s4()
+        high = reader.s4()
+        if high < low:
+            raise BytecodeError("tableswitch high < low")
+        pairs = [(low + i, offset + reader.s4())
+                 for i in range(high - low + 1)]
+        return SwitchData(default, low, pairs)
+    npairs = reader.s4()
+    if npairs < 0:
+        raise BytecodeError("lookupswitch negative npairs")
+    pairs = [(reader.s4(), offset + reader.s4()) for _ in range(npairs)]
+    return SwitchData(default, None, pairs)
+
+
+def _instruction_size(instruction: Instruction, offset: int) -> int:
+    """Size in bytes of the canonical encoding at ``offset``."""
+    spec = instruction.spec
+    if spec.is_switch:
+        padding = (4 - (offset + 1) % 4) % 4
+        if instruction.switch.is_table:
+            return 1 + padding + 12 + 4 * len(instruction.switch.pairs)
+        return 1 + padding + 8 + 8 * len(instruction.switch.pairs)
+    size = 1
+    wide = _needs_wide(instruction)
+    if wide:
+        size += 1
+    for kind in spec.operands:
+        if kind == K.LOCAL:
+            size += 2 if wide else 1
+        elif kind in (K.SBYTE, K.ATYPE, K.DIMS, K.COUNT, K.ZERO, K.CP_LDC):
+            size += 1
+        elif kind == K.IINC_DELTA:
+            size += 2 if wide else 1
+        elif kind in (K.SSHORT, K.BRANCH2, K.CP_LDC_W, K.CP_LDC2_W,
+                      K.CP_FIELD, K.CP_METHOD, K.CP_IMETHOD, K.CP_CLASS):
+            size += 2
+        elif kind == K.BRANCH4:
+            size += 4
+        else:  # pragma: no cover
+            raise BytecodeError(f"unhandled operand kind {kind}")
+    return size
+
+
+def layout(instructions: List[Instruction]) -> Dict[int, int]:
+    """Assign offsets to instructions; returns old_offset -> new_offset.
+
+    Instructions are re-laid-out with canonical sizes.  Because switch
+    padding depends on position, the computation iterates to a fixed
+    point (sizes only ever differ by padding, which converges in at
+    most a few rounds).
+    """
+    old_offsets = [ins.offset for ins in instructions]
+    for _ in range(8):
+        changed = False
+        pos = 0
+        for instruction in instructions:
+            if instruction.offset != pos:
+                instruction.offset = pos
+                changed = True
+            pos += _instruction_size(instruction, pos)
+        if not changed:
+            break
+    else:  # pragma: no cover - convergence is guaranteed
+        raise BytecodeError("instruction layout did not converge")
+    return {old: ins.offset for old, ins in zip(old_offsets, instructions)}
+
+
+def assemble(instructions: List[Instruction],
+             relayout: bool = True) -> bytes:
+    """Encode instructions back into a ``code[]`` byte array.
+
+    With ``relayout`` (the default), instruction offsets and branch
+    targets are recomputed for canonical sizes.  Pass ``relayout=False``
+    only when offsets are already consistent.
+    """
+    if relayout:
+        mapping = layout(instructions)
+        for instruction in instructions:
+            if instruction.target is not None:
+                instruction.target = mapping[instruction.target]
+            if instruction.switch is not None:
+                sw = instruction.switch
+                sw.default = mapping[sw.default]
+                sw.pairs = [(m, mapping[t]) for m, t in sw.pairs]
+    writer = ByteWriter()
+    for instruction in instructions:
+        if writer.buf and len(writer.buf) != instruction.offset:
+            raise BytecodeError(
+                f"offset mismatch: instruction says {instruction.offset}, "
+                f"writer is at {len(writer.buf)}")
+        _write_instruction(writer, instruction)
+    return writer.getvalue()
+
+
+def _write_instruction(writer: ByteWriter, instruction: Instruction) -> None:
+    spec = instruction.spec
+    offset = len(writer.buf)
+    if spec.is_switch:
+        writer.u1(instruction.opcode)
+        while len(writer.buf) % 4 != 0:
+            writer.u1(0)
+        sw = instruction.switch
+        writer.s4(sw.default - offset)
+        if sw.is_table:
+            writer.s4(sw.low)
+            writer.s4(sw.low + len(sw.pairs) - 1)
+            for _, target in sw.pairs:
+                writer.s4(target - offset)
+        else:
+            writer.s4(len(sw.pairs))
+            for match, target in sw.pairs:
+                writer.s4(match)
+                writer.s4(target - offset)
+        return
+    wide = _needs_wide(instruction)
+    if wide:
+        writer.u1(WIDE)
+    writer.u1(instruction.opcode)
+    for kind in spec.operands:
+        if kind == K.LOCAL:
+            if wide:
+                writer.u2(instruction.local)
+            else:
+                writer.u1(instruction.local)
+        elif kind == K.SBYTE:
+            writer.s1(instruction.immediate)
+        elif kind == K.SSHORT:
+            writer.s2(instruction.immediate)
+        elif kind == K.IINC_DELTA:
+            if wide:
+                writer.s2(instruction.immediate)
+            else:
+                writer.s1(instruction.immediate)
+        elif kind == K.CP_LDC:
+            if instruction.cp_index > 0xFF:
+                raise BytecodeError(
+                    f"ldc index {instruction.cp_index} does not fit in a "
+                    "byte; use ldc_w")
+            writer.u1(instruction.cp_index)
+        elif kind in (K.CP_LDC_W, K.CP_LDC2_W, K.CP_FIELD, K.CP_METHOD,
+                      K.CP_IMETHOD, K.CP_CLASS):
+            writer.u2(instruction.cp_index)
+        elif kind == K.BRANCH2:
+            delta = instruction.target - offset
+            if not -0x8000 <= delta <= 0x7FFF:
+                raise BytecodeError(f"branch offset {delta} overflows s2")
+            writer.s2(delta)
+        elif kind == K.BRANCH4:
+            writer.s4(instruction.target - offset)
+        elif kind == K.ATYPE:
+            writer.u1(instruction.atype)
+        elif kind == K.DIMS:
+            writer.u1(instruction.dims)
+        elif kind == K.COUNT:
+            writer.u1(instruction.count)
+        elif kind == K.ZERO:
+            writer.u1(0)
+        else:  # pragma: no cover
+            raise BytecodeError(f"unhandled operand kind {kind}")
+
+
+def make(mnemonic: str, **fields) -> Instruction:
+    """Convenience constructor used by the mini-Java code generator."""
+    spec = BY_NAME[mnemonic]
+    return Instruction(spec.opcode, **fields)
+
+
+def assemble_indexed(instructions: List[Instruction]) -> bytes:
+    """Assemble instructions whose branch targets are *instruction
+    indices* (as produced by the mini-Java code generator) rather than
+    byte offsets.
+
+    Offsets are computed iteratively because switch padding and branch
+    reachability depend on layout.
+    """
+    for _ in range(8):
+        pos = 0
+        changed = False
+        for instruction in instructions:
+            if instruction.offset != pos:
+                instruction.offset = pos
+                changed = True
+            pos += _instruction_size(instruction, pos)
+        if not changed:
+            break
+    else:  # pragma: no cover - convergence is guaranteed
+        raise BytecodeError("indexed layout did not converge")
+    offsets = [ins.offset for ins in instructions]
+
+    def to_offset(index: int) -> int:
+        if not 0 <= index < len(instructions):
+            raise BytecodeError(f"branch to missing instruction {index}")
+        return offsets[index]
+
+    for instruction in instructions:
+        if instruction.target is not None:
+            instruction.target = to_offset(instruction.target)
+        if instruction.switch is not None:
+            sw = instruction.switch
+            sw.default = to_offset(sw.default)
+            sw.pairs = [(m, to_offset(t)) for m, t in sw.pairs]
+    return assemble(instructions, relayout=False)

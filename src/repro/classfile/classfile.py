@@ -1,0 +1,359 @@
+"""Class-file parsing and serialization.
+
+:func:`parse_class` turns raw ``.class`` bytes into a :class:`ClassFile`
+object graph; :func:`write_class` is the exact inverse.  The pair is
+bit-faithful: ``write_class(parse_class(data)) == data`` for any class
+file whose attributes we model (unknown attributes are preserved as raw
+bytes, so the identity holds for them too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from . import constant_pool as cp
+from . import mutf8
+from .attributes import (
+    Attribute,
+    CodeAttribute,
+    ConstantValueAttribute,
+    DeprecatedAttribute,
+    ExceptionTableEntry,
+    ExceptionsAttribute,
+    InnerClassEntry,
+    InnerClassesAttribute,
+    LineNumberEntry,
+    LineNumberTableAttribute,
+    LocalVariableEntry,
+    LocalVariableTableAttribute,
+    RawAttribute,
+    SourceFileAttribute,
+    SyntheticAttribute,
+)
+from .constants import MAGIC, MAJOR_VERSION, MINOR_VERSION, ConstantTag
+from .io import ByteReader, ByteWriter
+from .members import FieldInfo, MethodInfo
+
+
+class ClassFileError(ValueError):
+    """Raised when class-file bytes are malformed."""
+
+
+@dataclass
+class ClassFile:
+    """A parsed class file."""
+
+    minor_version: int = MINOR_VERSION
+    major_version: int = MAJOR_VERSION
+    pool: cp.ConstantPool = field(default_factory=cp.ConstantPool)
+    access_flags: int = 0
+    this_class: int = 0
+    super_class: int = 0
+    interfaces: List[int] = field(default_factory=list)
+    fields: List[FieldInfo] = field(default_factory=list)
+    methods: List[MethodInfo] = field(default_factory=list)
+    attributes: List[Attribute] = field(default_factory=list)
+
+    # -- convenience ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Internal (slash-separated) name of this class."""
+        return self.pool.class_name(self.this_class)
+
+    @property
+    def super_name(self) -> Optional[str]:
+        """Internal name of the superclass, or None for java/lang/Object."""
+        if self.super_class == 0:
+            return None
+        return self.pool.class_name(self.super_class)
+
+    def interface_names(self) -> List[str]:
+        return [self.pool.class_name(i) for i in self.interfaces]
+
+    def member_name(self, member) -> str:
+        return self.pool.utf8_value(member.name_index)
+
+    def member_descriptor(self, member) -> str:
+        return self.pool.utf8_value(member.descriptor_index)
+
+
+# ---------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------
+
+
+def _parse_constant_pool(reader: ByteReader) -> cp.ConstantPool:
+    pool = cp.ConstantPool()
+    count = reader.u2()
+    index = 1
+    while index < count:
+        tag = reader.u1()
+        if tag == ConstantTag.UTF8:
+            length = reader.u2()
+            entry = cp.Utf8(mutf8.decode(reader.raw(length)))
+        elif tag == ConstantTag.INTEGER:
+            entry = cp.IntegerConst(reader.s4())
+        elif tag == ConstantTag.FLOAT:
+            entry = cp.FloatConst(reader.u4())
+        elif tag == ConstantTag.LONG:
+            high = reader.u4()
+            low = reader.u4()
+            raw = (high << 32) | low
+            if raw >= 1 << 63:
+                raw -= 1 << 64
+            entry = cp.LongConst(raw)
+        elif tag == ConstantTag.DOUBLE:
+            high = reader.u4()
+            low = reader.u4()
+            entry = cp.DoubleConst((high << 32) | low)
+        elif tag == ConstantTag.CLASS:
+            entry = cp.ClassInfo(reader.u2())
+        elif tag == ConstantTag.STRING:
+            entry = cp.StringConst(reader.u2())
+        elif tag == ConstantTag.FIELDREF:
+            entry = cp.Fieldref(reader.u2(), reader.u2())
+        elif tag == ConstantTag.METHODREF:
+            entry = cp.Methodref(reader.u2(), reader.u2())
+        elif tag == ConstantTag.INTERFACE_METHODREF:
+            entry = cp.InterfaceMethodref(reader.u2(), reader.u2())
+        elif tag == ConstantTag.NAME_AND_TYPE:
+            entry = cp.NameAndType(reader.u2(), reader.u2())
+        else:
+            raise ClassFileError(f"unknown constant pool tag {tag}")
+        pool.append_raw(entry)
+        index += 1
+        if tag in cp.WIDE_TAGS:
+            pool.append_raw(None)
+            index += 1
+    return pool
+
+
+def _parse_attribute(reader: ByteReader, pool: cp.ConstantPool) -> Attribute:
+    name_index = reader.u2()
+    length = reader.u4()
+    name = pool.utf8_value(name_index)
+    body = ByteReader(reader.raw(length))
+    if name == "Code":
+        max_stack = body.u2()
+        max_locals = body.u2()
+        code_length = body.u4()
+        code = body.raw(code_length)
+        table = [
+            ExceptionTableEntry(body.u2(), body.u2(), body.u2(), body.u2())
+            for _ in range(body.u2())
+        ]
+        nested = [_parse_attribute(body, pool) for _ in range(body.u2())]
+        return CodeAttribute(max_stack, max_locals, code, table, nested)
+    if name == "ConstantValue":
+        return ConstantValueAttribute(body.u2())
+    if name == "Exceptions":
+        return ExceptionsAttribute([body.u2() for _ in range(body.u2())])
+    if name == "SourceFile":
+        return SourceFileAttribute(body.u2())
+    if name == "LineNumberTable":
+        return LineNumberTableAttribute([
+            LineNumberEntry(body.u2(), body.u2())
+            for _ in range(body.u2())
+        ])
+    if name == "LocalVariableTable":
+        return LocalVariableTableAttribute([
+            LocalVariableEntry(body.u2(), body.u2(), body.u2(),
+                               body.u2(), body.u2())
+            for _ in range(body.u2())
+        ])
+    if name == "Synthetic":
+        return SyntheticAttribute()
+    if name == "Deprecated":
+        return DeprecatedAttribute()
+    if name == "InnerClasses":
+        return InnerClassesAttribute([
+            InnerClassEntry(body.u2(), body.u2(), body.u2(), body.u2())
+            for _ in range(body.u2())
+        ])
+    return RawAttribute(name, body.data)
+
+
+def _parse_member(reader: ByteReader, pool: cp.ConstantPool, cls):
+    access_flags = reader.u2()
+    name_index = reader.u2()
+    descriptor_index = reader.u2()
+    attributes = [_parse_attribute(reader, pool) for _ in range(reader.u2())]
+    return cls(access_flags, name_index, descriptor_index, attributes)
+
+
+def parse_class(data: bytes) -> ClassFile:
+    """Parse raw ``.class`` bytes into a :class:`ClassFile`."""
+    reader = ByteReader(data)
+    if reader.u4() != MAGIC:
+        raise ClassFileError("bad magic number (not a class file)")
+    minor = reader.u2()
+    major = reader.u2()
+    pool = _parse_constant_pool(reader)
+    access_flags = reader.u2()
+    this_class = reader.u2()
+    super_class = reader.u2()
+    interfaces = [reader.u2() for _ in range(reader.u2())]
+    fields = [_parse_member(reader, pool, FieldInfo)
+              for _ in range(reader.u2())]
+    methods = [_parse_member(reader, pool, MethodInfo)
+               for _ in range(reader.u2())]
+    attributes = [_parse_attribute(reader, pool) for _ in range(reader.u2())]
+    if reader.remaining():
+        raise ClassFileError(
+            f"{reader.remaining()} trailing bytes after class file")
+    return ClassFile(minor, major, pool, access_flags, this_class,
+                     super_class, interfaces, fields, methods, attributes)
+
+
+# ---------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------
+
+
+def _write_constant_pool(writer: ByteWriter, pool: cp.ConstantPool) -> None:
+    writer.u2(pool.count)
+    for _, entry in pool.entries():
+        writer.u1(entry.tag)
+        if isinstance(entry, cp.Utf8):
+            encoded = mutf8.encode(entry.value)
+            writer.u2(len(encoded))
+            writer.raw(encoded)
+        elif isinstance(entry, cp.IntegerConst):
+            writer.s4(entry.value)
+        elif isinstance(entry, cp.FloatConst):
+            writer.u4(entry.bits)
+        elif isinstance(entry, cp.LongConst):
+            raw = entry.value & 0xFFFFFFFFFFFFFFFF
+            writer.u4(raw >> 32)
+            writer.u4(raw & 0xFFFFFFFF)
+        elif isinstance(entry, cp.DoubleConst):
+            writer.u4(entry.bits >> 32)
+            writer.u4(entry.bits & 0xFFFFFFFF)
+        elif isinstance(entry, cp.ClassInfo):
+            writer.u2(entry.name_index)
+        elif isinstance(entry, cp.StringConst):
+            writer.u2(entry.utf8_index)
+        elif isinstance(entry, (cp.Fieldref, cp.Methodref,
+                                cp.InterfaceMethodref)):
+            writer.u2(entry.class_index)
+            writer.u2(entry.name_and_type_index)
+        elif isinstance(entry, cp.NameAndType):
+            writer.u2(entry.name_index)
+            writer.u2(entry.descriptor_index)
+        else:  # pragma: no cover - exhaustive over Entry
+            raise ClassFileError(f"cannot write entry {entry!r}")
+
+
+def _attribute_body(attribute: Attribute, pool: cp.ConstantPool) -> bytes:
+    body = ByteWriter()
+    if isinstance(attribute, CodeAttribute):
+        body.u2(attribute.max_stack)
+        body.u2(attribute.max_locals)
+        body.u4(len(attribute.code))
+        body.raw(attribute.code)
+        body.u2(len(attribute.exception_table))
+        for entry in attribute.exception_table:
+            body.u2(entry.start_pc)
+            body.u2(entry.end_pc)
+            body.u2(entry.handler_pc)
+            body.u2(entry.catch_type)
+        body.u2(len(attribute.attributes))
+        for nested in attribute.attributes:
+            _write_attribute(body, nested, pool)
+    elif isinstance(attribute, ConstantValueAttribute):
+        body.u2(attribute.value_index)
+    elif isinstance(attribute, ExceptionsAttribute):
+        body.u2(len(attribute.exception_indices))
+        for index in attribute.exception_indices:
+            body.u2(index)
+    elif isinstance(attribute, SourceFileAttribute):
+        body.u2(attribute.source_file_index)
+    elif isinstance(attribute, LineNumberTableAttribute):
+        body.u2(len(attribute.entries))
+        for entry in attribute.entries:
+            body.u2(entry.start_pc)
+            body.u2(entry.line_number)
+    elif isinstance(attribute, LocalVariableTableAttribute):
+        body.u2(len(attribute.entries))
+        for entry in attribute.entries:
+            body.u2(entry.start_pc)
+            body.u2(entry.length)
+            body.u2(entry.name_index)
+            body.u2(entry.descriptor_index)
+            body.u2(entry.index)
+    elif isinstance(attribute, (SyntheticAttribute, DeprecatedAttribute)):
+        pass
+    elif isinstance(attribute, InnerClassesAttribute):
+        body.u2(len(attribute.entries))
+        for entry in attribute.entries:
+            body.u2(entry.inner_class_index)
+            body.u2(entry.outer_class_index)
+            body.u2(entry.inner_name_index)
+            body.u2(entry.inner_access_flags)
+    elif isinstance(attribute, RawAttribute):
+        body.raw(attribute.data)
+    else:  # pragma: no cover - exhaustive over Attribute
+        raise ClassFileError(f"cannot write attribute {attribute!r}")
+    return body.getvalue()
+
+
+def _write_attribute(writer: ByteWriter, attribute: Attribute,
+                     pool: cp.ConstantPool) -> None:
+    name_index = pool.add(cp.Utf8(attribute.name))
+    payload = _attribute_body(attribute, pool)
+    writer.u2(name_index)
+    writer.u4(len(payload))
+    writer.raw(payload)
+
+
+def _write_member(writer: ByteWriter, member, pool: cp.ConstantPool) -> None:
+    writer.u2(member.access_flags)
+    writer.u2(member.name_index)
+    writer.u2(member.descriptor_index)
+    writer.u2(len(member.attributes))
+    for attribute in member.attributes:
+        _write_attribute(writer, attribute, pool)
+
+
+def write_class(classfile: ClassFile) -> bytes:
+    """Serialize a :class:`ClassFile` to ``.class`` bytes.
+
+    Attribute-name Utf8 entries must already be present in the pool
+    (the parser guarantees this; builders use
+    :meth:`ConstantPool.utf8` before attaching attributes).
+    """
+    # Attribute names are interned up front so writing the constant
+    # pool (which comes first in the file) already includes them.
+    def intern_names(attributes: List[Attribute]) -> None:
+        for attribute in attributes:
+            classfile.pool.utf8(attribute.name)
+            if isinstance(attribute, CodeAttribute):
+                intern_names(attribute.attributes)
+
+    intern_names(classfile.attributes)
+    for member in list(classfile.fields) + list(classfile.methods):
+        intern_names(member.attributes)
+
+    writer = ByteWriter()
+    writer.u4(MAGIC)
+    writer.u2(classfile.minor_version)
+    writer.u2(classfile.major_version)
+    _write_constant_pool(writer, classfile.pool)
+    writer.u2(classfile.access_flags)
+    writer.u2(classfile.this_class)
+    writer.u2(classfile.super_class)
+    writer.u2(len(classfile.interfaces))
+    for interface in classfile.interfaces:
+        writer.u2(interface)
+    writer.u2(len(classfile.fields))
+    for member in classfile.fields:
+        _write_member(writer, member, classfile.pool)
+    writer.u2(len(classfile.methods))
+    for member in classfile.methods:
+        _write_member(writer, member, classfile.pool)
+    writer.u2(len(classfile.attributes))
+    for attribute in classfile.attributes:
+        _write_attribute(writer, attribute, classfile.pool)
+    return writer.getvalue()

@@ -1,0 +1,252 @@
+"""Constant-pool model: entries, the pool container, and resolution.
+
+The pool is index-addressed exactly as in a class file: valid indices
+run from 1 to ``count - 1``, and ``Long``/``Double`` entries occupy two
+slots (the second slot is unusable — represented here as ``None``).
+
+Entries are plain hashable dataclasses so they can be deduplicated,
+sorted and used as dictionary keys by the transforms in
+:mod:`repro.classfile.transform` and by the packed-format builder.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from .constants import ConstantTag
+
+
+@dataclass(frozen=True)
+class Utf8(object):
+    value: str
+    tag = ConstantTag.UTF8
+
+
+@dataclass(frozen=True)
+class IntegerConst(object):
+    value: int
+    tag = ConstantTag.INTEGER
+
+
+@dataclass(frozen=True)
+class FloatConst(object):
+    #: Raw IEEE-754 bits, not a Python float: this keeps NaN payloads
+    #: and -0.0 exact through every roundtrip.
+    bits: int
+    tag = ConstantTag.FLOAT
+
+    @classmethod
+    def from_float(cls, value: float) -> "FloatConst":
+        return cls(struct.unpack(">I", struct.pack(">f", value))[0])
+
+    @property
+    def value(self) -> float:
+        return struct.unpack(">f", struct.pack(">I", self.bits))[0]
+
+
+@dataclass(frozen=True)
+class LongConst(object):
+    value: int
+    tag = ConstantTag.LONG
+
+
+@dataclass(frozen=True)
+class DoubleConst(object):
+    #: Raw IEEE-754 bits (see :class:`FloatConst`).
+    bits: int
+    tag = ConstantTag.DOUBLE
+
+    @classmethod
+    def from_float(cls, value: float) -> "DoubleConst":
+        return cls(struct.unpack(">Q", struct.pack(">d", value))[0])
+
+    @property
+    def value(self) -> float:
+        return struct.unpack(">d", struct.pack(">Q", self.bits))[0]
+
+
+@dataclass(frozen=True)
+class ClassInfo(object):
+    name_index: int
+    tag = ConstantTag.CLASS
+
+
+@dataclass(frozen=True)
+class StringConst(object):
+    utf8_index: int
+    tag = ConstantTag.STRING
+
+
+@dataclass(frozen=True)
+class Fieldref(object):
+    class_index: int
+    name_and_type_index: int
+    tag = ConstantTag.FIELDREF
+
+
+@dataclass(frozen=True)
+class Methodref(object):
+    class_index: int
+    name_and_type_index: int
+    tag = ConstantTag.METHODREF
+
+
+@dataclass(frozen=True)
+class InterfaceMethodref(object):
+    class_index: int
+    name_and_type_index: int
+    tag = ConstantTag.INTERFACE_METHODREF
+
+
+@dataclass(frozen=True)
+class NameAndType(object):
+    name_index: int
+    descriptor_index: int
+    tag = ConstantTag.NAME_AND_TYPE
+
+
+Entry = Union[
+    Utf8, IntegerConst, FloatConst, LongConst, DoubleConst,
+    ClassInfo, StringConst, Fieldref, Methodref, InterfaceMethodref,
+    NameAndType,
+]
+
+#: Entry kinds that occupy two constant-pool slots.
+WIDE_TAGS = (ConstantTag.LONG, ConstantTag.DOUBLE)
+
+#: Entry kinds loadable by the LDC instruction (single-slot loadables).
+LDC_TAGS = (ConstantTag.INTEGER, ConstantTag.FLOAT, ConstantTag.STRING)
+
+
+class ConstantPool:
+    """A mutable constant pool with interning helpers."""
+
+    def __init__(self):
+        # Slot 0 is the traditional unusable slot.
+        self._entries: List[Optional[Entry]] = [None]
+        self._intern: Dict[Entry, int] = {}
+
+    # -- basic container protocol ------------------------------------
+
+    @property
+    def count(self) -> int:
+        """The ``constant_pool_count`` as written in a class file."""
+        return len(self._entries)
+
+    def __getitem__(self, index: int) -> Entry:
+        if not 1 <= index < len(self._entries):
+            raise IndexError(f"constant pool index {index} out of range")
+        entry = self._entries[index]
+        if entry is None:
+            raise IndexError(
+                f"constant pool index {index} is the unusable second slot "
+                "of a long/double entry")
+        return entry
+
+    def entries(self) -> Iterator[Tuple[int, Entry]]:
+        """Iterate ``(index, entry)`` pairs, skipping unusable slots."""
+        for index, entry in enumerate(self._entries):
+            if entry is not None:
+                yield index, entry
+
+    def slots(self) -> List[Optional[Entry]]:
+        """The raw slot list including ``None`` placeholders."""
+        return list(self._entries)
+
+    # -- construction --------------------------------------------------
+
+    def add(self, entry: Entry) -> int:
+        """Intern ``entry``, returning its (possibly existing) index."""
+        existing = self._intern.get(entry)
+        if existing is not None:
+            return existing
+        index = len(self._entries)
+        self._entries.append(entry)
+        if entry.tag in WIDE_TAGS:
+            self._entries.append(None)
+        self._intern[entry] = index
+        return index
+
+    def append_raw(self, entry: Optional[Entry]) -> None:
+        """Append a slot without interning (used by the parser)."""
+        if entry is not None and entry not in self._intern:
+            self._intern[entry] = len(self._entries)
+        self._entries.append(entry)
+
+    # -- typed interning helpers ---------------------------------------
+
+    def utf8(self, value: str) -> int:
+        return self.add(Utf8(value))
+
+    def class_info(self, binary_name: str) -> int:
+        return self.add(ClassInfo(self.utf8(binary_name)))
+
+    def string(self, value: str) -> int:
+        return self.add(StringConst(self.utf8(value)))
+
+    def integer(self, value: int) -> int:
+        return self.add(IntegerConst(value))
+
+    def float_const(self, value: float) -> int:
+        return self.add(FloatConst.from_float(value))
+
+    def long_const(self, value: int) -> int:
+        return self.add(LongConst(value))
+
+    def double_const(self, value: float) -> int:
+        return self.add(DoubleConst.from_float(value))
+
+    def name_and_type(self, name: str, descriptor: str) -> int:
+        return self.add(NameAndType(self.utf8(name), self.utf8(descriptor)))
+
+    def fieldref(self, owner: str, name: str, descriptor: str) -> int:
+        return self.add(Fieldref(
+            self.class_info(owner), self.name_and_type(name, descriptor)))
+
+    def methodref(self, owner: str, name: str, descriptor: str) -> int:
+        return self.add(Methodref(
+            self.class_info(owner), self.name_and_type(name, descriptor)))
+
+    def interface_methodref(
+            self, owner: str, name: str, descriptor: str) -> int:
+        return self.add(InterfaceMethodref(
+            self.class_info(owner), self.name_and_type(name, descriptor)))
+
+    # -- resolution -----------------------------------------------------
+
+    def utf8_value(self, index: int) -> str:
+        entry = self[index]
+        if not isinstance(entry, Utf8):
+            raise TypeError(f"index {index} is {type(entry).__name__},"
+                            " expected Utf8")
+        return entry.value
+
+    def class_name(self, index: int) -> str:
+        entry = self[index]
+        if not isinstance(entry, ClassInfo):
+            raise TypeError(f"index {index} is {type(entry).__name__},"
+                            " expected Class")
+        return self.utf8_value(entry.name_index)
+
+    def string_value(self, index: int) -> str:
+        entry = self[index]
+        if not isinstance(entry, StringConst):
+            raise TypeError(f"index {index} is {type(entry).__name__},"
+                            " expected String")
+        return self.utf8_value(entry.utf8_index)
+
+    def member_ref(self, index: int) -> Tuple[str, str, str]:
+        """Resolve a Fieldref/Methodref/InterfaceMethodref to
+        ``(owner_class, name, descriptor)``."""
+        entry = self[index]
+        if not isinstance(entry, (Fieldref, Methodref, InterfaceMethodref)):
+            raise TypeError(f"index {index} is {type(entry).__name__},"
+                            " expected a member reference")
+        owner = self.class_name(entry.class_index)
+        nat = self[entry.name_and_type_index]
+        if not isinstance(nat, NameAndType):
+            raise TypeError("member reference does not point at NameAndType")
+        return owner, self.utf8_value(nat.name_index), self.utf8_value(
+            nat.descriptor_index)

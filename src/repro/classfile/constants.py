@@ -1,0 +1,110 @@
+"""JVM class-file constants: magic, constant-pool tags, and access flags.
+
+These values come from the JVM specification (second edition, the one
+current at the time of the paper).  They are shared by the parser
+(:mod:`repro.classfile.classfile`), the writer, and every transform.
+"""
+
+from __future__ import annotations
+
+MAGIC = 0xCAFEBABE
+
+# Class-file version written by our mini-Java compiler: JDK 1.2 era
+# (major 46 = Java 1.2), matching the paper's corpus.
+MAJOR_VERSION = 46
+MINOR_VERSION = 0
+
+
+class ConstantTag:
+    """Constant-pool entry tags (JVM spec table 4.3)."""
+
+    UTF8 = 1
+    INTEGER = 3
+    FLOAT = 4
+    LONG = 5
+    DOUBLE = 6
+    CLASS = 7
+    STRING = 8
+    FIELDREF = 9
+    METHODREF = 10
+    INTERFACE_METHODREF = 11
+    NAME_AND_TYPE = 12
+
+    #: Human-readable names, used by analysis and error messages.
+    NAMES = {
+        UTF8: "Utf8",
+        INTEGER: "Integer",
+        FLOAT: "Float",
+        LONG: "Long",
+        DOUBLE: "Double",
+        CLASS: "Class",
+        STRING: "String",
+        FIELDREF: "Fieldref",
+        METHODREF: "Methodref",
+        INTERFACE_METHODREF: "InterfaceMethodref",
+        NAME_AND_TYPE: "NameAndType",
+    }
+
+    #: Deterministic sort order used when the constant pool is sorted by
+    #: type (one of the paper's Section 2 preprocessing steps).  The
+    #: LDC-loadable kinds (Integer, Float, String) sort first so they
+    #: receive the smallest indices, which keeps LDC instructions
+    #: encodable in one byte (the Section 9 constraint).
+    SORT_ORDER = {
+        INTEGER: 0,
+        FLOAT: 1,
+        STRING: 2,
+        LONG: 3,
+        DOUBLE: 4,
+        CLASS: 5,
+        FIELDREF: 6,
+        METHODREF: 7,
+        INTERFACE_METHODREF: 8,
+        NAME_AND_TYPE: 9,
+        UTF8: 10,
+    }
+
+
+class AccessFlags:
+    """Access and property flags for classes, fields, and methods."""
+
+    PUBLIC = 0x0001
+    PRIVATE = 0x0002
+    PROTECTED = 0x0004
+    STATIC = 0x0008
+    FINAL = 0x0010
+    SUPER = 0x0020  # class
+    SYNCHRONIZED = 0x0020  # method
+    VOLATILE = 0x0040
+    TRANSIENT = 0x0080
+    NATIVE = 0x0100
+    INTERFACE = 0x0200
+    ABSTRACT = 0x0400
+    STRICT = 0x0800
+
+    #: Mask of the flag bits defined by the JVM spec; the packed format
+    #: (Section 4 of the paper) uses bits above this mask to signal the
+    #: presence of specific attributes.
+    SPEC_MASK = 0x0FFF
+
+
+#: Attribute names stripped by the Section 2 preprocessing (debugging
+#: information excluded from wire formats).
+DEBUG_ATTRIBUTES = frozenset(
+    {"LineNumberTable", "LocalVariableTable", "SourceFile"}
+)
+
+#: Attribute names the packed format understands.  Anything else is
+#: dropped during packing because constant-pool renumbering would break
+#: references inside unrecognized attributes (paper, Section 2).
+RECOGNIZED_ATTRIBUTES = frozenset(
+    {
+        "Code",
+        "ConstantValue",
+        "Exceptions",
+        "Synthetic",
+        "Deprecated",
+        "InnerClasses",
+    }
+    | DEBUG_ATTRIBUTES
+)

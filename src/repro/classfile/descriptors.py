@@ -1,0 +1,105 @@
+"""Field and method descriptor parsing and construction.
+
+Descriptors are the JVM's string encoding of types, e.g.
+``(Ljava/lang/String;I)V`` for a method taking a String and an int and
+returning void.  Section 4 of the paper replaces these strings with
+arrays of class references in the packed format; this module is the
+bridge in both directions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+PRIMITIVES = frozenset("BCDFIJSZV")
+
+#: Descriptor characters of types occupying two JVM stack/local slots.
+WIDE_PRIMITIVES = frozenset("DJ")
+
+
+class DescriptorError(ValueError):
+    """Raised for malformed descriptors."""
+
+
+def _parse_one(descriptor: str, pos: int) -> Tuple[str, int]:
+    """Parse one type starting at ``pos``; return ``(type, new_pos)``."""
+    if pos >= len(descriptor):
+        raise DescriptorError(f"truncated descriptor: {descriptor!r}")
+    start = pos
+    while pos < len(descriptor) and descriptor[pos] == "[":
+        pos += 1
+    if pos >= len(descriptor):
+        raise DescriptorError(f"truncated array descriptor: {descriptor!r}")
+    char = descriptor[pos]
+    if char in PRIMITIVES:
+        return descriptor[start:pos + 1], pos + 1
+    if char == "L":
+        end = descriptor.find(";", pos)
+        if end < 0:
+            raise DescriptorError(
+                f"unterminated class type in descriptor: {descriptor!r}")
+        return descriptor[start:end + 1], end + 1
+    raise DescriptorError(
+        f"bad type character {char!r} in descriptor: {descriptor!r}")
+
+
+def parse_field_descriptor(descriptor: str) -> str:
+    """Validate a field descriptor; returns it unchanged."""
+    parsed, pos = _parse_one(descriptor, 0)
+    if pos != len(descriptor):
+        raise DescriptorError(f"trailing junk in descriptor: {descriptor!r}")
+    if parsed.lstrip("[").startswith("V"):
+        raise DescriptorError("void is not a valid field type")
+    return parsed
+
+
+def parse_method_descriptor(descriptor: str) -> Tuple[List[str], str]:
+    """Split a method descriptor into ``(argument_types, return_type)``."""
+    if not descriptor.startswith("("):
+        raise DescriptorError(f"method descriptor must start with '(':"
+                              f" {descriptor!r}")
+    pos = 1
+    args: List[str] = []
+    while pos < len(descriptor) and descriptor[pos] != ")":
+        arg, pos = _parse_one(descriptor, pos)
+        args.append(arg)
+    if pos >= len(descriptor):
+        raise DescriptorError(f"unterminated argument list: {descriptor!r}")
+    pos += 1  # skip ')'
+    ret, pos = _parse_one(descriptor, pos)
+    if pos != len(descriptor):
+        raise DescriptorError(f"trailing junk in descriptor: {descriptor!r}")
+    return args, ret
+
+
+def build_method_descriptor(args: List[str], ret: str) -> str:
+    """Inverse of :func:`parse_method_descriptor`."""
+    return "(" + "".join(args) + ")" + ret
+
+
+def slot_width(type_descriptor: str) -> int:
+    """Number of local-variable/stack slots a value of this type uses."""
+    return 2 if type_descriptor in ("J", "D") else 1
+
+
+def argument_slots(descriptor: str, static: bool) -> int:
+    """Number of local slots consumed by the arguments of a method."""
+    args, _ = parse_method_descriptor(descriptor)
+    slots = 0 if static else 1
+    for arg in args:
+        slots += slot_width(arg)
+    return slots
+
+
+def class_name_of(type_descriptor: str) -> str:
+    """Extract the internal class name from an ``L...;`` descriptor."""
+    if not (type_descriptor.startswith("L") and
+            type_descriptor.endswith(";")):
+        raise DescriptorError(
+            f"not an object type descriptor: {type_descriptor!r}")
+    return type_descriptor[1:-1]
+
+
+def object_descriptor(internal_name: str) -> str:
+    """Wrap an internal class name as an ``L...;`` descriptor."""
+    return f"L{internal_name};"

@@ -1,0 +1,80 @@
+"""Big-endian binary readers and writers for class-file structures."""
+
+from __future__ import annotations
+
+import struct
+
+
+class ByteReader:
+    """A cursor over big-endian class-file bytes."""
+
+    def __init__(self, data: bytes, pos: int = 0):
+        self.data = data
+        self.pos = pos
+
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+    def _take(self, count: int) -> bytes:
+        if self.pos + count > len(self.data):
+            raise ValueError(
+                f"truncated class file: wanted {count} bytes at offset "
+                f"{self.pos}, have {len(self.data) - self.pos}")
+        chunk = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return chunk
+
+    def u1(self) -> int:
+        return self._take(1)[0]
+
+    def u2(self) -> int:
+        return struct.unpack(">H", self._take(2))[0]
+
+    def u4(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def s1(self) -> int:
+        return struct.unpack(">b", self._take(1))[0]
+
+    def s2(self) -> int:
+        return struct.unpack(">h", self._take(2))[0]
+
+    def s4(self) -> int:
+        return struct.unpack(">i", self._take(4))[0]
+
+    def raw(self, count: int) -> bytes:
+        return self._take(count)
+
+
+class ByteWriter:
+    """An append-only big-endian byte builder."""
+
+    def __init__(self):
+        self.buf = bytearray()
+
+    def __len__(self) -> int:
+        return len(self.buf)
+
+    def u1(self, value: int) -> None:
+        self.buf.append(value & 0xFF)
+
+    def u2(self, value: int) -> None:
+        self.buf.extend(struct.pack(">H", value & 0xFFFF))
+
+    def u4(self, value: int) -> None:
+        self.buf.extend(struct.pack(">I", value & 0xFFFFFFFF))
+
+    def s1(self, value: int) -> None:
+        self.buf.extend(struct.pack(">b", value))
+
+    def s2(self, value: int) -> None:
+        self.buf.extend(struct.pack(">h", value))
+
+    def s4(self, value: int) -> None:
+        self.buf.extend(struct.pack(">i", value))
+
+    def raw(self, data: bytes) -> None:
+        self.buf.extend(data)
+
+    def getvalue(self) -> bytes:
+        return bytes(self.buf)

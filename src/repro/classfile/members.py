@@ -1,0 +1,33 @@
+"""Field and method member records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .attributes import Attribute, CodeAttribute, find_attribute
+
+
+@dataclass
+class MemberInfo:
+    """Common shape of ``field_info`` and ``method_info`` records."""
+
+    access_flags: int
+    name_index: int
+    descriptor_index: int
+    attributes: List[Attribute] = field(default_factory=list)
+
+    def code(self) -> Optional[CodeAttribute]:
+        """The member's Code attribute, if any (methods only)."""
+        attribute = find_attribute(self.attributes, "Code")
+        if isinstance(attribute, CodeAttribute):
+            return attribute
+        return None
+
+
+class FieldInfo(MemberInfo):
+    """A field_info record."""
+
+
+class MethodInfo(MemberInfo):
+    """A method_info record."""

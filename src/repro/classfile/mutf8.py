@@ -1,0 +1,76 @@
+"""Modified UTF-8, the string encoding used inside class files.
+
+It differs from standard UTF-8 in two ways: U+0000 is encoded as the
+two-byte sequence ``C0 80`` (so encoded strings never contain a NUL
+byte), and supplementary characters are encoded as surrogate pairs,
+each surrogate encoded as three bytes (six bytes total, never the
+four-byte UTF-8 form).
+"""
+
+from __future__ import annotations
+
+
+def encode(text: str) -> bytes:
+    """Encode ``text`` as modified UTF-8."""
+    out = bytearray()
+    for char in text:
+        point = ord(char)
+        if 1 <= point <= 0x7F:
+            out.append(point)
+        elif point == 0 or point <= 0x7FF:
+            out.append(0xC0 | (point >> 6))
+            out.append(0x80 | (point & 0x3F))
+        elif point <= 0xFFFF:
+            out.append(0xE0 | (point >> 12))
+            out.append(0x80 | ((point >> 6) & 0x3F))
+            out.append(0x80 | (point & 0x3F))
+        else:
+            # Supplementary plane: encode as a surrogate pair.
+            point -= 0x10000
+            for surrogate in (0xD800 | (point >> 10),
+                              0xDC00 | (point & 0x3FF)):
+                out.append(0xE0 | (surrogate >> 12))
+                out.append(0x80 | ((surrogate >> 6) & 0x3F))
+                out.append(0x80 | (surrogate & 0x3F))
+    return bytes(out)
+
+
+def decode(data: bytes) -> str:
+    """Decode modified UTF-8 ``data`` to a string."""
+    chars = []
+    units = []
+    pos = 0
+    length = len(data)
+    while pos < length:
+        byte = data[pos]
+        if byte & 0x80 == 0:
+            units.append(byte)
+            pos += 1
+        elif byte & 0xE0 == 0xC0:
+            if pos + 1 >= length:
+                raise ValueError("truncated modified UTF-8 sequence")
+            units.append(((byte & 0x1F) << 6) | (data[pos + 1] & 0x3F))
+            pos += 2
+        elif byte & 0xF0 == 0xE0:
+            if pos + 2 >= length:
+                raise ValueError("truncated modified UTF-8 sequence")
+            units.append(((byte & 0x0F) << 12) |
+                         ((data[pos + 1] & 0x3F) << 6) |
+                         (data[pos + 2] & 0x3F))
+            pos += 3
+        else:
+            raise ValueError(f"invalid modified UTF-8 byte {byte:#x}")
+    # Recombine surrogate pairs into supplementary characters.
+    i = 0
+    while i < len(units):
+        unit = units[i]
+        if 0xD800 <= unit <= 0xDBFF and i + 1 < len(units) and \
+                0xDC00 <= units[i + 1] <= 0xDFFF:
+            low = units[i + 1]
+            chars.append(chr(0x10000 + ((unit - 0xD800) << 10) +
+                             (low - 0xDC00)))
+            i += 2
+        else:
+            chars.append(chr(unit))
+            i += 1
+    return "".join(chars)

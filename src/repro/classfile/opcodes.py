@@ -1,0 +1,287 @@
+"""The complete JVM instruction set (JVM spec, first/second edition).
+
+Each opcode is described by an :class:`OpSpec` carrying its mnemonic and
+a tuple of *operand kinds*.  Operand kinds drive three things:
+
+* the bytecode assembler/disassembler (:mod:`repro.classfile.bytecode`),
+* the stream separation of the packed format (Section 7 of the paper:
+  opcodes, register numbers, integer constants, branch offsets and each
+  kind of constant-pool reference go to separate streams), and
+* constant-pool reference rewriting during transforms.
+
+``tableswitch`` and ``lookupswitch`` have irregular, padded encodings
+and are special-cased by the assembler; their specs use the sentinel
+kinds ``TABLESWITCH`` / ``LOOKUPSWITCH``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+class OperandKind:
+    """Symbolic names for instruction operand kinds."""
+
+    LOCAL = "local"  # unsigned 1-byte local variable index (2 under wide)
+    SBYTE = "sbyte"  # signed 1-byte immediate (bipush)
+    SSHORT = "sshort"  # signed 2-byte immediate (sipush)
+    IINC_DELTA = "iinc_delta"  # signed 1-byte increment (2 under wide)
+    CP_LDC = "cp_ldc"  # 1-byte constant-pool index (int/float/string)
+    CP_LDC_W = "cp_ldc_w"  # 2-byte constant-pool index (int/float/string)
+    CP_LDC2_W = "cp_ldc2_w"  # 2-byte constant-pool index (long/double)
+    CP_FIELD = "cp_field"  # 2-byte Fieldref index
+    CP_METHOD = "cp_method"  # 2-byte Methodref index
+    CP_IMETHOD = "cp_imethod"  # 2-byte InterfaceMethodref index
+    CP_CLASS = "cp_class"  # 2-byte Class index
+    BRANCH2 = "branch2"  # signed 2-byte branch offset
+    BRANCH4 = "branch4"  # signed 4-byte branch offset
+    ATYPE = "atype"  # newarray primitive type code
+    DIMS = "dims"  # multianewarray dimension count
+    ZERO = "zero"  # invokeinterface trailing zero byte
+    COUNT = "count"  # invokeinterface count byte
+    TABLESWITCH = "tableswitch"
+    LOOKUPSWITCH = "lookupswitch"
+
+
+K = OperandKind
+
+#: Operand kinds that reference the constant pool.
+CP_KINDS = frozenset(
+    {K.CP_LDC, K.CP_LDC_W, K.CP_LDC2_W, K.CP_FIELD, K.CP_METHOD,
+     K.CP_IMETHOD, K.CP_CLASS}
+)
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one JVM opcode."""
+
+    opcode: int
+    mnemonic: str
+    operands: Tuple[str, ...] = ()
+
+    @property
+    def is_branch(self) -> bool:
+        return K.BRANCH2 in self.operands or K.BRANCH4 in self.operands
+
+    @property
+    def is_switch(self) -> bool:
+        return self.operands and self.operands[0] in (
+            K.TABLESWITCH, K.LOOKUPSWITCH)
+
+    @property
+    def cp_kind(self) -> Optional[str]:
+        """The constant-pool operand kind, if the opcode has one."""
+        for kind in self.operands:
+            if kind in CP_KINDS:
+                return kind
+        return None
+
+
+def _specs() -> Dict[int, OpSpec]:
+    table: Dict[int, OpSpec] = {}
+
+    def op(code: int, mnemonic: str, *operands: str) -> None:
+        if code in table:  # pragma: no cover - table construction guard
+            raise ValueError(f"duplicate opcode {code:#x}")
+        table[code] = OpSpec(code, mnemonic, tuple(operands))
+
+    op(0x00, "nop")
+    op(0x01, "aconst_null")
+    op(0x02, "iconst_m1")
+    for i in range(6):
+        op(0x03 + i, f"iconst_{i}")
+    op(0x09, "lconst_0")
+    op(0x0A, "lconst_1")
+    op(0x0B, "fconst_0")
+    op(0x0C, "fconst_1")
+    op(0x0D, "fconst_2")
+    op(0x0E, "dconst_0")
+    op(0x0F, "dconst_1")
+    op(0x10, "bipush", K.SBYTE)
+    op(0x11, "sipush", K.SSHORT)
+    op(0x12, "ldc", K.CP_LDC)
+    op(0x13, "ldc_w", K.CP_LDC_W)
+    op(0x14, "ldc2_w", K.CP_LDC2_W)
+    op(0x15, "iload", K.LOCAL)
+    op(0x16, "lload", K.LOCAL)
+    op(0x17, "fload", K.LOCAL)
+    op(0x18, "dload", K.LOCAL)
+    op(0x19, "aload", K.LOCAL)
+    for i in range(4):
+        op(0x1A + i, f"iload_{i}")
+    for i in range(4):
+        op(0x1E + i, f"lload_{i}")
+    for i in range(4):
+        op(0x22 + i, f"fload_{i}")
+    for i in range(4):
+        op(0x26 + i, f"dload_{i}")
+    for i in range(4):
+        op(0x2A + i, f"aload_{i}")
+    op(0x2E, "iaload")
+    op(0x2F, "laload")
+    op(0x30, "faload")
+    op(0x31, "daload")
+    op(0x32, "aaload")
+    op(0x33, "baload")
+    op(0x34, "caload")
+    op(0x35, "saload")
+    op(0x36, "istore", K.LOCAL)
+    op(0x37, "lstore", K.LOCAL)
+    op(0x38, "fstore", K.LOCAL)
+    op(0x39, "dstore", K.LOCAL)
+    op(0x3A, "astore", K.LOCAL)
+    for i in range(4):
+        op(0x3B + i, f"istore_{i}")
+    for i in range(4):
+        op(0x3F + i, f"lstore_{i}")
+    for i in range(4):
+        op(0x43 + i, f"fstore_{i}")
+    for i in range(4):
+        op(0x47 + i, f"dstore_{i}")
+    for i in range(4):
+        op(0x4B + i, f"astore_{i}")
+    op(0x4F, "iastore")
+    op(0x50, "lastore")
+    op(0x51, "fastore")
+    op(0x52, "dastore")
+    op(0x53, "aastore")
+    op(0x54, "bastore")
+    op(0x55, "castore")
+    op(0x56, "sastore")
+    op(0x57, "pop")
+    op(0x58, "pop2")
+    op(0x59, "dup")
+    op(0x5A, "dup_x1")
+    op(0x5B, "dup_x2")
+    op(0x5C, "dup2")
+    op(0x5D, "dup2_x1")
+    op(0x5E, "dup2_x2")
+    op(0x5F, "swap")
+    op(0x60, "iadd")
+    op(0x61, "ladd")
+    op(0x62, "fadd")
+    op(0x63, "dadd")
+    op(0x64, "isub")
+    op(0x65, "lsub")
+    op(0x66, "fsub")
+    op(0x67, "dsub")
+    op(0x68, "imul")
+    op(0x69, "lmul")
+    op(0x6A, "fmul")
+    op(0x6B, "dmul")
+    op(0x6C, "idiv")
+    op(0x6D, "ldiv")
+    op(0x6E, "fdiv")
+    op(0x6F, "ddiv")
+    op(0x70, "irem")
+    op(0x71, "lrem")
+    op(0x72, "frem")
+    op(0x73, "drem")
+    op(0x74, "ineg")
+    op(0x75, "lneg")
+    op(0x76, "fneg")
+    op(0x77, "dneg")
+    op(0x78, "ishl")
+    op(0x79, "lshl")
+    op(0x7A, "ishr")
+    op(0x7B, "lshr")
+    op(0x7C, "iushr")
+    op(0x7D, "lushr")
+    op(0x7E, "iand")
+    op(0x7F, "land")
+    op(0x80, "ior")
+    op(0x81, "lor")
+    op(0x82, "ixor")
+    op(0x83, "lxor")
+    op(0x84, "iinc", K.LOCAL, K.IINC_DELTA)
+    op(0x85, "i2l")
+    op(0x86, "i2f")
+    op(0x87, "i2d")
+    op(0x88, "l2i")
+    op(0x89, "l2f")
+    op(0x8A, "l2d")
+    op(0x8B, "f2i")
+    op(0x8C, "f2l")
+    op(0x8D, "f2d")
+    op(0x8E, "d2i")
+    op(0x8F, "d2l")
+    op(0x90, "d2f")
+    op(0x91, "i2b")
+    op(0x92, "i2c")
+    op(0x93, "i2s")
+    op(0x94, "lcmp")
+    op(0x95, "fcmpl")
+    op(0x96, "fcmpg")
+    op(0x97, "dcmpl")
+    op(0x98, "dcmpg")
+    op(0x99, "ifeq", K.BRANCH2)
+    op(0x9A, "ifne", K.BRANCH2)
+    op(0x9B, "iflt", K.BRANCH2)
+    op(0x9C, "ifge", K.BRANCH2)
+    op(0x9D, "ifgt", K.BRANCH2)
+    op(0x9E, "ifle", K.BRANCH2)
+    op(0x9F, "if_icmpeq", K.BRANCH2)
+    op(0xA0, "if_icmpne", K.BRANCH2)
+    op(0xA1, "if_icmplt", K.BRANCH2)
+    op(0xA2, "if_icmpge", K.BRANCH2)
+    op(0xA3, "if_icmpgt", K.BRANCH2)
+    op(0xA4, "if_icmple", K.BRANCH2)
+    op(0xA5, "if_acmpeq", K.BRANCH2)
+    op(0xA6, "if_acmpne", K.BRANCH2)
+    op(0xA7, "goto", K.BRANCH2)
+    op(0xA8, "jsr", K.BRANCH2)
+    op(0xA9, "ret", K.LOCAL)
+    op(0xAA, "tableswitch", K.TABLESWITCH)
+    op(0xAB, "lookupswitch", K.LOOKUPSWITCH)
+    op(0xAC, "ireturn")
+    op(0xAD, "lreturn")
+    op(0xAE, "freturn")
+    op(0xAF, "dreturn")
+    op(0xB0, "areturn")
+    op(0xB1, "return")
+    op(0xB2, "getstatic", K.CP_FIELD)
+    op(0xB3, "putstatic", K.CP_FIELD)
+    op(0xB4, "getfield", K.CP_FIELD)
+    op(0xB5, "putfield", K.CP_FIELD)
+    op(0xB6, "invokevirtual", K.CP_METHOD)
+    op(0xB7, "invokespecial", K.CP_METHOD)
+    op(0xB8, "invokestatic", K.CP_METHOD)
+    op(0xB9, "invokeinterface", K.CP_IMETHOD, K.COUNT, K.ZERO)
+    op(0xBB, "new", K.CP_CLASS)
+    op(0xBC, "newarray", K.ATYPE)
+    op(0xBD, "anewarray", K.CP_CLASS)
+    op(0xBE, "arraylength")
+    op(0xBF, "athrow")
+    op(0xC0, "checkcast", K.CP_CLASS)
+    op(0xC1, "instanceof", K.CP_CLASS)
+    op(0xC2, "monitorenter")
+    op(0xC3, "monitorexit")
+    op(0xC4, "wide")  # prefix; handled by the assembler
+    op(0xC5, "multianewarray", K.CP_CLASS, K.DIMS)
+    op(0xC6, "ifnull", K.BRANCH2)
+    op(0xC7, "ifnonnull", K.BRANCH2)
+    op(0xC8, "goto_w", K.BRANCH4)
+    op(0xC9, "jsr_w", K.BRANCH4)
+    return table
+
+
+#: opcode value -> spec
+OPCODES: Dict[int, OpSpec] = _specs()
+
+#: mnemonic -> spec
+BY_NAME: Dict[str, OpSpec] = {s.mnemonic: s for s in OPCODES.values()}
+
+WIDE = 0xC4
+
+#: newarray ``atype`` codes -> primitive descriptor character.
+ATYPE_DESCRIPTORS = {
+    4: "Z", 5: "C", 6: "F", 7: "D", 8: "B", 9: "S", 10: "I", 11: "J",
+}
+DESCRIPTOR_ATYPES = {v: k for k, v in ATYPE_DESCRIPTORS.items()}
+
+
+def spec(opcode: int) -> OpSpec:
+    """Return the spec for ``opcode``, raising ``KeyError`` if unknown."""
+    return OPCODES[opcode]

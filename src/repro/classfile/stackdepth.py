@@ -1,0 +1,196 @@
+"""Operand-stack depth analysis (``max_stack`` computation).
+
+Works on decoded instruction lists whose offsets and branch targets
+are byte offsets (i.e. after assembly/layout).  Depth is measured in
+JVM stack *slots* — long and double count as two — matching the
+``max_stack`` field of the Code attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from . import constant_pool as cp
+from .bytecode import Instruction
+from .descriptors import parse_method_descriptor, slot_width
+
+#: mnemonic -> (slots popped, slots pushed) for fixed-effect opcodes.
+_FIXED: Dict[str, Tuple[int, int]] = {}
+
+
+def _init_fixed() -> None:
+    effects = {
+        "nop": (0, 0), "aconst_null": (0, 1),
+        "bipush": (0, 1), "sipush": (0, 1),
+        "ldc": (0, 1), "ldc_w": (0, 1), "ldc2_w": (0, 2),
+        "iaload": (2, 1), "faload": (2, 1), "aaload": (2, 1),
+        "baload": (2, 1), "caload": (2, 1), "saload": (2, 1),
+        "laload": (2, 2), "daload": (2, 2),
+        "iastore": (3, 0), "fastore": (3, 0), "aastore": (3, 0),
+        "bastore": (3, 0), "castore": (3, 0), "sastore": (3, 0),
+        "lastore": (4, 0), "dastore": (4, 0),
+        "pop": (1, 0), "pop2": (2, 0),
+        "dup": (1, 2), "dup_x1": (2, 3), "dup_x2": (3, 4),
+        "dup2": (2, 4), "dup2_x1": (3, 5), "dup2_x2": (4, 6),
+        "swap": (2, 2),
+        "iinc": (0, 0),
+        "lcmp": (4, 1), "fcmpl": (2, 1), "fcmpg": (2, 1),
+        "dcmpl": (4, 1), "dcmpg": (4, 1),
+        "goto": (0, 0), "goto_w": (0, 0),
+        "jsr": (0, 1), "jsr_w": (0, 1), "ret": (0, 0),
+        "tableswitch": (1, 0), "lookupswitch": (1, 0),
+        "ireturn": (1, 0), "freturn": (1, 0), "areturn": (1, 0),
+        "lreturn": (2, 0), "dreturn": (2, 0), "return": (0, 0),
+        "new": (0, 1), "newarray": (1, 1), "anewarray": (1, 1),
+        "arraylength": (1, 1), "athrow": (1, 0),
+        "checkcast": (1, 1), "instanceof": (1, 1),
+        "monitorenter": (1, 0), "monitorexit": (1, 0),
+        "ifnull": (1, 0), "ifnonnull": (1, 0),
+    }
+    for value in range(-1, 6):
+        suffix = "m1" if value == -1 else str(value)
+        effects[f"iconst_{suffix}"] = (0, 1)
+    for name in ("lconst_0", "lconst_1"):
+        effects[name] = (0, 2)
+    for name in ("fconst_0", "fconst_1", "fconst_2"):
+        effects[name] = (0, 1)
+    for name in ("dconst_0", "dconst_1"):
+        effects[name] = (0, 2)
+    for prefix, width in (("i", 1), ("f", 1), ("a", 1), ("l", 2), ("d", 2)):
+        effects[f"{prefix}load"] = (0, width)
+        effects[f"{prefix}store"] = (width, 0)
+        for slot in range(4):
+            effects[f"{prefix}load_{slot}"] = (0, width)
+            effects[f"{prefix}store_{slot}"] = (width, 0)
+    for op in ("add", "sub", "mul", "div", "rem"):
+        for prefix, width in (("i", 1), ("f", 1)):
+            effects[f"{prefix}{op}"] = (2 * width, width)
+        for prefix, width in (("l", 2), ("d", 2)):
+            effects[f"{prefix}{op}"] = (2 * width, width)
+    for prefix, width in (("i", 1), ("f", 1), ("l", 2), ("d", 2)):
+        effects[f"{prefix}neg"] = (width, width)
+    for op in ("and", "or", "xor"):
+        effects[f"i{op}"] = (2, 1)
+        effects[f"l{op}"] = (4, 2)
+    for op in ("shl", "shr", "ushr"):
+        effects[f"i{op}"] = (2, 1)
+        effects[f"l{op}"] = (3, 2)
+    conversions = {
+        "i2l": (1, 2), "i2f": (1, 1), "i2d": (1, 2),
+        "l2i": (2, 1), "l2f": (2, 1), "l2d": (2, 2),
+        "f2i": (1, 1), "f2l": (1, 2), "f2d": (1, 2),
+        "d2i": (2, 1), "d2l": (2, 2), "d2f": (2, 1),
+        "i2b": (1, 1), "i2c": (1, 1), "i2s": (1, 1),
+    }
+    effects.update(conversions)
+    for name in ("ifeq", "ifne", "iflt", "ifge", "ifgt", "ifle"):
+        effects[name] = (1, 0)
+    for name in ("if_icmpeq", "if_icmpne", "if_icmplt", "if_icmpge",
+                 "if_icmpgt", "if_icmple", "if_acmpeq", "if_acmpne"):
+        effects[name] = (2, 0)
+    _FIXED.update(effects)
+
+
+_init_fixed()
+
+#: Mnemonics after which control does not fall through.
+TERMINATORS = frozenset({
+    "goto", "goto_w", "athrow", "ret", "tableswitch", "lookupswitch",
+    "ireturn", "lreturn", "freturn", "dreturn", "areturn", "return",
+})
+
+
+def stack_effect(instruction: Instruction,
+                 pool: cp.ConstantPool) -> Tuple[int, int]:
+    """``(slots popped, slots pushed)`` for one instruction."""
+    mnemonic = instruction.mnemonic
+    fixed = _FIXED.get(mnemonic)
+    if fixed is not None:
+        return fixed
+    if mnemonic in ("getstatic", "getfield", "putstatic", "putfield"):
+        _, _, descriptor = pool.member_ref(instruction.cp_index)
+        width = slot_width(descriptor)
+        if mnemonic == "getstatic":
+            return (0, width)
+        if mnemonic == "getfield":
+            return (1, width)
+        if mnemonic == "putstatic":
+            return (width, 0)
+        return (1 + width, 0)
+    if mnemonic in ("invokevirtual", "invokespecial", "invokestatic",
+                    "invokeinterface"):
+        _, _, descriptor = pool.member_ref(instruction.cp_index)
+        args, ret = parse_method_descriptor(descriptor)
+        pops = sum(slot_width(a) for a in args)
+        if mnemonic != "invokestatic":
+            pops += 1
+        pushes = 0 if ret == "V" else slot_width(ret)
+        return (pops, pushes)
+    if mnemonic == "multianewarray":
+        return (instruction.dims, 1)
+    raise ValueError(f"no stack effect known for {mnemonic}")
+
+
+def successors(instruction: Instruction, next_offset: int) -> List[int]:
+    """Offsets of the possible successors of ``instruction``."""
+    mnemonic = instruction.mnemonic
+    targets: List[int] = []
+    if instruction.switch is not None:
+        targets.append(instruction.switch.default)
+        targets.extend(t for _, t in instruction.switch.pairs)
+        return targets
+    if instruction.target is not None:
+        targets.append(instruction.target)
+    if mnemonic not in TERMINATORS:
+        targets.append(next_offset)
+    return targets
+
+
+def compute_max_stack(instructions: List[Instruction],
+                      pool: cp.ConstantPool,
+                      handler_offsets: Iterable[int] = ()) -> int:
+    """Worklist computation of the maximum operand-stack depth.
+
+    ``instructions`` must already carry byte offsets and byte-offset
+    branch targets.  Exception handlers are entered with depth 1 (the
+    thrown exception).
+    """
+    if not instructions:
+        return 0
+    by_offset = {ins.offset: i for i, ins in enumerate(instructions)}
+    depth_at: Dict[int, int] = {instructions[0].offset: 0}
+    worklist: List[int] = [instructions[0].offset]
+    for handler in handler_offsets:
+        if handler not in depth_at or depth_at[handler] < 1:
+            depth_at[handler] = 1
+            worklist.append(handler)
+    max_depth = 0
+    while worklist:
+        offset = worklist.pop()
+        index = by_offset.get(offset)
+        if index is None:
+            raise ValueError(f"branch into the middle of an instruction "
+                             f"at offset {offset}")
+        depth = depth_at[offset]
+        instruction = instructions[index]
+        pops, pushes = stack_effect(instruction, pool)
+        if depth < pops:
+            raise ValueError(
+                f"stack underflow at {offset} ({instruction.mnemonic}): "
+                f"depth {depth}, pops {pops}")
+        depth = depth - pops + pushes
+        max_depth = max(max_depth, depth)
+        if index + 1 < len(instructions):
+            next_offset = instructions[index + 1].offset
+        else:
+            next_offset = instructions[index].offset + 1_000_000_000
+        for successor in successors(instruction, next_offset):
+            if successor >= next_offset and \
+                    index + 1 >= len(instructions) and \
+                    instruction.mnemonic not in TERMINATORS:
+                raise ValueError("control falls off the end of code")
+            known = depth_at.get(successor)
+            if known is None or known < depth:
+                depth_at[successor] = depth
+                worklist.append(successor)
+    return max_depth

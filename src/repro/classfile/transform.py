@@ -1,0 +1,328 @@
+"""The Section 2 preprocessing transforms.
+
+The paper normalizes its corpus before measuring anything:
+
+* remove ``LineNumberTable``, ``LocalVariableTable`` and ``SourceFile``
+  attributes (debug information),
+* garbage-collect the constant pool (drop unreferenced entries),
+* sort constant-pool entries by type, and Utf8 entries by content.
+
+Together these typically shrink jar files by ~20%, and the sort buys a
+few more percent of zlib compression by clustering similar byte
+patterns.  Everything here rewrites constant-pool indices throughout
+the class file, including inside bytecode (switching ``ldc`` to
+``ldc_w`` and relocating branches when an index no longer fits in one
+byte).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from . import constant_pool as cp
+from .attributes import (
+    Attribute,
+    CodeAttribute,
+    ConstantValueAttribute,
+    ExceptionsAttribute,
+    InnerClassesAttribute,
+    LocalVariableTableAttribute,
+    RawAttribute,
+    SourceFileAttribute,
+)
+from .bytecode import _instruction_size, assemble, disassemble, layout
+from .classfile import ClassFile
+from .constants import DEBUG_ATTRIBUTES, ConstantTag
+from .opcodes import BY_NAME
+
+_LDC = BY_NAME["ldc"].opcode
+_LDC_W = BY_NAME["ldc_w"].opcode
+
+
+def strip_debug_attributes(classfile: ClassFile) -> ClassFile:
+    """Remove the debug attributes, in place; returns the class file."""
+
+    def strip(attributes: List[Attribute]) -> List[Attribute]:
+        kept = []
+        for attribute in attributes:
+            if attribute.name in DEBUG_ATTRIBUTES:
+                continue
+            if isinstance(attribute, CodeAttribute):
+                attribute.attributes = strip(attribute.attributes)
+            kept.append(attribute)
+        return kept
+
+    classfile.attributes = strip(classfile.attributes)
+    for member in list(classfile.fields) + list(classfile.methods):
+        member.attributes = strip(member.attributes)
+    return classfile
+
+
+def _collect_roots(classfile: ClassFile) -> Set[int]:
+    """Constant-pool indices referenced directly by class structures."""
+    roots: Set[int] = set()
+
+    def visit_attributes(attributes: List[Attribute]) -> None:
+        for attribute in attributes:
+            roots.add(classfile.pool.utf8(attribute.name))
+            if isinstance(attribute, CodeAttribute):
+                for instruction in disassemble(attribute.code):
+                    if instruction.cp_index is not None:
+                        roots.add(instruction.cp_index)
+                for entry in attribute.exception_table:
+                    if entry.catch_type:
+                        roots.add(entry.catch_type)
+                visit_attributes(attribute.attributes)
+            elif isinstance(attribute, ConstantValueAttribute):
+                roots.add(attribute.value_index)
+            elif isinstance(attribute, ExceptionsAttribute):
+                roots.update(attribute.exception_indices)
+            elif isinstance(attribute, SourceFileAttribute):
+                roots.add(attribute.source_file_index)
+            elif isinstance(attribute, LocalVariableTableAttribute):
+                for entry in attribute.entries:
+                    roots.add(entry.name_index)
+                    roots.add(entry.descriptor_index)
+            elif isinstance(attribute, InnerClassesAttribute):
+                for entry in attribute.entries:
+                    if entry.inner_class_index:
+                        roots.add(entry.inner_class_index)
+                    if entry.outer_class_index:
+                        roots.add(entry.outer_class_index)
+                    if entry.inner_name_index:
+                        roots.add(entry.inner_name_index)
+
+    roots.add(classfile.this_class)
+    if classfile.super_class:
+        roots.add(classfile.super_class)
+    roots.update(classfile.interfaces)
+    for member in list(classfile.fields) + list(classfile.methods):
+        roots.add(member.name_index)
+        roots.add(member.descriptor_index)
+        visit_attributes(member.attributes)
+    visit_attributes(classfile.attributes)
+    roots.discard(0)
+    return roots
+
+
+def _transitive_closure(pool: cp.ConstantPool, roots: Set[int]) -> Set[int]:
+    live = set()
+    stack = list(roots)
+    while stack:
+        index = stack.pop()
+        if index in live:
+            continue
+        live.add(index)
+        entry = pool[index]
+        for child in _children(entry):
+            stack.append(child)
+    return live
+
+
+def _children(entry: cp.Entry) -> List[int]:
+    if isinstance(entry, cp.ClassInfo):
+        return [entry.name_index]
+    if isinstance(entry, cp.StringConst):
+        return [entry.utf8_index]
+    if isinstance(entry, (cp.Fieldref, cp.Methodref, cp.InterfaceMethodref)):
+        return [entry.class_index, entry.name_and_type_index]
+    if isinstance(entry, cp.NameAndType):
+        return [entry.name_index, entry.descriptor_index]
+    return []
+
+
+def _sort_key(pool: cp.ConstantPool, index: int):
+    """Deterministic ordering: by type, then by content.
+
+    Utf8 entries sort by their text (the paper's "sort UTF constants
+    according to their content"); structured entries sort by the sort
+    keys of their referents so the order is stable under renumbering.
+    """
+    entry = pool[index]
+    type_rank = ConstantTag.SORT_ORDER[entry.tag]
+    if isinstance(entry, cp.Utf8):
+        return (type_rank, entry.value)
+    if isinstance(entry, cp.IntegerConst):
+        return (type_rank, entry.value)
+    if isinstance(entry, cp.FloatConst):
+        return (type_rank, entry.bits)
+    if isinstance(entry, cp.LongConst):
+        return (type_rank, entry.value)
+    if isinstance(entry, cp.DoubleConst):
+        return (type_rank, entry.bits)
+    if isinstance(entry, cp.ClassInfo):
+        return (type_rank, pool.utf8_value(entry.name_index))
+    if isinstance(entry, cp.StringConst):
+        return (type_rank, pool.utf8_value(entry.utf8_index))
+    if isinstance(entry, cp.NameAndType):
+        return (type_rank, pool.utf8_value(entry.name_index),
+                pool.utf8_value(entry.descriptor_index))
+    # Member references: order by class name, member name, descriptor.
+    nat = pool[entry.name_and_type_index]
+    return (type_rank, pool.class_name(entry.class_index),
+            pool.utf8_value(nat.name_index),
+            pool.utf8_value(nat.descriptor_index))
+
+
+def gc_and_sort_pool(classfile: ClassFile) -> ClassFile:
+    """Garbage-collect and sort the constant pool, rewriting all indices."""
+    pool = classfile.pool
+    live = _transitive_closure(pool, _collect_roots(classfile))
+    ordered = sorted(live, key=lambda index: _sort_key(pool, index))
+
+    # First pass: assign new slot numbers (long/double take two slots).
+    index_map: Dict[int, int] = {}
+    next_slot = 1
+    for old_index in ordered:
+        index_map[old_index] = next_slot
+        next_slot += 2 if pool[old_index].tag in cp.WIDE_TAGS else 1
+
+    # Second pass: rebuild each surviving entry so its internal
+    # references use the new numbering.
+    remapped = cp.ConstantPool()
+    for old_index in ordered:
+        entry = pool[old_index]
+        remapped.append_raw(_remap_entry(entry, index_map))
+        if entry.tag in cp.WIDE_TAGS:
+            remapped.append_raw(None)
+
+    classfile.pool = remapped
+    _remap_class_indices(classfile, index_map)
+    return classfile
+
+
+def _remap_entry(entry: cp.Entry, index_map: Dict[int, int]) -> cp.Entry:
+    if isinstance(entry, cp.ClassInfo):
+        return cp.ClassInfo(index_map[entry.name_index])
+    if isinstance(entry, cp.StringConst):
+        return cp.StringConst(index_map[entry.utf8_index])
+    if isinstance(entry, cp.Fieldref):
+        return cp.Fieldref(index_map[entry.class_index],
+                           index_map[entry.name_and_type_index])
+    if isinstance(entry, cp.Methodref):
+        return cp.Methodref(index_map[entry.class_index],
+                            index_map[entry.name_and_type_index])
+    if isinstance(entry, cp.InterfaceMethodref):
+        return cp.InterfaceMethodref(index_map[entry.class_index],
+                                     index_map[entry.name_and_type_index])
+    if isinstance(entry, cp.NameAndType):
+        return cp.NameAndType(index_map[entry.name_index],
+                              index_map[entry.descriptor_index])
+    return entry
+
+
+def remap_code(code: CodeAttribute, index_map: Dict[int, int]) -> None:
+    """Rewrite constant-pool indices inside bytecode, in place.
+
+    Handles the ``ldc``/``ldc_w`` width change: if a remapped index no
+    longer fits in one byte the opcode is widened (and vice versa, a
+    wide load of a now-small index is narrowed), then branches and the
+    exception table are relocated.
+    """
+    instructions = disassemble(code.code)
+    for instruction in instructions:
+        if instruction.cp_index is None:
+            continue
+        new_index = index_map[instruction.cp_index]
+        instruction.cp_index = new_index
+        if instruction.opcode == _LDC and new_index > 0xFF:
+            instruction.opcode = _LDC_W
+        elif instruction.opcode == _LDC_W and new_index <= 0xFF:
+            instruction.opcode = _LDC
+    end = len(code.code)
+    mapping = layout(instructions)
+    # end_pc may point one past the last instruction; map it to the new
+    # end of code.
+    new_end = 0
+    for instruction in instructions:
+        new_end = instruction.offset + _instruction_size(
+            instruction, instruction.offset)
+    mapping[end] = new_end
+    for instruction in instructions:
+        if instruction.target is not None:
+            instruction.target = mapping[instruction.target]
+        if instruction.switch is not None:
+            sw = instruction.switch
+            sw.default = mapping[sw.default]
+            sw.pairs = [(m, mapping[t]) for m, t in sw.pairs]
+    code.code = assemble(instructions, relayout=False)
+    for entry in code.exception_table:
+        entry.start_pc = mapping[entry.start_pc]
+        entry.end_pc = mapping[entry.end_pc]
+        entry.handler_pc = mapping[entry.handler_pc]
+        if entry.catch_type:
+            entry.catch_type = index_map[entry.catch_type]
+
+
+def _remap_class_indices(classfile: ClassFile,
+                         index_map: Dict[int, int]) -> None:
+    classfile.this_class = index_map[classfile.this_class]
+    if classfile.super_class:
+        classfile.super_class = index_map[classfile.super_class]
+    classfile.interfaces = [index_map[i] for i in classfile.interfaces]
+
+    def remap_attributes(attributes: List[Attribute]) -> None:
+        for attribute in attributes:
+            if isinstance(attribute, CodeAttribute):
+                remap_code(attribute, index_map)
+                remap_attributes(attribute.attributes)
+            elif isinstance(attribute, ConstantValueAttribute):
+                attribute.value_index = index_map[attribute.value_index]
+            elif isinstance(attribute, ExceptionsAttribute):
+                attribute.exception_indices = [
+                    index_map[i] for i in attribute.exception_indices]
+            elif isinstance(attribute, SourceFileAttribute):
+                attribute.source_file_index = index_map[
+                    attribute.source_file_index]
+            elif isinstance(attribute, LocalVariableTableAttribute):
+                for entry in attribute.entries:
+                    entry.name_index = index_map[entry.name_index]
+                    entry.descriptor_index = index_map[entry.descriptor_index]
+            elif isinstance(attribute, InnerClassesAttribute):
+                for entry in attribute.entries:
+                    if entry.inner_class_index:
+                        entry.inner_class_index = index_map[
+                            entry.inner_class_index]
+                    if entry.outer_class_index:
+                        entry.outer_class_index = index_map[
+                            entry.outer_class_index]
+                    if entry.inner_name_index:
+                        entry.inner_name_index = index_map[
+                            entry.inner_name_index]
+            elif isinstance(attribute, RawAttribute):
+                raise ValueError(
+                    f"cannot renumber constant pool under unrecognized "
+                    f"attribute {attribute.name!r}; strip it first")
+
+    for member in list(classfile.fields) + list(classfile.methods):
+        member.name_index = index_map[member.name_index]
+        member.descriptor_index = index_map[member.descriptor_index]
+        remap_attributes(member.attributes)
+    remap_attributes(classfile.attributes)
+
+
+def drop_unrecognized_attributes(classfile: ClassFile) -> ClassFile:
+    """Remove :class:`RawAttribute` instances everywhere (Section 2)."""
+
+    def drop(attributes: List[Attribute]) -> List[Attribute]:
+        kept = []
+        for attribute in attributes:
+            if isinstance(attribute, RawAttribute):
+                continue
+            if isinstance(attribute, CodeAttribute):
+                attribute.attributes = drop(attribute.attributes)
+            kept.append(attribute)
+        return kept
+
+    classfile.attributes = drop(classfile.attributes)
+    for member in list(classfile.fields) + list(classfile.methods):
+        member.attributes = drop(member.attributes)
+    return classfile
+
+
+def normalize(classfile: ClassFile) -> ClassFile:
+    """Apply the full Section 2 pipeline, in place."""
+    drop_unrecognized_attributes(classfile)
+    strip_debug_attributes(classfile)
+    gc_and_sort_pool(classfile)
+    return classfile

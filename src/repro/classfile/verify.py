@@ -1,0 +1,190 @@
+"""Structural class-file verification.
+
+There is no JVM in this environment, so this verifier stands in for
+"the class file loads": it checks constant-pool well-formedness,
+descriptor syntax, bytecode decodability, branch-target validity,
+local-variable bounds, and that the declared ``max_stack`` covers the
+computed operand-stack depth.  Both the mini-Java compiler's output
+and the packed-format reconstructor's output must pass it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import constant_pool as cp
+from .bytecode import disassemble
+from .classfile import ClassFile
+from .descriptors import (
+    DescriptorError,
+    parse_field_descriptor,
+    parse_method_descriptor,
+)
+from .opcodes import OperandKind as K
+from .stackdepth import compute_max_stack
+
+
+class VerificationError(ValueError):
+    """Raised when a class file is structurally invalid."""
+
+
+_CP_EXPECTED_TYPES = {
+    K.CP_FIELD: (cp.Fieldref,),
+    K.CP_METHOD: (cp.Methodref,),
+    K.CP_IMETHOD: (cp.InterfaceMethodref,),
+    K.CP_CLASS: (cp.ClassInfo,),
+    K.CP_LDC: (cp.IntegerConst, cp.FloatConst, cp.StringConst),
+    K.CP_LDC_W: (cp.IntegerConst, cp.FloatConst, cp.StringConst),
+    K.CP_LDC2_W: (cp.LongConst, cp.DoubleConst),
+}
+
+
+def verify_pool(classfile: ClassFile) -> List[str]:
+    """Check constant-pool cross-references; returns problem strings."""
+    problems: List[str] = []
+    pool = classfile.pool
+    for index, entry in pool.entries():
+        try:
+            for child_index, expected in _pool_children(entry):
+                child = pool[child_index]
+                if not isinstance(child, expected):
+                    problems.append(
+                        f"cp#{index}: child #{child_index} is "
+                        f"{type(child).__name__}, expected "
+                        f"{expected.__name__}")
+        except IndexError as exc:
+            problems.append(f"cp#{index}: {exc}")
+    return problems
+
+
+def _pool_children(entry: cp.Entry):
+    if isinstance(entry, cp.ClassInfo):
+        yield entry.name_index, cp.Utf8
+    elif isinstance(entry, cp.StringConst):
+        yield entry.utf8_index, cp.Utf8
+    elif isinstance(entry, (cp.Fieldref, cp.Methodref,
+                            cp.InterfaceMethodref)):
+        yield entry.class_index, cp.ClassInfo
+        yield entry.name_and_type_index, cp.NameAndType
+    elif isinstance(entry, cp.NameAndType):
+        yield entry.name_index, cp.Utf8
+        yield entry.descriptor_index, cp.Utf8
+
+
+def verify_class(classfile: ClassFile) -> None:
+    """Verify a class file; raises :class:`VerificationError`."""
+    problems = verify_pool(classfile)
+    pool = classfile.pool
+    try:
+        classfile.name
+    except (IndexError, TypeError) as exc:
+        problems.append(f"this_class: {exc}")
+    if classfile.super_class:
+        try:
+            pool.class_name(classfile.super_class)
+        except (IndexError, TypeError) as exc:
+            problems.append(f"super_class: {exc}")
+    for member, kind in ([(f, "field") for f in classfile.fields] +
+                         [(m, "method") for m in classfile.methods]):
+        try:
+            name = pool.utf8_value(member.name_index)
+            descriptor = pool.utf8_value(member.descriptor_index)
+        except (IndexError, TypeError) as exc:
+            problems.append(f"{kind}: {exc}")
+            continue
+        try:
+            if kind == "field":
+                parse_field_descriptor(descriptor)
+            else:
+                parse_method_descriptor(descriptor)
+        except DescriptorError as exc:
+            problems.append(f"{kind} {name}: {exc}")
+        code = member.code()
+        if code is not None:
+            problems.extend(_verify_code(classfile, name, descriptor,
+                                         member, code))
+    if problems:
+        raise VerificationError("; ".join(problems[:20]))
+
+
+def _verify_code(classfile: ClassFile, name: str, descriptor: str,
+                 member, code) -> List[str]:
+    problems: List[str] = []
+    pool = classfile.pool
+    try:
+        instructions = disassemble(code.code)
+    except ValueError as exc:
+        return [f"method {name}: {exc}"]
+    offsets = {ins.offset for ins in instructions}
+    end = len(code.code)
+    for instruction in instructions:
+        where = f"method {name} at {instruction.offset}"
+        if instruction.cp_index is not None:
+            kind = instruction.spec.cp_kind
+            expected = _CP_EXPECTED_TYPES.get(kind)
+            try:
+                entry = pool[instruction.cp_index]
+            except IndexError as exc:
+                problems.append(f"{where}: {exc}")
+                continue
+            if expected and not isinstance(entry, expected):
+                problems.append(
+                    f"{where}: cp operand is {type(entry).__name__}")
+        if instruction.target is not None and \
+                instruction.target not in offsets:
+            problems.append(f"{where}: branch target {instruction.target} "
+                            "is not an instruction boundary")
+        if instruction.switch is not None:
+            targets = [instruction.switch.default] + [
+                t for _, t in instruction.switch.pairs]
+            for target in targets:
+                if target not in offsets:
+                    problems.append(
+                        f"{where}: switch target {target} invalid")
+        mnemonic = instruction.mnemonic
+        local = instruction.local
+        if local is None and len(mnemonic) >= 2 and \
+                mnemonic[-2] == "_" and mnemonic[-1].isdigit() and \
+                ("load" in mnemonic or "store" in mnemonic):
+            local = int(mnemonic[-1])  # the implicit _n forms
+        if local is not None:
+            is_wide_value = mnemonic[0] in ("l", "d") and (
+                "load" in mnemonic or "store" in mnemonic)
+            width = 2 if is_wide_value else 1
+            if local + width > code.max_locals:
+                problems.append(
+                    f"{where}: local {local} exceeds "
+                    f"max_locals {code.max_locals}")
+    for entry in code.exception_table:
+        if entry.start_pc not in offsets:
+            problems.append(f"method {name}: handler start "
+                            f"{entry.start_pc} invalid")
+        if entry.end_pc not in offsets and entry.end_pc != end:
+            problems.append(f"method {name}: handler end "
+                            f"{entry.end_pc} invalid")
+        if entry.handler_pc not in offsets:
+            problems.append(f"method {name}: handler pc "
+                            f"{entry.handler_pc} invalid")
+        if entry.catch_type:
+            try:
+                pool.class_name(entry.catch_type)
+            except (IndexError, TypeError) as exc:
+                problems.append(f"method {name}: catch type {exc}")
+    if not problems and instructions:
+        try:
+            depth = compute_max_stack(
+                instructions, pool,
+                [e.handler_pc for e in code.exception_table])
+            if depth > code.max_stack:
+                problems.append(
+                    f"method {name}: computed stack depth {depth} exceeds "
+                    f"declared max_stack {code.max_stack}")
+        except ValueError as exc:
+            problems.append(f"method {name}: {exc}")
+    return problems
+
+
+def verify_archive(classfiles) -> None:
+    """Verify every class file in an iterable."""
+    for classfile in classfiles:
+        verify_class(classfile)

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``compile``  mini-Java sources -> a jar of class files
+``pack``     a jar (or directory of .class files) -> packed archive
+``unpack``   a packed archive -> jar
+``inspect``  summarize a class file, jar, or packed archive
+``bench``    size comparison of every format on one corpus suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from .classfile.classfile import ClassFile, parse_class, write_class
+from .jar.formats import strip_classes
+from .jar.jarfile import classes_to_entries, make_jar, read_jar
+from .loader.eager import eager_order
+from .minijava import compile_sources
+from .pack import PackOptions, pack_archive, unpack_archive
+
+
+def _options_from_args(args: argparse.Namespace) -> PackOptions:
+    return PackOptions(
+        scheme=args.scheme,
+        use_context=not args.no_context,
+        transients=not args.no_transients,
+        stack_state=not args.no_stack_state,
+        compress=not args.no_gzip,
+        preload=args.preload,
+    )
+
+
+def _add_pack_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scheme", default="mtf",
+                        choices=["simple", "basic", "freq", "cache",
+                                 "mtf"],
+                        help="reference-encoding scheme (Table 3)")
+    parser.add_argument("--no-context", action="store_true",
+                        help="disable stack-context MTF queues")
+    parser.add_argument("--no-transients", action="store_true",
+                        help="disable transient handling")
+    parser.add_argument("--no-stack-state", action="store_true",
+                        help="disable opcode collapsing (7.1)")
+    parser.add_argument("--no-gzip", action="store_true",
+                        help="disable the zlib stage (Table 5)")
+    parser.add_argument("--preload", action="store_true",
+                        help="seed coders with the standard dictionary")
+
+
+def _load_classes(path: Path) -> Dict[str, ClassFile]:
+    """Class files from a jar, a .class file, or a directory."""
+    classes: Dict[str, ClassFile] = {}
+    if path.is_dir():
+        for classfile_path in sorted(path.rglob("*.class")):
+            classfile = parse_class(classfile_path.read_bytes())
+            classes[classfile.name] = classfile
+    elif path.suffix == ".class":
+        classfile = parse_class(path.read_bytes())
+        classes[classfile.name] = classfile
+    else:
+        for name, data in read_jar(path.read_bytes()):
+            if name.endswith(".class"):
+                classfile = parse_class(data)
+                classes[classfile.name] = classfile
+    if not classes:
+        raise SystemExit(f"no class files found in {path}")
+    return classes
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    sources = [Path(p).read_text() for p in args.sources]
+    classes = compile_sources(sources)
+    serialized = {name: write_class(c) for name, c in classes.items()}
+    Path(args.output).write_bytes(
+        make_jar(classes_to_entries(serialized)))
+    print(f"compiled {len(classes)} classes -> {args.output}")
+    return 0
+
+
+def cmd_pack(args: argparse.Namespace) -> int:
+    classes = _load_classes(Path(args.input))
+    if args.strip:
+        classes = strip_classes(classes)
+    ordered = eager_order(list(classes.values())) if args.eager else \
+        [classes[name] for name in sorted(classes)]
+    options = _options_from_args(args)
+    packed = pack_archive(ordered, options)
+    Path(args.output).write_bytes(packed)
+    raw = sum(len(write_class(c)) for c in ordered)
+    print(f"packed {len(ordered)} classes: {raw} -> {len(packed)} bytes "
+          f"({100 * len(packed) / raw:.0f}%)")
+    return 0
+
+
+def cmd_unpack(args: argparse.Namespace) -> int:
+    options = _options_from_args(args)
+    classfiles = unpack_archive(Path(args.input).read_bytes(), options)
+    serialized = {c.name: write_class(c) for c in classfiles}
+    Path(args.output).write_bytes(
+        make_jar(classes_to_entries(serialized)))
+    print(f"unpacked {len(classfiles)} classes -> {args.output}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from .classfile.analysis import breakdown
+
+    classes = _load_classes(Path(args.input))
+    result = breakdown(classes.values())
+    print(f"{len(classes)} classes, {result.total} bytes")
+    for classfile in classes.values():
+        fields = len(classfile.fields)
+        methods = len(classfile.methods)
+        print(f"  {classfile.name}: {fields} fields, {methods} methods, "
+              f"extends {classfile.super_name}")
+    print("component breakdown:")
+    for key, value in result.as_dict().items():
+        print(f"  {key:24s} {value:8d}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from .jvm import JavaThrow, Machine
+
+    classes = _load_classes(Path(args.input))
+    machine = Machine(list(classes.values()))
+    main_class = args.main
+    if main_class is None:
+        from .loader.profile import find_roots
+
+        roots = find_roots(list(classes.values()))
+        if not roots:
+            raise SystemExit("no class with main(String[]); use --main")
+        main_class = roots[0]
+    try:
+        output = machine.run_main(main_class.replace(".", "/"),
+                                  args.args)
+    except JavaThrow as thrown:
+        output = machine.stdout()
+        sys.stdout.write(output)
+        message = thrown.throwable.fields.get("message")
+        print(f"Exception in thread \"main\" "
+              f"{thrown.throwable.class_name.replace('/', '.')}"
+              f"{': ' + message if message else ''}")
+        return 1
+    sys.stdout.write(output)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .baselines.jazz import jazz_pack
+    from .corpus.suites import generate_suite
+    from .jar.formats import jar_sizes
+
+    classes = generate_suite(args.suite)
+    sizes = jar_sizes(classes)
+    stripped = strip_classes(classes)
+    ordered = [stripped[name] for name in sorted(stripped)]
+    packed = pack_archive(ordered, _options_from_args(args))
+    jazz = jazz_pack(ordered)
+    rows = [
+        ("jar", sizes.jar), ("sjar", sizes.sjar),
+        ("sj0r.gz", sizes.sj0r_gz), ("Jazz", len(jazz)),
+        ("Packed", len(packed)),
+    ]
+    for label, size in rows:
+        print(f"{label:8s} {size:8d} bytes "
+              f"({100 * size / sizes.sjar:5.1f}% of sjar)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compressing Java Class Files (Pugh, PLDI 1999)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = commands.add_parser(
+        "compile", help="compile mini-Java sources to a jar")
+    compile_parser.add_argument("sources", nargs="+")
+    compile_parser.add_argument("-o", "--output", default="out.jar")
+    compile_parser.set_defaults(func=cmd_compile)
+
+    pack_parser = commands.add_parser(
+        "pack", help="pack class files into the wire format")
+    pack_parser.add_argument("input",
+                             help="jar, .class file, or directory")
+    pack_parser.add_argument("-o", "--output", default="out.pack")
+    pack_parser.add_argument("--strip", action="store_true",
+                             help="apply the Section 2 preprocessing")
+    pack_parser.add_argument("--eager", action="store_true",
+                             help="order for eager class loading (11)")
+    _add_pack_options(pack_parser)
+    pack_parser.set_defaults(func=cmd_pack)
+
+    unpack_parser = commands.add_parser(
+        "unpack", help="decompress a packed archive to a jar")
+    unpack_parser.add_argument("input")
+    unpack_parser.add_argument("-o", "--output", default="out.jar")
+    _add_pack_options(unpack_parser)
+    unpack_parser.set_defaults(func=cmd_unpack)
+
+    inspect_parser = commands.add_parser(
+        "inspect", help="summarize class files")
+    inspect_parser.add_argument("input")
+    inspect_parser.set_defaults(func=cmd_inspect)
+
+    run_parser = commands.add_parser(
+        "run", help="execute class files on the bytecode interpreter")
+    run_parser.add_argument("input",
+                            help="jar, .class file, or directory")
+    run_parser.add_argument("--main", default=None,
+                            help="main class (default: autodetect)")
+    run_parser.add_argument("args", nargs="*",
+                            help="arguments passed to main")
+    run_parser.set_defaults(func=cmd_run)
+
+    bench_parser = commands.add_parser(
+        "bench", help="compare formats on a corpus suite")
+    bench_parser.add_argument("suite")
+    _add_pack_options(bench_parser)
+    bench_parser.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

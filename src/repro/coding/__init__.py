@@ -1,0 +1,35 @@
+"""Low-level codecs: varints, streams, Huffman, arithmetic coding."""
+
+from .arithmetic import arithmetic_decode, arithmetic_encode
+from .huffman import HuffmanCoder
+from .streams import StreamReader, StreamSet
+from .varint import (
+    decode_uvarints,
+    encode_uvarints,
+    read_ranged,
+    read_svarint,
+    read_uvarint,
+    unzigzag,
+    write_ranged,
+    write_svarint,
+    write_uvarint,
+    zigzag,
+)
+
+__all__ = [
+    "HuffmanCoder",
+    "StreamReader",
+    "StreamSet",
+    "arithmetic_decode",
+    "arithmetic_encode",
+    "decode_uvarints",
+    "encode_uvarints",
+    "read_ranged",
+    "read_svarint",
+    "read_uvarint",
+    "unzigzag",
+    "write_ranged",
+    "write_svarint",
+    "write_uvarint",
+    "zigzag",
+]

@@ -1,0 +1,227 @@
+"""Adaptive arithmetic coding.
+
+Section 5 of the paper compares zlib on the byte stream produced by a
+move-to-front encoder against an arithmetic coder applied directly to
+the MTF indices (where an index occurring with probability ``p`` costs
+``log2(1/p)`` bits).  The paper found the arithmetic coder about 2%
+smaller on virtual-method references in ``rt.jar`` before accounting
+for the dictionary, and rejected it on cost grounds.  This module
+implements the adaptive coder used for that ablation
+(``benchmarks/test_ablation_arithmetic.py``).
+
+The implementation is the classic 32-bit integer range coder of Witten,
+Neal and Cleary, with an adaptive frequency model over a fixed alphabet
+plus periodic halving to keep counts bounded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_CODE_BITS = 32
+_TOP = (1 << _CODE_BITS) - 1
+_FIRST_QUARTER = (_TOP >> 2) + 1
+_HALF = 2 * _FIRST_QUARTER
+_THIRD_QUARTER = 3 * _FIRST_QUARTER
+_MAX_TOTAL = 1 << 16
+
+
+class AdaptiveModel:
+    """Adaptive order-0 frequency model over symbols ``0..n-1``."""
+
+    def __init__(self, alphabet_size: int):
+        if alphabet_size < 1:
+            raise ValueError("alphabet must have at least one symbol")
+        self.n = alphabet_size
+        self.freq = [1] * alphabet_size
+
+    def cumulative(self, symbol: int) -> tuple:
+        """Return ``(low, high, total)`` cumulative counts for ``symbol``."""
+        low = sum(self.freq[:symbol])
+        return low, low + self.freq[symbol], sum(self.freq)
+
+    def update(self, symbol: int) -> None:
+        self.freq[symbol] += 32
+        if sum(self.freq) >= _MAX_TOTAL:
+            self.freq = [(f + 1) >> 1 for f in self.freq]
+
+
+class _CumulativeTree:
+    """Fenwick tree so cumulative lookups are O(log n), not O(n)."""
+
+    def __init__(self, model: AdaptiveModel):
+        self.n = model.n
+        self._tree = [0] * (self.n + 1)
+        for i, f in enumerate(model.freq):
+            self._add(i, f)
+        self.model = model
+
+    def _add(self, index: int, delta: int) -> None:
+        i = index + 1
+        while i <= self.n:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, index: int) -> int:
+        """Sum of frequencies of symbols ``0..index-1``."""
+        total = 0
+        i = index
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def total(self) -> int:
+        return self.prefix(self.n)
+
+    def find(self, target: int) -> int:
+        """Largest symbol whose prefix sum is <= target."""
+        pos = 0
+        remaining = target
+        bit = 1
+        while bit * 2 <= self.n:
+            bit *= 2
+        while bit:
+            nxt = pos + bit
+            if nxt <= self.n and self._tree[nxt] <= remaining:
+                pos = nxt
+                remaining -= self._tree[nxt]
+            bit >>= 1
+        return pos
+
+    def update(self, symbol: int) -> None:
+        self._add(symbol, 32)
+        self.model.freq[symbol] += 32
+        if self.total() >= _MAX_TOTAL:
+            freq = [(f + 1) >> 1 for f in self.model.freq]
+            self.model.freq = freq
+            self._tree = [0] * (self.n + 1)
+            for i, f in enumerate(freq):
+                self._add(i, f)
+
+
+class ArithmeticEncoder:
+    """Encode a symbol sequence with an adaptive model."""
+
+    def __init__(self, alphabet_size: int):
+        self._tree = _CumulativeTree(AdaptiveModel(alphabet_size))
+        self._low = 0
+        self._high = _TOP
+        self._pending = 0
+        self._bits: List[int] = []
+
+    def _emit(self, bit: int) -> None:
+        self._bits.append(bit)
+        while self._pending:
+            self._bits.append(1 - bit)
+            self._pending -= 1
+
+    def encode(self, symbol: int) -> None:
+        low_count = self._tree.prefix(symbol)
+        high_count = low_count + self._tree.model.freq[symbol]
+        total = self._tree.total()
+        span = self._high - self._low + 1
+        self._high = self._low + span * high_count // total - 1
+        self._low = self._low + span * low_count // total
+        while True:
+            if self._high < _HALF:
+                self._emit(0)
+            elif self._low >= _HALF:
+                self._emit(1)
+                self._low -= _HALF
+                self._high -= _HALF
+            elif self._low >= _FIRST_QUARTER and self._high < _THIRD_QUARTER:
+                self._pending += 1
+                self._low -= _FIRST_QUARTER
+                self._high -= _FIRST_QUARTER
+            else:
+                break
+            self._low *= 2
+            self._high = self._high * 2 + 1
+        self._tree.update(symbol)
+
+    def finish(self) -> bytes:
+        self._pending += 1
+        if self._low < _FIRST_QUARTER:
+            self._emit(0)
+        else:
+            self._emit(1)
+        bits = self._bits
+        out = bytearray()
+        acc = 0
+        for i, bit in enumerate(bits):
+            acc = (acc << 1) | bit
+            if i % 8 == 7:
+                out.append(acc)
+                acc = 0
+        tail = len(bits) % 8
+        if tail:
+            out.append(acc << (8 - tail))
+        return bytes(out)
+
+
+class ArithmeticDecoder:
+    """Decode a stream produced by :class:`ArithmeticEncoder`."""
+
+    def __init__(self, data: bytes, alphabet_size: int):
+        self._tree = _CumulativeTree(AdaptiveModel(alphabet_size))
+        self._data = data
+        self._bitpos = 0
+        self._low = 0
+        self._high = _TOP
+        self._value = 0
+        for _ in range(_CODE_BITS):
+            self._value = (self._value << 1) | self._next_bit()
+
+    def _next_bit(self) -> int:
+        byte_index = self._bitpos >> 3
+        if byte_index >= len(self._data):
+            self._bitpos += 1
+            return 0
+        bit = (self._data[byte_index] >> (7 - (self._bitpos & 7))) & 1
+        self._bitpos += 1
+        return bit
+
+    def decode(self) -> int:
+        total = self._tree.total()
+        span = self._high - self._low + 1
+        target = ((self._value - self._low + 1) * total - 1) // span
+        symbol = self._tree.find(target)
+        low_count = self._tree.prefix(symbol)
+        high_count = low_count + self._tree.model.freq[symbol]
+        self._high = self._low + span * high_count // total - 1
+        self._low = self._low + span * low_count // total
+        while True:
+            if self._high < _HALF:
+                pass
+            elif self._low >= _HALF:
+                self._low -= _HALF
+                self._high -= _HALF
+                self._value -= _HALF
+            elif self._low >= _FIRST_QUARTER and self._high < _THIRD_QUARTER:
+                self._low -= _FIRST_QUARTER
+                self._high -= _FIRST_QUARTER
+                self._value -= _FIRST_QUARTER
+            else:
+                break
+            self._low *= 2
+            self._high = self._high * 2 + 1
+            self._value = self._value * 2 + self._next_bit()
+        self._tree.update(symbol)
+        return symbol
+
+
+def arithmetic_encode(symbols: Sequence[int], alphabet_size: int) -> bytes:
+    """Encode ``symbols`` (each in ``0..alphabet_size-1``)."""
+    encoder = ArithmeticEncoder(alphabet_size)
+    for symbol in symbols:
+        if not 0 <= symbol < alphabet_size:
+            raise ValueError(f"symbol {symbol} outside alphabet")
+        encoder.encode(symbol)
+    return encoder.finish()
+
+
+def arithmetic_decode(data: bytes, count: int, alphabet_size: int) -> List[int]:
+    """Decode ``count`` symbols from ``data``."""
+    decoder = ArithmeticDecoder(data, alphabet_size)
+    return [decoder.decode() for _ in range(count)]

@@ -1,0 +1,174 @@
+"""Canonical Huffman coding.
+
+Used by the Jazz baseline (:mod:`repro.baselines.jazz`), which — per
+[BHV98] as summarized in Section 13.1 of the paper — encodes indices
+for each kind of constant-pool entry with a fixed Huffman code that
+does not adapt to locality of reference.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass
+class _Node:
+    weight: int
+    order: int
+    symbol: int = -1
+    left: "_Node" = None
+    right: "_Node" = None
+
+    def __lt__(self, other: "_Node") -> bool:
+        return (self.weight, self.order) < (other.weight, other.order)
+
+
+def code_lengths(frequencies: Dict[int, int]) -> Dict[int, int]:
+    """Compute Huffman code lengths for a symbol->frequency map.
+
+    Deterministic: ties are broken by insertion order of the heap, which
+    we seed in sorted-symbol order.
+    """
+    symbols = sorted(frequencies)
+    if not symbols:
+        return {}
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+    heap: List[_Node] = []
+    order = 0
+    for sym in symbols:
+        heap.append(_Node(frequencies[sym], order, sym))
+        order += 1
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        a = heapq.heappop(heap)
+        b = heapq.heappop(heap)
+        heapq.heappush(heap, _Node(a.weight + b.weight, order, -1, a, b))
+        order += 1
+    lengths: Dict[int, int] = {}
+
+    stack = [(heap[0], 0)]
+    while stack:
+        node, depth = stack.pop()
+        if node.symbol >= 0:
+            lengths[node.symbol] = max(depth, 1)
+        else:
+            stack.append((node.left, depth + 1))
+            stack.append((node.right, depth + 1))
+    return lengths
+
+
+def canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
+    """Assign canonical codes: symbol -> (code, length)."""
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for symbol, length in ordered:
+        code <<= length - prev_len
+        codes[symbol] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+class BitWriter:
+    """MSB-first bit accumulator."""
+
+    def __init__(self):
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, code: int, length: int) -> None:
+        self._acc = (self._acc << length) | code
+        self._nbits += length
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._out.append((self._acc >> self._nbits) & 0xFF)
+        self._acc &= (1 << self._nbits) - 1
+
+    def getvalue(self) -> bytes:
+        if self._nbits:
+            return bytes(self._out) + bytes(
+                [(self._acc << (8 - self._nbits)) & 0xFF])
+        return bytes(self._out)
+
+
+class BitReader:
+    """MSB-first bit reader."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def read_bit(self) -> int:
+        if self._nbits == 0:
+            if self._pos >= len(self._data):
+                raise ValueError("bitstream exhausted")
+            self._acc = self._data[self._pos]
+            self._pos += 1
+            self._nbits = 8
+        self._nbits -= 1
+        return (self._acc >> self._nbits) & 1
+
+
+class HuffmanCoder:
+    """A static canonical-Huffman coder built from training frequencies."""
+
+    def __init__(self, frequencies: Dict[int, int]):
+        self.lengths = code_lengths(frequencies)
+        self._rebuild()
+
+    @classmethod
+    def from_lengths(cls, lengths: Dict[int, int]) -> "HuffmanCoder":
+        """Rebuild a coder from transmitted code lengths (the canonical
+        code is fully determined by them)."""
+        coder = cls.__new__(cls)
+        coder.lengths = dict(lengths)
+        coder._rebuild()
+        return coder
+
+    def _rebuild(self) -> None:
+        self.codes = canonical_codes(self.lengths)
+        # Decode table: (length, code) -> symbol.
+        self._decode = {
+            (length, code): symbol
+            for symbol, (code, length) in self.codes.items()
+        }
+        self.max_length = max(self.lengths.values(), default=0)
+
+    def encode(self, symbols: Sequence[int]) -> bytes:
+        writer = BitWriter()
+        for symbol in symbols:
+            try:
+                code, length = self.codes[symbol]
+            except KeyError:
+                raise ValueError(f"symbol {symbol} not in code") from None
+            writer.write(code, length)
+        return writer.getvalue()
+
+    def decode(self, data: bytes, count: int) -> List[int]:
+        reader = BitReader(data)
+        out: List[int] = []
+        for _ in range(count):
+            code = 0
+            length = 0
+            while True:
+                code = (code << 1) | reader.read_bit()
+                length += 1
+                symbol = self._decode.get((length, code))
+                if symbol is not None:
+                    out.append(symbol)
+                    break
+                if length > self.max_length:
+                    raise ValueError("invalid Huffman bitstream")
+        return out
+
+    def encoded_bit_length(self, symbols: Iterable[int]) -> int:
+        """Exact bit cost of encoding ``symbols`` (for size estimates)."""
+        return sum(self.lengths[s] for s in symbols)

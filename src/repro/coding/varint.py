@@ -1,0 +1,131 @@
+"""Integer codecs from Section 6 of the paper.
+
+Three codecs are provided:
+
+* **Unsigned varint** — low seven bits per byte, high bit set when more
+  bytes follow.  Used whenever the range is unknown but skewed toward
+  small values.
+* **Zigzag** — signed values are mapped to unsigned ones by moving the
+  sign into the least-significant bit (``x >= 0 ? 2x : -2x - 1``), so
+  small-magnitude negatives stay short.  The paper's example mapping
+  ``{-3,-2,-1,0,1,2,3} -> {5,3,1,0,2,4,6}`` is reproduced exactly.
+* **Range codec** — when both ends know values lie in ``0..n-1`` with
+  ``n <= 2**16``, the top ``r = (n - 2) // 255`` byte patterns of the
+  first byte escape to a two-byte form; everything below ``256 - r``
+  fits in one byte.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append the 7-bits-per-byte encoding of ``value`` to ``out``."""
+    if value < 0:
+        raise ValueError(f"uvarint requires a non-negative value: {value}")
+    while True:
+        low = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(low | 0x80)
+        else:
+            out.append(low)
+            return
+
+
+def read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode a uvarint at ``pos``; return ``(value, new_pos)``."""
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated uvarint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("uvarint too long")
+
+
+def zigzag(value: int) -> int:
+    """Map a signed value to its unsigned zigzag form."""
+    return 2 * value if value >= 0 else -2 * value - 1
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return value // 2 if value % 2 == 0 else -(value + 1) // 2
+
+
+def write_svarint(out: bytearray, value: int) -> None:
+    """Append the zigzag + uvarint encoding of a signed ``value``."""
+    write_uvarint(out, zigzag(value))
+
+
+def read_svarint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode a signed varint at ``pos``; return ``(value, new_pos)``."""
+    raw, pos = read_uvarint(data, pos)
+    return unzigzag(raw), pos
+
+
+def range_escape_count(n: int) -> int:
+    """Number of first-byte patterns reserved for two-byte values.
+
+    This is the paper's ``r = floor((n - 2) / 255)``.
+    """
+    if not 1 <= n <= 1 << 16:
+        raise ValueError(f"range codec requires 1 <= n <= 65536, got {n}")
+    return max(0, (n - 2) // 255)
+
+
+def write_ranged(out: bytearray, value: int, n: int) -> None:
+    """Append the range encoding of ``value`` known to lie in ``0..n-1``."""
+    if not 0 <= value < n:
+        raise ValueError(f"value {value} outside range 0..{n - 1}")
+    r = range_escape_count(n)
+    threshold = 256 - r
+    if value < threshold:
+        out.append(value)
+        return
+    excess = value - threshold
+    out.append((excess % r) + threshold)
+    out.append(excess // r)
+
+
+def read_ranged(data: bytes, pos: int, n: int) -> Tuple[int, int]:
+    """Decode a range-encoded value in ``0..n-1``; return ``(value, new_pos)``."""
+    r = range_escape_count(n)
+    threshold = 256 - r
+    if pos >= len(data):
+        raise ValueError("truncated range-encoded value")
+    first = data[pos]
+    pos += 1
+    if first < threshold:
+        return first, pos
+    if pos >= len(data):
+        raise ValueError("truncated range-encoded value")
+    second = data[pos]
+    pos += 1
+    return threshold + (first - threshold) + second * r, pos
+
+
+def encode_uvarints(values: List[int]) -> bytes:
+    """Encode a whole list of unsigned values as one byte stream."""
+    out = bytearray()
+    for value in values:
+        write_uvarint(out, value)
+    return bytes(out)
+
+
+def decode_uvarints(data: bytes) -> List[int]:
+    """Decode a byte stream produced by :func:`encode_uvarints`."""
+    values: List[int] = []
+    pos = 0
+    while pos < len(data):
+        value, pos = read_uvarint(data, pos)
+        values.append(value)
+    return values

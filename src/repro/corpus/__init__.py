@@ -1,0 +1,16 @@
+"""Synthetic benchmark corpus mirroring the paper's 19 suites."""
+
+from .debug import add_debug_info, add_debug_info_all
+from .generator import SuiteSpec, generate_sources
+from .suites import SUITE_ORDER, SUITE_SPECS, generate_suite, suite_names
+
+__all__ = [
+    "SUITE_ORDER",
+    "SUITE_SPECS",
+    "SuiteSpec",
+    "add_debug_info",
+    "add_debug_info_all",
+    "generate_sources",
+    "generate_suite",
+    "suite_names",
+]

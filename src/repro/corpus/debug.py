@@ -1,0 +1,63 @@
+"""Synthetic debug information (for the Table 1 ``jar`` vs ``sjar``
+distinction).
+
+The paper's "class files as distributed" often still carry
+``SourceFile``, ``LineNumberTable`` and ``LocalVariableTable``
+attributes; the Section 2 preprocessing strips them for ~20% savings.
+Our compiler emits stripped class files, so this module *adds*
+plausible debug attributes, modeling the as-distributed state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..classfile.attributes import (
+    LineNumberEntry,
+    LineNumberTableAttribute,
+    LocalVariableEntry,
+    LocalVariableTableAttribute,
+    SourceFileAttribute,
+)
+from ..classfile.bytecode import disassemble
+from ..classfile.classfile import ClassFile
+
+
+def add_debug_info(classfile: ClassFile) -> ClassFile:
+    """Attach SourceFile / LineNumberTable / LocalVariableTable
+    attributes, in place; returns the class file."""
+    pool = classfile.pool
+    simple = classfile.name.rsplit("/", 1)[-1]
+    classfile.attributes.append(SourceFileAttribute(
+        pool.utf8(f"{simple}.java")))
+    line = 10
+    for method in classfile.methods:
+        code = method.code()
+        if code is None:
+            continue
+        instructions = disassemble(code.code)
+        entries = []
+        for index, instruction in enumerate(instructions):
+            if index % 3 == 0:
+                entries.append(LineNumberEntry(instruction.offset, line))
+                line += 1
+        code.attributes.append(LineNumberTableAttribute(entries))
+        local_entries = []
+        for slot in range(min(code.max_locals, 8)):
+            local_entries.append(LocalVariableEntry(
+                start_pc=0,
+                length=len(code.code),
+                name_index=pool.utf8(f"local{slot}"),
+                descriptor_index=pool.utf8("I"),
+                index=slot,
+            ))
+        code.attributes.append(LocalVariableTableAttribute(local_entries))
+    return classfile
+
+
+def add_debug_info_all(classfiles: Dict[str, ClassFile]
+                       ) -> Dict[str, ClassFile]:
+    """Apply :func:`add_debug_info` to a whole suite, in place."""
+    for classfile in classfiles.values():
+        add_debug_info(classfile)
+    return classfiles

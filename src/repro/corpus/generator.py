@@ -1,0 +1,605 @@
+"""Seeded synthesizer of mini-Java benchmark suites.
+
+The paper's corpus (rt.jar, Swing, SPEC JVM98, ...) is proprietary and
+unavailable offline, so we synthesize suites with the structural
+statistics that drive the paper's results:
+
+* many classes spread over a few packages (package names repeat),
+* method and field names drawn from a small reused vocabulary,
+* cross-class calls with a skewed (Zipf-like) callee distribution,
+* string constants drawn from a shared phrase pool,
+* integer constants skewed toward small values, with optional
+  table-heavy classes (mpegaudio-style constant tables),
+* inheritance, interfaces, overriding, exceptions and switches.
+
+Everything is driven by a :class:`SuiteSpec` and a seed, so corpora
+are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .words import ATTRS, NOUNS, PACKAGE_ROOTS, PHRASES, VERBS
+
+
+@dataclass
+class SuiteSpec:
+    """Knobs controlling one synthesized suite."""
+
+    name: str
+    seed: int
+    packages: int = 2
+    classes_per_package: int = 4
+    methods_per_class: int = 5
+    statements_per_method: int = 8
+    #: Fraction of classes that are interfaces.
+    interface_fraction: float = 0.12
+    #: Fraction of classes given constant-table init methods
+    #: (mpegaudio-style numeric payload).
+    table_fraction: float = 0.0
+    #: Entries per constant table.
+    table_size: int = 64
+    #: Weight of string-manipulating statements.
+    stringiness: float = 1.0
+    #: Weight of arithmetic statements.
+    mathiness: float = 1.0
+
+    @property
+    def class_count(self) -> int:
+        return self.packages * self.classes_per_package
+
+
+@dataclass
+class _Field:
+    name: str
+    typ: str  # source type text
+    is_static: bool = False
+
+
+@dataclass
+class _Method:
+    name: str
+    params: List[Tuple[str, str]]  # (type text, name)
+    return_type: str
+    is_static: bool = False
+
+
+@dataclass
+class _Class:
+    package: str  # dotted
+    name: str
+    superclass: Optional[str] = None  # dotted qualified
+    interfaces: List[str] = field(default_factory=list)
+    is_interface: bool = False
+    fields: List[_Field] = field(default_factory=list)
+    methods: List[_Method] = field(default_factory=list)
+    has_table: bool = False
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.package}.{self.name}"
+
+
+_PRIMS = ["int", "long", "double", "boolean", "String"]
+
+
+class Synthesizer:
+    """Generates one suite of mini-Java source files."""
+
+    def __init__(self, spec: SuiteSpec):
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.classes: List[_Class] = []
+        self._names_used: Dict[str, int] = {}
+
+    # -- skeleton ---------------------------------------------------------
+
+    def _zipf_choice(self, items: List):
+        """Choose with a 1/rank bias toward the front of the list."""
+        if not items:
+            raise ValueError("empty choice")
+        n = len(items)
+        weights = [1.0 / (i + 1) for i in range(n)]
+        return self.rng.choices(items, weights=weights, k=1)[0]
+
+    def _class_name(self) -> str:
+        base = self.rng.choice(NOUNS)
+        if self.rng.random() < 0.5:
+            base = self.rng.choice(VERBS).capitalize() + base
+        count = self._names_used.get(base, 0)
+        self._names_used[base] = count + 1
+        return base if count == 0 else f"{base}{count}"
+
+    def build_skeletons(self) -> None:
+        packages = []
+        roots = list(PACKAGE_ROOTS)
+        self.rng.shuffle(roots)
+        for i in range(self.spec.packages):
+            root = roots[i % len(roots)].replace("/", ".")
+            suffix = "" if i < len(roots) else str(i // len(roots))
+            packages.append(root + suffix)
+        for package in packages:
+            for _ in range(self.spec.classes_per_package):
+                cls = _Class(package, self._class_name())
+                cls.is_interface = (
+                    self.rng.random() < self.spec.interface_fraction)
+                self.classes.append(cls)
+        concrete = [c for c in self.classes if not c.is_interface]
+        interfaces = [c for c in self.classes if c.is_interface]
+        # Interfaces: a couple of abstract methods each, reused names.
+        for iface in interfaces:
+            for _ in range(2):
+                iface.methods.append(self._signature(allow_static=False))
+        # Concrete classes: fields, inheritance, methods.
+        for index, cls in enumerate(concrete):
+            if index > 0 and self.rng.random() < 0.3:
+                parent = self._zipf_choice(concrete[:index])
+                cls.superclass = parent.qualified
+            if interfaces and self.rng.random() < 0.35:
+                iface = self.rng.choice(interfaces)
+                cls.interfaces.append(iface.qualified)
+                cls.methods.extend(
+                    _Method(m.name, list(m.params), m.return_type)
+                    for m in iface.methods)
+            field_count = self.rng.randint(2, 5)
+            for _ in range(field_count):
+                cls.fields.append(_Field(
+                    self._field_name(cls),
+                    self.rng.choice(_PRIMS + ["int[]"]),
+                    is_static=self.rng.random() < 0.25))
+            if self.rng.random() < self.spec.table_fraction:
+                cls.has_table = True
+                cls.fields.append(_Field("table", "int[]", is_static=True))
+                cls.fields.append(_Field("factors", "double[]",
+                                         is_static=True))
+            while len(cls.methods) < self.spec.methods_per_class:
+                cls.methods.append(self._signature(
+                    allow_static=self.rng.random() < 0.3))
+
+    def _field_name(self, cls: _Class) -> str:
+        existing = {f.name for f in cls.fields}
+        for _ in range(20):
+            name = self.rng.choice(ATTRS)
+            if name not in existing:
+                return name
+        return f"extra{len(cls.fields)}"
+
+    def _signature(self, allow_static: bool) -> _Method:
+        verb = self._zipf_choice(VERBS)
+        noun = self._zipf_choice(ATTRS)
+        name = verb + noun.capitalize()
+        param_count = self.rng.randint(0, 3)
+        params = [
+            (self.rng.choice(_PRIMS), f"p{i}") for i in range(param_count)]
+        return_type = self.rng.choice(_PRIMS + ["void", "void", "void"])
+        return _Method(name, params, return_type, is_static=allow_static)
+
+    # -- bodies ----------------------------------------------------------
+
+    def render(self) -> List[str]:
+        """Render every class to source text."""
+        self.build_skeletons()
+        # De-duplicate method signatures within each class (reused
+        # vocabulary can collide).
+        for cls in self.classes:
+            seen = set()
+            unique = []
+            for method in cls.methods:
+                key = (method.name, tuple(t for t, _ in method.params))
+                if key in seen:
+                    continue
+                seen.add(key)
+                unique.append(method)
+            cls.methods = unique
+        return [self._render_class(cls) for cls in self.classes]
+
+    def _render_class(self, cls: _Class) -> str:
+        lines: List[str] = [f"package {cls.package};", ""]
+        head = "public interface" if cls.is_interface else "public class"
+        decl = f"{head} {cls.name}"
+        if cls.superclass:
+            decl += f" extends {cls.superclass}"
+        if cls.interfaces:
+            decl += " implements " + ", ".join(cls.interfaces)
+        lines.append(decl + " {")
+        if cls.is_interface:
+            for method in cls.methods:
+                params = ", ".join(f"{t} {n}" for t, n in method.params)
+                lines.append(f"    {method.return_type} "
+                             f"{method.name}({params});")
+            lines.append("}")
+            return "\n".join(lines)
+        for field_decl in cls.fields:
+            modifier = "static " if field_decl.is_static else ""
+            init = ""
+            if field_decl.typ == "String" and self.rng.random() < 0.5 and \
+                    field_decl.is_static:
+                modifier = "static final "
+                init = f" = \"{self.rng.choice(PHRASES)}\""
+            elif field_decl.typ == "int" and field_decl.is_static and \
+                    self.rng.random() < 0.4:
+                modifier = "static final "
+                init = f" = {self._int_constant()}"
+            lines.append(f"    {modifier}{field_decl.typ} "
+                         f"{field_decl.name}{init};")
+        lines.append("")
+        lines.extend(self._render_constructor(cls))
+        if cls.has_table:
+            lines.extend(self._render_table_init(cls))
+        for method in cls.methods:
+            lines.extend(self._render_method(cls, method))
+        lines.append("}")
+        return "\n".join(lines)
+
+    def _render_constructor(self, cls: _Class) -> List[str]:
+        settable = [f for f in cls.fields
+                    if not f.is_static and f.typ in ("int", "String",
+                                                     "double", "long")]
+        params = ", ".join(f"{f.typ} {f.name}" for f in settable[:2])
+        lines = [f"    public {cls.name}({params}) {{"]
+        for f in settable[:2]:
+            lines.append(f"        this.{f.name} = {f.name};")
+        for f in cls.fields:
+            if f.is_static or f in settable[:2]:
+                continue
+            lines.append(f"        this.{f.name} = "
+                         f"{self._default_value(f.typ)};")
+        lines.append("    }")
+        lines.append("")
+        return lines
+
+    def _default_value(self, typ: str) -> str:
+        if typ == "int":
+            return str(self._int_constant())
+        if typ == "long":
+            return f"{self.rng.randint(0, 10000)}L"
+        if typ == "double":
+            return f"{round(self.rng.uniform(0, 10), 3)}"
+        if typ == "boolean":
+            return self.rng.choice(["true", "false"])
+        if typ == "String":
+            return f"\"{self.rng.choice(PHRASES)}\""
+        if typ.endswith("[]"):
+            return f"new {typ[:-2]}[{self.rng.randint(4, 32)}]"
+        return "null"
+
+    def _int_constant(self) -> int:
+        roll = self.rng.random()
+        if roll < 0.55:
+            return self.rng.randint(0, 9)
+        if roll < 0.8:
+            return self.rng.randint(10, 127)
+        if roll < 0.95:
+            return self.rng.randint(128, 4096)
+        return self.rng.randint(4097, 1 << 20)
+
+    def _render_table_init(self, cls: _Class) -> List[str]:
+        size = self.spec.table_size
+        lines = [f"    static void initTables() {{",
+                 f"        table = new int[{size}];",
+                 f"        factors = new double[{size}];"]
+        for i in range(size):
+            lines.append(f"        table[{i}] = "
+                         f"{self.rng.randint(-(1 << 15), 1 << 15)};")
+        for i in range(0, size, 2):
+            lines.append(f"        factors[{i}] = "
+                         f"{round(self.rng.uniform(-4, 4), 6)};")
+        lines.append("    }")
+        lines.append("")
+        return lines
+
+    def _render_method(self, cls: _Class, method: _Method) -> List[str]:
+        modifier = "static " if method.is_static else ""
+        params = ", ".join(f"{t} {n}" for t, n in method.params)
+        lines = [f"    public {modifier}{method.return_type} "
+                 f"{method.name}({params}) {{"]
+        body = _BodyGenerator(self, cls, method)
+        for statement in body.generate():
+            lines.append("        " + statement)
+        lines.append("    }")
+        lines.append("")
+        return lines
+
+
+class _BodyGenerator:
+    """Generates a well-typed method body as source lines."""
+
+    def __init__(self, synth: Synthesizer, cls: _Class, method: _Method):
+        self.synth = synth
+        self.rng = synth.rng
+        self.cls = cls
+        self.method = method
+        #: name -> source type of in-scope int-like locals etc.
+        self.locals: Dict[str, str] = dict(
+            (n, t) for t, n in method.params)
+        self.counter = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _fresh(self, typ: str) -> str:
+        name = f"v{self.counter}"
+        self.counter += 1
+        self.locals[name] = typ
+        return name
+
+    def _vars_of(self, typ: str, include_fields: bool = True) -> List[str]:
+        names = [n for n, t in self.locals.items() if t == typ]
+        if include_fields:
+            for f in self.cls.fields:
+                if f.typ == typ and \
+                        (not self.method.is_static or f.is_static):
+                    names.append(f.name)
+        return names
+
+    def _int_expr(self, depth: int = 0) -> str:
+        options = self._vars_of("int")
+        roll = self.rng.random()
+        if depth > 2 or (roll < 0.35 or not options):
+            if options and roll < 0.6:
+                return self.rng.choice(options)
+            return str(self.synth._int_constant())
+        if roll < 0.7:
+            op = self.rng.choice(["+", "-", "*", "%", "/"])
+            left = self._int_expr(depth + 1)
+            right = self._int_expr(depth + 1)
+            if op in ("%", "/"):
+                right = str(self.rng.randint(1, 97))
+            return f"({left} {op} {right})"
+        if roll < 0.8:
+            call = self._call_returning("int")
+            if call:
+                return call
+        if roll < 0.9 and options:
+            return f"Math.max({self.rng.choice(options)}, " \
+                   f"{self._int_expr(depth + 1)})"
+        return self.rng.choice(options) if options else \
+            str(self.synth._int_constant())
+
+    def _long_expr(self) -> str:
+        options = self._vars_of("long")
+        if options and self.rng.random() < 0.6:
+            base = self.rng.choice(options)
+            if self.rng.random() < 0.5:
+                return f"({base} + {self.rng.randint(0, 999)}L)"
+            return base
+        return f"{self.rng.randint(0, 100000)}L"
+
+    def _double_expr(self, depth: int = 0) -> str:
+        options = self._vars_of("double")
+        roll = self.rng.random()
+        if depth > 2 or roll < 0.3:
+            if options and roll < 0.5:
+                return self.rng.choice(options)
+            return str(round(self.rng.uniform(0, 100), 4))
+        if roll < 0.55 and options:
+            op = self.rng.choice(["+", "-", "*"])
+            return f"({self.rng.choice(options)} {op} " \
+                   f"{self._double_expr(depth + 1)})"
+        if roll < 0.75:
+            fn = self.rng.choice(["Math.sqrt", "Math.abs", "Math.floor",
+                                  "Math.sin", "Math.cos"])
+            return f"{fn}({self._double_expr(depth + 1)})"
+        call = self._call_returning("double")
+        if call:
+            return call
+        return str(round(self.rng.uniform(0, 100), 4))
+
+    def _string_expr(self, depth: int = 0) -> str:
+        options = self._vars_of("String")
+        roll = self.rng.random()
+        if depth > 1 or roll < 0.4:
+            if options and roll < 0.55:
+                return self.rng.choice(options)
+            return f"\"{self.rng.choice(PHRASES)}\""
+        if roll < 0.7:
+            return f"({self._string_expr(depth + 1)} + " \
+                   f"{self._int_expr(depth + 1)})"
+        if options:
+            base = self.rng.choice(options)
+            return self.rng.choice([
+                f"{base}.trim()", f"{base}.toUpperCase()",
+                f"{base}.substring(0, Math.min(3, {base}.length()))",
+            ])
+        return f"String.valueOf({self._int_expr(depth + 1)})"
+
+    def _bool_expr(self, depth: int = 0) -> str:
+        roll = self.rng.random()
+        if depth > 1 or roll < 0.6:
+            comparison = self.rng.choice(["<", ">", "<=", ">=", "==", "!="])
+            return f"({self._int_expr(depth + 1)} {comparison} " \
+                   f"{self._int_expr(depth + 1)})"
+        op = self.rng.choice(["&&", "||"])
+        return f"({self._bool_expr(depth + 1)} {op} " \
+               f"{self._bool_expr(depth + 1)})"
+
+    def _expr_of(self, typ: str, depth: int = 0) -> str:
+        if typ == "int":
+            return self._int_expr(depth)
+        if typ == "long":
+            return self._long_expr()
+        if typ == "double":
+            return self._double_expr(depth)
+        if typ == "boolean":
+            return self._bool_expr(depth)
+        if typ == "String":
+            return self._string_expr(depth)
+        if typ.endswith("[]"):
+            return f"new {typ[:-2]}[{self.rng.randint(4, 32)}]"
+        return "null"
+
+    def _call_returning(self, typ: str) -> Optional[str]:
+        """A static cross-class call returning ``typ``, if one exists."""
+        candidates: List[Tuple[_Class, _Method]] = []
+        for other in self.synth.classes:
+            if other.is_interface:
+                continue
+            for method in other.methods:
+                if method.is_static and method.return_type == typ:
+                    candidates.append((other, method))
+        if not candidates:
+            return None
+        owner, method = self.synth._zipf_choice(candidates)
+        args = ", ".join(self._expr_of(t, 2) for t, _ in method.params)
+        return f"{owner.qualified}.{method.name}({args})"
+
+    # -- statements ---------------------------------------------------------
+
+    def generate(self) -> List[str]:
+        statements: List[str] = []
+        count = max(2, int(self.rng.gauss(
+            self.synth.spec.statements_per_method,
+            self.synth.spec.statements_per_method / 3)))
+        weights = self._statement_weights()
+        kinds, kind_weights = zip(*weights)
+        for _ in range(count):
+            kind = self.rng.choices(kinds, weights=kind_weights, k=1)[0]
+            statements.extend(getattr(self, f"_stmt_{kind}")())
+        statements.extend(self._final_return())
+        return statements
+
+    def _statement_weights(self) -> List[Tuple[str, float]]:
+        spec = self.synth.spec
+        return [
+            ("decl", 2.0),
+            ("assign", 1.5),
+            ("arith", 1.2 * spec.mathiness),
+            ("stringop", 0.9 * spec.stringiness),
+            ("iff", 1.0),
+            ("loop", 0.8),
+            ("call", 1.4),
+            ("print", 0.5 * spec.stringiness),
+            ("switchy", 0.3),
+            ("tryy", 0.25),
+            ("array", 0.6),
+        ]
+
+    def _stmt_decl(self) -> List[str]:
+        typ = self.rng.choice(_PRIMS)
+        value = self._expr_of(typ)
+        name = self._fresh(typ)
+        return [f"{typ} {name} = {value};"]
+
+    def _stmt_assign(self) -> List[str]:
+        typ = self.rng.choice(_PRIMS)
+        targets = self._vars_of(typ)
+        if not targets:
+            return self._stmt_decl()
+        return [f"{self.rng.choice(targets)} = {self._expr_of(typ)};"]
+
+    def _stmt_arith(self) -> List[str]:
+        targets = self._vars_of("int")
+        if not targets:
+            return self._stmt_decl()
+        target = self.rng.choice(targets)
+        op = self.rng.choice(["+", "-", "*"])
+        return [f"{target} = {target} {op} {self._int_expr(1)};"]
+
+    def _stmt_stringop(self) -> List[str]:
+        targets = self._vars_of("String")
+        if not targets:
+            value = self._string_expr()
+            name = self._fresh("String")
+            return [f"String {name} = {value};"]
+        return [f"{self.rng.choice(targets)} = {self._string_expr()};"]
+
+    def _stmt_iff(self) -> List[str]:
+        lines = [f"if {self._bool_expr()} {{"]
+        lines.append(f"    {self._simple_statement()}")
+        if self.rng.random() < 0.5:
+            lines.append("} else {")
+            lines.append(f"    {self._simple_statement()}")
+        lines.append("}")
+        return lines
+
+    def _simple_statement(self) -> str:
+        """A one-line statement safe inside a nested block (it must not
+        declare a local, which would go out of scope)."""
+        typ = self.rng.choice(_PRIMS)
+        targets = self._vars_of(typ)
+        if targets:
+            return f"{self.rng.choice(targets)} = {self._expr_of(typ)};"
+        return f"System.out.println({self._string_expr(1)});"
+
+    def _stmt_loop(self) -> List[str]:
+        index = f"i{self.counter}"
+        self.counter += 1
+        bound = self.rng.choice(
+            [str(self.rng.randint(2, 64))] + self._vars_of("int"))
+        self.locals[index] = "int"
+        lines = [f"for (int {index} = 0; {index} < {bound}; "
+                 f"{index} = {index} + 1) {{"]
+        lines.append(f"    {self._simple_statement()}")
+        lines.append("}")
+        del self.locals[index]
+        return lines
+
+    def _stmt_call(self) -> List[str]:
+        typ = self.rng.choice(["int", "double", "String"])
+        call = self._call_returning(typ)
+        if call is None:
+            return self._stmt_decl()
+        if self.rng.random() < 0.5:
+            name = self._fresh(typ)
+            return [f"{typ} {name} = {call};"]
+        return [f"{call};"]
+
+    def _stmt_print(self) -> List[str]:
+        return [f"System.out.println({self._string_expr()});"]
+
+    def _stmt_switchy(self) -> List[str]:
+        selector = self._int_expr(1)
+        dense = self.rng.random() < 0.6
+        if dense:
+            values = list(range(self.rng.randint(2, 5)))
+        else:
+            values = sorted(self.rng.sample(range(0, 1000),
+                                            self.rng.randint(2, 4)))
+        lines = [f"switch ({selector}) {{"]
+        for value in values:
+            lines.append(f"    case {value}:")
+            lines.append(f"        {self._simple_statement()}")
+            lines.append("        break;")
+        lines.append("    default:")
+        lines.append(f"        {self._simple_statement()}")
+        lines.append("}")
+        return lines
+
+    def _stmt_tryy(self) -> List[str]:
+        exc = self.rng.choice(["RuntimeException",
+                               "IllegalArgumentException",
+                               "ArithmeticException"])
+        return [
+            "try {",
+            f"    {self._simple_statement()}",
+            f"}} catch ({exc} e) {{",
+            f"    System.out.println(e.getMessage());",
+            "}",
+        ]
+
+    def _stmt_array(self) -> List[str]:
+        arrays = self._vars_of("int[]")
+        if not arrays:
+            name = self._fresh("int[]")
+            return [f"int[] {name} = new int[{self.rng.randint(4, 32)}];"]
+        array = self.rng.choice(arrays)
+        index = f"({self._int_expr(2)} % {array}.length + "\
+                f"{array}.length) % {array}.length"
+        if self.rng.random() < 0.3:
+            index = str(self.rng.randint(0, 3))
+            return [f"if ({array}.length > {index}) {{ "
+                    f"{array}[{index}] = {self._int_expr(1)}; }}"]
+        return [f"{array}[{index}] = {self._int_expr(1)};"]
+
+    def _final_return(self) -> List[str]:
+        ret = self.method.return_type
+        if ret == "void":
+            return []
+        return [f"return {self._expr_of(ret)};"]
+
+
+def generate_sources(spec: SuiteSpec) -> List[str]:
+    """Generate the source files of one suite."""
+    return Synthesizer(spec).render()

@@ -1,0 +1,123 @@
+"""The 19 benchmark suites of the paper, as synthetic analogs.
+
+Each spec mirrors the relative size and character of one benchmark
+from Table 1 (scaled down ~8x so the full matrix runs in minutes):
+
+* ``rt`` is by far the largest, library-shaped (many packages, wide
+  vocabulary);
+* ``swingall``/``visaj``/``tools`` are mid-size GUI/tool libraries;
+* ``mpegaudio`` is numeric-table heavy (the paper highlights its
+  extreme opcode compressibility and 37% integer share);
+* ``Hanoi`` variants are tiny applets;
+* ``compress``/``db`` are small single-purpose programs;
+* ``javac``/``jess``/``jack`` are parser/compiler-shaped (large
+  switches, string tables).
+
+Compiled suites are cached in-process: generating + compiling ``rt``
+takes a few seconds and every benchmark table reuses it.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List
+
+from ..classfile.classfile import ClassFile
+from ..minijava import compile_sources
+from .generator import SuiteSpec, generate_sources
+
+SUITE_SPECS: Dict[str, SuiteSpec] = {
+    spec.name: spec for spec in [
+        SuiteSpec("rt", seed=101, packages=8, classes_per_package=14,
+                  methods_per_class=7, statements_per_method=7),
+        SuiteSpec("swingall", seed=102, packages=6, classes_per_package=10,
+                  methods_per_class=7, statements_per_method=7,
+                  stringiness=1.2),
+        SuiteSpec("tools", seed=103, packages=4, classes_per_package=8,
+                  methods_per_class=6, statements_per_method=7),
+        SuiteSpec("icebrowserbean", seed=104, packages=2,
+                  classes_per_package=5, methods_per_class=5,
+                  statements_per_method=6, stringiness=1.4),
+        SuiteSpec("jmark20", seed=105, packages=2, classes_per_package=6,
+                  methods_per_class=6, statements_per_method=8,
+                  mathiness=1.5),
+        SuiteSpec("visaj", seed=106, packages=5, classes_per_package=10,
+                  methods_per_class=6, statements_per_method=7),
+        SuiteSpec("ImageEditor", seed=107, packages=3,
+                  classes_per_package=7, methods_per_class=6,
+                  statements_per_method=7, mathiness=1.3),
+        SuiteSpec("Hanoi", seed=108, packages=1, classes_per_package=4,
+                  methods_per_class=4, statements_per_method=5),
+        SuiteSpec("Hanoi_big", seed=109, packages=1, classes_per_package=3,
+                  methods_per_class=4, statements_per_method=5),
+        SuiteSpec("Hanoi_jax", seed=110, packages=1, classes_per_package=2,
+                  methods_per_class=4, statements_per_method=5,
+                  stringiness=0.6),
+        SuiteSpec("javafig", seed=111, packages=3, classes_per_package=8,
+                  methods_per_class=6, statements_per_method=6,
+                  stringiness=1.2),
+        SuiteSpec("javafig_dashO", seed=112, packages=3,
+                  classes_per_package=8, methods_per_class=6,
+                  statements_per_method=6, stringiness=0.8),
+        SuiteSpec("compress", seed=201, packages=1, classes_per_package=3,
+                  methods_per_class=5, statements_per_method=8,
+                  mathiness=1.8, stringiness=0.4),
+        SuiteSpec("jess", seed=202, packages=2, classes_per_package=9,
+                  methods_per_class=6, statements_per_method=7,
+                  stringiness=1.3),
+        SuiteSpec("raytrace", seed=205, packages=1, classes_per_package=6,
+                  methods_per_class=6, statements_per_method=8,
+                  mathiness=1.8, stringiness=0.5),
+        SuiteSpec("db", seed=209, packages=1, classes_per_package=2,
+                  methods_per_class=5, statements_per_method=7,
+                  stringiness=1.2),
+        SuiteSpec("javac", seed=213, packages=3, classes_per_package=9,
+                  methods_per_class=7, statements_per_method=8,
+                  stringiness=1.1),
+        SuiteSpec("mpegaudio", seed=222, packages=1, classes_per_package=5,
+                  methods_per_class=5, statements_per_method=8,
+                  mathiness=2.0, stringiness=0.2, table_fraction=0.6,
+                  table_size=96),
+        SuiteSpec("jack", seed=228, packages=2, classes_per_package=6,
+                  methods_per_class=6, statements_per_method=7,
+                  stringiness=1.2),
+    ]
+}
+
+#: Suites ordered as in the paper's Table 1.
+SUITE_ORDER: List[str] = list(SUITE_SPECS)
+
+_CACHE: Dict[str, Dict[str, ClassFile]] = {}
+
+
+def generate_suite(name: str, fresh: bool = False) -> Dict[str, ClassFile]:
+    """Generate and compile one suite; results are cached per process.
+
+    Returns a map from internal class name to a deep-copied
+    :class:`ClassFile` (callers may mutate freely).  Class files are
+    "as distributed": they carry synthetic debug attributes, which the
+    Section 2 preprocessing (``strip_classes``) removes — reproducing
+    the paper's ``jar`` vs ``sjar`` gap.
+    """
+    if name not in SUITE_SPECS:
+        raise KeyError(f"unknown suite {name!r}; "
+                       f"known: {', '.join(SUITE_SPECS)}")
+    if fresh or name not in _CACHE:
+        from .debug import add_debug_info_all
+
+        sources = generate_sources(SUITE_SPECS[name])
+        _CACHE[name] = add_debug_info_all(compile_sources(sources))
+    return {name_: copy.deepcopy(classfile)
+            for name_, classfile in _CACHE[name].items()}
+
+
+def suite_names(small_only: bool = False) -> List[str]:
+    """All suite names, optionally only the quick ones."""
+    if not small_only:
+        return list(SUITE_ORDER)
+    return [name for name in SUITE_ORDER
+            if SUITE_SPECS[name].class_count <= 20]
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,74 @@
+"""Word lists used by the corpus synthesizer.
+
+The identifiers and string phrases below drive the statistical shape
+of the synthesized programs: heavy reuse of a small vocabulary of
+method-name verbs and nouns (as in real code), shared package-name
+roots, and a phrase pool for string constants that repeats across
+classes — the redundancies the paper's techniques exploit.
+"""
+
+NOUNS = [
+    "Buffer", "Widget", "Panel", "Stream", "Parser", "Token", "Node",
+    "Tree", "Graph", "Table", "Index", "Cache", "Store", "Record",
+    "Field", "Value", "Entry", "Event", "Handler", "Manager", "Engine",
+    "Filter", "Layout", "Model", "View", "Frame", "Image", "Shape",
+    "Color", "Font", "Sound", "Codec", "Packet", "Socket", "Channel",
+    "Worker", "Task", "Queue", "Stack", "Heap", "Pool", "Context",
+    "Config", "Option", "Result", "Status", "Error", "Report", "Logger",
+]
+
+VERBS = [
+    "get", "set", "compute", "update", "process", "render", "parse",
+    "read", "write", "load", "store", "init", "reset", "clear", "add",
+    "remove", "find", "check", "apply", "build", "create", "make",
+    "run", "start", "stop", "flush", "scan", "emit", "encode", "decode",
+    "merge", "split", "sort", "count", "sum", "mix", "pack", "unpack",
+]
+
+ATTRS = [
+    "size", "count", "total", "index", "offset", "span", "width",
+    "height", "depth", "level", "state", "mode", "flags", "weight",
+    "score", "rate", "limit", "delta", "scale", "bias", "seed",
+    "cursor", "capacity", "version", "id", "key", "name", "label",
+]
+
+PACKAGE_ROOTS = [
+    "com/acme", "org/widgets", "net/tools", "com/acme/util",
+    "org/widgets/core", "net/tools/io", "com/acme/render",
+    "org/widgets/event", "edu/lab/math", "edu/lab/data",
+]
+
+PHRASES = [
+    "error: invalid argument",
+    "warning: deprecated call",
+    "unexpected end of input",
+    "index out of range",
+    "operation not supported",
+    "initialization complete",
+    "processing element ",
+    "result = ",
+    "total count: ",
+    "cache miss for key ",
+    "loading configuration from ",
+    "connection refused",
+    "timeout while waiting",
+    "parse error at line ",
+    "unknown token ",
+    "file not found: ",
+    "writing output to ",
+    "done.",
+    "starting up",
+    "shutting down",
+    "retry attempt ",
+    "checksum mismatch",
+    "buffer overflow detected",
+    "invalid state transition",
+    "missing required field ",
+    "duplicate entry ",
+    "version mismatch: expected ",
+    "permission denied",
+    "illegal character in name",
+    "queue is empty",
+    "stack underflow",
+    "value must be positive",
+]

@@ -1,0 +1,45 @@
+"""The restructured class-file model of Section 4 / Figure 1."""
+
+from .build import build_archive, build_class
+from .model import (
+    Archive,
+    ClassDefinition,
+    ClassRef,
+    ConstValue,
+    FieldDefinition,
+    FieldName,
+    FieldRef,
+    Interner,
+    IRCode,
+    IRInstruction,
+    MethodDefinition,
+    MethodName,
+    MethodRef,
+    PackageName,
+    SimpleClassName,
+    TypeRef,
+)
+from .reconstruct import reconstruct_archive, reconstruct_class
+
+__all__ = [
+    "Archive",
+    "ClassDefinition",
+    "ClassRef",
+    "ConstValue",
+    "FieldDefinition",
+    "FieldName",
+    "FieldRef",
+    "IRCode",
+    "IRInstruction",
+    "Interner",
+    "MethodDefinition",
+    "MethodName",
+    "MethodRef",
+    "PackageName",
+    "SimpleClassName",
+    "TypeRef",
+    "build_archive",
+    "build_class",
+    "reconstruct_archive",
+    "reconstruct_class",
+]

@@ -1,0 +1,186 @@
+"""Building the restructured model (Figure 1) from class files."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..classfile import constant_pool as cp
+from ..classfile.attributes import (
+    CodeAttribute,
+    ConstantValueAttribute,
+    DeprecatedAttribute,
+    ExceptionsAttribute,
+    SyntheticAttribute,
+)
+from ..classfile.bytecode import Instruction, disassemble
+from ..classfile.classfile import ClassFile
+from ..classfile.constants import AccessFlags
+from ..classfile.opcodes import BY_NAME, OperandKind as K
+from . import model as ir
+
+_LDC = BY_NAME["ldc"].opcode
+_LDC_W = BY_NAME["ldc_w"].opcode
+_LDC2_W = BY_NAME["ldc2_w"].opcode
+
+
+class BuildError(ValueError):
+    """Raised when a class file cannot be restructured (e.g. carries
+    an unrecognized attribute that packing would corrupt)."""
+
+
+def _const_value(pool: cp.ConstantPool, index: int) -> ir.ConstValue:
+    entry = pool[index]
+    if isinstance(entry, cp.IntegerConst):
+        return ir.ConstValue("int", entry.value)
+    if isinstance(entry, cp.FloatConst):
+        return ir.ConstValue("float", entry.bits)
+    if isinstance(entry, cp.LongConst):
+        return ir.ConstValue("long", entry.value)
+    if isinstance(entry, cp.DoubleConst):
+        return ir.ConstValue("double", entry.bits)
+    if isinstance(entry, cp.StringConst):
+        return ir.ConstValue("string", pool.utf8_value(entry.utf8_index))
+    raise BuildError(f"constant pool entry {index} is not loadable")
+
+
+def _build_instruction(instruction: Instruction, pool: cp.ConstantPool,
+                       interner: ir.Interner) -> ir.IRInstruction:
+    out = ir.IRInstruction(
+        opcode=instruction.opcode,
+        local=instruction.local,
+        immediate=instruction.immediate,
+        target=instruction.target,
+        atype=instruction.atype,
+        dims=instruction.dims,
+    )
+    if instruction.switch is not None:
+        out.switch_default = instruction.switch.default
+        out.switch_low = instruction.switch.low
+        out.switch_pairs = list(instruction.switch.pairs)
+    kind = instruction.spec.cp_kind
+    if kind is None:
+        return out
+    index = instruction.cp_index
+    if kind == K.CP_LDC:
+        out.const = _const_value(pool, index)
+    elif kind == K.CP_LDC_W:
+        out.const = _const_value(pool, index)
+        out.wide_const = True
+    elif kind == K.CP_LDC2_W:
+        out.const = _const_value(pool, index)
+        out.wide_const = True
+    elif kind == K.CP_FIELD:
+        owner, name, descriptor = pool.member_ref(index)
+        out.field_ref = interner.field_ref(owner, name, descriptor)
+    elif kind in (K.CP_METHOD, K.CP_IMETHOD):
+        owner, name, descriptor = pool.member_ref(index)
+        out.method_ref = interner.method_ref(owner, name, descriptor)
+    elif kind == K.CP_CLASS:
+        name = pool.class_name(index)
+        if name.startswith("["):
+            # An array class (anewarray of arrays, checkcast on
+            # arrays, multianewarray): keep full type structure.
+            out.type_ref = interner.type_ref(name)
+        else:
+            out.class_ref = interner.class_ref(name)
+    return out
+
+
+def _member_flags(member, low_constants: Set[ir.ConstValue]) -> int:
+    flags = member.access_flags & AccessFlags.SPEC_MASK
+    for attribute in member.attributes:
+        if isinstance(attribute, SyntheticAttribute):
+            flags |= ir.FLAG_SYNTHETIC
+        elif isinstance(attribute, DeprecatedAttribute):
+            flags |= ir.FLAG_DEPRECATED
+    return flags
+
+
+def build_class(classfile: ClassFile,
+                interner: Optional[ir.Interner] = None
+                ) -> ir.ClassDefinition:
+    """Restructure one class file into the Figure 1 model."""
+    interner = interner or ir.Interner()
+    pool = classfile.pool
+
+    # First pass over all code: which loadable constants are referenced
+    # by a one-byte LDC?  Those must receive low constant-pool indices
+    # on reconstruction (Section 9).
+    low_constants: Set[ir.ConstValue] = set()
+    for method in classfile.methods:
+        code = method.code()
+        if code is None:
+            continue
+        for instruction in disassemble(code.code):
+            if instruction.opcode == _LDC:
+                low_constants.add(_const_value(pool, instruction.cp_index))
+
+    fields: List[ir.FieldDefinition] = []
+    for member in classfile.fields:
+        flags = _member_flags(member, low_constants)
+        constant: Optional[ir.ConstValue] = None
+        for attribute in member.attributes:
+            if isinstance(attribute, ConstantValueAttribute):
+                constant = _const_value(pool, attribute.value_index)
+                flags |= ir.FLAG_HAS_CONSTANT
+                needs_low = constant.kind in ("int", "float", "string")
+                if needs_low and constant not in low_constants:
+                    flags |= ir.FLAG_CONSTANT_HIGH
+        ref = interner.field_ref(
+            classfile.name,
+            pool.utf8_value(member.name_index),
+            pool.utf8_value(member.descriptor_index))
+        fields.append(ir.FieldDefinition(flags, ref, constant))
+
+    methods: List[ir.MethodDefinition] = []
+    for member in classfile.methods:
+        flags = _member_flags(member, low_constants)
+        exceptions: List[ir.ClassRef] = []
+        code_ir: Optional[ir.IRCode] = None
+        for attribute in member.attributes:
+            if isinstance(attribute, ExceptionsAttribute):
+                flags |= ir.FLAG_HAS_EXCEPTIONS
+                exceptions = [
+                    interner.class_ref(pool.class_name(i))
+                    for i in attribute.exception_indices]
+            elif isinstance(attribute, CodeAttribute):
+                flags |= ir.FLAG_HAS_CODE
+                instructions = [
+                    _build_instruction(i, pool, interner)
+                    for i in disassemble(attribute.code)]
+                handlers = [
+                    ir.IRExceptionHandler(
+                        entry.start_pc, entry.end_pc, entry.handler_pc,
+                        interner.class_ref(pool.class_name(entry.catch_type))
+                        if entry.catch_type else None)
+                    for entry in attribute.exception_table]
+                code_ir = ir.IRCode(attribute.max_stack,
+                                    attribute.max_locals,
+                                    instructions, handlers)
+        ref = interner.method_ref(
+            classfile.name,
+            pool.utf8_value(member.name_index),
+            pool.utf8_value(member.descriptor_index))
+        methods.append(ir.MethodDefinition(flags, ref, code_ir, exceptions))
+
+    flags = classfile.access_flags & AccessFlags.SPEC_MASK
+    super_ref: Optional[ir.ClassRef] = None
+    if classfile.super_class:
+        flags |= ir.FLAG_HAS_SUPER
+        super_ref = interner.class_ref(classfile.super_name)
+    return ir.ClassDefinition(
+        access_flags=flags,
+        this_class=interner.class_ref(classfile.name),
+        super_class=super_ref,
+        interfaces=[interner.class_ref(n)
+                    for n in classfile.interface_names()],
+        fields=fields,
+        methods=methods,
+    )
+
+
+def build_archive(classfiles: List[ClassFile]) -> ir.Archive:
+    """Restructure a whole collection with one shared interner."""
+    interner = ir.Interner()
+    return ir.Archive(
+        [build_class(classfile, interner) for classfile in classfiles])

@@ -1,0 +1,268 @@
+"""The restructured class-file model of Section 4 / Figure 1.
+
+This is the paper's "internal format": class names are split into
+shared :class:`PackageName` + :class:`SimpleClassName` objects, method
+and field types become arrays of class references instead of
+descriptor strings, generic attributes are folded into access-flag
+bits, and bytecode is held as decoded instructions whose constant-pool
+operands are replaced by direct references into this object graph.
+
+Objects that "may have been seen before" (the ``&`` references of
+Figure 1) are interned: building two classes from the same archive
+yields *shared* ``PackageName``/``ClassRef``/``MethodRef``/... objects,
+which is exactly what the wire format's reference coder exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Extra access-flag bits used only inside the packed format to replace
+#: generic attributes (Section 4: "additional flags ... that say whether
+#: specific attributes apply to this object").
+FLAG_HAS_CONSTANT = 0x1000
+FLAG_CONSTANT_HIGH = 0x2000  # Section 9: constant needs a high CP index
+FLAG_SYNTHETIC = 0x4000
+FLAG_DEPRECATED = 0x8000
+FLAG_HAS_CODE = 0x10000
+FLAG_HAS_EXCEPTIONS = 0x20000
+FLAG_HAS_SUPER = 0x40000
+
+
+@dataclass(frozen=True)
+class PackageName:
+    """A dotted-free package path, e.g. ``java/lang`` ('' for default)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SimpleClassName:
+    """The part of a class name after the last '/'."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class MethodName:
+    name: str
+
+
+@dataclass(frozen=True)
+class FieldName:
+    name: str
+
+
+@dataclass(frozen=True)
+class ClassRef:
+    """A reference to a class, factored into package + simple name."""
+
+    package: PackageName
+    simple: SimpleClassName
+
+    @property
+    def internal_name(self) -> str:
+        if self.package.name:
+            return f"{self.package.name}/{self.simple.name}"
+        return self.simple.name
+
+
+#: Primitive type codes used inside :class:`TypeRef` (0 = class).
+PRIMITIVE_CODES = {"V": 1, "Z": 2, "B": 3, "C": 4, "S": 5, "I": 6,
+                   "J": 7, "F": 8, "D": 9}
+PRIMITIVE_CHARS = {v: k for k, v in PRIMITIVE_CODES.items()}
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A field/argument/return type: array depth + base class or
+    primitive.  This is the paper's "special class references" encoding
+    of primitive and array types."""
+
+    dims: int
+    #: Either a ClassRef or a primitive descriptor character.
+    base: object
+
+    @property
+    def descriptor(self) -> str:
+        prefix = "[" * self.dims
+        if isinstance(self.base, ClassRef):
+            return f"{prefix}L{self.base.internal_name};"
+        return prefix + self.base
+
+
+@dataclass(frozen=True)
+class MethodRef:
+    """``owner.methodName(argTypes) -> returnType``."""
+
+    owner: ClassRef
+    name: MethodName
+    return_type: TypeRef
+    arg_types: Tuple[TypeRef, ...]
+
+    @property
+    def descriptor(self) -> str:
+        return "(" + "".join(t.descriptor for t in self.arg_types) + ")" + \
+            self.return_type.descriptor
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    owner: ClassRef
+    name: FieldName
+    type: TypeRef
+
+
+# -- constants ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConstValue:
+    """A loadable constant: kind in {'int','long','float','double',
+    'string'}; ``value`` is the int/raw-bits/str payload."""
+
+    kind: str
+    value: object
+
+
+# -- code --------------------------------------------------------------
+
+
+@dataclass
+class IRInstruction:
+    """One instruction with IR-level operands.
+
+    Exactly one of the operand fields is populated, according to the
+    opcode's operand kinds.  Branch targets are byte offsets within
+    the method (canonical layout).
+    """
+
+    opcode: int
+    local: Optional[int] = None
+    immediate: Optional[int] = None
+    target: Optional[int] = None
+    atype: Optional[int] = None
+    dims: Optional[int] = None
+    class_ref: Optional[ClassRef] = None
+    #: For anewarray/checkcast/instanceof/multianewarray on array types.
+    type_ref: Optional[TypeRef] = None
+    method_ref: Optional[MethodRef] = None
+    field_ref: Optional[FieldRef] = None
+    const: Optional[ConstValue] = None
+    #: True when the original used LDC_W / LDC2_W rather than LDC.
+    wide_const: bool = False
+    switch_default: Optional[int] = None
+    switch_low: Optional[int] = None
+    switch_pairs: Optional[List[Tuple[int, int]]] = None
+
+
+@dataclass
+class IRExceptionHandler:
+    start_pc: int
+    end_pc: int
+    handler_pc: int
+    catch_type: Optional[ClassRef]  # None = catch-all
+
+
+@dataclass
+class IRCode:
+    max_stack: int
+    max_locals: int
+    instructions: List[IRInstruction]
+    handlers: List[IRExceptionHandler] = field(default_factory=list)
+
+
+@dataclass
+class FieldDefinition:
+    access_flags: int  # includes FLAG_* bits
+    ref: FieldRef
+    constant: Optional[ConstValue] = None
+
+
+@dataclass
+class MethodDefinition:
+    access_flags: int  # includes FLAG_* bits
+    ref: MethodRef
+    code: Optional[IRCode] = None
+    exceptions: List[ClassRef] = field(default_factory=list)
+
+
+@dataclass
+class ClassDefinition:
+    access_flags: int  # includes FLAG_HAS_SUPER
+    this_class: ClassRef
+    super_class: Optional[ClassRef]
+    interfaces: List[ClassRef]
+    fields: List[FieldDefinition]
+    methods: List[MethodDefinition]
+
+
+@dataclass
+class Archive:
+    """An ordered collection of class definitions (the unit the wire
+    format compresses)."""
+
+    classes: List[ClassDefinition]
+
+
+class Interner:
+    """Interning factory for the shared (``&``) objects of Figure 1."""
+
+    def __init__(self):
+        self._cache: Dict[object, object] = {}
+
+    def _intern(self, obj):
+        cached = self._cache.get(obj)
+        if cached is None:
+            self._cache[obj] = obj
+            cached = obj
+        return cached
+
+    def package(self, name: str) -> PackageName:
+        return self._intern(PackageName(name))
+
+    def simple(self, name: str) -> SimpleClassName:
+        return self._intern(SimpleClassName(name))
+
+    def method_name(self, name: str) -> MethodName:
+        return self._intern(MethodName(name))
+
+    def field_name(self, name: str) -> FieldName:
+        return self._intern(FieldName(name))
+
+    def class_ref(self, internal_name: str) -> ClassRef:
+        if "/" in internal_name:
+            package, simple = internal_name.rsplit("/", 1)
+        else:
+            package, simple = "", internal_name
+        return self._intern(
+            ClassRef(self.package(package), self.simple(simple)))
+
+    def type_ref(self, descriptor: str) -> TypeRef:
+        dims = 0
+        while descriptor.startswith("["):
+            dims += 1
+            descriptor = descriptor[1:]
+        if descriptor.startswith("L"):
+            base: object = self.class_ref(descriptor[1:-1])
+        else:
+            base = descriptor
+        return self._intern(TypeRef(dims, base))
+
+    def method_ref(self, owner: str, name: str,
+                   descriptor: str) -> MethodRef:
+        from ..classfile.descriptors import parse_method_descriptor
+
+        args, ret = parse_method_descriptor(descriptor)
+        return self._intern(MethodRef(
+            self.class_ref(owner),
+            self.method_name(name),
+            self.type_ref(ret),
+            tuple(self.type_ref(a) for a in args)))
+
+    def field_ref(self, owner: str, name: str, descriptor: str) -> FieldRef:
+        return self._intern(FieldRef(
+            self.class_ref(owner),
+            self.field_name(name),
+            self.type_ref(descriptor)))

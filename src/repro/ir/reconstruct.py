@@ -1,0 +1,231 @@
+"""Reconstructing conventional class files from the Figure 1 model.
+
+Implements the Section 9 constant-pool index assignment: loadable
+constants referenced by one-byte ``LDC`` instructions (and field
+constant values without the HIGH flag) are interned *first* so they
+receive indices <= 255; everything else is interned afterwards in
+first-use order.  Reconstruction is deterministic — the same model
+always yields byte-identical class files — which is what makes the
+paper's sign-after-decompress scheme (Section 12) workable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..classfile import constant_pool as cp
+from ..classfile.attributes import (
+    CodeAttribute,
+    ConstantValueAttribute,
+    DeprecatedAttribute,
+    ExceptionsAttribute,
+    ExceptionTableEntry,
+    SyntheticAttribute,
+)
+from ..classfile.bytecode import (
+    Instruction,
+    SwitchData,
+    assemble,
+    layout,
+)
+from ..classfile.classfile import ClassFile
+from ..classfile.constants import AccessFlags
+from ..classfile.descriptors import slot_width
+from ..classfile.members import FieldInfo, MethodInfo
+from ..classfile.opcodes import BY_NAME, OperandKind as K
+from . import model as ir
+
+_LDC = BY_NAME["ldc"].opcode
+_LDC_W = BY_NAME["ldc_w"].opcode
+_INVOKEINTERFACE = BY_NAME["invokeinterface"].opcode
+
+
+class ReconstructError(ValueError):
+    """Raised when a model cannot be turned back into a class file."""
+
+
+def _intern_const(pool: cp.ConstantPool, const: ir.ConstValue) -> int:
+    if const.kind == "int":
+        return pool.add(cp.IntegerConst(const.value))
+    if const.kind == "float":
+        return pool.add(cp.FloatConst(const.value))
+    if const.kind == "long":
+        return pool.add(cp.LongConst(const.value))
+    if const.kind == "double":
+        return pool.add(cp.DoubleConst(const.value))
+    if const.kind == "string":
+        return pool.string(const.value)
+    raise ReconstructError(f"unknown constant kind {const.kind}")
+
+
+def _type_descriptor(type_ref: ir.TypeRef) -> str:
+    return type_ref.descriptor
+
+
+def _method_descriptor(ref: ir.MethodRef) -> str:
+    return ref.descriptor
+
+
+def reconstruct_class(definition: ir.ClassDefinition) -> ClassFile:
+    """Build a conventional class file from one class definition."""
+    classfile = ClassFile()
+    pool = classfile.pool
+
+    # -- Section 9: low-index constants first -------------------------
+    low: List[ir.ConstValue] = []
+    seen = set()
+
+    def note_low(const: ir.ConstValue) -> None:
+        if const not in seen:
+            seen.add(const)
+            low.append(const)
+
+    for method in definition.methods:
+        if method.code is None:
+            continue
+        for instruction in method.code.instructions:
+            if instruction.const is not None and not instruction.wide_const:
+                note_low(instruction.const)
+    for field_def in definition.fields:
+        if field_def.constant is not None and \
+                field_def.constant.kind in ("int", "float", "string") and \
+                not field_def.access_flags & ir.FLAG_CONSTANT_HIGH:
+            note_low(field_def.constant)
+    for const in low:
+        index = _intern_const(pool, const)
+        if index > 0xFF:
+            raise ReconstructError(
+                "more than 255 LDC-referenced constants in one class")
+
+    # -- class header ----------------------------------------------------
+    classfile.access_flags = definition.access_flags & AccessFlags.SPEC_MASK
+    classfile.this_class = pool.class_info(
+        definition.this_class.internal_name)
+    if definition.super_class is not None:
+        classfile.super_class = pool.class_info(
+            definition.super_class.internal_name)
+    else:
+        classfile.super_class = 0
+    classfile.interfaces = [
+        pool.class_info(ref.internal_name) for ref in definition.interfaces]
+
+    for field_def in definition.fields:
+        classfile.fields.append(_reconstruct_field(field_def, pool))
+    for method_def in definition.methods:
+        classfile.methods.append(_reconstruct_method(method_def, pool))
+    return classfile
+
+
+def _member_attributes(flags: int) -> List:
+    attributes = []
+    if flags & ir.FLAG_SYNTHETIC:
+        attributes.append(SyntheticAttribute())
+    if flags & ir.FLAG_DEPRECATED:
+        attributes.append(DeprecatedAttribute())
+    return attributes
+
+
+def _reconstruct_field(field_def: ir.FieldDefinition,
+                       pool: cp.ConstantPool) -> FieldInfo:
+    info = FieldInfo(
+        field_def.access_flags & AccessFlags.SPEC_MASK,
+        pool.utf8(field_def.ref.name.name),
+        pool.utf8(_type_descriptor(field_def.ref.type)))
+    if field_def.access_flags & ir.FLAG_HAS_CONSTANT:
+        if field_def.constant is None:
+            raise ReconstructError("HAS_CONSTANT flag without a constant")
+        info.attributes.append(ConstantValueAttribute(
+            _intern_const(pool, field_def.constant)))
+    info.attributes.extend(_member_attributes(field_def.access_flags))
+    return info
+
+
+def _reconstruct_method(method_def: ir.MethodDefinition,
+                        pool: cp.ConstantPool) -> MethodInfo:
+    info = MethodInfo(
+        method_def.access_flags & AccessFlags.SPEC_MASK,
+        pool.utf8(method_def.ref.name.name),
+        pool.utf8(_method_descriptor(method_def.ref)))
+    if method_def.access_flags & ir.FLAG_HAS_CODE:
+        if method_def.code is None:
+            raise ReconstructError("HAS_CODE flag without code")
+        info.attributes.append(_reconstruct_code(method_def, pool))
+    if method_def.access_flags & ir.FLAG_HAS_EXCEPTIONS:
+        info.attributes.append(ExceptionsAttribute([
+            pool.class_info(ref.internal_name)
+            for ref in method_def.exceptions]))
+    info.attributes.extend(_member_attributes(method_def.access_flags))
+    return info
+
+
+def _reconstruct_code(method_def: ir.MethodDefinition,
+                      pool: cp.ConstantPool) -> CodeAttribute:
+    code = method_def.code
+    instructions = [
+        _reconstruct_instruction(ir_instruction, pool)
+        for ir_instruction in code.instructions]
+    layout(instructions)  # assign canonical offsets
+    raw = assemble(instructions, relayout=False)
+    table = [
+        ExceptionTableEntry(
+            handler.start_pc, handler.end_pc, handler.handler_pc,
+            pool.class_info(handler.catch_type.internal_name)
+            if handler.catch_type is not None else 0)
+        for handler in code.handlers]
+    return CodeAttribute(code.max_stack, code.max_locals, raw, table)
+
+
+def _reconstruct_instruction(instruction: ir.IRInstruction,
+                             pool: cp.ConstantPool) -> Instruction:
+    out = Instruction(
+        instruction.opcode,
+        local=instruction.local,
+        immediate=instruction.immediate,
+        target=instruction.target,
+        atype=instruction.atype,
+        dims=instruction.dims,
+    )
+    if instruction.switch_pairs is not None:
+        out.switch = SwitchData(instruction.switch_default,
+                                instruction.switch_low,
+                                list(instruction.switch_pairs))
+    spec = out.spec
+    kind = spec.cp_kind
+    if kind is None:
+        return out
+    if kind in (K.CP_LDC, K.CP_LDC_W, K.CP_LDC2_W):
+        index = _intern_const(pool, instruction.const)
+        if kind == K.CP_LDC and index > 0xFF:
+            raise ReconstructError(
+                f"LDC constant received high index {index}")
+        out.cp_index = index
+    elif kind == K.CP_FIELD:
+        ref = instruction.field_ref
+        out.cp_index = pool.fieldref(
+            ref.owner.internal_name, ref.name.name,
+            _type_descriptor(ref.type))
+    elif kind in (K.CP_METHOD, K.CP_IMETHOD):
+        ref = instruction.method_ref
+        descriptor = _method_descriptor(ref)
+        if kind == K.CP_IMETHOD:
+            out.cp_index = pool.interface_methodref(
+                ref.owner.internal_name, ref.name.name, descriptor)
+            # The count operand is redundant with the descriptor; the
+            # wire format drops it and we regenerate it here.
+            out.count = 1 + sum(
+                slot_width(t.descriptor) for t in ref.arg_types)
+        else:
+            out.cp_index = pool.methodref(
+                ref.owner.internal_name, ref.name.name, descriptor)
+    elif kind == K.CP_CLASS:
+        if instruction.type_ref is not None:
+            out.cp_index = pool.class_info(instruction.type_ref.descriptor)
+        else:
+            out.cp_index = pool.class_info(
+                instruction.class_ref.internal_name)
+    return out
+
+
+def reconstruct_archive(archive: ir.Archive) -> List[ClassFile]:
+    """Reconstruct every class in the archive, in order."""
+    return [reconstruct_class(definition) for definition in archive.classes]

@@ -1,0 +1,31 @@
+"""Jar archive substrate and the Table 1 baseline formats."""
+
+from .formats import (
+    JarSizes,
+    build_baselines,
+    jar_sizes,
+    roundtrip_jar,
+    serialize_classes,
+    strip_classes,
+)
+from .jarfile import (
+    classes_to_entries,
+    gunzip_whole,
+    gzip_whole,
+    make_jar,
+    read_jar,
+)
+
+__all__ = [
+    "JarSizes",
+    "build_baselines",
+    "classes_to_entries",
+    "gunzip_whole",
+    "gzip_whole",
+    "jar_sizes",
+    "make_jar",
+    "read_jar",
+    "roundtrip_jar",
+    "serialize_classes",
+    "strip_classes",
+]

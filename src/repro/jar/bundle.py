@@ -1,0 +1,91 @@
+"""Packed bundles: jar functionality on top of the wire format (§12).
+
+    "The basic solution to this is to combine a packed java archive
+    with a standard jar file that contains all of the non-class files
+    from the jar archive being emulated."
+
+A *bundle* is a standard zip holding:
+
+* ``META-INF/MANIFEST.MF`` — digests of the (decompressed) class files
+  and of every resource,
+* ``classes.pack``         — the packed archive (stored, already
+  compressed),
+* every non-class resource — deflated individually, as in a jar.
+
+``open_bundle`` reverses the construction, decompresses the classes,
+and verifies every digest.
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+from typing import Dict, List, Optional, Tuple
+
+from ..classfile.classfile import ClassFile
+from .manifest import (
+    Manifest,
+    ManifestError,
+    sign_classfiles,
+    verify_classfiles,
+)
+
+PACKED_ENTRY = "classes.pack"
+MANIFEST_ENTRY = "META-INF/MANIFEST.MF"
+
+
+def make_bundle(classfiles: List[ClassFile],
+                resources: Optional[Dict[str, bytes]] = None,
+                options=None) -> bytes:
+    """Build a packed bundle from class files plus resources."""
+    from ..pack import pack_archive, unpack_archive
+
+    resources = resources or {}
+    for name in (PACKED_ENTRY, MANIFEST_ENTRY):
+        if name in resources:
+            raise ValueError(f"resource name {name!r} is reserved")
+    packed = pack_archive(classfiles, options)
+    # Sign what the receiver will reconstruct (§12).
+    manifest = sign_classfiles(unpack_archive(packed, options))
+    for name, data in sorted(resources.items()):
+        manifest.add_entry(name, data)
+
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
+        stamp = (1999, 5, 2, 0, 0, 0)
+        manifest_info = zipfile.ZipInfo(MANIFEST_ENTRY, date_time=stamp)
+        archive.writestr(manifest_info, manifest.render())
+        packed_info = zipfile.ZipInfo(PACKED_ENTRY, date_time=stamp)
+        packed_info.compress_type = zipfile.ZIP_STORED
+        archive.writestr(packed_info, packed)
+        for name, data in sorted(resources.items()):
+            info = zipfile.ZipInfo(name, date_time=stamp)
+            archive.writestr(info, data)
+    return buffer.getvalue()
+
+
+def open_bundle(data: bytes, options=None
+                ) -> Tuple[List[ClassFile], Dict[str, bytes], Manifest]:
+    """Open a bundle; returns (class files, resources, manifest).
+
+    Every class file and resource is verified against the manifest;
+    tampering raises :class:`ManifestError`.
+    """
+    from ..pack import unpack_archive
+
+    with zipfile.ZipFile(io.BytesIO(data)) as archive:
+        names = set(archive.namelist())
+        if MANIFEST_ENTRY not in names or PACKED_ENTRY not in names:
+            raise ManifestError("not a packed bundle")
+        manifest = Manifest.parse(
+            archive.read(MANIFEST_ENTRY).decode("utf-8"))
+        packed = archive.read(PACKED_ENTRY)
+        resources = {
+            name: archive.read(name)
+            for name in sorted(names - {MANIFEST_ENTRY, PACKED_ENTRY})
+        }
+    classfiles = unpack_archive(packed, options)
+    verify_classfiles(manifest, classfiles)
+    for name, payload in resources.items():
+        manifest.verify_entry(name, payload)
+    return classfiles, resources, manifest

@@ -1,0 +1,102 @@
+"""The jar-format size ladder from Tables 1 and 6.
+
+The paper compares four baseline representations of a class-file
+collection:
+
+* ``jar``     — class files as-is, individually deflated,
+* ``sjar``    — debug info stripped + constant pool GC'd/sorted
+                (Section 2), individually deflated,
+* ``sj0r``    — stripped class files, stored uncompressed,
+* ``sj0r.gz`` — the ``sj0r`` archive zlib-compressed as a whole.
+
+All take :class:`~repro.classfile.classfile.ClassFile` objects (or raw
+bytes) and return sizes/bytes.  Non-class files are excluded by
+construction, matching the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..classfile.classfile import ClassFile, parse_class, write_class
+from ..classfile.transform import normalize
+from .jarfile import classes_to_entries, gzip_whole, make_jar
+
+
+@dataclass
+class JarSizes:
+    """Byte sizes of all baseline representations (Table 1 columns)."""
+
+    sj0r: int       # stripped, not compressed (sum of class files + zip)
+    jar: int        # unstripped, per-file deflate
+    sjar: int       # stripped, per-file deflate
+    sj0r_gz: int    # stripped, whole-archive zlib
+
+    @property
+    def sjar_over_jar(self) -> float:
+        return self.sjar / self.jar if self.jar else 0.0
+
+    @property
+    def sj0r_gz_over_sjar(self) -> float:
+        return self.sj0r_gz / self.sjar if self.sjar else 0.0
+
+    @property
+    def sj0r_gz_over_sj0r(self) -> float:
+        return self.sj0r_gz / self.sj0r if self.sj0r else 0.0
+
+
+def strip_classes(classfiles: Dict[str, ClassFile]
+                  ) -> Dict[str, ClassFile]:
+    """Apply the Section 2 normalization to a copy of every class."""
+    stripped: Dict[str, ClassFile] = {}
+    for name, classfile in classfiles.items():
+        stripped[name] = normalize(copy.deepcopy(classfile))
+    return stripped
+
+
+def serialize_classes(classfiles: Dict[str, ClassFile]) -> Dict[str, bytes]:
+    return {name: write_class(classfile)
+            for name, classfile in classfiles.items()}
+
+
+def jar_sizes(classfiles: Dict[str, ClassFile]) -> JarSizes:
+    """Compute every baseline size for a class-file collection."""
+    raw = serialize_classes(classfiles)
+    stripped = serialize_classes(strip_classes(classfiles))
+    jar_bytes = make_jar(classes_to_entries(raw), compress=True)
+    sjar_bytes = make_jar(classes_to_entries(stripped), compress=True)
+    sj0r_bytes = make_jar(classes_to_entries(stripped), compress=False)
+    sj0r_gz_bytes = gzip_whole(sj0r_bytes)
+    return JarSizes(
+        sj0r=len(sj0r_bytes),
+        jar=len(jar_bytes),
+        sjar=len(sjar_bytes),
+        sj0r_gz=len(sj0r_gz_bytes),
+    )
+
+
+def build_baselines(classfiles: Dict[str, ClassFile]
+                    ) -> Dict[str, bytes]:
+    """Actual archive bytes for each baseline representation."""
+    raw = serialize_classes(classfiles)
+    stripped = serialize_classes(strip_classes(classfiles))
+    sj0r = make_jar(classes_to_entries(stripped), compress=False)
+    return {
+        "jar": make_jar(classes_to_entries(raw), compress=True),
+        "sjar": make_jar(classes_to_entries(stripped), compress=True),
+        "sj0r": sj0r,
+        "sj0r.gz": gzip_whole(sj0r),
+    }
+
+
+def roundtrip_jar(archive: bytes) -> List[Tuple[str, ClassFile]]:
+    """Parse every class file out of a jar archive."""
+    from .jarfile import read_jar
+
+    out: List[Tuple[str, ClassFile]] = []
+    for name, data in read_jar(archive):
+        if name.endswith(".class"):
+            out.append((name[:-len(".class")], parse_class(data)))
+    return out

@@ -1,0 +1,59 @@
+"""Jar (zip) archive construction and reading.
+
+Built on the standard library ``zipfile``/``zlib`` modules — the same
+deflate algorithm the real jar tool uses.  Supports the two packing
+modes the paper measures: per-entry deflate (normal jar) and stored
+entries (for ``j0r`` archives that are gzip'd as a whole).
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+import zlib
+from typing import Dict, Iterable, List, Tuple
+
+
+def make_jar(entries: Iterable[Tuple[str, bytes]],
+             compress: bool = True) -> bytes:
+    """Build a jar archive from ``(name, data)`` pairs.
+
+    ``compress=True`` deflates each entry individually (a normal jar);
+    ``compress=False`` stores entries raw (a ``j0r`` archive).
+    Timestamps are fixed so output is deterministic.
+    """
+    buffer = io.BytesIO()
+    method = zipfile.ZIP_DEFLATED if compress else zipfile.ZIP_STORED
+    with zipfile.ZipFile(buffer, "w", method) as archive:
+        for name, data in entries:
+            info = zipfile.ZipInfo(name, date_time=(1999, 5, 2, 0, 0, 0))
+            info.compress_type = method
+            archive.writestr(info, data)
+    return buffer.getvalue()
+
+
+def read_jar(data: bytes) -> List[Tuple[str, bytes]]:
+    """Extract ``(name, data)`` pairs from a jar archive."""
+    with zipfile.ZipFile(io.BytesIO(data)) as archive:
+        return [(info.filename, archive.read(info.filename))
+                for info in archive.infolist()]
+
+
+def gzip_whole(data: bytes, level: int = 9) -> bytes:
+    """Compress a whole archive with zlib.
+
+    The paper's measurements exclude the 18-byte gzip header/trailer,
+    so this is a raw zlib stream.
+    """
+    return zlib.compress(data, level)
+
+
+def gunzip_whole(data: bytes) -> bytes:
+    return zlib.decompress(data)
+
+
+def classes_to_entries(classfiles: Dict[str, bytes]
+                       ) -> List[Tuple[str, bytes]]:
+    """Map internal class names to jar entry names (``Name.class``)."""
+    return [(f"{name}.class", data)
+            for name, data in sorted(classfiles.items())]

@@ -1,0 +1,145 @@
+"""Jar manifests and the Section 12 signing flow.
+
+Packing renumbers constant pools, so signatures over the *original*
+class files would not survive a pack/unpack cycle.  The paper's fix:
+
+    "compress the classfiles, and then decompress the classfiles.
+    Sign the decompressed classfiles, and ship the signed manifest
+    from the decompressed classfiles along with the packed archive."
+
+Decompression is deterministic, so the receiver reconstructs exactly
+the bytes the manifest signs.  This module implements the manifest
+(1999-era ``META-INF/MANIFEST.MF`` shape with per-entry SHA digests)
+and the sign/verify helpers.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..classfile.classfile import ClassFile, write_class
+
+DIGEST_ATTRIBUTE = "SHA-Digest"
+
+
+class ManifestError(ValueError):
+    """Raised on malformed or non-verifying manifests."""
+
+
+def _digest(data: bytes) -> str:
+    return base64.b64encode(hashlib.sha1(data).digest()).decode("ascii")
+
+
+@dataclass
+class Manifest:
+    """A jar manifest: main attributes plus per-entry digest sections."""
+
+    main: Dict[str, str] = field(default_factory=lambda: {
+        "Manifest-Version": "1.0",
+        "Created-By": "repro (Compressing Java Class Files)",
+    })
+    #: entry name -> attribute map (must include the digest).
+    entries: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def add_entry(self, name: str, data: bytes) -> None:
+        self.entries[name] = {DIGEST_ATTRIBUTE: _digest(data)}
+
+    # -- serialization ----------------------------------------------------
+
+    def render(self) -> str:
+        """The textual MANIFEST.MF form (72-byte line folding elided:
+        our attribute lines stay short)."""
+        lines: List[str] = []
+        for key, value in self.main.items():
+            lines.append(f"{key}: {value}")
+        lines.append("")
+        for name in sorted(self.entries):
+            lines.append(f"Name: {name}")
+            for key, value in sorted(self.entries[name].items()):
+                lines.append(f"{key}: {value}")
+            lines.append("")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def parse(cls, text: str) -> "Manifest":
+        manifest = cls(main={}, entries={})
+        current: Dict[str, str] = manifest.main
+        for raw_line in text.splitlines():
+            line = raw_line.rstrip("\r")
+            if not line:
+                current = {}
+                continue
+            if ":" not in line:
+                raise ManifestError(f"malformed manifest line {line!r}")
+            key, value = line.split(":", 1)
+            key = key.strip()
+            value = value.strip()
+            if key == "Name":
+                current = {}
+                manifest.entries[value] = current
+            else:
+                current[key] = value
+        return manifest
+
+    # -- verification -------------------------------------------------------
+
+    def verify_entry(self, name: str, data: bytes) -> None:
+        attributes = self.entries.get(name)
+        if attributes is None:
+            raise ManifestError(f"no manifest entry for {name}")
+        expected = attributes.get(DIGEST_ATTRIBUTE)
+        if expected is None:
+            raise ManifestError(f"entry {name} carries no digest")
+        if _digest(data) != expected:
+            raise ManifestError(f"digest mismatch for {name}")
+
+
+def class_entry_name(internal_name: str) -> str:
+    return f"{internal_name}.class"
+
+
+def sign_classfiles(classfiles: List[ClassFile]) -> Manifest:
+    """Build a manifest whose digests cover the given class files.
+
+    Per Section 12, call this on *decompressed* class files — the
+    deterministic output of unpack — never on the pre-pack originals.
+    """
+    manifest = Manifest()
+    for classfile in classfiles:
+        manifest.add_entry(class_entry_name(classfile.name),
+                           write_class(classfile))
+    return manifest
+
+
+def verify_classfiles(manifest: Manifest,
+                      classfiles: List[ClassFile]) -> None:
+    """Check every class file against the manifest; raises on mismatch
+    or on classes missing from the manifest."""
+    for classfile in classfiles:
+        manifest.verify_entry(class_entry_name(classfile.name),
+                              write_class(classfile))
+
+
+def signing_roundtrip(classfiles: List[ClassFile],
+                      options=None) -> Tuple[bytes, Manifest]:
+    """The full Section 12 flow: pack, decompress, sign the
+    decompressed class files.  Returns ``(packed bytes, manifest)``;
+    the receiver runs :func:`verify_signed_archive`."""
+    from ..pack import pack_archive, unpack_archive
+
+    packed = pack_archive(classfiles, options)
+    decompressed = unpack_archive(packed, options)
+    return packed, sign_classfiles(decompressed)
+
+
+def verify_signed_archive(packed: bytes, manifest: Manifest,
+                          options=None) -> List[ClassFile]:
+    """Receiver side: decompress and check every digest."""
+    from ..pack import unpack_archive
+
+    classfiles = unpack_archive(packed, options)
+    verify_classfiles(manifest, classfiles)
+    return classfiles

@@ -1,0 +1,14 @@
+"""A JVM bytecode interpreter for the class files this repo produces."""
+
+from .machine import JavaThrow, Machine, MachineError
+from .values import JavaArray, JavaObject, JFloat, JLong
+
+__all__ = [
+    "JavaArray",
+    "JavaObject",
+    "JavaThrow",
+    "JFloat",
+    "JLong",
+    "Machine",
+    "MachineError",
+]

@@ -1,0 +1,1041 @@
+"""A JVM bytecode interpreter.
+
+Executes the class files this repository produces (from the mini-Java
+compiler or from packed-archive decompression) with faithful
+semantics for the instruction subset those class files use: 32/64-bit
+integer wrapping, IEEE-754 float/double behaviour, dynamic dispatch,
+exceptions, arrays, string building, and static initialization.
+
+The interpreter is the repository's stand-in for "run it on a JVM":
+tests execute the same program before and after a pack/unpack cycle
+and require identical output.
+
+Runtime (java.*) classes are modeled by native stubs matching the
+compiler's runtime model (:mod:`repro.minijava.runtime`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..classfile.bytecode import Instruction, disassemble
+from ..classfile.classfile import ClassFile
+from ..classfile.constants import AccessFlags
+from ..classfile.descriptors import parse_method_descriptor, slot_width
+from ..classfile import constant_pool as cp
+from .values import (
+    JavaArray,
+    JavaObject,
+    JFloat,
+    JLong,
+    default_value,
+    to_byte,
+    to_char,
+    to_int,
+    to_short,
+)
+
+
+class MachineError(RuntimeError):
+    """Raised for conditions the interpreter cannot model."""
+
+
+class JavaThrow(Exception):
+    """A Java exception in flight; carries the throwable object."""
+
+    def __init__(self, throwable: JavaObject):
+        super().__init__(throwable.class_name)
+        self.throwable = throwable
+
+
+#: Built-in exception hierarchy (mirrors minijava.runtime).
+_EXCEPTION_SUPERS = {
+    "java/lang/Exception": "java/lang/Throwable",
+    "java/lang/RuntimeException": "java/lang/Exception",
+    "java/io/IOException": "java/lang/Exception",
+    "java/lang/IllegalArgumentException": "java/lang/RuntimeException",
+    "java/lang/IllegalStateException": "java/lang/RuntimeException",
+    "java/lang/IndexOutOfBoundsException": "java/lang/RuntimeException",
+    "java/lang/ArithmeticException": "java/lang/RuntimeException",
+    "java/lang/NullPointerException": "java/lang/RuntimeException",
+    "java/lang/UnsupportedOperationException":
+        "java/lang/RuntimeException",
+}
+
+
+class Machine:
+    """Interpreter state: loaded classes, statics, console output."""
+
+    def __init__(self, classfiles: List[ClassFile],
+                 max_steps: int = 2_000_000, max_call_depth: int = 128):
+        self.classes: Dict[str, ClassFile] = {
+            classfile.name: classfile for classfile in classfiles}
+        self.statics: Dict[Tuple[str, str], object] = {}
+        self.initialized: set = set()
+        self.output: List[str] = []
+        self.max_steps = max_steps
+        self.max_call_depth = max_call_depth
+        self.depth = 0
+        self.steps = 0
+        self._code_cache: Dict[int, Tuple[List[Instruction],
+                                          Dict[int, int]]] = {}
+
+    # -- console ---------------------------------------------------------
+
+    def stdout(self) -> str:
+        return "".join(self.output)
+
+    def _print(self, text: str) -> None:
+        self.output.append(text)
+
+    # -- class machinery ----------------------------------------------------
+
+    def super_name(self, class_name: str) -> Optional[str]:
+        classfile = self.classes.get(class_name)
+        if classfile is not None:
+            return classfile.super_name
+        if class_name in _EXCEPTION_SUPERS:
+            return _EXCEPTION_SUPERS[class_name]
+        if class_name == "java/lang/Object":
+            return None
+        return "java/lang/Object"
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        current: Optional[str] = sub
+        while current is not None:
+            if current == sup:
+                return True
+            classfile = self.classes.get(current)
+            if classfile is not None and \
+                    sup in classfile.interface_names():
+                return True
+            current = self.super_name(current)
+        return False
+
+    def ensure_initialized(self, class_name: str) -> None:
+        """Run ``<clinit>`` on first active use (superclass first)."""
+        if class_name in self.initialized:
+            return
+        self.initialized.add(class_name)
+        classfile = self.classes.get(class_name)
+        if classfile is None:
+            return
+        if classfile.super_name:
+            self.ensure_initialized(classfile.super_name)
+        for member in classfile.fields:
+            if not member.access_flags & AccessFlags.STATIC:
+                continue
+            name = classfile.member_name(member)
+            descriptor = classfile.member_descriptor(member)
+            value: object = default_value(descriptor)
+            for attribute in member.attributes:
+                if attribute.name == "ConstantValue":
+                    value = self._constant(classfile.pool,
+                                           attribute.value_index,
+                                           descriptor)
+            self.statics[(class_name, name)] = value
+        clinit = self._find_declared(classfile, "<clinit>", "()V")
+        if clinit is not None:
+            self.invoke(class_name, "<clinit>", "()V", None, [])
+
+    def _constant(self, pool: cp.ConstantPool, index: int,
+                  descriptor: str) -> object:
+        entry = pool[index]
+        if isinstance(entry, cp.IntegerConst):
+            return entry.value
+        if isinstance(entry, cp.LongConst):
+            return JLong(entry.value)
+        if isinstance(entry, cp.FloatConst):
+            return JFloat(_float_from_bits(entry.bits))
+        if isinstance(entry, cp.DoubleConst):
+            return _double_from_bits(entry.bits)
+        if isinstance(entry, cp.StringConst):
+            return pool.utf8_value(entry.utf8_index)
+        raise MachineError(f"bad constant for {descriptor}")
+
+    @staticmethod
+    def _find_declared(classfile: ClassFile, name: str,
+                       descriptor: str):
+        for member in classfile.methods:
+            if classfile.member_name(member) == name and \
+                    classfile.member_descriptor(member) == descriptor:
+                return member
+        return None
+
+    def resolve_method(self, class_name: str, name: str,
+                       descriptor: str):
+        """Walk the hierarchy for a concrete method; returns
+        ``(declaring class file, member)`` or None for native."""
+        current: Optional[str] = class_name
+        while current is not None:
+            classfile = self.classes.get(current)
+            if classfile is not None:
+                member = self._find_declared(classfile, name, descriptor)
+                if member is not None and member.code() is not None:
+                    return classfile, member
+            current = self.super_name(current)
+        return None
+
+    # -- object construction ---------------------------------------------
+
+    def new_instance(self, class_name: str) -> JavaObject:
+        self.ensure_initialized(class_name)
+        instance = JavaObject(class_name)
+        current: Optional[str] = class_name
+        while current is not None:
+            classfile = self.classes.get(current)
+            if classfile is None:
+                break
+            for member in classfile.fields:
+                if member.access_flags & AccessFlags.STATIC:
+                    continue
+                name = classfile.member_name(member)
+                descriptor = classfile.member_descriptor(member)
+                instance.fields.setdefault(name,
+                                           default_value(descriptor))
+            current = classfile.super_name
+        return instance
+
+    def throw(self, class_name: str, message: Optional[str] = None):
+        throwable = JavaObject(class_name)
+        throwable.fields["message"] = message
+        raise JavaThrow(throwable)
+
+    # -- invocation -----------------------------------------------------------
+
+    def invoke(self, class_name: str, name: str, descriptor: str,
+               receiver: Optional[object], args: List[object]) -> object:
+        """Invoke a method; dispatches to bytecode or a native stub."""
+        target = class_name
+        if receiver is not None and isinstance(receiver, JavaObject) and \
+                name != "<init>":
+            target = receiver.class_name
+        resolved = self.resolve_method(target, name, descriptor)
+        if resolved is None and name == "<init>":
+            resolved = self.resolve_method(class_name, name, descriptor)
+        if resolved is not None:
+            classfile, member = resolved
+            self.ensure_initialized(classfile.name)
+            return self._execute(classfile, member, receiver, args)
+        return self._native(class_name, target, name, descriptor,
+                            receiver, args)
+
+    def invoke_special(self, class_name: str, name: str,
+                       descriptor: str, receiver: Optional[object],
+                       args: List[object]) -> object:
+        """invokespecial: no dynamic dispatch."""
+        resolved = self.resolve_method(class_name, name, descriptor)
+        if resolved is not None:
+            classfile, member = resolved
+            self.ensure_initialized(classfile.name)
+            return self._execute(classfile, member, receiver, args)
+        return self._native(class_name, class_name, name, descriptor,
+                            receiver, args)
+
+    def run_main(self, class_name: str,
+                 argv: Optional[List[str]] = None) -> str:
+        """Run ``main(String[])``; returns captured stdout."""
+        array = JavaArray("Ljava/lang/String;", list(argv or []))
+        self.ensure_initialized(class_name)
+        self.invoke(class_name, "main", "([Ljava/lang/String;)V",
+                    None, [array])
+        return self.stdout()
+
+    def call(self, class_name: str, name: str, descriptor: str,
+             *args: object) -> object:
+        """Convenience: construct-free static call."""
+        self.ensure_initialized(class_name)
+        return self.invoke(class_name, name, descriptor, None,
+                           list(args))
+
+    def construct(self, class_name: str, descriptor: str,
+                  *args: object) -> JavaObject:
+        """Convenience: ``new class_name(...)``."""
+        instance = self.new_instance(class_name)
+        self.invoke_special(class_name, "<init>", descriptor, instance,
+                            list(args))
+        return instance
+
+    # -- frame execution --------------------------------------------------
+
+    def _execute(self, classfile: ClassFile, member,
+                 receiver: Optional[object],
+                 args: List[object]) -> object:
+        code = member.code()
+        if code is None:
+            raise MachineError(
+                f"abstract/native method "
+                f"{classfile.name}.{classfile.member_name(member)}")
+        key = id(code)
+        cached = self._code_cache.get(key)
+        if cached is None:
+            instructions = disassemble(code.code)
+            by_offset = {ins.offset: i
+                         for i, ins in enumerate(instructions)}
+            cached = (instructions, by_offset)
+            self._code_cache[key] = cached
+        frame = _Frame(self, classfile, member, code, cached[0],
+                       cached[1])
+        self.depth += 1
+        if self.depth > self.max_call_depth:
+            self.depth -= 1
+            raise MachineError("call depth limit exceeded "
+                               "(likely unbounded recursion)")
+        try:
+            return frame.run(receiver, args)
+        finally:
+            self.depth -= 1
+
+    # -- native runtime --------------------------------------------------
+
+    def _native(self, class_name: str, target: str, name: str,
+                descriptor: str, receiver, args) -> object:
+        from .natives import dispatch_native
+
+        return dispatch_native(self, class_name, target, name,
+                               descriptor, receiver, args)
+
+    def static_get(self, class_name: str, field: str,
+                   descriptor: str) -> object:
+        self.ensure_initialized(class_name)
+        slot = (class_name, field)
+        if slot in self.statics:
+            return self.statics[slot]
+        # Walk superclasses for inherited statics.
+        current = self.super_name(class_name)
+        while current is not None:
+            if (current, field) in self.statics:
+                return self.statics[(current, field)]
+            current = self.super_name(current)
+        from .natives import native_static_get
+
+        return native_static_get(self, class_name, field, descriptor)
+
+    def static_put(self, class_name: str, field: str,
+                   value: object) -> None:
+        self.ensure_initialized(class_name)
+        slot = (class_name, field)
+        if slot not in self.statics:
+            current = self.super_name(class_name)
+            while current is not None:
+                if (current, field) in self.statics:
+                    slot = (current, field)
+                    break
+                current = self.super_name(current)
+        self.statics[slot] = value
+
+
+def _float_from_bits(bits: int) -> float:
+    import struct
+
+    return struct.unpack(">f", struct.pack(">I", bits))[0]
+
+
+def _double_from_bits(bits: int) -> float:
+    import struct
+
+    return struct.unpack(">d", struct.pack(">Q", bits))[0]
+
+
+class _Frame:
+    """One activation record; ``run`` is the dispatch loop."""
+
+    def __init__(self, machine: Machine, classfile: ClassFile, member,
+                 code, instructions: List[Instruction],
+                 by_offset: Dict[int, int]):
+        self.machine = machine
+        self.classfile = classfile
+        self.member = member
+        self.code = code
+        self.instructions = instructions
+        self.by_offset = by_offset
+        self.pool = classfile.pool
+
+    def run(self, receiver: Optional[object],
+            args: List[object]) -> object:
+        machine = self.machine
+        locals_: List[object] = [None] * max(self.code.max_locals, 1)
+        slot = 0
+        if not self.member.access_flags & AccessFlags.STATIC:
+            locals_[slot] = receiver
+            slot += 1
+        arg_types, _ = parse_method_descriptor(
+            self.classfile.member_descriptor(self.member))
+        for value, descriptor in zip(args, arg_types):
+            locals_[slot] = value
+            slot += slot_width(descriptor)
+        stack: List[object] = []
+        index = 0
+        while True:
+            machine.steps += 1
+            if machine.steps > machine.max_steps:
+                raise MachineError("step budget exhausted "
+                                   "(likely an infinite loop)")
+            instruction = self.instructions[index]
+            try:
+                outcome = self._step(instruction, stack, locals_)
+            except JavaThrow as thrown:
+                handler = self._find_handler(instruction.offset,
+                                             thrown.throwable)
+                if handler is None:
+                    raise
+                stack.clear()
+                stack.append(thrown.throwable)
+                index = self.by_offset[handler]
+                continue
+            if outcome is None:
+                index += 1
+            elif outcome[0] == "jump":
+                index = self.by_offset[outcome[1]]
+            else:  # ("return", value)
+                return outcome[1]
+
+    def _find_handler(self, offset: int,
+                      throwable: JavaObject) -> Optional[int]:
+        for entry in self.code.exception_table:
+            if not entry.start_pc <= offset < entry.end_pc:
+                continue
+            if entry.catch_type == 0:
+                return entry.handler_pc
+            catch_name = self.pool.class_name(entry.catch_type)
+            if self.machine.is_subclass(throwable.class_name,
+                                        catch_name):
+                return entry.handler_pc
+        return None
+
+    # -- single instruction -------------------------------------------------
+
+    def _step(self, ins: Instruction, stack: List[object],
+              locals_: List[object]):
+        mnemonic = ins.mnemonic
+        handler = _DISPATCH.get(mnemonic)
+        if handler is None:
+            raise MachineError(f"unimplemented opcode {mnemonic}")
+        return handler(self, ins, stack, locals_)
+
+
+# ---------------------------------------------------------------------
+# Instruction semantics.  Handlers return None (fall through),
+# ("jump", offset) or ("return", value).
+# ---------------------------------------------------------------------
+
+_DISPATCH: Dict[str, Callable] = {}
+
+
+def _op(*names):
+    def register(function):
+        for name in names:
+            _DISPATCH[name] = function
+        return function
+    return register
+
+
+@_op("nop")
+def _nop(frame, ins, stack, locals_):
+    return None
+
+
+@_op("aconst_null")
+def _aconst_null(frame, ins, stack, locals_):
+    stack.append(None)
+
+
+for _value in range(-1, 6):
+    def _make_iconst(value):
+        def handler(frame, ins, stack, locals_):
+            stack.append(value)
+        return handler
+    name = "iconst_m1" if _value == -1 else f"iconst_{_value}"
+    _DISPATCH[name] = _make_iconst(_value)
+
+_DISPATCH["lconst_0"] = lambda f, i, s, l: s.append(JLong(0))
+_DISPATCH["lconst_1"] = lambda f, i, s, l: s.append(JLong(1))
+_DISPATCH["fconst_0"] = lambda f, i, s, l: s.append(JFloat(0.0))
+_DISPATCH["fconst_1"] = lambda f, i, s, l: s.append(JFloat(1.0))
+_DISPATCH["fconst_2"] = lambda f, i, s, l: s.append(JFloat(2.0))
+_DISPATCH["dconst_0"] = lambda f, i, s, l: s.append(0.0)
+_DISPATCH["dconst_1"] = lambda f, i, s, l: s.append(1.0)
+
+
+@_op("bipush", "sipush")
+def _push_immediate(frame, ins, stack, locals_):
+    stack.append(ins.immediate)
+
+
+@_op("ldc", "ldc_w", "ldc2_w")
+def _ldc(frame, ins, stack, locals_):
+    entry = frame.pool[ins.cp_index]
+    if isinstance(entry, cp.IntegerConst):
+        stack.append(entry.value)
+    elif isinstance(entry, cp.FloatConst):
+        stack.append(JFloat(_float_from_bits(entry.bits)))
+    elif isinstance(entry, cp.LongConst):
+        stack.append(JLong(entry.value))
+    elif isinstance(entry, cp.DoubleConst):
+        stack.append(_double_from_bits(entry.bits))
+    elif isinstance(entry, cp.StringConst):
+        stack.append(frame.pool.utf8_value(entry.utf8_index))
+    else:
+        raise MachineError(f"bad ldc operand {entry!r}")
+
+
+@_op("iload", "lload", "fload", "dload", "aload",
+     *[f"{p}load_{n}" for p in "ilfda" for n in range(4)])
+def _load(frame, ins, stack, locals_):
+    slot = ins.local if ins.local is not None \
+        else int(ins.mnemonic[-1])
+    stack.append(locals_[slot])
+
+
+@_op("istore", "lstore", "fstore", "dstore", "astore",
+     *[f"{p}store_{n}" for p in "ilfda" for n in range(4)])
+def _store(frame, ins, stack, locals_):
+    slot = ins.local if ins.local is not None \
+        else int(ins.mnemonic[-1])
+    locals_[slot] = stack.pop()
+
+
+def _check_array(frame, array, index):
+    if array is None:
+        frame.machine.throw("java/lang/NullPointerException",
+                            "array is null")
+    if not 0 <= index < array.length:
+        frame.machine.throw("java/lang/IndexOutOfBoundsException",
+                            f"index {index}, length {array.length}")
+
+
+@_op("iaload", "laload", "faload", "daload", "aaload", "baload",
+     "caload", "saload")
+def _array_load(frame, ins, stack, locals_):
+    index = stack.pop()
+    array = stack.pop()
+    _check_array(frame, array, index)
+    stack.append(array.elements[index])
+
+
+@_op("iastore", "lastore", "fastore", "dastore", "aastore", "bastore",
+     "castore", "sastore")
+def _array_store(frame, ins, stack, locals_):
+    value = stack.pop()
+    index = stack.pop()
+    array = stack.pop()
+    _check_array(frame, array, index)
+    kind = ins.mnemonic[0]
+    if kind == "b":
+        value = to_byte(value)
+    elif kind == "c":
+        value = to_char(value)
+    elif kind == "s":
+        value = to_short(value)
+    array.elements[index] = value
+
+
+@_op("pop")
+def _pop(frame, ins, stack, locals_):
+    stack.pop()
+
+
+@_op("pop2")
+def _pop2(frame, ins, stack, locals_):
+    # Wide values occupy ONE Python stack slot; pop2 on a wide value
+    # pops one entry, on two narrow values pops two.
+    top = stack.pop()
+    if not isinstance(top, (JLong, float)) or isinstance(top, bool):
+        stack.pop()
+
+
+@_op("dup")
+def _dup(frame, ins, stack, locals_):
+    stack.append(stack[-1])
+
+
+@_op("dup_x1")
+def _dup_x1(frame, ins, stack, locals_):
+    stack.insert(-2, stack[-1])
+
+
+@_op("dup_x2")
+def _dup_x2(frame, ins, stack, locals_):
+    below = stack[-2]
+    wide = isinstance(below, (JLong, float)) and \
+        not isinstance(below, bool)
+    stack.insert(-2 if wide else -3, stack[-1])
+
+
+@_op("dup2")
+def _dup2(frame, ins, stack, locals_):
+    top = stack[-1]
+    if isinstance(top, (JLong, float)) and not isinstance(top, bool):
+        stack.append(top)
+    else:
+        stack.extend(stack[-2:])
+
+
+@_op("dup2_x1")
+def _dup2_x1(frame, ins, stack, locals_):
+    top = stack[-1]
+    if isinstance(top, (JLong, float)) and not isinstance(top, bool):
+        stack.insert(-2, top)
+    else:
+        pair = stack[-2:]
+        stack[-3:-3] = pair
+
+
+@_op("swap")
+def _swap(frame, ins, stack, locals_):
+    stack[-1], stack[-2] = stack[-2], stack[-1]
+
+
+def _binary_int(op):
+    def handler(frame, ins, stack, locals_):
+        right = stack.pop()
+        left = stack.pop()
+        stack.append(to_int(op(frame, left, right)))
+    return handler
+
+
+def _binary_long(op):
+    def handler(frame, ins, stack, locals_):
+        right = stack.pop().value
+        left = stack.pop().value
+        stack.append(JLong(op(frame, left, right)))
+    return handler
+
+
+def _java_idiv(frame, a, b):
+    if b == 0:
+        frame.machine.throw("java/lang/ArithmeticException",
+                            "/ by zero")
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _java_irem(frame, a, b):
+    if b == 0:
+        frame.machine.throw("java/lang/ArithmeticException",
+                            "/ by zero")
+    return a - _java_idiv(frame, a, b) * b
+
+
+_DISPATCH["iadd"] = _binary_int(lambda f, a, b: a + b)
+_DISPATCH["isub"] = _binary_int(lambda f, a, b: a - b)
+_DISPATCH["imul"] = _binary_int(lambda f, a, b: a * b)
+_DISPATCH["idiv"] = _binary_int(_java_idiv)
+_DISPATCH["irem"] = _binary_int(_java_irem)
+_DISPATCH["iand"] = _binary_int(lambda f, a, b: a & b)
+_DISPATCH["ior"] = _binary_int(lambda f, a, b: a | b)
+_DISPATCH["ixor"] = _binary_int(lambda f, a, b: a ^ b)
+_DISPATCH["ishl"] = _binary_int(lambda f, a, b: a << (b & 31))
+_DISPATCH["ishr"] = _binary_int(lambda f, a, b: a >> (b & 31))
+_DISPATCH["iushr"] = _binary_int(
+    lambda f, a, b: (a & 0xFFFFFFFF) >> (b & 31))
+_DISPATCH["ladd"] = _binary_long(lambda f, a, b: a + b)
+_DISPATCH["lsub"] = _binary_long(lambda f, a, b: a - b)
+_DISPATCH["lmul"] = _binary_long(lambda f, a, b: a * b)
+_DISPATCH["ldiv"] = _binary_long(_java_idiv)
+_DISPATCH["lrem"] = _binary_long(_java_irem)
+_DISPATCH["land"] = _binary_long(lambda f, a, b: a & b)
+_DISPATCH["lor"] = _binary_long(lambda f, a, b: a | b)
+_DISPATCH["lxor"] = _binary_long(lambda f, a, b: a ^ b)
+
+
+@_op("lshl", "lshr", "lushr")
+def _long_shift(frame, ins, stack, locals_):
+    amount = stack.pop() & 63
+    value = stack.pop().value
+    if ins.mnemonic == "lshl":
+        stack.append(JLong(value << amount))
+    elif ins.mnemonic == "lshr":
+        stack.append(JLong(value >> amount))
+    else:
+        stack.append(JLong((value & ((1 << 64) - 1)) >> amount))
+
+
+def _binary_float(op, single):
+    def handler(frame, ins, stack, locals_):
+        right = stack.pop()
+        left = stack.pop()
+        a = left.value if isinstance(left, JFloat) else left
+        b = right.value if isinstance(right, JFloat) else right
+        try:
+            result = op(a, b)
+        except ZeroDivisionError:
+            if op is _fdiv_op:
+                result = float("nan") if a == 0 else \
+                    float("inf") if a > 0 else float("-inf")
+            else:  # frem by zero
+                result = float("nan")
+        stack.append(JFloat(result) if single else result)
+    return handler
+
+
+def _fdiv_op(a, b):
+    return a / b
+
+
+def _frem_op(a, b):
+    import math
+
+    return math.fmod(a, b)
+
+
+for _pfx, _single in (("f", True), ("d", False)):
+    _DISPATCH[f"{_pfx}add"] = _binary_float(lambda a, b: a + b, _single)
+    _DISPATCH[f"{_pfx}sub"] = _binary_float(lambda a, b: a - b, _single)
+    _DISPATCH[f"{_pfx}mul"] = _binary_float(lambda a, b: a * b, _single)
+    _DISPATCH[f"{_pfx}div"] = _binary_float(_fdiv_op, _single)
+    _DISPATCH[f"{_pfx}rem"] = _binary_float(_frem_op, _single)
+
+
+@_op("ineg")
+def _ineg(frame, ins, stack, locals_):
+    stack.append(to_int(-stack.pop()))
+
+
+@_op("lneg")
+def _lneg(frame, ins, stack, locals_):
+    stack.append(JLong(-stack.pop().value))
+
+
+@_op("fneg")
+def _fneg(frame, ins, stack, locals_):
+    stack.append(JFloat(-stack.pop().value))
+
+
+@_op("dneg")
+def _dneg(frame, ins, stack, locals_):
+    stack.append(-stack.pop())
+
+
+@_op("iinc")
+def _iinc(frame, ins, stack, locals_):
+    locals_[ins.local] = to_int(locals_[ins.local] + ins.immediate)
+
+
+# -- conversions ---------------------------------------------------------
+
+_CONVERSIONS = {
+    "i2l": lambda v: JLong(v),
+    "i2f": lambda v: JFloat(float(v)),
+    "i2d": lambda v: float(v),
+    "l2i": lambda v: to_int(v.value),
+    "l2f": lambda v: JFloat(float(v.value)),
+    "l2d": lambda v: float(v.value),
+    "f2i": lambda v: _float_to_int(v.value, 32),
+    "f2l": lambda v: JLong(_float_to_int(v.value, 64)),
+    "f2d": lambda v: v.value,
+    "d2i": lambda v: _float_to_int(v, 32),
+    "d2l": lambda v: JLong(_float_to_int(v, 64)),
+    "d2f": lambda v: JFloat(v),
+    "i2b": to_byte,
+    "i2c": to_char,
+    "i2s": to_short,
+}
+
+
+def _float_to_int(value: float, bits: int) -> int:
+    if value != value:  # NaN
+        return 0
+    limit = (1 << (bits - 1)) - 1
+    if value >= limit:
+        return limit
+    if value <= -(limit + 1):
+        return -(limit + 1)
+    return int(value)
+
+
+for _name, _conversion in _CONVERSIONS.items():
+    def _make_conversion(conversion):
+        def handler(frame, ins, stack, locals_):
+            stack.append(conversion(stack.pop()))
+        return handler
+    _DISPATCH[_name] = _make_conversion(_conversion)
+
+
+# -- comparisons -----------------------------------------------------------
+
+
+@_op("lcmp")
+def _lcmp(frame, ins, stack, locals_):
+    right = stack.pop().value
+    left = stack.pop().value
+    stack.append((left > right) - (left < right))
+
+
+@_op("fcmpl", "fcmpg", "dcmpl", "dcmpg")
+def _fcmp(frame, ins, stack, locals_):
+    right = stack.pop()
+    left = stack.pop()
+    a = left.value if isinstance(left, JFloat) else left
+    b = right.value if isinstance(right, JFloat) else right
+    if a != a or b != b:  # NaN
+        stack.append(1 if ins.mnemonic.endswith("g") else -1)
+    else:
+        stack.append((a > b) - (a < b))
+
+
+_IF_OPS = {
+    "ifeq": lambda v: v == 0, "ifne": lambda v: v != 0,
+    "iflt": lambda v: v < 0, "ifge": lambda v: v >= 0,
+    "ifgt": lambda v: v > 0, "ifle": lambda v: v <= 0,
+}
+
+for _name, _test in _IF_OPS.items():
+    def _make_if(test):
+        def handler(frame, ins, stack, locals_):
+            if test(stack.pop()):
+                return ("jump", ins.target)
+        return handler
+    _DISPATCH[_name] = _make_if(_test)
+
+_ICMP_OPS = {
+    "if_icmpeq": lambda a, b: a == b, "if_icmpne": lambda a, b: a != b,
+    "if_icmplt": lambda a, b: a < b, "if_icmpge": lambda a, b: a >= b,
+    "if_icmpgt": lambda a, b: a > b, "if_icmple": lambda a, b: a <= b,
+}
+
+for _name, _test in _ICMP_OPS.items():
+    def _make_icmp(test):
+        def handler(frame, ins, stack, locals_):
+            right = stack.pop()
+            left = stack.pop()
+            if test(left, right):
+                return ("jump", ins.target)
+        return handler
+    _DISPATCH[_name] = _make_icmp(_test)
+
+
+@_op("if_acmpeq", "if_acmpne")
+def _acmp(frame, ins, stack, locals_):
+    right = stack.pop()
+    left = stack.pop()
+    same = left is right or (isinstance(left, str) and
+                             isinstance(right, str) and left is right)
+    if (ins.mnemonic == "if_acmpeq") == same:
+        return ("jump", ins.target)
+
+
+@_op("ifnull")
+def _ifnull(frame, ins, stack, locals_):
+    if stack.pop() is None:
+        return ("jump", ins.target)
+
+
+@_op("ifnonnull")
+def _ifnonnull(frame, ins, stack, locals_):
+    if stack.pop() is not None:
+        return ("jump", ins.target)
+
+
+@_op("goto", "goto_w")
+def _goto(frame, ins, stack, locals_):
+    return ("jump", ins.target)
+
+
+@_op("tableswitch", "lookupswitch")
+def _switch(frame, ins, stack, locals_):
+    value = stack.pop()
+    for match, target in ins.switch.pairs:
+        if match == value:
+            return ("jump", target)
+    return ("jump", ins.switch.default)
+
+
+@_op("ireturn", "lreturn", "freturn", "dreturn", "areturn")
+def _return_value(frame, ins, stack, locals_):
+    return ("return", stack.pop())
+
+
+@_op("return")
+def _return_void(frame, ins, stack, locals_):
+    return ("return", None)
+
+
+# -- fields ---------------------------------------------------------------
+
+
+@_op("getstatic")
+def _getstatic(frame, ins, stack, locals_):
+    owner, name, descriptor = frame.pool.member_ref(ins.cp_index)
+    stack.append(frame.machine.static_get(owner, name, descriptor))
+
+
+@_op("putstatic")
+def _putstatic(frame, ins, stack, locals_):
+    owner, name, _ = frame.pool.member_ref(ins.cp_index)
+    frame.machine.static_put(owner, name, stack.pop())
+
+
+@_op("getfield")
+def _getfield(frame, ins, stack, locals_):
+    _, name, _ = frame.pool.member_ref(ins.cp_index)
+    receiver = stack.pop()
+    if receiver is None:
+        frame.machine.throw("java/lang/NullPointerException",
+                            f"reading field {name}")
+    stack.append(receiver.fields[name])
+
+
+@_op("putfield")
+def _putfield(frame, ins, stack, locals_):
+    _, name, _ = frame.pool.member_ref(ins.cp_index)
+    value = stack.pop()
+    receiver = stack.pop()
+    if receiver is None:
+        frame.machine.throw("java/lang/NullPointerException",
+                            f"writing field {name}")
+    receiver.fields[name] = value
+
+
+# -- invokes ------------------------------------------------------------
+
+
+def _pop_args(stack, descriptor):
+    arg_types, _ = parse_method_descriptor(descriptor)
+    args = [stack.pop() for _ in arg_types]
+    args.reverse()
+    return args
+
+
+@_op("invokevirtual", "invokeinterface")
+def _invokevirtual(frame, ins, stack, locals_):
+    owner, name, descriptor = frame.pool.member_ref(ins.cp_index)
+    args = _pop_args(stack, descriptor)
+    receiver = stack.pop()
+    if receiver is None:
+        frame.machine.throw("java/lang/NullPointerException",
+                            f"invoking {name}")
+    result = frame.machine.invoke(owner, name, descriptor, receiver,
+                                  args)
+    if not descriptor.endswith(")V"):
+        stack.append(result)
+
+
+@_op("invokespecial")
+def _invokespecial(frame, ins, stack, locals_):
+    owner, name, descriptor = frame.pool.member_ref(ins.cp_index)
+    args = _pop_args(stack, descriptor)
+    receiver = stack.pop()
+    result = frame.machine.invoke_special(owner, name, descriptor,
+                                          receiver, args)
+    if not descriptor.endswith(")V"):
+        stack.append(result)
+
+
+@_op("invokestatic")
+def _invokestatic(frame, ins, stack, locals_):
+    owner, name, descriptor = frame.pool.member_ref(ins.cp_index)
+    args = _pop_args(stack, descriptor)
+    frame.machine.ensure_initialized(owner)
+    result = frame.machine.invoke(owner, name, descriptor, None, args)
+    if not descriptor.endswith(")V"):
+        stack.append(result)
+
+
+# -- objects and arrays ------------------------------------------------------
+
+
+@_op("new")
+def _new(frame, ins, stack, locals_):
+    class_name = frame.pool.class_name(ins.cp_index)
+    if class_name in frame.machine.classes:
+        stack.append(frame.machine.new_instance(class_name))
+    else:
+        from .natives import native_new
+
+        stack.append(native_new(frame.machine, class_name))
+
+
+@_op("newarray")
+def _newarray(frame, ins, stack, locals_):
+    from ..classfile.opcodes import ATYPE_DESCRIPTORS
+
+    length = stack.pop()
+    if length < 0:
+        frame.machine.throw("java/lang/IndexOutOfBoundsException",
+                            f"negative array size {length}")
+    stack.append(JavaArray.new(ATYPE_DESCRIPTORS[ins.atype], length))
+
+
+@_op("anewarray")
+def _anewarray(frame, ins, stack, locals_):
+    length = stack.pop()
+    if length < 0:
+        frame.machine.throw("java/lang/IndexOutOfBoundsException",
+                            f"negative array size {length}")
+    name = frame.pool.class_name(ins.cp_index)
+    descriptor = name if name.startswith("[") else f"L{name};"
+    stack.append(JavaArray.new(descriptor, length))
+
+
+@_op("arraylength")
+def _arraylength(frame, ins, stack, locals_):
+    array = stack.pop()
+    if array is None:
+        frame.machine.throw("java/lang/NullPointerException",
+                            "array length of null")
+    stack.append(array.length)
+
+
+@_op("athrow")
+def _athrow(frame, ins, stack, locals_):
+    throwable = stack.pop()
+    if throwable is None:
+        frame.machine.throw("java/lang/NullPointerException",
+                            "throw null")
+    raise JavaThrow(throwable)
+
+
+def _runtime_instanceof(machine, value, class_name) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, str):
+        return class_name in ("java/lang/String", "java/lang/Object")
+    if isinstance(value, JavaArray):
+        return class_name == "java/lang/Object"
+    if isinstance(value, JavaObject):
+        return machine.is_subclass(value.class_name, class_name)
+    return class_name == "java/lang/Object"
+
+
+@_op("checkcast")
+def _checkcast(frame, ins, stack, locals_):
+    class_name = frame.pool.class_name(ins.cp_index)
+    value = stack[-1]
+    if value is None or class_name.startswith("["):
+        return
+    if not _runtime_instanceof(frame.machine, value, class_name):
+        frame.machine.throw(
+            "java/lang/RuntimeException",
+            f"ClassCastException: cannot cast to {class_name}")
+
+
+@_op("instanceof")
+def _instanceof(frame, ins, stack, locals_):
+    class_name = frame.pool.class_name(ins.cp_index)
+    value = stack.pop()
+    stack.append(1 if _runtime_instanceof(frame.machine, value,
+                                          class_name) else 0)
+
+
+@_op("monitorenter", "monitorexit")
+def _monitor(frame, ins, stack, locals_):
+    stack.pop()  # single-threaded: monitors are no-ops
+
+
+@_op("multianewarray")
+def _multianewarray(frame, ins, stack, locals_):
+    dims = [stack.pop() for _ in range(ins.dims)]
+    dims.reverse()
+    descriptor = frame.pool.class_name(ins.cp_index)
+
+    def build(depth: int, element_descriptor: str):
+        if depth == len(dims) - 1:
+            return JavaArray.new(element_descriptor, dims[depth])
+        array = JavaArray.new(element_descriptor, dims[depth])
+        inner = element_descriptor[1:]
+        for i in range(dims[depth]):
+            array.elements[i] = build(depth + 1, inner)
+        return array
+
+    stack.append(build(0, descriptor[1:]))

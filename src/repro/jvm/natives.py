@@ -1,0 +1,327 @@
+"""Native stubs for the java.* runtime classes.
+
+Mirrors the compiler's runtime model
+(:mod:`repro.minijava.runtime`): everything mini-Java programs can
+link against has an executable counterpart here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .values import (
+    JavaObject,
+    JFloat,
+    JLong,
+    java_string_of,
+    to_int,
+)
+
+_EXCEPTION_CLASSES = frozenset({
+    "java/lang/Throwable", "java/lang/Exception",
+    "java/lang/RuntimeException", "java/lang/IllegalArgumentException",
+    "java/lang/IllegalStateException",
+    "java/lang/IndexOutOfBoundsException",
+    "java/lang/ArithmeticException", "java/lang/NullPointerException",
+    "java/lang/UnsupportedOperationException", "java/io/IOException",
+})
+
+
+class NativeError(RuntimeError):
+    """Raised when a runtime method has no stub."""
+
+
+def native_new(machine, class_name: str) -> JavaObject:
+    """`new` on a runtime (non-archive) class."""
+    instance = JavaObject(class_name)
+    if class_name == "java/lang/StringBuffer":
+        instance.native = []
+    elif class_name == "java/util/Vector":
+        instance.native = []
+    elif class_name == "java/util/Hashtable":
+        instance.native = {}
+    elif class_name in _EXCEPTION_CLASSES:
+        instance.fields["message"] = None
+    return instance
+
+
+def native_static_get(machine, class_name: str, field: str,
+                      descriptor: str):
+    if class_name == "java/lang/System" and field in ("out", "err"):
+        stream = JavaObject("java/io/PrintStream")
+        stream.native = field
+        return stream
+    if class_name == "java/lang/Math":
+        if field == "PI":
+            return math.pi
+        if field == "E":
+            return math.e
+    if class_name == "java/lang/Integer":
+        if field == "MAX_VALUE":
+            return 0x7FFFFFFF
+        if field == "MIN_VALUE":
+            return -0x80000000
+    raise NativeError(f"no native static {class_name}.{field}")
+
+
+def _as_double(value) -> float:
+    if isinstance(value, JFloat):
+        return value.value
+    if isinstance(value, JLong):
+        return float(value.value)
+    return float(value)
+
+
+def _string_method(machine, name, descriptor, receiver: str,
+                   args: List[object]):
+    if name == "length":
+        return len(receiver)
+    if name == "charAt":
+        index = args[0]
+        if not 0 <= index < len(receiver):
+            machine.throw("java/lang/IndexOutOfBoundsException",
+                          f"index {index}")
+        return ord(receiver[index])
+    if name == "indexOf":
+        return receiver.find(args[0])
+    if name == "substring":
+        if len(args) == 1:
+            return receiver[args[0]:]
+        return receiver[args[0]:args[1]]
+    if name == "equals":
+        return 1 if isinstance(args[0], str) and args[0] == receiver \
+            else 0
+    if name == "compareTo":
+        other = args[0]
+        return (receiver > other) - (receiver < other)
+    if name == "concat":
+        return receiver + args[0]
+    if name == "toLowerCase":
+        return receiver.lower()
+    if name == "toUpperCase":
+        return receiver.upper()
+    if name == "trim":
+        return receiver.strip()
+    if name == "hashCode":
+        result = 0
+        for char in receiver:
+            result = to_int(31 * result + ord(char))
+        return result
+    if name == "toString":
+        return receiver
+    raise NativeError(f"String.{name}{descriptor}")
+
+
+def _stringbuffer_method(machine, name, descriptor,
+                         receiver: JavaObject, args):
+    if name == "<init>":
+        receiver.native = [args[0]] if args else []
+        return None
+    if name == "append":
+        receiver.native.append(java_string_of(
+            args[0] if not isinstance(args[0], int) or
+            "(C)" not in descriptor else chr(args[0])))
+        return receiver
+    if name == "toString":
+        return "".join(receiver.native)
+    if name == "length":
+        return sum(len(chunk) for chunk in receiver.native)
+    raise NativeError(f"StringBuffer.{name}{descriptor}")
+
+
+def _math_method(machine, name, descriptor, args):
+    if name == "abs":
+        value = args[0]
+        if isinstance(value, JLong):
+            return JLong(abs(value.value))
+        if isinstance(value, JFloat):
+            return JFloat(abs(value.value))
+        if isinstance(value, float):
+            return abs(value)
+        return to_int(abs(value))
+    if name in ("max", "min"):
+        picker = max if name == "max" else min
+        a, b = args
+        if isinstance(a, (int,)) and isinstance(b, (int,)):
+            return picker(a, b)
+        return picker(_as_double(a), _as_double(b))
+    if name == "random":
+        return 0.5  # deterministic: tests need reproducible output
+    if name == "round":
+        return JLong(math.floor(_as_double(args[0]) + 0.5))
+    if name == "pow":
+        return math.pow(_as_double(args[0]), _as_double(args[1]))
+    functions = {
+        "sin": math.sin, "cos": math.cos, "tan": math.tan,
+        "sqrt": lambda v: math.sqrt(v) if v >= 0 else float("nan"),
+        "log": lambda v: math.log(v) if v > 0 else float("-inf")
+        if v == 0 else float("nan"),
+        "exp": math.exp, "floor": math.floor, "ceil": math.ceil,
+    }
+    if name in functions:
+        result = functions[name](_as_double(args[0]))
+        return float(result)
+    raise NativeError(f"Math.{name}{descriptor}")
+
+
+def _printstream_method(machine, name, descriptor,
+                        receiver: JavaObject, args):
+    if name in ("print", "println"):
+        text = java_string_of(args[0]) if args else ""
+        if args and isinstance(args[0], int) and "(C)" in descriptor:
+            text = chr(args[0])
+        if args and isinstance(args[0], int) and "(Z)" in descriptor:
+            text = "true" if args[0] else "false"
+        if name == "println":
+            text += "\n"
+        machine._print(text)
+        return None
+    if name == "flush":
+        return None
+    raise NativeError(f"PrintStream.{name}{descriptor}")
+
+
+def _vector_method(machine, name, descriptor, receiver: JavaObject,
+                   args):
+    if name == "<init>":
+        receiver.native = []
+        return None
+    if name == "addElement":
+        receiver.native.append(args[0])
+        return None
+    if name == "elementAt":
+        index = args[0]
+        if not 0 <= index < len(receiver.native):
+            machine.throw("java/lang/IndexOutOfBoundsException",
+                          f"index {index}")
+        return receiver.native[index]
+    if name == "size":
+        return len(receiver.native)
+    if name == "removeElementAt":
+        del receiver.native[args[0]]
+        return None
+    if name == "contains":
+        return 1 if args[0] in receiver.native else 0
+    raise NativeError(f"Vector.{name}{descriptor}")
+
+
+def _hashtable_method(machine, name, descriptor, receiver: JavaObject,
+                      args):
+    if name == "<init>":
+        receiver.native = {}
+        return None
+    if name == "put":
+        key = _hash_key(args[0])
+        previous = receiver.native.get(key)
+        receiver.native[key] = args[1]
+        return previous
+    if name == "get":
+        return receiver.native.get(_hash_key(args[0]))
+    if name == "containsKey":
+        return 1 if _hash_key(args[0]) in receiver.native else 0
+    if name == "size":
+        return len(receiver.native)
+    raise NativeError(f"Hashtable.{name}{descriptor}")
+
+
+def _hash_key(value):
+    return value if isinstance(value, (str, int)) else id(value)
+
+
+def _throwable_method(machine, name, descriptor, receiver: JavaObject,
+                      args):
+    if name == "<init>":
+        receiver.fields["message"] = args[0] if args else None
+        return None
+    if name == "getMessage":
+        return receiver.fields.get("message")
+    if name == "printStackTrace":
+        machine._print(f"{receiver.class_name.replace('/', '.')}: "
+                       f"{receiver.fields.get('message')}\n")
+        return None
+    if name == "toString":
+        return f"{receiver.class_name.replace('/', '.')}: " \
+               f"{receiver.fields.get('message')}"
+    raise NativeError(f"Throwable.{name}{descriptor}")
+
+
+def dispatch_native(machine, class_name: str, target: str, name: str,
+                    descriptor: str, receiver, args: List[object]):
+    """Route a call with no bytecode implementation to its stub."""
+    # String receivers dispatch on their runtime type.
+    if isinstance(receiver, str):
+        return _string_method(machine, name, descriptor, receiver, args)
+    if isinstance(receiver, JavaObject):
+        runtime = receiver.class_name
+        if runtime == "java/lang/StringBuffer":
+            return _stringbuffer_method(machine, name, descriptor,
+                                        receiver, args)
+        if runtime == "java/io/PrintStream":
+            return _printstream_method(machine, name, descriptor,
+                                       receiver, args)
+        if runtime == "java/util/Vector":
+            return _vector_method(machine, name, descriptor, receiver,
+                                  args)
+        if runtime == "java/util/Hashtable":
+            return _hashtable_method(machine, name, descriptor,
+                                     receiver, args)
+        if runtime in ("java/lang/Integer", "java/lang/Long",
+                       "java/lang/Double"):
+            if name == "<init>":
+                receiver.fields["value"] = args[0]
+                return None
+            if name in ("intValue", "longValue", "doubleValue"):
+                return receiver.fields.get("value")
+            if name == "toString":
+                return java_string_of(receiver.fields.get("value"))
+        if runtime in _EXCEPTION_CLASSES or machine.is_subclass(
+                runtime, "java/lang/Throwable"):
+            try:
+                return _throwable_method(machine, name, descriptor,
+                                         receiver, args)
+            except NativeError:
+                pass
+        # java/lang/Object defaults for archive classes.
+        if name == "<init>" and descriptor == "()V":
+            return None
+        if name == "hashCode" and not args:
+            return to_int(id(receiver))
+        if name == "equals":
+            return 1 if receiver is args[0] else 0
+        if name == "toString":
+            return java_string_of(receiver)
+        raise NativeError(
+            f"no native {runtime}.{name}{descriptor}")
+    # Static runtime calls.
+    if class_name == "java/lang/Math":
+        return _math_method(machine, name, descriptor, args)
+    if class_name == "java/lang/String" and name == "valueOf":
+        return java_string_of(args[0])
+    if class_name == "java/lang/System":
+        if name == "currentTimeMillis":
+            return JLong(0)  # deterministic
+        if name == "exit":
+            raise NativeError("System.exit called")
+        if name == "arraycopy":
+            source, source_pos, dest, dest_pos, length = args
+            for i in range(length):
+                dest.elements[dest_pos + i] = \
+                    source.elements[source_pos + i]
+            return None
+    if class_name == "java/lang/Integer":
+        if name == "parseInt":
+            try:
+                return to_int(int(args[0].strip()))
+            except ValueError:
+                machine.throw("java/lang/RuntimeException",
+                              f"NumberFormatException: {args[0]!r}")
+        if name == "toString":
+            return str(args[0])
+    if class_name == "java/lang/Long" and name == "parseLong":
+        return JLong(int(args[0].strip()))
+    if class_name == "java/lang/Double" and name == "parseDouble":
+        return float(args[0].strip())
+    if receiver is None and name == "<init>":
+        return None
+    raise NativeError(f"no native {class_name}.{name}{descriptor}")

@@ -1,0 +1,169 @@
+"""Runtime value model for the bytecode interpreter.
+
+Values on the operand stack / in locals:
+
+* ``int``   — Java int/short/char/byte/boolean (32-bit semantics
+  enforced at operation boundaries),
+* ``JLong`` — Java long (wrapped so int and long never mix silently),
+* ``float`` — Java float and double (doubles exactly; floats rounded
+  through IEEE-754 single precision at operation boundaries),
+* ``JFloat`` tags single-precision values,
+* ``str``   — java.lang.String instances,
+* ``JavaObject`` / ``JavaArray`` — reference types,
+* ``None``  — the null reference.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+INT_MIN = -(1 << 31)
+INT_MASK = (1 << 32) - 1
+LONG_MASK = (1 << 64) - 1
+
+
+def to_int(value: int) -> int:
+    """Wrap to 32-bit two's complement."""
+    value &= INT_MASK
+    return value - (1 << 32) if value >= 1 << 31 else value
+
+
+def to_long(value: int) -> int:
+    """Wrap to 64-bit two's complement."""
+    value &= LONG_MASK
+    return value - (1 << 64) if value >= 1 << 63 else value
+
+
+def to_short(value: int) -> int:
+    value &= 0xFFFF
+    return value - (1 << 16) if value >= 1 << 15 else value
+
+
+def to_byte(value: int) -> int:
+    value &= 0xFF
+    return value - (1 << 8) if value >= 1 << 7 else value
+
+
+def to_char(value: int) -> int:
+    return value & 0xFFFF
+
+
+def to_f32(value: float) -> float:
+    """Round through IEEE-754 single precision (overflow -> infinity)."""
+    try:
+        return struct.unpack(">f", struct.pack(">f", value))[0]
+    except OverflowError:
+        return float("inf") if value > 0 else float("-inf")
+
+
+@dataclass(frozen=True)
+class JLong:
+    """A Java long; distinct from int so width bugs surface loudly."""
+
+    value: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", to_long(self.value))
+
+
+@dataclass(frozen=True)
+class JFloat:
+    """A Java float (single precision); doubles are plain ``float``."""
+
+    value: float
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", to_f32(self.value))
+
+
+@dataclass
+class JavaObject:
+    """An instance of a class (source-defined or runtime stub)."""
+
+    class_name: str
+    fields: Dict[str, object] = field(default_factory=dict)
+    #: Backing storage for runtime stubs (e.g. StringBuffer chunks).
+    native: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.class_name}@{id(self):x}>"
+
+
+@dataclass
+class JavaArray:
+    """A Java array with element-type tracking."""
+
+    element_descriptor: str
+    elements: List[object]
+
+    @classmethod
+    def new(cls, element_descriptor: str, length: int) -> "JavaArray":
+        if length < 0:
+            raise ValueError("negative array size")
+        default: object
+        if element_descriptor in ("I", "B", "S", "C", "Z"):
+            default = 0
+        elif element_descriptor == "J":
+            default = JLong(0)
+        elif element_descriptor == "F":
+            default = JFloat(0.0)
+        elif element_descriptor == "D":
+            default = 0.0
+        else:
+            default = None
+        return cls(element_descriptor, [default] * length)
+
+    @property
+    def length(self) -> int:
+        return len(self.elements)
+
+
+def default_value(descriptor: str) -> object:
+    """The JVM default value for a field of the given type."""
+    if descriptor in ("I", "B", "S", "C", "Z"):
+        return 0
+    if descriptor == "J":
+        return JLong(0)
+    if descriptor == "F":
+        return JFloat(0.0)
+    if descriptor == "D":
+        return 0.0
+    return None
+
+
+def java_string_of(value: object) -> str:
+    """``String.valueOf`` semantics for println/append arguments."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, JLong):
+        return str(value.value)
+    if isinstance(value, JFloat):
+        return format_java_double(value.value)
+    if isinstance(value, float):
+        return format_java_double(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, JavaObject):
+        return f"{value.class_name}@{id(value):x}"
+    if isinstance(value, JavaArray):
+        return f"[{value.element_descriptor}@{id(value):x}"
+    raise TypeError(f"cannot stringify {value!r}")
+
+
+def format_java_double(value: float) -> str:
+    """Approximate Java's Double.toString (enough for test oracles)."""
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "Infinity"
+    if value == float("-inf"):
+        return "-Infinity"
+    if value == int(value) and abs(value) < 1e16:
+        return f"{value:.1f}"
+    return repr(value)

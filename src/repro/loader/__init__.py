@@ -1,0 +1,15 @@
+"""Eager class loading simulation (Section 11)."""
+
+from .eager import (
+    EagerClassLoader,
+    EagerLoadError,
+    eager_order,
+    stream_define,
+)
+
+__all__ = [
+    "EagerClassLoader",
+    "EagerLoadError",
+    "eager_order",
+    "stream_define",
+]

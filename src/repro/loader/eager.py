@@ -1,0 +1,111 @@
+"""Eager class loading (Section 11).
+
+When a packed archive is decompressed class-by-class and each class is
+handed to ``ClassLoader.defineClass`` as it arrives, a class's
+superclass and all implemented interfaces must already be defined.
+This module provides:
+
+* :func:`eager_order` — reorder an archive so every class follows its
+  intra-archive dependencies (stable topological sort);
+* :class:`EagerClassLoader` — a simulated JVM class loader that
+  enforces the constraint, used to validate orders and to model the
+  streamed-definition pipeline;
+* :func:`stream_define` — run a packed archive through decompression
+  and define every class eagerly, returning the loader.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..classfile.classfile import ClassFile
+
+
+class EagerLoadError(ValueError):
+    """Raised when a class is defined before its dependencies."""
+
+
+def _dependencies(classfile: ClassFile) -> List[str]:
+    deps: List[str] = []
+    if classfile.super_name is not None:
+        deps.append(classfile.super_name)
+    deps.extend(classfile.interface_names())
+    return deps
+
+
+def eager_order(classfiles: Sequence[ClassFile]) -> List[ClassFile]:
+    """Stable topological order: superclass and interfaces first.
+
+    Dependencies outside the archive (e.g. ``java/lang/Object``) are
+    assumed pre-loadable by the bootstrap loader and ignored.  Cycles
+    (illegal in Java) raise :class:`EagerLoadError`.
+    """
+    by_name: Dict[str, ClassFile] = {c.name: c for c in classfiles}
+    ordered: List[ClassFile] = []
+    state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(name: str) -> None:
+        mark = state.get(name)
+        if mark == 1:
+            return
+        if mark == 0:
+            raise EagerLoadError(f"inheritance cycle through {name}")
+        state[name] = 0
+        for dependency in _dependencies(by_name[name]):
+            if dependency in by_name:
+                visit(dependency)
+        state[name] = 1
+        ordered.append(by_name[name])
+
+    for classfile in classfiles:
+        visit(classfile.name)
+    return ordered
+
+
+class EagerClassLoader:
+    """A simulated class loader with ``defineClass`` semantics."""
+
+    def __init__(self, preloaded: Optional[Iterable[str]] = None):
+        #: Classes the bootstrap loader provides (java.* runtime).
+        self.bootstrap = set(preloaded or ())
+        self.defined: Dict[str, ClassFile] = {}
+        self.definition_order: List[str] = []
+
+    def _resolvable(self, name: str) -> bool:
+        return name in self.defined or name not in self._archive_names
+
+    def define_all(self, classfiles: Sequence[ClassFile]) -> None:
+        self._archive_names = {c.name for c in classfiles}
+        for classfile in classfiles:
+            self.define_class(classfile)
+
+    def define_class(self, classfile: ClassFile) -> None:
+        """Define one class; its supertypes must already be loadable."""
+        if not hasattr(self, "_archive_names"):
+            self._archive_names = set()
+        name = classfile.name
+        if name in self.defined:
+            raise EagerLoadError(f"duplicate definition of {name}")
+        for dependency in _dependencies(classfile):
+            if dependency in self._archive_names and \
+                    dependency not in self.defined:
+                raise EagerLoadError(
+                    f"class {name} defined before its supertype "
+                    f"{dependency}")
+        self.defined[name] = classfile
+        self.definition_order.append(name)
+
+    def loaded(self, name: str) -> bool:
+        return name in self.defined
+
+
+def stream_define(packed: bytes, options=None) -> EagerClassLoader:
+    """Decompress a packed archive and define classes eagerly, in
+    archive order.  Raises :class:`EagerLoadError` if the archive was
+    not ordered for eager loading."""
+    from ..pack import unpack_archive
+
+    classfiles = unpack_archive(packed, options)
+    loader = EagerClassLoader()
+    loader.define_all(classfiles)
+    return loader

@@ -1,0 +1,124 @@
+"""Profile-guided archive ordering (Section 11 + [KCLZ98]).
+
+The paper: "Profiling could be used to determine a desirable order for
+classes" so that eager loading makes the classes an application needs
+first available first.  We model the profile as reachability from one
+or more root classes over the static reference graph (method/field/
+class references in the constant pool) — a stand-in for Krintz et
+al.'s first-use profiles — then produce an order that is
+
+* first-use-greedy: classes appear in (approximate) first-touch order,
+* dependency-correct: every class still follows its superclass and
+  interfaces (the Section 11 constraint), via the stable topological
+  sort of :func:`repro.loader.eager.eager_order`.
+
+``time_to_class`` measures the benefit: the fraction of the archive
+that must arrive before a given class (and its supertypes) can be
+defined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..classfile import constant_pool as cp
+from ..classfile.classfile import ClassFile, write_class
+from .eager import eager_order
+
+
+def referenced_classes(classfile: ClassFile) -> Set[str]:
+    """Internal names of every class the constant pool mentions."""
+    names: Set[str] = set()
+    pool = classfile.pool
+    for index, entry in pool.entries():
+        if isinstance(entry, cp.ClassInfo):
+            name = pool.utf8_value(entry.name_index)
+            while name.startswith("["):
+                name = name[1:]
+            if name.startswith("L") and name.endswith(";"):
+                name = name[1:-1]
+            if not name or len(name) == 1:
+                continue  # primitive array element
+            names.add(name)
+    names.discard(classfile.name)
+    return names
+
+
+def reference_graph(classfiles: Sequence[ClassFile]
+                    ) -> Dict[str, List[str]]:
+    """Intra-archive reference graph, deterministic edge order."""
+    in_archive = {c.name for c in classfiles}
+    return {
+        classfile.name: sorted(
+            referenced_classes(classfile) & in_archive)
+        for classfile in classfiles
+    }
+
+
+def find_roots(classfiles: Sequence[ClassFile]) -> List[str]:
+    """Classes declaring ``public static void main(String[])`` — the
+    default profile roots."""
+    roots = []
+    for classfile in classfiles:
+        for method in classfile.methods:
+            if classfile.member_name(method) == "main" and \
+                    classfile.member_descriptor(method) == \
+                    "([Ljava/lang/String;)V":
+                roots.append(classfile.name)
+    return roots
+
+
+def profile_order(classfiles: Sequence[ClassFile],
+                  roots: Optional[Iterable[str]] = None
+                  ) -> List[ClassFile]:
+    """Order the archive by first-use distance from the roots, then
+    repair supertype constraints.
+
+    Classes unreachable from any root go last (they may never load at
+    all — the paper's candidates for a separate archive).
+    """
+    by_name = {c.name: c for c in classfiles}
+    graph = reference_graph(classfiles)
+    root_names = [r for r in (roots or find_roots(classfiles))
+                  if r in by_name]
+    if not root_names:
+        root_names = [classfiles[0].name] if classfiles else []
+
+    # Breadth-first first-touch order from the roots.
+    order: List[str] = []
+    seen: Set[str] = set()
+    frontier = list(root_names)
+    for name in frontier:
+        seen.add(name)
+    while frontier:
+        current = frontier.pop(0)
+        order.append(current)
+        for successor in graph.get(current, ()):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    # Unreachable classes keep their original relative order, last.
+    for classfile in classfiles:
+        if classfile.name not in seen:
+            order.append(classfile.name)
+
+    return eager_order([by_name[name] for name in order])
+
+
+def time_to_class(ordered: Sequence[ClassFile], target: str) -> float:
+    """Fraction of the archive's class bytes that must arrive before
+    ``target`` (and everything preceding it) is available.
+
+    A proxy for [KCLZ98]'s "overlapping execution with transfer"
+    metric: smaller means the class is usable earlier in the download.
+    """
+    sizes = [len(write_class(c)) for c in ordered]
+    total = sum(sizes)
+    if not total:
+        raise ValueError("empty archive")
+    running = 0
+    for classfile, size in zip(ordered, sizes):
+        running += size
+        if classfile.name == target:
+            return running / total
+    raise KeyError(f"{target} not in archive")

@@ -1,0 +1,42 @@
+"""Mini-Java: a small Java compiler used to synthesize realistic
+class files for the compression experiments.
+
+The public entry point is :func:`compile_sources`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..classfile.classfile import ClassFile
+from .analysis import Analyzer, SemanticError
+from .codegen import CodegenError, generate
+from .lexer import LexError
+from .model import Hierarchy
+from .parser import ParseError, parse
+
+__all__ = [
+    "compile_sources",
+    "parse",
+    "Analyzer",
+    "Hierarchy",
+    "ParseError",
+    "LexError",
+    "SemanticError",
+    "CodegenError",
+]
+
+
+def compile_sources(sources: List[str],
+                    hierarchy: Optional[Hierarchy] = None
+                    ) -> Dict[str, ClassFile]:
+    """Compile mini-Java source texts to class files.
+
+    All sources are compiled together (cross-file references resolve),
+    against the standard runtime model unless ``hierarchy`` is given.
+    Returns a map from internal class name to :class:`ClassFile`.
+    """
+    units = [parse(source) for source in sources]
+    analyzer = Analyzer(units, hierarchy)
+    resolved = analyzer.analyze()
+    return generate(units, resolved)

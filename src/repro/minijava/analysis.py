@@ -1,0 +1,736 @@
+"""Semantic analysis for mini-Java.
+
+Builds the class hierarchy from parsed compilation units plus the
+runtime model, resolves every name, types every expression, allocates
+local-variable slots, and annotates the AST in place for the code
+generator:
+
+* ``Expr.typ`` — the expression's type,
+* ``Name.res`` / ``FieldAccess.res`` — ``("local", slot)`` or
+  ``("field", owner, name, descriptor, is_static)``,
+* ``Call.resolved`` / ``Call.kind`` — target method and invoke kind
+  (``virtual`` / ``static`` / ``interface`` / ``special``),
+* ``New.ctor`` — the resolved constructor,
+* ``Binary.operand_type`` / ``Binary.is_concat``,
+* ``LocalDecl.slot``, ``MethodDecl.locals_size``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..classfile.descriptors import (
+    build_method_descriptor,
+    slot_width,
+)
+from . import ast
+from .model import (
+    ClassModel,
+    Hierarchy,
+    MethodModel,
+    ResolutionError,
+)
+from .runtime import DEFAULT_IMPORTS, standard_hierarchy
+
+
+class SemanticError(ValueError):
+    """Raised on a type or resolution error."""
+
+
+_NUMERIC = {"B", "S", "C", "I", "J", "F", "D"}
+_INTEGRAL = {"B", "S", "C", "I", "J"}
+
+#: Widening-conversion partial order for primitives.
+_WIDENS_TO = {
+    "B": {"S", "I", "J", "F", "D"},
+    "S": {"I", "J", "F", "D"},
+    "C": {"I", "J", "F", "D"},
+    "I": {"J", "F", "D"},
+    "J": {"F", "D"},
+    "F": {"D"},
+    "D": set(),
+    "Z": set(),
+}
+
+
+def binary_numeric_promotion(left: str, right: str) -> str:
+    """JLS binary numeric promotion on descriptor characters."""
+    for wide in ("D", "F", "J"):
+        if left == wide or right == wide:
+            return wide
+    return "I"
+
+
+class Scope:
+    """A lexical scope mapping names to (slot, type)."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.names: Dict[str, Tuple[int, ast.Type]] = {}
+
+    def lookup(self, name: str) -> Optional[Tuple[int, ast.Type]]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+    def declare(self, name: str, slot: int, typ: ast.Type) -> None:
+        if name in self.names:
+            raise SemanticError(f"duplicate local variable {name}")
+        self.names[name] = (slot, typ)
+
+
+class Analyzer:
+    """Semantic analysis over a set of compilation units."""
+
+    def __init__(self, units: List[ast.CompilationUnit],
+                 hierarchy: Optional[Hierarchy] = None):
+        self.units = units
+        self.hierarchy = hierarchy or standard_hierarchy()
+        #: maps simple or dotted source names to internal names, per unit.
+        self._unit_imports: Dict[int, Dict[str, str]] = {}
+        self._declare_classes()
+        self._declare_members()
+
+    # -- hierarchy construction ---------------------------------------
+
+    def _declare_classes(self) -> None:
+        for unit in self.units:
+            imports = dict(getattr(unit, "imports", {}))
+            self._unit_imports[id(unit)] = imports
+            package_prefix = (unit.package.replace(".", "/") + "/"
+                              if unit.package else "")
+            for decl in unit.classes:
+                internal = package_prefix + decl.name
+                model = ClassModel(internal, is_source=True,
+                                   is_interface=decl.is_interface)
+                self.hierarchy.add(model)
+
+    def _resolve_class(self, unit: ast.CompilationUnit, name: str) -> str:
+        """Resolve a source class name (simple or dotted) to internal."""
+        if "." in name or "/" in name:
+            internal = name.replace(".", "/")
+            if self.hierarchy.has(internal):
+                return internal
+            raise SemanticError(f"unknown class {name}")
+        imports = self._unit_imports[id(unit)]
+        if name in imports:
+            return imports[name]
+        package_prefix = (unit.package.replace(".", "/") + "/"
+                          if unit.package else "")
+        candidate = package_prefix + name
+        if self.hierarchy.has(candidate):
+            return candidate
+        if name in DEFAULT_IMPORTS:
+            return DEFAULT_IMPORTS[name]
+        if self.hierarchy.has(name):
+            return name
+        raise SemanticError(f"unknown class {name}")
+
+    def _resolve_type(self, unit: ast.CompilationUnit,
+                      typ: ast.Type) -> ast.Type:
+        """Resolve class names inside a source type to internal names."""
+        descriptor = typ.descriptor
+        depth = 0
+        while descriptor.startswith("["):
+            depth += 1
+            descriptor = descriptor[1:]
+        if descriptor.startswith("L"):
+            internal = self._resolve_class(unit, descriptor[1:-1])
+            descriptor = f"L{internal};"
+        return ast.Type("[" * depth + descriptor)
+
+    def _declare_members(self) -> None:
+        for unit in self.units:
+            package_prefix = (unit.package.replace(".", "/") + "/"
+                              if unit.package else "")
+            for decl in unit.classes:
+                internal = package_prefix + decl.name
+                model = self.hierarchy.get(internal)
+                if decl.is_interface:
+                    model.super_name = "java/lang/Object"
+                elif decl.superclass:
+                    model.super_name = self._resolve_class(
+                        unit, decl.superclass)
+                else:
+                    model.super_name = "java/lang/Object"
+                model.interfaces = [
+                    self._resolve_class(unit, i) for i in decl.interfaces]
+                for field_decl in decl.fields:
+                    field_decl.typ = self._resolve_type(unit, field_decl.typ)
+                    constant = None
+                    if "final" in field_decl.modifiers and \
+                            "static" in field_decl.modifiers:
+                        constant = _literal_value(field_decl.init)
+                    model.add_field(field_decl.name,
+                                    field_decl.typ.descriptor,
+                                    "static" in field_decl.modifiers,
+                                    constant)
+                has_constructor = False
+                for method in decl.methods:
+                    method.return_type = self._resolve_type(
+                        unit, method.return_type)
+                    for param in method.params:
+                        param.typ = self._resolve_type(unit, param.typ)
+                    method.throws = [
+                        self._resolve_class(unit, t) for t in method.throws]
+                    descriptor = build_method_descriptor(
+                        [p.typ.descriptor for p in method.params],
+                        method.return_type.descriptor)
+                    model.add_method(method.name, descriptor,
+                                     method.is_static)
+                    if method.is_constructor:
+                        has_constructor = True
+                if not has_constructor and not decl.is_interface:
+                    # The implicit default constructor.
+                    default = ast.MethodDecl(
+                        ["public"], ast.VOID, "<init>", [], [],
+                        ast.Block([]))
+                    decl.methods.insert(0, default)
+                    model.add_method("<init>", "()V", False)
+
+    # -- per-method analysis -------------------------------------------
+
+    def analyze(self) -> Hierarchy:
+        """Analyze every method body; returns the populated hierarchy."""
+        for unit in self.units:
+            package_prefix = (unit.package.replace(".", "/") + "/"
+                              if unit.package else "")
+            for decl in unit.classes:
+                internal = package_prefix + decl.name
+                for method in decl.methods:
+                    if method.body is not None:
+                        self._analyze_method(unit, internal, decl, method)
+                for field_decl in decl.fields:
+                    if field_decl.init is not None:
+                        context = _MethodContext(
+                            self, unit, internal,
+                            is_static="static" in field_decl.modifiers)
+                        context.check_expr(field_decl.init)
+                        _require_assignable(
+                            self.hierarchy, field_decl.init.typ,
+                            field_decl.typ,
+                            f"field {field_decl.name} initializer")
+        return self.hierarchy
+
+    def _analyze_method(self, unit: ast.CompilationUnit, internal: str,
+                        decl: ast.ClassDecl,
+                        method: ast.MethodDecl) -> None:
+        context = _MethodContext(self, unit, internal, method.is_static,
+                                 method.return_type)
+        scope = Scope()
+        slot = 0
+        if not method.is_static:
+            slot = 1  # local 0 is `this`
+        for param in method.params:
+            scope.declare(param.name, slot, param.typ)
+            slot += slot_width(param.typ.descriptor)
+        context.next_slot = slot
+        context.check_block(method.body, scope)
+        method.locals_size = max(context.max_slot, slot)  # type: ignore
+
+
+def _literal_value(expr: Optional[ast.Expr]) -> Optional[object]:
+    """Constant value of a literal initializer, for ConstantValue."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, (ast.LongLit,)):
+        return ("long", expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return ("float", expr.value)
+    if isinstance(expr, ast.DoubleLit):
+        return ("double", expr.value)
+    if isinstance(expr, ast.StringLit):
+        return ("string", expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return 1 if expr.value else 0
+    if isinstance(expr, ast.CharLit):
+        return ord(expr.value)
+    return None
+
+
+def _require_assignable(hierarchy: Hierarchy, source: Optional[ast.Type],
+                        target: ast.Type, where: str) -> None:
+    if source is None:
+        raise SemanticError(f"{where}: untyped expression")
+    if _assignable(hierarchy, source, target):
+        return
+    raise SemanticError(
+        f"{where}: cannot assign {source.descriptor} to "
+        f"{target.descriptor}")
+
+
+def _assignable(hierarchy: Hierarchy, source: ast.Type,
+                target: ast.Type) -> bool:
+    if source.descriptor == target.descriptor:
+        return True
+    if source.descriptor == ast.NULL.descriptor:
+        return target.is_reference
+    if source.is_primitive and target.is_primitive:
+        return target.descriptor in _WIDENS_TO.get(source.descriptor, ())
+    if source.is_reference and target.is_reference:
+        if target.descriptor == ast.OBJECT.descriptor:
+            return True
+        if source.is_array or target.is_array:
+            return source.descriptor == target.descriptor
+        return hierarchy.is_subtype(source.descriptor[1:-1],
+                                    target.descriptor[1:-1])
+    return False
+
+
+def _chain_to_dotted(expr: ast.Expr) -> Optional[str]:
+    """If ``expr`` is a pure Name/FieldAccess chain, its dotted text."""
+    if isinstance(expr, ast.Name):
+        return expr.identifier
+    if isinstance(expr, ast.FieldAccess) and expr.receiver is not None:
+        prefix = _chain_to_dotted(expr.receiver)
+        if prefix is not None:
+            return f"{prefix}.{expr.name}"
+    return None
+
+
+class _MethodContext:
+    """State for analyzing one method body (or field initializer)."""
+
+    def __init__(self, analyzer: Analyzer, unit: ast.CompilationUnit,
+                 class_name: str, is_static: bool,
+                 return_type: ast.Type = ast.VOID):
+        self.analyzer = analyzer
+        self.hierarchy = analyzer.hierarchy
+        self.unit = unit
+        self.class_name = class_name
+        self.is_static = is_static
+        self.return_type = return_type
+        self.next_slot = 0
+        self.max_slot = 0
+        self.loop_depth = 0
+
+    # -- statements -----------------------------------------------------
+
+    def check_block(self, block: ast.Block, scope: Scope) -> None:
+        inner = Scope(scope)
+        saved_slot = self.next_slot
+        for statement in block.statements:
+            self.check_stmt(statement, inner)
+        # Slots of block-scoped locals are reusable after the block,
+        # exactly as javac allocates them.
+        self.next_slot = saved_slot
+
+    def check_stmt(self, statement: ast.Stmt, scope: Scope) -> None:
+        if isinstance(statement, ast.Block):
+            self.check_block(statement, scope)
+        elif isinstance(statement, ast.LocalDecl):
+            if statement.init is not None:
+                self.check_expr(statement.init, scope)
+            statement.typ = self.analyzer._resolve_type(
+                self.unit, statement.typ)
+            if statement.init is not None:
+                _require_assignable(self.hierarchy, statement.init.typ,
+                                    statement.typ,
+                                    f"local {statement.name}")
+            slot = self.next_slot
+            scope.declare(statement.name, slot, statement.typ)
+            statement.slot = slot  # type: ignore[attr-defined]
+            self.next_slot += slot_width(statement.typ.descriptor)
+            self.max_slot = max(self.max_slot, self.next_slot)
+        elif isinstance(statement, ast.ExprStmt):
+            self.check_expr(statement.expr, scope)
+        elif isinstance(statement, ast.If):
+            self._check_condition(statement.cond, scope)
+            self.check_stmt(statement.then, scope)
+            if statement.otherwise is not None:
+                self.check_stmt(statement.otherwise, scope)
+        elif isinstance(statement, ast.While):
+            self._check_condition(statement.cond, scope)
+            self.loop_depth += 1
+            self.check_stmt(statement.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(statement, ast.For):
+            inner = Scope(scope)
+            saved_slot = self.next_slot
+            if statement.init is not None:
+                self.check_stmt(statement.init, inner)
+            if statement.cond is not None:
+                self._check_condition(statement.cond, inner)
+            if statement.update is not None:
+                self.check_expr(statement.update, inner)
+            self.loop_depth += 1
+            self.check_stmt(statement.body, inner)
+            self.loop_depth -= 1
+            self.next_slot = saved_slot
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None:
+                self.check_expr(statement.value, scope)
+                _require_assignable(self.hierarchy, statement.value.typ,
+                                    self.return_type, "return")
+            elif self.return_type.descriptor != "V":
+                raise SemanticError("missing return value")
+        elif isinstance(statement, ast.Throw):
+            self.check_expr(statement.value, scope)
+            if not statement.value.typ.is_reference:
+                raise SemanticError("throw of a non-reference value")
+        elif isinstance(statement, ast.Try):
+            self.check_block(statement.body, scope)
+            resolved = []
+            for exc_name, var, handler in statement.catches:
+                internal = self.analyzer._resolve_class(self.unit, exc_name)
+                inner = Scope(scope)
+                slot = self.next_slot
+                exc_type = ast.Type(f"L{internal};")
+                inner.declare(var, slot, exc_type)
+                self.next_slot += 1
+                self.max_slot = max(self.max_slot, self.next_slot)
+                self.check_block(handler, inner)
+                self.next_slot = slot
+                resolved.append((internal, slot, handler))
+            statement.resolved_catches = resolved  # type: ignore
+        elif isinstance(statement, ast.Switch):
+            self.check_expr(statement.selector, scope)
+            if statement.selector.typ.descriptor not in ("I", "B", "S", "C"):
+                raise SemanticError("switch selector must be int-like")
+            for _, statements in statement.cases:
+                inner = Scope(scope)
+                for sub in statements:
+                    self.check_stmt(sub, inner)
+        elif isinstance(statement, (ast.Break, ast.Continue)):
+            pass  # validity is contextual; codegen checks targets exist
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise SemanticError(f"unknown statement {statement!r}")
+
+    def _check_condition(self, expr: ast.Expr, scope: Scope) -> None:
+        self.check_expr(expr, scope)
+        if expr.typ.descriptor != "Z":
+            raise SemanticError(
+                f"condition must be boolean, got {expr.typ.descriptor}")
+
+    # -- expressions ------------------------------------------------------
+
+    def check_expr(self, expr: ast.Expr,
+                   scope: Optional[Scope] = None) -> ast.Type:
+        scope = scope or Scope()
+        typ = self._expr(expr, scope)
+        expr.typ = typ
+        return typ
+
+    def _expr(self, expr: ast.Expr, scope: Scope) -> ast.Type:
+        if isinstance(expr, ast.IntLit):
+            return ast.INT
+        if isinstance(expr, ast.LongLit):
+            return ast.LONG
+        if isinstance(expr, ast.FloatLit):
+            return ast.FLOAT
+        if isinstance(expr, ast.DoubleLit):
+            return ast.DOUBLE
+        if isinstance(expr, ast.BoolLit):
+            return ast.BOOLEAN
+        if isinstance(expr, ast.CharLit):
+            return ast.CHAR
+        if isinstance(expr, ast.StringLit):
+            return ast.STRING
+        if isinstance(expr, ast.NullLit):
+            return ast.NULL
+        if isinstance(expr, ast.This):
+            if self.is_static:
+                raise SemanticError("'this' in a static context")
+            return ast.Type(f"L{self.class_name};")
+        if isinstance(expr, ast.Name):
+            return self._name(expr, scope)
+        if isinstance(expr, ast.FieldAccess):
+            return self._field_access(expr, scope)
+        if isinstance(expr, ast.ArrayIndex):
+            array_type = self.check_expr(expr.array, scope)
+            index_type = self.check_expr(expr.index, scope)
+            if index_type.descriptor not in ("I", "B", "S", "C"):
+                raise SemanticError("array index must be int")
+            if not array_type.is_array:
+                raise SemanticError(
+                    f"indexing non-array {array_type.descriptor}")
+            return array_type.element
+        if isinstance(expr, ast.ArrayLength):
+            array_type = self.check_expr(expr.array, scope)
+            if not array_type.is_array:
+                # `.length` on a String parses as ArrayLength; treat it
+                # as the length() call.
+                raise SemanticError(
+                    f".length on non-array {array_type.descriptor}")
+            return ast.INT
+        if isinstance(expr, ast.Call):
+            return self._call(expr, scope)
+        if isinstance(expr, ast.New):
+            return self._new(expr, scope)
+        if isinstance(expr, ast.NewArray):
+            expr.element_type = self.analyzer._resolve_type(
+                self.unit, expr.element_type)
+            length_type = self.check_expr(expr.length, scope)
+            if length_type.descriptor not in ("I", "B", "S", "C"):
+                raise SemanticError("array length must be int")
+            return expr.element_type.array_of()
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr, scope)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr, scope)
+        if isinstance(expr, ast.Cast):
+            expr.target = self.analyzer._resolve_type(self.unit, expr.target)
+            self.check_expr(expr.operand, scope)
+            return expr.target
+        if isinstance(expr, ast.InstanceOf):
+            self.check_expr(expr.operand, scope)
+            expr.internal_name = self.analyzer._resolve_class(  # type: ignore
+                self.unit, expr.class_name)
+            return ast.BOOLEAN
+        if isinstance(expr, ast.Assign):
+            return self._assign(expr, scope)
+        if isinstance(expr, ast.Conditional):
+            self._check_condition(expr.cond, scope)
+            then_type = self.check_expr(expr.then, scope)
+            else_type = self.check_expr(expr.otherwise, scope)
+            if then_type.descriptor == ast.NULL.descriptor:
+                return else_type
+            return then_type
+        raise SemanticError(f"unknown expression {expr!r}")
+
+    def _name(self, expr: ast.Name, scope: Scope) -> ast.Type:
+        local = scope.lookup(expr.identifier)
+        if local is not None:
+            slot, typ = local
+            expr.res = ("local", slot)  # type: ignore[attr-defined]
+            return typ
+        # An unqualified name: a field of this class (or a supertype).
+        try:
+            owner, field_model = self.hierarchy.find_field(
+                self.class_name, expr.identifier)
+        except ResolutionError:
+            raise SemanticError(
+                f"cannot resolve name {expr.identifier!r} in "
+                f"{self.class_name}") from None
+        expr.res = ("field", owner, field_model.name,  # type: ignore
+                    field_model.descriptor, field_model.is_static)
+        return ast.Type(field_model.descriptor)
+
+    def _field_access(self, expr: ast.FieldAccess, scope: Scope) -> ast.Type:
+        # Try the receiver as an expression first; fall back to
+        # interpreting the whole prefix chain as a class name (static).
+        receiver_type: Optional[ast.Type] = None
+        if expr.receiver is not None:
+            try:
+                receiver_type = self.check_expr(expr.receiver, scope)
+            except SemanticError:
+                receiver_type = None
+        if receiver_type is not None:
+            if not receiver_type.descriptor.startswith("L"):
+                raise SemanticError(
+                    f"field access on {receiver_type.descriptor}")
+            owner_name = receiver_type.descriptor[1:-1]
+            owner, field_model = self.hierarchy.find_field(
+                owner_name, expr.name)
+            expr.res = ("field", owner, field_model.name,  # type: ignore
+                        field_model.descriptor, field_model.is_static)
+            return ast.Type(field_model.descriptor)
+        dotted = _chain_to_dotted(expr.receiver) if expr.receiver else \
+            expr.class_name
+        if dotted is None:
+            raise SemanticError(f"cannot resolve receiver of .{expr.name}")
+        internal = self.analyzer._resolve_class(self.unit, dotted)
+        owner, field_model = self.hierarchy.find_field(internal, expr.name)
+        if not field_model.is_static:
+            raise SemanticError(
+                f"static access to instance field {expr.name}")
+        expr.receiver = None  # static: no receiver expression to emit
+        expr.class_name = internal
+        expr.res = ("field", owner, field_model.name,  # type: ignore
+                    field_model.descriptor, True)
+        return ast.Type(field_model.descriptor)
+
+    def _pick_overload(self, overloads: List[MethodModel],
+                       arg_types: List[ast.Type],
+                       where: str) -> MethodModel:
+        exact = None
+        applicable = []
+        for method in overloads:
+            params = method.arg_types
+            if len(params) != len(arg_types):
+                continue
+            if all(p == a.descriptor for p, a in zip(params, arg_types)):
+                exact = method
+                break
+            if all(_assignable(self.hierarchy, a, ast.Type(p))
+                   for p, a in zip(params, arg_types)):
+                applicable.append(method)
+        if exact is not None:
+            return exact
+        if applicable:
+            # Prefer the most specific: fewest widening steps (proxy:
+            # lexicographically smallest descriptor among applicable).
+            return sorted(applicable, key=lambda m: m.descriptor)[0]
+        signature = ", ".join(a.descriptor for a in arg_types)
+        raise SemanticError(f"{where}: no applicable overload "
+                            f"for ({signature})")
+
+    def _call(self, expr: ast.Call, scope: Scope) -> ast.Type:
+        arg_types = [self.check_expr(arg, scope) for arg in expr.args]
+        if expr.is_super:
+            model = self.hierarchy.get(self.class_name)
+            owner = model.super_name or "java/lang/Object"
+            overloads = self.hierarchy.find_methods(owner, expr.name)
+            method = self._pick_overload(overloads, arg_types,
+                                         f"super.{expr.name}")
+            expr.resolved = method  # type: ignore[attr-defined]
+            expr.kind = "special"  # type: ignore[attr-defined]
+            expr.owner = owner  # type: ignore[attr-defined]
+            return ast.Type(method.return_type)
+        receiver_type: Optional[ast.Type] = None
+        owner: Optional[str] = None
+        if expr.receiver is not None:
+            try:
+                receiver_type = self.check_expr(expr.receiver, scope)
+            except SemanticError:
+                receiver_type = None
+            if receiver_type is None:
+                dotted = _chain_to_dotted(expr.receiver)
+                if dotted is None:
+                    raise SemanticError(
+                        f"cannot resolve receiver of {expr.name}()")
+                owner = self.analyzer._resolve_class(self.unit, dotted)
+                expr.receiver = None
+                expr.class_name = owner
+            else:
+                if not receiver_type.descriptor.startswith("L"):
+                    raise SemanticError(
+                        f"method call on {receiver_type.descriptor}")
+                owner = receiver_type.descriptor[1:-1]
+        elif expr.class_name is not None:
+            owner = self.analyzer._resolve_class(self.unit, expr.class_name)
+            expr.class_name = owner
+        else:
+            owner = self.class_name
+        overloads = self.hierarchy.find_methods(owner, expr.name)
+        method = self._pick_overload(overloads, arg_types, expr.name)
+        expr.resolved = method  # type: ignore[attr-defined]
+        expr.owner = owner  # type: ignore[attr-defined]
+        if method.is_static:
+            expr.kind = "static"  # type: ignore[attr-defined]
+        elif self.hierarchy.is_interface(owner):
+            expr.kind = "interface"  # type: ignore[attr-defined]
+        elif expr.name == "<init>":
+            expr.kind = "special"  # type: ignore[attr-defined]
+        else:
+            expr.kind = "virtual"  # type: ignore[attr-defined]
+        if not method.is_static and expr.receiver is None and \
+                expr.class_name is None:
+            if self.is_static:
+                raise SemanticError(
+                    f"instance method {expr.name} called from static "
+                    "context")
+        return ast.Type(method.return_type)
+
+    def _new(self, expr: ast.New, scope: Scope) -> ast.Type:
+        internal = self.analyzer._resolve_class(self.unit, expr.class_name)
+        expr.class_name = internal
+        arg_types = [self.check_expr(arg, scope) for arg in expr.args]
+        overloads = self.hierarchy.find_methods(internal, "<init>")
+        # Constructors are not inherited: keep only this class's own.
+        own = [m for m in overloads if m.owner == internal]
+        method = self._pick_overload(own or overloads, arg_types,
+                                     f"new {internal}")
+        expr.ctor = method  # type: ignore[attr-defined]
+        return ast.Type(f"L{internal};")
+
+    def _unary(self, expr: ast.Unary, scope: Scope) -> ast.Type:
+        operand_type = self.check_expr(expr.operand, scope)
+        descriptor = operand_type.descriptor
+        if expr.op == "-":
+            if descriptor not in _NUMERIC:
+                raise SemanticError(f"unary - on {descriptor}")
+            if descriptor in ("B", "S", "C"):
+                return ast.INT
+            return operand_type
+        if expr.op == "!":
+            if descriptor != "Z":
+                raise SemanticError(f"unary ! on {descriptor}")
+            return ast.BOOLEAN
+        if expr.op == "~":
+            if descriptor not in _INTEGRAL:
+                raise SemanticError(f"unary ~ on {descriptor}")
+            return ast.LONG if descriptor == "J" else ast.INT
+        raise SemanticError(f"unknown unary operator {expr.op}")
+
+    def _binary(self, expr: ast.Binary, scope: Scope) -> ast.Type:
+        left = self.check_expr(expr.left, scope)
+        right = self.check_expr(expr.right, scope)
+        op = expr.op
+        expr.is_concat = False  # type: ignore[attr-defined]
+        if op == "+" and (left.descriptor == ast.STRING.descriptor or
+                          right.descriptor == ast.STRING.descriptor):
+            expr.is_concat = True  # type: ignore[attr-defined]
+            return ast.STRING
+        if op in ("&&", "||"):
+            if left.descriptor != "Z" or right.descriptor != "Z":
+                raise SemanticError(f"{op} requires booleans")
+            return ast.BOOLEAN
+        if op in ("==", "!="):
+            if left.is_reference or left.descriptor == "Lnull;" or \
+                    right.is_reference or right.descriptor == "Lnull;":
+                expr.operand_type = "A"  # type: ignore[attr-defined]
+                return ast.BOOLEAN
+            if left.descriptor == "Z" and right.descriptor == "Z":
+                expr.operand_type = "I"  # type: ignore[attr-defined]
+                return ast.BOOLEAN
+            promoted = binary_numeric_promotion(left.descriptor,
+                                                right.descriptor)
+            expr.operand_type = promoted  # type: ignore[attr-defined]
+            return ast.BOOLEAN
+        if op in ("<", "<=", ">", ">="):
+            if left.descriptor not in _NUMERIC or \
+                    right.descriptor not in _NUMERIC:
+                raise SemanticError(f"{op} requires numeric operands")
+            promoted = binary_numeric_promotion(left.descriptor,
+                                                right.descriptor)
+            expr.operand_type = promoted  # type: ignore[attr-defined]
+            return ast.BOOLEAN
+        if op in ("&", "|", "^"):
+            if left.descriptor == "Z" and right.descriptor == "Z":
+                expr.operand_type = "I"  # type: ignore[attr-defined]
+                return ast.BOOLEAN
+            promoted = binary_numeric_promotion(left.descriptor,
+                                                right.descriptor)
+            if promoted not in ("I", "J"):
+                raise SemanticError(f"{op} requires integral operands")
+            expr.operand_type = promoted  # type: ignore[attr-defined]
+            return ast.LONG if promoted == "J" else ast.INT
+        if op in ("<<", ">>", ">>>"):
+            if left.descriptor not in _INTEGRAL or \
+                    right.descriptor not in _INTEGRAL:
+                raise SemanticError(f"{op} requires integral operands")
+            promoted = "J" if left.descriptor == "J" else "I"
+            expr.operand_type = promoted  # type: ignore[attr-defined]
+            return ast.LONG if promoted == "J" else ast.INT
+        if op in ("+", "-", "*", "/", "%"):
+            if left.descriptor not in _NUMERIC or \
+                    right.descriptor not in _NUMERIC:
+                raise SemanticError(
+                    f"{op} on {left.descriptor}, {right.descriptor}")
+            promoted = binary_numeric_promotion(left.descriptor,
+                                                right.descriptor)
+            expr.operand_type = promoted  # type: ignore[attr-defined]
+            return ast.Type(promoted)
+        raise SemanticError(f"unknown binary operator {op}")
+
+    def _assign(self, expr: ast.Assign, scope: Scope) -> ast.Type:
+        rhs_type = self.check_expr(expr.rhs, scope)
+        lhs = expr.lhs
+        if isinstance(lhs, (ast.Name, ast.FieldAccess)):
+            lhs_type = self.check_expr(lhs, scope)
+        elif isinstance(lhs, ast.ArrayIndex):
+            lhs_type = self.check_expr(lhs, scope)
+        else:
+            raise SemanticError(f"invalid assignment target {lhs!r}")
+        _require_assignable(self.hierarchy, rhs_type, lhs_type, "assignment")
+        return lhs_type
+
+
+def analyze(units: List[ast.CompilationUnit],
+            hierarchy: Optional[Hierarchy] = None) -> Hierarchy:
+    """Run semantic analysis over ``units``; returns the hierarchy."""
+    return Analyzer(units, hierarchy).analyze()

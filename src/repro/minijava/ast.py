@@ -1,0 +1,348 @@
+"""Abstract syntax tree for mini-Java.
+
+Mini-Java is the source language of the compiler we use to synthesize
+realistic class files (the paper's corpus was compiled by javac, which
+is unavailable offline).  It covers the subset of Java 1.2 that drives
+the statistics the paper's compression techniques exploit: packages,
+classes with inheritance and interfaces, overloaded methods, fields
+with constant values, all primitive types, strings and string
+concatenation, arrays, the full statement repertoire (including
+``switch``), and exception handler syntax (``try``/``catch``/``throw``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# -- types ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """A source-level type, stored as a JVM descriptor string."""
+
+    descriptor: str
+
+    @property
+    def is_primitive(self) -> bool:
+        return len(self.descriptor) == 1
+
+    @property
+    def is_array(self) -> bool:
+        return self.descriptor.startswith("[")
+
+    @property
+    def is_reference(self) -> bool:
+        return self.descriptor.startswith(("L", "["))
+
+    @property
+    def element(self) -> "Type":
+        if not self.is_array:
+            raise ValueError(f"not an array type: {self.descriptor}")
+        return Type(self.descriptor[1:])
+
+    def array_of(self) -> "Type":
+        return Type("[" + self.descriptor)
+
+
+INT = Type("I")
+LONG = Type("J")
+FLOAT = Type("F")
+DOUBLE = Type("D")
+BOOLEAN = Type("Z")
+CHAR = Type("C")
+BYTE = Type("B")
+SHORT = Type("S")
+VOID = Type("V")
+STRING = Type("Ljava/lang/String;")
+OBJECT = Type("Ljava/lang/Object;")
+NULL = Type("Lnull;")  # the type of the null literal; assignable anywhere
+
+
+# -- expressions ------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class; ``typ`` is filled in by semantic analysis."""
+
+    typ: Optional[Type] = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class LongLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class DoubleLit(Expr):
+    value: float
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class CharLit(Expr):
+    value: str
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class Name(Expr):
+    """An identifier; resolved to a local, field, or class by analysis."""
+
+    identifier: str
+
+
+@dataclass
+class This(Expr):
+    pass
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``receiver.name`` — receiver may be an expression or a class name."""
+
+    receiver: Optional[Expr]
+    #: Qualified class name when this is a static access; filled by
+    #: the parser for ``pkg.Cls.field`` shapes, else by analysis.
+    class_name: Optional[str]
+    name: str
+
+
+@dataclass
+class ArrayIndex(Expr):
+    array: Expr
+    index: Expr
+
+
+@dataclass
+class ArrayLength(Expr):
+    array: Expr
+
+
+@dataclass
+class Call(Expr):
+    """A method call.  Exactly one of receiver/class_name is set for
+    instance/static calls; both are None for unqualified calls."""
+
+    receiver: Optional[Expr]
+    class_name: Optional[str]
+    name: str
+    args: List[Expr]
+    #: True for ``super.m(...)`` calls.
+    is_super: bool = False
+
+
+@dataclass
+class New(Expr):
+    class_name: str
+    args: List[Expr]
+
+
+@dataclass
+class NewArray(Expr):
+    element_type: Type
+    length: Expr
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # '-', '!', '~'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # + - * / % << >> >>> & | ^ < <= > >= == != && ||
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Cast(Expr):
+    target: Type
+    operand: Expr
+
+
+@dataclass
+class InstanceOf(Expr):
+    operand: Expr
+    class_name: str
+
+
+@dataclass
+class Assign(Expr):
+    """``lhs = rhs`` (also used for compound ops after desugaring)."""
+
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Conditional(Expr):
+    """``cond ? then : otherwise``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+# -- statements -------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt]
+
+
+@dataclass
+class LocalDecl(Stmt):
+    typ: Type
+    name: str
+    init: Optional[Expr]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Optional[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    update: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class Throw(Stmt):
+    value: Expr
+
+
+@dataclass
+class Try(Stmt):
+    body: Block
+    #: ``(exception class name, variable name, handler block)`` rows.
+    catches: List[Tuple[str, str, Block]]
+
+
+@dataclass
+class Switch(Stmt):
+    selector: Expr
+    #: ``(match values, statements)``; ``None`` match = default.
+    cases: List[Tuple[Optional[List[int]], List[Stmt]]]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# -- declarations -----------------------------------------------------
+
+
+@dataclass
+class FieldDecl:
+    modifiers: List[str]
+    typ: Type
+    name: str
+    init: Optional[Expr]
+
+
+@dataclass
+class Param:
+    typ: Type
+    name: str
+
+
+@dataclass
+class MethodDecl:
+    modifiers: List[str]
+    return_type: Type
+    name: str
+    params: List[Param]
+    throws: List[str]
+    body: Optional[Block]  # None for abstract/interface methods
+
+    @property
+    def is_static(self) -> bool:
+        return "static" in self.modifiers
+
+    @property
+    def is_constructor(self) -> bool:
+        return self.name == "<init>"
+
+
+@dataclass
+class ClassDecl:
+    modifiers: List[str]
+    name: str  # simple name
+    superclass: Optional[str]
+    interfaces: List[str]
+    fields: List[FieldDecl]
+    methods: List[MethodDecl]
+    is_interface: bool = False
+
+
+@dataclass
+class CompilationUnit:
+    package: str  # dotted, may be ""
+    classes: List[ClassDecl]
+
+    def qualified_names(self) -> List[str]:
+        prefix = self.package.replace(".", "/") + "/" if self.package else ""
+        return [prefix + c.name for c in self.classes]

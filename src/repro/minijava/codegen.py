@@ -1,0 +1,1034 @@
+"""Bytecode generation for mini-Java.
+
+Turns analyzed ASTs into :class:`~repro.classfile.classfile.ClassFile`
+objects.  The emission style follows javac 1.2: short forms
+(``iload_0`` … ``aload_3``, ``iconst_*``) whenever possible, string
+concatenation via ``java/lang/StringBuffer``, booleans materialized
+with branch/const patterns, and ``switch`` lowered to ``tableswitch``
+when dense and ``lookupswitch`` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..classfile import constant_pool as cp
+from ..classfile.attributes import (
+    CodeAttribute,
+    ConstantValueAttribute,
+    ExceptionsAttribute,
+    ExceptionTableEntry,
+)
+from ..classfile.bytecode import (
+    Instruction,
+    SwitchData,
+    assemble_indexed,
+    make,
+)
+from ..classfile.classfile import ClassFile
+from ..classfile.constants import AccessFlags
+from ..classfile.descriptors import (
+    build_method_descriptor,
+    slot_width,
+)
+from ..classfile.members import FieldInfo, MethodInfo
+from ..classfile.stackdepth import compute_max_stack
+from . import ast
+from .model import Hierarchy, MethodModel
+
+_FLAG_BITS = {
+    "public": AccessFlags.PUBLIC,
+    "private": AccessFlags.PRIVATE,
+    "protected": AccessFlags.PROTECTED,
+    "static": AccessFlags.STATIC,
+    "final": AccessFlags.FINAL,
+    "abstract": AccessFlags.ABSTRACT,
+    "native": AccessFlags.NATIVE,
+    "synchronized": AccessFlags.SYNCHRONIZED,
+    "transient": AccessFlags.TRANSIENT,
+    "volatile": AccessFlags.VOLATILE,
+}
+
+#: Comparison operator -> (if_icmpXX mnemonic, ifXX mnemonic).
+_COMPARISONS = {
+    "==": ("if_icmpeq", "ifeq"),
+    "!=": ("if_icmpne", "ifne"),
+    "<": ("if_icmplt", "iflt"),
+    "<=": ("if_icmple", "ifle"),
+    ">": ("if_icmpgt", "ifgt"),
+    ">=": ("if_icmpge", "ifge"),
+}
+
+_NEGATED = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=",
+            ">=": "<"}
+
+_ARITH = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+          "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+          ">>>": "ushr"}
+
+#: descriptor char -> opcode prefix for typed instructions.
+_PREFIX = {"I": "i", "J": "l", "F": "f", "D": "d", "B": "i", "S": "i",
+           "C": "i", "Z": "i"}
+
+#: descriptor char -> array load/store suffix.
+_ARRAY_SUFFIX = {"I": "ia", "J": "la", "F": "fa", "D": "da", "B": "ba",
+                 "S": "sa", "C": "ca", "Z": "ba"}
+
+
+class CodegenError(ValueError):
+    """Raised when code generation hits an unsupported construct."""
+
+
+class _Label:
+    """A branch target; resolves to an instruction index."""
+
+    __slots__ = ("index",)
+
+    def __init__(self):
+        self.index: Optional[int] = None
+
+
+class _LoopContext:
+    def __init__(self, break_label: _Label, continue_label: _Label):
+        self.break_label = break_label
+        self.continue_label = continue_label
+
+
+class MethodCompiler:
+    """Generates the Code attribute for one method body."""
+
+    def __init__(self, owner: "ClassCompiler", method: ast.MethodDecl):
+        self.owner = owner
+        self.pool = owner.pool
+        self.hierarchy = owner.hierarchy
+        self.method = method
+        self.instructions: List[Instruction] = []
+        self._patches: List[Tuple[Instruction, _Label]] = []
+        self._switch_patches: List[Tuple[SwitchData, List[_Label], _Label]] \
+            = []
+        self.loops: List[_LoopContext] = []
+        #: (start_index, end_index, handler_index, catch_type_cp or 0)
+        self.handlers: List[Tuple[int, int, int, int]] = []
+
+    # -- emission helpers -------------------------------------------------
+
+    def emit(self, mnemonic: str, **fields) -> Instruction:
+        instruction = make(mnemonic, **fields)
+        self.instructions.append(instruction)
+        return instruction
+
+    def label(self) -> _Label:
+        return _Label()
+
+    def mark(self, label: _Label) -> None:
+        label.index = len(self.instructions)
+
+    def branch(self, mnemonic: str, label: _Label) -> None:
+        instruction = self.emit(mnemonic)
+        self._patches.append((instruction, label))
+
+    # -- entry point --------------------------------------------------------
+
+    def compile(self) -> CodeAttribute:
+        is_constructor = self.method.is_constructor
+        body = self.method.body
+        if is_constructor:
+            self._emit_constructor_preamble(body)
+        self.gen_block(body)
+        self._ensure_return()
+        # Labels marking the very end of the method (e.g. the join
+        # label of a trailing try/catch whose arms all end in goto)
+        # still need an instruction to land on.
+        end = len(self.instructions)
+        dangling = any(label.index == end for _, label in self._patches)
+        for switch, case_labels, default_label in self._switch_patches:
+            if default_label.index == end or \
+                    any(lbl.index == end for lbl in case_labels):
+                dangling = True
+        if dangling:
+            self._append_default_return()
+        for instruction, label in self._patches:
+            if label.index is None:
+                raise CodegenError("unresolved label")
+            instruction.target = label.index
+        for switch, case_labels, default_label in self._switch_patches:
+            switch.default = default_label.index
+            switch.pairs = [(match, lbl.index)
+                            for (match, _), lbl in
+                            zip(switch.pairs, case_labels)]
+        table = [
+            (start, end, handler, catch_cp)
+            for start, end, handler, catch_cp in self.handlers
+        ]
+        code = assemble_indexed(self.instructions)
+        offsets = [ins.offset for ins in self.instructions]
+
+        def offset_of(index: int) -> int:
+            if index >= len(offsets):
+                return len(code)
+            return offsets[index]
+
+        exception_table = [
+            ExceptionTableEntry(offset_of(start), offset_of(end),
+                                offset_of(handler), catch_cp)
+            for start, end, handler, catch_cp in table
+        ]
+        max_locals = getattr(self.method, "locals_size", 0)
+        max_stack = compute_max_stack(
+            self.instructions, self.pool,
+            [entry.handler_pc for entry in exception_table])
+        return CodeAttribute(max_stack, max_locals, code, exception_table)
+
+    def _emit_constructor_preamble(self, body: ast.Block) -> None:
+        """Emit the implicit/explicit super() call and field inits."""
+        explicit_super = bool(
+            body.statements and
+            isinstance(body.statements[0], ast.ExprStmt) and
+            isinstance(body.statements[0].expr, ast.Call) and
+            body.statements[0].expr.is_super and
+            body.statements[0].expr.name == "<init>")
+        if not explicit_super:
+            self._load_local("L", 0)
+            super_name = self.owner.model.super_name or "java/lang/Object"
+            self.emit("invokespecial", cp_index=self.pool.methodref(
+                super_name, "<init>", "()V"))
+        # Instance field initializers run after super().
+        for field_decl in self.owner.decl.fields:
+            if "static" in field_decl.modifiers or field_decl.init is None:
+                continue
+            self._load_local("L", 0)
+            self.gen_expr(field_decl.init)
+            self._convert(field_decl.init.typ.descriptor,
+                          field_decl.typ.descriptor)
+            self.emit("putfield", cp_index=self.pool.fieldref(
+                self.owner.internal_name, field_decl.name,
+                field_decl.typ.descriptor))
+
+    def _ensure_return(self) -> None:
+        """Append a trailing return if control can fall off the end."""
+        if self.instructions:
+            last = self.instructions[-1].mnemonic
+            if last in ("return", "ireturn", "lreturn", "freturn",
+                        "dreturn", "areturn", "athrow", "goto"):
+                return
+        self._append_default_return()
+
+    def _append_default_return(self) -> None:
+        ret = self.method.return_type.descriptor
+        if ret == "V":
+            self.emit("return")
+        elif ret in ("I", "Z", "B", "C", "S"):
+            self.emit("iconst_0")
+            self.emit("ireturn")
+        elif ret == "J":
+            self.emit("lconst_0")
+            self.emit("lreturn")
+        elif ret == "F":
+            self.emit("fconst_0")
+            self.emit("freturn")
+        elif ret == "D":
+            self.emit("dconst_0")
+            self.emit("dreturn")
+        else:
+            self.emit("aconst_null")
+            self.emit("areturn")
+
+    # -- locals and constants ------------------------------------------------
+
+    def _load_local(self, descriptor: str, slot: int) -> None:
+        prefix = "a" if descriptor.startswith(("L", "[")) else \
+            _PREFIX[descriptor]
+        if slot <= 3:
+            self.emit(f"{prefix}load_{slot}")
+        else:
+            self.emit(f"{prefix}load", local=slot)
+
+    def _store_local(self, descriptor: str, slot: int) -> None:
+        prefix = "a" if descriptor.startswith(("L", "[")) else \
+            _PREFIX[descriptor]
+        if slot <= 3:
+            self.emit(f"{prefix}store_{slot}")
+        else:
+            self.emit(f"{prefix}store", local=slot)
+
+    def _push_int(self, value: int) -> None:
+        if -1 <= value <= 5:
+            self.emit("iconst_m1" if value == -1 else f"iconst_{value}")
+        elif -128 <= value <= 127:
+            self.emit("bipush", immediate=value)
+        elif -32768 <= value <= 32767:
+            self.emit("sipush", immediate=value)
+        else:
+            self._ldc(self.pool.integer(value))
+
+    def _ldc(self, index: int) -> None:
+        if index <= 0xFF:
+            self.emit("ldc", cp_index=index)
+        else:
+            self.emit("ldc_w", cp_index=index)
+
+    def _push_long(self, value: int) -> None:
+        if value in (0, 1):
+            self.emit(f"lconst_{value}")
+        else:
+            self.emit("ldc2_w", cp_index=self.pool.long_const(value))
+
+    def _push_float(self, value: float) -> None:
+        if value in (0.0, 1.0, 2.0) and str(value)[0] != "-":
+            self.emit(f"fconst_{int(value)}")
+        else:
+            self._ldc(self.pool.float_const(value))
+
+    def _push_double(self, value: float) -> None:
+        if value in (0.0, 1.0) and str(value)[0] != "-":
+            self.emit(f"dconst_{int(value)}")
+        else:
+            self.emit("ldc2_w", cp_index=self.pool.double_const(value))
+
+    def _convert(self, source: str, target: str) -> None:
+        """Emit a widening conversion from ``source`` to ``target``."""
+        source = "I" if source in ("B", "S", "C", "Z") else source
+        normalized_target = "I" if target in ("B", "S", "C", "Z") else target
+        if source == normalized_target or source.startswith(("L", "[")) or \
+                normalized_target.startswith(("L", "[")):
+            return
+        letters = {"I": "i", "J": "l", "F": "f", "D": "d"}
+        try:
+            mnemonic = f"{letters[source]}2{letters[normalized_target]}"
+        except KeyError:
+            raise CodegenError(
+                f"no conversion {source} -> {target}") from None
+        self.emit(mnemonic)
+
+    # -- statements ------------------------------------------------------
+
+    def gen_block(self, block: ast.Block) -> None:
+        for statement in block.statements:
+            self.gen_stmt(statement)
+
+    def gen_stmt(self, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.Block):
+            self.gen_block(statement)
+        elif isinstance(statement, ast.LocalDecl):
+            if statement.init is not None:
+                self.gen_expr(statement.init)
+                self._convert(statement.init.typ.descriptor,
+                              statement.typ.descriptor)
+                self._store_local(statement.typ.descriptor,
+                                  statement.slot)
+        elif isinstance(statement, ast.ExprStmt):
+            self.gen_expr(statement.expr, discard=True)
+        elif isinstance(statement, ast.If):
+            self._gen_if(statement)
+        elif isinstance(statement, ast.While):
+            self._gen_while(statement)
+        elif isinstance(statement, ast.For):
+            self._gen_for(statement)
+        elif isinstance(statement, ast.Return):
+            self._gen_return(statement)
+        elif isinstance(statement, ast.Throw):
+            self.gen_expr(statement.value)
+            self.emit("athrow")
+        elif isinstance(statement, ast.Try):
+            self._gen_try(statement)
+        elif isinstance(statement, ast.Switch):
+            self._gen_switch(statement)
+        elif isinstance(statement, ast.Break):
+            if not self.loops:
+                raise CodegenError("break outside loop")
+            self.branch("goto", self.loops[-1].break_label)
+        elif isinstance(statement, ast.Continue):
+            if not self.loops:
+                raise CodegenError("continue outside loop")
+            self.branch("goto", self.loops[-1].continue_label)
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise CodegenError(f"unknown statement {statement!r}")
+
+    def _gen_if(self, statement: ast.If) -> None:
+        else_label = self.label()
+        self.gen_condition(statement.cond, else_label, jump_if=False)
+        self.gen_stmt(statement.then)
+        if statement.otherwise is not None:
+            end_label = self.label()
+            self.branch("goto", end_label)
+            self.mark(else_label)
+            self.gen_stmt(statement.otherwise)
+            self.mark(end_label)
+        else:
+            self.mark(else_label)
+
+    def _gen_while(self, statement: ast.While) -> None:
+        start = self.label()
+        end = self.label()
+        self.mark(start)
+        self.gen_condition(statement.cond, end, jump_if=False)
+        self.loops.append(_LoopContext(end, start))
+        self.gen_stmt(statement.body)
+        self.loops.pop()
+        self.branch("goto", start)
+        self.mark(end)
+
+    def _gen_for(self, statement: ast.For) -> None:
+        if statement.init is not None:
+            self.gen_stmt(statement.init)
+        start = self.label()
+        end = self.label()
+        update = self.label()
+        self.mark(start)
+        if statement.cond is not None:
+            self.gen_condition(statement.cond, end, jump_if=False)
+        self.loops.append(_LoopContext(end, update))
+        self.gen_stmt(statement.body)
+        self.loops.pop()
+        self.mark(update)
+        if statement.update is not None:
+            self.gen_expr(statement.update, discard=True)
+        self.branch("goto", start)
+        self.mark(end)
+
+    def _gen_return(self, statement: ast.Return) -> None:
+        if statement.value is None:
+            self.emit("return")
+            return
+        self.gen_expr(statement.value)
+        ret = self.method.return_type.descriptor
+        self._convert(statement.value.typ.descriptor, ret)
+        if ret.startswith(("L", "[")):
+            self.emit("areturn")
+        else:
+            self.emit(f"{_PREFIX[ret]}return")
+
+    def _gen_try(self, statement: ast.Try) -> None:
+        end_label = self.label()
+        start_index = len(self.instructions)
+        self.gen_block(statement.body)
+        body_end = len(self.instructions)
+        self.branch("goto", end_label)
+        for internal, slot, handler in statement.resolved_catches:
+            handler_index = len(self.instructions)
+            self._store_local("L", slot)
+            self.gen_block(handler)
+            self.branch("goto", end_label)
+            self.handlers.append(
+                (start_index, body_end, handler_index,
+                 self.pool.class_info(internal)))
+        self.mark(end_label)
+        # A marked label must precede an instruction; if the try is the
+        # last statement, _ensure_return appends one.
+        if end_label.index == len(self.instructions):
+            pass
+
+    def _gen_switch(self, statement: ast.Switch) -> None:
+        self.gen_expr(statement.selector)
+        matches: List[int] = []
+        case_labels: List[_Label] = []
+        default_label: Optional[_Label] = None
+        body_labels: List[Tuple[Optional[List[int]], _Label]] = []
+        for case_matches, _ in statement.cases:
+            label = self.label()
+            body_labels.append((case_matches, label))
+            if case_matches is None:
+                default_label = label
+            else:
+                for match in case_matches:
+                    matches.append(match)
+                    case_labels.append(label)
+        end_label = self.label()
+        if default_label is None:
+            default_label = end_label
+        pairs = sorted(zip(matches, case_labels), key=lambda p: p[0])
+        matches = [m for m, _ in pairs]
+        case_labels = [lbl for _, lbl in pairs]
+        # Dense -> tableswitch; sparse -> lookupswitch (javac's rule:
+        # table when table size <= 2 * number of cases + some slack).
+        use_table = bool(matches) and \
+            (matches[-1] - matches[0] + 1) <= 2 * len(matches) + 8
+        if not matches:
+            self.emit("pop")
+            self.branch("goto", default_label)
+        elif use_table:
+            low = matches[0]
+            full_labels: List[_Label] = []
+            full_matches: List[int] = []
+            by_match = dict(zip(matches, case_labels))
+            for value in range(low, matches[-1] + 1):
+                full_matches.append(value)
+                full_labels.append(by_match.get(value, default_label))
+            switch = SwitchData(0, low,
+                                [(m, 0) for m in full_matches])
+            instruction = self.emit("tableswitch")
+            instruction.switch = switch
+            self._switch_patches.append((switch, full_labels, default_label))
+        else:
+            switch = SwitchData(0, None, [(m, 0) for m in matches])
+            instruction = self.emit("lookupswitch")
+            instruction.switch = switch
+            self._switch_patches.append((switch, case_labels, default_label))
+        self.loops.append(_LoopContext(end_label,
+                                       self.loops[-1].continue_label
+                                       if self.loops else end_label))
+        for (case_matches, label), (_, statements) in zip(
+                body_labels, statement.cases):
+            self.mark(label)
+            for sub in statements:
+                self.gen_stmt(sub)
+        self.loops.pop()
+        self.mark(end_label)
+
+    # -- conditions --------------------------------------------------------
+
+    def gen_condition(self, expr: ast.Expr, label: _Label,
+                      jump_if: bool) -> None:
+        """Evaluate ``expr`` as a branch: jump to ``label`` when the
+        condition's truth equals ``jump_if``."""
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self.gen_condition(expr.operand, label, not jump_if)
+            return
+        if isinstance(expr, ast.BoolLit):
+            if expr.value == jump_if:
+                self.branch("goto", label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            if jump_if:
+                skip = self.label()
+                self.gen_condition(expr.left, skip, jump_if=False)
+                self.gen_condition(expr.right, label, jump_if=True)
+                self.mark(skip)
+            else:
+                self.gen_condition(expr.left, label, jump_if=False)
+                self.gen_condition(expr.right, label, jump_if=False)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            if jump_if:
+                self.gen_condition(expr.left, label, jump_if=True)
+                self.gen_condition(expr.right, label, jump_if=True)
+            else:
+                skip = self.label()
+                self.gen_condition(expr.left, skip, jump_if=True)
+                self.gen_condition(expr.right, label, jump_if=False)
+                self.mark(skip)
+            return
+        if isinstance(expr, ast.Binary) and expr.op in _COMPARISONS:
+            self._gen_comparison_branch(expr, label, jump_if)
+            return
+        # General boolean expression: evaluate to 0/1 and test.
+        self.gen_expr(expr)
+        self.branch("ifne" if jump_if else "ifeq", label)
+
+    def _gen_comparison_branch(self, expr: ast.Binary, label: _Label,
+                               jump_if: bool) -> None:
+        op = expr.op if jump_if else _NEGATED[expr.op]
+        operand_type = expr.operand_type
+        left_type = expr.left.typ.descriptor
+        right_type = expr.right.typ.descriptor
+        if operand_type == "A":
+            # Reference comparison.
+            if isinstance(expr.right, ast.NullLit):
+                self.gen_expr(expr.left)
+                self.branch("ifnull" if op == "==" else "ifnonnull", label)
+                return
+            if isinstance(expr.left, ast.NullLit):
+                self.gen_expr(expr.right)
+                self.branch("ifnull" if op == "==" else "ifnonnull", label)
+                return
+            self.gen_expr(expr.left)
+            self.gen_expr(expr.right)
+            self.branch("if_acmpeq" if op == "==" else "if_acmpne", label)
+            return
+        if operand_type == "I":
+            # int comparison; use the ifXX forms when comparing to zero.
+            if isinstance(expr.right, ast.IntLit) and expr.right.value == 0:
+                self.gen_expr(expr.left)
+                self.branch(_COMPARISONS[op][1], label)
+                return
+            self.gen_expr(expr.left)
+            self._convert(left_type, "I")
+            self.gen_expr(expr.right)
+            self._convert(right_type, "I")
+            self.branch(_COMPARISONS[op][0], label)
+            return
+        # long/float/double: compare then branch on the int result.
+        self.gen_expr(expr.left)
+        self._convert(left_type, operand_type)
+        self.gen_expr(expr.right)
+        self._convert(right_type, operand_type)
+        if operand_type == "J":
+            self.emit("lcmp")
+        elif operand_type == "F":
+            self.emit("fcmpl" if op in ("<", "<=") else "fcmpg")
+        else:
+            self.emit("dcmpl" if op in ("<", "<=") else "dcmpg")
+        self.branch(_COMPARISONS[op][1], label)
+
+    # -- expressions ------------------------------------------------------
+
+    def gen_expr(self, expr: ast.Expr, discard: bool = False) -> None:
+        """Generate code leaving the expression's value on the stack
+        (unless ``discard``)."""
+        if isinstance(expr, ast.Assign):
+            self._gen_assign(expr, discard)
+            return
+        if isinstance(expr, ast.Call):
+            self._gen_call(expr)
+            if discard and expr.typ.descriptor != "V":
+                self._pop_value(expr.typ.descriptor)
+            return
+        self._gen_value(expr)
+        if discard:
+            self._pop_value(expr.typ.descriptor)
+
+    def _pop_value(self, descriptor: str) -> None:
+        if descriptor == "V":
+            return
+        self.emit("pop2" if descriptor in ("J", "D") else "pop")
+
+    def _gen_value(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLit):
+            self._push_int(expr.value)
+        elif isinstance(expr, ast.LongLit):
+            self._push_long(expr.value)
+        elif isinstance(expr, ast.FloatLit):
+            self._push_float(expr.value)
+        elif isinstance(expr, ast.DoubleLit):
+            self._push_double(expr.value)
+        elif isinstance(expr, ast.BoolLit):
+            self.emit("iconst_1" if expr.value else "iconst_0")
+        elif isinstance(expr, ast.CharLit):
+            self._push_int(ord(expr.value))
+        elif isinstance(expr, ast.StringLit):
+            self._ldc(self.pool.string(expr.value))
+        elif isinstance(expr, ast.NullLit):
+            self.emit("aconst_null")
+        elif isinstance(expr, ast.This):
+            self._load_local("L", 0)
+        elif isinstance(expr, ast.Name):
+            self._gen_name_load(expr)
+        elif isinstance(expr, ast.FieldAccess):
+            self._gen_field_load(expr)
+        elif isinstance(expr, ast.ArrayIndex):
+            self.gen_expr(expr.array)
+            self.gen_expr(expr.index)
+            self._convert(expr.index.typ.descriptor, "I")
+            self._emit_array_load(expr.typ.descriptor)
+        elif isinstance(expr, ast.ArrayLength):
+            self.gen_expr(expr.array)
+            self.emit("arraylength")
+        elif isinstance(expr, ast.Call):
+            self._gen_call(expr)
+        elif isinstance(expr, ast.New):
+            self._gen_new(expr)
+        elif isinstance(expr, ast.NewArray):
+            self._gen_new_array(expr)
+        elif isinstance(expr, ast.Unary):
+            self._gen_unary(expr)
+        elif isinstance(expr, ast.Binary):
+            self._gen_binary(expr)
+        elif isinstance(expr, ast.Cast):
+            self._gen_cast(expr)
+        elif isinstance(expr, ast.InstanceOf):
+            self.gen_expr(expr.operand)
+            self.emit("instanceof",
+                      cp_index=self.pool.class_info(expr.internal_name))
+        elif isinstance(expr, ast.Conditional):
+            else_label = self.label()
+            end_label = self.label()
+            self.gen_condition(expr.cond, else_label, jump_if=False)
+            self.gen_expr(expr.then)
+            self._convert(expr.then.typ.descriptor, expr.typ.descriptor)
+            self.branch("goto", end_label)
+            self.mark(else_label)
+            self.gen_expr(expr.otherwise)
+            self._convert(expr.otherwise.typ.descriptor,
+                          expr.typ.descriptor)
+            self.mark(end_label)
+        else:  # pragma: no cover - exhaustive over Expr
+            raise CodegenError(f"unknown expression {expr!r}")
+
+    def _emit_array_load(self, element_descriptor: str) -> None:
+        if element_descriptor.startswith(("L", "[")):
+            self.emit("aaload")
+        else:
+            self.emit(f"{_ARRAY_SUFFIX[element_descriptor]}load")
+
+    def _emit_array_store(self, element_descriptor: str) -> None:
+        if element_descriptor.startswith(("L", "[")):
+            self.emit("aastore")
+        else:
+            self.emit(f"{_ARRAY_SUFFIX[element_descriptor]}store")
+
+    def _gen_name_load(self, expr: ast.Name) -> None:
+        res = expr.res
+        if res[0] == "local":
+            self._load_local(expr.typ.descriptor, res[1])
+            return
+        _, owner, name, descriptor, is_static = res
+        if is_static:
+            self.emit("getstatic",
+                      cp_index=self.pool.fieldref(owner, name, descriptor))
+        else:
+            self._load_local("L", 0)
+            self.emit("getfield",
+                      cp_index=self.pool.fieldref(owner, name, descriptor))
+
+    def _gen_field_load(self, expr: ast.FieldAccess) -> None:
+        _, owner, name, descriptor, is_static = expr.res
+        if is_static:
+            self.emit("getstatic",
+                      cp_index=self.pool.fieldref(owner, name, descriptor))
+            return
+        self.gen_expr(expr.receiver)
+        self.emit("getfield",
+                  cp_index=self.pool.fieldref(owner, name, descriptor))
+
+    def _gen_assign(self, expr: ast.Assign, discard: bool) -> None:
+        lhs = expr.lhs
+        descriptor = expr.typ.descriptor
+        if isinstance(lhs, ast.Name) and lhs.res[0] == "local":
+            self.gen_expr(expr.rhs)
+            self._convert(expr.rhs.typ.descriptor, descriptor)
+            if not discard:
+                self.emit("dup2" if descriptor in ("J", "D") else "dup")
+            self._store_local(descriptor, lhs.res[1])
+            return
+        if isinstance(lhs, (ast.Name, ast.FieldAccess)):
+            res = lhs.res
+            _, owner, name, field_descriptor, is_static = res
+            field_cp = self.pool.fieldref(owner, name, field_descriptor)
+            if is_static:
+                self.gen_expr(expr.rhs)
+                self._convert(expr.rhs.typ.descriptor, descriptor)
+                if not discard:
+                    self.emit("dup2" if descriptor in ("J", "D")
+                              else "dup")
+                self.emit("putstatic", cp_index=field_cp)
+                return
+            if isinstance(lhs, ast.FieldAccess) and lhs.receiver is not None:
+                self.gen_expr(lhs.receiver)
+            else:
+                self._load_local("L", 0)
+            self.gen_expr(expr.rhs)
+            self._convert(expr.rhs.typ.descriptor, descriptor)
+            if not discard:
+                self.emit("dup2_x1" if descriptor in ("J", "D")
+                          else "dup_x1")
+            self.emit("putfield", cp_index=field_cp)
+            return
+        if isinstance(lhs, ast.ArrayIndex):
+            self.gen_expr(lhs.array)
+            self.gen_expr(lhs.index)
+            self._convert(lhs.index.typ.descriptor, "I")
+            self.gen_expr(expr.rhs)
+            self._convert(expr.rhs.typ.descriptor, descriptor)
+            if not discard:
+                self.emit("dup2_x2" if descriptor in ("J", "D")
+                          else "dup_x2")
+            self._emit_array_store(descriptor)
+            return
+        raise CodegenError(f"invalid assignment target {lhs!r}")
+
+    def _gen_call(self, expr: ast.Call) -> None:
+        method: MethodModel = expr.resolved
+        kind = expr.kind
+        if kind != "static":
+            if expr.is_super:
+                self._load_local("L", 0)
+            elif expr.receiver is not None:
+                self.gen_expr(expr.receiver)
+            else:
+                self._load_local("L", 0)
+        arg_descriptors = method.arg_types
+        for arg, target in zip(expr.args, arg_descriptors):
+            self.gen_expr(arg)
+            self._convert(arg.typ.descriptor, target)
+        owner = expr.owner
+        if kind == "interface":
+            index = self.pool.interface_methodref(
+                owner, method.name, method.descriptor)
+            count = 1 + sum(slot_width(d) for d in arg_descriptors)
+            self.emit("invokeinterface", cp_index=index, count=count)
+        else:
+            index = self.pool.methodref(owner, method.name,
+                                        method.descriptor)
+            if kind == "static":
+                self.emit("invokestatic", cp_index=index)
+            elif kind == "special":
+                self.emit("invokespecial", cp_index=index)
+            else:
+                self.emit("invokevirtual", cp_index=index)
+
+    def _gen_new(self, expr: ast.New) -> None:
+        ctor: MethodModel = expr.ctor
+        self.emit("new", cp_index=self.pool.class_info(expr.class_name))
+        self.emit("dup")
+        for arg, target in zip(expr.args, ctor.arg_types):
+            self.gen_expr(arg)
+            self._convert(arg.typ.descriptor, target)
+        self.emit("invokespecial", cp_index=self.pool.methodref(
+            expr.class_name, "<init>", ctor.descriptor))
+
+    def _gen_new_array(self, expr: ast.NewArray) -> None:
+        self.gen_expr(expr.length)
+        self._convert(expr.length.typ.descriptor, "I")
+        element = expr.element_type.descriptor
+        if element.startswith("L"):
+            self.emit("anewarray",
+                      cp_index=self.pool.class_info(element[1:-1]))
+        elif element.startswith("["):
+            self.emit("anewarray",
+                      cp_index=self.pool.class_info(element))
+        else:
+            from ..classfile.opcodes import DESCRIPTOR_ATYPES
+            self.emit("newarray", atype=DESCRIPTOR_ATYPES[element])
+
+    def _gen_unary(self, expr: ast.Unary) -> None:
+        if expr.op == "-":
+            self.gen_expr(expr.operand)
+            descriptor = expr.typ.descriptor
+            self._convert(expr.operand.typ.descriptor, descriptor)
+            self.emit(f"{_PREFIX[descriptor]}neg")
+            return
+        if expr.op == "~":
+            self.gen_expr(expr.operand)
+            if expr.typ.descriptor == "J":
+                self._convert(expr.operand.typ.descriptor, "J")
+                self.emit("ldc2_w", cp_index=self.pool.long_const(-1))
+                self.emit("lxor")
+            else:
+                self._convert(expr.operand.typ.descriptor, "I")
+                self.emit("iconst_m1")
+                self.emit("ixor")
+            return
+        if expr.op == "!":
+            # Materialize via branches.
+            true_label = self.label()
+            end_label = self.label()
+            self.gen_condition(expr.operand, true_label, jump_if=False)
+            self.emit("iconst_0")
+            self.branch("goto", end_label)
+            self.mark(true_label)
+            self.emit("iconst_1")
+            self.mark(end_label)
+            return
+        raise CodegenError(f"unknown unary {expr.op}")
+
+    def _gen_binary(self, expr: ast.Binary) -> None:
+        if getattr(expr, "is_concat", False):
+            self._gen_concat(expr)
+            return
+        op = expr.op
+        if op in ("&&", "||") or op in _COMPARISONS:
+            # Boolean-producing: materialize 0/1.
+            true_label = self.label()
+            end_label = self.label()
+            self.gen_condition(expr, true_label, jump_if=True)
+            self.emit("iconst_0")
+            self.branch("goto", end_label)
+            self.mark(true_label)
+            self.emit("iconst_1")
+            self.mark(end_label)
+            return
+        operand_type = expr.operand_type
+        self.gen_expr(expr.left)
+        self._convert(expr.left.typ.descriptor, operand_type)
+        self.gen_expr(expr.right)
+        if op in ("<<", ">>", ">>>"):
+            self._convert(expr.right.typ.descriptor, "I")
+        else:
+            self._convert(expr.right.typ.descriptor, operand_type)
+        self.emit(f"{_PREFIX[operand_type]}{_ARITH[op]}")
+
+    def _gen_concat(self, expr: ast.Binary) -> None:
+        """String concatenation via StringBuffer, javac 1.2 style."""
+        parts: List[ast.Expr] = []
+
+        def flatten(node: ast.Expr) -> None:
+            if isinstance(node, ast.Binary) and \
+                    getattr(node, "is_concat", False):
+                flatten(node.left)
+                flatten(node.right)
+            else:
+                parts.append(node)
+
+        flatten(expr)
+        buffer_name = "java/lang/StringBuffer"
+        self.emit("new", cp_index=self.pool.class_info(buffer_name))
+        self.emit("dup")
+        self.emit("invokespecial", cp_index=self.pool.methodref(
+            buffer_name, "<init>", "()V"))
+        for part in parts:
+            self.gen_expr(part)
+            descriptor = part.typ.descriptor
+            if descriptor == "Ljava/lang/String;":
+                append_descriptor = "Ljava/lang/String;"
+            elif descriptor.startswith(("L", "[")):
+                append_descriptor = "Ljava/lang/Object;"
+            elif descriptor in ("B", "S"):
+                self._convert(descriptor, "I")
+                append_descriptor = "I"
+            else:
+                append_descriptor = descriptor
+            self.emit("invokevirtual", cp_index=self.pool.methodref(
+                buffer_name, "append",
+                f"({append_descriptor})Ljava/lang/StringBuffer;"))
+        self.emit("invokevirtual", cp_index=self.pool.methodref(
+            buffer_name, "toString", "()Ljava/lang/String;"))
+
+    def _gen_cast(self, expr: ast.Cast) -> None:
+        self.gen_expr(expr.operand)
+        source = expr.operand.typ.descriptor
+        target = expr.target.descriptor
+        if target.startswith(("L", "[")):
+            if source == "Lnull;" or source == target:
+                return
+            if target.startswith("L"):
+                self.emit("checkcast",
+                          cp_index=self.pool.class_info(target[1:-1]))
+            else:
+                self.emit("checkcast",
+                          cp_index=self.pool.class_info(target))
+            return
+        # Primitive conversions, including narrowing.
+        normalized_source = "I" if source in ("B", "S", "C", "Z") else source
+        if target in ("B", "C", "S"):
+            self._convert(normalized_source, "I")
+            self.emit(f"i2{target.lower()}")
+            return
+        if normalized_source == target:
+            return
+        narrowing = {
+            ("J", "I"): ["l2i"], ("F", "I"): ["f2i"], ("D", "I"): ["d2i"],
+            ("F", "J"): ["f2l"], ("D", "J"): ["d2l"], ("D", "F"): ["d2f"],
+        }
+        if (normalized_source, target) in narrowing:
+            for mnemonic in narrowing[(normalized_source, target)]:
+                self.emit(mnemonic)
+            return
+        self._convert(normalized_source, target)
+
+
+class ClassCompiler:
+    """Generates a :class:`ClassFile` for one class declaration."""
+
+    def __init__(self, unit: ast.CompilationUnit, decl: ast.ClassDecl,
+                 hierarchy: Hierarchy):
+        self.unit = unit
+        self.decl = decl
+        self.hierarchy = hierarchy
+        package_prefix = (unit.package.replace(".", "/") + "/"
+                          if unit.package else "")
+        self.internal_name = package_prefix + decl.name
+        self.model = hierarchy.get(self.internal_name)
+        self.pool = cp.ConstantPool()
+
+    def compile(self) -> ClassFile:
+        classfile = ClassFile()
+        classfile.pool = self.pool
+        flags = AccessFlags.SUPER
+        for modifier in self.decl.modifiers:
+            flags |= _FLAG_BITS.get(modifier, 0)
+        if self.decl.is_interface:
+            flags = (flags | AccessFlags.INTERFACE | AccessFlags.ABSTRACT) \
+                & ~AccessFlags.SUPER
+        classfile.access_flags = flags
+        classfile.this_class = self.pool.class_info(self.internal_name)
+        classfile.super_class = self.pool.class_info(
+            self.model.super_name or "java/lang/Object")
+        classfile.interfaces = [
+            self.pool.class_info(i) for i in self.model.interfaces]
+        for field_decl in self.decl.fields:
+            classfile.fields.append(self._compile_field(field_decl))
+        static_inits = [
+            f for f in self.decl.fields
+            if "static" in f.modifiers and f.init is not None and
+            self.model.fields[f.name].constant is None]
+        for method in self.decl.methods:
+            classfile.methods.append(self._compile_method(method))
+        if static_inits:
+            classfile.methods.append(self._compile_clinit(static_inits))
+        return classfile
+
+    def _compile_field(self, field_decl: ast.FieldDecl) -> FieldInfo:
+        flags = 0
+        for modifier in field_decl.modifiers:
+            flags |= _FLAG_BITS.get(modifier, 0)
+        info = FieldInfo(
+            flags,
+            self.pool.utf8(field_decl.name),
+            self.pool.utf8(field_decl.typ.descriptor))
+        constant = self.model.fields[field_decl.name].constant
+        if constant is not None:
+            info.attributes.append(ConstantValueAttribute(
+                self._constant_index(constant, field_decl.typ.descriptor)))
+        return info
+
+    def _constant_index(self, constant: object, descriptor: str) -> int:
+        if isinstance(constant, tuple):
+            kind, value = constant
+            if kind == "long":
+                return self.pool.long_const(value)
+            if kind == "float":
+                return self.pool.float_const(value)
+            if kind == "double":
+                return self.pool.double_const(value)
+            if kind == "string":
+                return self.pool.string(value)
+            raise CodegenError(f"bad constant kind {kind}")
+        if descriptor == "J":
+            return self.pool.long_const(int(constant))
+        if descriptor == "F":
+            return self.pool.float_const(float(constant))
+        if descriptor == "D":
+            return self.pool.double_const(float(constant))
+        return self.pool.integer(int(constant))
+
+    def _compile_method(self, method: ast.MethodDecl) -> MethodInfo:
+        flags = 0
+        for modifier in method.modifiers:
+            flags |= _FLAG_BITS.get(modifier, 0)
+        if self.decl.is_interface:
+            flags |= AccessFlags.PUBLIC | AccessFlags.ABSTRACT
+        descriptor = build_method_descriptor(
+            [p.typ.descriptor for p in method.params],
+            method.return_type.descriptor)
+        info = MethodInfo(flags, self.pool.utf8(method.name),
+                          self.pool.utf8(descriptor))
+        if method.throws:
+            info.attributes.append(ExceptionsAttribute(
+                [self.pool.class_info(t) for t in method.throws]))
+        if method.body is not None:
+            compiler = MethodCompiler(self, method)
+            info.attributes.append(compiler.compile())
+        return info
+
+    def _compile_clinit(self, fields: List[ast.FieldDecl]) -> MethodInfo:
+        method = ast.MethodDecl(["static"], ast.VOID, "<clinit>", [], [],
+                                ast.Block([]))
+        method.locals_size = 0  # type: ignore[attr-defined]
+        compiler = MethodCompiler(self, method)
+        for field_decl in fields:
+            compiler.gen_expr(field_decl.init)
+            compiler._convert(field_decl.init.typ.descriptor,
+                              field_decl.typ.descriptor)
+            compiler.emit("putstatic", cp_index=self.pool.fieldref(
+                self.internal_name, field_decl.name,
+                field_decl.typ.descriptor))
+        compiler.emit("return")
+        code = compiler.compile()
+        info = MethodInfo(AccessFlags.STATIC, self.pool.utf8("<clinit>"),
+                          self.pool.utf8("()V"))
+        info.attributes.append(code)
+        return info
+
+
+def generate(units: List[ast.CompilationUnit],
+             hierarchy: Hierarchy) -> Dict[str, ClassFile]:
+    """Generate class files for every class in ``units``.
+
+    Returns a mapping from internal class name to :class:`ClassFile`.
+    """
+    out: Dict[str, ClassFile] = {}
+    for unit in units:
+        for decl in unit.classes:
+            compiler = ClassCompiler(unit, decl, hierarchy)
+            out[compiler.internal_name] = compiler.compile()
+    return out

@@ -1,0 +1,194 @@
+"""Mini-Java lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = frozenset({
+    "abstract", "boolean", "break", "byte", "case", "catch", "char",
+    "class", "continue", "default", "do", "double", "else", "extends",
+    "false", "final", "float", "for", "if", "implements", "import",
+    "instanceof", "int", "interface", "long", "native", "new", "null",
+    "package", "private", "protected", "public", "return", "short",
+    "static", "super", "switch", "synchronized", "this", "throw",
+    "throws", "transient", "true", "try", "void", "volatile", "while",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    ">>>=", "<<=", ">>=", ">>>", "==", "!=", "<=", ">=", "&&", "||",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<",
+    ">>", "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|",
+    "^", "?", ":", ".", ",", ";", "(", ")", "{", "}", "[", "]",
+]
+
+
+class LexError(ValueError):
+    """Raised on malformed source text."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident', 'keyword', 'int', 'long', 'float', 'double',
+    #            'char', 'string', 'op', 'eof'
+    text: str
+    line: int
+
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "b": "\b", "f": "\f",
+    "'": "'", '"': '"', "\\": "\\", "0": "\0",
+}
+
+
+def _scan_escape(source: str, pos: int, line: int) -> (str, int):
+    char = source[pos]
+    if char == "u":
+        hex_digits = source[pos + 1:pos + 5]
+        if len(hex_digits) != 4:
+            raise LexError("truncated unicode escape", line)
+        return chr(int(hex_digits, 16)), pos + 5
+    if char in _ESCAPES:
+        return _ESCAPES[char], pos + 1
+    raise LexError(f"bad escape \\{char}", line)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize mini-Java source into a token list ending with EOF."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    length = len(source)
+    while pos < length:
+        char = source[pos]
+        if char == "\n":
+            line += 1
+            pos += 1
+            continue
+        if char in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if char.isalpha() or char in "_$":
+            start = pos
+            while pos < length and (source[pos].isalnum() or
+                                    source[pos] in "_$"):
+                pos += 1
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        if char.isdigit() or (char == "." and pos + 1 < length and
+                              source[pos + 1].isdigit()):
+            token, pos = _scan_number(source, pos, line)
+            tokens.append(token)
+            continue
+        if char == '"':
+            text, pos = _scan_string(source, pos, line)
+            tokens.append(Token("string", text, line))
+            continue
+        if char == "'":
+            text, pos = _scan_char(source, pos, line)
+            tokens.append(Token("char", text, line))
+            continue
+        for operator in OPERATORS:
+            if source.startswith(operator, pos):
+                tokens.append(Token("op", operator, line))
+                pos += len(operator)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _scan_number(source: str, pos: int, line: int) -> (Token, int):
+    start = pos
+    length = len(source)
+    if source.startswith(("0x", "0X"), pos):
+        pos += 2
+        while pos < length and source[pos] in "0123456789abcdefABCDEF":
+            pos += 1
+        if pos < length and source[pos] in "lL":
+            return Token("long", source[start:pos], line), pos + 1
+        return Token("int", source[start:pos], line), pos
+    is_float = False
+    while pos < length and source[pos].isdigit():
+        pos += 1
+    if pos < length and source[pos] == "." and pos + 1 < length and \
+            source[pos + 1].isdigit():
+        is_float = True
+        pos += 1
+        while pos < length and source[pos].isdigit():
+            pos += 1
+    if pos < length and source[pos] in "eE":
+        is_float = True
+        pos += 1
+        if pos < length and source[pos] in "+-":
+            pos += 1
+        while pos < length and source[pos].isdigit():
+            pos += 1
+    if pos < length and source[pos] in "fF":
+        return Token("float", source[start:pos], line), pos + 1
+    if pos < length and source[pos] in "dD":
+        return Token("double", source[start:pos], line), pos + 1
+    if pos < length and source[pos] in "lL":
+        if is_float:
+            raise LexError("'L' suffix on floating literal", line)
+        return Token("long", source[start:pos], line), pos + 1
+    if is_float:
+        return Token("double", source[start:pos], line), pos
+    return Token("int", source[start:pos], line), pos
+
+
+def _scan_string(source: str, pos: int, line: int) -> (str, int):
+    pos += 1  # opening quote
+    chars: List[str] = []
+    length = len(source)
+    while pos < length:
+        char = source[pos]
+        if char == '"':
+            return "".join(chars), pos + 1
+        if char == "\n":
+            raise LexError("newline in string literal", line)
+        if char == "\\":
+            escaped, pos = _scan_escape(source, pos + 1, line)
+            chars.append(escaped)
+            continue
+        chars.append(char)
+        pos += 1
+    raise LexError("unterminated string literal", line)
+
+
+def _scan_char(source: str, pos: int, line: int) -> (str, int):
+    pos += 1  # opening quote
+    if pos >= len(source):
+        raise LexError("unterminated char literal", line)
+    if source[pos] == "\\":
+        char, pos = _scan_escape(source, pos + 1, line)
+    else:
+        char = source[pos]
+        pos += 1
+    if pos >= len(source) or source[pos] != "'":
+        raise LexError("unterminated char literal", line)
+    return char, pos + 1
+
+
+def token_stream(source: str) -> Iterator[Token]:
+    """Iterator form of :func:`tokenize` (convenience)."""
+    return iter(tokenize(source))

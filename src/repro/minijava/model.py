@@ -1,0 +1,146 @@
+"""Class models: the symbol-table view of classes during compilation.
+
+A :class:`ClassModel` describes one class — source-declared or external
+(a runtime class like ``java/lang/String`` that we do not compile but
+must resolve against, exactly as javac resolves against ``rt.jar``).
+:class:`Hierarchy` is the set of all models plus lookup logic
+(member resolution walks superclasses and interfaces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..classfile.descriptors import parse_method_descriptor
+
+
+@dataclass
+class FieldModel:
+    name: str
+    descriptor: str
+    is_static: bool
+    #: Compile-time constant value (for ConstantValue attributes).
+    constant: Optional[object] = None
+
+
+@dataclass
+class MethodModel:
+    name: str
+    descriptor: str
+    is_static: bool
+    owner: str = ""
+
+    @property
+    def arg_types(self) -> List[str]:
+        return parse_method_descriptor(self.descriptor)[0]
+
+    @property
+    def return_type(self) -> str:
+        return parse_method_descriptor(self.descriptor)[1]
+
+
+@dataclass
+class ClassModel:
+    """Symbol-table entry for one class."""
+
+    name: str  # internal, slash-separated
+    super_name: Optional[str] = "java/lang/Object"
+    interfaces: List[str] = field(default_factory=list)
+    is_interface: bool = False
+    fields: Dict[str, FieldModel] = field(default_factory=dict)
+    #: method name -> overloads
+    methods: Dict[str, List[MethodModel]] = field(default_factory=dict)
+    #: True for classes we compile (vs. external runtime classes).
+    is_source: bool = False
+
+    def add_field(self, name: str, descriptor: str, is_static: bool = False,
+                  constant: Optional[object] = None) -> "ClassModel":
+        self.fields[name] = FieldModel(name, descriptor, is_static, constant)
+        return self
+
+    def add_method(self, name: str, descriptor: str,
+                   is_static: bool = False) -> "ClassModel":
+        self.methods.setdefault(name, []).append(
+            MethodModel(name, descriptor, is_static, self.name))
+        return self
+
+
+class ResolutionError(ValueError):
+    """Raised when a name, field, or method cannot be resolved."""
+
+
+class Hierarchy:
+    """All known classes, with member lookup along the inheritance chain."""
+
+    def __init__(self):
+        self.classes: Dict[str, ClassModel] = {}
+
+    def add(self, model: ClassModel) -> ClassModel:
+        self.classes[model.name] = model
+        return model
+
+    def get(self, name: str) -> ClassModel:
+        model = self.classes.get(name)
+        if model is None:
+            raise ResolutionError(f"unknown class {name}")
+        return model
+
+    def has(self, name: str) -> bool:
+        return name in self.classes
+
+    def supertypes(self, name: str) -> List[str]:
+        """``name`` followed by all supertypes, depth-first."""
+        seen: List[str] = []
+        stack = [name]
+        while stack:
+            current = stack.pop(0)
+            if current in seen or current not in self.classes:
+                continue
+            seen.append(current)
+            model = self.classes[current]
+            if model.super_name:
+                stack.append(model.super_name)
+            stack.extend(model.interfaces)
+        return seen
+
+    def is_subtype(self, sub: str, sup: str) -> bool:
+        """Reference-type assignability (internal names)."""
+        if sub == sup or sup == "java/lang/Object":
+            return True
+        if sub not in self.classes:
+            return False
+        return sup in self.supertypes(sub)
+
+    def find_field(self, owner: str, name: str) -> Tuple[str, FieldModel]:
+        """Resolve a field; returns ``(declaring class, model)``."""
+        for class_name in self.supertypes(owner):
+            model = self.classes.get(class_name)
+            if model and name in model.fields:
+                return class_name, model.fields[name]
+        raise ResolutionError(f"no field {name} in {owner}")
+
+    def find_methods(self, owner: str, name: str) -> List[MethodModel]:
+        """All overloads visible on ``owner`` named ``name``.
+
+        Subclass declarations shadow identical-descriptor superclass
+        ones (override), but distinct descriptors accumulate
+        (overload across the hierarchy).
+        """
+        found: List[MethodModel] = []
+        descriptors = set()
+        for class_name in self.supertypes(owner):
+            model = self.classes.get(class_name)
+            if not model:
+                continue
+            for method in model.methods.get(name, ()):
+                if method.descriptor not in descriptors:
+                    descriptors.add(method.descriptor)
+                    found.append(method)
+        if not found:
+            raise ResolutionError(f"no method {name} in {owner}")
+        return found
+
+    def is_interface(self, name: str) -> bool:
+        model = self.classes.get(name)
+        return bool(model and model.is_interface)

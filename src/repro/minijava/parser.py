@@ -1,0 +1,623 @@
+"""Recursive-descent parser for mini-Java."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from . import ast
+from .lexer import Token, tokenize
+
+_PRIMITIVE_TYPES = {
+    "int": ast.INT, "long": ast.LONG, "float": ast.FLOAT,
+    "double": ast.DOUBLE, "boolean": ast.BOOLEAN, "char": ast.CHAR,
+    "byte": ast.BYTE, "short": ast.SHORT, "void": ast.VOID,
+}
+
+_MODIFIERS = frozenset({
+    "public", "private", "protected", "static", "final", "abstract",
+    "native", "synchronized", "transient", "volatile",
+})
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7, "instanceof": 7,
+    "<<": 8, ">>": 8, ">>>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_OPS = {
+    "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+    ">>>=": ">>>",
+}
+
+
+class ParseError(ValueError):
+    """Raised on a syntax error, with the offending line number."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"line {token.line}: {message} "
+                         f"(at {token.kind} {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    """One-pass recursive-descent parser over a token list."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        #: simple name -> qualified (slash-separated) name, from imports.
+        self.imports: Dict[str, str] = {}
+
+    # -- token helpers --------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            wanted = text if text is not None else kind
+            raise ParseError(f"expected {wanted!r}", self.peek())
+        return token
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    # -- compilation unit -----------------------------------------------
+
+    def parse_unit(self) -> ast.CompilationUnit:
+        package = ""
+        if self.accept("keyword", "package"):
+            package = self._dotted_name()
+            self.expect("op", ";")
+        while self.accept("keyword", "import"):
+            qualified = self._dotted_name()
+            self.expect("op", ";")
+            simple = qualified.rsplit(".", 1)[-1]
+            self.imports[simple] = qualified.replace(".", "/")
+        classes: List[ast.ClassDecl] = []
+        while not self.at("eof"):
+            classes.append(self._class_decl())
+        return ast.CompilationUnit(package, classes)
+
+    def _dotted_name(self) -> str:
+        parts = [self.expect("ident").text]
+        while self.at("op", ".") and self.peek(1).kind == "ident":
+            self.next()
+            parts.append(self.expect("ident").text)
+        return ".".join(parts)
+
+    def _modifiers(self) -> List[str]:
+        modifiers: List[str] = []
+        while self.peek().kind == "keyword" and \
+                self.peek().text in _MODIFIERS:
+            modifiers.append(self.next().text)
+        return modifiers
+
+    def _class_decl(self) -> ast.ClassDecl:
+        modifiers = self._modifiers()
+        is_interface = False
+        if self.accept("keyword", "interface"):
+            is_interface = True
+        else:
+            self.expect("keyword", "class")
+        name = self.expect("ident").text
+        superclass: Optional[str] = None
+        interfaces: List[str] = []
+        if self.accept("keyword", "extends"):
+            if is_interface:
+                interfaces.append(self._type_name())
+                while self.accept("op", ","):
+                    interfaces.append(self._type_name())
+            else:
+                superclass = self._type_name()
+        if self.accept("keyword", "implements"):
+            interfaces.append(self._type_name())
+            while self.accept("op", ","):
+                interfaces.append(self._type_name())
+        self.expect("op", "{")
+        fields: List[ast.FieldDecl] = []
+        methods: List[ast.MethodDecl] = []
+        while not self.accept("op", "}"):
+            self._member(name, fields, methods, is_interface)
+        return ast.ClassDecl(modifiers, name, superclass, interfaces,
+                             fields, methods, is_interface)
+
+    def _type_name(self) -> str:
+        """A possibly-qualified class name, as written in the source."""
+        return self._dotted_name()
+
+    def _member(self, class_name: str, fields: List[ast.FieldDecl],
+                methods: List[ast.MethodDecl], is_interface: bool) -> None:
+        modifiers = self._modifiers()
+        # Constructor: identifier matching the class name followed by '('.
+        if self.at("ident", class_name) and self.peek(1).text == "(":
+            self.next()
+            params = self._params()
+            throws = self._throws()
+            body = self._block()
+            methods.append(ast.MethodDecl(
+                modifiers, ast.VOID, "<init>", params, throws, body))
+            return
+        typ = self._type()
+        name = self.expect("ident").text
+        if self.at("op", "("):
+            params = self._params()
+            throws = self._throws()
+            if is_interface or "abstract" in modifiers or \
+                    "native" in modifiers:
+                self.expect("op", ";")
+                body = None
+            else:
+                body = self._block()
+            methods.append(ast.MethodDecl(
+                modifiers, typ, name, params, throws, body))
+            return
+        # Field declaration(s), possibly comma-separated.
+        while True:
+            init = None
+            if self.accept("op", "="):
+                init = self._expression()
+            fields.append(ast.FieldDecl(list(modifiers), typ, name, init))
+            if not self.accept("op", ","):
+                break
+            name = self.expect("ident").text
+        self.expect("op", ";")
+
+    def _params(self) -> List[ast.Param]:
+        self.expect("op", "(")
+        params: List[ast.Param] = []
+        if not self.at("op", ")"):
+            while True:
+                typ = self._type()
+                name = self.expect("ident").text
+                params.append(ast.Param(typ, name))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        return params
+
+    def _throws(self) -> List[str]:
+        throws: List[str] = []
+        if self.accept("keyword", "throws"):
+            throws.append(self._type_name())
+            while self.accept("op", ","):
+                throws.append(self._type_name())
+        return throws
+
+    # -- types ------------------------------------------------------------
+
+    def _type(self) -> ast.Type:
+        token = self.peek()
+        if token.kind == "keyword" and token.text in _PRIMITIVE_TYPES:
+            self.next()
+            typ = _PRIMITIVE_TYPES[token.text]
+        else:
+            name = self._type_name()
+            # Source names are dotted; resolution to internal names
+            # happens in semantic analysis.  Store a marker descriptor.
+            typ = ast.Type("L" + name.replace(".", "/") + ";")
+        while self.at("op", "[") and self.peek(1).text == "]":
+            self.next()
+            self.next()
+            typ = typ.array_of()
+        return typ
+
+    def _looks_like_type(self) -> bool:
+        """Heuristic for statement-level local declarations."""
+        token = self.peek()
+        if token.kind == "keyword" and token.text in _PRIMITIVE_TYPES and \
+                token.text != "void":
+            return True
+        if token.kind != "ident":
+            return False
+        # ident ident       -> declaration (Foo x)
+        # ident [ ] ident   -> declaration (Foo[] x)
+        # ident . ident ... -> could be qualified type; scan past dots.
+        ahead = 1
+        while self.peek(ahead).text == "." and \
+                self.peek(ahead + 1).kind == "ident":
+            ahead += 2
+        while self.peek(ahead).text == "[" and \
+                self.peek(ahead + 1).text == "]":
+            ahead += 2
+        return self.peek(ahead).kind == "ident"
+
+    # -- statements ---------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        self.expect("op", "{")
+        statements: List[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            statements.append(self._statement())
+        return ast.Block(statements)
+
+    def _statement(self) -> ast.Stmt:
+        token = self.peek()
+        if token.kind == "op" and token.text == "{":
+            return self._block()
+        if token.kind == "op" and token.text == ";":
+            self.next()
+            return ast.Block([])
+        if token.kind == "keyword":
+            handler = getattr(self, f"_stmt_{token.text}", None)
+            if handler is not None:
+                return handler()
+        if self._looks_like_type():
+            return self._local_decl()
+        expr = self._expression()
+        self.expect("op", ";")
+        return ast.ExprStmt(expr)
+
+    def _local_decl(self) -> ast.Stmt:
+        typ = self._type()
+        declarations: List[ast.Stmt] = []
+        while True:
+            name = self.expect("ident").text
+            var_type = typ
+            while self.at("op", "[") and self.peek(1).text == "]":
+                self.next()
+                self.next()
+                var_type = var_type.array_of()
+            init = None
+            if self.accept("op", "="):
+                init = self._expression()
+            declarations.append(ast.LocalDecl(var_type, name, init))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+        if len(declarations) == 1:
+            return declarations[0]
+        return ast.Block(declarations)
+
+    def _stmt_if(self) -> ast.Stmt:
+        self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self._expression()
+        self.expect("op", ")")
+        then = self._statement()
+        otherwise = None
+        if self.accept("keyword", "else"):
+            otherwise = self._statement()
+        return ast.If(cond, then, otherwise)
+
+    def _stmt_while(self) -> ast.Stmt:
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self._expression()
+        self.expect("op", ")")
+        return ast.While(cond, self._statement())
+
+    def _stmt_do(self) -> ast.Stmt:
+        # do { body } while (cond);  desugars to body; while(cond) body.
+        self.expect("keyword", "do")
+        body = self._statement()
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self._expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.Block([body, ast.While(cond, body)])
+
+    def _stmt_for(self) -> ast.Stmt:
+        self.expect("keyword", "for")
+        self.expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.at("op", ";"):
+            if self._looks_like_type():
+                init = self._local_decl()
+            else:
+                init = ast.ExprStmt(self._expression())
+                self.expect("op", ";")
+        else:
+            self.next()
+        cond = None
+        if not self.at("op", ";"):
+            cond = self._expression()
+        self.expect("op", ";")
+        update = None
+        if not self.at("op", ")"):
+            update = self._expression()
+        self.expect("op", ")")
+        return ast.For(init, cond, update, self._statement())
+
+    def _stmt_return(self) -> ast.Stmt:
+        self.expect("keyword", "return")
+        value = None
+        if not self.at("op", ";"):
+            value = self._expression()
+        self.expect("op", ";")
+        return ast.Return(value)
+
+    def _stmt_throw(self) -> ast.Stmt:
+        self.expect("keyword", "throw")
+        value = self._expression()
+        self.expect("op", ";")
+        return ast.Throw(value)
+
+    def _stmt_break(self) -> ast.Stmt:
+        self.expect("keyword", "break")
+        self.expect("op", ";")
+        return ast.Break()
+
+    def _stmt_continue(self) -> ast.Stmt:
+        self.expect("keyword", "continue")
+        self.expect("op", ";")
+        return ast.Continue()
+
+    def _stmt_try(self) -> ast.Stmt:
+        self.expect("keyword", "try")
+        body = self._block()
+        catches: List[Tuple[str, str, ast.Block]] = []
+        while self.accept("keyword", "catch"):
+            self.expect("op", "(")
+            exc = self._type_name()
+            var = self.expect("ident").text
+            self.expect("op", ")")
+            catches.append((exc, var, self._block()))
+        if not catches:
+            raise ParseError("try without catch", self.peek())
+        return ast.Try(body, catches)
+
+    def _stmt_switch(self) -> ast.Stmt:
+        self.expect("keyword", "switch")
+        self.expect("op", "(")
+        selector = self._expression()
+        self.expect("op", ")")
+        self.expect("op", "{")
+        cases: List[Tuple[Optional[List[int]], List[ast.Stmt]]] = []
+        while not self.accept("op", "}"):
+            matches: Optional[List[int]] = None
+            if self.accept("keyword", "default"):
+                self.expect("op", ":")
+            else:
+                matches = []
+                while True:
+                    self.expect("keyword", "case")
+                    matches.append(self._case_value())
+                    self.expect("op", ":")
+                    if not self.at("keyword", "case"):
+                        break
+            statements: List[ast.Stmt] = []
+            while not (self.at("op", "}") or self.at("keyword", "case") or
+                       self.at("keyword", "default")):
+                statements.append(self._statement())
+            cases.append((matches, statements))
+        return ast.Switch(selector, cases)
+
+    def _case_value(self) -> int:
+        negative = bool(self.accept("op", "-"))
+        token = self.peek()
+        if token.kind == "int":
+            self.next()
+            value = int(token.text, 0)
+        elif token.kind == "char":
+            self.next()
+            value = ord(token.text)
+        else:
+            raise ParseError("case label must be an int or char literal",
+                             token)
+        return -value if negative else value
+
+    # -- expressions ------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._assignment()
+
+    def _assignment(self) -> ast.Expr:
+        left = self._conditional()
+        token = self.peek()
+        if token.kind == "op" and token.text == "=":
+            self.next()
+            return ast.Assign(left, self._assignment())
+        if token.kind == "op" and token.text in _COMPOUND_OPS:
+            self.next()
+            op = _COMPOUND_OPS[token.text]
+            return ast.Assign(left, ast.Binary(op, left, self._assignment()))
+        return left
+
+    def _conditional(self) -> ast.Expr:
+        cond = self._binary(1)
+        if self.accept("op", "?"):
+            then = self._expression()
+            self.expect("op", ":")
+            return ast.Conditional(cond, then, self._conditional())
+        return cond
+
+    def _binary(self, min_precedence: int) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self.peek()
+            text = token.text
+            if token.kind == "keyword" and text == "instanceof":
+                if _PRECEDENCE["instanceof"] < min_precedence:
+                    return left
+                self.next()
+                left = ast.InstanceOf(left, self._type_name())
+                continue
+            if token.kind != "op" or text not in _PRECEDENCE:
+                return left
+            precedence = _PRECEDENCE[text]
+            if precedence < min_precedence:
+                return left
+            self.next()
+            right = self._binary(precedence + 1)
+            left = ast.Binary(text, left, right)
+
+    def _unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.next()
+            operand = self._unary()
+            if token.text == "-" and isinstance(operand, ast.IntLit):
+                return ast.IntLit(-operand.value)
+            if token.text == "-" and isinstance(operand, ast.LongLit):
+                return ast.LongLit(-operand.value)
+            return ast.Unary(token.text, operand)
+        if token.kind == "op" and token.text in ("++", "--"):
+            # Prefix increment: desugar to assignment.
+            self.next()
+            operand = self._unary()
+            op = "+" if token.text == "++" else "-"
+            return ast.Assign(operand,
+                              ast.Binary(op, operand, ast.IntLit(1)))
+        # Cast: '(' type ')' unary — only when it really is a type.
+        if token.kind == "op" and token.text == "(" and self._is_cast():
+            self.next()
+            target = self._type()
+            self.expect("op", ")")
+            return ast.Cast(target, self._unary())
+        return self._postfix(self._primary())
+
+    def _is_cast(self) -> bool:
+        ahead = 1
+        token = self.peek(ahead)
+        if token.kind == "keyword" and token.text in _PRIMITIVE_TYPES:
+            ahead += 1
+        elif token.kind == "ident":
+            ahead += 1
+            while self.peek(ahead).text == "." and \
+                    self.peek(ahead + 1).kind == "ident":
+                ahead += 2
+        else:
+            return False
+        while self.peek(ahead).text == "[" and \
+                self.peek(ahead + 1).text == "]":
+            ahead += 2
+        if self.peek(ahead).text != ")":
+            return False
+        after = self.peek(ahead + 1)
+        # '(Foo) x' is a cast; '(foo) + x' is parenthesized arithmetic.
+        if token.kind == "keyword":
+            return True
+        return after.kind in ("ident", "int", "long", "float", "double",
+                              "string", "char") or \
+            after.text in ("(", "!", "~", "this", "new", "null", "true",
+                           "false", "super")
+
+    def _primary(self) -> ast.Expr:
+        token = self.next()
+        if token.kind == "int":
+            return ast.IntLit(int(token.text, 0))
+        if token.kind == "long":
+            return ast.LongLit(int(token.text, 0))
+        if token.kind == "float":
+            return ast.FloatLit(float(token.text))
+        if token.kind == "double":
+            return ast.DoubleLit(float(token.text))
+        if token.kind == "string":
+            return ast.StringLit(token.text)
+        if token.kind == "char":
+            return ast.CharLit(token.text)
+        if token.kind == "keyword":
+            if token.text == "true":
+                return ast.BoolLit(True)
+            if token.text == "false":
+                return ast.BoolLit(False)
+            if token.text == "null":
+                return ast.NullLit()
+            if token.text == "this":
+                return ast.This()
+            if token.text == "super":
+                if self.at("op", "("):
+                    # super(...) constructor call.
+                    return ast.Call(None, None, "<init>",
+                                    self._arguments(), is_super=True)
+                self.expect("op", ".")
+                name = self.expect("ident").text
+                args = self._arguments()
+                return ast.Call(None, None, name, args, is_super=True)
+            if token.text == "new":
+                return self._new_expression()
+        if token.kind == "op" and token.text == "(":
+            expr = self._expression()
+            self.expect("op", ")")
+            return expr
+        if token.kind == "ident":
+            if self.at("op", "("):
+                return ast.Call(None, None, token.text, self._arguments())
+            return ast.Name(token.text)
+        raise ParseError("expected an expression", token)
+
+    def _new_expression(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "keyword" and token.text in _PRIMITIVE_TYPES:
+            self.next()
+            element = _PRIMITIVE_TYPES[token.text]
+            self.expect("op", "[")
+            length = self._expression()
+            self.expect("op", "]")
+            return ast.NewArray(element, length)
+        name = self._type_name()
+        if self.accept("op", "["):
+            length = self._expression()
+            self.expect("op", "]")
+            element = ast.Type("L" + name.replace(".", "/") + ";")
+            return ast.NewArray(element, length)
+        return ast.New(name, self._arguments())
+
+    def _arguments(self) -> List[ast.Expr]:
+        self.expect("op", "(")
+        args: List[ast.Expr] = []
+        if not self.at("op", ")"):
+            while True:
+                args.append(self._expression())
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        return args
+
+    def _postfix(self, expr: ast.Expr) -> ast.Expr:
+        while True:
+            if self.accept("op", "."):
+                name = self.expect("ident").text
+                if self.at("op", "("):
+                    expr = ast.Call(expr, None, name, self._arguments())
+                elif name == "length":
+                    expr = ast.ArrayLength(expr)
+                else:
+                    expr = ast.FieldAccess(expr, None, name)
+                continue
+            if self.at("op", "[") and self.peek(1).text != "]":
+                self.next()
+                index = self._expression()
+                self.expect("op", "]")
+                expr = ast.ArrayIndex(expr, index)
+                continue
+            token = self.peek()
+            if token.kind == "op" and token.text in ("++", "--"):
+                # Postfix increment as a statement expression; value
+                # semantics of the pre/post distinction are not needed
+                # by the synthesized corpus.
+                self.next()
+                op = "+" if token.text == "++" else "-"
+                return ast.Assign(expr,
+                                  ast.Binary(op, expr, ast.IntLit(1)))
+            return expr
+
+
+def parse(source: str) -> ast.CompilationUnit:
+    """Parse a compilation unit; imports are attached afterwards."""
+    parser = Parser(source)
+    unit = parser.parse_unit()
+    unit.imports = dict(parser.imports)  # type: ignore[attr-defined]
+    return unit

@@ -1,0 +1,216 @@
+"""Models of the java.* runtime classes mini-Java programs link against.
+
+Our compiler does not compile these — it resolves calls and field
+accesses against them, emitting symbolic references exactly as javac
+does against ``rt.jar``.  The packed format then compresses those
+references; their heavy reuse of ``java/lang`` names is one of the
+redundancies the paper's package-name factoring exploits.
+"""
+
+from __future__ import annotations
+
+from .model import ClassModel, Hierarchy
+
+
+def standard_hierarchy() -> Hierarchy:
+    """Build a hierarchy preloaded with the runtime classes."""
+    hierarchy = Hierarchy()
+
+    obj = ClassModel("java/lang/Object", super_name=None)
+    obj.add_method("<init>", "()V")
+    obj.add_method("equals", "(Ljava/lang/Object;)Z")
+    obj.add_method("hashCode", "()I")
+    obj.add_method("toString", "()Ljava/lang/String;")
+    obj.add_method("getClass", "()Ljava/lang/Class;")
+    hierarchy.add(obj)
+
+    cls = ClassModel("java/lang/Class")
+    cls.add_method("getName", "()Ljava/lang/String;")
+    hierarchy.add(cls)
+
+    string = ClassModel("java/lang/String")
+    string.add_method("<init>", "()V")
+    string.add_method("length", "()I")
+    string.add_method("charAt", "(I)C")
+    string.add_method("indexOf", "(Ljava/lang/String;)I")
+    string.add_method("substring", "(II)Ljava/lang/String;")
+    string.add_method("substring", "(I)Ljava/lang/String;")
+    string.add_method("equals", "(Ljava/lang/Object;)Z")
+    string.add_method("compareTo", "(Ljava/lang/String;)I")
+    string.add_method("concat",
+                      "(Ljava/lang/String;)Ljava/lang/String;")
+    string.add_method("toLowerCase", "()Ljava/lang/String;")
+    string.add_method("toUpperCase", "()Ljava/lang/String;")
+    string.add_method("trim", "()Ljava/lang/String;")
+    string.add_method("hashCode", "()I")
+    string.add_method("valueOf", "(I)Ljava/lang/String;", is_static=True)
+    string.add_method("valueOf", "(J)Ljava/lang/String;", is_static=True)
+    string.add_method("valueOf", "(F)Ljava/lang/String;", is_static=True)
+    string.add_method("valueOf", "(D)Ljava/lang/String;", is_static=True)
+    string.add_method("valueOf", "(Ljava/lang/Object;)Ljava/lang/String;",
+                      is_static=True)
+    hierarchy.add(string)
+
+    buffer = ClassModel("java/lang/StringBuffer")
+    buffer.add_method("<init>", "()V")
+    buffer.add_method("<init>", "(Ljava/lang/String;)V")
+    for descriptor in ("I", "J", "F", "D", "C", "Z",
+                       "Ljava/lang/String;", "Ljava/lang/Object;"):
+        buffer.add_method(
+            "append", f"({descriptor})Ljava/lang/StringBuffer;")
+    buffer.add_method("toString", "()Ljava/lang/String;")
+    buffer.add_method("length", "()I")
+    hierarchy.add(buffer)
+
+    system = ClassModel("java/lang/System")
+    system.add_field("out", "Ljava/io/PrintStream;", is_static=True)
+    system.add_field("err", "Ljava/io/PrintStream;", is_static=True)
+    system.add_method("currentTimeMillis", "()J", is_static=True)
+    system.add_method("arraycopy",
+                      "(Ljava/lang/Object;ILjava/lang/Object;II)V",
+                      is_static=True)
+    system.add_method("exit", "(I)V", is_static=True)
+    hierarchy.add(system)
+
+    stream = ClassModel("java/io/PrintStream")
+    for descriptor in ("I", "J", "F", "D", "C", "Z",
+                       "Ljava/lang/String;", "Ljava/lang/Object;"):
+        stream.add_method("println", f"({descriptor})V")
+        stream.add_method("print", f"({descriptor})V")
+    stream.add_method("println", "()V")
+    stream.add_method("flush", "()V")
+    hierarchy.add(stream)
+
+    math = ClassModel("java/lang/Math")
+    math.add_field("PI", "D", is_static=True, constant=3.141592653589793)
+    math.add_field("E", "D", is_static=True, constant=2.718281828459045)
+    for name in ("sin", "cos", "tan", "sqrt", "log", "exp", "floor",
+                 "ceil", "abs"):
+        math.add_method(name, "(D)D", is_static=True)
+    math.add_method("abs", "(I)I", is_static=True)
+    math.add_method("abs", "(J)J", is_static=True)
+    math.add_method("abs", "(F)F", is_static=True)
+    math.add_method("max", "(II)I", is_static=True)
+    math.add_method("min", "(II)I", is_static=True)
+    math.add_method("max", "(DD)D", is_static=True)
+    math.add_method("min", "(DD)D", is_static=True)
+    math.add_method("pow", "(DD)D", is_static=True)
+    math.add_method("random", "()D", is_static=True)
+    math.add_method("round", "(D)J", is_static=True)
+    hierarchy.add(math)
+
+    integer = ClassModel("java/lang/Integer")
+    integer.add_field("MAX_VALUE", "I", is_static=True, constant=0x7FFFFFFF)
+    integer.add_field("MIN_VALUE", "I", is_static=True,
+                      constant=-0x80000000)
+    integer.add_method("<init>", "(I)V")
+    integer.add_method("parseInt", "(Ljava/lang/String;)I", is_static=True)
+    integer.add_method("toString", "(I)Ljava/lang/String;", is_static=True)
+    integer.add_method("intValue", "()I")
+    hierarchy.add(integer)
+
+    long_cls = ClassModel("java/lang/Long")
+    long_cls.add_method("<init>", "(J)V")
+    long_cls.add_method("parseLong", "(Ljava/lang/String;)J",
+                        is_static=True)
+    long_cls.add_method("longValue", "()J")
+    hierarchy.add(long_cls)
+
+    double_cls = ClassModel("java/lang/Double")
+    double_cls.add_method("<init>", "(D)V")
+    double_cls.add_method("doubleValue", "()D")
+    double_cls.add_method("parseDouble", "(Ljava/lang/String;)D",
+                          is_static=True)
+    hierarchy.add(double_cls)
+
+    for name in ("java/lang/Exception", "java/lang/RuntimeException",
+                 "java/lang/IllegalArgumentException",
+                 "java/lang/IllegalStateException",
+                 "java/lang/IndexOutOfBoundsException",
+                 "java/lang/ArithmeticException",
+                 "java/lang/NullPointerException",
+                 "java/lang/UnsupportedOperationException",
+                 "java/io/IOException"):
+        exc = ClassModel(name)
+        if name == "java/lang/Exception":
+            exc.super_name = "java/lang/Throwable"
+        elif name == "java/lang/RuntimeException":
+            exc.super_name = "java/lang/Exception"
+        elif name == "java/io/IOException":
+            exc.super_name = "java/lang/Exception"
+        else:
+            exc.super_name = "java/lang/RuntimeException"
+        exc.add_method("<init>", "()V")
+        exc.add_method("<init>", "(Ljava/lang/String;)V")
+        exc.add_method("getMessage", "()Ljava/lang/String;")
+        hierarchy.add(exc)
+
+    throwable = ClassModel("java/lang/Throwable")
+    throwable.add_method("<init>", "()V")
+    throwable.add_method("<init>", "(Ljava/lang/String;)V")
+    throwable.add_method("getMessage", "()Ljava/lang/String;")
+    throwable.add_method("printStackTrace", "()V")
+    hierarchy.add(throwable)
+
+    vector = ClassModel("java/util/Vector")
+    vector.add_method("<init>", "()V")
+    vector.add_method("<init>", "(I)V")
+    vector.add_method("addElement", "(Ljava/lang/Object;)V")
+    vector.add_method("elementAt", "(I)Ljava/lang/Object;")
+    vector.add_method("size", "()I")
+    vector.add_method("removeElementAt", "(I)V")
+    vector.add_method("contains", "(Ljava/lang/Object;)Z")
+    hierarchy.add(vector)
+
+    hashtable = ClassModel("java/util/Hashtable")
+    hashtable.add_method("<init>", "()V")
+    hashtable.add_method(
+        "put", "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;")
+    hashtable.add_method("get", "(Ljava/lang/Object;)Ljava/lang/Object;")
+    hashtable.add_method("containsKey", "(Ljava/lang/Object;)Z")
+    hashtable.add_method("size", "()I")
+    hierarchy.add(hashtable)
+
+    enum = ClassModel("java/util/Enumeration", is_interface=True,
+                      super_name="java/lang/Object")
+    enum.add_method("hasMoreElements", "()Z")
+    enum.add_method("nextElement", "()Ljava/lang/Object;")
+    hierarchy.add(enum)
+
+    runnable = ClassModel("java/lang/Runnable", is_interface=True,
+                          super_name="java/lang/Object")
+    runnable.add_method("run", "()V")
+    hierarchy.add(runnable)
+
+    return hierarchy
+
+
+#: Simple names resolvable without an import (the java.lang rule, plus
+#: the handful of java.io/java.util types the corpus uses).
+DEFAULT_IMPORTS = {
+    "Object": "java/lang/Object",
+    "String": "java/lang/String",
+    "StringBuffer": "java/lang/StringBuffer",
+    "System": "java/lang/System",
+    "Math": "java/lang/Math",
+    "Integer": "java/lang/Integer",
+    "Long": "java/lang/Long",
+    "Double": "java/lang/Double",
+    "Class": "java/lang/Class",
+    "Exception": "java/lang/Exception",
+    "RuntimeException": "java/lang/RuntimeException",
+    "IllegalArgumentException": "java/lang/IllegalArgumentException",
+    "IllegalStateException": "java/lang/IllegalStateException",
+    "IndexOutOfBoundsException": "java/lang/IndexOutOfBoundsException",
+    "ArithmeticException": "java/lang/ArithmeticException",
+    "NullPointerException": "java/lang/NullPointerException",
+    "UnsupportedOperationException":
+        "java/lang/UnsupportedOperationException",
+    "IOException": "java/io/IOException",
+    "Throwable": "java/lang/Throwable",
+    "Runnable": "java/lang/Runnable",
+    "Vector": "java/util/Vector",
+    "Hashtable": "java/util/Hashtable",
+    "Enumeration": "java/util/Enumeration",
+    "PrintStream": "java/io/PrintStream",
+}

@@ -1,0 +1,12 @@
+"""Move-to-front machinery: indexable skiplist and MTF queues."""
+
+from .queue import MtfCoder, MtfError, NaiveMtf
+from .skiplist import IndexedSkipList, SkipNode
+
+__all__ = [
+    "IndexedSkipList",
+    "MtfCoder",
+    "MtfError",
+    "NaiveMtf",
+    "SkipNode",
+]

@@ -1,0 +1,174 @@
+"""Move-to-front queues over the indexable skiplist.
+
+The coder state is symmetric: the compressor and decompressor each
+hold a :class:`MtfCoder` and apply the same sequence of operations, so
+indices decoded always refer to the same queue positions that were
+encoded.
+
+Index space (matching Section 5 of the paper):
+
+* plain scheme — ``0`` means "never seen before" (the object's
+  contents follow in other streams); ``k >= 1`` means the object at
+  1-based position ``k`` of the queue, which then moves to the front.
+* transients variant — ``0`` = new, enqueue; ``1`` = new, *transient*
+  (seen exactly once in the whole archive, never enqueued);
+  ``k >= 2`` = the object at 1-based position ``k - 1``.
+
+Contexts (the "use context" variant) give each context key its own
+queue.  A first-seen object is inserted into every queue where it may
+later be referenced; queues created later are seeded with all
+previously registered objects, which preserves that invariant while
+letting contexts be discovered lazily on both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from .skiplist import IndexedSkipList, SkipNode
+
+NEW = 0
+NEW_TRANSIENT = 1
+
+
+class MtfError(ValueError):
+    """Raised on protocol violations (e.g. decoding an index for an
+    empty queue)."""
+
+
+class _ContextQueue:
+    """One context's skiplist plus its key -> node map."""
+
+    def __init__(self, seed: int):
+        self.skiplist = IndexedSkipList(seed=seed)
+        self.nodes: Dict[Hashable, SkipNode] = {}
+
+    def push_front(self, key: Hashable, value: Any) -> None:
+        self.nodes[key] = self.skiplist.insert_front((key, value))
+
+    def position_of(self, key: Hashable) -> int:
+        return self.skiplist.index_of(self.nodes[key])
+
+    def move_to_front_by_key(self, key: Hashable) -> int:
+        """Returns the 0-based position the key was at."""
+        node = self.nodes[key]
+        index = self.skiplist.index_of(node)
+        self.skiplist.delete_at(index)
+        self.skiplist._link_front(node)
+        return index
+
+    def move_to_front_by_index(self, index: int) -> Tuple[Hashable, Any]:
+        return self.skiplist.move_to_front(index)
+
+
+class MtfCoder:
+    """A (possibly multi-context) move-to-front reference coder.
+
+    With ``transients=True`` the caller must pass ``is_transient`` to
+    :meth:`encode_new` decisions via the ``transient`` argument (the
+    compressor knows global frequencies from its counting pass); the
+    decoder learns transience from the index value itself.
+    """
+
+    def __init__(self, transients: bool = False, seed: int = 0):
+        self.transients = transients
+        self._seed = seed
+        self._queues: Dict[Hashable, _ContextQueue] = {}
+        #: registration order of every non-transient object.
+        self._registry: List[Tuple[Hashable, Any]] = []
+        self._known: Dict[Hashable, Any] = {}
+
+    # -- shared state -----------------------------------------------------
+
+    def _queue(self, context: Hashable) -> _ContextQueue:
+        queue = self._queues.get(context)
+        if queue is None:
+            queue = _ContextQueue(seed=self._seed + len(self._queues))
+            # Seed with every object registered so far, oldest first,
+            # so the front of the new queue is the most recent object —
+            # the same state it would have had if it had existed all
+            # along and received every insertion.
+            for key, value in self._registry:
+                queue.push_front(key, value)
+            self._queues[context] = queue
+        return queue
+
+    def _register(self, key: Hashable, value: Any) -> None:
+        self._registry.append((key, value))
+        self._known[key] = value
+        for queue in self._queues.values():
+            queue.push_front(key, value)
+
+    def knows(self, key: Hashable) -> bool:
+        return key in self._known
+
+    # -- encoder side ------------------------------------------------------
+
+    def encode(self, context: Hashable, key: Hashable,
+               transient: bool = False,
+               value: Any = None) -> Tuple[int, bool]:
+        """Encode a reference; returns ``(index, is_new)``.
+
+        ``is_new`` tells the caller to serialize the object's contents.
+        ``transient`` is honored only when the coder was built with
+        ``transients=True``.
+        """
+        queue = self._queue(context)
+        shift = 1 if self.transients else 0
+        if key in self._known:
+            position = queue.move_to_front_by_key(key)
+            return position + 1 + shift, False
+        if self.transients and transient:
+            return NEW_TRANSIENT, True
+        self._register(key, value if value is not None else key)
+        return NEW, True
+
+    # -- decoder side ------------------------------------------------------
+
+    def decode_is_new(self, index: int) -> bool:
+        if self.transients:
+            return index in (NEW, NEW_TRANSIENT)
+        return index == NEW
+
+    def decode_known(self, context: Hashable, index: int) -> Any:
+        """Resolve a non-new index to the referenced object's value."""
+        shift = 1 if self.transients else 0
+        position = index - 1 - shift
+        queue = self._queue(context)
+        if not 0 <= position < len(queue.skiplist):
+            raise MtfError(
+                f"MTF index {index} out of range for queue of size "
+                f"{len(queue.skiplist)}")
+        _, value = queue.move_to_front_by_index(position)
+        return value
+
+    def decode_new(self, index: int, key: Hashable, value: Any) -> None:
+        """Record a newly transmitted object on the decoder side."""
+        if self.transients and index == NEW_TRANSIENT:
+            return
+        self._register(key, value)
+
+
+class NaiveMtf:
+    """Reference implementation with a plain Python list (for tests)."""
+
+    def __init__(self):
+        self.items: List[Hashable] = []
+
+    def encode(self, key: Hashable) -> int:
+        if key in self.items:
+            index = self.items.index(key)
+            del self.items[index]
+            self.items.insert(0, key)
+            return index + 1
+        self.items.insert(0, key)
+        return 0
+
+    def decode(self, index: int, new_key: Optional[Hashable] = None
+               ) -> Hashable:
+        if index == 0:
+            self.items.insert(0, new_key)
+            return new_key
+        key = self.items.pop(index - 1)
+        self.items.insert(0, key)
+        return key

@@ -1,0 +1,204 @@
+"""An indexable (order-statistic) skiplist with distance-annotated links.
+
+Section 5 of the paper implements move-to-front queues with "a modified
+form of a Skiplist [Pug90] (the Skiplist structure was modified so that
+each link recorded the distance it travels forward in the list)".  This
+module is that structure:
+
+* access / delete by position in expected O(log n),
+* insert at the front in expected O(log n),
+* compute the position of a *node* (not a key) in expected O(log n) by
+  walking each node's highest outgoing link to the end of the list and
+  summing link distances — exactly the trick the paper describes for
+  the compressor side.
+
+The list is circular: the head sentinel doubles as the end marker, so
+distances to the end stay correct without a separate NIL bookkeeping
+pass.  Heights are drawn from a seeded PRNG, making structures
+deterministic for tests while leaving the probabilistic analysis
+intact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional
+
+MAX_LEVEL = 32
+
+
+class SkipNode:
+    """One element node.  ``forward[l]``/``width[l]`` describe the
+    outgoing link at level ``l``; ``width`` is the positional distance
+    the link travels."""
+
+    __slots__ = ("value", "forward", "width")
+
+    def __init__(self, value: Any, height: int):
+        self.value = value
+        self.forward: List[Optional["SkipNode"]] = [None] * height
+        self.width: List[int] = [0] * height
+
+    @property
+    def height(self) -> int:
+        return len(self.forward)
+
+
+class IndexedSkipList:
+    """A positional skiplist supporting the move-to-front operations."""
+
+    def __init__(self, seed: int = 0, p: float = 0.25):
+        self._rng = random.Random(seed)
+        self._p = p
+        self.head = SkipNode(None, MAX_LEVEL)
+        for level in range(MAX_LEVEL):
+            self.head.forward[level] = self.head
+            self.head.width[level] = 1
+        self.size = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < MAX_LEVEL and self._rng.random() < self._p:
+            height += 1
+        return height
+
+    # -- core operations ------------------------------------------------
+
+    def insert_front(self, value: Any) -> SkipNode:
+        """Insert ``value`` at position 0; returns its node."""
+        node = SkipNode(value, self._random_height())
+        self._link_front(node)
+        return node
+
+    def _link_front(self, node: SkipNode) -> None:
+        height = node.height
+        for level in range(MAX_LEVEL):
+            if level < height:
+                node.forward[level] = self.head.forward[level]
+                node.width[level] = self.head.width[level]
+                self.head.forward[level] = node
+                self.head.width[level] = 1
+            else:
+                self.head.width[level] += 1
+        self.size += 1
+
+    def node_at(self, index: int) -> SkipNode:
+        """The node at 0-based ``index`` (O(log n) expected)."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} out of range 0..{self.size - 1}")
+        remaining = index + 1  # distance to travel from the head (pos -1)
+        node = self.head
+        for level in range(MAX_LEVEL - 1, -1, -1):
+            while node.width[level] <= remaining and \
+                    node.forward[level] is not self.head:
+                remaining -= node.width[level]
+                node = node.forward[level]
+            if remaining == 0:
+                break
+        return node
+
+    def delete_at(self, index: int) -> SkipNode:
+        """Unlink and return the node at ``index`` (O(log n) expected)."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} out of range 0..{self.size - 1}")
+        update: List[SkipNode] = [self.head] * MAX_LEVEL
+        remaining = index + 1
+        node = self.head
+        for level in range(MAX_LEVEL - 1, -1, -1):
+            while node.width[level] < remaining and \
+                    node.forward[level] is not self.head:
+                remaining -= node.width[level]
+                node = node.forward[level]
+            update[level] = node
+        target = node.forward[0]
+        if target is self.head:  # pragma: no cover - guarded by range check
+            raise IndexError("internal error: walked off the list")
+        for level in range(MAX_LEVEL):
+            if level < target.height and \
+                    update[level].forward[level] is target:
+                update[level].forward[level] = target.forward[level]
+                update[level].width[level] += target.width[level] - 1
+            else:
+                update[level].width[level] -= 1
+        self.size -= 1
+        return target
+
+    def move_to_front(self, index: int) -> Any:
+        """Move the element at ``index`` to position 0; returns it.
+
+        This is the decompressor-side operation: given a transmitted
+        MTF index, fetch the object and requeue it at the front.
+        """
+        if index == 0:
+            return self.node_at(0).value
+        node = self.delete_at(index)
+        self._link_front(node)
+        return node.value
+
+    def index_of(self, node: SkipNode) -> int:
+        """Position of ``node``, computed by walking to the end.
+
+        From each node we follow the *highest* outgoing link, summing
+        link distances, until we arrive back at the head sentinel; the
+        sum is the distance from the node to the end of the list.
+        Expected O(log n) — this is the paper's compressor-side trick.
+        """
+        distance = 0
+        current = node
+        while current is not self.head:
+            top = current.height - 1
+            distance += current.width[top]
+            current = current.forward[top]
+        return self.size - distance
+
+    # -- conveniences ------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        node = self.head.forward[0]
+        while node is not self.head:
+            yield node.value
+            node = node.forward[0]
+
+    def to_list(self) -> List[Any]:
+        return list(self)
+
+    def check_invariants(self) -> None:
+        """Validate width bookkeeping at every level (test helper)."""
+        # Level 0 widths are all 1 and the ring has size+1 hops.
+        node = self.head
+        hops = 0
+        while True:
+            if node.width[0] != 1:
+                raise AssertionError(
+                    f"level-0 width {node.width[0]} != 1")
+            node = node.forward[0]
+            hops += 1
+            if node is self.head:
+                break
+        if hops != self.size + 1:
+            raise AssertionError(f"ring has {hops} hops, size {self.size}")
+        # Positions implied by widths must agree with level-0 order.
+        positions = {id(self.head): -1}
+        node = self.head.forward[0]
+        position = 0
+        while node is not self.head:
+            positions[id(node)] = position
+            node = node.forward[0]
+            position += 1
+        node = self.head
+        while True:
+            for level in range(node.height):
+                target = node.forward[level]
+                expected = (positions[id(target)] - positions[id(node)]) \
+                    if target is not self.head \
+                    else self.size - positions[id(node)]
+                if node.width[level] != expected:
+                    raise AssertionError(
+                        f"width mismatch at level {level}: "
+                        f"{node.width[level]} != {expected}")
+            node = node.forward[0]
+            if node is self.head:
+                break

@@ -1,0 +1,30 @@
+"""Semantic equality of class files.
+
+Packing renumbers constant pools, so byte equality is the wrong test
+for roundtrips.  Two class files are *semantically equal* when their
+restructured models (Figure 1) are equal: same names, flags, members,
+constants, and instruction streams with resolved operands.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..classfile.classfile import ClassFile
+from ..ir.build import build_class
+from ..ir.model import Interner
+
+
+def semantic_equal(first: ClassFile, second: ClassFile) -> bool:
+    """Whether the two class files carry identical information."""
+    interner = Interner()
+    return build_class(first, interner) == build_class(second, interner)
+
+
+def archives_equal(first: Iterable[ClassFile],
+                   second: Iterable[ClassFile]) -> bool:
+    first = list(first)
+    second = list(second)
+    if len(first) != len(second):
+        return False
+    return all(semantic_equal(a, b) for a, b in zip(first, second))

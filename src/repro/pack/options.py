@@ -1,0 +1,64 @@
+"""Options controlling the packed wire format."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PackOptions:
+    """Configuration for :func:`repro.pack.pack_archive`.
+
+    The defaults are the paper's final configuration: move-to-front
+    references with transients and use-context (Section 5), stack-state
+    opcode collapsing (Section 7.1), whole-archive sharing, and zlib
+    entropy coding.
+    """
+
+    #: Reference scheme: simple | basic | freq | cache | mtf (Table 3).
+    scheme: str = "mtf"
+    #: MTF variant: separate queues per (kind, top-two stack types).
+    use_context: bool = True
+    #: MTF variant: objects referenced exactly once are not enqueued.
+    transients: bool = True
+    #: Compute approximate stack state and collapse opcode families.
+    stack_state: bool = True
+    #: Run zlib over each stream (Table 5's "not gzip'd" turns it off).
+    compress: bool = True
+    #: zlib compression level.
+    zlib_level: int = 9
+    #: Seed the MTF coders with a standard dictionary of runtime names
+    #: (the Section 14 "preloaded references" extension; MTF only).
+    preload: bool = False
+    #: Seed for the skiplist height PRNG (affects performance only).
+    seed: int = 0
+
+    def validate(self) -> "PackOptions":
+        from ..refs.schemes import SCHEME_NAMES
+
+        if self.scheme not in SCHEME_NAMES:
+            raise ValueError(
+                f"unknown scheme {self.scheme!r}; one of {SCHEME_NAMES}")
+        return self
+
+
+#: The Table 3 experiment matrix: column label -> options.
+TABLE3_VARIANTS = {
+    "Simple": PackOptions(scheme="simple", use_context=False,
+                          transients=False),
+    "Basic": PackOptions(scheme="basic", use_context=False,
+                         transients=False),
+    "Freq": PackOptions(scheme="freq", use_context=False,
+                        transients=False),
+    "Cache": PackOptions(scheme="cache", use_context=False,
+                         transients=False),
+    "MTF Basic": PackOptions(scheme="mtf", use_context=False,
+                             transients=False),
+    "MTF Transients": PackOptions(scheme="mtf", use_context=False,
+                                  transients=True),
+    "MTF Use Context": PackOptions(scheme="mtf", use_context=True,
+                                   transients=False),
+    "MTF Transients and Context": PackOptions(scheme="mtf",
+                                              use_context=True,
+                                              transients=True),
+}

@@ -1,0 +1,119 @@
+"""Preloaded reference dictionaries (the paper's Section 14 proposal).
+
+    "The only change I can think of that would likely give non-trivial
+    improvements would be assume a standard set of preloaded references
+    to frequently used package names, classes, method references and
+    so on. ... I expect it would help on small archives."
+
+With ``PackOptions(preload=True)`` both sides seed their reference
+coders, in a fixed order, with the runtime names every Java program
+touches: ``java/lang`` and friends, ``Object``/``String``/...,
+``<init>``/``toString``/..., and the hottest concrete method
+references (``Object.<init>()V``, the ``StringBuffer`` append chain).
+First occurrences of these objects then cost an MTF index instead of
+their full spelled-out contents.
+
+Preloading is defined for the MTF scheme only (fixed-id schemes derive
+ids from the archive itself); :func:`preload_coders` silently does
+nothing for other schemes, matching the paper's framing of this as a
+tweak to the final format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ir.model import Interner
+
+#: Package names, most common last (the last insert lands at the queue
+#: front, so ``java/lang`` is cheapest to reference).
+PRELOADED_PACKAGES: List[str] = [
+    "javax/swing", "java/awt", "java/net", "java/util", "java/io",
+    "java/lang",
+]
+
+#: Simple class names (likewise ordered coldest-first).
+PRELOADED_SIMPLE_NAMES: List[str] = [
+    "Throwable", "Error", "Class", "Thread", "Runnable", "Math",
+    "Integer", "Long", "Double", "Float", "Boolean", "Character",
+    "Vector", "Hashtable", "Enumeration", "PrintStream", "InputStream",
+    "OutputStream", "Exception", "RuntimeException", "System",
+    "StringBuffer", "Object", "String",
+]
+
+#: Fully qualified classes (package + simple pairs above combine here).
+PRELOADED_CLASSES: List[str] = [
+    "java/lang/Throwable", "java/lang/Exception",
+    "java/lang/RuntimeException", "java/io/PrintStream",
+    "java/lang/Math", "java/lang/System", "java/lang/StringBuffer",
+    "java/lang/Object", "java/lang/String",
+]
+
+PRELOADED_METHOD_NAMES: List[str] = [
+    "main", "run", "close", "read", "write", "get", "set", "size",
+    "equals", "hashCode", "length", "valueOf", "println", "print",
+    "append", "toString", "<clinit>", "<init>",
+]
+
+PRELOADED_FIELD_NAMES: List[str] = [
+    "err", "out",
+]
+
+#: (owner, name, descriptor) for the hottest call targets.
+PRELOADED_METHOD_REFS: List[Tuple[str, str, str]] = [
+    ("java/lang/String", "valueOf",
+     "(I)Ljava/lang/String;"),
+    ("java/lang/String", "length", "()I"),
+    ("java/io/PrintStream", "println", "(Ljava/lang/String;)V"),
+    ("java/lang/StringBuffer", "toString", "()Ljava/lang/String;"),
+    ("java/lang/StringBuffer", "append",
+     "(I)Ljava/lang/StringBuffer;"),
+    ("java/lang/StringBuffer", "append",
+     "(Ljava/lang/String;)Ljava/lang/StringBuffer;"),
+    ("java/lang/StringBuffer", "<init>", "()V"),
+    ("java/lang/Object", "<init>", "()V"),
+]
+
+PRELOADED_FIELD_REFS: List[Tuple[str, str, str]] = [
+    ("java/lang/System", "err", "Ljava/io/PrintStream;"),
+    ("java/lang/System", "out", "Ljava/io/PrintStream;"),
+]
+
+
+def preload_objects(interner: Interner) -> Dict[str, List[object]]:
+    """Build the standard objects, per coder space, in seeding order."""
+    return {
+        "package": [interner.package(name)
+                    for name in PRELOADED_PACKAGES],
+        "simple": [interner.simple(name)
+                   for name in PRELOADED_SIMPLE_NAMES],
+        "class": [interner.class_ref(name)
+                  for name in PRELOADED_CLASSES],
+        "methodname": [interner.method_name(name)
+                       for name in PRELOADED_METHOD_NAMES],
+        "fieldname": [interner.field_name(name)
+                      for name in PRELOADED_FIELD_NAMES],
+        "method": [interner.method_ref(owner, name, descriptor)
+                   for owner, name, descriptor in PRELOADED_METHOD_REFS],
+        "field": [interner.field_ref(owner, name, descriptor)
+                  for owner, name, descriptor in PRELOADED_FIELD_REFS],
+        "string": [],
+    }
+
+
+def preload_coders(coders: Dict[str, object],
+                   interner: Interner) -> None:
+    """Seed every MTF coder in ``coders`` with the standard objects.
+
+    ``coders`` maps space name to a RefEncoder or RefDecoder; entries
+    whose scheme has no preload support are left untouched.
+    """
+    objects = preload_objects(interner)
+    for space, values in objects.items():
+        coder = coders.get(space)
+        inner = getattr(coder, "_coder", None)
+        if inner is None:
+            continue  # not an MTF coder; preload is a no-op
+        for value in values:
+            if not inner.knows(value):
+                inner._register(value, value)

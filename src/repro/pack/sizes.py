@@ -1,0 +1,51 @@
+"""Canonical instruction sizes for IR instructions.
+
+The compressor and decompressor both track byte offsets while walking
+a method's instructions (offsets feed the stack-state machine and
+branch-delta coding).  Sizes depend only on decoded operand values, so
+both sides compute identical layouts.
+"""
+
+from __future__ import annotations
+
+from ..classfile.opcodes import OPCODES, OperandKind as K
+from ..ir.model import IRInstruction
+
+
+def ir_instruction_size(instruction: IRInstruction, offset: int) -> int:
+    """Byte size of the canonical encoding of ``instruction`` when it
+    starts at ``offset``."""
+    spec = OPCODES[instruction.opcode]
+    if spec.is_switch:
+        padding = (4 - (offset + 1) % 4) % 4
+        if instruction.switch_low is not None:
+            return 1 + padding + 12 + 4 * len(instruction.switch_pairs)
+        return 1 + padding + 8 + 8 * len(instruction.switch_pairs)
+    size = 1
+    wide = _needs_wide(instruction, spec)
+    if wide:
+        size += 1
+    for kind in spec.operands:
+        if kind == K.LOCAL or kind == K.IINC_DELTA:
+            size += 2 if wide else 1
+        elif kind in (K.SBYTE, K.ATYPE, K.DIMS, K.COUNT, K.ZERO, K.CP_LDC):
+            size += 1
+        elif kind in (K.SSHORT, K.BRANCH2, K.CP_LDC_W, K.CP_LDC2_W,
+                      K.CP_FIELD, K.CP_METHOD, K.CP_IMETHOD, K.CP_CLASS):
+            size += 2
+        elif kind == K.BRANCH4:
+            size += 4
+        else:  # pragma: no cover - exhaustive over kinds
+            raise ValueError(f"unhandled operand kind {kind}")
+    return size
+
+
+def _needs_wide(instruction: IRInstruction, spec) -> bool:
+    if K.LOCAL not in spec.operands:
+        return False
+    if instruction.local is not None and instruction.local > 0xFF:
+        return True
+    if spec.mnemonic == "iinc" and instruction.immediate is not None and \
+            not -128 <= instruction.immediate <= 127:
+        return True
+    return False

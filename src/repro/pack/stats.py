@@ -1,0 +1,41 @@
+"""Per-category size accounting for packed archives (Table 6).
+
+The final archive compresses all streams in one zlib pass, so exact
+per-stream compressed sizes do not exist; attribution uses each
+stream's *independent* zlib size, which slightly over-counts shared
+context.  Percentages (the numbers Table 6 reports) are computed over
+the attributed total, so they remain internally consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from . import wire
+
+
+@dataclass
+class PackStats:
+    """Compressed byte counts per reported category."""
+
+    total: int = 0
+    by_category: Dict[str, int] = field(default_factory=dict)
+    by_stream: Dict[str, int] = field(default_factory=dict)
+
+    def fraction(self, category: str) -> float:
+        if not self.total:
+            return 0.0
+        return self.by_category.get(category, 0) / self.total
+
+
+def collect_stats(stream_sizes: Dict[str, int]) -> PackStats:
+    """Aggregate per-stream sizes into Table 6 categories."""
+    stats = PackStats()
+    for name, size in stream_sizes.items():
+        stats.by_stream[name] = size
+        category = wire.STREAM_CATEGORIES.get(name, "misc")
+        stats.by_category[category] = \
+            stats.by_category.get(category, 0) + size
+        stats.total += size
+    return stats

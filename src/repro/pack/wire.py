@@ -1,0 +1,130 @@
+"""Wire-format constants shared by the compressor and decompressor."""
+
+from __future__ import annotations
+
+from ..classfile.opcodes import BY_NAME
+
+MAGIC = 0x504A504B  # "PJPK"
+VERSION = 1
+
+# -- stream names -------------------------------------------------------
+
+META = "meta"
+SHAPE = "shape"
+
+REF_PACKAGE = "refs.package"
+REF_SIMPLE = "refs.simple"
+REF_CLASS = "refs.class"
+REF_METHODNAME = "refs.methodname"
+REF_FIELDNAME = "refs.fieldname"
+REF_METHOD = "refs.method"
+REF_FIELD = "refs.field"
+REF_STRING = "refs.string"
+
+STR_PKG_LEN = "str.pkg.len"
+STR_PKG_CHARS = "str.pkg.chars"
+STR_CLS_LEN = "str.cls.len"
+STR_CLS_CHARS = "str.cls.chars"
+STR_MNAME_LEN = "str.mname.len"
+STR_MNAME_CHARS = "str.mname.chars"
+STR_FNAME_LEN = "str.fname.len"
+STR_FNAME_CHARS = "str.fname.chars"
+STR_CONST_LEN = "str.const.len"
+STR_CONST_CHARS = "str.const.chars"
+
+CODE_OPCODES = "code.opcodes"
+CODE_REGS = "code.regs"
+CODE_INTS = "code.ints"
+CODE_BRANCHES = "code.branches"
+CODE_EXC = "code.exc"
+
+CONST_INT = "const.int"
+CONST_LONG = "const.long"
+CONST_FLOAT = "const.float"
+CONST_DOUBLE = "const.double"
+
+#: Table 6 category accounting: stream name -> reported category.
+STREAM_CATEGORIES = {
+    META: "misc",
+    SHAPE: "misc",
+    REF_PACKAGE: "refs",
+    REF_SIMPLE: "refs",
+    REF_CLASS: "refs",
+    REF_METHODNAME: "refs",
+    REF_FIELDNAME: "refs",
+    REF_METHOD: "refs",
+    REF_FIELD: "refs",
+    REF_STRING: "refs",
+    STR_PKG_LEN: "strings",
+    STR_PKG_CHARS: "strings",
+    STR_CLS_LEN: "strings",
+    STR_CLS_CHARS: "strings",
+    STR_MNAME_LEN: "strings",
+    STR_MNAME_CHARS: "strings",
+    STR_FNAME_LEN: "strings",
+    STR_FNAME_CHARS: "strings",
+    STR_CONST_LEN: "strings",
+    STR_CONST_CHARS: "strings",
+    CODE_OPCODES: "opcodes",
+    CODE_REGS: "misc",
+    CODE_INTS: "ints",
+    CODE_BRANCHES: "misc",
+    CODE_EXC: "misc",
+    CONST_INT: "ints",
+    CONST_LONG: "ints",
+    CONST_FLOAT: "misc",
+    CONST_DOUBLE: "misc",
+}
+
+# -- pseudo-opcodes -------------------------------------------------------
+
+#: (const kind, used wide form) -> pseudo-opcode byte in the opcode
+#: stream.  Section 3's "LDC Integer"-style pseudo-opcodes: they both
+#: route the constant to its typed stream and preserve the original
+#: LDC vs LDC_W width so reconstruction keeps instruction sizes.
+PSEUDO_LDC = {
+    ("int", False): 0xCB,
+    ("float", False): 0xCC,
+    ("string", False): 0xCD,
+    ("int", True): 0xCE,
+    ("float", True): 0xCF,
+    ("string", True): 0xD0,
+    ("long", True): 0xD1,
+    ("double", True): 0xD2,
+}
+PSEUDO_LDC_REVERSE = {v: k for k, v in PSEUDO_LDC.items()}
+
+LDC_OPCODE = BY_NAME["ldc"].opcode
+LDC_W_OPCODE = BY_NAME["ldc_w"].opcode
+LDC2_W_OPCODE = BY_NAME["ldc2_w"].opcode
+
+#: invoke opcode -> method-reference kind (pool selector).
+INVOKE_KINDS = {
+    BY_NAME["invokevirtual"].opcode: "method.virtual",
+    BY_NAME["invokespecial"].opcode: "method.special",
+    BY_NAME["invokestatic"].opcode: "method.static",
+    BY_NAME["invokeinterface"].opcode: "method.interface",
+}
+
+#: field opcode -> field-reference kind.
+FIELD_KINDS = {
+    BY_NAME["getfield"].opcode: "field.instance",
+    BY_NAME["putfield"].opcode: "field.instance",
+    BY_NAME["getstatic"].opcode: "field.static",
+    BY_NAME["putstatic"].opcode: "field.static",
+}
+
+
+def constant_kind_for_field(descriptor: str) -> str:
+    """Which ConstValue kind a field's ConstantValue carries."""
+    if descriptor in ("I", "B", "C", "S", "Z"):
+        return "int"
+    if descriptor == "J":
+        return "long"
+    if descriptor == "F":
+        return "float"
+    if descriptor == "D":
+        return "double"
+    if descriptor == "Ljava/lang/String;":
+        return "string"
+    raise ValueError(f"field type {descriptor} cannot carry a constant")

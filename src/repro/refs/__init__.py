@@ -1,0 +1,12 @@
+"""Reference-encoding schemes (Section 5 / Table 3)."""
+
+from .base import Context, RefDecoder, RefEncoder
+from .schemes import SCHEME_NAMES, make_codec
+
+__all__ = [
+    "Context",
+    "RefDecoder",
+    "RefEncoder",
+    "SCHEME_NAMES",
+    "make_codec",
+]

@@ -1,0 +1,67 @@
+"""Reference-coder interface shared by all Section 5 schemes.
+
+A *reference coder* encodes "an object we may have seen before" into a
+stream of small integers.  Encoding returns whether the object is new
+(in which case the caller serializes its contents to other streams);
+decoding mirrors the state machine exactly.
+
+Contexts: every reference site supplies a ``(kind, stack_context)``
+pair — e.g. ``("method.virtual", ("I", "I"))`` for a virtual call with
+two ints on top of the approximate stack.  Each scheme decides how
+much of the context it uses:
+
+==========  ===================================================
+scheme      pools
+==========  ===================================================
+simple      one global pool (2-byte fixed ids)
+basic       one global pool (compact sequential ids)
+freq        one pool per kind (frequency-ordered ids)
+cache       freq + a 16-entry MTF cache per kind
+mtf         one MTF queue per kind (per (kind, stack) with
+            ``use_context``); optional transient handling
+==========  ===================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..coding.streams import StreamCursor, StreamWriter
+
+Context = Tuple[str, Tuple[str, str]]
+
+
+class RefEncoder:
+    """Encoder half: one instance per object space (methods, fields,
+    classes, ...)."""
+
+    #: Whether the scheme needs a global frequency table before
+    #: encoding starts (supplied via :meth:`set_frequencies`).
+    needs_frequencies = False
+
+    def set_frequencies(self, counts: Dict[Hashable, int]) -> None:
+        """Provide the counting pass's results (two-pass schemes)."""
+
+    def encode(self, stream: StreamWriter, context: Context,
+               key: Hashable) -> bool:
+        """Encode one reference; returns True when the object is new
+        (caller must then serialize its contents)."""
+        raise NotImplementedError
+
+
+class RefDecoder:
+    """Decoder half; must mirror the encoder's state transitions."""
+
+    def decode(self, stream: StreamCursor,
+               context: Context) -> Tuple[bool, Optional[Any]]:
+        """Decode one reference.
+
+        Returns ``(is_new, value)``: when ``is_new`` the caller reads
+        the object's contents and then calls :meth:`register`;
+        otherwise ``value`` is the previously registered object.
+        """
+        raise NotImplementedError
+
+    def register(self, context: Context, value: Any) -> None:
+        """Record the contents of the object just decoded as new."""
+        raise NotImplementedError

@@ -1,0 +1,306 @@
+"""The Section 5 reference-encoding schemes (Table 3 columns).
+
+Every scheme comes as an encoder/decoder pair whose state machines
+mirror each other exactly.  See :mod:`repro.refs.base` for the pool
+granularity of each scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..coding.streams import StreamCursor, StreamWriter
+from ..mtf.queue import MtfCoder
+from .base import Context, RefDecoder, RefEncoder
+
+CACHE_SIZE = 16
+
+SCHEME_NAMES = ["simple", "basic", "freq", "cache", "mtf"]
+
+
+def make_codec(scheme: str, use_context: bool = False,
+               transients: bool = False,
+               seed: int = 0) -> Tuple[RefEncoder, RefDecoder]:
+    """Build a matching encoder/decoder pair for one object space."""
+    if scheme == "simple":
+        return SimpleEncoder(), SimpleDecoder()
+    if scheme == "basic":
+        return BasicEncoder(), BasicDecoder()
+    if scheme == "freq":
+        return FreqEncoder(), FreqDecoder()
+    if scheme == "cache":
+        return CacheEncoder(), CacheDecoder()
+    if scheme == "mtf":
+        return (MtfEncoder(use_context=use_context, transients=transients,
+                           seed=seed),
+                MtfDecoder(use_context=use_context, transients=transients,
+                           seed=seed))
+    raise ValueError(f"unknown reference scheme {scheme!r}")
+
+
+# ---------------------------------------------------------------------
+# Simple: fixed two-byte ids, one global pool
+# ---------------------------------------------------------------------
+
+
+class SimpleEncoder(RefEncoder):
+    def __init__(self):
+        self._ids: Dict[Hashable, int] = {}
+
+    def encode(self, stream: StreamWriter, context: Context,
+               key: Hashable) -> bool:
+        ident = self._ids.get(key)
+        is_new = ident is None
+        if is_new:
+            ident = len(self._ids)
+            if ident > 0xFFFF:
+                raise ValueError("simple scheme overflow (> 65535 objects)")
+            self._ids[key] = ident
+        stream.u8(ident >> 8)
+        stream.u8(ident & 0xFF)
+        return is_new
+
+
+class SimpleDecoder(RefDecoder):
+    def __init__(self):
+        self._values: List[Any] = []
+
+    def decode(self, stream: StreamCursor,
+               context: Context) -> Tuple[bool, Optional[Any]]:
+        ident = (stream.u8() << 8) | stream.u8()
+        if ident == len(self._values):
+            return True, None
+        return False, self._values[ident]
+
+    def register(self, context: Context, value: Any) -> None:
+        self._values.append(value)
+
+
+# ---------------------------------------------------------------------
+# Basic: sequential ids, compactly encoded, one global pool
+# ---------------------------------------------------------------------
+
+
+class BasicEncoder(RefEncoder):
+    def __init__(self):
+        self._ids: Dict[Hashable, int] = {}
+
+    def encode(self, stream: StreamWriter, context: Context,
+               key: Hashable) -> bool:
+        ident = self._ids.get(key)
+        is_new = ident is None
+        if is_new:
+            ident = len(self._ids)
+            self._ids[key] = ident
+        stream.uvarint(ident)
+        return is_new
+
+
+class BasicDecoder(RefDecoder):
+    def __init__(self):
+        self._values: List[Any] = []
+
+    def decode(self, stream: StreamCursor,
+               context: Context) -> Tuple[bool, Optional[Any]]:
+        ident = stream.uvarint()
+        if ident == len(self._values):
+            return True, None
+        return False, self._values[ident]
+
+    def register(self, context: Context, value: Any) -> None:
+        self._values.append(value)
+
+
+# ---------------------------------------------------------------------
+# Freq: frequency-ranked ids per kind; singletons share a special id
+# ---------------------------------------------------------------------
+
+
+class FreqEncoder(RefEncoder):
+    needs_frequencies = True
+
+    def __init__(self):
+        #: kind -> key -> id (1-based; 0 is the shared singleton id)
+        self._ids: Dict[str, Dict[Hashable, int]] = {}
+        self._seen: set = set()
+
+    def set_frequencies(self, counts: Dict[Hashable, int]) -> None:
+        """``counts`` maps (kind, key) -> reference count."""
+        per_kind: Dict[str, List[Tuple[int, Hashable]]] = {}
+        for (kind, key), count in counts.items():
+            if count >= 2:
+                per_kind.setdefault(kind, []).append((count, key))
+        for kind, pairs in per_kind.items():
+            pairs.sort(key=lambda pair: (-pair[0], repr(pair[1])))
+            self._ids[kind] = {
+                key: index + 1 for index, (_, key) in enumerate(pairs)}
+
+    def encode(self, stream: StreamWriter, context: Context,
+               key: Hashable) -> bool:
+        kind = context[0]
+        table = self._ids.get(kind, {})
+        ident = table.get(key, 0)
+        stream.uvarint(ident)
+        if ident == 0:
+            return True  # singleton: contents always follow
+        seen_key = (kind, ident)
+        if seen_key in self._seen:
+            return False
+        self._seen.add(seen_key)
+        return True
+
+
+class FreqDecoder(RefDecoder):
+    def __init__(self):
+        self._values: Dict[Tuple[str, int], Any] = {}
+        self._pending: Optional[Tuple[str, int]] = None
+
+    def decode(self, stream: StreamCursor,
+               context: Context) -> Tuple[bool, Optional[Any]]:
+        kind = context[0]
+        ident = stream.uvarint()
+        if ident == 0:
+            self._pending = None  # singleton: never registered
+            return True, None
+        slot = (kind, ident)
+        if slot in self._values:
+            return False, self._values[slot]
+        self._pending = slot
+        return True, None
+
+    def register(self, context: Context, value: Any) -> None:
+        if self._pending is not None:
+            self._values[self._pending] = value
+            self._pending = None
+
+
+# ---------------------------------------------------------------------
+# Cache: Freq augmented with a 16-entry LRU (move-to-front) cache
+# ---------------------------------------------------------------------
+
+
+class CacheEncoder(FreqEncoder):
+    def __init__(self):
+        super().__init__()
+        self._caches: Dict[str, List[Hashable]] = {}
+
+    def encode(self, stream: StreamWriter, context: Context,
+               key: Hashable) -> bool:
+        kind = context[0]
+        cache = self._caches.setdefault(kind, [])
+        if key in cache:
+            position = cache.index(key)
+            stream.uvarint(position)
+            cache.pop(position)
+            cache.insert(0, key)
+            return False
+        table = self._ids.get(kind, {})
+        ident = table.get(key, 0)
+        stream.uvarint(CACHE_SIZE + ident)
+        if ident != 0:
+            cache.insert(0, key)
+            del cache[CACHE_SIZE:]
+        if ident == 0:
+            return True
+        seen_key = (kind, ident)
+        if seen_key in self._seen:
+            return False
+        self._seen.add(seen_key)
+        return True
+
+
+class CacheDecoder(RefDecoder):
+    def __init__(self):
+        self._values: Dict[Tuple[str, int], Any] = {}
+        #: kind -> list of freq ids (cache contents)
+        self._caches: Dict[str, List[int]] = {}
+        self._pending: Optional[Tuple[str, int]] = None
+
+    def decode(self, stream: StreamCursor,
+               context: Context) -> Tuple[bool, Optional[Any]]:
+        kind = context[0]
+        cache = self._caches.setdefault(kind, [])
+        code = stream.uvarint()
+        if code < CACHE_SIZE:
+            ident = cache.pop(code)
+            cache.insert(0, ident)
+            return False, self._values[(kind, ident)]
+        ident = code - CACHE_SIZE
+        if ident == 0:
+            self._pending = None
+            return True, None
+        cache.insert(0, ident)
+        del cache[CACHE_SIZE:]
+        slot = (kind, ident)
+        if slot in self._values:
+            return False, self._values[slot]
+        self._pending = slot
+        return True, None
+
+    def register(self, context: Context, value: Any) -> None:
+        if self._pending is not None:
+            self._values[self._pending] = value
+            self._pending = None
+
+
+# ---------------------------------------------------------------------
+# MTF: skiplist-backed move-to-front queues
+# ---------------------------------------------------------------------
+
+
+def _pool_key(context: Context, use_context: bool) -> Hashable:
+    kind, stack_context = context
+    if use_context and kind.startswith("method."):
+        return (kind, stack_context)
+    return kind
+
+
+class MtfEncoder(RefEncoder):
+    def __init__(self, use_context: bool, transients: bool, seed: int = 0):
+        self.use_context = use_context
+        self.transients = transients
+        self._coder = MtfCoder(transients=transients, seed=seed)
+        self._counts: Dict[Hashable, int] = {}
+
+    @property
+    def needs_frequencies(self) -> bool:  # type: ignore[override]
+        return self.transients
+
+    def set_frequencies(self, counts: Dict[Hashable, int]) -> None:
+        # Transience is a property of the object across every context,
+        # so counts are aggregated by key alone.
+        merged: Dict[Hashable, int] = {}
+        for (_, key), count in counts.items():
+            merged[key] = merged.get(key, 0) + count
+        self._counts = merged
+
+    def encode(self, stream: StreamWriter, context: Context,
+               key: Hashable) -> bool:
+        pool = _pool_key(context, self.use_context)
+        transient = self.transients and self._counts.get(key, 2) == 1
+        index, is_new = self._coder.encode(pool, key, transient=transient,
+                                           value=key)
+        stream.uvarint(index)
+        return is_new
+
+
+class MtfDecoder(RefDecoder):
+    def __init__(self, use_context: bool, transients: bool, seed: int = 0):
+        self.use_context = use_context
+        self._coder = MtfCoder(transients=transients, seed=seed)
+        self._pending_index: Optional[int] = None
+
+    def decode(self, stream: StreamCursor,
+               context: Context) -> Tuple[bool, Optional[Any]]:
+        pool = _pool_key(context, self.use_context)
+        index = stream.uvarint()
+        if self._coder.decode_is_new(index):
+            self._pending_index = index
+            return True, None
+        return False, self._coder.decode_known(pool, index)
+
+    def register(self, context: Context, value: Any) -> None:
+        if self._pending_index is None:
+            raise ValueError("register() without a pending new object")
+        self._coder.decode_new(self._pending_index, value, value)
+        self._pending_index = None

@@ -1,0 +1,166 @@
+"""Shared test fixtures: tiny mini-Java programs and compiled suites."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.classfile.classfile import ClassFile
+from repro.minijava import compile_sources
+
+SIMPLE_CLASS = """
+package demo;
+
+public class Simple {
+    static final int LIMIT = 42;
+    static final String GREETING = "hello";
+    int counter;
+    String name;
+
+    public Simple(String name) {
+        this.name = name;
+        this.counter = 0;
+    }
+
+    public int bump(int amount) {
+        if (amount > 0) { counter = counter + amount; }
+        else { counter = counter - 1; }
+        return counter;
+    }
+
+    public String describe() {
+        return "Simple " + name + " count=" + counter;
+    }
+
+    public static int fib(int n) {
+        if (n < 2) return n;
+        return fib(n - 1) + fib(n - 2);
+    }
+}
+"""
+
+KITCHEN_SINK = """
+package demo.sink;
+
+public class Sink {
+    static int[] table = new int[16];
+    double ratio;
+    long stamp;
+
+    public Sink() {
+        this.ratio = 1.5;
+        this.stamp = 100000L;
+    }
+
+    public double mixed(int a, long b, double c, float f) {
+        double total = a + b * 2L + c / 2.0 + f;
+        try {
+            total = total % (double) a;
+        } catch (ArithmeticException e) {
+            total = 0.0 - 1.0;
+        }
+        return Math.sqrt(Math.abs(total));
+    }
+
+    public int switches(int v) {
+        switch (v) {
+            case 0: return 10;
+            case 1: return 11;
+            case 2: return 12;
+            default: break;
+        }
+        switch (v) {
+            case 100: return 1;
+            case 5000: return 2;
+            case -3: return 3;
+        }
+        return 0;
+    }
+
+    public void arrays() {
+        for (int i = 0; i < table.length; i = i + 1) {
+            table[i] = i * i % 7;
+        }
+        long[] longs = new long[4];
+        longs[0] = 1L;
+        longs[1] = longs[0] + 2L;
+        double[] doubles = new double[4];
+        doubles[2] = 3.25;
+        String[] names = new String[2];
+        names[0] = "first";
+        names[1] = names[0] + "!";
+    }
+
+    public boolean logic(int x, Object o) {
+        boolean flag = x > 0 && x < 100 || x == -5;
+        flag = !flag;
+        return flag && o instanceof Sink && o != null;
+    }
+
+    public String conditional(int x) {
+        return x > 0 ? "pos" : (x < 0 ? "neg" : "zero");
+    }
+
+    public char chars(String s) {
+        char c = s.charAt(0);
+        c = (char) (c + 1);
+        return c;
+    }
+}
+"""
+
+INTERFACE_PAIR = [
+    """
+package demo.shapes;
+
+public interface Shape {
+    double area();
+    String describe();
+}
+""",
+    """
+package demo.shapes;
+
+public class Circle implements Shape {
+    double radius;
+    static final String KIND = "circle";
+
+    public Circle(double r) { this.radius = r; }
+
+    public double area() { return Math.PI * radius * radius; }
+
+    public String describe() { return KIND + " r=" + radius; }
+}
+""",
+    """
+package demo.shapes;
+
+public class Ring extends Circle {
+    double hole;
+
+    public Ring(double r) {
+        super(r);
+        this.hole = r / 2.0;
+    }
+
+    public double area() {
+        return super.area() - Math.PI * hole * hole;
+    }
+}
+""",
+]
+
+
+def compile_simple() -> Dict[str, ClassFile]:
+    return compile_sources([SIMPLE_CLASS])
+
+
+def compile_sink() -> Dict[str, ClassFile]:
+    return compile_sources([KITCHEN_SINK])
+
+
+def compile_shapes() -> Dict[str, ClassFile]:
+    return compile_sources(INTERFACE_PAIR)
+
+
+def ordered_values(classes: Dict[str, ClassFile]) -> List[ClassFile]:
+    return [classes[name] for name in sorted(classes)]

@@ -1,0 +1,80 @@
+"""Tests for the Table 2 class-file breakdown and Table 4 components."""
+
+from repro.bytecode_codec.analysis import bytecode_components
+from repro.classfile.analysis import breakdown
+from repro.classfile.classfile import write_class
+from repro.corpus.suites import generate_suite
+from repro.jar.formats import strip_classes
+
+from helpers import compile_sink, compile_shapes
+
+
+class TestBreakdown:
+    def test_total_matches_serialized_size(self):
+        classes = compile_sink()
+        result = breakdown(classes.values())
+        actual = sum(len(write_class(c)) for c in classes.values())
+        assert result.total == actual
+
+    def test_components_sum_to_total(self):
+        classes = strip_classes(generate_suite("Hanoi"))
+        result = breakdown(classes.values())
+        parts = (result.field_definitions + result.method_definitions +
+                 result.code + result.utf8_entries +
+                 result.other_constant_pool)
+        # Plus fixed headers (magic/version/counts) per class.
+        overhead = result.total - parts
+        assert 0 < overhead < 40 * len(classes)
+
+    def test_utf8_dominates_unshared(self):
+        # The paper's Table 2: Utf8 entries are the biggest component.
+        classes = strip_classes(generate_suite("javac"))
+        result = breakdown(classes.values())
+        assert result.utf8_entries > result.other_constant_pool
+        assert result.utf8_entries > result.field_definitions
+
+    def test_sharing_shrinks_utf8(self):
+        classes = strip_classes(generate_suite("javac"))
+        result = breakdown(classes.values())
+        assert result.utf8_shared < result.utf8_entries
+
+    def test_factoring_shrinks_further(self):
+        classes = strip_classes(generate_suite("javac"))
+        result = breakdown(classes.values())
+        assert result.utf8_shared_factored < result.utf8_shared
+
+    def test_as_dict_keys(self):
+        result = breakdown(compile_shapes().values())
+        assert set(result.as_dict()) == {
+            "total", "field_definitions", "method_definitions", "code",
+            "other_constant_pool", "utf8_entries", "utf8_shared",
+            "utf8_shared_factored"}
+
+
+class TestBytecodeComponents:
+    def test_all_components_present(self):
+        classes = strip_classes(generate_suite("compress"))
+        components = bytecode_components(classes.values())
+        assert set(components) == {
+            "bytestream", "opcodes", "opcodes_stack_state",
+            "opcodes_custom", "registers", "branch_offsets",
+            "method_references"}
+
+    def test_stack_state_never_hurts_raw(self):
+        classes = strip_classes(generate_suite("mpegaudio"))
+        components = bytecode_components(classes.values())
+        assert components["opcodes_stack_state"].raw == \
+            components["opcodes"].raw
+
+    def test_stack_state_improves_compression(self):
+        # Collapsing typed families makes the opcode stream more
+        # skewed, which zlib exploits (Table 4's direction).
+        classes = strip_classes(generate_suite("mpegaudio"))
+        components = bytecode_components(classes.values())
+        assert components["opcodes_stack_state"].compressed <= \
+            components["opcodes"].compressed
+
+    def test_opcode_stream_smaller_than_bytestream(self):
+        classes = strip_classes(generate_suite("javac"))
+        components = bytecode_components(classes.values())
+        assert components["opcodes"].raw < components["bytestream"].raw

@@ -1,0 +1,78 @@
+"""Tests for the Jazz and Clazz baselines."""
+
+import pytest
+
+from repro.baselines.clazz import clazz_pack, clazz_total_size, clazz_unpack
+from repro.baselines.jazz import JazzError, jazz_pack, jazz_unpack
+from repro.classfile.verify import verify_class
+from repro.corpus.suites import generate_suite
+from repro.jar.formats import jar_sizes, strip_classes
+from repro.pack import archives_equal, pack_archive
+
+from helpers import compile_shapes, compile_sink, ordered_values
+
+
+def suite_classes(name):
+    return ordered_values(strip_classes(generate_suite(name)))
+
+
+class TestJazzRoundtrip:
+    def test_kitchen_sink(self):
+        originals = ordered_values(compile_sink())
+        restored = jazz_unpack(jazz_pack(originals))
+        assert archives_equal(originals, restored)
+        for classfile in restored:
+            verify_class(classfile)
+
+    def test_shapes(self):
+        originals = ordered_values(compile_shapes())
+        assert archives_equal(originals, jazz_unpack(jazz_pack(originals)))
+
+    def test_suite(self):
+        originals = suite_classes("jess")
+        assert archives_equal(originals, jazz_unpack(jazz_pack(originals)))
+
+    def test_deterministic(self):
+        originals = suite_classes("Hanoi")
+        assert jazz_pack(originals) == jazz_pack(originals)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(JazzError):
+            jazz_unpack(b"NOPE" + b"\x00" * 20)
+
+    def test_empty_archive(self):
+        assert jazz_unpack(jazz_pack([])) == []
+
+
+class TestJazzCharacteristics:
+    def test_global_pool_shares_across_classes(self):
+        """Packing two classes together must be smaller than packing
+        them apart (shared global tables)."""
+        originals = suite_classes("Hanoi")
+        together = len(jazz_pack(originals))
+        apart = sum(len(jazz_pack([c])) for c in originals)
+        assert together < apart
+
+    def test_ordering_between_j0rgz_and_packed(self):
+        """The paper's qualitative result: jar >= j0r.gz >= Jazz >=
+        Packed on mid-size archives (Table 6)."""
+        name = "javac"
+        sizes = jar_sizes(generate_suite(name))
+        originals = suite_classes(name)
+        jazz_size = len(jazz_pack(originals))
+        packed_size = len(pack_archive(originals))
+        assert packed_size < jazz_size < sizes.sj0r_gz < sizes.sjar
+
+
+class TestClazz:
+    def test_roundtrip(self):
+        originals = suite_classes("Hanoi")
+        blobs = clazz_pack(originals)
+        assert len(blobs) == len(originals)
+        assert archives_equal(originals, clazz_unpack(blobs))
+
+    def test_isolation_costs(self):
+        """Clazz (per-file) must be larger than Jazz (shared pool) —
+        the comparison the paper makes in Section 13.1."""
+        originals = suite_classes("Hanoi")
+        assert clazz_total_size(originals) > len(jazz_pack(originals))

@@ -1,0 +1,166 @@
+"""Tests for the bytecode assembler/disassembler."""
+
+import pytest
+
+from repro.classfile.bytecode import (
+    BytecodeError,
+    Instruction,
+    SwitchData,
+    assemble,
+    assemble_indexed,
+    disassemble,
+    make,
+)
+from repro.classfile.opcodes import BY_NAME, OPCODES
+
+from helpers import compile_simple, compile_sink
+
+
+def _all_code(classes):
+    for classfile in classes.values():
+        for method in classfile.methods:
+            code = method.code()
+            if code is not None:
+                yield code.code
+
+
+class TestRoundtrip:
+    def test_compiled_code_roundtrips(self):
+        for code in _all_code(compile_simple()):
+            instructions = disassemble(code)
+            assert assemble(instructions, relayout=False) == code
+
+    def test_kitchen_sink_roundtrips(self):
+        found_switch = False
+        for code in _all_code(compile_sink()):
+            instructions = disassemble(code)
+            if any(i.switch is not None for i in instructions):
+                found_switch = True
+            assert assemble(instructions, relayout=False) == code
+        assert found_switch, "kitchen sink should exercise switches"
+
+    def test_relayout_is_stable_on_canonical_code(self):
+        for code in _all_code(compile_sink()):
+            instructions = disassemble(code)
+            assert assemble(instructions, relayout=True) == code
+
+
+class TestHandwritten:
+    def test_simple_sequence(self):
+        instructions = [
+            make("iconst_1"),
+            make("iconst_2"),
+            make("iadd"),
+            make("ireturn"),
+        ]
+        code = assemble_indexed(instructions)
+        assert code == bytes([0x04, 0x05, 0x60, 0xAC])
+
+    def test_branch_by_index(self):
+        instructions = [
+            make("iload_0"),
+            make("ifeq", target=3),  # branch to 'iconst_1'
+            make("iconst_0"),
+            make("iconst_1"),
+            make("ireturn"),
+        ]
+        code = assemble_indexed(instructions)
+        decoded = disassemble(code)
+        assert decoded[1].target == decoded[3].offset
+
+    def test_wide_local(self):
+        instructions = [make("iload", local=300), make("ireturn")]
+        code = assemble_indexed(instructions)
+        decoded = disassemble(code)
+        assert decoded[0].local == 300
+        assert code[0] == 0xC4  # wide prefix
+
+    def test_wide_iinc(self):
+        instructions = [make("iinc", local=2, immediate=200),
+                        make("return")]
+        code = assemble_indexed(instructions)
+        decoded = disassemble(code)
+        assert decoded[0].immediate == 200
+
+    def test_tableswitch_padding(self):
+        for prefix in range(4):
+            instructions = [make("nop") for _ in range(prefix)]
+            instructions.append(make("iload_0"))
+            switch = make("tableswitch")
+            count = prefix + 2
+            switch.switch = SwitchData(count + 1, 0,
+                                       [(0, count + 1), (1, count + 1)])
+            instructions.append(switch)
+            instructions.append(make("return"))
+            switch.switch.default = len(instructions) - 1
+            switch.switch.pairs = [(m, len(instructions) - 1)
+                                   for m, _ in switch.switch.pairs]
+            code = assemble_indexed(instructions)
+            decoded = disassemble(code)
+            sw = [i for i in decoded if i.switch is not None][0]
+            assert sw.switch.low == 0
+            assert len(sw.switch.pairs) == 2
+
+    def test_lookupswitch(self):
+        instructions = [
+            make("iload_0"),
+            make("lookupswitch"),
+            make("iconst_0"),
+            make("ireturn"),
+        ]
+        instructions[1].switch = SwitchData(2, None, [(-5, 2), (1000, 3)])
+        code = assemble_indexed(instructions)
+        decoded = disassemble(code)
+        sw = decoded[1].switch
+        assert sw.pairs[0][0] == -5
+        assert sw.pairs[1][0] == 1000
+
+    def test_ldc_index_overflow_rejected(self):
+        with pytest.raises(BytecodeError):
+            assemble_indexed([make("ldc", cp_index=300), make("return")])
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(BytecodeError):
+            disassemble(bytes([0xFE]))
+
+    def test_truncated_operand_rejected(self):
+        with pytest.raises(ValueError):
+            disassemble(bytes([BY_NAME["bipush"].opcode]))
+
+    def test_invokeinterface_zero_byte_checked(self):
+        opcode = BY_NAME["invokeinterface"].opcode
+        with pytest.raises(BytecodeError):
+            disassemble(bytes([opcode, 0, 1, 1, 5]))
+
+
+class TestOpcodeTable:
+    def test_known_count(self):
+        # The JVM (1.2) instruction set: 201 real opcodes including
+        # the wide prefix.
+        assert len(OPCODES) == 201
+
+    def test_mnemonics_unique(self):
+        mnemonics = [spec.mnemonic for spec in OPCODES.values()]
+        assert len(mnemonics) == len(set(mnemonics))
+
+    def test_every_load_store_variant_present(self):
+        for prefix in "ilfda":
+            for op in ("load", "store"):
+                assert f"{prefix}{op}" in BY_NAME
+                for slot in range(4):
+                    assert f"{prefix}{op}_{slot}" in BY_NAME
+
+    def test_branch_property(self):
+        assert BY_NAME["goto"].is_branch
+        assert BY_NAME["ifeq"].is_branch
+        assert not BY_NAME["iadd"].is_branch
+
+    def test_cp_kind_property(self):
+        assert BY_NAME["getfield"].cp_kind == "cp_field"
+        assert BY_NAME["invokevirtual"].cp_kind == "cp_method"
+        assert BY_NAME["iadd"].cp_kind is None
+
+    def test_switches_marked(self):
+        assert BY_NAME["tableswitch"].is_switch
+        assert BY_NAME["lookupswitch"].is_switch
+        assert not BY_NAME["goto"].is_switch

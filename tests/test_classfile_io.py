@@ -1,0 +1,129 @@
+"""Tests for class-file parsing and serialization."""
+
+import pytest
+
+from repro.classfile.classfile import (
+    ClassFile,
+    ClassFileError,
+    parse_class,
+    write_class,
+)
+from repro.classfile.constants import MAGIC, ConstantTag
+from repro.classfile import constant_pool as cp
+
+from helpers import compile_simple, compile_sink, compile_shapes
+
+
+class TestRoundtrip:
+    def test_simple_bit_faithful(self):
+        for classfile in compile_simple().values():
+            data = write_class(classfile)
+            assert write_class(parse_class(data)) == data
+
+    def test_kitchen_sink_bit_faithful(self):
+        for classfile in compile_sink().values():
+            data = write_class(classfile)
+            assert write_class(parse_class(data)) == data
+
+    def test_shapes_bit_faithful(self):
+        for classfile in compile_shapes().values():
+            data = write_class(classfile)
+            assert write_class(parse_class(data)) == data
+
+    def test_magic_is_cafebabe(self):
+        data = write_class(next(iter(compile_simple().values())))
+        assert data[:4] == b"\xca\xfe\xba\xbe"
+
+    def test_names_resolve(self):
+        classes = compile_shapes()
+        circle = classes["demo/shapes/Circle"]
+        assert circle.name == "demo/shapes/Circle"
+        assert circle.super_name == "java/lang/Object"
+        assert circle.interface_names() == ["demo/shapes/Shape"]
+        ring = classes["demo/shapes/Ring"]
+        assert ring.super_name == "demo/shapes/Circle"
+
+
+class TestMalformed:
+    def test_bad_magic(self):
+        with pytest.raises(ClassFileError):
+            parse_class(b"\x00\x01\x02\x03" + b"\x00" * 20)
+
+    def test_truncated(self):
+        data = write_class(next(iter(compile_simple().values())))
+        with pytest.raises(ValueError):
+            parse_class(data[:len(data) // 2])
+
+    def test_trailing_garbage(self):
+        data = write_class(next(iter(compile_simple().values())))
+        with pytest.raises(ClassFileError):
+            parse_class(data + b"\x00")
+
+    def test_unknown_cp_tag(self):
+        data = bytearray(write_class(
+            next(iter(compile_simple().values()))))
+        # Corrupt the first constant-pool tag (offset 10).
+        data[10] = 99
+        with pytest.raises(ClassFileError):
+            parse_class(bytes(data))
+
+
+class TestUnknownAttributes:
+    def test_raw_attribute_preserved(self):
+        classfile = next(iter(compile_simple().values()))
+        from repro.classfile.attributes import RawAttribute
+
+        classfile.pool.utf8("MadeUpAttribute")
+        classfile.attributes.append(
+            RawAttribute("MadeUpAttribute", b"\x01\x02\x03"))
+        data = write_class(classfile)
+        parsed = parse_class(data)
+        raw = [a for a in parsed.attributes
+               if a.name == "MadeUpAttribute"]
+        assert len(raw) == 1
+        assert raw[0].data == b"\x01\x02\x03"
+        assert write_class(parsed) == data
+
+
+class TestConstantPool:
+    def test_interning_deduplicates(self):
+        pool = cp.ConstantPool()
+        first = pool.utf8("x")
+        second = pool.utf8("x")
+        assert first == second
+
+    def test_wide_entries_take_two_slots(self):
+        pool = cp.ConstantPool()
+        long_index = pool.long_const(1)
+        next_index = pool.utf8("after")
+        assert next_index == long_index + 2
+        with pytest.raises(IndexError):
+            pool[long_index + 1]
+
+    def test_member_ref_resolution(self):
+        pool = cp.ConstantPool()
+        index = pool.methodref("java/lang/Object", "toString",
+                               "()Ljava/lang/String;")
+        assert pool.member_ref(index) == (
+            "java/lang/Object", "toString", "()Ljava/lang/String;")
+
+    def test_index_zero_invalid(self):
+        pool = cp.ConstantPool()
+        pool.utf8("a")
+        with pytest.raises(IndexError):
+            pool[0]
+
+    def test_float_bits_exact(self):
+        pool = cp.ConstantPool()
+        nan_bits = 0x7FC00001  # a NaN with payload
+        index = pool.add(cp.FloatConst(nan_bits))
+        assert pool[index].bits == nan_bits
+
+    def test_negative_zero_distinct_from_zero(self):
+        a = cp.FloatConst.from_float(0.0)
+        b = cp.FloatConst.from_float(-0.0)
+        assert a != b
+
+    def test_tag_constants(self):
+        assert ConstantTag.NAMES[ConstantTag.UTF8] == "Utf8"
+        assert MAGIC == 0xCAFEBABE

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.classfile.classfile import parse_class
+from repro.jar.jarfile import read_jar
+from repro.pack.equivalence import semantic_equal
+
+GREETER = """
+package hello;
+
+public class Greeter {
+    String name;
+
+    public Greeter(String name) { this.name = name; }
+
+    public String greet() { return "Hello, " + name + "!"; }
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "Greeter.java"
+    path.write_text(GREETER)
+    return path
+
+
+class TestCompile:
+    def test_compile_to_jar(self, tmp_path, source_file, capsys):
+        output = tmp_path / "out.jar"
+        assert main(["compile", str(source_file),
+                     "-o", str(output)]) == 0
+        entries = read_jar(output.read_bytes())
+        assert [name for name, _ in entries] == ["hello/Greeter.class"]
+        parse_class(entries[0][1])
+
+
+class TestPackUnpack:
+    def _compile(self, tmp_path, source_file):
+        jar = tmp_path / "g.jar"
+        main(["compile", str(source_file), "-o", str(jar)])
+        return jar
+
+    def test_pack_then_unpack(self, tmp_path, source_file):
+        jar = self._compile(tmp_path, source_file)
+        packed = tmp_path / "g.pack"
+        restored = tmp_path / "restored.jar"
+        assert main(["pack", str(jar), "-o", str(packed)]) == 0
+        assert main(["unpack", str(packed), "-o", str(restored)]) == 0
+        original = parse_class(dict(read_jar(jar.read_bytes()))
+                               ["hello/Greeter.class"])
+        roundtripped = parse_class(
+            dict(read_jar(restored.read_bytes()))["hello/Greeter.class"])
+        assert semantic_equal(original, roundtripped)
+
+    def test_pack_is_smaller(self, tmp_path, source_file):
+        jar = self._compile(tmp_path, source_file)
+        packed = tmp_path / "g.pack"
+        main(["pack", str(jar), "-o", str(packed), "--strip"])
+        raw = sum(len(data) for _, data in read_jar(jar.read_bytes()))
+        assert packed.stat().st_size < raw
+
+    def test_pack_directory_input(self, tmp_path, source_file):
+        jar = self._compile(tmp_path, source_file)
+        tree = tmp_path / "classes" / "hello"
+        tree.mkdir(parents=True)
+        for name, data in read_jar(jar.read_bytes()):
+            (tmp_path / "classes" / name).write_bytes(data)
+        packed = tmp_path / "g.pack"
+        assert main(["pack", str(tmp_path / "classes"),
+                     "-o", str(packed)]) == 0
+
+    def test_scheme_flags_respected(self, tmp_path, source_file):
+        jar = self._compile(tmp_path, source_file)
+        default = tmp_path / "a.pack"
+        basic = tmp_path / "b.pack"
+        main(["pack", str(jar), "-o", str(default)])
+        main(["pack", str(jar), "-o", str(basic), "--scheme", "basic"])
+        assert default.read_bytes() != basic.read_bytes()
+        restored = tmp_path / "r.jar"
+        assert main(["unpack", str(basic), "-o", str(restored),
+                     "--scheme", "basic"]) == 0
+
+    def test_preload_flag_roundtrips(self, tmp_path, source_file):
+        jar = self._compile(tmp_path, source_file)
+        packed = tmp_path / "p.pack"
+        restored = tmp_path / "r.jar"
+        main(["pack", str(jar), "-o", str(packed), "--preload"])
+        assert main(["unpack", str(packed), "-o", str(restored),
+                     "--preload"]) == 0
+
+    def test_missing_classes_errors(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["pack", str(empty), "-o", str(tmp_path / "x.pack")])
+
+
+class TestInspect:
+    def test_inspect_output(self, tmp_path, source_file, capsys):
+        jar = tmp_path / "g.jar"
+        main(["compile", str(source_file), "-o", str(jar)])
+        capsys.readouterr()
+        assert main(["inspect", str(jar)]) == 0
+        output = capsys.readouterr().out
+        assert "hello/Greeter" in output
+        assert "component breakdown" in output
+
+
+class TestBench:
+    def test_bench_suite(self, capsys):
+        assert main(["bench", "Hanoi_jax"]) == 0
+        output = capsys.readouterr().out
+        assert "Packed" in output and "Jazz" in output

@@ -1,0 +1,106 @@
+"""Tests for the dual-mode (whole vs per-stream) zlib container."""
+
+import zlib
+
+from repro.coding.streams import StreamReader, StreamSet
+
+
+def roundtrip(streams, compress=True):
+    data = streams.serialize(compress=compress)
+    return data, StreamReader(data, compressed=compress)
+
+
+class TestModeSelection:
+    def test_raw_mode_flag(self):
+        streams = StreamSet()
+        streams.stream("a").raw(b"xyz")
+        data = streams.serialize(compress=False)
+        assert data[0] == StreamSet.MODE_RAW
+
+    def test_small_archives_pick_whole(self):
+        """Many tiny streams: per-stream zlib headers dominate, so the
+        whole-container mode must win."""
+        streams = StreamSet()
+        for index in range(20):
+            streams.stream(f"s{index}").raw(b"ab" * 4)
+        data = streams.serialize()
+        assert data[0] == StreamSet.MODE_WHOLE
+
+    def test_modes_always_decode_identically(self):
+        payloads = {
+            "empty": b"",
+            "text": b"the quick brown fox " * 50,
+            "binary": bytes(range(256)) * 8,
+        }
+        for compress in (True, False):
+            streams = StreamSet()
+            for name, payload in payloads.items():
+                streams.stream(name).raw(payload)
+            _, reader = roundtrip(streams, compress)
+            for name, payload in payloads.items():
+                assert reader.stream(name).raw(len(payload)) == payload
+
+    def test_per_stream_mode_decodes(self):
+        """Force-decode the per-stream layout (mode byte 2) even if the
+        selector would have picked the other mode."""
+        streams = StreamSet()
+        streams.stream("a").raw(b"A" * 500)
+        streams.stream("b").raw(bytes(range(256)))
+        framed = streams._frame(lambda p: zlib.compress(p, 9))
+        data = bytes([StreamSet.MODE_PER_STREAM]) + framed
+        reader = StreamReader(data, compressed=True)
+        assert reader.stream("a").raw(500) == b"A" * 500
+        assert reader.stream("b").raw(256) == bytes(range(256))
+
+    def test_per_stream_keeps_incompressible_raw(self):
+        """Inside the per-stream layout, a stream that zlib would
+        inflate is stored raw (flag 0)."""
+        import os
+
+        streams = StreamSet()
+        incompressible = bytes(
+            (i * 197 + 11) % 256 for i in range(64))
+        streams.stream("noise").raw(incompressible)
+        framed = streams._frame(lambda p: zlib.compress(p, 9))
+        # Locate the flag byte: count(1) name_len(1) name payload...
+        # First byte after the name is the flag.
+        name = b"noise"
+        pos = framed.index(name) + len(name)
+        assert framed[pos] in (0, 1)
+        data = bytes([StreamSet.MODE_PER_STREAM]) + framed
+        reader = StreamReader(data, compressed=True)
+        assert reader.stream("noise").raw(64) == incompressible
+
+    def test_unknown_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            StreamReader(b"\x07abc", compressed=True)
+
+    def test_empty_container_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            StreamReader(b"", compressed=True)
+
+
+class TestEndToEndModes:
+    def test_big_suite_picks_best_of_both(self):
+        """The packed archive never exceeds either single-mode size."""
+        from repro.corpus.suites import generate_suite
+        from repro.ir.build import build_archive
+        from repro.jar.formats import strip_classes
+        from repro.pack.compressor import Compressor
+        from repro.pack.options import PackOptions
+
+        classes = strip_classes(generate_suite("jess"))
+        archive = build_archive(
+            [classes[key] for key in sorted(classes)])
+        compressor = Compressor(PackOptions())
+        packed = compressor.pack(archive)
+        streams = compressor.streams
+        whole = len(zlib.compress(streams._frame(), 9)) + 1
+        per_stream = len(streams._frame(
+            lambda p: zlib.compress(p, 9))) + 1
+        header = 6  # magic + version + compress flag
+        assert len(packed) == header + min(whole, per_stream)

@@ -1,0 +1,87 @@
+"""Tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.classfile.classfile import write_class
+from repro.classfile.verify import verify_class
+from repro.corpus.generator import SuiteSpec, generate_sources
+from repro.corpus.suites import (
+    SUITE_ORDER,
+    SUITE_SPECS,
+    generate_suite,
+    suite_names,
+)
+from repro.minijava import compile_sources
+
+
+class TestGenerator:
+    def test_deterministic_sources(self):
+        spec = SUITE_SPECS["Hanoi"]
+        assert generate_sources(spec) == generate_sources(spec)
+
+    def test_different_seeds_differ(self):
+        base = SUITE_SPECS["Hanoi"]
+        other = SuiteSpec("variant", seed=base.seed + 1,
+                          packages=base.packages,
+                          classes_per_package=base.classes_per_package)
+        assert generate_sources(base) != generate_sources(other)
+
+    def test_class_count_matches_spec(self):
+        spec = SuiteSpec("t", seed=5, packages=3, classes_per_package=4)
+        sources = generate_sources(spec)
+        assert len(sources) == 12
+
+    def test_table_fraction_adds_constant_tables(self):
+        spec = SuiteSpec("t", seed=6, packages=1, classes_per_package=4,
+                         table_fraction=1.0, table_size=16)
+        sources = generate_sources(spec)
+        assert any("initTables" in source for source in sources)
+
+    def test_generated_sources_compile_and_verify(self):
+        spec = SuiteSpec("t", seed=7, packages=2, classes_per_package=3)
+        classes = compile_sources(generate_sources(spec))
+        for classfile in classes.values():
+            verify_class(classfile)
+
+
+class TestSuites:
+    def test_all_nineteen_defined(self):
+        assert len(SUITE_ORDER) == 19
+        for expected in ("rt", "swingall", "javac", "mpegaudio",
+                         "compress", "jess", "raytrace", "db", "jack"):
+            assert expected in SUITE_SPECS
+
+    def test_rt_is_largest(self):
+        counts = {name: SUITE_SPECS[name].class_count
+                  for name in SUITE_ORDER}
+        assert counts["rt"] == max(counts.values())
+
+    def test_generate_suite_cached_and_isolated(self):
+        first = generate_suite("Hanoi")
+        second = generate_suite("Hanoi")
+        assert set(first) == set(second)
+        # Mutating one copy must not leak into the cache.
+        victim = next(iter(first.values()))
+        victim.interfaces = [999]
+        third = generate_suite("Hanoi")
+        assert {write_class(c) for c in second.values()} == \
+            {write_class(c) for c in third.values()}
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(KeyError):
+            generate_suite("nope")
+
+    def test_small_only_filter(self):
+        small = suite_names(small_only=True)
+        assert "Hanoi" in small
+        assert "rt" not in small
+
+    def test_suites_carry_debug_info(self):
+        suite = generate_suite("Hanoi")
+        classfile = next(iter(suite.values()))
+        assert any(a.name == "SourceFile" for a in classfile.attributes)
+
+    @pytest.mark.parametrize("name", ["Hanoi", "db", "compress"])
+    def test_small_suites_verify(self, name):
+        for classfile in generate_suite(name).values():
+            verify_class(classfile)

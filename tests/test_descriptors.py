@@ -1,0 +1,107 @@
+"""Tests for descriptor parsing/construction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.classfile.descriptors import (
+    DescriptorError,
+    argument_slots,
+    build_method_descriptor,
+    class_name_of,
+    object_descriptor,
+    parse_field_descriptor,
+    parse_method_descriptor,
+    slot_width,
+)
+
+
+class TestFieldDescriptors:
+    def test_primitives(self):
+        for descriptor in "BCDFIJSZ":
+            assert parse_field_descriptor(descriptor) == descriptor
+
+    def test_object(self):
+        assert parse_field_descriptor("Ljava/lang/String;") == \
+            "Ljava/lang/String;"
+
+    def test_arrays(self):
+        assert parse_field_descriptor("[I") == "[I"
+        assert parse_field_descriptor("[[Ljava/lang/Object;") == \
+            "[[Ljava/lang/Object;"
+
+    def test_void_rejected(self):
+        with pytest.raises(DescriptorError):
+            parse_field_descriptor("V")
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(DescriptorError):
+            parse_field_descriptor("II")
+
+    def test_unterminated_class_rejected(self):
+        with pytest.raises(DescriptorError):
+            parse_field_descriptor("Ljava/lang/String")
+
+    def test_bare_array_rejected(self):
+        with pytest.raises(DescriptorError):
+            parse_field_descriptor("[")
+
+
+class TestMethodDescriptors:
+    def test_no_args(self):
+        assert parse_method_descriptor("()V") == ([], "V")
+
+    def test_mixed_args(self):
+        args, ret = parse_method_descriptor(
+            "(I[JLjava/lang/String;D)Ljava/lang/Object;")
+        assert args == ["I", "[J", "Ljava/lang/String;", "D"]
+        assert ret == "Ljava/lang/Object;"
+
+    def test_build_is_inverse(self):
+        descriptor = "(I[JLjava/lang/String;D)V"
+        args, ret = parse_method_descriptor(descriptor)
+        assert build_method_descriptor(args, ret) == descriptor
+
+    def test_missing_paren_rejected(self):
+        with pytest.raises(DescriptorError):
+            parse_method_descriptor("I)V")
+        with pytest.raises(DescriptorError):
+            parse_method_descriptor("(IV")
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(DescriptorError):
+            parse_method_descriptor("()VV")
+
+
+class TestSlots:
+    def test_widths(self):
+        assert slot_width("I") == 1
+        assert slot_width("J") == 2
+        assert slot_width("D") == 2
+        assert slot_width("Ljava/lang/Object;") == 1
+        assert slot_width("[D") == 1
+
+    def test_argument_slots_instance(self):
+        assert argument_slots("(IJ)V", static=False) == 4
+
+    def test_argument_slots_static(self):
+        assert argument_slots("(IJ)V", static=True) == 3
+
+
+class TestClassNames:
+    def test_extract(self):
+        assert class_name_of("Ljava/lang/String;") == "java/lang/String"
+
+    def test_wrap(self):
+        assert object_descriptor("a/B") == "La/B;"
+
+    def test_extract_rejects_primitive(self):
+        with pytest.raises(DescriptorError):
+            class_name_of("I")
+
+    @given(st.lists(st.sampled_from(
+        ["I", "J", "D", "F", "Z", "[I", "Ljava/lang/String;", "[[B"]),
+        max_size=8),
+        st.sampled_from(["V", "I", "J", "Ljava/lang/Object;"]))
+    def test_roundtrip_property(self, args, ret):
+        descriptor = build_method_descriptor(args, ret)
+        assert parse_method_descriptor(descriptor) == (args, ret)

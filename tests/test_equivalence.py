@@ -1,0 +1,62 @@
+"""Tests for semantic class-file equality."""
+
+import copy
+
+from repro.classfile.transform import gc_and_sort_pool
+from repro.pack.equivalence import archives_equal, semantic_equal
+
+from helpers import compile_simple, compile_sink, ordered_values
+
+
+class TestSemanticEqual:
+    def test_identity(self):
+        classfile = next(iter(compile_simple().values()))
+        assert semantic_equal(classfile, classfile)
+
+    def test_equal_after_pool_renumbering(self):
+        classfile = next(iter(compile_sink().values()))
+        shuffled = copy.deepcopy(classfile)
+        gc_and_sort_pool(shuffled)
+        assert semantic_equal(classfile, shuffled)
+
+    def test_flag_change_detected(self):
+        classfile = next(iter(compile_simple().values()))
+        other = copy.deepcopy(classfile)
+        other.access_flags ^= 0x0010  # toggle FINAL
+        assert not semantic_equal(classfile, other)
+
+    def test_code_change_detected(self):
+        classfile = next(iter(compile_simple().values()))
+        other = copy.deepcopy(classfile)
+        for method in other.methods:
+            code = method.code()
+            if code and len(code.code) > 2:
+                mutated = bytearray(code.code)
+                # Swap a harmless-looking opcode (iconst_0 <-> iconst_1).
+                for i, b in enumerate(mutated):
+                    if b == 0x03:
+                        mutated[i] = 0x04
+                        break
+                else:
+                    continue
+                code.code = bytes(mutated)
+                break
+        assert not semantic_equal(classfile, other)
+
+    def test_member_rename_detected(self):
+        classfile = next(iter(compile_simple().values()))
+        other = copy.deepcopy(classfile)
+        member = other.methods[-1]
+        member.name_index = other.pool.utf8("renamed")
+        assert not semantic_equal(classfile, other)
+
+
+class TestArchivesEqual:
+    def test_length_mismatch(self):
+        originals = ordered_values(compile_sink())
+        assert not archives_equal(originals, originals[:-1] or [])
+
+    def test_order_matters(self):
+        originals = ordered_values(compile_simple())
+        doubled = originals + originals
+        assert archives_equal(doubled, list(doubled))

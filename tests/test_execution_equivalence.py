@@ -1,0 +1,187 @@
+"""Execution equivalence: the strongest roundtrip validation.
+
+Semantic equality of class files is a static check; here we go
+further and *run* the code.  Every static method of a suite is
+executed (with synthesized arguments) on the original class files and
+on the class files recovered from a packed archive; observable
+behaviour — return value, console output, thrown exception class —
+must be identical.
+"""
+
+import pytest
+
+from repro.classfile.constants import AccessFlags
+from repro.classfile.descriptors import parse_method_descriptor
+from repro.corpus.suites import generate_suite
+from repro.jar.formats import strip_classes
+from repro.jvm import JavaThrow, JLong, Machine, MachineError
+from repro.jvm.natives import NativeError
+from repro.jvm.values import JavaArray, JavaObject, JFloat
+from repro.minijava import compile_sources
+from repro.pack import PackOptions, pack_archive, unpack_archive
+
+MAX_STEPS = 150_000
+
+
+def _default_argument(descriptor: str):
+    if descriptor in ("I", "B", "S", "C", "Z"):
+        return 3
+    if descriptor == "J":
+        return JLong(7)
+    if descriptor == "F":
+        return JFloat(1.5)
+    if descriptor == "D":
+        return 2.5
+    if descriptor == "Ljava/lang/String;":
+        return "probe"
+    if descriptor.startswith("["):
+        return JavaArray.new(descriptor[1:], 4)
+    return None
+
+
+def _normalize(value):
+    """Make results comparable across separate machines."""
+    if isinstance(value, JavaObject):
+        return ("object", value.class_name)
+    if isinstance(value, JavaArray):
+        return ("array", value.element_descriptor,
+                [_normalize(v) for v in value.elements])
+    if isinstance(value, JFloat):
+        return ("float", repr(value.value))
+    if isinstance(value, float):
+        return ("double", repr(value))
+    return value
+
+
+def observe(classfiles, class_name, method_name, descriptor,
+            is_static, ctor_descriptor=None):
+    """Run one method; return a comparable outcome tuple.
+
+    Instance methods get a receiver built with the class's first
+    constructor (arguments synthesized the same way).
+    """
+    machine = Machine(classfiles, max_steps=MAX_STEPS)
+    arg_types, _ = parse_method_descriptor(descriptor)
+    args = [_default_argument(a) for a in arg_types]
+    try:
+        if is_static:
+            result = machine.call(class_name, method_name, descriptor,
+                                  *args)
+        else:
+            ctor_args = [
+                _default_argument(a) for a in
+                parse_method_descriptor(ctor_descriptor)[0]]
+            receiver = machine.construct(class_name, ctor_descriptor,
+                                         *ctor_args)
+            result = machine.invoke(class_name, method_name,
+                                    descriptor, receiver, args)
+        outcome = ("ok", _normalize(result))
+    except JavaThrow as thrown:
+        outcome = ("throw", thrown.throwable.class_name)
+    except MachineError:
+        outcome = ("budget",)
+    except NativeError as exc:
+        outcome = ("native", str(exc))
+    return outcome + (machine.stdout(),)
+
+
+def callable_methods(classfiles):
+    """(class, method, descriptor, is_static, ctor descriptor) rows."""
+    for classfile in classfiles:
+        if classfile.access_flags & AccessFlags.INTERFACE:
+            continue
+        ctor = None
+        for member in classfile.methods:
+            if classfile.member_name(member) == "<init>":
+                ctor = classfile.member_descriptor(member)
+                break
+        for member in classfile.methods:
+            name = classfile.member_name(member)
+            if name in ("<clinit>", "<init>"):
+                continue
+            is_static = bool(member.access_flags & AccessFlags.STATIC)
+            if not is_static and ctor is None:
+                continue
+            yield (classfile.name, name,
+                   classfile.member_descriptor(member), is_static, ctor)
+
+
+@pytest.mark.parametrize("suite", ["Hanoi", "db", "Hanoi_jax"])
+def test_suite_execution_survives_packing(suite):
+    classes = strip_classes(generate_suite(suite))
+    originals = [classes[key] for key in sorted(classes)]
+    restored = unpack_archive(pack_archive(originals))
+    targets = list(callable_methods(originals))
+    assert targets, "suite should expose methods"
+    compared = 0
+    for class_name, method, descriptor, is_static, ctor in targets:
+        before = observe(originals, class_name, method, descriptor,
+                         is_static, ctor)
+        after = observe(restored, class_name, method, descriptor,
+                        is_static, ctor)
+        assert before == after, (class_name, method, descriptor)
+        compared += 1
+    assert compared >= 4
+
+
+def test_handwritten_program_output_identical():
+    source = """
+package x;
+
+public class App {
+    static int[] cache = new int[16];
+
+    static int fib(int n) {
+        if (n < 2) return n;
+        if (n < 16 && cache[n] != 0) return cache[n];
+        int r = fib(n - 1) + fib(n - 2);
+        if (n < 16) cache[n] = r;
+        return r;
+    }
+
+    public static void main(String[] args) {
+        for (int i = 1; i <= 12; i++) {
+            System.out.print(fib(i) + ",");
+        }
+        System.out.println();
+        try {
+            int boom = fib(3) / (fib(2) - 1);
+            System.out.println(boom);
+        } catch (ArithmeticException e) {
+            System.out.println("caught " + e.getMessage());
+        }
+        String s = "The Quick Fox";
+        System.out.println(s.toUpperCase() + "/" + s.toLowerCase());
+        long acc = 1L;
+        for (int i = 1; i < 21; i++) acc = acc * i;
+        System.out.println(acc);
+    }
+}
+"""
+    classes = compile_sources([source])
+    originals = list(classes.values())
+    expected = Machine(originals).run_main("x/App")
+    assert "caught / by zero" in expected
+
+    for options in (PackOptions(),
+                    PackOptions(preload=True),
+                    PackOptions(scheme="freq", use_context=False,
+                                transients=False),
+                    PackOptions(stack_state=False)):
+        restored = unpack_archive(pack_archive(originals, options),
+                                  options)
+        assert Machine(restored).run_main("x/App") == expected
+
+
+def test_jazz_roundtrip_preserves_execution():
+    from repro.baselines.jazz import jazz_pack, jazz_unpack
+
+    classes = strip_classes(generate_suite("Hanoi_jax"))
+    originals = [classes[key] for key in sorted(classes)]
+    restored = jazz_unpack(jazz_pack(originals))
+    for class_name, method, descriptor, is_static, ctor in \
+            callable_methods(originals):
+        assert observe(originals, class_name, method, descriptor,
+                       is_static, ctor) == \
+            observe(restored, class_name, method, descriptor,
+                    is_static, ctor)

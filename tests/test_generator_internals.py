@@ -1,0 +1,119 @@
+"""Tests for the corpus synthesizer's internals."""
+
+import random
+
+from repro.corpus.generator import (
+    SuiteSpec,
+    Synthesizer,
+    generate_sources,
+)
+from repro.corpus.words import NOUNS, PACKAGE_ROOTS, PHRASES, VERBS
+
+
+def make_synth(seed=1, **kwargs):
+    spec = SuiteSpec("t", seed=seed, packages=2, classes_per_package=3,
+                     **kwargs)
+    return Synthesizer(spec)
+
+
+class TestSkeletons:
+    def test_class_count(self):
+        synth = make_synth()
+        synth.build_skeletons()
+        assert len(synth.classes) == 6
+
+    def test_packages_from_roots(self):
+        synth = make_synth()
+        synth.build_skeletons()
+        packages = {cls.package for cls in synth.classes}
+        assert len(packages) == 2
+        roots = {root.replace("/", ".") for root in PACKAGE_ROOTS}
+        assert packages <= roots
+
+    def test_names_unique_per_suite(self):
+        synth = make_synth(seed=3)
+        synth.build_skeletons()
+        qualified = [cls.qualified for cls in synth.classes]
+        assert len(qualified) == len(set(qualified))
+
+    def test_interfaces_have_abstract_methods(self):
+        spec = SuiteSpec("t", seed=8, packages=2, classes_per_package=6,
+                         interface_fraction=0.5)
+        synth = Synthesizer(spec)
+        synth.build_skeletons()
+        interfaces = [cls for cls in synth.classes if cls.is_interface]
+        assert interfaces
+        for iface in interfaces:
+            assert iface.methods
+            assert not iface.fields
+
+    def test_inheritance_references_earlier_classes(self):
+        synth = make_synth(seed=5)
+        synth.build_skeletons()
+        names = {cls.qualified for cls in synth.classes}
+        for cls in synth.classes:
+            if cls.superclass is not None:
+                assert cls.superclass in names
+
+
+class TestDistributions:
+    def test_int_constants_skew_small(self):
+        synth = make_synth(seed=9)
+        values = [synth._int_constant() for _ in range(2000)]
+        small = sum(1 for v in values if v < 10)
+        large = sum(1 for v in values if v > 4096)
+        assert small > len(values) * 0.4
+        assert large < len(values) * 0.1
+
+    def test_zipf_choice_prefers_front(self):
+        synth = make_synth(seed=10)
+        items = list(range(20))
+        picks = [synth._zipf_choice(items) for _ in range(2000)]
+        first_half = sum(1 for p in picks if p < 10)
+        assert first_half > len(picks) * 0.6
+
+
+class TestRendering:
+    def test_sources_are_parseable_units(self):
+        from repro.minijava.parser import parse
+
+        for source in generate_sources(
+                SuiteSpec("t", seed=11, packages=1,
+                          classes_per_package=4)):
+            unit = parse(source)
+            assert unit.classes
+
+    def test_stringiness_controls_statement_weights(self):
+        from repro.corpus.generator import _BodyGenerator
+
+        def weight(stringiness, kind):
+            spec = SuiteSpec("t", seed=1, packages=1,
+                             classes_per_package=1,
+                             stringiness=stringiness)
+            synth = Synthesizer(spec)
+            synth.build_skeletons()
+            cls = synth.classes[0]
+            body = _BodyGenerator(synth, cls, cls.methods[0])
+            return dict(body._statement_weights())[kind]
+
+        assert weight(2.0, "stringop") > weight(0.5, "stringop")
+        assert weight(0.0, "print") == 0.0
+
+    def test_table_classes_emit_init_methods(self):
+        sources = generate_sources(
+            SuiteSpec("t", seed=13, packages=1, classes_per_package=3,
+                      table_fraction=1.0, table_size=8))
+        joined = "".join(sources)
+        assert "initTables" in joined
+        assert "table[7]" in joined
+
+    def test_vocabulary_reused(self):
+        """Method names must repeat across classes — the redundancy
+        the reference coder exploits."""
+        sources = generate_sources(
+            SuiteSpec("t", seed=14, packages=2, classes_per_package=8))
+        import re
+
+        names = re.findall(r"\b(?:public |static )+\w+ (\w+)\(",
+                           "".join(sources))
+        assert len(names) > len(set(names))

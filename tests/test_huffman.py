@@ -1,0 +1,92 @@
+"""Tests for the canonical Huffman coder (Jazz baseline substrate)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.huffman import (
+    HuffmanCoder,
+    canonical_codes,
+    code_lengths,
+)
+
+
+class TestCodeLengths:
+    def test_single_symbol(self):
+        assert code_lengths({7: 100}) == {7: 1}
+
+    def test_empty(self):
+        assert code_lengths({}) == {}
+
+    def test_two_symbols_one_bit(self):
+        lengths = code_lengths({0: 10, 1: 1})
+        assert lengths == {0: 1, 1: 1}
+
+    def test_skewed_gives_shorter_codes_to_frequent(self):
+        lengths = code_lengths({0: 100, 1: 10, 2: 10, 3: 1})
+        assert lengths[0] <= lengths[1]
+        assert lengths[1] <= lengths[3]
+
+    def test_kraft_inequality(self):
+        lengths = code_lengths({i: (i + 1) ** 2 for i in range(20)})
+        assert sum(2.0 ** -length for length in lengths.values()) <= 1.0
+
+
+class TestCanonicalCodes:
+    def test_codes_are_prefix_free(self):
+        lengths = code_lengths({i: i + 1 for i in range(10)})
+        codes = canonical_codes(lengths)
+        items = [(format(code, f"0{length}b"))
+                 for code, length in codes.values()]
+        for a in items:
+            for b in items:
+                if a != b:
+                    assert not b.startswith(a)
+
+    def test_deterministic(self):
+        frequencies = {i: (31 * i) % 17 + 1 for i in range(40)}
+        assert canonical_codes(code_lengths(frequencies)) == \
+            canonical_codes(code_lengths(frequencies))
+
+
+class TestHuffmanCoder:
+    def test_roundtrip(self):
+        frequencies = {0: 50, 1: 30, 2: 15, 3: 5}
+        coder = HuffmanCoder(frequencies)
+        symbols = [0, 1, 0, 2, 3, 0, 0, 1, 2, 0]
+        assert coder.decode(coder.encode(symbols), len(symbols)) == symbols
+
+    def test_unknown_symbol_rejected(self):
+        coder = HuffmanCoder({0: 1, 1: 1})
+        with pytest.raises(ValueError):
+            coder.encode([2])
+
+    def test_from_lengths_matches(self):
+        frequencies = {i: (i * 7) % 13 + 1 for i in range(25)}
+        original = HuffmanCoder(frequencies)
+        rebuilt = HuffmanCoder.from_lengths(original.lengths)
+        symbols = list(range(25)) * 3
+        assert rebuilt.decode(original.encode(symbols), len(symbols)) == \
+            symbols
+
+    def test_encoded_bit_length_exact(self):
+        frequencies = {0: 10, 1: 5, 2: 1}
+        coder = HuffmanCoder(frequencies)
+        symbols = [0, 0, 1, 2]
+        bits = coder.encoded_bit_length(symbols)
+        encoded = coder.encode(symbols)
+        assert (bits + 7) // 8 == len(encoded)
+
+    def test_skewed_compresses(self):
+        frequencies = {0: 1000, 1: 1, 2: 1, 3: 1}
+        coder = HuffmanCoder(frequencies)
+        symbols = [0] * 1000 + [1, 2, 3]
+        assert len(coder.encode(symbols)) < len(symbols) // 4
+
+    @given(st.lists(st.integers(min_value=0, max_value=30),
+                    min_size=1, max_size=500))
+    def test_roundtrip_property(self, symbols):
+        frequencies = {}
+        for symbol in symbols:
+            frequencies[symbol] = frequencies.get(symbol, 0) + 1
+        coder = HuffmanCoder(frequencies)
+        assert coder.decode(coder.encode(symbols), len(symbols)) == symbols

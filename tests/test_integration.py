@@ -1,0 +1,79 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import pytest
+
+from repro import (
+    PackOptions,
+    archives_equal,
+    eager_order,
+    generate_suite,
+    jar_sizes,
+    pack_archive,
+    pack_archive_with_stats,
+    strip_classes,
+    unpack_archive,
+    verify_archive,
+)
+from repro.baselines import jazz_pack
+from repro.loader import stream_define
+from repro.pack import pack_each_separately
+
+
+@pytest.mark.parametrize("suite", ["Hanoi", "db", "compress", "raytrace",
+                                   "icebrowserbean"])
+def test_full_pipeline(suite):
+    """Generate -> strip -> order -> pack -> unpack -> verify -> load."""
+    classes = strip_classes(generate_suite(suite))
+    ordered = eager_order(list(classes.values()))
+    packed = pack_archive(ordered)
+    restored = unpack_archive(packed)
+    assert archives_equal(ordered, restored)
+    verify_archive(restored)
+    loader = stream_define(packed)
+    assert len(loader.defined) == len(ordered)
+
+
+def test_headline_result_shape():
+    """The paper's headline: packed archives are a factor 2-5 smaller
+    than individually gzip'd class files (sjar), and clearly smaller
+    than whole-archive gzip (sj0r.gz) and Jazz."""
+    suite = "javac"
+    sizes = jar_sizes(generate_suite(suite))
+    classes = strip_classes(generate_suite(suite))
+    ordered = [classes[k] for k in sorted(classes)]
+    packed = len(pack_archive(ordered))
+    jazz = len(jazz_pack(ordered))
+    assert packed * 2 < sizes.sjar, "factor >= 2 over sjar"
+    assert packed < sizes.sj0r_gz
+    assert packed < jazz
+
+
+def test_sharing_across_classes_helps():
+    """Table 5's point: packing class files separately costs real bytes
+    versus one shared archive."""
+    classes = strip_classes(generate_suite("compress"))
+    ordered = [classes[k] for k in sorted(classes)]
+    together = len(pack_archive(ordered))
+    separate = pack_each_separately(ordered)
+    assert together < separate
+
+
+def test_gzip_contribution():
+    """Table 5's other point: disabling the zlib stage inflates the
+    archive substantially."""
+    classes = strip_classes(generate_suite("javac"))
+    ordered = [classes[k] for k in sorted(classes)]
+    compressed = len(pack_archive(ordered))
+    uncompressed = len(pack_archive(ordered, PackOptions(compress=False)))
+    assert uncompressed > compressed * 1.5
+
+
+def test_stats_reported_for_every_suite_category():
+    classes = strip_classes(generate_suite("jess"))
+    ordered = [classes[k] for k in sorted(classes)]
+    packed, stats = pack_archive_with_stats(ordered)
+    # stats.total counts stream payloads; the framed archive adds
+    # header + stream names, so it is slightly larger.
+    assert 0 < stats.total <= len(packed)
+    for category in ("strings", "opcodes", "ints", "refs", "misc"):
+        assert stats.by_category.get(category, 0) > 0

@@ -1,0 +1,109 @@
+"""Tests for the binary IO helpers and wire-format constants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.classfile.io import ByteReader, ByteWriter
+from repro.classfile.opcodes import OPCODES
+from repro.pack import wire
+from repro.pack.compressor import SPACES
+from repro.pack.stats import collect_stats
+
+
+class TestByteIO:
+    def test_roundtrip_all_widths(self):
+        writer = ByteWriter()
+        writer.u1(200)
+        writer.u2(60000)
+        writer.u4(4_000_000_000)
+        writer.s1(-100)
+        writer.s2(-30000)
+        writer.s4(-2_000_000_000)
+        writer.raw(b"tail")
+        reader = ByteReader(writer.getvalue())
+        assert reader.u1() == 200
+        assert reader.u2() == 60000
+        assert reader.u4() == 4_000_000_000
+        assert reader.s1() == -100
+        assert reader.s2() == -30000
+        assert reader.s4() == -2_000_000_000
+        assert reader.raw(4) == b"tail"
+        assert reader.remaining() == 0
+
+    def test_truncation_detected(self):
+        reader = ByteReader(b"\x01")
+        reader.u1()
+        with pytest.raises(ValueError):
+            reader.u2()
+
+    def test_masking_on_write(self):
+        writer = ByteWriter()
+        writer.u1(0x1FF)
+        writer.u2(0x1FFFF)
+        assert writer.getvalue() == b"\xff\xff\xff"
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_s4_roundtrip(self, value):
+        writer = ByteWriter()
+        writer.s4(value)
+        assert ByteReader(writer.getvalue()).s4() == value
+
+
+class TestWireConstants:
+    def test_pseudo_opcodes_do_not_collide_with_real(self):
+        for pseudo in wire.PSEUDO_LDC.values():
+            assert pseudo not in OPCODES
+
+    def test_pseudo_reverse_is_inverse(self):
+        for key, value in wire.PSEUDO_LDC.items():
+            assert wire.PSEUDO_LDC_REVERSE[value] == key
+
+    def test_all_streams_categorized(self):
+        names = [getattr(wire, attr) for attr in dir(wire)
+                 if attr.isupper() and
+                 isinstance(getattr(wire, attr), str) and
+                 ("." in getattr(wire, attr) or
+                  getattr(wire, attr) in ("meta", "shape"))]
+        for name in names:
+            assert name in wire.STREAM_CATEGORIES, name
+
+    def test_categories_are_the_table6_set(self):
+        assert set(wire.STREAM_CATEGORIES.values()) <= \
+            {"strings", "opcodes", "ints", "refs", "misc"}
+
+    def test_spaces_have_index_streams(self):
+        for space, stream in SPACES.items():
+            assert stream.startswith("refs.")
+            assert stream in wire.STREAM_CATEGORIES
+
+    def test_constant_kind_for_field(self):
+        assert wire.constant_kind_for_field("I") == "int"
+        assert wire.constant_kind_for_field("Z") == "int"
+        assert wire.constant_kind_for_field("J") == "long"
+        assert wire.constant_kind_for_field("F") == "float"
+        assert wire.constant_kind_for_field("D") == "double"
+        assert wire.constant_kind_for_field(
+            "Ljava/lang/String;") == "string"
+        with pytest.raises(ValueError):
+            wire.constant_kind_for_field("Ljava/lang/Object;")
+
+
+class TestStats:
+    def test_collect_stats_aggregates(self):
+        stats = collect_stats({
+            "code.opcodes": 100,
+            "refs.method": 50,
+            "str.const.chars": 25,
+            "unknown.stream": 5,
+        })
+        assert stats.total == 180
+        assert stats.by_category["opcodes"] == 100
+        assert stats.by_category["refs"] == 50
+        assert stats.by_category["strings"] == 25
+        assert stats.by_category["misc"] == 5
+        assert abs(stats.fraction("opcodes") - 100 / 180) < 1e-12
+
+    def test_empty_stats(self):
+        stats = collect_stats({})
+        assert stats.total == 0
+        assert stats.fraction("opcodes") == 0.0

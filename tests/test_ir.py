@@ -1,0 +1,147 @@
+"""Tests for the Figure 1 model: build + reconstruct."""
+
+import pytest
+
+from repro.classfile.classfile import parse_class, write_class
+from repro.classfile.verify import verify_class
+from repro.ir.build import build_archive, build_class
+from repro.ir.model import (
+    FLAG_CONSTANT_HIGH,
+    FLAG_HAS_CODE,
+    FLAG_HAS_CONSTANT,
+    FLAG_HAS_SUPER,
+    Interner,
+)
+from repro.ir.reconstruct import ReconstructError, reconstruct_class
+from repro.minijava import compile_sources
+
+from helpers import compile_shapes, compile_sink, ordered_values
+
+
+class TestInterner:
+    def test_class_ref_factoring(self):
+        interner = Interner()
+        a = interner.class_ref("java/lang/String")
+        b = interner.class_ref("java/lang/Object")
+        assert a.package is b.package  # shared PackageName object
+        assert a is interner.class_ref("java/lang/String")
+
+    def test_default_package(self):
+        ref = Interner().class_ref("Toplevel")
+        assert ref.package.name == ""
+        assert ref.internal_name == "Toplevel"
+
+    def test_type_ref_descriptors(self):
+        interner = Interner()
+        assert interner.type_ref("[[I").descriptor == "[[I"
+        assert interner.type_ref("Ljava/lang/String;").descriptor == \
+            "Ljava/lang/String;"
+
+    def test_method_ref_descriptor_rebuilt(self):
+        interner = Interner()
+        ref = interner.method_ref("A", "m", "(I[JLB;)V")
+        assert ref.descriptor == "(I[JLB;)V"
+        assert len(ref.arg_types) == 3
+
+
+class TestBuild:
+    def test_flags_set(self):
+        classes = compile_sink()
+        definition = build_class(next(iter(classes.values())))
+        assert definition.access_flags & FLAG_HAS_SUPER
+        assert any(m.access_flags & FLAG_HAS_CODE
+                   for m in definition.methods)
+
+    def test_constant_fields_flagged(self):
+        classes = compile_sources([
+            'class T { static final int A = 7;'
+            ' static final String S = "x";'
+            ' int use() { return A + S.length(); } }'])
+        definition = build_class(next(iter(classes.values())))
+        constants = [f for f in definition.fields
+                     if f.access_flags & FLAG_HAS_CONSTANT]
+        assert len(constants) == 2
+
+    def test_constant_high_flag_when_not_ldc_referenced(self):
+        # A constant never loaded by LDC in code gets the HIGH flag.
+        classes = compile_sources([
+            "class T { static final int A = 123456789; }"])
+        definition = build_class(next(iter(classes.values())))
+        field = definition.fields[0]
+        assert field.access_flags & FLAG_CONSTANT_HIGH
+
+    def test_constant_low_flag_when_ldc_referenced(self):
+        classes = compile_sources([
+            "class T { static final int A = 123456789;"
+            " int f() { return A + 123456789; } }"])
+        definition = build_class(next(iter(classes.values())))
+        field = definition.fields[0]
+        assert not field.access_flags & FLAG_CONSTANT_HIGH
+
+    def test_shared_interner_across_archive(self):
+        archive = build_archive(ordered_values(compile_shapes()))
+        circles = [d for d in archive.classes
+                   if d.this_class.simple.name == "Circle"]
+        rings = [d for d in archive.classes
+                 if d.this_class.simple.name == "Ring"]
+        assert rings[0].super_class is circles[0].this_class
+
+
+class TestReconstruct:
+    def test_roundtrip_semantics(self):
+        for classfile in compile_sink().values():
+            definition = build_class(classfile)
+            rebuilt = reconstruct_class(definition)
+            verify_class(rebuilt)
+            assert build_class(rebuilt) == build_class(classfile)
+
+    def test_reconstruction_deterministic(self):
+        classfile = next(iter(compile_sink().values()))
+        definition = build_class(classfile)
+        first = write_class(reconstruct_class(definition))
+        second = write_class(reconstruct_class(build_class(classfile)))
+        assert first == second
+
+    def test_reconstructed_parses(self):
+        for classfile in compile_shapes().values():
+            data = write_class(reconstruct_class(build_class(classfile)))
+            verify_class(parse_class(data))
+
+    def test_ldc_constants_get_low_indices(self):
+        source = "class T { int f() { return 111111" + \
+            " + 222222 + 333333; } }"
+        classfile = next(iter(compile_sources([source]).values()))
+        rebuilt = reconstruct_class(build_class(classfile))
+        from repro.classfile.bytecode import disassemble
+
+        for method in rebuilt.methods:
+            code = method.code()
+            if code is None:
+                continue
+            for instruction in disassemble(code.code):
+                if instruction.mnemonic == "ldc":
+                    assert instruction.cp_index <= 0xFF
+
+    def test_flag_without_payload_rejected(self):
+        classfile = next(iter(compile_sink().values()))
+        definition = build_class(classfile)
+        for field in definition.fields:
+            field.access_flags |= FLAG_HAS_CONSTANT
+            field.constant = None
+        with pytest.raises(ReconstructError):
+            reconstruct_class(definition)
+
+    def test_interface_count_regenerated(self):
+        classes = compile_sources([
+            "class T { void go(Runnable r, long pad) { r.run(); } }"])
+        classfile = next(iter(classes.values()))
+        rebuilt = reconstruct_class(build_class(classfile))
+        from repro.classfile.bytecode import disassemble
+
+        for method in rebuilt.methods:
+            code = method.code()
+            if code is None:
+                continue
+            for instruction in disassemble(code.code):
+                if instruction.mnemonic == "invokeinterface":
+                    assert instruction.count == 1

@@ -1,0 +1,90 @@
+"""Tests for the jar substrate and the Table 1 baseline formats."""
+
+from repro.classfile.classfile import write_class
+from repro.corpus.suites import generate_suite
+from repro.jar.formats import (
+    build_baselines,
+    jar_sizes,
+    roundtrip_jar,
+    strip_classes,
+)
+from repro.jar.jarfile import (
+    classes_to_entries,
+    gunzip_whole,
+    gzip_whole,
+    make_jar,
+    read_jar,
+)
+from repro.pack.equivalence import semantic_equal
+
+from helpers import compile_shapes, ordered_values
+
+
+class TestJarFile:
+    def test_roundtrip(self):
+        entries = [("a/B.class", b"\x01\x02"), ("c.txt", b"hello")]
+        assert read_jar(make_jar(entries)) == entries
+
+    def test_stored_mode_roundtrip(self):
+        entries = [("x.class", bytes(range(200)))]
+        data = make_jar(entries, compress=False)
+        assert read_jar(data) == entries
+
+    def test_deterministic(self):
+        entries = [("a.class", b"payload" * 50)]
+        assert make_jar(entries) == make_jar(entries)
+
+    def test_compression_effective(self):
+        entries = [("a.class", b"abcabc" * 500)]
+        assert len(make_jar(entries)) < len(make_jar(entries,
+                                                     compress=False))
+
+    def test_gzip_whole_roundtrip(self):
+        payload = b"some archive bytes" * 100
+        assert gunzip_whole(gzip_whole(payload)) == payload
+
+    def test_classes_to_entries_sorted(self):
+        entries = classes_to_entries({"b/B": b"2", "a/A": b"1"})
+        assert [name for name, _ in entries] == ["a/A.class", "b/B.class"]
+
+
+class TestFormats:
+    def test_size_ordering(self):
+        """sjar <= jar (debug stripped); sj0r.gz < sjar (whole-archive
+        compression beats per-file); sj0r largest."""
+        sizes = jar_sizes(generate_suite("icebrowserbean"))
+        assert sizes.sjar < sizes.jar
+        assert sizes.sj0r_gz < sizes.sjar
+        assert sizes.sj0r > sizes.sjar
+
+    def test_ratios(self):
+        sizes = jar_sizes(generate_suite("Hanoi"))
+        assert 0 < sizes.sjar_over_jar <= 1
+        assert 0 < sizes.sj0r_gz_over_sjar <= 1
+        assert 0 < sizes.sj0r_gz_over_sj0r < 1
+
+    def test_build_baselines_consistent_with_sizes(self):
+        suite = generate_suite("Hanoi")
+        baselines = build_baselines(suite)
+        sizes = jar_sizes(suite)
+        assert len(baselines["jar"]) == sizes.jar
+        assert len(baselines["sjar"]) == sizes.sjar
+        assert len(baselines["sj0r"]) == sizes.sj0r
+        assert len(baselines["sj0r.gz"]) == sizes.sj0r_gz
+
+    def test_strip_classes_does_not_mutate_input(self):
+        suite = generate_suite("Hanoi")
+        before = {name: write_class(c) for name, c in suite.items()}
+        strip_classes(suite)
+        after = {name: write_class(c) for name, c in suite.items()}
+        assert before == after
+
+    def test_jar_roundtrip_preserves_classes(self):
+        classes = compile_shapes()
+        entries = classes_to_entries(
+            {name: write_class(c) for name, c in classes.items()})
+        archive = make_jar(entries)
+        recovered = dict(roundtrip_jar(archive))
+        assert set(recovered) == set(classes)
+        for name, classfile in classes.items():
+            assert semantic_equal(classfile, recovered[name])

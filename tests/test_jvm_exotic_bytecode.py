@@ -1,0 +1,198 @@
+"""Interpreter tests for instructions the mini-Java compiler never
+emits — built directly with the assembler."""
+
+import pytest
+
+from repro.classfile.bytecode import SwitchData, assemble_indexed, make
+from repro.classfile.classfile import ClassFile
+from repro.classfile.constants import AccessFlags
+from repro.classfile.attributes import CodeAttribute
+from repro.classfile.members import MethodInfo
+from repro.classfile import constant_pool as cp
+from repro.classfile.stackdepth import compute_max_stack
+from repro.classfile.bytecode import disassemble
+from repro.jvm import JLong, Machine
+from repro.pack import pack_archive, unpack_archive
+
+
+def make_class(methods):
+    """Build a class 'X' with the given (name, descriptor,
+    instructions, max_locals) static methods."""
+    classfile = ClassFile()
+    pool = classfile.pool
+    classfile.this_class = pool.class_info("X")
+    classfile.super_class = pool.class_info("java/lang/Object")
+    classfile.access_flags = AccessFlags.PUBLIC | AccessFlags.SUPER
+    for name, descriptor, instructions, max_locals in methods:
+        code = assemble_indexed(instructions)
+        decoded = disassemble(code)
+        max_stack = compute_max_stack(decoded, pool)
+        member = MethodInfo(
+            AccessFlags.PUBLIC | AccessFlags.STATIC,
+            pool.utf8(name), pool.utf8(descriptor))
+        member.attributes.append(
+            CodeAttribute(max_stack, max_locals, code))
+        classfile.methods.append(member)
+    return classfile
+
+
+def run_static(classfile, name, descriptor, *args):
+    machine = Machine([classfile])
+    return machine.call("X", name, descriptor, *args)
+
+
+class TestStackJuggling:
+    def test_dup_x1(self):
+        # a b -> b a b ; compute b*100 + a*10 + b with adds/muls.
+        instructions = [
+            make("iload_0"), make("iload_1"),
+            make("dup_x1"),             # b a b
+            make("pop"), make("pop"),   # b
+            make("ireturn"),
+        ]
+        classfile = make_class([("f", "(II)I", instructions, 2)])
+        assert run_static(classfile, "f", "(II)I", 7, 9) == 9
+
+    def test_swap(self):
+        instructions = [
+            make("iload_0"), make("iload_1"),
+            make("swap"),
+            make("isub"),  # b - a
+            make("ireturn"),
+        ]
+        classfile = make_class([("f", "(II)I", instructions, 2)])
+        assert run_static(classfile, "f", "(II)I", 3, 10) == 7
+
+    def test_dup2_on_narrow_pair(self):
+        instructions = [
+            make("iload_0"), make("iload_1"),
+            make("dup2"),               # a b a b
+            make("iadd"),               # a b (a+b)
+            make("imul"),               # a (b*(a+b))
+            make("iadd"),
+            make("ireturn"),
+        ]
+        classfile = make_class([("f", "(II)I", instructions, 2)])
+        a, b = 3, 4
+        assert run_static(classfile, "f", "(II)I", a, b) == \
+            a + b * (a + b)
+
+    def test_dup2_on_long(self):
+        instructions = [
+            make("lload_0"),
+            make("dup2"),   # one long duplicated
+            make("ladd"),
+            make("lreturn"),
+        ]
+        classfile = make_class([("f", "(J)J", instructions, 2)])
+        assert run_static(classfile, "f", "(J)J", JLong(21)) == JLong(42)
+
+    def test_pop2_narrow_pair(self):
+        instructions = [
+            make("iload_0"), make("iconst_1"), make("iconst_2"),
+            make("pop2"),
+            make("ireturn"),
+        ]
+        classfile = make_class([("f", "(I)I", instructions, 1)])
+        assert run_static(classfile, "f", "(I)I", 5) == 5
+
+
+class TestExoticControl:
+    def test_lookupswitch_default(self):
+        switch = make("lookupswitch")
+        switch.switch = SwitchData(4, None, [(100, 2)])
+        instructions = [
+            make("iload_0"),        # 0
+            switch,                 # 1
+            make("iconst_1"),       # 2: case 100
+            make("ireturn"),        # 3
+            make("iconst_m1"),      # 4: default
+            make("ireturn"),        # 5
+        ]
+        classfile = make_class([("f", "(I)I", instructions, 1)])
+        assert run_static(classfile, "f", "(I)I", 100) == 1
+        assert run_static(classfile, "f", "(I)I", 5) == -1
+
+    def test_goto_w(self):
+        instructions = [
+            make("goto_w", target=2),
+            make("iconst_0"),
+            make("iconst_5"),
+            make("ireturn"),
+        ]
+        classfile = make_class([("f", "()I", instructions, 0)])
+        assert run_static(classfile, "f", "()I") == 5
+
+    def test_wide_iinc(self):
+        instructions = [
+            make("iinc", local=0, immediate=1000),  # wide form
+            make("iload_0"),
+            make("ireturn"),
+        ]
+        classfile = make_class([("f", "(I)I", instructions, 1)])
+        assert run_static(classfile, "f", "(I)I", 1) == 1001
+
+
+class TestExoticData:
+    def test_multianewarray(self):
+        classfile = ClassFile()
+        pool = classfile.pool
+        classfile.this_class = pool.class_info("X")
+        classfile.super_class = pool.class_info("java/lang/Object")
+        classfile.access_flags = AccessFlags.PUBLIC | AccessFlags.SUPER
+        instructions = [
+            make("iconst_2"), make("iconst_3"),
+            make("multianewarray",
+                 cp_index=pool.class_info("[[I"), dims=2),
+            make("iconst_1"),
+            make("aaload"),        # inner array [3]
+            make("arraylength"),
+            make("ireturn"),
+        ]
+        code = assemble_indexed(instructions)
+        member = MethodInfo(AccessFlags.STATIC, pool.utf8("f"),
+                            pool.utf8("()I"))
+        member.attributes.append(CodeAttribute(3, 0, code))
+        classfile.methods.append(member)
+        assert run_static(classfile, "f", "()I") == 3
+
+    def test_monitor_noops(self):
+        instructions = [
+            make("aload_0"), make("monitorenter"),
+            make("aload_0"), make("monitorexit"),
+            make("iconst_1"), make("ireturn"),
+        ]
+        classfile = make_class([
+            ("f", "(Ljava/lang/Object;)I", instructions, 1)])
+        from repro.jvm.values import JavaObject
+
+        assert run_static(classfile, "f", "(Ljava/lang/Object;)I",
+                          JavaObject("X")) == 1
+
+
+class TestExoticSurvivesPacking:
+    def test_handbuilt_class_roundtrips_and_runs(self):
+        instructions = [
+            make("iload_0"), make("iload_1"),
+            make("swap"), make("isub"), make("ireturn"),
+        ]
+        classfile = make_class([("f", "(II)I", instructions, 2)])
+        restored = unpack_archive(pack_archive([classfile]))[0]
+        assert run_static(restored, "f", "(II)I", 3, 10) == 7
+
+    def test_lookupswitch_survives_packing(self):
+        switch = make("lookupswitch")
+        switch.switch = SwitchData(4, None, [(-7, 2), (10000, 2)])
+        instructions = [
+            make("iload_0"),
+            switch,
+            make("iconst_1"),
+            make("ireturn"),
+            make("iconst_m1"),
+            make("ireturn"),
+        ]
+        classfile = make_class([("f", "(I)I", instructions, 1)])
+        restored = unpack_archive(pack_archive([classfile]))[0]
+        assert run_static(restored, "f", "(I)I", -7) == 1
+        assert run_static(restored, "f", "(I)I", 10000) == 1
+        assert run_static(restored, "f", "(I)I", 0) == -1

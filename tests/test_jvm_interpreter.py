@@ -1,0 +1,319 @@
+"""Tests for the JVM bytecode interpreter."""
+
+import pytest
+
+from repro.jvm import JavaThrow, JLong, Machine, MachineError
+from repro.minijava import compile_sources
+
+
+def run(source, main_class="T"):
+    classes = compile_sources([source])
+    machine = Machine(list(classes.values()))
+    return machine.run_main(main_class)
+
+
+def call(source, name, descriptor, *args, cls="T"):
+    classes = compile_sources([source])
+    machine = Machine(list(classes.values()))
+    return machine.call(cls, name, descriptor, *args)
+
+
+class TestArithmetic:
+    def test_int_basics(self):
+        source = ("class T { static int f(int a, int b) {"
+                  " return (a + b) * (a - b) / 2 % 7; } }")
+        assert call(source, "f", "(II)I", 10, 4) == \
+            ((10 + 4) * (10 - 4) // 2) % 7
+
+    def test_int_overflow_wraps(self):
+        source = ("class T { static int f(int a) { return a + 1; } }")
+        assert call(source, "f", "(I)I", 0x7FFFFFFF) == -0x80000000
+
+    def test_java_division_truncates_toward_zero(self):
+        source = "class T { static int f(int a, int b) { return a / b; } }"
+        assert call(source, "f", "(II)I", -7, 2) == -3
+        source = "class T { static int f(int a, int b) { return a % b; } }"
+        assert call(source, "f", "(II)I", -7, 2) == -1
+
+    def test_long_arithmetic(self):
+        source = ("class T { static long f(int n) {"
+                  " long r = 1L;"
+                  " for (int i = 1; i <= n; i++) r = r * i;"
+                  " return r; } }")
+        assert call(source, "f", "(I)J", 20) == JLong(2432902008176640000)
+
+    def test_shifts(self):
+        source = ("class T { static int f(int a) {"
+                  " return (a << 3) ^ (a >> 1) ^ (a >>> 1); } }")
+        a = -1024
+        expected = ((a << 3) ^ (a >> 1) ^ ((a & 0xFFFFFFFF) >> 1))
+        expected = ((expected + 2**31) % 2**32) - 2**31
+        assert call(source, "f", "(I)I", a) == expected
+
+    def test_double_math(self):
+        source = ("class T { static double f(double x) {"
+                  " return Math.sqrt(x) * Math.sqrt(x); } }")
+        assert abs(call(source, "f", "(D)D", 2.0) - 2.0) < 1e-12
+
+    def test_division_by_zero_throws(self):
+        source = "class T { static int f(int a) { return 1 / a; } }"
+        with pytest.raises(JavaThrow) as info:
+            call(source, "f", "(I)I", 0)
+        assert info.value.throwable.class_name == \
+            "java/lang/ArithmeticException"
+
+
+class TestControlFlow:
+    def test_recursion(self):
+        source = ("class T { static int fib(int n) {"
+                  " if (n < 2) return n;"
+                  " return fib(n-1) + fib(n-2); } }")
+        assert call(source, "fib", "(I)I", 15) == 610
+
+    def test_loops_and_conditions(self):
+        source = ("class T { static int f(int n) { int s = 0;"
+                  " for (int i = 0; i < n; i++) {"
+                  "   if (i % 3 == 0 || i % 5 == 0) s += i; }"
+                  " return s; } }")
+        expected = sum(i for i in range(100)
+                       if i % 3 == 0 or i % 5 == 0)
+        assert call(source, "f", "(I)I", 100) == expected
+
+    def test_tableswitch_and_lookupswitch(self):
+        source = ("class T { static int f(int v) {"
+                  " int r = 0;"
+                  " switch (v) { case 0: r = 10; break;"
+                  "  case 1: r = 11; break; case 2: r = 12; break;"
+                  "  default: r = -1; }"
+                  " switch (v * 1000) { case 0: return r;"
+                  "  case 1000: return r * 2; case 2000: return r * 3; }"
+                  " return r * 100; } }")
+        assert call(source, "f", "(I)I", 0) == 10
+        assert call(source, "f", "(I)I", 1) == 22
+        assert call(source, "f", "(I)I", 2) == 36
+        assert call(source, "f", "(I)I", 9) == -100
+
+    def test_while_with_break_continue(self):
+        source = ("class T { static int f() { int i = 0; int s = 0;"
+                  " while (true) { i++; if (i > 10) break;"
+                  "  if (i % 2 == 0) continue; s += i; }"
+                  " return s; } }")
+        assert call(source, "f", "()I") == 1 + 3 + 5 + 7 + 9
+
+    def test_infinite_loop_detected(self):
+        source = "class T { static void f() { while (true) { } } }"
+        classes = compile_sources([source])
+        machine = Machine(list(classes.values()), max_steps=10_000)
+        with pytest.raises(MachineError):
+            machine.call("T", "f", "()V")
+
+
+class TestObjects:
+    def test_fields_and_methods(self):
+        source = """
+class T {
+    int counter;
+
+    public T(int start) { this.counter = start; }
+
+    int bump() { counter = counter + 1; return counter; }
+
+    static int f() {
+        T t = new T(40);
+        t.bump();
+        return t.bump();
+    }
+}
+"""
+        assert call(source, "f", "()I") == 42
+
+    def test_inheritance_and_dispatch(self):
+        sources = ["""
+class Base {
+    int value() { return 1; }
+    int doubled() { return value() * 2; }
+}
+""", """
+class Derived extends Base {
+    int value() { return 21; }
+}
+""", """
+class T {
+    static int f() {
+        Base b = new Derived();
+        return b.doubled();
+    }
+}
+"""]
+        classes = compile_sources(sources)
+        machine = Machine(list(classes.values()))
+        assert machine.call("T", "f", "()I") == 42
+
+    def test_super_call(self):
+        sources = ["""
+class Base {
+    int cost() { return 10; }
+}
+""", """
+class Derived extends Base {
+    int cost() { return super.cost() + 5; }
+}
+""", """
+class T {
+    static int f() { return new Derived().cost(); }
+}
+"""]
+        classes = compile_sources(sources)
+        assert Machine(list(classes.values())).call("T", "f", "()I") == 15
+
+    def test_interface_dispatch(self):
+        sources = ["""
+interface Scorer { int score(); }
+""", """
+class Ten implements Scorer {
+    public int score() { return 10; }
+}
+""", """
+class T {
+    static int f(Scorer s) { return s.score() + 1; }
+    static int go() { return f(new Ten()); }
+}
+"""]
+        classes = compile_sources(sources)
+        assert Machine(list(classes.values())).call("T", "go", "()I") == 11
+
+    def test_instanceof_and_cast(self):
+        sources = ["""
+class Animal { }
+""", """
+class Dog extends Animal {
+    int legs() { return 4; }
+}
+""", """
+class T {
+    static int f(Object o) {
+        if (o instanceof Dog) { return ((Dog) o).legs(); }
+        return 0;
+    }
+    static int go() { return f(new Dog()) + f(new Animal()); }
+}
+"""]
+        classes = compile_sources(sources)
+        assert Machine(list(classes.values())).call("T", "go", "()I") == 4
+
+    def test_null_pointer_throws(self):
+        source = ("class T { int x;"
+                  " static int f(T t) { return t.x; } }")
+        with pytest.raises(JavaThrow) as info:
+            call(source, "f", "(LT;)I", None)
+        assert info.value.throwable.class_name == \
+            "java/lang/NullPointerException"
+
+    def test_static_fields_and_clinit(self):
+        source = ("class T { static int[] table = new int[3];"
+                  " static final int BASE = 100;"
+                  " static int f() { table[1] = BASE + 1;"
+                  "  return table[0] + table[1]; } }")
+        assert call(source, "f", "()I") == 101
+
+
+class TestExceptions:
+    def test_try_catch(self):
+        source = """
+class T {
+    static int f(int d) {
+        try {
+            return 100 / d;
+        } catch (ArithmeticException e) {
+            return -1;
+        }
+    }
+}
+"""
+        assert call(source, "f", "(I)I", 4) == 25
+        assert call(source, "f", "(I)I", 0) == -1
+
+    def test_throw_and_catch_user_message(self):
+        source = """
+class T {
+    static String f(int v) {
+        try {
+            if (v < 0) {
+                throw new IllegalArgumentException("negative!");
+            }
+            return "ok";
+        } catch (IllegalArgumentException e) {
+            return e.getMessage();
+        }
+    }
+}
+"""
+        assert call(source, "f", "(I)Ljava/lang/String;", 1) == "ok"
+        assert call(source, "f", "(I)Ljava/lang/String;", -1) == \
+            "negative!"
+
+    def test_catch_by_supertype(self):
+        source = """
+class T {
+    static int f() {
+        try {
+            int[] a = new int[2];
+            return a[5];
+        } catch (RuntimeException e) {
+            return -2;
+        }
+    }
+}
+"""
+        assert call(source, "f", "()I") == -2
+
+    def test_uncaught_propagates(self):
+        source = ("class T { static int f() { int[] a = new int[1];"
+                  " return a[9]; } }")
+        with pytest.raises(JavaThrow):
+            call(source, "f", "()I")
+
+
+class TestStrings:
+    def test_concat_and_methods(self):
+        source = """
+class T {
+    static String f(String name, int count) {
+        String s = "hello " + name + " x" + count;
+        return s.toUpperCase().trim();
+    }
+}
+"""
+        assert call(source, "f",
+                    "(Ljava/lang/String;I)Ljava/lang/String;",
+                    "world", 3) == "HELLO WORLD X3"
+
+    def test_char_handling(self):
+        source = """
+class T {
+    static int f(String s) {
+        int vowels = 0;
+        for (int i = 0; i < s.length(); i++) {
+            char c = s.charAt(i);
+            if (c == 'a' || c == 'e' || c == 'i' ||
+                c == 'o' || c == 'u') { vowels++; }
+        }
+        return vowels;
+    }
+}
+"""
+        assert call(source, "f", "(Ljava/lang/String;)I",
+                    "the quick brown fox") == 5
+
+    def test_println_output(self):
+        source = """
+class T {
+    public static void main(String[] args) {
+        System.out.println("line one");
+        System.out.println(2 + 2);
+        System.out.println(1.5 + 0.25);
+        System.out.println(true);
+    }
+}
+"""
+        assert run(source) == "line one\n4\n1.75\ntrue\n"

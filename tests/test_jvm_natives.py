@@ -1,0 +1,172 @@
+"""Tests for the java.* native stubs."""
+
+import pytest
+
+from repro.jvm import JavaThrow, Machine
+from repro.minijava import compile_sources
+
+
+def call(source, name, descriptor, *args):
+    classes = compile_sources([source])
+    machine = Machine(list(classes.values()))
+    return machine.call("T", name, descriptor, *args), machine
+
+
+class TestStringNatives:
+    def test_string_methods_via_bytecode(self):
+        source = """
+class T {
+    static String f(String s) {
+        String t = s.trim().toUpperCase();
+        return t.substring(0, 3) + ":" + t.length() + ":" +
+               t.indexOf("Z") + ":" + t.charAt(1);
+    }
+}
+"""
+        result, _ = call(source, "f",
+                         "(Ljava/lang/String;)Ljava/lang/String;",
+                         "  abc  ")
+        # charAt returns a char (int); concatenation of a char appends
+        # the character itself in Java; our compiler types charAt as C
+        # and appends via the (C) overload.
+        assert result == "ABC:3:-1:B"
+
+    def test_string_equals_and_compare(self):
+        source = """
+class T {
+    static int f(String a, String b) {
+        int r = 0;
+        if (a.equals(b)) r += 1;
+        if (a.compareTo(b) < 0) r += 2;
+        return r;
+    }
+}
+"""
+        result, _ = call(source, "f",
+                         "(Ljava/lang/String;Ljava/lang/String;)I",
+                         "apple", "banana")
+        assert result == 2
+
+    def test_charat_out_of_range_throws(self):
+        source = ("class T { static char f(String s) {"
+                  " return s.charAt(99); } }")
+        with pytest.raises(JavaThrow) as info:
+            call(source, "f", "(Ljava/lang/String;)C", "hi")
+        assert "IndexOutOfBounds" in info.value.throwable.class_name
+
+
+class TestMathNatives:
+    def test_functions(self):
+        source = """
+class T {
+    static double f() {
+        return Math.sqrt(16.0) + Math.abs(0.0 - 2.0) +
+               Math.floor(2.9) + Math.ceil(2.1) +
+               Math.max(1.0, 5.0) + Math.min(1.0, 5.0) +
+               Math.pow(2.0, 10.0);
+    }
+}
+"""
+        result, _ = call(source, "f", "()D")
+        assert result == 4 + 2 + 2 + 3 + 5 + 1 + 1024
+
+    def test_int_overloads(self):
+        source = ("class T { static int f(int a) {"
+                  " return Math.abs(a) + Math.max(a, 10)"
+                  " + Math.min(a, 10); } }")
+        result, _ = call(source, "f", "(I)I", -4)
+        assert result == 4 + 10 + (-4)
+
+    def test_constants(self):
+        source = "class T { static double f() { return Math.PI; } }"
+        result, _ = call(source, "f", "()D")
+        import math
+
+        assert result == math.pi
+
+
+class TestCollections:
+    def test_vector(self):
+        source = """
+class T {
+    static int f() {
+        Vector v = new Vector();
+        v.addElement("a");
+        v.addElement("b");
+        v.addElement("c");
+        v.removeElementAt(1);
+        int r = v.size();
+        if (v.contains("c")) r += 10;
+        String first = (String) v.elementAt(0);
+        return r + first.length();
+    }
+}
+"""
+        result, _ = call(source, "f", "()I")
+        assert result == 2 + 10 + 1
+
+    def test_hashtable(self):
+        source = """
+class T {
+    static int f() {
+        Hashtable h = new Hashtable();
+        h.put("one", "1");
+        h.put("two", "2");
+        h.put("one", "uno");
+        int r = h.size();
+        if (h.containsKey("two")) r += 10;
+        String v = (String) h.get("one");
+        return r + v.length();
+    }
+}
+"""
+        result, _ = call(source, "f", "()I")
+        assert result == 2 + 10 + 3
+
+
+class TestParsers:
+    def test_integer_parse(self):
+        source = ("class T { static int f(String s) {"
+                  " return Integer.parseInt(s) * 2; } }")
+        result, _ = call(source, "f", "(Ljava/lang/String;)I", " 21 ")
+        assert result == 42
+
+    def test_parse_failure_throws(self):
+        source = ("class T { static int f(String s) {"
+                  " return Integer.parseInt(s); } }")
+        with pytest.raises(JavaThrow):
+            call(source, "f", "(Ljava/lang/String;)I", "not a number")
+
+
+class TestSystem:
+    def test_print_variants(self):
+        source = """
+class T {
+    static void f() {
+        System.out.print("a");
+        System.out.print(1);
+        System.out.print(2L);
+        System.out.print('x');
+        System.out.print(true);
+        System.out.println();
+        System.err.println("to stderr");
+    }
+}
+"""
+        _, machine = call(source, "f", "()V")
+        assert machine.stdout() == "a12xtrue\nto stderr\n"
+
+    def test_arraycopy(self):
+        source = """
+class T {
+    static int f() {
+        int[] src = new int[5];
+        for (int i = 0; i < 5; i++) src[i] = i + 1;
+        int[] dst = new int[5];
+        System.arraycopy(src, 1, dst, 0, 3);
+        return dst[0] * 100 + dst[1] * 10 + dst[2];
+    }
+}
+"""
+        result, _ = call(source, "f", "()I")
+        assert result == 234

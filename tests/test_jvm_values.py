@@ -1,0 +1,105 @@
+"""Tests for the interpreter's value model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.jvm.values import (
+    JavaArray,
+    JavaObject,
+    JFloat,
+    JLong,
+    default_value,
+    format_java_double,
+    java_string_of,
+    to_byte,
+    to_char,
+    to_f32,
+    to_int,
+    to_long,
+    to_short,
+)
+
+
+class TestWrapping:
+    def test_int_wrap(self):
+        assert to_int(0x80000000) == -0x80000000
+        assert to_int(-0x80000001) == 0x7FFFFFFF
+        assert to_int(42) == 42
+
+    def test_long_wrap(self):
+        assert to_long(1 << 63) == -(1 << 63)
+        assert to_long((1 << 63) - 1) == (1 << 63) - 1
+
+    def test_narrow_conversions(self):
+        assert to_byte(0x80) == -128
+        assert to_byte(0x7F) == 127
+        assert to_short(0x8000) == -0x8000
+        assert to_char(-1) == 0xFFFF
+
+    @given(st.integers())
+    def test_int_wrap_idempotent(self, value):
+        assert to_int(to_int(value)) == to_int(value)
+        assert -(1 << 31) <= to_int(value) < (1 << 31)
+
+    @given(st.integers())
+    def test_long_range(self, value):
+        assert -(1 << 63) <= to_long(value) < (1 << 63)
+
+
+class TestTypedWrappers:
+    def test_jlong_normalizes(self):
+        assert JLong(1 << 63).value == -(1 << 63)
+        assert JLong(5) == JLong(5)
+
+    def test_jfloat_rounds_to_single(self):
+        assert JFloat(0.1).value != 0.1  # 0.1 is not representable
+        assert JFloat(0.5).value == 0.5
+        assert to_f32(1e40) == float("inf")
+
+
+class TestArrays:
+    def test_defaults(self):
+        assert JavaArray.new("I", 3).elements == [0, 0, 0]
+        assert JavaArray.new("J", 1).elements == [JLong(0)]
+        assert JavaArray.new("Ljava/lang/String;", 2).elements == \
+            [None, None]
+        assert JavaArray.new("D", 1).elements == [0.0]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            JavaArray.new("I", -1)
+
+    def test_length(self):
+        assert JavaArray.new("I", 7).length == 7
+
+
+class TestStringification:
+    def test_primitives(self):
+        assert java_string_of(None) == "null"
+        assert java_string_of(42) == "42"
+        assert java_string_of(JLong(9)) == "9"
+        assert java_string_of("x") == "x"
+
+    def test_doubles_java_style(self):
+        assert java_string_of(2.0) == "2.0"
+        assert java_string_of(float("nan")) == "NaN"
+        assert java_string_of(float("inf")) == "Infinity"
+        assert java_string_of(float("-inf")) == "-Infinity"
+
+    def test_format_java_double_fractional(self):
+        assert format_java_double(1.25) == "1.25"
+
+    def test_objects(self):
+        instance = JavaObject("a/B")
+        assert java_string_of(instance).startswith("a/B@")
+
+
+class TestDefaults:
+    def test_default_values(self):
+        assert default_value("I") == 0
+        assert default_value("Z") == 0
+        assert default_value("J") == JLong(0)
+        assert default_value("F") == JFloat(0.0)
+        assert default_value("D") == 0.0
+        assert default_value("Ljava/lang/String;") is None
+        assert default_value("[I") is None

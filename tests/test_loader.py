@@ -1,0 +1,90 @@
+"""Tests for the eager class-loading simulation (Section 11)."""
+
+import pytest
+
+from repro.corpus.suites import generate_suite
+from repro.jar.formats import strip_classes
+from repro.loader.eager import (
+    EagerClassLoader,
+    EagerLoadError,
+    eager_order,
+    stream_define,
+)
+from repro.minijava import compile_sources
+from repro.pack import pack_archive
+
+from helpers import compile_shapes, ordered_values
+
+
+class TestEagerOrder:
+    def test_super_before_subclass(self):
+        classes = ordered_values(compile_shapes())
+        ordered = eager_order(classes)
+        names = [c.name for c in ordered]
+        assert names.index("demo/shapes/Circle") < \
+            names.index("demo/shapes/Ring")
+        assert names.index("demo/shapes/Shape") < \
+            names.index("demo/shapes/Circle")
+
+    def test_order_is_stable(self):
+        classes = ordered_values(compile_shapes())
+        assert [c.name for c in eager_order(classes)] == \
+            [c.name for c in eager_order(classes)]
+
+    def test_suite_ordering_valid(self):
+        classes = list(generate_suite("tools").values())
+        loader = EagerClassLoader()
+        loader.define_all(eager_order(classes))
+        assert len(loader.defined) == len(classes)
+
+    def test_cycle_detected(self):
+        # Inheritance cycles are illegal in Java; our compiler cannot
+        # produce one, so splice it at the class-file level.
+        classes = compile_sources([
+            "class A { }", "class B extends A { }"])
+        a = classes["A"]
+        a.super_class = a.pool.class_info("B")
+        with pytest.raises(EagerLoadError):
+            eager_order(list(classes.values()))
+
+
+class TestLoader:
+    def test_wrong_order_rejected(self):
+        classes = compile_shapes()
+        loader = EagerClassLoader()
+        with pytest.raises(EagerLoadError):
+            loader.define_all([classes["demo/shapes/Ring"],
+                               classes["demo/shapes/Circle"]])
+
+    def test_duplicate_rejected(self):
+        classes = compile_shapes()
+        loader = EagerClassLoader()
+        circle = classes["demo/shapes/Circle"]
+        shape = classes["demo/shapes/Shape"]
+        loader.define_all([shape, circle])
+        with pytest.raises(EagerLoadError):
+            loader.define_class(circle)
+
+    def test_external_supertypes_assumed_bootstrap(self):
+        classes = compile_sources(["class Solo { }"])
+        loader = EagerClassLoader()
+        loader.define_all(list(classes.values()))
+        assert loader.loaded("Solo")
+
+
+class TestStreamDefine:
+    def test_packed_archive_in_eager_order_loads(self):
+        classes = strip_classes(generate_suite("Hanoi"))
+        ordered = eager_order(list(classes.values()))
+        packed = pack_archive(ordered)
+        loader = stream_define(packed)
+        assert loader.definition_order == [c.name for c in ordered]
+
+    def test_packed_archive_in_bad_order_fails(self):
+        classes = compile_shapes()
+        bad_order = [classes["demo/shapes/Ring"],
+                     classes["demo/shapes/Circle"],
+                     classes["demo/shapes/Shape"]]
+        packed = pack_archive(bad_order)
+        with pytest.raises(EagerLoadError):
+            stream_define(packed)

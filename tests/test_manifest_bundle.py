@@ -1,0 +1,135 @@
+"""Tests for the Section 12 manifest/signing flow and packed bundles."""
+
+import pytest
+
+from repro.classfile.classfile import write_class
+from repro.jar.bundle import make_bundle, open_bundle
+from repro.jar.manifest import (
+    Manifest,
+    ManifestError,
+    sign_classfiles,
+    signing_roundtrip,
+    verify_classfiles,
+    verify_signed_archive,
+)
+from repro.pack import PackOptions
+
+from helpers import compile_shapes, compile_sink, ordered_values
+
+
+class TestManifest:
+    def test_render_parse_roundtrip(self):
+        manifest = sign_classfiles(ordered_values(compile_shapes()))
+        manifest.main["Main-Class"] = "demo.shapes.Main"
+        parsed = Manifest.parse(manifest.render())
+        assert parsed.main == manifest.main
+        assert parsed.entries == manifest.entries
+
+    def test_verify_accepts_same_bytes(self):
+        classfiles = ordered_values(compile_sink())
+        manifest = sign_classfiles(classfiles)
+        verify_classfiles(manifest, classfiles)
+
+    def test_verify_rejects_tampering(self):
+        classfiles = ordered_values(compile_sink())
+        manifest = sign_classfiles(classfiles)
+        victim = classfiles[0]
+        victim.access_flags ^= 0x0010
+        with pytest.raises(ManifestError):
+            verify_classfiles(manifest, classfiles)
+
+    def test_missing_entry_rejected(self):
+        manifest = Manifest()
+        with pytest.raises(ManifestError):
+            manifest.verify_entry("ghost.class", b"data")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ManifestError):
+            Manifest.parse("this line has no colon")
+
+
+class TestSigningFlow:
+    def test_sign_after_decompress_verifies(self):
+        """The paper's exact flow: sign the decompressed class files,
+        ship the manifest with the packed archive."""
+        originals = ordered_values(compile_sink())
+        packed, manifest = signing_roundtrip(originals)
+        received = verify_signed_archive(packed, manifest)
+        assert len(received) == len(originals)
+
+    def test_signing_originals_would_fail(self):
+        """Signing the pre-pack originals does NOT verify — packing
+        renumbers constant pools.  This is why §12 prescribes
+        sign-after-decompress."""
+        originals = ordered_values(compile_sink())
+        naive_manifest = sign_classfiles(originals)
+        from repro.pack import pack_archive
+
+        packed = pack_archive(originals)
+        with pytest.raises(ManifestError):
+            verify_signed_archive(packed, naive_manifest)
+
+    def test_deterministic_reconstruction_keeps_manifest_valid(self):
+        originals = ordered_values(compile_shapes())
+        packed, manifest = signing_roundtrip(originals)
+        # Decompress twice: both must verify (determinism).
+        verify_signed_archive(packed, manifest)
+        verify_signed_archive(packed, manifest)
+
+
+class TestBundle:
+    RESOURCES = {
+        "images/logo.png": b"\x89PNG fake image bytes" * 4,
+        "config/app.properties": b"color=blue\nretries=3\n",
+    }
+
+    def test_bundle_roundtrip(self):
+        originals = ordered_values(compile_shapes())
+        bundle = make_bundle(originals, dict(self.RESOURCES))
+        classfiles, resources, manifest = open_bundle(bundle)
+        assert len(classfiles) == len(originals)
+        assert resources == self.RESOURCES
+        assert len(manifest.entries) == len(originals) + len(resources)
+
+    def test_bundle_without_resources(self):
+        originals = ordered_values(compile_sink())
+        classfiles, resources, _ = open_bundle(make_bundle(originals))
+        assert resources == {}
+        assert len(classfiles) == len(originals)
+
+    def test_bundle_with_options(self):
+        options = PackOptions(preload=True)
+        originals = ordered_values(compile_shapes())
+        bundle = make_bundle(originals, options=options)
+        classfiles, _, _ = open_bundle(bundle, options=options)
+        assert [c.name for c in classfiles] == \
+            [c.name for c in originals]
+
+    def test_tampered_resource_rejected(self):
+        import io
+        import zipfile
+
+        originals = ordered_values(compile_shapes())
+        bundle = make_bundle(originals, dict(self.RESOURCES))
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(io.BytesIO(bundle)) as source, \
+                zipfile.ZipFile(buffer, "w") as target:
+            for info in source.infolist():
+                data = source.read(info.filename)
+                if info.filename == "config/app.properties":
+                    data = b"color=red\n"
+                target.writestr(info, data)
+        with pytest.raises(ManifestError):
+            open_bundle(buffer.getvalue())
+
+    def test_reserved_names_rejected(self):
+        originals = ordered_values(compile_shapes())
+        with pytest.raises(ValueError):
+            make_bundle(originals, {"classes.pack": b"nope"})
+
+    def test_not_a_bundle_rejected(self):
+        from repro.jar.jarfile import make_jar
+
+        plain_jar = make_jar([("a.txt", b"hello")])
+        with pytest.raises(ManifestError):
+            open_bundle(plain_jar)

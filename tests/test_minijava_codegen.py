@@ -1,0 +1,233 @@
+"""Tests for mini-Java bytecode generation."""
+
+from repro.classfile.bytecode import disassemble
+from repro.classfile.constants import AccessFlags
+from repro.classfile.verify import verify_class
+from repro.minijava import compile_sources
+
+from helpers import compile_shapes, compile_sink
+
+
+def method_named(classfile, name):
+    for member in classfile.methods:
+        if classfile.member_name(member) == name:
+            return member
+    raise AssertionError(f"no method {name}")
+
+
+def mnemonics(classfile, name):
+    code = method_named(classfile, name).code()
+    return [i.mnemonic for i in disassemble(code.code)]
+
+
+def compile_one(source):
+    classes = compile_sources([source])
+    assert len(classes) == 1
+    return next(iter(classes.values()))
+
+
+class TestBasics:
+    def test_everything_verifies(self):
+        for classes in (compile_sink(), compile_shapes()):
+            for classfile in classes.values():
+                verify_class(classfile)
+
+    def test_short_load_forms_used(self):
+        classfile = compile_one(
+            "class T { int f(int a) { return a; } }")
+        assert mnemonics(classfile, "f") == ["iload_1", "ireturn"]
+
+    def test_wide_slot_load_forms(self):
+        classfile = compile_one(
+            "class T { double f(int a, int b, int c, double d) {"
+            " return d; } }")
+        ops = mnemonics(classfile, "f")
+        assert ops == ["dload", "dreturn"]
+
+    def test_constant_forms(self):
+        classfile = compile_one(
+            "class T { int f() { return 3; }"
+            " int g() { return 100; }"
+            " int h() { return 30000; }"
+            " int i() { return 1000000; } }")
+        assert mnemonics(classfile, "f") == ["iconst_3", "ireturn"]
+        assert mnemonics(classfile, "g") == ["bipush", "ireturn"]
+        assert mnemonics(classfile, "h") == ["sipush", "ireturn"]
+        assert mnemonics(classfile, "i") == ["ldc", "ireturn"]
+
+    def test_string_concat_uses_stringbuffer(self):
+        classfile = compile_one(
+            'class T { String f(int i) { return "v=" + i; } }')
+        ops = mnemonics(classfile, "f")
+        assert "new" in ops
+        assert ops.count("invokevirtual") >= 3  # 2 appends + toString
+
+    def test_default_constructor_calls_super(self):
+        classfile = compile_one("class T { }")
+        assert mnemonics(classfile, "<init>") == [
+            "aload_0", "invokespecial", "return"]
+
+    def test_field_initializers_in_constructor(self):
+        classfile = compile_one(
+            "class T { int x = 7; }")
+        ops = mnemonics(classfile, "<init>")
+        assert "putfield" in ops
+
+    def test_static_initializers_in_clinit(self):
+        classfile = compile_one(
+            "class T { static int[] table = new int[4]; }")
+        ops = mnemonics(classfile, "<clinit>")
+        assert ops == ["iconst_4", "newarray", "putstatic", "return"]
+
+    def test_constant_value_attribute_not_clinit(self):
+        classfile = compile_one(
+            "class T { static final int X = 99; }")
+        assert all(classfile.member_name(m) != "<clinit>"
+                   for m in classfile.methods)
+        field = classfile.fields[0]
+        names = [a.name for a in field.attributes]
+        assert "ConstantValue" in names
+
+
+class TestControlFlow:
+    def test_if_zero_comparison_uses_short_form(self):
+        classfile = compile_one(
+            "class T { int f(int a) { if (a == 0) return 1;"
+            " return 2; } }")
+        ops = mnemonics(classfile, "f")
+        # The condition is negated (jump past the then-branch), so the
+        # short zero-comparison form appears as ifne.
+        assert "ifne" in ops
+        assert "if_icmpne" not in ops and "if_icmpeq" not in ops
+
+    def test_reference_null_check(self):
+        classfile = compile_one(
+            "class T { int f(String s) { if (s == null) return 0;"
+            " return 1; } }")
+        ops = mnemonics(classfile, "f")
+        assert "ifnonnull" in ops  # negated to jump past the then-branch
+        assert "if_acmpeq" not in ops
+
+    def test_long_comparison_uses_lcmp(self):
+        classfile = compile_one(
+            "class T { int f(long a, long b) {"
+            " if (a < b) return 1; return 0; } }")
+        assert "lcmp" in mnemonics(classfile, "f")
+
+    def test_double_comparison_nan_semantics(self):
+        classfile = compile_one(
+            "class T { int f(double a) {"
+            " if (a < 1.0) return 1;"
+            " if (a > 2.0) return 2; return 0; } }")
+        ops = mnemonics(classfile, "f")
+        # `<` when false on NaN must use dcmpg; `>` uses dcmpl.
+        assert "dcmpg" in ops and "dcmpl" in ops
+
+    def test_short_circuit_and(self):
+        classfile = compile_one(
+            "class T { int f(int a, int b) {"
+            " if (a > 0 && b > 0) return 1; return 0; } }")
+        ops = mnemonics(classfile, "f")
+        assert ops.count("ifle") == 2  # both conjuncts jump on false
+
+    def test_dense_switch_is_tableswitch(self):
+        classfile = compile_one(
+            "class T { int f(int v) { switch (v) {"
+            " case 0: return 1; case 1: return 2; case 2: return 3; }"
+            " return 0; } }")
+        assert "tableswitch" in mnemonics(classfile, "f")
+
+    def test_sparse_switch_is_lookupswitch(self):
+        classfile = compile_one(
+            "class T { int f(int v) { switch (v) {"
+            " case 5: return 1; case 5000: return 2; }"
+            " return 0; } }")
+        assert "lookupswitch" in mnemonics(classfile, "f")
+
+    def test_try_catch_emits_handler(self):
+        classfile = compile_one(
+            "class T { int f() { try { return 1; }"
+            " catch (RuntimeException e) { return 2; } } }")
+        code = method_named(classfile, "f").code()
+        assert len(code.exception_table) == 1
+        entry = code.exception_table[0]
+        assert classfile.pool.class_name(entry.catch_type) == \
+            "java/lang/RuntimeException"
+
+    def test_while_loop_shape(self):
+        classfile = compile_one(
+            "class T { int f(int n) { int s = 0;"
+            " while (n > 0) { s = s + n; n = n - 1; } return s; } }")
+        ops = mnemonics(classfile, "f")
+        assert "goto" in ops and "ifle" in ops
+
+
+class TestConversions:
+    def test_widening_inserted(self):
+        classfile = compile_one(
+            "class T { double f(int i) { return i; } }")
+        assert mnemonics(classfile, "f") == ["iload_1", "i2d", "dreturn"]
+
+    def test_narrowing_cast(self):
+        classfile = compile_one(
+            "class T { int f(double d) { return (int) d; } }")
+        assert "d2i" in mnemonics(classfile, "f")
+
+    def test_char_cast(self):
+        classfile = compile_one(
+            "class T { char f(int i) { return (char) i; } }")
+        assert "i2c" in mnemonics(classfile, "f")
+
+    def test_checkcast_for_references(self):
+        classfile = compile_one(
+            "class T { String f(Object o) { return (String) o; } }")
+        assert "checkcast" in mnemonics(classfile, "f")
+
+
+class TestInvokes:
+    def test_interface_call(self):
+        classfile = compile_one(
+            "class T { void go(Runnable r) { r.run(); } }")
+        code = method_named(classfile, "go").code()
+        instructions = disassemble(code.code)
+        invoke = [i for i in instructions
+                  if i.mnemonic == "invokeinterface"][0]
+        assert invoke.count == 1
+
+    def test_static_call_no_receiver(self):
+        classfile = compile_one(
+            "class T { int f() { return Math.abs(-3); } }")
+        ops = mnemonics(classfile, "f")
+        assert "invokestatic" in ops
+        assert "aload_0" not in ops
+
+    def test_implicit_this_call(self):
+        classfile = compile_one(
+            "class T { int a() { return 1; }"
+            " int b() { return a(); } }")
+        assert mnemonics(classfile, "b") == [
+            "aload_0", "invokevirtual", "ireturn"]
+
+
+class TestFlags:
+    def test_class_flags(self):
+        classfile = compile_one("public class T { }")
+        assert classfile.access_flags & AccessFlags.PUBLIC
+        assert classfile.access_flags & AccessFlags.SUPER
+
+    def test_interface_flags(self):
+        classes = compile_sources(["public interface I { void f(); }"])
+        classfile = next(iter(classes.values()))
+        assert classfile.access_flags & AccessFlags.INTERFACE
+        assert classfile.access_flags & AccessFlags.ABSTRACT
+        assert not classfile.access_flags & AccessFlags.SUPER
+        method = classfile.methods[0]
+        assert method.access_flags & AccessFlags.ABSTRACT
+        assert method.code() is None
+
+    def test_throws_becomes_exceptions_attribute(self):
+        classfile = compile_one(
+            "class T { void f() throws IOException { } }")
+        method = method_named(classfile, "f")
+        names = [a.name for a in method.attributes]
+        assert "Exceptions" in names

@@ -1,0 +1,77 @@
+"""Tests for the mini-Java lexer."""
+
+import pytest
+
+from repro.minijava.lexer import LexError, Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        assert kinds("class Foo") == [("keyword", "class"),
+                                      ("ident", "Foo")]
+
+    def test_numbers(self):
+        assert kinds("0 42 0x1F") == [("int", "0"), ("int", "42"),
+                                      ("int", "0x1F")]
+
+    def test_long_suffix(self):
+        assert kinds("42L 0xFFL") == [("long", "42"), ("long", "0xFF")]
+
+    def test_float_double(self):
+        assert kinds("1.5f 2.5 3e10 4.0d") == [
+            ("float", "1.5"), ("double", "2.5"), ("double", "3e10"),
+            ("double", "4.0")]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize(r'"a\nb\t\"q\" A"')
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == 'a\nb\t"q" A'
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'x' '\n' 'A'")
+        assert [t.text for t in tokens[:-1]] == ["x", "\n", "A"]
+
+    def test_operators_maximal_munch(self):
+        assert [t.text for t in tokenize("a>>>=b >>> >> >")[:-1]] == \
+            ["a", ">>>=", "b", ">>>", ">>", ">"]
+
+    def test_comments_skipped(self):
+        source = "a // line comment\nb /* block\ncomment */ c"
+        assert [t.text for t in tokenize(source)[:-1]] == ["a", "b", "c"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1] == Token("eof", "", 1)
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"ab\ncd"')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* forever")
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'a")

@@ -1,0 +1,214 @@
+"""Tests for the mini-Java parser."""
+
+import pytest
+
+from repro.minijava import ast
+from repro.minijava.parser import ParseError, parse
+
+
+def parse_class_body(body):
+    unit = parse(f"public class T {{ {body} }}")
+    return unit.classes[0]
+
+
+def parse_method_stmts(body):
+    decl = parse_class_body(f"void m() {{ {body} }}")
+    return decl.methods[0].body.statements
+
+
+class TestDeclarations:
+    def test_package_and_imports(self):
+        unit = parse("package a.b.c;\nimport java.util.Vector;\n"
+                     "class X {}")
+        assert unit.package == "a.b.c"
+        assert unit.imports == {"Vector": "java/util/Vector"}
+        assert unit.qualified_names() == ["a/b/c/X"]
+
+    def test_interface(self):
+        unit = parse("interface I { int f(); void g(String s); }")
+        decl = unit.classes[0]
+        assert decl.is_interface
+        assert [m.name for m in decl.methods] == ["f", "g"]
+        assert all(m.body is None for m in decl.methods)
+
+    def test_extends_implements(self):
+        unit = parse("class C extends B implements I, J {}")
+        decl = unit.classes[0]
+        assert decl.superclass == "B"
+        assert decl.interfaces == ["I", "J"]
+
+    def test_fields_with_modifiers(self):
+        decl = parse_class_body(
+            "public static final int X = 5; private String s;")
+        assert decl.fields[0].modifiers == ["public", "static", "final"]
+        assert isinstance(decl.fields[0].init, ast.IntLit)
+        assert decl.fields[1].typ.descriptor == "LString;"
+
+    def test_comma_separated_fields(self):
+        decl = parse_class_body("int a, b, c;")
+        assert [f.name for f in decl.fields] == ["a", "b", "c"]
+
+    def test_constructor(self):
+        decl = parse_class_body("public T(int x) { }")
+        assert decl.methods[0].name == "<init>"
+
+    def test_throws_clause(self):
+        decl = parse_class_body(
+            "void risky() throws Exception, IOException { }")
+        assert decl.methods[0].throws == ["Exception", "IOException"]
+
+    def test_array_types(self):
+        decl = parse_class_body("int[] a; String[][] b;")
+        assert decl.fields[0].typ.descriptor == "[I"
+        assert decl.fields[1].typ.descriptor == "[[LString;"
+
+
+class TestStatements:
+    def test_if_else_chain(self):
+        stmts = parse_method_stmts(
+            "if (x > 0) { y = 1; } else if (x < 0) y = 2; else y = 3;")
+        node = stmts[0]
+        assert isinstance(node, ast.If)
+        assert isinstance(node.otherwise, ast.If)
+
+    def test_loops(self):
+        stmts = parse_method_stmts(
+            "while (a) { } for (int i = 0; i < 10; i++) { } "
+            "do { x = 1; } while (x < 5);")
+        assert isinstance(stmts[0], ast.While)
+        assert isinstance(stmts[1], ast.For)
+        # do-while desugars to body + while
+        assert isinstance(stmts[2], ast.Block)
+
+    def test_switch(self):
+        stmts = parse_method_stmts(
+            "switch (x) { case 1: case 2: a = 1; break; "
+            "case 'z': break; default: a = 0; }")
+        switch = stmts[0]
+        assert isinstance(switch, ast.Switch)
+        assert switch.cases[0][0] == [1, 2]
+        assert switch.cases[1][0] == [ord("z")]
+        assert switch.cases[2][0] is None
+
+    def test_negative_case_label(self):
+        switch = parse_method_stmts("switch (x) { case -4: break; }")[0]
+        assert switch.cases[0][0] == [-4]
+
+    def test_try_catch(self):
+        stmts = parse_method_stmts(
+            "try { a = 1; } catch (Exception e) { } "
+            "catch (RuntimeException r) { }")
+        node = stmts[0]
+        assert isinstance(node, ast.Try)
+        assert [c[0] for c in node.catches] == ["Exception",
+                                                "RuntimeException"]
+
+    def test_try_without_catch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_method_stmts("try { }")
+
+    def test_return_throw(self):
+        stmts = parse_method_stmts("if (x) return; throw e;")
+        assert isinstance(stmts[1], ast.Throw)
+
+    def test_local_declarations(self):
+        stmts = parse_method_stmts("int a = 1, b; String[] s;")
+        assert isinstance(stmts[0], ast.Block)  # multi-declarator
+        assert isinstance(stmts[1], ast.LocalDecl)
+
+
+class TestExpressions:
+    def _expr(self, text):
+        return parse_method_stmts(f"x = {text};")[0].expr.rhs
+
+    def test_precedence(self):
+        node = self._expr("1 + 2 * 3")
+        assert isinstance(node, ast.Binary) and node.op == "+"
+        assert isinstance(node.right, ast.Binary) and node.right.op == "*"
+
+    def test_relational_binds_looser_than_shift(self):
+        node = self._expr("a << 2 < b")
+        assert node.op == "<"
+
+    def test_logical_short_circuit_nesting(self):
+        node = self._expr("a && b || c && d")
+        assert node.op == "||"
+
+    def test_ternary(self):
+        node = self._expr("a ? b : c ? d : e")
+        assert isinstance(node, ast.Conditional)
+        assert isinstance(node.otherwise, ast.Conditional)
+
+    def test_cast_vs_paren(self):
+        cast = self._expr("(Foo) bar")
+        assert isinstance(cast, ast.Cast)
+        arith = self._expr("(a) + b")
+        assert isinstance(arith, ast.Binary)
+
+    def test_primitive_cast(self):
+        node = self._expr("(int) d")
+        assert isinstance(node, ast.Cast)
+        assert node.target.descriptor == "I"
+
+    def test_new_object_and_array(self):
+        obj = self._expr("new Foo(1, 2)")
+        assert isinstance(obj, ast.New) and len(obj.args) == 2
+        arr = self._expr("new int[10]")
+        assert isinstance(arr, ast.NewArray)
+
+    def test_chained_calls_and_fields(self):
+        node = self._expr("a.b.c(1).d")
+        assert isinstance(node, ast.FieldAccess)
+        assert isinstance(node.receiver, ast.Call)
+
+    def test_array_index_chain(self):
+        node = self._expr("m[i][j]")
+        assert isinstance(node, ast.ArrayIndex)
+        assert isinstance(node.array, ast.ArrayIndex)
+
+    def test_array_length(self):
+        node = self._expr("arr.length")
+        assert isinstance(node, ast.ArrayLength)
+
+    def test_instanceof(self):
+        node = self._expr("o instanceof Foo")
+        assert isinstance(node, ast.InstanceOf)
+
+    def test_increment_desugars(self):
+        stmts = parse_method_stmts("i++; --j;")
+        for statement in stmts:
+            assert isinstance(statement.expr, ast.Assign)
+
+    def test_compound_assignment_desugars(self):
+        node = parse_method_stmts("x += 5;")[0].expr
+        assert isinstance(node, ast.Assign)
+        assert isinstance(node.rhs, ast.Binary) and node.rhs.op == "+"
+
+    def test_unary_minus_folds_literals(self):
+        node = self._expr("-5")
+        assert isinstance(node, ast.IntLit) and node.value == -5
+
+    def test_super_constructor_and_method(self):
+        decl = parse_class_body(
+            "public T() { super(); } void m() { super.m(); }")
+        ctor_call = decl.methods[0].body.statements[0].expr
+        assert ctor_call.is_super and ctor_call.name == "<init>"
+
+    def test_this(self):
+        node = self._expr("this")
+        assert isinstance(node, ast.This)
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("class T { void m() { x = 1 } }")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(ParseError):
+            parse("class T { void m() { ")
+
+    def test_bad_case_label(self):
+        with pytest.raises(ParseError):
+            parse('class T { void m() { switch (x) '
+                  '{ case "s": break; } } }')

@@ -1,0 +1,93 @@
+"""Miscellaneous API tests: attributes helpers, options, determinism."""
+
+import hashlib
+
+import pytest
+
+from repro.classfile.attributes import (
+    CodeAttribute,
+    DeprecatedAttribute,
+    RawAttribute,
+    SourceFileAttribute,
+    SyntheticAttribute,
+    find_attribute,
+    remove_attributes,
+)
+from repro.pack.options import PackOptions, TABLE3_VARIANTS
+
+
+class TestAttributeHelpers:
+    def test_find_attribute(self):
+        attributes = [SyntheticAttribute(), SourceFileAttribute(1)]
+        assert isinstance(find_attribute(attributes, "SourceFile"),
+                          SourceFileAttribute)
+        assert find_attribute(attributes, "Code") is None
+
+    def test_remove_attributes(self):
+        attributes = [SyntheticAttribute(), DeprecatedAttribute(),
+                      SourceFileAttribute(1)]
+        kept = remove_attributes(attributes,
+                                 {"Synthetic", "SourceFile"})
+        assert [a.name for a in kept] == ["Deprecated"]
+
+    def test_raw_attribute_name(self):
+        assert RawAttribute("Whatever", b"").name == "Whatever"
+
+    def test_code_attribute_defaults(self):
+        code = CodeAttribute(1, 2, b"\xb1")
+        assert code.exception_table == []
+        assert code.attributes == []
+        assert code.name == "Code"
+
+
+class TestOptions:
+    def test_defaults_are_paper_final_config(self):
+        options = PackOptions()
+        assert options.scheme == "mtf"
+        assert options.use_context and options.transients
+        assert options.stack_state and options.compress
+        assert not options.preload
+
+    def test_validate_rejects_bad_scheme(self):
+        with pytest.raises(ValueError):
+            PackOptions(scheme="lzw").validate()
+
+    def test_table3_matrix_complete(self):
+        assert len(TABLE3_VARIANTS) == 8
+        assert {o.scheme for o in TABLE3_VARIANTS.values()} == \
+            {"simple", "basic", "freq", "cache", "mtf"}
+
+    def test_options_hashable_and_frozen(self):
+        options = PackOptions()
+        assert hash(options) == hash(PackOptions())
+        with pytest.raises(Exception):
+            options.scheme = "basic"  # type: ignore[misc]
+
+
+class TestWireStability:
+    """The wire format must be stable: identical inputs, identical
+    bytes — across processes, orderings of work, and option objects."""
+
+    def _digest(self, options):
+        from repro.corpus.suites import generate_suite
+        from repro.jar.formats import strip_classes
+        from repro.pack import pack_archive
+
+        classes = strip_classes(generate_suite("Hanoi_jax"))
+        ordered = [classes[key] for key in sorted(classes)]
+        packed = pack_archive(ordered, options)
+        return hashlib.sha256(packed).hexdigest()
+
+    def test_deterministic_per_options(self):
+        for options in (PackOptions(), PackOptions(preload=True),
+                        PackOptions(scheme="basic", use_context=False,
+                                    transients=False)):
+            assert self._digest(options) == self._digest(options)
+
+    def test_distinct_options_distinct_bytes(self):
+        digests = {
+            self._digest(PackOptions()),
+            self._digest(PackOptions(preload=True)),
+            self._digest(PackOptions(stack_state=False)),
+        }
+        assert len(digests) == 3

@@ -1,0 +1,121 @@
+"""Tests for move-to-front coders (encoder/decoder symmetry)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mtf.queue import MtfCoder, MtfError, NaiveMtf
+
+
+def _mirror(events, transients=False, counts=None):
+    """Run encoder and decoder in lockstep over (context, key) events."""
+    encoder = MtfCoder(transients=transients)
+    decoder = MtfCoder(transients=transients)
+    counts = counts or {}
+    for context, key in events:
+        transient = transients and counts.get(key, 2) == 1
+        index, is_new = encoder.encode(context, key, transient=transient,
+                                       value=key)
+        assert decoder.decode_is_new(index) == is_new
+        if is_new:
+            decoder.decode_new(index, key, key)
+        else:
+            assert decoder.decode_known(context, index) == key
+
+
+class TestSingleContext:
+    def test_new_then_repeat(self):
+        encoder = MtfCoder()
+        index, is_new = encoder.encode("c", "a")
+        assert (index, is_new) == (0, True)
+        index, is_new = encoder.encode("c", "a")
+        assert (index, is_new) == (1, False)
+
+    def test_positions_match_naive(self):
+        rng = random.Random(11)
+        encoder = MtfCoder()
+        naive = NaiveMtf()
+        keys = [f"k{i}" for i in range(30)]
+        for _ in range(500):
+            key = rng.choice(keys)
+            index, _ = encoder.encode("c", key)
+            assert index == naive.encode(key)
+
+    def test_decoder_mirrors_encoder(self):
+        rng = random.Random(5)
+        keys = [f"k{i}" for i in range(20)]
+        events = [("c", rng.choice(keys)) for _ in range(400)]
+        _mirror(events)
+
+    def test_decode_out_of_range_raises(self):
+        decoder = MtfCoder()
+        with pytest.raises(MtfError):
+            decoder.decode_known("c", 5)
+
+
+class TestTransients:
+    def test_transient_not_enqueued(self):
+        encoder = MtfCoder(transients=True)
+        index, is_new = encoder.encode("c", "once", transient=True)
+        assert (index, is_new) == (1, True)  # NEW_TRANSIENT
+        # A later persistent object starts at the front.
+        encoder.encode("c", "keep")
+        index, _ = encoder.encode("c", "keep")
+        assert index == 2  # 1-based position 1, shifted by transients
+
+    def test_mirrored_with_counts(self):
+        rng = random.Random(9)
+        keys = [f"k{i}" for i in range(15)]
+        events = [("c", rng.choice(keys)) for _ in range(300)]
+        events += [("c", "single-shot")]
+        counts = {}
+        for _, key in events:
+            counts[key] = counts.get(key, 0) + 1
+        _mirror(events, transients=True, counts=counts)
+
+
+class TestContexts:
+    def test_separate_queues_share_registry(self):
+        encoder = MtfCoder()
+        encoder.encode("ctx1", "a")
+        # Seen globally, so in ctx2 it is a *known* reference even
+        # though ctx2's queue was created later.
+        index, is_new = encoder.encode("ctx2", "a")
+        assert not is_new
+        assert index == 1
+
+    def test_late_queue_seeded_in_order(self):
+        encoder = MtfCoder()
+        for key in ("a", "b", "c"):
+            encoder.encode("ctx1", key)
+        # ctx2 is created now; most recent object must be at front.
+        index, is_new = encoder.encode("ctx2", "c")
+        assert not is_new and index == 1
+        index, _ = encoder.encode("ctx2", "a")
+        assert index == 3
+
+    def test_multi_context_mirror(self):
+        rng = random.Random(3)
+        keys = [f"k{i}" for i in range(12)]
+        contexts = ["x", "y", "z"]
+        events = [(rng.choice(contexts), rng.choice(keys))
+                  for _ in range(600)]
+        _mirror(events)
+
+    @given(st.lists(st.tuples(st.sampled_from(["p", "q"]),
+                              st.integers(min_value=0, max_value=8)),
+                    max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_mirror_property(self, events):
+        _mirror(events)
+
+
+class TestNaiveMtf:
+    def test_decode_side(self):
+        encoder = NaiveMtf()
+        decoder = NaiveMtf()
+        for key in ["a", "b", "a", "c", "b", "b", "a"]:
+            index = encoder.encode(key)
+            result = decoder.decode(index, key if index == 0 else None)
+            assert result == key

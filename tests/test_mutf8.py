@@ -1,0 +1,62 @@
+"""Tests for modified UTF-8 (class-file string encoding)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.classfile import mutf8
+
+
+class TestEncode:
+    def test_ascii_passthrough(self):
+        assert mutf8.encode("hello") == b"hello"
+
+    def test_nul_is_two_bytes(self):
+        assert mutf8.encode("\x00") == b"\xc0\x80"
+
+    def test_no_nul_bytes_ever(self):
+        text = "a\x00bĀc￿"
+        assert 0 not in mutf8.encode(text)
+
+    def test_two_byte_range(self):
+        encoded = mutf8.encode("é")  # é
+        assert len(encoded) == 2
+
+    def test_three_byte_range(self):
+        assert len(mutf8.encode("中")) == 3
+
+    def test_supplementary_is_six_bytes(self):
+        # Modified UTF-8 encodes supplementary chars as surrogate
+        # pairs (3 + 3 bytes), never the 4-byte UTF-8 form.
+        encoded = mutf8.encode("\U0001F600")
+        assert len(encoded) == 6
+
+    def test_differs_from_utf8_for_nul(self):
+        assert mutf8.encode("\x00") != "\x00".encode("utf-8")
+
+
+class TestDecode:
+    def test_roundtrip_ascii(self):
+        assert mutf8.decode(b"abc123") == "abc123"
+
+    def test_roundtrip_nul(self):
+        assert mutf8.decode(b"\xc0\x80") == "\x00"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            mutf8.decode(b"\xc0")
+        with pytest.raises(ValueError):
+            mutf8.decode(b"\xe0\x80")
+
+    def test_fourbyte_utf8_rejected(self):
+        with pytest.raises(ValueError):
+            mutf8.decode("\U0001F600".encode("utf-8"))
+
+    @given(st.text(max_size=200))
+    def test_roundtrip_property(self, text):
+        assert mutf8.decode(mutf8.encode(text)) == text
+
+    @given(st.text(alphabet=st.characters(min_codepoint=0x10000,
+                                          max_codepoint=0x10FFFF),
+                   max_size=20))
+    def test_roundtrip_supplementary(self, text):
+        assert mutf8.decode(mutf8.encode(text)) == text

@@ -1,0 +1,152 @@
+"""Differential testing: compiled+interpreted arithmetic vs an oracle.
+
+Hypothesis generates random integer expressions; we compile them as
+Java, execute the bytecode on the interpreter, and compare against a
+Python evaluation with Java's 32-bit wrapping and truncating-division
+semantics.  Any disagreement is a bug in the compiler, the assembler,
+the verifier, or the interpreter — and because the compiled class also
+takes a pack/unpack roundtrip, in the wire format too.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.jvm import JavaThrow, Machine
+from repro.jvm.values import to_int
+from repro.minijava import compile_sources
+from repro.pack import pack_archive, unpack_archive
+
+
+def java_div(a, b):
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def java_rem(a, b):
+    return a - java_div(a, b) * b
+
+
+class Expr:
+    """Random expression tree with paired render/evaluate."""
+
+    def __init__(self, kind, payload):
+        self.kind = kind
+        self.payload = payload
+
+    def render(self):
+        if self.kind == "lit":
+            return str(self.payload)
+        if self.kind == "var":
+            return self.payload
+        op, left, right = self.payload
+        return f"({left.render()} {op} {right.render()})"
+
+    def evaluate(self, env):
+        if self.kind == "lit":
+            return self.payload
+        if self.kind == "var":
+            return env[self.payload]
+        op, left, right = self.payload
+        a = left.evaluate(env)
+        b = right.evaluate(env)
+        if op == "+":
+            return to_int(a + b)
+        if op == "-":
+            return to_int(a - b)
+        if op == "*":
+            return to_int(a * b)
+        if op == "/":
+            if b == 0:
+                raise ZeroDivisionError
+            return to_int(java_div(a, b))
+        if op == "%":
+            if b == 0:
+                raise ZeroDivisionError
+            return to_int(java_rem(a, b))
+        if op == "&":
+            return to_int(a & b)
+        if op == "|":
+            return to_int(a | b)
+        if op == "^":
+            return to_int(a ^ b)
+        raise AssertionError(op)
+
+
+def expressions(depth=3):
+    leaves = st.one_of(
+        st.integers(min_value=-1000, max_value=1000).map(
+            lambda v: Expr("lit", v)),
+        st.sampled_from(["a", "b", "c"]).map(lambda n: Expr("var", n)),
+    )
+
+    def extend(children):
+        return st.tuples(
+            st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^"]),
+            children, children,
+        ).map(lambda t: Expr("op", t))
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+@given(expressions(),
+       st.integers(min_value=-10000, max_value=10000),
+       st.integers(min_value=-10000, max_value=10000),
+       st.integers(min_value=-10000, max_value=10000))
+@settings(max_examples=60, deadline=None)
+def test_expression_oracle(expr, a, b, c):
+    source = (f"class T {{ static int f(int a, int b, int c) "
+              f"{{ return {expr.render()}; }} }}")
+    classes = compile_sources([source])
+    originals = list(classes.values())
+    restored = unpack_archive(pack_archive(originals))
+    env = {"a": a, "b": b, "c": c}
+    try:
+        expected = ("ok", expr.evaluate(env))
+    except ZeroDivisionError:
+        expected = ("throw", "java/lang/ArithmeticException")
+    for classfiles in (originals, restored):
+        machine = Machine(classfiles)
+        try:
+            got = ("ok", machine.call("T", "f", "(III)I", a, b, c))
+        except JavaThrow as thrown:
+            got = ("throw", thrown.throwable.class_name)
+        assert got == expected, (expr.render(), env)
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100),
+                min_size=1, max_size=12))
+@settings(max_examples=30, deadline=None)
+def test_array_sum_oracle(values):
+    length = len(values)
+    assignments = "".join(
+        f"v[{i}] = {value}; " for i, value in enumerate(values))
+    source = (f"class T {{ static int f() {{ "
+              f"int[] v = new int[{length}]; {assignments}"
+              f"int s = 0; "
+              f"for (int i = 0; i < v.length; i++) s += v[i]; "
+              f"return s; }} }}")
+    classes = compile_sources([source])
+    restored = unpack_archive(pack_archive(list(classes.values())))
+    assert Machine(restored).call("T", "f", "()I") == \
+        to_int(sum(values))
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32,
+                                      max_codepoint=126,
+                                      exclude_characters='"\\\''),
+               max_size=20),
+       st.text(alphabet=st.characters(min_codepoint=32,
+                                      max_codepoint=126,
+                                      exclude_characters='"\\\''),
+               max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_string_concat_oracle(left, right):
+    source = ('class T { static String f(String a, String b) {'
+              ' return a + "|" + b + "!"; } }')
+    classes = compile_sources([source])
+    restored = unpack_archive(pack_archive(list(classes.values())))
+    machine = Machine(restored)
+    result = machine.call(
+        "T", "f",
+        "(Ljava/lang/String;Ljava/lang/String;)Ljava/lang/String;",
+        left, right)
+    assert result == f"{left}|{right}!"

@@ -1,0 +1,179 @@
+"""End-to-end tests for the packed wire format."""
+
+import pytest
+
+from repro.classfile.classfile import write_class
+from repro.classfile.verify import verify_class
+from repro.corpus.suites import generate_suite
+from repro.jar.formats import strip_classes
+from repro.minijava import compile_sources
+from repro.pack import (
+    PackOptions,
+    TABLE3_VARIANTS,
+    archives_equal,
+    pack_archive,
+    pack_archive_with_stats,
+    unpack_archive,
+)
+from repro.pack.decompressor import UnpackError
+
+from helpers import compile_shapes, compile_sink, ordered_values
+
+
+def suite_classes(name):
+    return ordered_values(strip_classes(generate_suite(name)))
+
+
+class TestDefaultOptions:
+    def test_roundtrip_kitchen_sink(self):
+        originals = ordered_values(compile_sink())
+        packed = pack_archive(originals)
+        restored = unpack_archive(packed)
+        assert archives_equal(originals, restored)
+        for classfile in restored:
+            verify_class(classfile)
+
+    def test_roundtrip_shapes(self):
+        originals = ordered_values(compile_shapes())
+        assert archives_equal(
+            originals, unpack_archive(pack_archive(originals)))
+
+    def test_roundtrip_suite(self):
+        originals = suite_classes("raytrace")
+        packed = pack_archive(originals)
+        restored = unpack_archive(packed)
+        assert archives_equal(originals, restored)
+
+    def test_pack_is_deterministic(self):
+        originals = suite_classes("Hanoi")
+        assert pack_archive(originals) == pack_archive(originals)
+
+    def test_unpack_pack_idempotent(self):
+        """pack(unpack(pack(x))) == pack(x): the Section 12 signing
+        requirement (decompression is deterministic)."""
+        originals = suite_classes("Hanoi")
+        packed = pack_archive(originals)
+        restored = unpack_archive(packed)
+        assert pack_archive(restored) == packed
+        twice = unpack_archive(pack_archive(restored))
+        assert [write_class(c) for c in restored] == \
+            [write_class(c) for c in twice]
+
+    def test_order_preserved(self):
+        originals = suite_classes("Hanoi")
+        restored = unpack_archive(pack_archive(originals))
+        assert [c.name for c in restored] == [c.name for c in originals]
+
+    def test_smaller_than_class_files(self):
+        originals = suite_classes("compress")
+        raw = sum(len(write_class(c)) for c in originals)
+        assert len(pack_archive(originals)) < raw / 2
+
+
+class TestVariants:
+    @pytest.mark.parametrize("label", sorted(TABLE3_VARIANTS))
+    def test_all_table3_variants_roundtrip(self, label):
+        options = TABLE3_VARIANTS[label]
+        originals = suite_classes("Hanoi")
+        packed = pack_archive(originals, options)
+        assert archives_equal(originals,
+                              unpack_archive(packed, options))
+
+    def test_no_stack_state(self):
+        options = PackOptions(stack_state=False)
+        originals = suite_classes("compress")
+        packed = pack_archive(originals, options)
+        assert archives_equal(originals,
+                              unpack_archive(packed, options))
+
+    def test_no_compression(self):
+        options = PackOptions(compress=False)
+        originals = suite_classes("Hanoi")
+        packed = pack_archive(originals, options)
+        assert archives_equal(originals,
+                              unpack_archive(packed, options))
+        assert len(packed) > len(pack_archive(originals))
+
+    def test_stack_state_helps(self):
+        originals = suite_classes("compress")
+        with_state = len(pack_archive(originals, PackOptions()))
+        without = len(pack_archive(
+            originals, PackOptions(stack_state=False)))
+        assert with_state <= without
+
+
+class TestStats:
+    def test_categories_cover_total(self):
+        originals = suite_classes("Hanoi")
+        _, stats = pack_archive_with_stats(originals)
+        assert stats.total == sum(stats.by_category.values())
+        assert set(stats.by_category) <= \
+            {"strings", "opcodes", "ints", "refs", "misc"}
+
+    def test_no_category_dominates_completely(self):
+        # The paper: "no one element dominates".
+        originals = suite_classes("javac")
+        _, stats = pack_archive_with_stats(originals)
+        for category in ("strings", "opcodes", "refs"):
+            assert 0.03 < stats.fraction(category) < 0.75
+
+
+class TestErrors:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(UnpackError):
+            unpack_archive(b"\x00\x00\x00\x00\x01\x01xxxx")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(UnpackError):
+            unpack_archive(b"\x01\x02")
+
+    def test_bad_version_rejected(self):
+        originals = suite_classes("Hanoi")
+        packed = bytearray(pack_archive(originals))
+        packed[4] = 99
+        with pytest.raises(UnpackError):
+            unpack_archive(bytes(packed))
+
+    def test_wrong_options_fail_loudly_or_differ(self):
+        """Unpacking with mismatched options must not silently return
+        wrong classes."""
+        originals = suite_classes("Hanoi")
+        packed = pack_archive(originals, PackOptions(scheme="mtf"))
+        try:
+            restored = unpack_archive(packed, PackOptions(scheme="basic"))
+        except (ValueError, KeyError, IndexError):
+            return
+        assert not archives_equal(originals, restored)
+
+
+class TestEmptyAndEdge:
+    def test_empty_archive(self):
+        packed = pack_archive([])
+        assert unpack_archive(packed) == []
+
+    def test_single_trivial_class(self):
+        classes = compile_sources(["class Lonely { }"])
+        originals = ordered_values(classes)
+        assert archives_equal(originals,
+                              unpack_archive(pack_archive(originals)))
+
+    def test_class_with_every_constant_kind(self):
+        source = (
+            'class K {'
+            ' static final long L = 123456789012345L;'
+            ' static final double D = 2.5e10;'
+            ' static final float F = 1.5f;'
+            ' static final int I = 424242;'
+            ' static final String S = "constant";'
+            ' double use() { return L + D + F + I + S.length()'
+            '  + 3.5f + 987654321L + 2.25; } }')
+        originals = ordered_values(compile_sources([source]))
+        assert archives_equal(originals,
+                              unpack_archive(pack_archive(originals)))
+
+    def test_interface_only_archive(self):
+        originals = ordered_values(compile_sources([
+            "interface A { void x(); }",
+            "interface B extends A { int y(int v); }"]))
+        assert archives_equal(originals,
+                              unpack_archive(pack_archive(originals)))

@@ -1,0 +1,111 @@
+"""Tests for the Section 14 preloaded-dictionary extension."""
+
+import pytest
+
+from repro.corpus.suites import generate_suite
+from repro.ir.model import Interner
+from repro.jar.formats import strip_classes
+from repro.pack import (
+    PackOptions,
+    archives_equal,
+    pack_archive,
+    unpack_archive,
+)
+from repro.pack.preload import (
+    PRELOADED_CLASSES,
+    PRELOADED_METHOD_REFS,
+    preload_objects,
+)
+
+from helpers import compile_sink, compile_shapes, ordered_values
+
+
+def suite(name):
+    classes = strip_classes(generate_suite(name))
+    return [classes[key] for key in sorted(classes)]
+
+
+class TestPreloadObjects:
+    def test_spaces_covered(self):
+        objects = preload_objects(Interner())
+        assert set(objects) == {"package", "simple", "class",
+                                "methodname", "fieldname", "method",
+                                "field", "string"}
+
+    def test_objects_valid(self):
+        objects = preload_objects(Interner())
+        for ref in objects["class"]:
+            assert ref.internal_name in PRELOADED_CLASSES
+        for ref in objects["method"]:
+            triple = (ref.owner.internal_name, ref.name.name,
+                      ref.descriptor)
+            assert triple in PRELOADED_METHOD_REFS
+
+    def test_both_sides_build_equal_objects(self):
+        first = preload_objects(Interner())
+        second = preload_objects(Interner())
+        assert first == second
+
+
+class TestPreloadRoundtrip:
+    @pytest.mark.parametrize("name", ["Hanoi", "compress", "raytrace"])
+    def test_suites_roundtrip(self, name):
+        options = PackOptions(preload=True)
+        originals = suite(name)
+        packed = pack_archive(originals, options)
+        assert archives_equal(originals,
+                              unpack_archive(packed, options))
+
+    def test_handcrafted_roundtrip(self):
+        options = PackOptions(preload=True)
+        originals = ordered_values(compile_sink())
+        packed = pack_archive(originals, options)
+        assert archives_equal(originals,
+                              unpack_archive(packed, options))
+
+    def test_mismatched_preload_detected(self):
+        originals = ordered_values(compile_shapes())
+        packed = pack_archive(originals, PackOptions(preload=True))
+        try:
+            restored = unpack_archive(packed, PackOptions(preload=False))
+        except (ValueError, KeyError, IndexError):
+            return
+        assert not archives_equal(originals, restored)
+
+    def test_preload_with_transients_and_context(self):
+        options = PackOptions(preload=True, transients=True,
+                              use_context=True)
+        originals = suite("db")
+        packed = pack_archive(originals, options)
+        assert archives_equal(originals,
+                              unpack_archive(packed, options))
+
+    def test_preload_noop_for_fixed_id_schemes(self):
+        # Preload is defined for MTF only; other schemes ignore it
+        # and still roundtrip.
+        options = PackOptions(scheme="basic", preload=True,
+                              use_context=False, transients=False)
+        originals = suite("Hanoi_jax")
+        packed = pack_archive(originals, options)
+        assert archives_equal(originals,
+                              unpack_archive(packed, options))
+
+
+class TestPreloadBenefit:
+    def test_helps_small_archives(self):
+        """The paper's expectation: preloading helps small archives."""
+        originals = suite("Hanoi")
+        plain = len(pack_archive(originals))
+        preloaded = len(pack_archive(originals,
+                                     PackOptions(preload=True)))
+        assert preloaded < plain
+
+    def test_never_catastrophic_on_large(self):
+        """Unused preloads may cost a little ("preloaded references
+        that were never used would degrade compression") but must not
+        blow up the archive."""
+        originals = suite("javac")
+        plain = len(pack_archive(originals))
+        preloaded = len(pack_archive(originals,
+                                     PackOptions(preload=True)))
+        assert preloaded < plain * 1.05

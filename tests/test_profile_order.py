@@ -1,0 +1,126 @@
+"""Tests for profile-guided archive ordering."""
+
+from repro.loader.eager import EagerClassLoader
+from repro.loader.profile import (
+    find_roots,
+    profile_order,
+    reference_graph,
+    referenced_classes,
+    time_to_class,
+)
+from repro.minijava import compile_sources
+
+SOURCES = [
+    """
+package app;
+
+public class Main {
+    public static void main(String[] args) {
+        Engine e = new Engine();
+        System.out.println(e.run(3));
+    }
+}
+""",
+    """
+package app;
+
+public class Engine {
+    public int run(int n) {
+        Helper h = new Helper();
+        return h.twice(n) + 1;
+    }
+}
+""",
+    """
+package app;
+
+public class Helper {
+    public int twice(int n) { return n * 2; }
+}
+""",
+    """
+package app;
+
+public class NeverUsed {
+    public int lonely() { return 42; }
+}
+""",
+]
+
+
+def _compiled():
+    classes = compile_sources(SOURCES)
+    return [classes[name] for name in sorted(classes)]
+
+
+class TestReferenceGraph:
+    def test_referenced_classes(self):
+        classes = {c.name: c for c in _compiled()}
+        refs = referenced_classes(classes["app/Main"])
+        assert "app/Engine" in refs
+        assert "java/io/PrintStream" in refs
+        assert "app/Main" not in refs
+
+    def test_graph_restricted_to_archive(self):
+        graph = reference_graph(_compiled())
+        assert graph["app/Main"] == ["app/Engine"]
+        assert graph["app/Engine"] == ["app/Helper"]
+        assert graph["app/NeverUsed"] == []
+
+    def test_find_roots(self):
+        assert find_roots(_compiled()) == ["app/Main"]
+
+
+class TestProfileOrder:
+    def test_first_use_order(self):
+        ordered = profile_order(_compiled())
+        names = [c.name for c in ordered]
+        assert names.index("app/Main") < names.index("app/Engine")
+        assert names.index("app/Engine") < names.index("app/Helper")
+        assert names[-1] == "app/NeverUsed"
+
+    def test_order_respects_supertypes(self):
+        sources = SOURCES + ["""
+package app;
+
+public class FancyEngine extends Engine {
+    public int run(int n) { return super.run(n) * 10; }
+}
+"""]
+        classes = compile_sources(sources)
+        # Make Main reach FancyEngine first, Engine only transitively.
+        ordered = profile_order(
+            [classes[k] for k in sorted(classes)],
+            roots=["app/FancyEngine"])
+        names = [c.name for c in ordered]
+        assert names.index("app/Engine") < names.index("app/FancyEngine")
+        loader = EagerClassLoader()
+        loader.define_all(ordered)
+
+    def test_explicit_roots(self):
+        ordered = profile_order(_compiled(), roots=["app/Helper"])
+        assert ordered[0].name == "app/Helper"
+
+    def test_no_roots_falls_back_to_first(self):
+        classes = [c for c in _compiled() if c.name != "app/Main"]
+        ordered = profile_order(classes)
+        assert len(ordered) == len(classes)
+
+
+class TestTimeToClass:
+    def test_profile_order_improves_time_to_main(self):
+        classfiles = _compiled()
+        alphabetical = sorted(classfiles, key=lambda c: c.name)
+        profiled = profile_order(classfiles)
+        assert time_to_class(profiled, "app/Main") <= \
+            time_to_class(alphabetical, "app/Main")
+
+    def test_unused_class_arrives_last(self):
+        profiled = profile_order(_compiled())
+        assert time_to_class(profiled, "app/NeverUsed") == 1.0
+
+    def test_missing_class_raises(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            time_to_class(_compiled(), "app/Ghost")

@@ -1,0 +1,132 @@
+"""Tests for the Section 5 reference-encoding schemes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.streams import StreamReader, StreamSet
+from repro.refs.schemes import SCHEME_NAMES, make_codec
+
+
+def mirror_events(scheme, events, use_context=False, transients=False):
+    """Encode a (kind, key) event stream and decode it back; returns
+    the serialized index-stream size."""
+    encoder, decoder = make_codec(scheme, use_context=use_context,
+                                  transients=transients)
+    if encoder.needs_frequencies:
+        counts = {}
+        for kind, key in events:
+            slot = (kind, key)
+            counts[slot] = counts.get(slot, 0) + 1
+        encoder.set_frequencies(counts)
+    streams = StreamSet()
+    writer = streams.stream("refs")
+    expectations = []
+    for kind, key in events:
+        context = (kind, ("-", "-"))
+        is_new = encoder.encode(writer, context, key)
+        expectations.append((context, key, is_new))
+    reader = StreamReader(streams.serialize())
+    cursor = reader.stream("refs")
+    for context, key, was_new in expectations:
+        is_new, value = decoder.decode(cursor, context)
+        assert is_new == was_new, (scheme, context, key)
+        if is_new:
+            decoder.register(context, key)
+        else:
+            assert value == key, (scheme, context, key)
+    return len(writer.buf)
+
+
+def random_events(seed, kinds=("a", "b"), keys=12, count=400):
+    rng = random.Random(seed)
+    pool = [f"k{i}" for i in range(keys)]
+    return [(rng.choice(kinds), rng.choice(pool)) for _ in range(count)]
+
+
+class TestAllSchemesMirror:
+    @pytest.mark.parametrize("scheme", SCHEME_NAMES)
+    def test_mirror_random_stream(self, scheme):
+        mirror_events(scheme, random_events(1))
+
+    @pytest.mark.parametrize("scheme", SCHEME_NAMES)
+    def test_mirror_single_kind(self, scheme):
+        mirror_events(scheme, random_events(2, kinds=("only",)))
+
+    @pytest.mark.parametrize("scheme", SCHEME_NAMES)
+    def test_mirror_with_singletons(self, scheme):
+        events = random_events(3) + [("a", "once-1"), ("b", "once-2")]
+        mirror_events(scheme, events)
+
+    def test_mtf_transients_mirror(self):
+        events = random_events(4) + [("a", "solo")]
+        mirror_events("mtf", events, transients=True)
+
+    def test_mtf_context_mirror(self):
+        events = [("method.virtual", k) for _, k in random_events(5)]
+        events += [("method.static", k) for _, k in random_events(6)]
+        mirror_events("mtf", events, use_context=True)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_mirror_property_all_schemes(self, seed):
+        events = random_events(seed, count=120)
+        for scheme in SCHEME_NAMES:
+            mirror_events(scheme, events)
+
+
+class TestSchemeCharacteristics:
+    def test_simple_always_two_bytes(self):
+        events = random_events(7, count=100)
+        size = mirror_events("simple", events)
+        assert size == 200
+
+    def test_basic_smaller_than_simple(self):
+        events = random_events(8, count=500, keys=20)
+        assert mirror_events("basic", events) < \
+            mirror_events("simple", events)
+
+    def test_mtf_skewed_stream_mostly_small_indices(self):
+        # A hot/cold access pattern: MTF emits mostly index 1.
+        events = []
+        for i in range(200):
+            events.append(("a", "hot"))
+            if i % 10 == 0:
+                events.append(("a", f"cold{i}"))
+        encoder, _ = make_codec("mtf")
+        streams = StreamSet()
+        writer = streams.stream("r")
+        for kind, key in events:
+            encoder.encode(writer, (kind, ("-", "-")), key)
+        ones = sum(1 for b in writer.buf if b == 1)
+        assert ones > len(events) // 2
+
+    def test_freq_assigns_small_ids_to_frequent(self):
+        encoder, _ = make_codec("freq")
+        counts = {("a", "hot"): 100, ("a", "warm"): 10, ("a", "cool"): 2}
+        encoder.set_frequencies(counts)
+        assert encoder._ids["a"]["hot"] == 1
+        assert encoder._ids["a"]["warm"] == 2
+
+    def test_freq_singletons_share_id_zero(self):
+        encoder, _ = make_codec("freq")
+        encoder.set_frequencies({("a", "x"): 1, ("a", "y"): 1})
+        streams = StreamSet()
+        writer = streams.stream("r")
+        assert encoder.encode(writer, ("a", ("-", "-")), "x")
+        assert encoder.encode(writer, ("a", ("-", "-")), "y")
+        assert bytes(writer.buf) == b"\x00\x00"
+
+    def test_cache_hits_use_small_codes(self):
+        encoder, _ = make_codec("cache")
+        encoder.set_frequencies({("a", "k"): 50})
+        streams = StreamSet()
+        writer = streams.stream("r")
+        encoder.encode(writer, ("a", ("-", "-")), "k")  # miss: 16 + id
+        encoder.encode(writer, ("a", ("-", "-")), "k")  # hit: position 0
+        assert writer.buf[-1] == 0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            make_codec("nonsense")

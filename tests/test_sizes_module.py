@@ -1,0 +1,88 @@
+"""Tests for IR instruction sizing (compressor/decompressor layout)."""
+
+from repro.classfile.bytecode import disassemble
+from repro.ir.build import build_class
+from repro.pack.sizes import ir_instruction_size
+
+from helpers import compile_sink, compile_shapes
+
+
+class TestAgainstRealLayout:
+    def _check(self, classes):
+        """IR sizes must reproduce the actual byte layout of every
+        compiled method (offset deltas between real instructions)."""
+        checked = 0
+        for classfile in classes.values():
+            definition = build_class(classfile)
+            for member, method in zip(classfile.methods,
+                                      definition.methods):
+                code_attr = member.code()
+                if code_attr is None:
+                    continue
+                real = disassemble(code_attr.code)
+                offset = 0
+                for real_ins, ir_ins in zip(real,
+                                            method.code.instructions):
+                    assert offset == real_ins.offset, \
+                        (classfile.name, offset, real_ins.offset)
+                    offset += ir_instruction_size(ir_ins, offset)
+                    checked += 1
+                assert offset == len(code_attr.code)
+        assert checked > 40
+
+    def test_kitchen_sink(self):
+        self._check(compile_sink())
+
+    def test_shapes(self):
+        self._check(compile_shapes())
+
+    def test_suite(self):
+        from repro.corpus.suites import generate_suite
+        from repro.jar.formats import strip_classes
+
+        self._check(strip_classes(generate_suite("compress")))
+
+
+class TestSpecificSizes:
+    def _size(self, mnemonic, offset=0, **fields):
+        from repro.classfile.opcodes import BY_NAME
+        from repro.ir.model import IRInstruction
+
+        return ir_instruction_size(
+            IRInstruction(BY_NAME[mnemonic].opcode, **fields), offset)
+
+    def test_plain(self):
+        assert self._size("iadd") == 1
+        assert self._size("bipush", immediate=5) == 2
+        assert self._size("sipush", immediate=500) == 3
+        assert self._size("getfield") == 3
+        assert self._size("goto", target=0) == 3
+        assert self._size("goto_w", target=0) == 5
+        assert self._size("invokeinterface") == 5
+        assert self._size("multianewarray", dims=2) == 4
+
+    def test_wide_forms(self):
+        assert self._size("iload", local=3) == 2
+        assert self._size("iload", local=300) == 4  # wide prefix
+        assert self._size("iinc", local=1, immediate=5) == 3
+        assert self._size("iinc", local=1, immediate=500) == 6
+
+    def test_ldc_widths(self):
+        from repro.ir.model import ConstValue
+
+        assert self._size("ldc", const=ConstValue("int", 1)) == 2
+        assert self._size("ldc_w", const=ConstValue("int", 1)) == 3
+        assert self._size("ldc2_w", const=ConstValue("long", 1)) == 3
+
+    def test_switch_padding_depends_on_offset(self):
+        from repro.classfile.opcodes import BY_NAME
+        from repro.ir.model import IRInstruction
+
+        instruction = IRInstruction(
+            BY_NAME["tableswitch"].opcode, switch_default=0,
+            switch_low=0, switch_pairs=[(0, 0), (1, 0)])
+        sizes = {offset: ir_instruction_size(instruction, offset)
+                 for offset in range(4)}
+        # 1 opcode byte + pad to 4 + 12 header + 2 * 4 targets.
+        assert sizes[3] == 1 + 0 + 12 + 8
+        assert sizes[0] == 1 + 3 + 12 + 8

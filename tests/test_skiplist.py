@@ -1,0 +1,127 @@
+"""Tests for the distance-annotated indexable skiplist (Section 5)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mtf.skiplist import IndexedSkipList
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = IndexedSkipList()
+        assert len(sl) == 0
+        assert sl.to_list() == []
+        sl.check_invariants()
+
+    def test_insert_front_order(self):
+        sl = IndexedSkipList()
+        for value in range(5):
+            sl.insert_front(value)
+        assert sl.to_list() == [4, 3, 2, 1, 0]
+
+    def test_node_at(self):
+        sl = IndexedSkipList()
+        for value in range(10):
+            sl.insert_front(value)
+        for index in range(10):
+            assert sl.node_at(index).value == 9 - index
+
+    def test_node_at_out_of_range(self):
+        sl = IndexedSkipList()
+        sl.insert_front(1)
+        with pytest.raises(IndexError):
+            sl.node_at(1)
+        with pytest.raises(IndexError):
+            sl.node_at(-1)
+
+    def test_delete_at(self):
+        sl = IndexedSkipList()
+        for value in range(5):
+            sl.insert_front(value)
+        node = sl.delete_at(2)
+        assert node.value == 2
+        assert sl.to_list() == [4, 3, 1, 0]
+        sl.check_invariants()
+
+    def test_move_to_front(self):
+        sl = IndexedSkipList()
+        for value in range(4):
+            sl.insert_front(value)
+        assert sl.move_to_front(3) == 0
+        assert sl.to_list() == [0, 3, 2, 1]
+        sl.check_invariants()
+
+    def test_move_front_to_front_is_noop(self):
+        sl = IndexedSkipList()
+        sl.insert_front("a")
+        sl.insert_front("b")
+        assert sl.move_to_front(0) == "b"
+        assert sl.to_list() == ["b", "a"]
+
+    def test_index_of(self):
+        sl = IndexedSkipList()
+        nodes = [sl.insert_front(value) for value in range(20)]
+        for value, node in enumerate(nodes):
+            assert sl.index_of(node) == 19 - value
+
+
+class TestAgainstModel:
+    def _run(self, seed, operations):
+        rng = random.Random(seed)
+        sl = IndexedSkipList(seed=seed)
+        model = []
+        nodes = {}
+        for step in range(operations):
+            action = rng.random()
+            if action < 0.45 or not model:
+                nodes[step] = sl.insert_front(step)
+                model.insert(0, step)
+            elif action < 0.8:
+                index = rng.randrange(len(model))
+                value = sl.move_to_front(index)
+                expected = model.pop(index)
+                model.insert(0, expected)
+                assert value == expected
+            elif action < 0.9:
+                index = rng.randrange(len(model))
+                node = sl.delete_at(index)
+                expected = model.pop(index)
+                assert node.value == expected
+                del nodes[expected]
+            else:
+                index = rng.randrange(len(model))
+                assert sl.index_of(nodes[model[index]]) == index
+        assert sl.to_list() == model
+        sl.check_invariants()
+
+    def test_model_seed_0(self):
+        self._run(0, 800)
+
+    def test_model_seed_1(self):
+        self._run(1, 800)
+
+    def test_model_seed_2(self):
+        self._run(2, 800)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_model_random_seeds(self, seed):
+        self._run(seed, 200)
+
+
+class TestExpectedComplexity:
+    def test_height_distribution_is_logarithmic(self):
+        sl = IndexedSkipList(seed=3)
+        for value in range(4096):
+            sl.insert_front(value)
+        # With p = 1/4, expected max height ~ log4(4096) = 6; allow
+        # generous slack but reject a degenerate linked list.
+        heights = []
+        node = sl.head.forward[0]
+        while node is not sl.head:
+            heights.append(node.height)
+            node = node.forward[0]
+        assert max(heights) <= 20
+        assert sum(heights) / len(heights) < 2.0

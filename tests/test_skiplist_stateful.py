@@ -1,0 +1,82 @@
+"""Hypothesis stateful testing of the indexable skiplist.
+
+Drives arbitrary interleavings of insert-front / move-to-front /
+delete / index-of against a plain-list model, checking full structural
+invariants after every step.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.mtf.skiplist import IndexedSkipList
+
+
+class SkiplistMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.skiplist = IndexedSkipList(seed=1234)
+        self.model = []
+        self.nodes = {}
+        self.counter = 0
+
+    @rule()
+    def insert_front(self):
+        value = self.counter
+        self.counter += 1
+        self.nodes[value] = self.skiplist.insert_front(value)
+        self.model.insert(0, value)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def move_to_front(self, data):
+        index = data.draw(st.integers(min_value=0,
+                                      max_value=len(self.model) - 1))
+        got = self.skiplist.move_to_front(index)
+        expected = self.model.pop(index)
+        self.model.insert(0, expected)
+        assert got == expected
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_at(self, data):
+        index = data.draw(st.integers(min_value=0,
+                                      max_value=len(self.model) - 1))
+        node = self.skiplist.delete_at(index)
+        expected = self.model.pop(index)
+        assert node.value == expected
+        del self.nodes[expected]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def index_of(self, data):
+        index = data.draw(st.integers(min_value=0,
+                                      max_value=len(self.model) - 1))
+        value = self.model[index]
+        assert self.skiplist.index_of(self.nodes[value]) == index
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def node_at(self, data):
+        index = data.draw(st.integers(min_value=0,
+                                      max_value=len(self.model) - 1))
+        assert self.skiplist.node_at(index).value == self.model[index]
+
+    @invariant()
+    def matches_model(self):
+        assert len(self.skiplist) == len(self.model)
+        assert self.skiplist.to_list() == self.model
+
+    @invariant()
+    def widths_consistent(self):
+        self.skiplist.check_invariants()
+
+
+TestSkiplistStateful = SkiplistMachine.TestCase
+TestSkiplistStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)

@@ -1,0 +1,209 @@
+"""Tests for the approximate stack state machine (Section 7.1)."""
+
+from repro.bytecode_codec.apply import (
+    OPCODES_BY_NAME,
+    apply_instruction_state,
+)
+from repro.bytecode_codec.stack_state import StackTracker
+from repro.classfile.opcodes import OPCODES
+from repro.ir.build import build_class
+from repro.minijava import compile_sources
+from repro.pack.sizes import ir_instruction_size
+
+from helpers import compile_shapes, compile_sink
+
+
+def collapse_expand_roundtrip(definition):
+    """Collapse a method's opcodes, then expand; both must agree."""
+    for method in definition.methods:
+        if method.code is None:
+            continue
+        compress_tracker = StackTracker()
+        decompress_tracker = StackTracker()
+        offset = 0
+        for instruction in method.code.instructions:
+            compress_tracker.at_instruction(offset)
+            decompress_tracker.at_instruction(offset)
+            mnemonic = OPCODES[instruction.opcode].mnemonic
+            if instruction.const is None:
+                collapsed = compress_tracker.collapse(mnemonic)
+                expanded = decompress_tracker.expand(collapsed)
+                assert expanded == mnemonic, (
+                    f"{mnemonic} -> {collapsed} -> {expanded} "
+                    f"at offset {offset}")
+            # Contexts for method refs must also agree.
+            assert compress_tracker.top_categories() == \
+                decompress_tracker.top_categories()
+            apply_instruction_state(compress_tracker, instruction, offset)
+            apply_instruction_state(decompress_tracker, instruction,
+                                    offset)
+            offset += ir_instruction_size(instruction, offset)
+
+
+class TestRoundtripOnCompiledCode:
+    def test_kitchen_sink(self):
+        for classfile in compile_sink().values():
+            collapse_expand_roundtrip(build_class(classfile))
+
+    def test_shapes(self):
+        for classfile in compile_shapes().values():
+            collapse_expand_roundtrip(build_class(classfile))
+
+    def test_suite_sample(self):
+        from repro.corpus.suites import generate_suite
+
+        for classfile in generate_suite("compress").values():
+            collapse_expand_roundtrip(build_class(classfile))
+
+
+def _compiled_method(source, name):
+    classes = compile_sources([source])
+    classfile = next(iter(classes.values()))
+    definition = build_class(classfile)
+    for method in definition.methods:
+        if method.ref.name.name == name:
+            return method
+    raise AssertionError(f"no method {name}")
+
+
+def _collapsed_mnemonics(method):
+    tracker = StackTracker()
+    out = []
+    offset = 0
+    for instruction in method.code.instructions:
+        tracker.at_instruction(offset)
+        mnemonic = OPCODES[instruction.opcode].mnemonic
+        if instruction.const is None:
+            out.append(tracker.collapse(mnemonic))
+        else:
+            out.append(mnemonic)
+        apply_instruction_state(tracker, instruction, offset)
+        offset += ir_instruction_size(instruction, offset)
+    return out
+
+
+class TestCollapsing:
+    def test_double_add_collapses_to_iadd(self):
+        method = _compiled_method(
+            "class T { double f(double a, double b) {"
+            " return a + b; } }", "f")
+        ops = _collapsed_mnemonics(method)
+        assert "iadd" in ops
+        assert "dadd" not in ops
+
+    def test_dreturn_collapses(self):
+        method = _compiled_method(
+            "class T { double f(double a) { return a; } }", "f")
+        assert _collapsed_mnemonics(method)[-1] == "ireturn"
+
+    def test_areturn_collapses(self):
+        method = _compiled_method(
+            "class T { String f(String s) { return s; } }", "f")
+        assert _collapsed_mnemonics(method)[-1] == "ireturn"
+
+    def test_long_shift_collapses(self):
+        method = _compiled_method(
+            "class T { long f(long a, int s) { return a << s; } }", "f")
+        ops = _collapsed_mnemonics(method)
+        assert "ishl" in ops and "lshl" not in ops
+
+    def test_store_collapses(self):
+        method = _compiled_method(
+            "class T { void f(double d) { double x = d * 2.0;"
+            " System.out.println(x); } }", "f")
+        ops = _collapsed_mnemonics(method)
+        assert "istore_3" in ops  # dstore_3 collapsed
+
+    def test_array_store_collapses_with_known_array(self):
+        # The array type must be visible on the stack: a getstatic of a
+        # double[] field is tracked precisely, so dastore collapses.
+        method = _compiled_method(
+            "class T { static double[] t;"
+            " void f() { t[1] = 2.0; } }", "f")
+        ops = _collapsed_mnemonics(method)
+        assert "iastore" in ops and "dastore" not in ops
+
+    def test_array_store_through_local_stays_typed(self):
+        # Locals are untracked (the paper tracks only the stack), so an
+        # array loaded from a local is a generic reference and the
+        # typed store passes through uncollapsed.
+        method = _compiled_method(
+            "class T { void f() { double[] a = new double[4];"
+            " a[1] = 2.0; } }", "f")
+        ops = _collapsed_mnemonics(method)
+        assert "dastore" in ops
+
+    def test_unknown_state_passes_through(self):
+        tracker = StackTracker()
+        tracker.stack = None
+        assert tracker.collapse("dadd") == "dadd"
+        assert tracker.expand("iadd") == "iadd"
+
+
+class TestStateMachine:
+    def test_top_categories(self):
+        tracker = StackTracker()
+        tracker.apply("iconst_0", 0)
+        tracker.apply("lconst_0", 1)
+        assert tracker.top_categories() == ("J", "I")
+
+    def test_merge_conflict_goes_unknown(self):
+        tracker = StackTracker()
+        # Simulate: branch saved a state with one int; fall-through
+        # arrives with an empty stack.
+        tracker.pending = (10, ["I"])
+        tracker.stack = []
+        tracker.at_instruction(10)
+        assert tracker.stack is None
+
+    def test_pending_adopted_when_unreachable(self):
+        tracker = StackTracker()
+        tracker.pending = (10, ["I"])
+        tracker.stack = None
+        tracker.at_instruction(10)
+        assert tracker.stack == ["I"]
+
+    def test_goto_kills_state(self):
+        tracker = StackTracker()
+        tracker.apply("goto", 0, branch_target=10)
+        assert tracker.stack is None
+        assert tracker.pending == (10, [])
+
+    def test_only_one_pending_branch(self):
+        tracker = StackTracker()
+        tracker.apply("iconst_0", 0)
+        tracker.apply("ifeq", 1, branch_target=20)
+        first_pending = tracker.pending
+        tracker.apply("iconst_1", 4)
+        tracker.apply("ifeq", 5, branch_target=30)
+        # The second forward branch must NOT displace the first.
+        assert tracker.pending == first_pending
+
+    def test_wide_values_marked(self):
+        tracker = StackTracker()
+        tracker.apply("lconst_0", 0)
+        assert tracker.stack == ["J", "#"]
+        tracker.apply("lstore_0", 1)
+        assert tracker.stack == []
+
+    def test_invoke_effect(self):
+        tracker = StackTracker()
+        tracker.apply("aconst_null", 0)
+        tracker.apply("iconst_0", 1)
+        tracker.apply("invokevirtual", 2,
+                      method_descriptor="(I)Ljava/lang/String;",
+                      is_static_call=False)
+        assert tracker.stack == ["Ljava/lang/String;"]
+
+    def test_null_counts_as_reference(self):
+        tracker = StackTracker()
+        tracker.apply("aconst_null", 0)
+        assert tracker.top_categories()[0] == "A"
+
+    def test_aaload_propagates_element_type(self):
+        tracker = StackTracker()
+        tracker.apply("getstatic", 0,
+                      field_descriptor="[Ljava/lang/String;")
+        tracker.apply("iconst_0", 3)
+        tracker.apply("aaload", 4)
+        assert tracker.stack == ["Ljava/lang/String;"]

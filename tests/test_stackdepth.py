@@ -1,0 +1,113 @@
+"""Tests for operand-stack depth analysis."""
+
+import pytest
+
+from repro.classfile import constant_pool as cp
+from repro.classfile.bytecode import assemble_indexed, disassemble, make
+from repro.classfile.stackdepth import compute_max_stack, stack_effect
+
+from helpers import compile_sink
+
+
+def _prepare(instructions):
+    """Assemble (assigning offsets/targets) and return instructions."""
+    assemble_indexed(instructions)
+    return instructions
+
+
+class TestStackEffect:
+    def test_constants(self):
+        pool = cp.ConstantPool()
+        assert stack_effect(make("iconst_0"), pool) == (0, 1)
+        assert stack_effect(make("lconst_0"), pool) == (0, 2)
+        assert stack_effect(make("dconst_1"), pool) == (0, 2)
+
+    def test_invoke_uses_descriptor(self):
+        pool = cp.ConstantPool()
+        index = pool.methodref("A", "m", "(IJ)D")
+        instruction = make("invokevirtual", cp_index=index)
+        assert stack_effect(instruction, pool) == (4, 2)  # this+I+J -> D
+        static_index = pool.methodref("A", "s", "(I)V")
+        instruction = make("invokestatic", cp_index=static_index)
+        assert stack_effect(instruction, pool) == (1, 0)
+
+    def test_field_width(self):
+        pool = cp.ConstantPool()
+        index = pool.fieldref("A", "d", "D")
+        assert stack_effect(make("getstatic", cp_index=index),
+                            pool) == (0, 2)
+        assert stack_effect(make("putfield", cp_index=index),
+                            pool) == (3, 0)
+
+    def test_multianewarray(self):
+        pool = cp.ConstantPool()
+        instruction = make("multianewarray", cp_index=1, dims=3)
+        assert stack_effect(instruction, pool) == (3, 1)
+
+
+class TestComputeMaxStack:
+    def test_straight_line(self):
+        pool = cp.ConstantPool()
+        instructions = _prepare([
+            make("iconst_1"), make("iconst_2"), make("iadd"),
+            make("ireturn"),
+        ])
+        assert compute_max_stack(instructions, pool) == 2
+
+    def test_wide_values(self):
+        pool = cp.ConstantPool()
+        instructions = _prepare([
+            make("lconst_0"), make("lconst_1"), make("ladd"),
+            make("lreturn"),
+        ])
+        assert compute_max_stack(instructions, pool) == 4
+
+    def test_branches_merge(self):
+        pool = cp.ConstantPool()
+        instructions = [
+            make("iload_0"),           # 0
+            make("ifeq", target=4),    # 1
+            make("iconst_1"),          # 2
+            make("goto", target=5),    # 3
+            make("iconst_2"),          # 4
+            make("ireturn"),           # 5
+        ]
+        _prepare(instructions)
+        assert compute_max_stack(instructions, pool) == 1
+
+    def test_underflow_detected(self):
+        pool = cp.ConstantPool()
+        instructions = _prepare([make("iadd"), make("ireturn")])
+        with pytest.raises(ValueError):
+            compute_max_stack(instructions, pool)
+
+    def test_fall_off_end_detected(self):
+        pool = cp.ConstantPool()
+        instructions = _prepare([make("iconst_0"), make("pop")])
+        with pytest.raises(ValueError):
+            compute_max_stack(instructions, pool)
+
+    def test_handler_starts_with_depth_one(self):
+        pool = cp.ConstantPool()
+        instructions = [
+            make("iconst_0"),          # 0
+            make("ireturn"),           # 1
+            make("athrow"),            # 2: handler rethrows
+        ]
+        _prepare(instructions)
+        handler_offset = instructions[2].offset
+        depth = compute_max_stack(instructions, pool,
+                                  [handler_offset])
+        assert depth >= 1
+
+    def test_declared_max_stack_matches_computed(self):
+        for classfile in compile_sink().values():
+            for method in classfile.methods:
+                code = method.code()
+                if code is None:
+                    continue
+                instructions = disassemble(code.code)
+                depth = compute_max_stack(
+                    instructions, classfile.pool,
+                    [e.handler_pc for e in code.exception_table])
+                assert depth == code.max_stack

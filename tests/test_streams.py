@@ -1,0 +1,90 @@
+"""Tests for the named-stream container."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.streams import StreamReader, StreamSet, concat_streams
+
+
+class TestStreamSet:
+    def test_roundtrip_compressed(self):
+        streams = StreamSet()
+        streams.stream("a").uvarint(42)
+        streams.stream("b").raw(b"hello world" * 10)
+        streams.stream("a").svarint(-7)
+        data = streams.serialize(compress=True)
+        reader = StreamReader(data, compressed=True)
+        cursor = reader.stream("a")
+        assert cursor.uvarint() == 42
+        assert cursor.svarint() == -7
+        assert reader.stream("b").raw(110) == b"hello world" * 10
+
+    def test_roundtrip_uncompressed(self):
+        streams = StreamSet()
+        streams.stream("x").u8(200)
+        data = streams.serialize(compress=False)
+        reader = StreamReader(data, compressed=False)
+        assert reader.stream("x").u8() == 200
+
+    def test_missing_stream_reads_as_empty(self):
+        streams = StreamSet()
+        streams.stream("present").u8(1)
+        reader = StreamReader(streams.serialize())
+        cursor = reader.stream("absent")
+        assert cursor.at_end()
+        with pytest.raises(ValueError):
+            cursor.u8()
+
+    def test_raw_sizes(self):
+        streams = StreamSet()
+        streams.stream("a").raw(b"xyz")
+        assert streams.raw_sizes() == {"a": 3}
+
+    def test_compressed_sizes_accounts_all_streams(self):
+        streams = StreamSet()
+        streams.stream("a").raw(b"x" * 1000)
+        streams.stream("b").raw(b"y")
+        sizes = streams.compressed_sizes()
+        assert set(sizes) == {"a", "b"}
+        assert sizes["a"] < 1000  # compressible
+
+    def test_exhausted_cursor_raises(self):
+        streams = StreamSet()
+        streams.stream("a").u8(1)
+        reader = StreamReader(streams.serialize())
+        cursor = reader.stream("a")
+        cursor.u8()
+        with pytest.raises(ValueError):
+            cursor.u8()
+        with pytest.raises(ValueError):
+            cursor.raw(1)
+
+    def test_ranged_helpers(self):
+        streams = StreamSet()
+        streams.stream("a").ranged(300, 1000)
+        reader = StreamReader(streams.serialize())
+        assert reader.stream("a").ranged(1000) == 300
+
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=10),
+        st.binary(max_size=200), max_size=6))
+    def test_arbitrary_payloads(self, payloads):
+        streams = StreamSet()
+        for name, payload in payloads.items():
+            streams.stream(name).raw(payload)
+        reader = StreamReader(streams.serialize())
+        for name, payload in payloads.items():
+            assert reader.stream(name).raw(len(payload)) == payload
+
+
+class TestConcatStreams:
+    def test_concat_matches_reader(self):
+        data = concat_streams([("a", b"one"), ("b", b"two")])
+        reader = StreamReader(data, compressed=False)
+        assert reader.stream("a").raw(3) == b"one"
+        assert reader.stream("b").raw(3) == b"two"
+
+    def test_truncated_container_rejected(self):
+        data = concat_streams([("a", b"12345")])
+        with pytest.raises(ValueError):
+            StreamReader(data[:-2], compressed=False)

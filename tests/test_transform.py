@@ -1,0 +1,124 @@
+"""Tests for the Section 2 preprocessing transforms."""
+
+import copy
+
+from repro.classfile import constant_pool as cp
+from repro.classfile.classfile import parse_class, write_class
+from repro.classfile.constants import ConstantTag
+from repro.classfile.transform import (
+    gc_and_sort_pool,
+    normalize,
+    strip_debug_attributes,
+)
+from repro.classfile.verify import verify_class
+from repro.corpus.debug import add_debug_info
+from repro.pack.equivalence import semantic_equal
+
+from helpers import compile_simple, compile_sink, compile_shapes
+
+
+class TestStripDebug:
+    def test_debug_attributes_removed(self):
+        classfile = next(iter(compile_simple().values()))
+        add_debug_info(classfile)
+        with_debug = len(write_class(copy.deepcopy(classfile)))
+        strip_debug_attributes(classfile)
+        names = {a.name for a in classfile.attributes}
+        assert "SourceFile" not in names
+        for method in classfile.methods:
+            code = method.code()
+            if code:
+                nested = {a.name for a in code.attributes}
+                assert "LineNumberTable" not in nested
+                assert "LocalVariableTable" not in nested
+        # Stripping alone doesn't shrink the file (pool entries leak)
+        # until the pool is GC'd.
+        gc_and_sort_pool(classfile)
+        assert len(write_class(classfile)) < with_debug
+
+    def test_strip_preserves_semantics(self):
+        classfile = next(iter(compile_sink().values()))
+        reference = copy.deepcopy(classfile)
+        add_debug_info(classfile)
+        normalize(classfile)
+        normalize(reference)
+        assert semantic_equal(classfile, reference)
+
+
+class TestGcAndSort:
+    def test_unused_entries_collected(self):
+        classfile = next(iter(compile_simple().values()))
+        write_class(classfile)  # interns attribute-name Utf8 entries
+        classfile.pool.utf8("never referenced by anything")
+        before = classfile.pool.count
+        gc_and_sort_pool(classfile)
+        after = classfile.pool.count
+        assert after < before
+        values = [entry.value for _, entry in classfile.pool.entries()
+                  if isinstance(entry, cp.Utf8)]
+        assert "never referenced by anything" not in values
+
+    def test_pool_sorted_by_type_then_content(self):
+        classfile = next(iter(compile_sink().values()))
+        gc_and_sort_pool(classfile)
+        ranks = [ConstantTag.SORT_ORDER[entry.tag]
+                 for _, entry in classfile.pool.entries()]
+        assert ranks == sorted(ranks)
+        utf8_values = [entry.value
+                       for _, entry in classfile.pool.entries()
+                       if isinstance(entry, cp.Utf8)]
+        assert utf8_values == sorted(utf8_values)
+
+    def test_loadables_get_low_indices(self):
+        classfile = next(iter(compile_sink().values()))
+        gc_and_sort_pool(classfile)
+        loadable_ranks = {ConstantTag.SORT_ORDER[t]
+                          for t in (ConstantTag.INTEGER, ConstantTag.FLOAT,
+                                    ConstantTag.STRING)}
+        max_loadable = 0
+        min_other = None
+        for index, entry in classfile.pool.entries():
+            if ConstantTag.SORT_ORDER[entry.tag] in loadable_ranks:
+                max_loadable = max(max_loadable, index)
+            elif min_other is None:
+                min_other = index
+        if min_other is not None and max_loadable:
+            assert max_loadable < min_other
+
+    def test_result_still_verifies_and_roundtrips(self):
+        for classfile in compile_sink().values():
+            reference = copy.deepcopy(classfile)
+            gc_and_sort_pool(classfile)
+            verify_class(classfile)
+            data = write_class(classfile)
+            assert write_class(parse_class(data)) == data
+            assert semantic_equal(classfile, reference)
+
+    def test_idempotent(self):
+        classfile = next(iter(compile_sink().values()))
+        gc_and_sort_pool(classfile)
+        once = write_class(copy.deepcopy(classfile))
+        gc_and_sort_pool(classfile)
+        assert write_class(classfile) == once
+
+
+class TestNormalize:
+    def test_normalize_shrinks_debug_build(self):
+        for classfile in compile_shapes().values():
+            add_debug_info(classfile)
+            before = len(write_class(copy.deepcopy(classfile)))
+            normalize(classfile)
+            after = len(write_class(classfile))
+            assert after < before
+            verify_class(classfile)
+
+    def test_normalize_drops_unknown_attributes(self):
+        from repro.classfile.attributes import RawAttribute
+
+        classfile = next(iter(compile_simple().values()))
+        classfile.pool.utf8("VendorSpecific")
+        classfile.attributes.append(
+            RawAttribute("VendorSpecific", b"\xff"))
+        normalize(classfile)
+        assert all(a.name != "VendorSpecific"
+                   for a in classfile.attributes)

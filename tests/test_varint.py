@@ -1,0 +1,141 @@
+"""Tests for the Section 6 integer codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.varint import (
+    decode_uvarints,
+    encode_uvarints,
+    range_escape_count,
+    read_ranged,
+    read_svarint,
+    read_uvarint,
+    unzigzag,
+    write_ranged,
+    write_svarint,
+    write_uvarint,
+    zigzag,
+)
+
+
+class TestUvarint:
+    def test_zero_is_one_byte(self):
+        out = bytearray()
+        write_uvarint(out, 0)
+        assert bytes(out) == b"\x00"
+
+    def test_small_values_one_byte(self):
+        for value in range(128):
+            out = bytearray()
+            write_uvarint(out, value)
+            assert len(out) == 1
+
+    def test_128_is_two_bytes(self):
+        out = bytearray()
+        write_uvarint(out, 128)
+        assert len(out) == 2
+        assert out[0] & 0x80
+
+    def test_roundtrip_boundaries(self):
+        for value in (0, 1, 127, 128, 255, 16383, 16384, 1 << 31,
+                      (1 << 63) - 1):
+            out = bytearray()
+            write_uvarint(out, value)
+            decoded, pos = read_uvarint(bytes(out), 0)
+            assert decoded == value
+            assert pos == len(out)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_uvarint(bytearray(), -1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            read_uvarint(b"\x80", 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            read_uvarint(b"", 0)
+
+    @given(st.integers(min_value=0, max_value=(1 << 63) - 1))
+    def test_roundtrip_property(self, value):
+        out = bytearray()
+        write_uvarint(out, value)
+        decoded, pos = read_uvarint(bytes(out), 0)
+        assert decoded == value and pos == len(out)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 40)))
+    def test_stream_roundtrip(self, values):
+        assert decode_uvarints(encode_uvarints(values)) == values
+
+
+class TestZigzag:
+    def test_paper_example(self):
+        # The paper: {-3,-2,-1,0,1,2,3} -> {5,3,1,0,2,4,6}.
+        assert [zigzag(v) for v in (-3, -2, -1, 0, 1, 2, 3)] == \
+            [5, 3, 1, 0, 2, 4, 6]
+
+    @given(st.integers(min_value=-(1 << 62), max_value=1 << 62))
+    def test_inverse(self, value):
+        assert unzigzag(zigzag(value)) == value
+
+    @given(st.integers(min_value=-(1 << 62), max_value=1 << 62))
+    def test_svarint_roundtrip(self, value):
+        out = bytearray()
+        write_svarint(out, value)
+        decoded, pos = read_svarint(bytes(out), 0)
+        assert decoded == value and pos == len(out)
+
+    def test_small_negatives_are_short(self):
+        out = bytearray()
+        write_svarint(out, -1)
+        assert len(out) == 1
+
+
+class TestRanged:
+    def test_single_byte_when_small_range(self):
+        for n in (1, 2, 200, 256):
+            assert range_escape_count(n) == 0
+
+    def test_escape_count_formula(self):
+        assert range_escape_count(257) == 1
+        assert range_escape_count(1000) == (998) // 255
+
+    def test_roundtrip_full_range(self):
+        for n in (1, 2, 255, 256, 257, 300, 1000, 65536):
+            for value in {0, 1, n // 2, n - 2, n - 1} - {-1}:
+                if value >= n or value < 0:
+                    continue
+                out = bytearray()
+                write_ranged(out, value, n)
+                decoded, pos = read_ranged(bytes(out), 0, n)
+                assert decoded == value, (n, value)
+                assert pos == len(out)
+
+    def test_never_more_than_two_bytes(self):
+        for n in (257, 1000, 65536):
+            for value in (0, n - 1, n // 2):
+                out = bytearray()
+                write_ranged(out, value, n)
+                assert len(out) <= 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            write_ranged(bytearray(), 5, 5)
+        with pytest.raises(ValueError):
+            write_ranged(bytearray(), -1, 5)
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(ValueError):
+            range_escape_count(0)
+        with pytest.raises(ValueError):
+            range_escape_count(1 << 17)
+
+    @given(st.integers(min_value=1, max_value=1 << 16),
+           st.data())
+    def test_roundtrip_property(self, n, data):
+        value = data.draw(st.integers(min_value=0, max_value=n - 1))
+        out = bytearray()
+        write_ranged(out, value, n)
+        decoded, pos = read_ranged(bytes(out), 0, n)
+        assert decoded == value and pos == len(out) and len(out) <= 2

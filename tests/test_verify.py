@@ -1,0 +1,121 @@
+"""Tests for the structural verifier."""
+
+import copy
+
+import pytest
+
+from repro.classfile.attributes import CodeAttribute
+from repro.classfile.verify import VerificationError, verify_class
+from repro.corpus.suites import generate_suite
+
+from helpers import compile_simple, compile_sink, compile_shapes
+
+
+class TestValidClasses:
+    def test_compiler_output_verifies(self):
+        for classes in (compile_simple(), compile_sink(),
+                        compile_shapes()):
+            for classfile in classes.values():
+                verify_class(classfile)
+
+    def test_suite_verifies(self):
+        for classfile in generate_suite("Hanoi").values():
+            verify_class(classfile)
+
+
+class TestCorruption:
+    def _victim(self):
+        return copy.deepcopy(
+            next(iter(compile_sink().values())))
+
+    def test_bad_this_class(self):
+        classfile = self._victim()
+        classfile.this_class = classfile.pool.count + 5
+        with pytest.raises(VerificationError):
+            verify_class(classfile)
+
+    def test_this_class_wrong_type(self):
+        classfile = self._victim()
+        classfile.this_class = classfile.pool.utf8("not a class entry")
+        with pytest.raises(VerificationError):
+            verify_class(classfile)
+
+    def test_bad_member_descriptor(self):
+        classfile = self._victim()
+        member = classfile.methods[0]
+        member.descriptor_index = classfile.pool.utf8("(((")
+        with pytest.raises(VerificationError):
+            verify_class(classfile)
+
+    def test_truncated_bytecode(self):
+        classfile = self._victim()
+        for method in classfile.methods:
+            code = method.code()
+            if code and len(code.code) > 3:
+                code.code = code.code[:-1]
+                break
+        with pytest.raises(VerificationError):
+            verify_class(classfile)
+
+    def test_branch_into_middle_of_instruction(self):
+        classfile = self._victim()
+        from repro.classfile.bytecode import assemble, make
+
+        bad = assemble([
+            make("iload_0", offset=0),
+            make("ifeq", offset=1, target=100),  # target out of range
+            make("iconst_0", offset=4),
+            make("ireturn", offset=5),
+        ], relayout=False)
+        code = None
+        for method in classfile.methods:
+            code = method.code()
+            if code:
+                break
+        code.code = bad
+        code.exception_table = []
+        with pytest.raises(VerificationError):
+            verify_class(classfile)
+
+    def test_local_exceeds_max_locals(self):
+        classfile = self._victim()
+        for method in classfile.methods:
+            code = method.code()
+            if code:
+                code.max_locals = 0
+                break
+        with pytest.raises(VerificationError):
+            verify_class(classfile)
+
+    def test_understated_max_stack(self):
+        classfile = self._victim()
+        changed = False
+        for method in classfile.methods:
+            code = method.code()
+            if code and code.max_stack > 0:
+                code.max_stack = 0
+                changed = True
+                break
+        assert changed
+        with pytest.raises(VerificationError):
+            verify_class(classfile)
+
+    def test_bad_catch_type(self):
+        classfile = self._victim()
+        found = False
+        for method in classfile.methods:
+            code = method.code()
+            if code and code.exception_table:
+                code.exception_table[0].catch_type = \
+                    classfile.pool.utf8("oops")
+                found = True
+                break
+        assert found, "sink class should have a handler"
+        with pytest.raises(VerificationError):
+            verify_class(classfile)
+
+    def test_empty_code_allowed(self):
+        classfile = self._victim()
+        classfile.methods = [m for m in classfile.methods
+                             if m.code() is None]
+        verify_class(classfile)
