@@ -1,0 +1,102 @@
+"""Guard: disabled observability must stay (near) free.
+
+The observe layer's contract is that with no recorder installed (the
+default) the pipeline pays only a cached-``None`` test per reported
+event.  This module pins that down two ways:
+
+* a *no-hooks baseline* — packing with the recorder module forced to
+  the null recorder — must be within 5% of packing through the public
+  default path (catches someone accidentally making recording the
+  default, or making :func:`repro.observe.current` heavyweight),
+* the fully *enabled* path may cost more, but is bounded (catches
+  pathological per-event work creeping into the hot paths).
+
+Timing comparisons are min-of-N with interleaved rounds so scheduler
+noise hits both sides equally; the 5% check retries to keep CI
+machines with noisy neighbours from flaking.
+"""
+
+import time
+
+from repro import observe, pack_archive
+from repro.observe import recorder as observe_recorder
+
+from conftest import suite_classfiles
+
+SUITE = "javac"
+ROUNDS = 5
+RETRIES = 3
+TOLERANCE = 1.05
+
+
+def _min_time(func, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _interleaved_min_times(funcs, rounds=ROUNDS):
+    """min-of-N per function, rounds interleaved (a,b,a,b,...)."""
+    best = [float("inf")] * len(funcs)
+    for _ in range(rounds):
+        for index, func in enumerate(funcs):
+            start = time.perf_counter()
+            func()
+            best[index] = min(best[index],
+                              time.perf_counter() - start)
+    return best
+
+
+def test_default_pack_leaves_no_recording():
+    classfiles = suite_classfiles(SUITE)
+    pack_archive(classfiles)
+    assert observe.current() is observe.NULL_RECORDER
+    assert observe.NULL_RECORDER.metrics is None
+
+
+def test_disabled_within_5pct_of_no_hooks_baseline():
+    classfiles = suite_classfiles(SUITE)
+
+    def baseline():
+        # Force the guaranteed-null state, whatever the module default
+        # currently is: this is the floor instrumentation can reach.
+        previous = observe_recorder._current
+        observe_recorder._current = observe_recorder.NULL_RECORDER
+        try:
+            pack_archive(classfiles)
+        finally:
+            observe_recorder._current = previous
+
+    def shipped_default():
+        pack_archive(classfiles)
+
+    baseline()  # warm caches before timing
+    for attempt in range(RETRIES):
+        base, shipped = _interleaved_min_times(
+            [baseline, shipped_default])
+        if shipped <= base * TOLERANCE:
+            return
+    raise AssertionError(
+        f"default (observability-disabled) pack took {shipped:.4f}s vs "
+        f"{base:.4f}s no-hooks baseline "
+        f"(> {100 * (TOLERANCE - 1):.0f}% overhead)")
+
+
+def test_enabled_overhead_is_bounded():
+    classfiles = suite_classfiles(SUITE)
+
+    def disabled():
+        pack_archive(classfiles)
+
+    def enabled():
+        with observe.recording():
+            pack_archive(classfiles)
+
+    disabled()  # warm caches before timing
+    off, on = _interleaved_min_times([disabled, enabled], rounds=3)
+    # Full recording does strictly more work; 2x is far above its real
+    # ~5% cost and only catches pathological regressions.
+    assert on <= off * 2.0, (off, on)

@@ -19,6 +19,7 @@ Quickstart::
     restored = unpack_archive(packed)
 """
 
+from . import observe
 from .classfile import (
     ClassFile,
     normalize,
@@ -55,6 +56,7 @@ __all__ = [
     "jar_sizes",
     "make_jar",
     "normalize",
+    "observe",
     "pack_archive",
     "pack_archive_with_stats",
     "parse_class",

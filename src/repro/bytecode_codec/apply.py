@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from ..classfile.opcodes import OPCODES
 from ..ir.model import IRInstruction
+from ..observe.recorder import current as _observe_current
 from .stack_state import StackTracker
 
 #: mnemonic -> opcode value.
@@ -20,6 +21,11 @@ def apply_instruction_state(tracker: StackTracker,
                             instruction: IRInstruction,
                             offset: int) -> None:
     """Update ``tracker`` across one (original, expanded) instruction."""
+    metrics = _observe_current().metrics
+    if metrics is not None:
+        metrics.count("stack_state.applied")
+        if not tracker.known:
+            metrics.count("stack_state.unknown")
     spec = OPCODES[instruction.opcode]
     mnemonic = spec.mnemonic
     kwargs = {}

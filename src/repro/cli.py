@@ -6,23 +6,36 @@ Commands
 ``compile``  mini-Java sources -> a jar of class files
 ``pack``     a jar (or directory of .class files) -> packed archive
 ``unpack``   a packed archive -> jar
+``stats``    pack and report sizes per category plus phase timings
 ``inspect``  summarize a class file, jar, or packed archive
 ``bench``    size comparison of every format on one corpus suite
+``run``      execute class files on the bytecode interpreter
+
+``pack``, ``unpack``, and ``stats`` accept ``--trace`` (print the
+phase timing tree) and ``--metrics-json FILE`` (write the
+``repro.observe/1`` document); see docs/CLI.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, Iterator, List, Optional
 
+from . import observe
 from .classfile.classfile import ClassFile, parse_class, write_class
 from .jar.formats import strip_classes
 from .jar.jarfile import classes_to_entries, make_jar, read_jar
 from .loader.eager import eager_order
 from .minijava import compile_sources
-from .pack import PackOptions, pack_archive, unpack_archive
+from .pack import (
+    PackOptions,
+    pack_archive,
+    pack_archive_with_stats,
+    unpack_archive,
+)
 
 
 def _options_from_args(args: argparse.Namespace) -> PackOptions:
@@ -51,6 +64,39 @@ def _add_pack_options(parser: argparse.ArgumentParser) -> None:
                         help="disable the zlib stage (Table 5)")
     parser.add_argument("--preload", action="store_true",
                         help="seed coders with the standard dictionary")
+
+
+def _add_observe_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", action="store_true",
+                        help="print the phase timing tree when done")
+    parser.add_argument("--metrics-json", metavar="FILE", default=None,
+                        help="write trace + metrics JSON "
+                             "(repro.observe/1 schema) to FILE")
+
+
+@contextmanager
+def _observed(args: argparse.Namespace,
+              always: bool = False) -> Iterator[Optional[observe.Recorder]]:
+    """Install an observe recorder when the flags (or ``always``) ask
+    for one; yields it (or None when observability stays off)."""
+    if always or args.trace or args.metrics_json:
+        with observe.recording() as recorder:
+            yield recorder
+    else:
+        yield None
+
+
+def _report_observed(args: argparse.Namespace,
+                     recorder: Optional[observe.Recorder],
+                     stats=None) -> None:
+    if recorder is None:
+        return
+    if getattr(args, "trace", False):
+        print("phase timings:")
+        print(recorder.trace.render())
+    if args.metrics_json:
+        observe.dump_json(recorder, args.metrics_json, stats=stats)
+        print(f"metrics written to {args.metrics_json}")
 
 
 def _load_classes(path: Path) -> Dict[str, ClassFile]:
@@ -83,28 +129,60 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_pack(args: argparse.Namespace) -> int:
-    classes = _load_classes(Path(args.input))
+def _prepare_input(args: argparse.Namespace) -> List[ClassFile]:
+    """Load, optionally strip, and order the input class files."""
+    with observe.current().span("parse"):
+        classes = _load_classes(Path(args.input))
     if args.strip:
-        classes = strip_classes(classes)
-    ordered = eager_order(list(classes.values())) if args.eager else \
+        with observe.current().span("strip"):
+            classes = strip_classes(classes)
+    return eager_order(list(classes.values())) if args.eager else \
         [classes[name] for name in sorted(classes)]
-    options = _options_from_args(args)
-    packed = pack_archive(ordered, options)
-    Path(args.output).write_bytes(packed)
-    raw = sum(len(write_class(c)) for c in ordered)
+
+
+def cmd_pack(args: argparse.Namespace) -> int:
+    with _observed(args) as recorder:
+        ordered = _prepare_input(args)
+        options = _options_from_args(args)
+        packed = pack_archive(ordered, options)
+        Path(args.output).write_bytes(packed)
+        raw = sum(len(write_class(c)) for c in ordered)
     print(f"packed {len(ordered)} classes: {raw} -> {len(packed)} bytes "
           f"({100 * len(packed) / raw:.0f}%)")
+    _report_observed(args, recorder)
     return 0
 
 
 def cmd_unpack(args: argparse.Namespace) -> int:
     options = _options_from_args(args)
-    classfiles = unpack_archive(Path(args.input).read_bytes(), options)
-    serialized = {c.name: write_class(c) for c in classfiles}
-    Path(args.output).write_bytes(
-        make_jar(classes_to_entries(serialized)))
+    with _observed(args) as recorder:
+        classfiles = unpack_archive(Path(args.input).read_bytes(),
+                                    options)
+        serialized = {c.name: write_class(c) for c in classfiles}
+        with observe.current().span("write-jar"):
+            Path(args.output).write_bytes(
+                make_jar(classes_to_entries(serialized)))
     print(f"unpacked {len(classfiles)} classes -> {args.output}")
+    _report_observed(args, recorder)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Pack the input and report Table-6-style sizes plus timings."""
+    options = _options_from_args(args)
+    with _observed(args, always=True) as recorder:
+        ordered = _prepare_input(args)
+        packed, stats = pack_archive_with_stats(ordered, options)
+    raw = sum(len(write_class(c)) for c in ordered)
+    print(f"{len(ordered)} classes: {raw} class-file bytes -> "
+          f"{len(packed)} packed bytes "
+          f"({100 * len(packed) / raw:.0f}%)")
+    print(stats.render(per_stream=args.per_stream))
+    print("phase timings:")
+    print(recorder.trace.render())
+    if args.metrics_json:
+        observe.dump_json(recorder, args.metrics_json, stats=stats)
+        print(f"metrics written to {args.metrics_json}")
     return 0
 
 
@@ -197,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     pack_parser.add_argument("--eager", action="store_true",
                              help="order for eager class loading (11)")
     _add_pack_options(pack_parser)
+    _add_observe_options(pack_parser)
     pack_parser.set_defaults(func=cmd_pack)
 
     unpack_parser = commands.add_parser(
@@ -204,7 +283,22 @@ def build_parser() -> argparse.ArgumentParser:
     unpack_parser.add_argument("input")
     unpack_parser.add_argument("-o", "--output", default="out.jar")
     _add_pack_options(unpack_parser)
+    _add_observe_options(unpack_parser)
     unpack_parser.set_defaults(func=cmd_unpack)
+
+    stats_parser = commands.add_parser(
+        "stats", help="pack and report per-stream sizes and timings")
+    stats_parser.add_argument("input",
+                              help="jar, .class file, or directory")
+    stats_parser.add_argument("--strip", action="store_true",
+                              help="apply the Section 2 preprocessing")
+    stats_parser.add_argument("--eager", action="store_true",
+                              help="order for eager class loading (11)")
+    stats_parser.add_argument("--per-stream", action="store_true",
+                              help="also list every stream's bytes")
+    _add_pack_options(stats_parser)
+    _add_observe_options(stats_parser)
+    stats_parser.set_defaults(func=cmd_stats)
 
     inspect_parser = commands.add_parser(
         "inspect", help="summarize class files")

@@ -23,6 +23,7 @@ from __future__ import annotations
 import zlib
 from typing import Dict, Iterable, List, Tuple
 
+from ..observe import recorder as _observe
 from .varint import (
     read_ranged,
     read_svarint,
@@ -167,10 +168,19 @@ class StreamSet:
         the best, the compressor emits whichever is smaller; a leading
         mode byte tells the decoder.
         """
+        recorder = _observe.current()
         if not compress:
             return bytes([self.MODE_RAW]) + self._frame()
-        whole = zlib.compress(self._frame(), level)
-        per_stream = self._frame(lambda p: zlib.compress(p, level))
+        with recorder.span("zlib.whole"):
+            whole = zlib.compress(self._frame(), level)
+        with recorder.span("zlib.per_stream"):
+            per_stream = self._frame(lambda p: zlib.compress(p, level))
+        metrics = recorder.metrics
+        if metrics is not None:
+            metrics.tally("zlib", "whole_bytes", len(whole))
+            metrics.tally("zlib", "per_stream_bytes", len(per_stream))
+            metrics.count("zlib.mode.whole" if len(whole) <= len(per_stream)
+                          else "zlib.mode.per_stream")
         if len(whole) <= len(per_stream):
             return bytes([self.MODE_WHOLE]) + whole
         return bytes([self.MODE_PER_STREAM]) + per_stream

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
+from ..observe import recorder as observe
 from .skiplist import IndexedSkipList, SkipNode
 
 NEW = 0
@@ -77,6 +78,7 @@ class MtfCoder:
         #: registration order of every non-transient object.
         self._registry: List[Tuple[Hashable, Any]] = []
         self._known: Dict[Hashable, Any] = {}
+        self._metrics = observe.current().metrics
 
     # -- shared state -----------------------------------------------------
 
@@ -84,6 +86,10 @@ class MtfCoder:
         queue = self._queues.get(context)
         if queue is None:
             queue = _ContextQueue(seed=self._seed + len(self._queues))
+            if self._metrics is not None:
+                self._metrics.count("mtf.contexts")
+                self._metrics.observe("mtf.context_seed_size",
+                                      len(self._registry))
             # Seed with every object registered so far, oldest first,
             # so the front of the new queue is the most recent object —
             # the same state it would have had if it had existed all

@@ -24,6 +24,8 @@ from __future__ import annotations
 import random
 from typing import Any, Iterator, List, Optional
 
+from ..observe import recorder as _observe
+
 MAX_LEVEL = 32
 
 
@@ -55,6 +57,7 @@ class IndexedSkipList:
             self.head.forward[level] = self.head
             self.head.width[level] = 1
         self.size = 0
+        self._metrics = _observe.current().metrics
 
     def __len__(self) -> int:
         return self.size
@@ -71,6 +74,9 @@ class IndexedSkipList:
         """Insert ``value`` at position 0; returns its node."""
         node = SkipNode(value, self._random_height())
         self._link_front(node)
+        if self._metrics is not None:
+            self._metrics.count("skiplist.inserts")
+            self._metrics.observe("skiplist.node_height", node.height)
         return node
 
     def _link_front(self, node: SkipNode) -> None:
@@ -132,6 +138,8 @@ class IndexedSkipList:
         This is the decompressor-side operation: given a transmitted
         MTF index, fetch the object and requeue it at the front.
         """
+        if self._metrics is not None:
+            self._metrics.count("skiplist.move_to_front")
         if index == 0:
             return self.node_at(0).value
         node = self.delete_at(index)
@@ -147,11 +155,16 @@ class IndexedSkipList:
         Expected O(log n) — this is the paper's compressor-side trick.
         """
         distance = 0
+        hops = 0
         current = node
         while current is not self.head:
             top = current.height - 1
             distance += current.width[top]
             current = current.forward[top]
+            hops += 1
+        if self._metrics is not None:
+            self._metrics.count("skiplist.index_of")
+            self._metrics.observe("skiplist.index_of_hops", hops)
         return self.size - distance
 
     # -- conveniences ------------------------------------------------------

@@ -1,0 +1,132 @@
+"""The metrics registry: counters, histograms, and byte tallies.
+
+Three primitive shapes cover everything the pipeline reports:
+
+* **counters** — monotonically increasing event counts (opcode
+  collapses, MTF hits/misses, skiplist operations),
+* **histograms** — integer value distributions kept exact (a value ->
+  count dict), summarized into power-of-two buckets on export; used
+  for MTF queue-hit depths and skiplist node heights,
+* **tallies** — two-level ``group -> label -> byte count`` maps; used
+  for per-stream raw/compressed sizes.
+
+Everything is plain dicts and ints so a full pack run costs a few
+dict operations per reported event and the registry serializes
+directly to JSON (see :mod:`repro.observe.report` for the schema).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+class Histogram:
+    """An exact integer-valued distribution."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self):
+        self.counts: Dict[int, int] = {}
+
+    def observe(self, value: int, n: int = 1) -> None:
+        self.counts[value] = self.counts.get(value, 0) + n
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def total(self) -> int:
+        return sum(value * n for value, n in self.counts.items())
+
+    def mean(self) -> float:
+        count = self.count
+        return self.total / count if count else 0.0
+
+    def percentile(self, q: float) -> int:
+        """Smallest value with at least ``q`` of the mass at or below
+        it (``q`` in 0..1); 0 for an empty histogram."""
+        count = self.count
+        if not count:
+            return 0
+        threshold = q * count
+        seen = 0
+        for value in sorted(self.counts):
+            seen += self.counts[value]
+            if seen >= threshold:
+                return value
+        return max(self.counts)
+
+    def buckets(self) -> Dict[str, int]:
+        """Power-of-two buckets: ``0``, ``1``, ``2-3``, ``4-7``, ...
+
+        Exact low values (0 and 1) get their own buckets because the
+        MTF index semantics make them special (new object / front of
+        queue).
+        """
+        out: Dict[str, int] = {}
+        for value, n in sorted(self.counts.items()):
+            if value <= 1:
+                label = str(value)
+            else:
+                low = 1 << (value.bit_length() - 1)
+                label = f"{low}-{2 * low - 1}"
+            out[label] = out.get(label, 0) + n
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": min(self.counts) if self.counts else 0,
+            "max": max(self.counts) if self.counts else 0,
+            "mean": self.mean(),
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "buckets": self.buckets(),
+        }
+
+
+class Metrics:
+    """A flat registry of named counters, histograms, and tallies."""
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.tallies: Dict[str, Dict[str, int]] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: int, n: int = 1) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value, n)
+
+    def tally(self, group: str, label: str, nbytes: int) -> None:
+        bucket = self.tallies.get(group)
+        if bucket is None:
+            bucket = self.tallies[group] = {}
+        bucket[label] = bucket.get(label, 0) + nbytes
+
+    # -- inspection ------------------------------------------------------
+
+    def histogram_names(self) -> List[str]:
+        return sorted(self.histograms)
+
+    def is_empty(self) -> bool:
+        return not (self.counters or self.histograms or self.tallies)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {name: h.to_dict() for name, h
+                           in sorted(self.histograms.items())},
+            "tallies": {group: dict(sorted(bucket.items()))
+                        for group, bucket
+                        in sorted(self.tallies.items())},
+        }

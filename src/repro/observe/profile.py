@@ -1,0 +1,78 @@
+"""Profiling hooks: lightweight wall-time probes and a cProfile wrapper.
+
+``profile(name)`` is the everyday tool: a context manager that records
+a span plus a microsecond histogram into the ambient recorder, and
+does nothing (beyond one ``enabled`` check) when observability is
+disabled, so it can be left permanently in library code.
+
+``cprofile(...)`` is the opt-in heavyweight: it runs the block under
+:mod:`cProfile` and returns the ``pstats.Stats``; use it from the REPL
+or a benchmark when a phase identified by the trace needs a
+function-level breakdown.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from . import recorder as _recorder
+
+
+@contextmanager
+def profile(name: str) -> Iterator[None]:
+    """Record a span and a ``profile.<name>`` microsecond histogram.
+
+    Safe on hot-ish paths: when no recorder is installed the body runs
+    with no timing calls at all.
+    """
+    active = _recorder.current()
+    if not active.enabled:
+        yield
+        return
+    start = time.perf_counter()
+    with active.span(name):
+        yield
+    if active.metrics is not None:
+        elapsed_us = int((time.perf_counter() - start) * 1_000_000)
+        active.metrics.observe(f"profile.{name}", elapsed_us)
+
+
+class ProfileResult:
+    """The outcome of a :func:`cprofile` block, filled in on exit."""
+
+    def __init__(self):
+        self.stats: Optional[pstats.Stats] = None
+
+    def report(self, sort: str = "cumulative", limit: int = 25) -> str:
+        if self.stats is None:
+            return ""
+        out = io.StringIO()
+        self.stats.stream = out
+        self.stats.sort_stats(sort).print_stats(limit)
+        return out.getvalue()
+
+
+@contextmanager
+def cprofile() -> Iterator[ProfileResult]:
+    """Run the block under :mod:`cProfile`.
+
+    Yields a :class:`ProfileResult` whose ``stats``/``report()`` are
+    available after the block exits::
+
+        with observe.cprofile() as prof:
+            pack_archive(classfiles)
+        print(prof.report(sort="tottime"))
+    """
+    result = ProfileResult()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield result
+    finally:
+        profiler.disable()
+        result.stats = pstats.Stats(profiler)

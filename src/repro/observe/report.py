@@ -1,0 +1,67 @@
+"""Machine-readable export of a recording (the ``--metrics-json``
+payload) and its schema contract.
+
+The document layout is versioned and stable — ``benchmarks/`` and any
+external tooling key off it:
+
+.. code-block:: text
+
+    {
+      "schema":     "repro.observe/1",
+      "trace":      [ {name, seconds, attrs?, children?}, ... ],
+      "counters":   { name: int, ... },
+      "histograms": { name: {count, sum, min, max, mean,
+                             p50, p90, p99, buckets}, ... },
+      "tallies":    { group: { label: bytes, ... }, ... },
+      "streams":    {  # present when pack stats were collected
+        "total":       int,
+        "by_category": { category: bytes, ... },
+        "by_stream":   { stream: bytes, ... }
+      }
+    }
+
+``streams`` attribution follows :mod:`repro.pack.stats` (independent
+zlib sizes, see that module's caveat); ``tallies`` carry the same
+per-stream numbers plus the raw (pre-zlib) sizes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+SCHEMA = "repro.observe/1"
+
+#: Keys every exported histogram summary carries, in order.
+HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean",
+                    "p50", "p90", "p99", "buckets")
+
+
+def to_json(recorder, stats=None, **extra: Any) -> Dict[str, Any]:
+    """Serialize a recorder (and optional ``PackStats``) to the
+    schema above.  ``extra`` keys are merged at the top level."""
+    doc: Dict[str, Any] = {"schema": SCHEMA}
+    doc["trace"] = recorder.trace.to_dict() if recorder.trace else []
+    if recorder.metrics is not None:
+        doc.update(recorder.metrics.to_dict())
+    else:
+        doc.update({"counters": {}, "histograms": {}, "tallies": {}})
+    if stats is not None:
+        doc["streams"] = {
+            "total": stats.total,
+            "by_category": dict(sorted(stats.by_category.items())),
+            "by_stream": dict(sorted(stats.by_stream.items())),
+        }
+    doc.update(extra)
+    return doc
+
+
+def dump_json(recorder, path: Optional[str] = None, stats=None,
+              **extra: Any) -> str:
+    """Render (and optionally write) the JSON document; returns it."""
+    text = json.dumps(to_json(recorder, stats=stats, **extra), indent=2,
+                      sort_keys=False)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return text

@@ -1,0 +1,121 @@
+"""Nested timed spans for the codec pipeline.
+
+A :class:`Trace` is a tree of :class:`Span` objects.  Spans are
+context managers; entering one pushes it onto the trace's stack so
+spans opened inside it become its children, which is how the
+pack/unpack phase structure (parse -> IR build -> counting pass ->
+encoding pass -> zlib) is recorded without the instrumented code
+knowing anything about its callers.
+
+The pipeline is single-threaded, so a plain stack suffices; the root
+span is synthetic and never timed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One timed phase.  ``seconds`` is populated on exit."""
+
+    __slots__ = ("name", "attrs", "children", "seconds", "_trace",
+                 "_start")
+
+    def __init__(self, name: str, trace: Optional["Trace"] = None,
+                 **attrs: Any):
+        self.name = name
+        self.attrs: Dict[str, Any] = attrs
+        self.children: List["Span"] = []
+        self.seconds: float = 0.0
+        self._trace = trace
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        if self._trace is not None:
+            self._trace._stack[-1].children.append(self)
+            self._trace._stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.seconds += time.perf_counter() - self._start
+        if self._trace is not None:
+            self._trace._stack.pop()
+
+    # -- inspection ------------------------------------------------------
+
+    def child_seconds(self) -> float:
+        return sum(child.seconds for child in self.children)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (pre-order) called ``name``, else None."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "name": self.name,
+            "seconds": self.seconds,
+        }
+        if self.attrs:
+            entry["attrs"] = dict(self.attrs)
+        if self.children:
+            entry["children"] = [c.to_dict() for c in self.children]
+        return entry
+
+
+class Trace:
+    """A tree of spans plus the stack tracking the open ones."""
+
+    def __init__(self):
+        self.root = Span("root")
+        self._stack: List[Span] = [self.root]
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span that will attach under the innermost open span."""
+        return Span(name, trace=self, **attrs)
+
+    @property
+    def spans(self) -> List[Span]:
+        """Top-level recorded spans."""
+        return self.root.children
+
+    def find(self, name: str) -> Optional[Span]:
+        return self.root.find(name)
+
+    def total_seconds(self) -> float:
+        return self.root.child_seconds()
+
+    def to_dict(self) -> List[Dict[str, Any]]:
+        return [span.to_dict() for span in self.spans]
+
+    def render(self, indent: int = 2) -> str:
+        """The timing tree as fixed-width text.
+
+        Each line shows the span name, its wall time, and its share of
+        the parent's time; untimed gaps between a parent and its
+        children are implicit (children do not have to cover the
+        parent).
+        """
+        lines: List[str] = []
+
+        def emit(span: Span, depth: int, parent_seconds: float) -> None:
+            pad = " " * (indent * depth)
+            share = ""
+            if parent_seconds > 0:
+                share = f"  ({100.0 * span.seconds / parent_seconds:5.1f}%)"
+            lines.append(f"{pad}{span.name:<{32 - indent * depth}s}"
+                         f" {span.seconds * 1000.0:10.3f} ms{share}")
+            for child in span.children:
+                emit(child, depth + 1, span.seconds)
+
+        for span in self.spans:
+            emit(span, 0, self.total_seconds())
+        return "\n".join(lines)

@@ -5,6 +5,7 @@ from typing import Dict, List, Optional, Tuple
 from ..classfile.classfile import ClassFile
 from ..ir.build import build_archive
 from ..ir.model import Archive
+from ..observe import recorder as _observe
 from .compressor import Compressor, pack_archive_ir
 from .decompressor import Decompressor, UnpackError
 from .equivalence import archives_equal, semantic_equal
@@ -32,8 +33,10 @@ __all__ = [
 def pack_archive(classfiles: List[ClassFile],
                  options: Optional[PackOptions] = None) -> bytes:
     """Pack class files into the wire format (order is preserved)."""
-    archive = build_archive(classfiles)
-    data, _ = pack_archive_ir(archive, options)
+    with _observe.current().span("pack"):
+        with _observe.current().span("ir.build"):
+            archive = build_archive(classfiles)
+        data, _ = pack_archive_ir(archive, options)
     return data
 
 
@@ -43,9 +46,12 @@ def pack_archive_with_stats(
 ) -> Tuple[bytes, PackStats]:
     """Pack and report the per-category compressed sizes (Table 6)."""
     options = options or PackOptions()
-    archive = build_archive(classfiles)
-    data, compressor = pack_archive_ir(archive, options)
-    return data, collect_stats(compressor.stream_sizes())
+    with _observe.current().span("pack"):
+        with _observe.current().span("ir.build"):
+            archive = build_archive(classfiles)
+        data, compressor = pack_archive_ir(archive, options)
+        stats = collect_stats(compressor.stream_sizes())
+    return data, stats
 
 
 def unpack_archive(data: bytes,
@@ -58,7 +64,8 @@ def unpack_archive(data: bytes,
     policy travels out of band — the benchmark harness always pairs
     pack/unpack options).
     """
-    return Decompressor(options or PackOptions()).unpack(data)
+    with _observe.current().span("unpack"):
+        return Decompressor(options or PackOptions()).unpack(data)
 
 
 def pack_each_separately(classfiles: List[ClassFile],

@@ -22,6 +22,7 @@ from ..bytecode_codec.apply import (
     OPCODES_BY_NAME,
     apply_instruction_state,
 )
+from ..observe import recorder as observe
 from ..bytecode_codec.stack_state import StackTracker
 from ..ir import model as ir
 from ..refs.schemes import make_codec
@@ -52,6 +53,9 @@ class Compressor:
     def __init__(self, options: PackOptions):
         self.options = options.validate()
         self.streams = StreamSet()
+        #: None unless an observe recorder is installed (the hot-path
+        #: on/off switch: one attribute test per reported event).
+        self._metrics = observe.current().metrics
         self._encoders = {}
         for index, (space, _) in enumerate(sorted(SPACES.items())):
             encoder, _ = make_codec(
@@ -76,24 +80,43 @@ class Compressor:
     # -- entry point ---------------------------------------------------
 
     def pack(self, archive: ir.Archive) -> bytes:
+        recorder = observe.current()
         # Pass 1: count references.
-        self._counting = True
-        for definition in archive.classes:
-            self._encode_class(definition)
-        self._counting = False
-        for space, encoder in self._encoders.items():
-            if encoder.needs_frequencies:
-                encoder.set_frequencies(self._counts[space])
+        with recorder.span("count", classes=len(archive.classes)):
+            self._counting = True
+            for definition in archive.classes:
+                self._encode_class(definition)
+            self._counting = False
+            for space, encoder in self._encoders.items():
+                if encoder.needs_frequencies:
+                    encoder.set_frequencies(self._counts[space])
         # Pass 2: encode.
-        self.streams.stream(wire.META).uvarint(len(archive.classes))
-        for definition in archive.classes:
-            self._encode_class(definition)
+        with recorder.span("encode"):
+            self.streams.stream(wire.META).uvarint(len(archive.classes))
+            for definition in archive.classes:
+                self._encode_class(definition)
         header = bytearray(struct.pack(">I", wire.MAGIC))
         header.append(wire.VERSION)
         header.append(1 if self.options.compress else 0)
-        payload = self.streams.serialize(
-            compress=self.options.compress, level=self.options.zlib_level)
+        with recorder.span("serialize"):
+            payload = self.streams.serialize(
+                compress=self.options.compress,
+                level=self.options.zlib_level)
+        if self._metrics is not None:
+            self._metrics.count("pack.classes", len(archive.classes))
+            self._record_size_metrics(len(header) + len(payload))
         return bytes(header) + payload
+
+    def _record_size_metrics(self, packed_size: int) -> None:
+        """Per-stream byte tallies (raw and independently zlib'd)."""
+        metrics = self._metrics
+        for name, size in self.streams.raw_sizes().items():
+            metrics.tally("stream.raw_bytes", name, size)
+        if self.options.compress:
+            sizes = self.streams.compressed_sizes(self.options.zlib_level)
+            for name, size in sizes.items():
+                metrics.tally("stream.zlib_bytes", name, size)
+        metrics.tally("archive", "packed_bytes", packed_size)
 
     def stream_sizes(self, compressed: bool = True) -> Dict[str, int]:
         """Per-stream byte sizes of the encoded archive (after pack())."""
@@ -282,14 +305,21 @@ class Compressor:
                             use_state: bool) -> None:
         spec = OPCODES[instruction.opcode]
         mnemonic = spec.mnemonic
+        metrics = self._metrics if not self._counting else None
+        if metrics is not None:
+            metrics.count("bytecode.instructions")
         # Opcode byte (pseudo for LDC, collapsed when the state allows).
         if instruction.const is not None:
             pseudo = wire.PSEUDO_LDC[(instruction.const.kind,
                                       instruction.wide_const)]
             self._u8(wire.CODE_OPCODES, pseudo)
+            if metrics is not None:
+                metrics.count("bytecode.pseudo_ldc")
         else:
             emitted = tracker.collapse(mnemonic) if use_state else mnemonic
             self._u8(wire.CODE_OPCODES, OPCODES_BY_NAME[emitted])
+            if metrics is not None and emitted != mnemonic:
+                metrics.count("bytecode.collapsed")
         # Operands, routed to their streams.
         if spec.is_switch:
             self._int(wire.CODE_BRANCHES,

@@ -24,6 +24,7 @@ from ..bytecode_codec.apply import (
     OPCODES_BY_NAME,
     apply_instruction_state,
 )
+from ..observe import recorder as observe
 from .compressor import SPACES
 from .options import PackOptions
 from .sizes import ir_instruction_size
@@ -63,15 +64,22 @@ class Decompressor:
         if version != wire.VERSION:
             raise UnpackError(f"unsupported version {version}")
         compressed = bool(data[5])
-        self.streams = StreamReader(data[6:], compressed=compressed)
-        count = self._stream(wire.META).uvarint()
-        classes = [self._decode_class() for _ in range(count)]
+        recorder = observe.current()
+        with recorder.span("inflate", bytes=len(data)):
+            self.streams = StreamReader(data[6:], compressed=compressed)
+        with recorder.span("decode"):
+            count = self._stream(wire.META).uvarint()
+            classes = [self._decode_class() for _ in range(count)]
+        metrics = recorder.metrics
+        if metrics is not None:
+            metrics.count("unpack.classes", count)
         return ir.Archive(classes)
 
     def unpack(self, data: bytes) -> List[ClassFile]:
         archive = self.unpack_ir(data)
-        return [reconstruct_class(definition)
-                for definition in archive.classes]
+        with observe.current().span("reconstruct"):
+            return [reconstruct_class(definition)
+                    for definition in archive.classes]
 
     # -- plumbing ------------------------------------------------------------
 

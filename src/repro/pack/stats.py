@@ -5,14 +5,31 @@ per-stream compressed sizes do not exist; attribution uses each
 stream's *independent* zlib size, which slightly over-counts shared
 context.  Percentages (the numbers Table 6 reports) are computed over
 the attributed total, so they remain internally consistent.
+
+Stream names missing from :data:`repro.pack.wire.STREAM_CATEGORIES`
+are **not** silently folded into "misc": they land in a dedicated
+``unattributed`` category and a warning is logged, so a new stream
+added to the wire format without a category assignment shows up
+loudly in both the report and the logs.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from . import wire
+
+logger = logging.getLogger(__name__)
+
+#: Category for streams with no ``wire.STREAM_CATEGORIES`` entry.
+UNATTRIBUTED = "unattributed"
+
+#: Rendering order: the paper's Table 6 columns, then the escape
+#: bucket for uncategorized streams.
+CATEGORY_ORDER = ["strings", "opcodes", "ints", "refs", "misc",
+                  UNATTRIBUTED]
 
 
 @dataclass
@@ -28,13 +45,50 @@ class PackStats:
             return 0.0
         return self.by_category.get(category, 0) / self.total
 
+    def render(self, title: str = "per-category breakdown (Table 6)",
+               per_stream: bool = False) -> str:
+        """The Table-6-style fixed-width report.
+
+        With ``per_stream`` the report appends every stream's bytes,
+        largest first — the full attribution behind the categories.
+        """
+        lines: List[str] = [title]
+        categories = list(CATEGORY_ORDER)
+        categories += sorted(set(self.by_category) - set(categories))
+        for category in categories:
+            size = self.by_category.get(category, 0)
+            if not size and category not in self.by_category:
+                continue
+            lines.append(f"  {category:14s} {size:10d} bytes "
+                         f"({100.0 * self.fraction(category):5.1f}%)")
+        lines.append(f"  {'total':14s} {self.total:10d} bytes")
+        if per_stream and self.by_stream:
+            lines.append("per-stream attribution (independent zlib):")
+            ordered = sorted(self.by_stream.items(),
+                             key=lambda item: (-item[1], item[0]))
+            for name, size in ordered:
+                category = wire.STREAM_CATEGORIES.get(name, UNATTRIBUTED)
+                lines.append(f"  {name:20s} {size:10d} bytes "
+                             f"[{category}]")
+        return "\n".join(lines)
+
 
 def collect_stats(stream_sizes: Dict[str, int]) -> PackStats:
-    """Aggregate per-stream sizes into Table 6 categories."""
+    """Aggregate per-stream sizes into Table 6 categories.
+
+    Every stream name is expected to appear in
+    ``wire.STREAM_CATEGORIES``; unknown names are reported under
+    :data:`UNATTRIBUTED` and logged.
+    """
     stats = PackStats()
     for name, size in stream_sizes.items():
         stats.by_stream[name] = size
-        category = wire.STREAM_CATEGORIES.get(name, "misc")
+        category = wire.STREAM_CATEGORIES.get(name)
+        if category is None:
+            logger.warning(
+                "stream %r has no entry in wire.STREAM_CATEGORIES; "
+                "attributing %d bytes to %r", name, size, UNATTRIBUTED)
+            category = UNATTRIBUTED
         stats.by_category[category] = \
             stats.by_category.get(category, 0) + size
         stats.total += size

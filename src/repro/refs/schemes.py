@@ -11,6 +11,7 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from ..coding.streams import StreamCursor, StreamWriter
 from ..mtf.queue import MtfCoder
+from ..observe import recorder as observe
 from .base import Context, RefDecoder, RefEncoder
 
 CACHE_SIZE = 16
@@ -123,6 +124,7 @@ class FreqEncoder(RefEncoder):
         #: kind -> key -> id (1-based; 0 is the shared singleton id)
         self._ids: Dict[str, Dict[Hashable, int]] = {}
         self._seen: set = set()
+        self._metrics = observe.current().metrics
 
     def set_frequencies(self, counts: Dict[Hashable, int]) -> None:
         """``counts`` maps (kind, key) -> reference count."""
@@ -141,6 +143,9 @@ class FreqEncoder(RefEncoder):
         table = self._ids.get(kind, {})
         ident = table.get(key, 0)
         stream.uvarint(ident)
+        if self._metrics is not None:
+            self._metrics.count("refs.freq.singleton" if ident == 0
+                                else "refs.freq.ranked")
         if ident == 0:
             return True  # singleton: contents always follow
         seen_key = (kind, ident)
@@ -193,7 +198,12 @@ class CacheEncoder(FreqEncoder):
             stream.uvarint(position)
             cache.pop(position)
             cache.insert(0, key)
+            if self._metrics is not None:
+                self._metrics.count("refs.cache.hit")
+                self._metrics.observe("refs.cache.hit_depth", position)
             return False
+        if self._metrics is not None:
+            self._metrics.count("refs.cache.miss")
         table = self._ids.get(kind, {})
         ident = table.get(key, 0)
         stream.uvarint(CACHE_SIZE + ident)
@@ -261,6 +271,7 @@ class MtfEncoder(RefEncoder):
         self.transients = transients
         self._coder = MtfCoder(transients=transients, seed=seed)
         self._counts: Dict[Hashable, int] = {}
+        self._metrics = observe.current().metrics
 
     @property
     def needs_frequencies(self) -> bool:  # type: ignore[override]
@@ -281,6 +292,15 @@ class MtfEncoder(RefEncoder):
         index, is_new = self._coder.encode(pool, key, transient=transient,
                                            value=key)
         stream.uvarint(index)
+        if self._metrics is not None:
+            kind = context[0]
+            self._metrics.observe(f"mtf.queue_depth.{kind}", index)
+            if not is_new:
+                self._metrics.count("mtf.hit")
+            elif transient:
+                self._metrics.count("mtf.transient")
+            else:
+                self._metrics.count("mtf.new")
         return is_new
 
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -96,6 +98,79 @@ class TestPackUnpack:
         empty.mkdir()
         with pytest.raises(SystemExit):
             main(["pack", str(empty), "-o", str(tmp_path / "x.pack")])
+
+
+class TestObservability:
+    def _compile(self, tmp_path, source_file):
+        jar = tmp_path / "g.jar"
+        main(["compile", str(source_file), "-o", str(jar)])
+        return jar
+
+    def test_pack_trace_prints_timing_tree(self, tmp_path, source_file,
+                                           capsys):
+        jar = self._compile(tmp_path, source_file)
+        capsys.readouterr()
+        assert main(["pack", str(jar), "-o", str(tmp_path / "g.pack"),
+                     "--trace"]) == 0
+        output = capsys.readouterr().out
+        assert "phase timings:" in output
+        for phase in ("pack", "ir.build", "count", "encode", "serialize"):
+            assert phase in output
+
+    def test_pack_metrics_json(self, tmp_path, source_file):
+        jar = self._compile(tmp_path, source_file)
+        out = tmp_path / "metrics.json"
+        assert main(["pack", str(jar), "-o", str(tmp_path / "g.pack"),
+                     "--metrics-json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.observe/1"
+        assert doc["tallies"]["stream.raw_bytes"]
+        assert any(name.startswith("mtf.queue_depth.")
+                   for name in doc["histograms"])
+        phases = {entry["name"] for entry in doc["trace"]}
+        assert "pack" in phases and "parse" in phases
+
+    def test_unpack_trace(self, tmp_path, source_file, capsys):
+        jar = self._compile(tmp_path, source_file)
+        packed = tmp_path / "g.pack"
+        main(["pack", str(jar), "-o", str(packed)])
+        capsys.readouterr()
+        assert main(["unpack", str(packed),
+                     "-o", str(tmp_path / "r.jar"), "--trace"]) == 0
+        output = capsys.readouterr().out
+        for phase in ("unpack", "inflate", "decode", "reconstruct"):
+            assert phase in output
+
+    def test_stats_command(self, tmp_path, source_file, capsys):
+        jar = self._compile(tmp_path, source_file)
+        capsys.readouterr()
+        assert main(["stats", str(jar), "--per-stream"]) == 0
+        output = capsys.readouterr().out
+        assert "per-category breakdown" in output
+        assert "strings" in output and "refs" in output
+        assert "code.opcodes" in output  # per-stream listing
+        assert "phase timings:" in output
+        assert "encode" in output
+
+    def test_stats_metrics_json_has_streams(self, tmp_path, source_file):
+        jar = self._compile(tmp_path, source_file)
+        out = tmp_path / "stats.json"
+        assert main(["stats", str(jar),
+                     "--metrics-json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        streams = doc["streams"]
+        assert streams["total"] == sum(streams["by_stream"].values())
+        assert streams["total"] == sum(streams["by_category"].values())
+        assert "code.opcodes" in streams["by_stream"]
+
+    def test_no_flags_leaves_observability_off(self, tmp_path,
+                                               source_file):
+        from repro import observe
+
+        jar = self._compile(tmp_path, source_file)
+        assert main(["pack", str(jar),
+                     "-o", str(tmp_path / "g.pack")]) == 0
+        assert observe.current() is observe.NULL_RECORDER
 
 
 class TestInspect:

@@ -94,14 +94,41 @@ class TestStats:
             "code.opcodes": 100,
             "refs.method": 50,
             "str.const.chars": 25,
-            "unknown.stream": 5,
         })
-        assert stats.total == 180
+        assert stats.total == 175
         assert stats.by_category["opcodes"] == 100
         assert stats.by_category["refs"] == 50
         assert stats.by_category["strings"] == 25
-        assert stats.by_category["misc"] == 5
-        assert abs(stats.fraction("opcodes") - 100 / 180) < 1e-12
+        assert abs(stats.fraction("opcodes") - 100 / 175) < 1e-12
+
+    def test_unknown_stream_is_unattributed_and_logged(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.pack.stats"):
+            stats = collect_stats({"code.opcodes": 100,
+                                   "unknown.stream": 5})
+        assert stats.by_category["unattributed"] == 5
+        assert "misc" not in stats.by_category
+        assert any("unknown.stream" in record.message
+                   for record in caplog.records)
+
+    def test_every_known_stream_round_trips(self):
+        """Regression: every STREAM_CATEGORIES name must attribute to
+        its declared category — none may fall into 'unattributed'."""
+        sizes = {name: index + 1 for index, name
+                 in enumerate(sorted(wire.STREAM_CATEGORIES))}
+        stats = collect_stats(sizes)
+        assert "unattributed" not in stats.by_category
+        assert stats.by_stream == sizes
+        assert stats.total == sum(sizes.values())
+        for name, size in sizes.items():
+            category = wire.STREAM_CATEGORIES[name]
+            assert stats.by_category[category] >= size
+
+    def test_render_is_consistent(self):
+        stats = collect_stats({"code.opcodes": 100, "refs.method": 50})
+        text = stats.render(per_stream=True)
+        assert "opcodes" in text and "100" in text
+        assert "code.opcodes" in text
+        assert "total" in text
 
     def test_empty_stats(self):
         stats = collect_stats({})
