@@ -1,0 +1,98 @@
+"""Service throughput: parallel speedup and cache-warm reruns.
+
+Not a paper table — this guards the two performance claims of the
+`repro.service` batch engine:
+
+* **fan-out**: on a multi-core machine, a 4-worker batch over >= 8
+  corpus jars must beat the 1-worker batch by >= 1.5x wall clock
+  (packing is CPU-bound pure Python, so process fan-out is the only
+  parallelism available);
+* **caching**: rerunning a batch against a warm content-addressed
+  cache must be >= 5x faster than the cold run — a warm job is one
+  SHA-256 of the input plus a dict lookup, no codec work.
+
+The speedup check needs real cores and is skipped below 4; the cache
+check holds on any machine.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.classfile.classfile import write_class
+from repro.service import BatchEngine, PackJob, ResultCache
+
+from conftest import print_table, stripped_suite
+
+#: >= 8 distinct jars, spread across suite shapes so jobs are not all
+#: the same size (the scheduler must still win on an uneven mix).
+SUITES = ["Hanoi", "Hanoi_big", "Hanoi_jax", "compress", "db",
+          "javafig", "icebrowserbean", "jmark20"]
+
+SPEEDUP_FLOOR = 1.5
+WARM_FLOOR = 5.0
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    built = []
+    for suite in SUITES:
+        classes = {c.name + ".class": write_class(c)
+                   for c in stripped_suite(suite)}
+        built.append(PackJob(job_id=suite, classes=classes))
+    return built
+
+
+def _run(jobs, workers, cache=None):
+    with BatchEngine(workers=workers, cache=cache) as engine:
+        start = time.perf_counter()
+        results = engine.run_batch(jobs)
+        elapsed = time.perf_counter() - start
+    assert all(result.status == "ok" for result in results)
+    return elapsed, results
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup check needs >= 4 cores")
+def test_four_workers_beat_one(jobs):
+    # interleave rounds so machine noise hits both configurations;
+    # score the best round of each (min-of-N, like the paper timings)
+    serial_times, parallel_times = [], []
+    for _ in range(2):
+        serial_times.append(_run(jobs, workers=1)[0])
+        parallel_times.append(_run(jobs, workers=4)[0])
+    serial, parallel = min(serial_times), min(parallel_times)
+    speedup = serial / parallel
+    print_table(
+        "service throughput: 1 vs 4 workers",
+        ["workers", "seconds", "speedup"],
+        [["1", f"{serial:.3f}", "1.0x"],
+         ["4", f"{parallel:.3f}", f"{speedup:.2f}x"]])
+    assert speedup >= SPEEDUP_FLOOR, \
+        f"4-worker speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x"
+
+
+def test_cache_warm_rerun_is_faster(jobs):
+    cache = ResultCache()
+    workers = min(4, os.cpu_count() or 1)
+    with BatchEngine(workers=workers, cache=cache) as engine:
+        start = time.perf_counter()
+        cold_results = engine.run_batch(jobs)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_results = engine.run_batch(jobs)
+        warm = time.perf_counter() - start
+    assert all(result.status == "ok" for result in cold_results)
+    assert all(result.cached for result in warm_results)
+    # identical bytes either way
+    assert [r.data for r in cold_results] == \
+        [r.data for r in warm_results]
+    ratio = cold / warm if warm else float("inf")
+    print_table(
+        "service throughput: cold vs cache-warm",
+        ["run", "seconds", "ratio"],
+        [["cold", f"{cold:.3f}", "1.0x"],
+         ["warm", f"{warm:.4f}", f"{ratio:.1f}x"]])
+    assert ratio >= WARM_FLOOR, \
+        f"warm rerun only {ratio:.1f}x faster (need {WARM_FLOOR}x)"

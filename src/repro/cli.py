@@ -10,10 +10,16 @@ Commands
 ``inspect``  summarize a class file, jar, or packed archive
 ``bench``    size comparison of every format on one corpus suite
 ``run``      execute class files on the bytecode interpreter
+``batch``    pack many jars concurrently (manifest or directory)
+``serve``    the pack service daemon (/pack, /stats, /healthz)
 
-``pack``, ``unpack``, and ``stats`` accept ``--trace`` (print the
-phase timing tree) and ``--metrics-json FILE`` (write the
-``repro.observe/1`` document); see docs/CLI.md.
+``pack``, ``unpack``, ``stats``, and ``batch`` accept ``--trace``
+(print the phase timing tree) and ``--metrics-json FILE`` (write the
+``repro.observe/1`` document); see docs/CLI.md and docs/SERVICE.md.
+
+Expected operational failures (malformed archives, missing files)
+print a one-line ``error:`` message and exit with status 2 instead of
+a traceback.
 """
 
 from __future__ import annotations
@@ -32,10 +38,12 @@ from .loader.eager import eager_order
 from .minijava import compile_sources
 from .pack import (
     PackOptions,
+    UnpackError,
     pack_archive,
     pack_archive_with_stats,
     unpack_archive,
 )
+from .service.jobs import JobInputError
 
 
 def _options_from_args(args: argparse.Namespace) -> PackOptions:
@@ -253,6 +261,139 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-j", "--workers", type=int, default=None,
+                        metavar="N",
+                        help="worker processes (default: CPU count; "
+                             "0 packs in-process)")
+    parser.add_argument("--queue-limit", type=int, default=None,
+                        metavar="N",
+                        help="max in-flight attempts before submit "
+                             "blocks (default: 2x workers)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-attempt timeout (default: none)")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        metavar="N",
+                        help="attempts per job before degrading")
+    parser.add_argument("--backoff", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="initial retry backoff (doubles per try)")
+    parser.add_argument("--no-degrade", action="store_true",
+                        help="report exhausted jobs as failed instead "
+                             "of emitting a fallback jar")
+    parser.add_argument("--cache-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="in-memory result-cache budget "
+                             "(default: 64 MiB)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent on-disk cache store "
+                             "(shared across runs)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed cache")
+
+
+def _engine_from_args(args: argparse.Namespace):
+    from .service import BatchEngine, ResultCache, RetryPolicy
+    from .service.cache import DEFAULT_MAX_BYTES
+
+    cache = None
+    if not args.no_cache:
+        budget = DEFAULT_MAX_BYTES if args.cache_bytes is None \
+            else args.cache_bytes
+        cache = ResultCache(max_bytes=budget, spill_dir=args.cache_dir)
+    retry = RetryPolicy(max_attempts=args.max_attempts,
+                        backoff=args.backoff)
+    return BatchEngine(workers=args.workers,
+                       queue_limit=args.queue_limit,
+                       cache=cache, retry=retry,
+                       timeout=args.timeout,
+                       degrade=not args.no_degrade)
+
+
+def _batch_jobs(args: argparse.Namespace, options: PackOptions):
+    from .service import (job_from_path, jobs_from_directory,
+                          jobs_from_manifest)
+
+    source = Path(args.input)
+    if source.is_dir():
+        return jobs_from_directory(source, options, strip=args.strip,
+                                   eager=args.eager)
+    if source.suffix == ".json":
+        return jobs_from_manifest(source, options, strip=args.strip,
+                                  eager=args.eager)
+    return [job_from_path(source, options, strip=args.strip,
+                          eager=args.eager)]
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .service import STATUS_DEGRADED, STATUS_FAILED, batch_report
+
+    options = _options_from_args(args)
+    jobs = _batch_jobs(args, options)
+    outdir = Path(args.output_dir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    with _observed(args) as recorder:
+        start = time.perf_counter()
+        with _engine_from_args(args) as engine:
+            results = engine.run_batch(jobs)
+            elapsed = time.perf_counter() - start
+            engine_stats = engine.stats_dict()
+    for job, result in zip(jobs, results):
+        if result.data is None:
+            result.output = None
+        else:
+            if job.output is not None:
+                target = job.output
+            elif result.degraded:
+                target = outdir / f"{result.job_id}.fallback.jar"
+            else:
+                target = outdir / f"{result.job_id}.pack"
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(result.data)
+            result.output = str(target)
+        marker = {STATUS_DEGRADED: " DEGRADED",
+                  STATUS_FAILED: " FAILED"}.get(result.status, "")
+        cached = " (cached)" if result.cached else ""
+        print(f"  {result.job_id}: {result.input_bytes} -> "
+              f"{result.output_bytes} bytes in {result.attempts} "
+              f"attempt(s){cached}{marker}")
+    report = batch_report(results, elapsed, engine_stats)
+    totals = report["totals"]
+    print(f"batch: {totals['ok']} ok, {totals['degraded']} degraded, "
+          f"{totals['failed']} failed, {totals['cached']} cached "
+          f"in {elapsed:.2f}s")
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.report}")
+    _report_observed(args, recorder)
+    return 1 if totals["failed"] else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import PackService
+
+    engine = _engine_from_args(args)
+    service = PackService(engine, host=args.host, port=args.port,
+                          verbose=args.verbose)
+    host, port = service.address
+    print(f"repro serve listening on http://{host}:{port} "
+          f"(workers={engine.workers}, "
+          f"queue_limit={engine.queue_limit})")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.shutdown()
+        engine.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -320,13 +461,50 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("suite")
     _add_pack_options(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)
+
+    batch_parser = commands.add_parser(
+        "batch", help="pack many jars concurrently")
+    batch_parser.add_argument(
+        "input",
+        help="JSON manifest, directory of jars, or one jar")
+    batch_parser.add_argument("-o", "--output-dir", default="packed",
+                              help="directory for per-job artifacts")
+    batch_parser.add_argument("--report", metavar="FILE", default=None,
+                              help="write the repro.service/1 JSON "
+                                   "report to FILE")
+    batch_parser.add_argument("--strip", action="store_true",
+                              help="apply the Section 2 preprocessing")
+    batch_parser.add_argument("--eager", action="store_true",
+                              help="order for eager class loading (11)")
+    _add_service_options(batch_parser)
+    _add_pack_options(batch_parser)
+    _add_observe_options(batch_parser)
+    batch_parser.set_defaults(func=cmd_batch)
+
+    serve_parser = commands.add_parser(
+        "serve", help="run the pack service daemon")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8790)
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="log every request")
+    _add_service_options(serve_parser)
+    serve_parser.set_defaults(func=cmd_serve)
     return parser
 
 
 def main(argv: List[str] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (UnpackError, JobInputError) as exc:
+        # Malformed archives / unusable job inputs: operational
+        # errors, not bugs — one line, exit 2, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

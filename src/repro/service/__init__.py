@@ -1,0 +1,71 @@
+"""The pack *service*: concurrent batch packing over the paper's codec.
+
+Where :mod:`repro.pack` packs one archive synchronously, this package
+turns packing into an operable workload:
+
+* :mod:`~repro.service.jobs` — the job/result model, manifest and
+  directory loaders, and the ``repro.service/1`` batch report;
+* :mod:`~repro.service.cache` — a content-addressed (SHA-256 of input
+  bytes + canonicalized options) result cache with an LRU byte budget
+  and an optional persistent on-disk spill store;
+* :mod:`~repro.service.scheduler` — the :class:`BatchEngine`:
+  process-pool fan-out, bounded-queue backpressure, per-job timeouts,
+  bounded retries with exponential backoff, pool self-healing after
+  worker crashes, and graceful degradation to a deflate-jar fallback;
+* :mod:`~repro.service.workers` — the picklable worker entry point
+  (parse → strip/order → pack) plus the fault-injection chaos hooks;
+* :mod:`~repro.service.http` — the ``repro serve`` front end
+  (``/pack``, ``/stats``, ``/healthz`` on a threading HTTP server).
+
+The CLI surfaces all of it as ``repro batch`` and ``repro serve``;
+see docs/SERVICE.md for semantics and docs/CLI.md for flags.
+"""
+
+from .cache import ResultCache, cache_key, canonical_options
+from .http import PackService, options_from_query
+from .jobs import (
+    REPORT_SCHEMA,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    FaultSpec,
+    JobInputError,
+    JobResult,
+    PackJob,
+    batch_report,
+    classes_from_jar,
+    classes_from_path,
+    job_from_path,
+    jobs_from_directory,
+    jobs_from_manifest,
+)
+from .scheduler import BatchEngine, EngineStats, JobTimeout, RetryPolicy
+from .workers import WorkerInputError, pack_payload
+
+__all__ = [
+    "BatchEngine",
+    "EngineStats",
+    "FaultSpec",
+    "JobInputError",
+    "JobResult",
+    "JobTimeout",
+    "PackJob",
+    "PackService",
+    "REPORT_SCHEMA",
+    "ResultCache",
+    "RetryPolicy",
+    "STATUS_DEGRADED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "WorkerInputError",
+    "batch_report",
+    "cache_key",
+    "canonical_options",
+    "classes_from_jar",
+    "classes_from_path",
+    "job_from_path",
+    "jobs_from_directory",
+    "jobs_from_manifest",
+    "options_from_query",
+    "pack_payload",
+]

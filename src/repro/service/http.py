@@ -1,0 +1,209 @@
+"""The serving front end: ``repro serve``.
+
+A deliberately dependency-free HTTP layer on
+:class:`http.server.ThreadingHTTPServer` — each request thread calls
+straight into the shared :class:`~repro.service.scheduler.BatchEngine`
+(which is thread-safe), so concurrent ``/pack`` requests fan out
+across the same process pool, share the same content-addressed cache,
+and obey the same backpressure limit.
+
+Endpoints
+---------
+
+``POST /pack``
+    Body: a jar.  Query parameters select pack options
+    (``?scheme=basic&context=0&transients=0&stack_state=0&gzip=0&``
+    ``preload=1&strip=1&eager=1``).  Response body: the packed
+    archive (or, under graceful degradation, the fallback jar) with
+
+    * ``X-Repro-Status``: ``ok`` | ``degraded``
+    * ``X-Repro-Cache``: ``hit`` | ``disk-hit`` | ``miss``
+    * ``X-Repro-Attempts``: attempts consumed
+    * ``Content-Type``: ``application/x-repro-pack`` or
+      ``application/java-archive`` (degraded fallback)
+
+    400 for bodies that are not jars of class files, 500 (JSON body)
+    for a failed job when the engine was built with
+    ``degrade=False``.
+
+``GET /stats``
+    JSON: engine counters, latency summary, retry policy, cache
+    occupancy (:meth:`BatchEngine.stats_dict`).
+
+``GET /healthz``
+    ``200 ok`` while the server is accepting work.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..pack.options import PackOptions
+from .jobs import JobInputError, PackJob, classes_from_jar
+from .scheduler import BatchEngine
+
+#: Flags understood by ``/pack`` query strings.  ``1/true/yes/on``
+#: (any case) is true, everything else false.
+_TRUE = {"1", "true", "yes", "on"}
+
+
+def _flag(params: Dict[str, Any], name: str, default: bool) -> bool:
+    if name not in params:
+        return default
+    return params[name][-1].strip().lower() in _TRUE
+
+
+def options_from_query(query: str) -> Tuple[PackOptions, bool, bool]:
+    """(options, strip, eager) from a ``/pack`` query string."""
+    params = parse_qs(query)
+    defaults = PackOptions()
+    options = PackOptions(
+        scheme=params.get("scheme", [defaults.scheme])[-1],
+        use_context=_flag(params, "context", defaults.use_context),
+        transients=_flag(params, "transients", defaults.transients),
+        stack_state=_flag(params, "stack_state",
+                          defaults.stack_state),
+        compress=_flag(params, "gzip", defaults.compress),
+        preload=_flag(params, "preload", defaults.preload),
+    ).validate()
+    return options, _flag(params, "strip", False), \
+        _flag(params, "eager", False)
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Request handler bound to the server's engine."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+
+    @property
+    def engine(self) -> BatchEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _respond(self, status: int, body: bytes,
+                 content_type: str = "application/json",
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_json(self, status: int, doc: Dict[str, Any]) -> None:
+        self._respond(status,
+                      (json.dumps(doc, indent=2) + "\n").encode())
+
+    def _respond_error(self, status: int, message: str) -> None:
+        self._respond_json(status, {"error": message})
+
+    # -- endpoints -------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path = urlparse(self.path).path
+        if path == "/healthz":
+            self._respond(200, b"ok\n", content_type="text/plain")
+        elif path == "/stats":
+            self._respond_json(200, self.engine.stats_dict())
+        else:
+            self._respond_error(404, f"no such endpoint: {path}")
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        url = urlparse(self.path)
+        if url.path != "/pack":
+            self._respond_error(404, f"no such endpoint: {url.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        if length <= 0:
+            self._respond_error(400, "empty request body")
+            return
+        body = self.rfile.read(length)
+        try:
+            options, strip, eager = options_from_query(url.query)
+            classes = classes_from_jar(body)
+        except (JobInputError, ValueError) as exc:
+            self._respond_error(400, str(exc))
+            return
+        job = PackJob(job_id=f"http-{self.client_address[0]}",
+                      classes=classes, options=options,
+                      strip=strip, eager=eager)
+        result = self.engine.execute(job)
+        if result.data is None:
+            self._respond_json(500, {
+                "error": result.error or "pack failed",
+                "job": result.to_dict(),
+            })
+            return
+        cache_state = "miss"
+        if result.cached:
+            cache_state = "disk-hit" if result.cache_disk else "hit"
+        content_type = "application/java-archive" if result.degraded \
+            else "application/x-repro-pack"
+        self._respond(200, result.data, content_type=content_type,
+                      headers={
+                          "X-Repro-Status": result.status,
+                          "X-Repro-Cache": cache_state,
+                          "X-Repro-Attempts": str(result.attempts),
+                      })
+
+
+class PackService:
+    """A :class:`ThreadingHTTPServer` wrapped around one engine.
+
+    ``port=0`` binds an ephemeral port (tests); read
+    :attr:`address` after construction for the real one.
+    """
+
+    def __init__(self, engine: BatchEngine,
+                 host: str = "127.0.0.1", port: int = 8790,
+                 verbose: bool = False):
+        self.engine = engine
+        self._server = ThreadingHTTPServer((host, port), ServiceHandler)
+        self._server.engine = engine  # type: ignore[attr-defined]
+        self._server.verbose = verbose  # type: ignore[attr-defined]
+        self._server.daemon_threads = True
+        self._thread: Optional[Any] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Block serving requests (the ``repro serve`` main loop)."""
+        self._server.serve_forever()
+
+    def start_background(self) -> Tuple[str, int]:
+        """Serve from a daemon thread; returns the bound address."""
+        import threading
+
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve", daemon=True)
+        self._thread.start()
+        return self.address
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "PackService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

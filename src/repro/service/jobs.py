@@ -1,0 +1,297 @@
+"""Job and result models for the batch-packing service.
+
+A :class:`PackJob` is the unit of work: a set of class-file bytes
+(keyed by entry name), the :class:`~repro.pack.options.PackOptions` to
+pack them with, and optional input-shaping flags.  Jobs carry *bytes*,
+not parsed :class:`~repro.classfile.classfile.ClassFile` objects, so
+they pickle cheaply across the process pool and so that a corrupt
+input fails inside a worker (a controlled per-job failure) rather than
+while the batch is being assembled.
+
+Jobs come from three front doors, all normalized here:
+
+* a jar file (``job_from_path`` on a ``.jar``/other file),
+* a directory of ``.class`` files or a single ``.class`` file,
+* a JSON manifest (``jobs_from_manifest``) listing many jobs with
+  per-job option overrides — the format ``repro batch`` consumes.
+
+Manifests may also carry a ``faults`` object (see
+:class:`FaultSpec`) — a chaos hook that makes a worker raise, crash,
+or hang on its first N attempts.  It exists so tests and operators can
+rehearse the retry/degradation machinery end to end; production
+manifests simply omit it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..jar.jarfile import read_jar
+from ..pack.options import PackOptions
+
+#: Schema tag written at the top of every batch report.
+REPORT_SCHEMA = "repro.service/1"
+
+#: Job states a result can end in.  ``ok`` covers cache hits too (the
+#: result carries a separate ``cached`` flag).
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_FAILED = "failed"
+
+
+class JobInputError(ValueError):
+    """Raised when a job's input cannot even be enumerated (no class
+    files, unreadable jar) — before any packing is attempted."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Injected failures, applied inside the worker per attempt.
+
+    Attempts are numbered from 1; each field makes the first N
+    attempts misbehave, so ``raise_attempts=2`` fails attempts 1 and 2
+    and lets attempt 3 through.  ``crash_attempts`` kills the worker
+    process outright (``os._exit``), exercising pool-rebuild;
+    ``hang_attempts`` sleeps ``hang_seconds``, exercising the per-job
+    timeout.
+    """
+
+    raise_attempts: int = 0
+    crash_attempts: int = 0
+    hang_attempts: int = 0
+    hang_seconds: float = 30.0
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise JobInputError(f"unknown fault keys: {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class PackJob:
+    """One unit of pack work."""
+
+    job_id: str
+    #: entry name (``pkg/Name.class``) -> raw class-file bytes.
+    classes: Dict[str, bytes]
+    options: PackOptions = field(default_factory=PackOptions)
+    #: Apply the Section 2 preprocessing before packing.
+    strip: bool = False
+    #: Order for eager class loading (Section 11) instead of by name.
+    eager: bool = False
+    #: Where ``repro batch`` writes the artifact (None: in-memory only).
+    output: Optional[Path] = None
+    #: Chaos hook; None in production.
+    faults: Optional[FaultSpec] = None
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(len(data) for data in self.classes.values())
+
+
+@dataclass
+class JobResult:
+    """The outcome of one job, as serialized into the batch report."""
+
+    job_id: str
+    status: str
+    attempts: int = 0
+    cached: bool = False
+    #: True when the cached bytes came from the on-disk spill store.
+    cache_disk: bool = False
+    degraded: bool = False
+    #: Packed archive (or the fallback jar when degraded).
+    data: Optional[bytes] = None
+    #: Artifact kind: ``pack`` or ``fallback-jar``.
+    artifact: str = "pack"
+    output: Optional[str] = None
+    input_bytes: int = 0
+    output_bytes: int = 0
+    seconds: float = 0.0
+    error: Optional[str] = None
+    #: Per-attempt error strings (empty on a clean first try).
+    attempt_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "status": self.status,
+            "attempts": self.attempts,
+            "cached": self.cached,
+            "artifact": self.artifact,
+            "input_bytes": self.input_bytes,
+            "output_bytes": self.output_bytes,
+            "seconds": round(self.seconds, 6),
+        }
+        if self.cache_disk:
+            doc["cache_disk"] = True
+        if self.output is not None:
+            doc["output"] = self.output
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.attempt_errors:
+            doc["attempt_errors"] = list(self.attempt_errors)
+        return doc
+
+
+# -- loading ------------------------------------------------------------
+
+
+def classes_from_jar(data: bytes) -> Dict[str, bytes]:
+    """The ``.class`` members of a jar, keyed by entry name."""
+    try:
+        entries = read_jar(data)
+    except Exception as exc:
+        raise JobInputError(f"unreadable jar: {exc}") from exc
+    classes = {name: body for name, body in entries
+               if name.endswith(".class")}
+    if not classes:
+        raise JobInputError("jar contains no class files")
+    return classes
+
+
+def classes_from_path(path: Path) -> Dict[str, bytes]:
+    """Class bytes from a jar, a ``.class`` file, or a directory."""
+    if not path.exists():
+        raise JobInputError(f"no such input: {path}")
+    if path.is_dir():
+        classes = {
+            str(member.relative_to(path)): member.read_bytes()
+            for member in sorted(path.rglob("*.class"))
+        }
+        if not classes:
+            raise JobInputError(f"no class files under {path}")
+        return classes
+    if path.suffix == ".class":
+        return {path.name: path.read_bytes()}
+    return classes_from_jar(path.read_bytes())
+
+
+def job_from_path(path: Path,
+                  options: Optional[PackOptions] = None,
+                  job_id: Optional[str] = None,
+                  strip: bool = False,
+                  eager: bool = False,
+                  output: Optional[Path] = None,
+                  faults: Optional[FaultSpec] = None) -> PackJob:
+    return PackJob(job_id=job_id or path.stem,
+                   classes=classes_from_path(path),
+                   options=options or PackOptions(),
+                   strip=strip, eager=eager, output=output,
+                   faults=faults)
+
+
+def jobs_from_directory(directory: Path,
+                        options: Optional[PackOptions] = None,
+                        strip: bool = False,
+                        eager: bool = False) -> List[PackJob]:
+    """One job per ``*.jar`` in ``directory`` (sorted by name)."""
+    jars = sorted(directory.glob("*.jar"))
+    if not jars:
+        raise JobInputError(f"no .jar files in {directory}")
+    return [job_from_path(jar, options, strip=strip, eager=eager)
+            for jar in jars]
+
+
+#: PackOptions fields a manifest entry may override.
+_OPTION_FIELDS = {f.name for f in dataclasses.fields(PackOptions)}
+
+
+def _options_from_manifest(entry: Dict[str, Any],
+                           base: PackOptions) -> PackOptions:
+    overrides = entry.get("options") or {}
+    unknown = set(overrides) - _OPTION_FIELDS
+    if unknown:
+        raise JobInputError(
+            f"unknown option keys in manifest: {sorted(unknown)}")
+    return dataclasses.replace(base, **overrides).validate()
+
+
+def jobs_from_manifest(path: Path,
+                       base_options: Optional[PackOptions] = None,
+                       strip: bool = False,
+                       eager: bool = False) -> List[PackJob]:
+    """Jobs from a JSON manifest.
+
+    .. code-block:: json
+
+        {"jobs": [
+            {"input": "app.jar",
+             "id": "app",
+             "output": "app.pack",
+             "options": {"scheme": "basic", "preload": true},
+             "strip": true,
+             "faults": {"raise_attempts": 1}}
+        ]}
+
+    Relative ``input``/``output`` paths resolve against the manifest's
+    directory.  ``options``, ``strip``, ``eager``, ``output``,
+    ``faults``, and ``id`` are all optional; omitted options inherit
+    ``base_options`` (the CLI's pack flags).
+    """
+    base = base_options or PackOptions()
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise JobInputError(f"unreadable manifest {path}: {exc}") from exc
+    entries = doc.get("jobs")
+    if not isinstance(entries, list) or not entries:
+        raise JobInputError(f"manifest {path} has no \"jobs\" list")
+    root = path.parent
+    jobs: List[PackJob] = []
+    for index, entry in enumerate(entries):
+        if "input" not in entry:
+            raise JobInputError(f"manifest job #{index} has no input")
+        source = root / Path(entry["input"])
+        output = root / Path(entry["output"]) if "output" in entry \
+            else None
+        faults = FaultSpec.from_dict(entry["faults"]) \
+            if entry.get("faults") else None
+        jobs.append(job_from_path(
+            source,
+            options=_options_from_manifest(entry, base),
+            job_id=entry.get("id") or f"{source.stem}#{index}",
+            strip=bool(entry.get("strip", strip)),
+            eager=bool(entry.get("eager", eager)),
+            output=output,
+            faults=faults))
+    return jobs
+
+
+# -- reporting ----------------------------------------------------------
+
+
+def batch_report(results: List[JobResult],
+                 seconds: float,
+                 engine_stats: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
+    """The ``repro batch`` JSON report document."""
+    totals = {
+        "jobs": len(results),
+        "ok": sum(r.status == STATUS_OK for r in results),
+        "degraded": sum(r.status == STATUS_DEGRADED for r in results),
+        "failed": sum(r.status == STATUS_FAILED for r in results),
+        "cached": sum(r.cached for r in results),
+        "input_bytes": sum(r.input_bytes for r in results),
+        "output_bytes": sum(r.output_bytes for r in results),
+        "seconds": round(seconds, 6),
+    }
+    doc: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "totals": totals,
+        "jobs": [result.to_dict() for result in results],
+    }
+    if engine_stats is not None:
+        doc["engine"] = engine_stats
+    return doc

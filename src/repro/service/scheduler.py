@@ -1,0 +1,362 @@
+"""The batch engine: fan-out, backpressure, retries, degradation.
+
+:class:`BatchEngine` turns :class:`~repro.service.jobs.PackJob`\\ s
+into :class:`~repro.service.jobs.JobResult`\\ s:
+
+* **fan-out** — attempts run on a shared ``ProcessPoolExecutor``
+  (``workers`` processes); ``workers=0`` runs attempts in-process,
+  which is what tiny batches and unit tests want;
+* **backpressure** — at most ``queue_limit`` attempts are in flight
+  at once, enforced by a semaphore: a caller that would overfill the
+  queue blocks in ``submit`` instead of ballooning memory;
+* **caching** — each job is keyed by content hash
+  (:func:`~repro.service.cache.cache_key`) and looked up before any
+  work is scheduled;
+* **timeouts** — ``future.result(timeout)`` per attempt.  A timed-out
+  worker cannot be interrupted mid-pack; it keeps its pool slot until
+  it finishes, which is why timeouts count as *transient* failures
+  and the retry goes to another slot;
+* **retries** — transient failures back off exponentially
+  (:class:`RetryPolicy`); deterministic input failures
+  (:class:`~repro.service.workers.WorkerInputError`) skip straight to
+  degradation;
+* **pool self-healing** — a worker crash breaks the whole executor
+  (``BrokenProcessPool``); the engine retires the broken pool, every
+  affected attempt counts as transient, and the next attempt lazily
+  builds a fresh pool;
+* **graceful degradation** — a job that exhausts its attempts (and
+  any job whose input is deterministically unpackable) yields a
+  deflate-jar of its input bytes, flagged ``degraded``, instead of
+  failing the batch.  ``degrade=False`` turns this into a ``failed``
+  status for callers that prefer hard errors.
+
+Everything is mirrored into :mod:`repro.observe` under ``service.*``
+(cache hit/miss and retry/degraded counters, queue-depth and per-job
+latency histograms) whenever a recorder is installed, and always into
+the engine's own thread-safe :class:`EngineStats` (the ``/stats``
+endpoint and the batch report read those).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from .. import observe
+from ..jar.jarfile import make_jar
+from .cache import ResultCache, cache_key
+from .jobs import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    JobResult,
+    PackJob,
+)
+from .workers import WorkerInputError, make_payload, pack_payload, run_inline
+
+
+class JobTimeout(Exception):
+    """An attempt exceeded the engine's per-job timeout."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff.
+
+    ``delay(n)`` is the pause after the *n*-th failed attempt
+    (1-based): ``backoff * multiplier**(n-1)``, capped at
+    ``max_backoff``.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+
+    def delay(self, failed_attempt: int) -> float:
+        raw = self.backoff * self.multiplier ** (failed_attempt - 1)
+        return min(raw, self.max_backoff)
+
+
+class EngineStats:
+    """Thread-safe counters plus a per-job latency summary."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._latency_count = 0
+        self._latency_sum = 0.0
+        self._latency_max = 0.0
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latency_count += 1
+            self._latency_sum += seconds
+            self._latency_max = max(self._latency_max, seconds)
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            mean = self._latency_sum / self._latency_count \
+                if self._latency_count else 0.0
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "latency": {
+                    "count": self._latency_count,
+                    "total_seconds": round(self._latency_sum, 6),
+                    "mean_seconds": round(mean, 6),
+                    "max_seconds": round(self._latency_max, 6),
+                },
+            }
+
+
+def _describe(exc: BaseException) -> str:
+    detail = str(exc)
+    return f"{type(exc).__name__}: {detail}" if detail \
+        else type(exc).__name__
+
+
+class BatchEngine:
+    """See the module docstring.  Use as a context manager (or call
+    :meth:`close`) so pool processes are reaped."""
+
+    def __init__(self,
+                 workers: Optional[int] = None,
+                 queue_limit: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 timeout: Optional[float] = None,
+                 degrade: bool = True,
+                 sleep: Callable[[float], None] = time.sleep):
+        if workers is None:
+            import os
+            workers = os.cpu_count() or 1
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self.queue_limit = queue_limit or max(2 * workers, 2)
+        self.cache = cache
+        self.retry = retry or RetryPolicy()
+        self.timeout = timeout
+        self.degrade = degrade
+        self.stats = EngineStats()
+        self._sleep = sleep
+        self._backpressure = threading.BoundedSemaphore(self.queue_limit)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "BatchEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._closed = True
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # -- metrics ---------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.stats.count(name, n)
+        metrics = observe.current().metrics
+        if metrics is not None:
+            metrics.count(f"service.{name}", n)
+
+    def _observe_depth(self, depth: int) -> None:
+        metrics = observe.current().metrics
+        if metrics is not None:
+            metrics.observe("service.queue_depth", depth)
+
+    def _observe_latency(self, seconds: float) -> None:
+        self.stats.observe_latency(seconds)
+        metrics = observe.current().metrics
+        if metrics is not None:
+            metrics.observe("service.job_ms", int(seconds * 1000))
+
+    # -- pool management -------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers)
+            return self._pool
+
+    def _retire_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop a broken pool so the next attempt builds a fresh one."""
+        with self._pool_lock:
+            if self._pool is pool:
+                self._pool = None
+                self._count("pool_rebuilds")
+        pool.shutdown(wait=False)
+
+    # -- execution -------------------------------------------------------
+
+    def _attempt(self, job: PackJob, attempt: int):
+        """Run one attempt; returns ``(packed, raw, class_count)``."""
+        if self.workers == 0:
+            return run_inline(job, attempt)
+        payload = make_payload(job, attempt)
+        self._backpressure.acquire()
+        try:
+            with self._inflight_lock:
+                self._inflight += 1
+                self._observe_depth(self._inflight)
+            pool = self._ensure_pool()
+            try:
+                future = pool.submit(pack_payload, payload)
+                return future.result(self.timeout)
+            except FuturesTimeout as exc:
+                future.cancel()
+                raise JobTimeout(
+                    f"attempt timed out after {self.timeout}s") from exc
+            except BrokenProcessPool:
+                self._retire_pool(pool)
+                raise
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+            self._backpressure.release()
+
+    def _fallback(self, job: PackJob) -> bytes:
+        """The degraded artifact: a plain deflate jar of the input
+        bytes, built without touching the codec path."""
+        entries = sorted(job.classes.items())
+        return make_jar(entries, compress=True)
+
+    def execute(self, job: PackJob) -> JobResult:
+        """Run one job to completion (cache, attempts, degradation).
+
+        Thread-safe: ``repro serve`` calls this from every request
+        thread against one shared engine.
+        """
+        start = time.perf_counter()
+        self._count("jobs")
+        key = None
+        if self.cache is not None:
+            key = cache_key(job.classes, job.options,
+                            job.strip, job.eager)
+            data, from_disk = self.cache.get(key)
+            if data is not None:
+                self._count("cache.hits")
+                result = JobResult(
+                    job_id=job.job_id, status=STATUS_OK, attempts=0,
+                    cached=True, cache_disk=from_disk, data=data,
+                    input_bytes=job.input_bytes,
+                    output_bytes=len(data),
+                    seconds=time.perf_counter() - start)
+                self._observe_latency(result.seconds)
+                return result
+            self._count("cache.misses")
+
+        attempt_errors: List[str] = []
+        attempt = 0
+        while attempt < self.retry.max_attempts:
+            attempt += 1
+            self._count("attempts")
+            try:
+                packed, _raw, _count = self._attempt(job, attempt)
+            except WorkerInputError as exc:
+                attempt_errors.append(f"attempt {attempt}: {exc}")
+                break  # deterministic: retrying cannot succeed
+            except Exception as exc:  # noqa: BLE001 — transient class
+                attempt_errors.append(
+                    f"attempt {attempt}: {_describe(exc)}")
+                if isinstance(exc, JobTimeout):
+                    self._count("timeouts")
+                if attempt < self.retry.max_attempts:
+                    self._count("retries")
+                    self._sleep(self.retry.delay(attempt))
+            else:
+                if self.cache is not None and key is not None:
+                    self.cache.put(key, packed)
+                self._count("jobs.ok")
+                result = JobResult(
+                    job_id=job.job_id, status=STATUS_OK,
+                    attempts=attempt, data=packed,
+                    input_bytes=job.input_bytes,
+                    output_bytes=len(packed),
+                    seconds=time.perf_counter() - start,
+                    attempt_errors=attempt_errors)
+                self._observe_latency(result.seconds)
+                return result
+
+        error = attempt_errors[-1] if attempt_errors else "no attempts"
+        if self.degrade:
+            fallback = self._fallback(job)
+            self._count("jobs.degraded")
+            result = JobResult(
+                job_id=job.job_id, status=STATUS_DEGRADED,
+                attempts=attempt, degraded=True, data=fallback,
+                artifact="fallback-jar",
+                input_bytes=job.input_bytes,
+                output_bytes=len(fallback),
+                seconds=time.perf_counter() - start,
+                error=error, attempt_errors=attempt_errors)
+        else:
+            self._count("jobs.failed")
+            result = JobResult(
+                job_id=job.job_id, status=STATUS_FAILED,
+                attempts=attempt,
+                input_bytes=job.input_bytes, output_bytes=0,
+                seconds=time.perf_counter() - start,
+                error=error, attempt_errors=attempt_errors)
+        self._observe_latency(result.seconds)
+        return result
+
+    def run_batch(self, jobs: List[PackJob]) -> List[JobResult]:
+        """Execute every job; results come back in input order.
+
+        Jobs are orchestrated by a small thread pool (each thread
+        drives one job's cache-attempt-retry loop); the heavy lifting
+        stays on the shared process pool, so orchestrator threads are
+        almost always blocked in ``future.result``.
+        """
+        if not jobs:
+            return []
+        if self.workers == 0:
+            return [self.execute(job) for job in jobs]
+        orchestrators = min(len(jobs), self.queue_limit)
+        with ThreadPoolExecutor(
+                max_workers=orchestrators,
+                thread_name_prefix="repro-batch") as orchestra:
+            return list(orchestra.map(self.execute, jobs))
+
+    # -- introspection ---------------------------------------------------
+
+    def stats_dict(self) -> Dict[str, Any]:
+        doc = self.stats.to_dict()
+        doc["workers"] = self.workers
+        doc["queue_limit"] = self.queue_limit
+        doc["timeout"] = self.timeout
+        doc["retry"] = {
+            "max_attempts": self.retry.max_attempts,
+            "backoff": self.retry.backoff,
+            "multiplier": self.retry.multiplier,
+            "max_backoff": self.retry.max_backoff,
+        }
+        doc["cache"] = self.cache.stats() if self.cache else None
+        return doc

@@ -1,0 +1,116 @@
+"""The process-pool worker side of the batch engine.
+
+:func:`pack_payload` is the only function the pool executes.  It is a
+module-level function taking one picklable dict, so it crosses the
+``ProcessPoolExecutor`` boundary under every start method.  The parent
+ships raw class bytes; the worker parses, optionally strips/reorders,
+and packs — so a malformed class file raises *inside the worker* and
+surfaces as that one job's controlled failure.
+
+Exception taxonomy (the scheduler's retry policy keys off it):
+
+* :class:`WorkerInputError` — deterministic input problems.  The
+  parse → strip → order → pack computation is pure, so *any*
+  exception it raises will raise again on a retry; the scheduler
+  degrades immediately instead of burning attempts.
+* anything raised outside that computation (injected
+  ``RuntimeError``, worker crashes surfacing as
+  ``BrokenProcessPool``, timeouts) — transient; retried with backoff.
+
+Fault injection (:class:`~repro.service.jobs.FaultSpec`) happens here,
+first thing, in the worker process — a ``crash`` really does take a
+pool process down with it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..classfile.classfile import parse_class, write_class
+from ..jar.formats import strip_classes
+from ..loader.eager import eager_order
+from ..pack import pack_archive
+from ..pack.options import PackOptions
+from .jobs import FaultSpec, PackJob
+
+
+class WorkerInputError(ValueError):
+    """A deterministic (non-retryable) job input failure."""
+
+
+def make_payload(job: PackJob, attempt: int) -> Dict[str, Any]:
+    """The picklable form of one attempt at one job."""
+    return {
+        "classes": job.classes,
+        "options": job.options,
+        "strip": job.strip,
+        "eager": job.eager,
+        "faults": job.faults,
+        "attempt": attempt,
+        "inject_crashes": True,
+    }
+
+
+def _inject(faults: Optional[FaultSpec], attempt: int,
+            crashes_allowed: bool) -> None:
+    if faults is None:
+        return
+    if attempt <= faults.crash_attempts:
+        if crashes_allowed:
+            # A real worker death: the parent sees BrokenProcessPool.
+            os._exit(13)
+        raise RuntimeError(f"injected crash (attempt {attempt})")
+    if attempt <= faults.hang_attempts:
+        time.sleep(faults.hang_seconds)
+        raise RuntimeError(f"injected hang (attempt {attempt})")
+    if attempt <= faults.raise_attempts:
+        raise RuntimeError(f"injected failure (attempt {attempt})")
+
+
+def pack_payload(payload: Dict[str, Any]) -> Tuple[bytes, int, int]:
+    """Pack one job; returns ``(packed, raw_bytes, class_count)``.
+
+    ``raw_bytes`` is the serialized size of the (possibly stripped)
+    class files actually packed — the same "raw" the ``repro pack``
+    summary line reports.
+    """
+    _inject(payload["faults"], payload["attempt"],
+            payload.get("inject_crashes", True))
+    options: PackOptions = payload["options"]
+    try:
+        classes = {}
+        for name, data in sorted(payload["classes"].items()):
+            classfile = parse_class(data)
+            classes[classfile.name] = classfile
+        if not classes:
+            raise ValueError("no class files in job")
+        if payload["strip"]:
+            classes = strip_classes(classes)
+        if payload["eager"]:
+            ordered = eager_order(list(classes.values()))
+        else:
+            ordered = [classes[name] for name in sorted(classes)]
+        packed = pack_archive(ordered, options)
+        raw = sum(len(write_class(c)) for c in ordered)
+    except Exception as exc:
+        # The block above is a pure function of the payload: whatever
+        # it raised, it will raise again.  Collapse to the
+        # non-retryable class so the scheduler degrades immediately.
+        detail = str(exc) or ""
+        raise WorkerInputError(
+            f"{type(exc).__name__}: {detail}" if detail
+            else type(exc).__name__) from exc
+    return packed, raw, len(ordered)
+
+
+def run_inline(job: PackJob, attempt: int) -> Tuple[bytes, int, int]:
+    """Execute an attempt in-process (``workers=0`` engines).
+
+    Injected crashes become exceptions here — taking the calling
+    process down would defeat the point of in-process mode.
+    """
+    payload = make_payload(job, attempt)
+    payload["inject_crashes"] = False
+    return pack_payload(payload)

@@ -189,3 +189,157 @@ class TestBench:
         assert main(["bench", "Hanoi_jax"]) == 0
         output = capsys.readouterr().out
         assert "Packed" in output and "Jazz" in output
+
+
+class TestErrorHandling:
+    """Operational failures exit 2 with a one-line error, never a
+    traceback (regression: UnpackError/OSError used to escape)."""
+
+    def test_unpack_missing_file(self, tmp_path, capsys):
+        assert main(["unpack", str(tmp_path / "missing.pack"),
+                     "-o", str(tmp_path / "out.jar")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "missing.pack" in err
+
+    def test_unpack_corrupt_archive(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pack"
+        bad.write_bytes(b"definitely not a packed archive")
+        assert main(["unpack", str(bad),
+                     "-o", str(tmp_path / "out.jar")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "magic" in err
+
+    def test_stats_missing_input(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "missing.jar")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_inspect_missing_input(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "missing.jar")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_pack_missing_input(self, tmp_path, capsys):
+        assert main(["pack", str(tmp_path / "missing.jar"),
+                     "-o", str(tmp_path / "out.pack")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_batch_empty_directory(self, tmp_path, capsys):
+        empty = tmp_path / "jars"
+        empty.mkdir()
+        assert main(["batch", str(empty),
+                     "-o", str(tmp_path / "out")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestBatch:
+    """The `repro batch` subcommand: determinism across worker
+    counts, and the content-addressed cache across runs."""
+
+    def _make_jars(self, tmp_path, source_file, count=3):
+        jars = tmp_path / "jars"
+        jars.mkdir()
+        jar = tmp_path / "seed.jar"
+        main(["compile", str(source_file), "-o", str(jar)])
+        seed = jar.read_bytes()
+        for index in range(count):
+            (jars / f"app{index}.jar").write_bytes(seed)
+        return jars, seed
+
+    def _sequential_pack(self, jar_bytes):
+        from repro.pack import pack_archive
+
+        parsed = {}
+        for name, data in read_jar(jar_bytes):
+            if name.endswith(".class"):
+                classfile = parse_class(data)
+                parsed[classfile.name] = classfile
+        ordered = [parsed[name] for name in sorted(parsed)]
+        return pack_archive(ordered)
+
+    def test_worker_counts_are_byte_identical(self, tmp_path,
+                                              source_file):
+        jars, seed = self._make_jars(tmp_path, source_file)
+        expected = self._sequential_pack(seed)
+        outputs = {}
+        for workers in ("4", "1"):
+            outdir = tmp_path / f"out{workers}"
+            assert main(["batch", str(jars), "-o", str(outdir),
+                         "-j", workers, "--no-cache"]) == 0
+            outputs[workers] = sorted(
+                (p.name, p.read_bytes())
+                for p in outdir.glob("*.pack"))
+        assert outputs["4"] == outputs["1"]
+        assert len(outputs["1"]) == 3
+        for _, data in outputs["1"]:
+            assert data == expected
+
+    def test_second_run_served_from_cache(self, tmp_path,
+                                          source_file, capsys):
+        jars, _ = self._make_jars(tmp_path, source_file)
+        cache_dir = tmp_path / "cache"
+        for run in ("first", "second"):
+            metrics = tmp_path / f"{run}.json"
+            report = tmp_path / f"{run}-report.json"
+            assert main(["batch", str(jars),
+                         "-o", str(tmp_path / f"out-{run}"),
+                         "-j", "1",
+                         "--cache-dir", str(cache_dir),
+                         "--report", str(report),
+                         "--metrics-json", str(metrics)]) == 0
+        doc = json.loads((tmp_path / "second.json").read_text())
+        assert doc["schema"] == "repro.observe/1"
+        assert doc["counters"]["service.cache.hits"] == 3
+        assert "service.jobs.ok" not in doc["counters"]  # all cached
+        report = json.loads(
+            (tmp_path / "second-report.json").read_text())
+        assert report["totals"]["cached"] == 3
+        assert all(job["cached"] for job in report["jobs"])
+        # cached artifacts are still byte-identical to the cold run
+        first = sorted((p.name, p.read_bytes()) for p
+                       in (tmp_path / "out-first").glob("*.pack"))
+        second = sorted((p.name, p.read_bytes()) for p
+                        in (tmp_path / "out-second").glob("*.pack"))
+        assert first == second
+
+    def test_manifest_output_paths_respected(self, tmp_path,
+                                             source_file):
+        jar = tmp_path / "app.jar"
+        main(["compile", str(source_file), "-o", str(jar)])
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({"jobs": [
+            {"input": "app.jar", "id": "custom",
+             "output": "artifacts/custom.pack"},
+        ]}))
+        assert main(["batch", str(manifest),
+                     "-o", str(tmp_path / "unused"),
+                     "-j", "0"]) == 0
+        assert (tmp_path / "artifacts" / "custom.pack").exists()
+
+    def test_no_degrade_failure_exits_nonzero(self, tmp_path,
+                                              source_file):
+        jar = tmp_path / "app.jar"
+        main(["compile", str(source_file), "-o", str(jar)])
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({"jobs": [
+            {"input": "app.jar", "id": "doomed",
+             "faults": {"raise_attempts": 99}},
+        ]}))
+        report = tmp_path / "report.json"
+        assert main(["batch", str(manifest),
+                     "-o", str(tmp_path / "out"), "-j", "0",
+                     "--max-attempts", "2", "--backoff", "0.01",
+                     "--no-degrade", "--report", str(report)]) == 1
+        doc = json.loads(report.read_text())
+        assert doc["jobs"][0]["status"] == "failed"
+        assert "injected failure" in doc["jobs"][0]["error"]
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "-j", "2",
+             "--cache-bytes", "1024", "--timeout", "5"])
+        assert args.port == 0 and args.workers == 2
+        assert args.cache_bytes == 1024 and args.timeout == 5.0
+        assert args.func.__name__ == "cmd_serve"

@@ -7,13 +7,18 @@ Two directions:
   option matrix;
 * *adversarial*: corrupted packed archives must fail with controlled
   errors, never silently succeed with wrong classes and never escape
-  with non-ValueError exceptions.
+  with non-ValueError exceptions;
+* *adversarial through the service*: the same corruptions fed to the
+  batch engine as job inputs must come back as controlled per-job
+  degraded/failed results — one bad jar must never kill a worker
+  pool, the batch, or the other jobs' byte-exact outputs.
 """
 
 import random
 
 import pytest
 
+from repro.classfile.classfile import write_class
 from repro.classfile.verify import verify_class
 from repro.corpus.generator import SuiteSpec, generate_sources
 from repro.minijava import compile_sources
@@ -24,6 +29,13 @@ from repro.pack import (
     unpack_archive,
 )
 from repro.pack.equivalence import archives_equal as _equal
+from repro.service import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    BatchEngine,
+    PackJob,
+)
 
 
 def _random_suite(seed, packages=1, classes=3):
@@ -103,3 +115,96 @@ class TestAdversarialFuzz:
         packed[0] ^= 0xFF
         with pytest.raises(ValueError):
             unpack_archive(bytes(packed))
+
+
+class TestServiceAdversarial:
+    """Corrupt *inputs* pushed through the batch engine: controlled
+    per-job outcomes, never a dead pool or a poisoned batch."""
+
+    @staticmethod
+    def _class_bytes(seed):
+        originals = _random_suite(seed)
+        return {c.name + ".class": write_class(c) for c in originals}
+
+    @staticmethod
+    def _corruptions(classes, seed):
+        """(label, corrupted class map) variants of one good input."""
+        rng = random.Random(seed)
+        name = sorted(classes)[0]
+        data = classes[name]
+
+        def mutate(new_bytes):
+            out = dict(classes)
+            out[name] = new_bytes
+            return out
+
+        flipped = bytearray(data)
+        position = rng.randrange(8, len(flipped))
+        flipped[position] ^= 1 << rng.randrange(8)
+        return [
+            ("bit-flip", mutate(bytes(flipped))),
+            ("truncated", mutate(data[:len(data) // 2])),
+            ("bad-magic", mutate(b"\x00\x00\x00\x00" + data[4:])),
+            ("empty", mutate(b"")),
+        ]
+
+    def test_inline_batch_degrades_corrupt_jobs(self):
+        classes = self._class_bytes(6000)
+        expected = pack_archive(_random_suite(6000))
+        jobs = [PackJob("good-a", classes)]
+        jobs += [PackJob(label, corrupted) for label, corrupted
+                 in self._corruptions(classes, seed=23)]
+        jobs.append(PackJob("good-b", classes))
+        with BatchEngine(workers=0) as engine:
+            results = engine.run_batch(jobs)
+        by_id = {r.job_id: r for r in results}
+        assert by_id["good-a"].data == expected
+        assert by_id["good-b"].data == expected
+        for label in ("truncated", "bad-magic", "empty"):
+            result = by_id[label]
+            assert result.status == STATUS_DEGRADED, label
+            assert result.attempts == 1  # deterministic: no retries
+            assert result.error
+        # a single bit flip may survive parsing (and then it must
+        # pack); either way the outcome is controlled
+        assert by_id["bit-flip"].status in (STATUS_OK,
+                                            STATUS_DEGRADED)
+
+    @pytest.mark.parametrize("seed", range(7000, 7006))
+    def test_random_flips_never_uncontrolled(self, seed):
+        classes = self._class_bytes(6000)
+        rng = random.Random(seed)
+        name = rng.choice(sorted(classes))
+        corrupted = dict(classes)
+        data = bytearray(corrupted[name])
+        for _ in range(rng.randrange(1, 4)):
+            data[rng.randrange(len(data))] ^= 1 << rng.randrange(8)
+        corrupted[name] = bytes(data)
+        with BatchEngine(workers=0, degrade=False) as engine:
+            result = engine.execute(PackJob(f"flip{seed}", corrupted))
+        assert result.status in (STATUS_OK, STATUS_FAILED)
+        if result.status == STATUS_FAILED:
+            assert result.attempts == 1 and result.error
+
+    def test_pool_survives_corrupt_jobs(self):
+        """Through a real process pool: bad jobs degrade, the pool
+        keeps serving, and good outputs stay byte-exact."""
+        classes = self._class_bytes(6001)
+        expected = pack_archive(_random_suite(6001))
+        corruptions = self._corruptions(classes, seed=29)
+        jobs = [PackJob(f"good{i}", classes) for i in range(2)]
+        jobs += [PackJob(label, corrupted)
+                 for label, corrupted in corruptions]
+        with BatchEngine(workers=2) as engine:
+            results = engine.run_batch(jobs)
+            # the pool was not broken by any corrupt job
+            assert engine.stats.get("pool_rebuilds", ) == 0
+            after = engine.execute(PackJob("after", classes))
+        statuses = {r.job_id: r.status for r in results}
+        assert statuses["good0"] == STATUS_OK
+        assert statuses["good1"] == STATUS_OK
+        assert all(r.data == expected for r in results
+                   if r.job_id.startswith("good"))
+        assert statuses["truncated"] == STATUS_DEGRADED
+        assert statuses["bad-magic"] == STATUS_DEGRADED
+        assert after.status == STATUS_OK and after.data == expected

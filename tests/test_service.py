@@ -1,0 +1,451 @@
+"""Tests for the batch-packing service (`repro.service`).
+
+Covers the content-addressed cache, the retry/degradation state
+machine, process-pool fan-out (including worker crashes breaking and
+rebuilding the pool), per-job timeouts, parallel/sequential/in-process
+determinism, and the observe wiring.
+
+Pool-backed engines fork real processes; those tests keep worker
+counts and corpora small so the whole module stays in the tier-1
+budget.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import observe
+from repro.classfile.classfile import parse_class, write_class
+from repro.corpus.suites import generate_suite
+from repro.jar.jarfile import make_jar, read_jar
+from repro.pack import PackOptions, pack_archive
+from repro.service import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    BatchEngine,
+    FaultSpec,
+    JobInputError,
+    PackJob,
+    ResultCache,
+    RetryPolicy,
+    batch_report,
+    cache_key,
+    job_from_path,
+    jobs_from_directory,
+    jobs_from_manifest,
+)
+
+
+@pytest.fixture(scope="module")
+def suite_classes():
+    """Entry-name -> class bytes for a tiny cached suite."""
+    suite = generate_suite("Hanoi_jax")
+    return {name + ".class": write_class(c)
+            for name, c in suite.items()}
+
+
+@pytest.fixture(scope="module")
+def expected_pack(suite_classes):
+    """What plain sequential ``pack_archive`` produces for the same
+    classes in the CLI's sorted-by-name order."""
+    parsed = {}
+    for data in suite_classes.values():
+        classfile = parse_class(data)
+        parsed[classfile.name] = classfile
+    ordered = [parsed[name] for name in sorted(parsed)]
+    return pack_archive(ordered)
+
+
+def _job(classes, job_id="job", **kwargs):
+    return PackJob(job_id=job_id, classes=classes, **kwargs)
+
+
+class TestCacheKey:
+    def test_stable(self, suite_classes):
+        options = PackOptions()
+        assert cache_key(suite_classes, options) == \
+            cache_key(dict(suite_classes), options)
+
+    def test_sensitive_to_content(self, suite_classes):
+        mutated = dict(suite_classes)
+        name = sorted(mutated)[0]
+        mutated[name] = mutated[name] + b"\0"
+        assert cache_key(mutated, PackOptions()) != \
+            cache_key(suite_classes, PackOptions())
+
+    def test_sensitive_to_options_and_shaping(self, suite_classes):
+        keys = {
+            cache_key(suite_classes, PackOptions()),
+            cache_key(suite_classes, PackOptions(scheme="basic")),
+            cache_key(suite_classes, PackOptions(compress=False)),
+            cache_key(suite_classes, PackOptions(), strip=True),
+            cache_key(suite_classes, PackOptions(), eager=True),
+        }
+        assert len(keys) == 5
+
+    def test_entry_names_matter(self):
+        assert cache_key({"a.class": b"xy"}, PackOptions()) != \
+            cache_key({"b.class": b"xy"}, PackOptions())
+
+
+class TestResultCache:
+    def test_roundtrip_and_counters(self):
+        cache = ResultCache(max_bytes=1024)
+        data, disk = cache.get("k1")
+        assert data is None and not disk
+        cache.put("k1", b"payload")
+        data, disk = cache.get("k1")
+        assert data == b"payload" and not disk
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["bytes"] == len(b"payload")
+
+    def test_lru_evicts_by_bytes(self):
+        cache = ResultCache(max_bytes=100)
+        cache.put("a", b"x" * 40)
+        cache.put("b", b"y" * 40)
+        cache.get("a")  # touch: "b" becomes LRU
+        cache.put("c", b"z" * 40)  # over budget -> evict "b"
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats()["evictions"] == 1
+        assert cache.current_bytes <= 100
+
+    def test_oversized_entry_not_admitted(self):
+        cache = ResultCache(max_bytes=10)
+        cache.put("big", b"x" * 100)
+        assert len(cache) == 0
+
+    def test_disk_spill_persists_across_instances(self, tmp_path):
+        store = tmp_path / "spill"
+        first = ResultCache(max_bytes=1024, spill_dir=store)
+        first.put("k", b"archive-bytes")
+        second = ResultCache(max_bytes=1024, spill_dir=store)
+        data, disk = second.get("k")
+        assert data == b"archive-bytes" and disk
+        assert second.stats()["disk_hits"] == 1
+        # now resident in memory: the next hit is not a disk hit
+        data, disk = second.get("k")
+        assert data == b"archive-bytes" and not disk
+
+    def test_eviction_with_spill_still_readable(self, tmp_path):
+        cache = ResultCache(max_bytes=50,
+                            spill_dir=tmp_path / "spill")
+        cache.put("a", b"x" * 40)
+        cache.put("b", b"y" * 40)  # evicts "a" from memory
+        assert "a" not in cache
+        data, disk = cache.get("a")
+        assert data == b"x" * 40 and disk
+
+
+class TestRetryPolicy:
+    def test_exponential_capped(self):
+        policy = RetryPolicy(max_attempts=5, backoff=0.1,
+                             multiplier=2.0, max_backoff=0.3)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)  # capped
+        assert policy.delay(4) == pytest.approx(0.3)
+
+
+class TestEngineInline:
+    """workers=0: attempts run in-process (fast, deterministic)."""
+
+    def test_matches_pack_archive(self, suite_classes, expected_pack):
+        with BatchEngine(workers=0) as engine:
+            result = engine.execute(_job(suite_classes))
+        assert result.status == STATUS_OK
+        assert result.attempts == 1 and not result.cached
+        assert result.data == expected_pack
+
+    def test_cache_hit_on_second_execute(self, suite_classes,
+                                         expected_pack):
+        with BatchEngine(workers=0, cache=ResultCache()) as engine:
+            first = engine.execute(_job(suite_classes))
+            second = engine.execute(_job(suite_classes))
+        assert not first.cached and second.cached
+        assert second.attempts == 0
+        assert second.data == expected_pack
+        assert engine.stats.get("cache.hits") == 1
+        assert engine.stats.get("cache.misses") == 1
+
+    def test_options_change_output(self, suite_classes, expected_pack):
+        job = _job(suite_classes,
+                   options=PackOptions(scheme="basic",
+                                       use_context=False,
+                                       transients=False))
+        with BatchEngine(workers=0) as engine:
+            result = engine.execute(job)
+        assert result.status == STATUS_OK
+        assert result.data != expected_pack
+
+    def test_retry_then_success_with_backoff(self, suite_classes,
+                                             expected_pack):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, backoff=0.05,
+                             multiplier=2.0)
+        with BatchEngine(workers=0, retry=policy,
+                         sleep=sleeps.append) as engine:
+            result = engine.execute(
+                _job(suite_classes,
+                     faults=FaultSpec(raise_attempts=2)))
+        assert result.status == STATUS_OK and result.attempts == 3
+        assert result.data == expected_pack
+        assert len(result.attempt_errors) == 2
+        assert sleeps == [pytest.approx(0.05), pytest.approx(0.10)]
+        assert engine.stats.get("retries") == 2
+
+    def test_exhaustion_degrades_to_fallback_jar(self, suite_classes):
+        with BatchEngine(workers=0,
+                         retry=RetryPolicy(max_attempts=2),
+                         sleep=lambda _: None) as engine:
+            result = engine.execute(
+                _job(suite_classes,
+                     faults=FaultSpec(raise_attempts=99)))
+        assert result.status == STATUS_DEGRADED
+        assert result.degraded and result.artifact == "fallback-jar"
+        assert result.attempts == 2
+        assert "injected failure" in result.error
+        # the fallback is a plain deflate jar of the input bytes
+        assert dict(read_jar(result.data)) == suite_classes
+        assert engine.stats.get("jobs.degraded") == 1
+
+    def test_no_degrade_reports_failed(self, suite_classes):
+        with BatchEngine(workers=0, degrade=False,
+                         retry=RetryPolicy(max_attempts=2),
+                         sleep=lambda _: None) as engine:
+            result = engine.execute(
+                _job(suite_classes,
+                     faults=FaultSpec(raise_attempts=99)))
+        assert result.status == STATUS_FAILED
+        assert result.data is None and result.output_bytes == 0
+
+    def test_corrupt_input_skips_retries(self, suite_classes):
+        corrupt = dict(suite_classes)
+        name = sorted(corrupt)[0]
+        corrupt[name] = b"\xca\xfe\xba\xbe" + b"\x00" * 8
+        sleeps = []
+        with BatchEngine(workers=0,
+                         retry=RetryPolicy(max_attempts=3),
+                         sleep=sleeps.append) as engine:
+            result = engine.execute(_job(corrupt))
+        # deterministic parse failure: one attempt, no backoff sleeps
+        assert result.status == STATUS_DEGRADED
+        assert result.attempts == 1 and sleeps == []
+
+    def test_observe_metrics_mirrored(self, suite_classes):
+        with observe.recording() as recorder:
+            with BatchEngine(workers=0, cache=ResultCache()) as engine:
+                engine.execute(_job(suite_classes))
+                engine.execute(_job(suite_classes))
+        counters = recorder.metrics.counters
+        assert counters["service.jobs"] == 2
+        assert counters["service.jobs.ok"] == 1
+        assert counters["service.cache.hits"] == 1
+        assert counters["service.cache.misses"] == 1
+        assert "service.job_ms" in recorder.metrics.histograms
+
+    def test_run_batch_preserves_order(self, suite_classes):
+        jobs = [_job(suite_classes, job_id=f"j{i}") for i in range(5)]
+        with BatchEngine(workers=0) as engine:
+            results = engine.run_batch(jobs)
+        assert [r.job_id for r in results] == [j.job_id for j in jobs]
+
+    def test_batch_report_totals(self, suite_classes):
+        jobs = [
+            _job(suite_classes, job_id="good"),
+            _job(suite_classes, job_id="bad",
+                 faults=FaultSpec(raise_attempts=99)),
+        ]
+        with BatchEngine(workers=0, retry=RetryPolicy(max_attempts=2),
+                         sleep=lambda _: None) as engine:
+            results = engine.run_batch(jobs)
+            report = batch_report(results, 1.0, engine.stats_dict())
+        assert report["schema"] == "repro.service/1"
+        totals = report["totals"]
+        assert totals == {
+            "jobs": 2, "ok": 1, "degraded": 1, "failed": 0,
+            "cached": 0,
+            "input_bytes": totals["input_bytes"],
+            "output_bytes": totals["output_bytes"],
+            "seconds": 1.0,
+        }
+        by_id = {doc["job_id"]: doc for doc in report["jobs"]}
+        assert by_id["bad"]["status"] == STATUS_DEGRADED
+        assert "error" in by_id["bad"]
+        assert report["engine"]["counters"]["jobs.degraded"] == 1
+
+
+class TestEnginePool:
+    """Real process-pool fan-out."""
+
+    def test_parallel_results_byte_identical(self, suite_classes,
+                                             expected_pack):
+        jobs = [_job(suite_classes, job_id=f"j{i}") for i in range(4)]
+        with BatchEngine(workers=2) as engine:
+            results = engine.run_batch(jobs)
+        assert all(r.status == STATUS_OK for r in results)
+        assert all(r.data == expected_pack for r in results)
+
+    def test_worker_crash_rebuilds_pool(self, suite_classes,
+                                        expected_pack):
+        policy = RetryPolicy(max_attempts=4, backoff=0.01)
+        jobs = [_job(suite_classes, job_id="crash",
+                     faults=FaultSpec(crash_attempts=1))] + \
+               [_job(suite_classes, job_id=f"good{i}")
+                for i in range(3)]
+        with BatchEngine(workers=2, retry=policy) as engine:
+            results = engine.run_batch(jobs)
+            assert engine.stats.get("pool_rebuilds") >= 1
+            # the engine stays usable after the break
+            after = engine.execute(_job(suite_classes, job_id="after"))
+        assert all(r.status == STATUS_OK for r in results), \
+            [(r.job_id, r.error) for r in results]
+        assert results[0].attempts >= 2
+        assert all(r.data == expected_pack for r in results)
+        assert after.status == STATUS_OK
+
+    def test_timeout_retries_on_fresh_slot(self, suite_classes,
+                                           expected_pack):
+        policy = RetryPolicy(max_attempts=3, backoff=0.01)
+        with BatchEngine(workers=2, timeout=0.5,
+                         retry=policy) as engine:
+            result = engine.execute(
+                _job(suite_classes, job_id="hang",
+                     faults=FaultSpec(hang_attempts=1,
+                                      hang_seconds=2.0)))
+        assert result.status == STATUS_OK and result.attempts == 2
+        assert result.data == expected_pack
+        assert engine.stats.get("timeouts") == 1
+        assert "timed out" in result.attempt_errors[0]
+
+
+class TestJobLoading:
+    def _write_jar(self, tmp_path, suite_classes, name="app.jar"):
+        path = tmp_path / name
+        path.write_bytes(make_jar(sorted(suite_classes.items())))
+        return path
+
+    def test_job_from_jar(self, tmp_path, suite_classes):
+        jar = self._write_jar(tmp_path, suite_classes)
+        job = job_from_path(jar)
+        assert job.job_id == "app"
+        assert job.classes == suite_classes
+
+    def test_job_from_directory_of_classes(self, tmp_path,
+                                           suite_classes):
+        for name, data in suite_classes.items():
+            target = tmp_path / name
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(data)
+        job = job_from_path(tmp_path)
+        assert job.classes == suite_classes
+
+    def test_jobs_from_directory_of_jars(self, tmp_path,
+                                         suite_classes):
+        self._write_jar(tmp_path, suite_classes, "b.jar")
+        self._write_jar(tmp_path, suite_classes, "a.jar")
+        jobs = jobs_from_directory(tmp_path)
+        assert [job.job_id for job in jobs] == ["a", "b"]
+
+    def test_missing_input_raises_job_input_error(self, tmp_path):
+        with pytest.raises(JobInputError):
+            job_from_path(tmp_path / "missing.jar")
+        with pytest.raises(JobInputError):
+            jobs_from_directory(tmp_path)
+
+    def test_manifest_with_overrides_and_faults(self, tmp_path,
+                                                suite_classes):
+        self._write_jar(tmp_path, suite_classes)
+        manifest = tmp_path / "jobs.json"
+        manifest.write_text(json.dumps({"jobs": [
+            {"input": "app.jar", "id": "plain"},
+            {"input": "app.jar", "id": "basic",
+             "options": {"scheme": "basic", "use_context": False,
+                         "transients": False},
+             "strip": True,
+             "output": "out/basic.pack"},
+            {"input": "app.jar", "id": "chaos",
+             "faults": {"raise_attempts": 1}},
+        ]}))
+        jobs = jobs_from_manifest(manifest)
+        assert [job.job_id for job in jobs] == \
+            ["plain", "basic", "chaos"]
+        assert jobs[1].options.scheme == "basic" and jobs[1].strip
+        assert jobs[1].output == tmp_path / "out" / "basic.pack"
+        assert jobs[2].faults == FaultSpec(raise_attempts=1)
+
+    def test_manifest_rejects_unknown_options(self, tmp_path,
+                                              suite_classes):
+        self._write_jar(tmp_path, suite_classes)
+        manifest = tmp_path / "jobs.json"
+        manifest.write_text(json.dumps({"jobs": [
+            {"input": "app.jar", "options": {"not_an_option": 1}},
+        ]}))
+        with pytest.raises(JobInputError):
+            jobs_from_manifest(manifest)
+
+
+class TestFaultInjectionAcceptance:
+    """The ISSUE acceptance scenario, end to end through the CLI:
+    injected worker crashes and timeouts on 2 of N jobs; the batch
+    completes, retries per policy, degrades the exhausted job to a
+    stored-jar fallback, exits 0, and every non-injected archive is
+    byte-identical to sequential ``pack_archive`` output."""
+
+    def test_batch_with_crashes_and_timeouts(self, tmp_path,
+                                             suite_classes,
+                                             expected_pack, capsys):
+        from repro.cli import main
+
+        jar = tmp_path / "app.jar"
+        jar.write_bytes(make_jar(sorted(suite_classes.items())))
+        entries = [{"input": "app.jar", "id": f"good{i}"}
+                   for i in range(4)]
+        entries.append({"input": "app.jar", "id": "crashy",
+                        "faults": {"crash_attempts": 1}})
+        entries.append({"input": "app.jar", "id": "stuck",
+                        "faults": {"hang_attempts": 99,
+                                   "hang_seconds": 1.0}})
+        manifest = tmp_path / "batch.json"
+        manifest.write_text(json.dumps({"jobs": entries}))
+        report_path = tmp_path / "report.json"
+        outdir = tmp_path / "out"
+
+        code = main(["batch", str(manifest), "-o", str(outdir),
+                     "--report", str(report_path),
+                     "-j", "2", "--timeout", "0.4",
+                     "--max-attempts", "3", "--backoff", "0.01",
+                     "--no-cache"])
+        assert code == 0
+
+        report = json.loads(report_path.read_text())
+        jobs = {doc["job_id"]: doc for doc in report["jobs"]}
+        # the crasher was retried per policy and recovered
+        assert jobs["crashy"]["status"] == STATUS_OK
+        assert jobs["crashy"]["attempts"] >= 2
+        # the hanger timed out every attempt and was degraded, with
+        # the failure detail in the report
+        assert jobs["stuck"]["status"] == STATUS_DEGRADED
+        assert jobs["stuck"]["attempts"] == 3
+        # every attempt failed; at least one by timeout (another may
+        # have been collateral damage of the injected crash breaking
+        # the shared pool — also a transient, also retried)
+        assert len(jobs["stuck"]["attempt_errors"]) == 3
+        assert any("timed out" in error
+                   for error in jobs["stuck"]["attempt_errors"])
+        assert jobs["stuck"]["artifact"] == "fallback-jar"
+        fallback = tmp_path / "out" / "stuck.fallback.jar"
+        assert dict(read_jar(fallback.read_bytes())) == suite_classes
+        # every non-injected job: ok and byte-identical to the
+        # sequential pack_archive output
+        for i in range(4):
+            doc = jobs[f"good{i}"]
+            assert doc["status"] == STATUS_OK
+            artifact = (outdir / f"good{i}.pack").read_bytes()
+            assert artifact == expected_pack
+        assert report["totals"]["degraded"] == 1
+        assert report["totals"]["failed"] == 0
+        assert report["engine"]["counters"]["timeouts"] >= 1
+        assert report["engine"]["counters"]["retries"] >= 3

@@ -1,0 +1,139 @@
+"""Tests for the ``repro serve`` HTTP front end.
+
+A real ``ThreadingHTTPServer`` is bound to an ephemeral port and
+driven with ``urllib``; the engine underneath runs in-process
+(``workers=0``) so requests are fast and deterministic.
+"""
+
+import json
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.classfile.classfile import write_class
+from repro.corpus.suites import generate_suite
+from repro.jar.jarfile import make_jar
+from repro.pack import PackOptions, archives_equal, unpack_archive
+from repro.service import BatchEngine, PackService, ResultCache
+
+
+@pytest.fixture(scope="module")
+def jar_bytes():
+    suite = generate_suite("Hanoi_jax")
+    classes = {name + ".class": write_class(c)
+               for name, c in suite.items()}
+    return make_jar(sorted(classes.items()))
+
+
+@pytest.fixture(scope="module")
+def originals():
+    suite = generate_suite("Hanoi_jax")
+    return [suite[name] for name in sorted(suite)]
+
+
+@pytest.fixture()
+def service():
+    engine = BatchEngine(workers=0, cache=ResultCache())
+    with PackService(engine, port=0) as svc:
+        svc.start_background()
+        yield svc
+    engine.close()
+
+
+def _url(service, path):
+    host, port = service.address
+    return f"http://{host}:{port}{path}"
+
+
+def _post(service, path, body):
+    request = urllib.request.Request(_url(service, path), data=body,
+                                     method="POST")
+    return urllib.request.urlopen(request, timeout=10)
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        response = urllib.request.urlopen(_url(service, "/healthz"),
+                                          timeout=10)
+        assert response.status == 200
+        assert response.read() == b"ok\n"
+
+    def test_stats_shape(self, service, jar_bytes):
+        _post(service, "/pack", jar_bytes).read()
+        doc = json.loads(urllib.request.urlopen(
+            _url(service, "/stats"), timeout=10).read())
+        assert doc["counters"]["jobs"] == 1
+        assert doc["workers"] == 0
+        assert doc["cache"]["entries"] == 1
+        assert doc["latency"]["count"] == 1
+        assert doc["retry"]["max_attempts"] == 3
+
+    def test_pack_roundtrips(self, service, jar_bytes, originals):
+        response = _post(service, "/pack", jar_bytes)
+        assert response.status == 200
+        assert response.headers["X-Repro-Status"] == "ok"
+        assert response.headers["X-Repro-Cache"] == "miss"
+        assert response.headers["Content-Type"] == \
+            "application/x-repro-pack"
+        packed = response.read()
+        assert archives_equal(originals, unpack_archive(packed))
+
+    def test_second_request_is_cache_hit(self, service, jar_bytes):
+        first = _post(service, "/pack", jar_bytes)
+        first.read()
+        second = _post(service, "/pack", jar_bytes)
+        body = second.read()
+        assert second.headers["X-Repro-Cache"] == "hit"
+        assert second.headers["X-Repro-Attempts"] == "0"
+        assert body  # same artifact served from memory
+
+    def test_options_via_query(self, service, jar_bytes, originals):
+        default = _post(service, "/pack", jar_bytes).read()
+        basic = _post(
+            service,
+            "/pack?scheme=basic&context=0&transients=0",
+            jar_bytes).read()
+        assert basic != default
+        options = PackOptions(scheme="basic", use_context=False,
+                              transients=False)
+        assert archives_equal(originals,
+                              unpack_archive(basic, options))
+
+    def test_unknown_scheme_is_400(self, service, jar_bytes):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(service, "/pack?scheme=wat", jar_bytes)
+        assert err.value.code == 400
+
+    def test_empty_body_is_400(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(service, "/pack", b"")
+        assert err.value.code == 400
+
+    def test_non_jar_body_is_400(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(service, "/pack", b"this is not a jar")
+        assert err.value.code == 400
+        assert "jar" in json.loads(err.value.read())["error"]
+
+    def test_unknown_paths_are_404(self, service, jar_bytes):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(_url(service, "/nope"), timeout=10)
+        assert err.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(service, "/also/nope", jar_bytes)
+        assert err.value.code == 404
+
+    def test_concurrent_requests_share_cache(self, service,
+                                             jar_bytes):
+        def hit(_):
+            response = _post(service, "/pack", jar_bytes)
+            return response.headers["X-Repro-Cache"], response.read()
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            outcomes = list(pool.map(hit, range(8)))
+        bodies = {body for _, body in outcomes}
+        assert len(bodies) == 1  # every thread got identical bytes
+        states = [state for state, _ in outcomes]
+        assert "hit" in states  # later requests were served cached
