@@ -1,14 +1,27 @@
-"""Bytecode compression machinery (Section 7)."""
+"""Bytecode compression machinery (Section 7).
+
+Everything here is *mode-independent*: the stack-state walk
+(:func:`~repro.bytecode_codec.apply.apply_instruction_state`), the
+operand layout table (:mod:`~repro.bytecode_codec.operands`), and the
+pair-combination rules serve the encoder, the decoder, and the
+analysis harness from a single definition each.
+"""
 
 from .analysis import ComponentSizes, bytecode_components
+from .apply import OPCODES_BY_NAME, apply_instruction_state
 from .custom_opcodes import PairRule, combine_pairs, expand_rules
+from .operands import OPERAND_CHANNELS, operand_channel
 from .stack_state import StackTracker
 
 __all__ = [
     "ComponentSizes",
+    "OPCODES_BY_NAME",
+    "OPERAND_CHANNELS",
     "PairRule",
     "StackTracker",
+    "apply_instruction_state",
     "bytecode_components",
     "combine_pairs",
     "expand_rules",
+    "operand_channel",
 ]

@@ -22,7 +22,7 @@ from ..coding.varint import encode_uvarints, write_svarint
 from ..ir.build import build_class
 from ..ir.model import Interner
 from .apply import OPCODES_BY_NAME, apply_instruction_state
-from ..pack.sizes import ir_instruction_size
+from ..pack.codec_core.layout import ir_instruction_size
 from .custom_opcodes import combine_pairs, sequences_to_bytes
 from .stack_state import StackTracker
 
@@ -70,7 +70,7 @@ def bytecode_components(classfiles: Iterable[ClassFile]
             tracker = StackTracker()
             offset = 0
             from ..classfile.opcodes import OPCODES
-            from ..pack.compressor import OPCODES_BY_NAME
+            from .apply import OPCODES_BY_NAME
             for instruction in method.code.instructions:
                 tracker.at_instruction(offset)
                 mnemonic = OPCODES[instruction.opcode].mnemonic

@@ -1,0 +1,59 @@
+"""Mode-independent operand layout: the wire shape of every operand.
+
+One table, consumed by the codec driver in all three modes (count /
+encode / decode), says for each JVM operand kind which
+:class:`~repro.ir.model.IRInstruction` attribute carries it and which
+*channel* it travels on:
+
+``reg``
+    an unsigned varint of a local-variable index,
+``int``
+    a signed (zigzag) varint immediate,
+``uint``
+    an unsigned varint immediate,
+``branch``
+    a signed varint *delta* against the instruction's own offset,
+``derived``
+    nothing on the wire — regenerated from the method descriptor
+    during reconstruction,
+``const`` / ``field`` / ``method`` / ``class``
+    structured operands routed through the shared-object codecs.
+
+The channel-to-stream routing (which named stream each channel writes)
+is a wire-format concern and lives with the codec specs in
+:mod:`repro.pack.codec_core`; this module is deliberately free of
+``pack`` imports so the stack-state walk and the operand shapes stay
+usable by analysis tools that never touch the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..classfile.opcodes import OperandKind as K
+
+#: operand kind -> (IRInstruction attribute, channel).
+OPERAND_CHANNELS: Dict[K, Tuple[Optional[str], str]] = {
+    K.LOCAL: ("local", "reg"),
+    K.SBYTE: ("immediate", "int"),
+    K.SSHORT: ("immediate", "int"),
+    K.IINC_DELTA: ("immediate", "int"),
+    K.BRANCH2: ("target", "branch"),
+    K.BRANCH4: ("target", "branch"),
+    K.ATYPE: ("atype", "uint"),
+    K.DIMS: ("dims", "uint"),
+    K.COUNT: (None, "derived"),
+    K.ZERO: (None, "derived"),
+    K.CP_LDC: ("const", "const"),
+    K.CP_LDC_W: ("const", "const"),
+    K.CP_LDC2_W: ("const", "const"),
+    K.CP_FIELD: ("field_ref", "field"),
+    K.CP_METHOD: ("method_ref", "method"),
+    K.CP_IMETHOD: ("method_ref", "method"),
+    K.CP_CLASS: ("class_ref", "class"),
+}
+
+
+def operand_channel(kind: K) -> Tuple[Optional[str], str]:
+    """The ``(attribute, channel)`` pair for one operand kind."""
+    return OPERAND_CHANNELS[kind]

@@ -36,14 +36,13 @@ from .jar.formats import strip_classes
 from .jar.jarfile import classes_to_entries, make_jar, read_jar
 from .loader.eager import eager_order
 from .minijava import compile_sources
+from .errors import ReproError
 from .pack import (
     PackOptions,
-    UnpackError,
     pack_archive,
     pack_archive_with_stats,
     unpack_archive,
 )
-from .service.jobs import JobInputError
 
 
 def _options_from_args(args: argparse.Namespace) -> PackOptions:
@@ -497,9 +496,10 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (UnpackError, JobInputError) as exc:
-        # Malformed archives / unusable job inputs: operational
-        # errors, not bugs — one line, exit 2, no traceback.
+    except ReproError as exc:
+        # Malformed archives, unpackable inputs, unusable job inputs:
+        # operational errors, not bugs — one line, exit 2, no
+        # traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:

@@ -34,6 +34,56 @@ from .varint import (
 )
 
 
+class StreamPort:
+    """The port protocol the codec driver targets.
+
+    A port is anything with a ``stream(name)`` method returning an
+    object that speaks the integer-codec vocabulary (``u8``,
+    ``uvarint``, ``svarint``, ``ranged``, ``raw``).  Three ports
+    exist: :class:`StreamSet` (writes), :class:`StreamReader`
+    (reads), and :class:`NullStreamSet` (discards — the counting
+    pass).  Sharing one vocabulary is what lets a single codec spec
+    drive all three modes.
+    """
+
+    def stream(self, name: str):
+        raise NotImplementedError
+
+
+class NullStream:
+    """A write-shaped stream that discards everything."""
+
+    __slots__ = ()
+
+    def __len__(self) -> int:
+        return 0
+
+    def u8(self, value: int) -> None:
+        pass
+
+    def uvarint(self, value: int) -> None:
+        pass
+
+    def svarint(self, value: int) -> None:
+        pass
+
+    def ranged(self, value: int, n: int) -> None:
+        pass
+
+    def raw(self, data: bytes) -> None:
+        pass
+
+
+NULL_STREAM = NullStream()
+
+
+class NullStreamSet(StreamPort):
+    """The counting pass's port: every stream is the null stream."""
+
+    def stream(self, name: str) -> NullStream:
+        return NULL_STREAM
+
+
 class StreamWriter:
     """An append-only byte stream with integer-codec helpers."""
 
@@ -103,7 +153,7 @@ class StreamCursor:
         return data
 
 
-class StreamSet:
+class StreamSet(StreamPort):
     """An ordered collection of named streams (writer side)."""
 
     def __init__(self):
@@ -193,7 +243,7 @@ class StreamSet:
         }
 
 
-class StreamReader:
+class StreamReader(StreamPort):
     """Deserialized view of a :class:`StreamSet` container."""
 
     def __init__(self, data: bytes, compressed: bool = True):

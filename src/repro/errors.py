@@ -1,0 +1,40 @@
+"""The one exception hierarchy for expected operational failures.
+
+Every error the system raises for *bad input* — an archive that cannot
+be packed, packed bytes that cannot be decoded, a batch job whose
+input is unusable — derives from :class:`ReproError`.  Callers that
+want a single catch point (the CLI's one-line ``error:`` + exit 2, the
+service's per-job degradation) catch ``ReproError``; callers that care
+which stage failed catch the specific subclass.
+
+``ReproError`` extends :class:`ValueError` so historical call sites
+(and the paper-era tests) that caught ``ValueError`` keep working.
+
+The codec driver's contract: malformed packed bytes raise
+:class:`UnpackError` — never ``IndexError``/``KeyError``/
+``struct.error`` or any other incidental exception of the decoding
+machinery.  :meth:`repro.pack.Decompressor.unpack_ir` enforces this at
+the decode boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(ValueError):
+    """Base class for expected operational failures (CLI exit 2)."""
+
+
+class PackError(ReproError):
+    """An archive cannot be packed (invalid or unsupported input IR)."""
+
+
+class UnpackError(ReproError):
+    """Packed bytes are malformed, truncated, or version-incompatible."""
+
+
+class JobInputError(ReproError):
+    """A batch/service job's input cannot be read or contains nothing
+    packable."""
+
+
+__all__ = ["JobInputError", "PackError", "ReproError", "UnpackError"]

@@ -50,7 +50,7 @@ def pack_archive_with_stats(
         with _observe.current().span("ir.build"):
             archive = build_archive(classfiles)
         data, compressor = pack_archive_ir(archive, options)
-        stats = collect_stats(compressor.stream_sizes())
+        stats = compressor.attribution.stats()
     return data, stats
 
 

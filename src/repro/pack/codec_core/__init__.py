@@ -1,0 +1,105 @@
+"""Dual-mode codec core for the packed wire format.
+
+Every archive construct — class, member, attribute, instruction
+operand, string — is described exactly once, as a codec spec
+(:mod:`~repro.pack.codec_core.spec` combinators over the constructs in
+:mod:`~repro.pack.codec_core.constructs`,
+:mod:`~repro.pack.codec_core.instructions`, and
+:mod:`~repro.pack.codec_core.archive`).  One driver
+(:mod:`~repro.pack.codec_core.driver`) runs the spec in three modes:
+
+* **count** — :func:`count_references` tallies reference frequencies
+  for the two-pass schemes;
+* **encode** — :func:`encode_archive` writes the streams;
+* **decode** — :func:`decode_archive` reconstructs the IR.
+
+Because all three modes execute the same spec, the encoder and decoder
+traversals — and with them the reference-coder state machines the
+paper's format depends on — agree by construction.
+:class:`~repro.pack.codec_core.registry.WireSpec` keys the spec table
+off the header's version byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+from ...coding.streams import StreamReader, StreamSet
+from ...ir import model as ir
+from ...observe import recorder as observe
+from ..options import PackOptions
+from .attribution import SizeAttribution
+from .driver import (
+    CountDriver,
+    DecodeDriver,
+    EncodeDriver,
+    Probe,
+    make_space_coders,
+)
+from .layout import ir_instruction_size
+from .registry import WireSpec, current_spec, spec_for_version
+from .spec import DECODE
+
+__all__ = [
+    "CountDriver",
+    "DECODE",
+    "DecodeDriver",
+    "EncodeDriver",
+    "Probe",
+    "SizeAttribution",
+    "WireSpec",
+    "count_references",
+    "current_spec",
+    "decode_archive",
+    "encode_archive",
+    "ir_instruction_size",
+    "make_space_coders",
+    "spec_for_version",
+]
+
+
+def count_references(
+        archive: ir.Archive, options: PackOptions, coders=None,
+        seen: Optional[Dict[str, Set]] = None,
+        probe: Optional[Probe] = None,
+        spec: Optional[WireSpec] = None,
+) -> Dict[str, Dict[Tuple[str, Hashable], int]]:
+    """Counting pass: per-space ``(kind, key)`` reference totals.
+
+    When ``coders`` is given, schemes that need the totals
+    (freq/cache) receive them before the pass returns.  ``seen``
+    pre-seeds the first-occurrence sets (preloaded objects must not
+    have their contents re-counted).
+    """
+    spec = spec or current_spec()
+    drv = CountDriver(options, seen=seen, probe=probe)
+    with observe.current().span("count", classes=len(archive.classes)):
+        spec.archive(drv, archive)
+        if coders is not None:
+            for space, coder in coders.items():
+                if coder.needs_frequencies:
+                    coder.set_frequencies(drv.counts[space])
+    return drv.counts
+
+
+def encode_archive(archive: ir.Archive, options: PackOptions, coders,
+                   streams: StreamSet, metrics=None,
+                   probe: Optional[Probe] = None,
+                   spec: Optional[WireSpec] = None) -> None:
+    """Encoding pass: run the spec forward onto ``streams``."""
+    spec = spec or current_spec()
+    drv = EncodeDriver(options, coders, streams, metrics=metrics,
+                       probe=probe)
+    with observe.current().span("encode"):
+        spec.archive(drv, archive)
+
+
+def decode_archive(options: PackOptions, coders,
+                   reader: StreamReader, interner,
+                   probe: Optional[Probe] = None,
+                   spec: Optional[WireSpec] = None) -> ir.Archive:
+    """Decoding pass: run the spec in reverse off ``reader``."""
+    spec = spec or current_spec()
+    drv = DecodeDriver(options, coders, reader, interner, probe=probe)
+    with observe.current().span("decode"):
+        return spec.archive(drv, DECODE)

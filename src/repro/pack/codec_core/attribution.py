@@ -1,0 +1,58 @@
+"""The single size-attribution source for packed archives.
+
+Every consumer of "how big is each stream" — ``repro stats``, the
+Table 3/5/6 benchmarks, and the observe tallies — reads from one
+:class:`SizeAttribution` over the encoder's stream set, so the numbers
+can never disagree.  Per-stream compressed sizes use each stream's
+*independent* zlib size (the archive itself shares one zlib context),
+computed once and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...coding.streams import StreamSet
+from ..options import PackOptions
+from ..stats import PackStats, collect_stats
+
+
+class SizeAttribution:
+    """Per-stream and per-category byte accounting for one encode."""
+
+    def __init__(self, streams: StreamSet, options: PackOptions):
+        self._streams = streams
+        self._options = options
+        self._compressed: Dict[str, int] = None
+
+    def raw_sizes(self) -> Dict[str, int]:
+        """Uncompressed bytes per stream."""
+        return self._streams.raw_sizes()
+
+    def compressed_sizes(self) -> Dict[str, int]:
+        """Independent zlib bytes per stream (cached — zlib runs
+        once)."""
+        if self._compressed is None:
+            self._compressed = self._streams.compressed_sizes(
+                self._options.zlib_level)
+        return dict(self._compressed)
+
+    def stream_sizes(self, compressed: bool = True) -> Dict[str, int]:
+        """The attribution consumers report: compressed when the
+        archive is compressed, raw otherwise."""
+        if compressed and self._options.compress:
+            return self.compressed_sizes()
+        return self.raw_sizes()
+
+    def stats(self) -> PackStats:
+        """Table 6 categories over :meth:`stream_sizes`."""
+        return collect_stats(self.stream_sizes())
+
+    def emit_metrics(self, metrics, packed_size: int) -> None:
+        """Publish the attribution as observe tallies."""
+        for name, size in self.raw_sizes().items():
+            metrics.tally("stream.raw_bytes", name, size)
+        if self._options.compress:
+            for name, size in self.compressed_sizes().items():
+                metrics.tally("stream.zlib_bytes", name, size)
+        metrics.tally("archive", "packed_bytes", packed_size)

@@ -1,0 +1,164 @@
+"""Shared-object codec specs: names, classes, types, members, strings.
+
+Each construct in the archive's shared-object graph is described here
+exactly once, as a combinator tree from
+:mod:`repro.pack.codec_core.spec`.  The count, encode, and decode
+drivers all execute these same trees, so the traversal — and with it
+the reference-coder state — cannot diverge between directions.
+
+Stream and pool assignments mirror the paper's factored layout
+(Sections 4 and 5): every kind of text on its own length/character
+stream pair, every object space behind its own reference coder.
+"""
+
+from __future__ import annotations
+
+from ...ir import model as ir
+from .. import wire
+from .spec import DECODE, Node, field, fixed, ref, repeat, seq, text
+
+# -- names ---------------------------------------------------------------
+
+PACKAGE = ref(
+    "package", "package",
+    seq(None, field("name", text(wire.STR_PKG_LEN, wire.STR_PKG_CHARS))),
+    lambda drv, parts: drv.interner.package(parts["name"]))
+
+SIMPLE = ref(
+    "simple", "simple",
+    seq(None, field("name", text(wire.STR_CLS_LEN, wire.STR_CLS_CHARS))),
+    lambda drv, parts: drv.interner.simple(parts["name"]))
+
+METHOD_NAME = ref(
+    "methodname", "methodname",
+    seq(None, field("name", text(wire.STR_MNAME_LEN,
+                                 wire.STR_MNAME_CHARS))),
+    lambda drv, parts: drv.interner.method_name(parts["name"]))
+
+FIELD_NAME = ref(
+    "fieldname", "fieldname",
+    seq(None, field("name", text(wire.STR_FNAME_LEN,
+                                 wire.STR_FNAME_CHARS))),
+    lambda drv, parts: drv.interner.field_name(parts["name"]))
+
+# -- classes and types ---------------------------------------------------
+
+CLASS_REF = ref(
+    "class", "class",
+    seq(None, field("package", PACKAGE), field("simple", SIMPLE)),
+    lambda drv, parts: drv.interner.class_ref(
+        ir.ClassRef(parts["package"], parts["simple"]).internal_name))
+
+
+class _TypeRefNode(Node):
+    """A type: dimension count, then a class reference or a primitive
+    tag byte.  Not reference-pooled — the class inside is."""
+
+    __slots__ = ()
+
+    def run(self, drv, value):
+        if value is DECODE:
+            dims = drv.uint(wire.SHAPE, DECODE)
+            tag = drv.u8(wire.SHAPE, DECODE)
+            if tag == 0:
+                base = CLASS_REF.run(drv, DECODE)
+                descriptor = "[" * dims + f"L{base.internal_name};"
+            else:
+                descriptor = "[" * dims + ir.PRIMITIVE_CHARS[tag]
+            return drv.interner.type_ref(descriptor)
+        drv.uint(wire.SHAPE, value.dims)
+        if isinstance(value.base, ir.ClassRef):
+            drv.u8(wire.SHAPE, 0)
+            CLASS_REF.run(drv, value.base)
+        else:
+            drv.u8(wire.SHAPE, ir.PRIMITIVE_CODES[value.base])
+        return value
+
+
+TYPE_REF = _TypeRefNode()
+
+# -- members -------------------------------------------------------------
+
+
+def _build_method_ref(drv, parts):
+    args = parts["arg_types"]
+    descriptor = "(" + "".join(a.descriptor for a in args) + ")" + \
+        parts["return_type"].descriptor
+    return drv.interner.method_ref(parts["owner"].internal_name,
+                                   parts["name"].name, descriptor)
+
+
+#: Kind and stack context vary per reference site (``method.def``,
+#: the invoke kinds, and the collapsed stack context) — call sites go
+#: through :meth:`~repro.pack.codec_core.spec.ref.run_as`.
+METHOD_REF = ref(
+    "method", "method.def",
+    seq(None,
+        field("owner", CLASS_REF),
+        field("name", METHOD_NAME),
+        field("return_type", TYPE_REF),
+        field("arg_types", repeat(wire.SHAPE, TYPE_REF))),
+    _build_method_ref)
+
+FIELD_REF = ref(
+    "field", "field.def",
+    seq(None,
+        field("owner", CLASS_REF),
+        field("name", FIELD_NAME),
+        field("type", TYPE_REF)),
+    lambda drv, parts: drv.interner.field_ref(
+        parts["owner"].internal_name, parts["name"].name,
+        parts["type"].descriptor))
+
+# -- constants -----------------------------------------------------------
+
+STRING = ref(
+    "string", "string",
+    text(wire.STR_CONST_LEN, wire.STR_CONST_CHARS),
+    lambda drv, value: value)
+
+_F32 = fixed(wire.CONST_FLOAT, ">I")
+_F64 = fixed(wire.CONST_DOUBLE, ">Q")
+
+
+class _ConstNode(Node):
+    """A typed constant: primitives by value on their typed stream,
+    strings through the string pool.
+
+    The constant's kind never travels here — the encoder takes it from
+    the value, the decoder learns it out of band (a pseudo-LDC opcode
+    or the enclosing field's descriptor) and supplies it via
+    :meth:`run_as`.
+    """
+
+    __slots__ = ()
+
+    def run(self, drv, value):
+        return self.run_as(drv, value, None)
+
+    def run_as(self, drv, value, kind):
+        if value is not DECODE:
+            kind = value.kind
+        if kind == "int":
+            bits = drv.sint(wire.CONST_INT,
+                            DECODE if value is DECODE else value.value)
+        elif kind == "long":
+            bits = drv.sint(wire.CONST_LONG,
+                            DECODE if value is DECODE else value.value)
+        elif kind == "float":
+            bits = _F32.run(drv,
+                            DECODE if value is DECODE else value.value)
+        elif kind == "double":
+            bits = _F64.run(drv,
+                            DECODE if value is DECODE else value.value)
+        elif kind == "string":
+            bits = STRING.run(drv,
+                              DECODE if value is DECODE else value.value)
+        else:
+            drv.fail(f"unknown constant kind {kind}")
+        if value is DECODE:
+            return ir.ConstValue(kind, bits)
+        return value
+
+
+CONST = _ConstNode()

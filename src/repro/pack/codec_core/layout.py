@@ -1,15 +1,15 @@
 """Canonical instruction sizes for IR instructions.
 
-The compressor and decompressor both track byte offsets while walking
-a method's instructions (offsets feed the stack-state machine and
+The codec driver tracks byte offsets while walking a method's
+instructions in every mode (offsets feed the stack-state machine and
 branch-delta coding).  Sizes depend only on decoded operand values, so
-both sides compute identical layouts.
+all modes compute identical layouts.
 """
 
 from __future__ import annotations
 
-from ..classfile.opcodes import OPCODES, OperandKind as K
-from ..ir.model import IRInstruction
+from ...classfile.opcodes import OPCODES, OperandKind as K
+from ...ir.model import IRInstruction
 
 
 def ir_instruction_size(instruction: IRInstruction, offset: int) -> int:

@@ -1,0 +1,48 @@
+"""Wire-format version registry.
+
+The version byte in every archive header selects a :class:`WireSpec`:
+the codec-spec table (top-level archive codec plus the object-space →
+stream map) that defines that version of the format.  Bumping
+:data:`repro.pack.wire.VERSION` means registering a new spec here, not
+forking the compressor and decompressor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping
+
+from ...errors import UnpackError
+from .. import wire
+from . import archive as archive_mod
+
+
+@dataclass(frozen=True)
+class WireSpec:
+    """Everything version-dependent about the wire format."""
+
+    version: int
+    #: Object spaces: coder name -> reference-index stream.
+    spaces: Mapping[str, str]
+    #: The top-level archive codec (runs under any driver mode).
+    archive: Callable
+
+
+SPECS: Dict[int, WireSpec] = {
+    1: WireSpec(version=1, spaces=wire.SPACES,
+                archive=archive_mod.archive),
+}
+
+
+def current_spec() -> WireSpec:
+    """The spec written by this build (``wire.VERSION``)."""
+    return SPECS[wire.VERSION]
+
+
+def spec_for_version(version: int) -> WireSpec:
+    """Look up a header's version byte; :class:`UnpackError` when this
+    build cannot read it."""
+    spec = SPECS.get(version)
+    if spec is None:
+        raise UnpackError(f"unsupported version {version}")
+    return spec

@@ -1,0 +1,257 @@
+"""Codec combinators: each wire construct is described exactly once.
+
+A *spec node* states the wire shape of one construct — which stream
+its pieces travel on and in what order — without committing to a
+direction.  A driver (:mod:`repro.pack.codec_core.driver`) runs the
+spec in one of three modes:
+
+* **count** — walk an existing object, record reference frequencies,
+  write nothing;
+* **encode** — walk an existing object, write every piece;
+* **decode** — read every piece and construct the object.
+
+Direction is expressed through one convention: ``node.run(drv, value)``
+receives the object being encoded, or the :data:`DECODE` sentinel when
+the node must construct it from the driver's streams, and always
+returns the (existing or newly built) value.  Because count, encode,
+and decode all execute the *same* node sequence, the encoder and
+decoder cannot drift apart — the lockstep invariant the paper's format
+depends on (Sections 5 and 7) holds by construction instead of by
+hand-mirrored code.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Optional, Tuple
+
+
+class _Decode:
+    """Sentinel: "construct this value from the streams"."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<DECODE>"
+
+
+DECODE = _Decode()
+
+#: The context used by every reference site outside method operands.
+NO_CONTEXT = ("-", "-")
+
+
+class Node:
+    """Base class for spec nodes."""
+
+    __slots__ = ()
+
+    def run(self, drv, value):
+        """Encode ``value`` (or decode, when ``value is DECODE``)."""
+        raise NotImplementedError
+
+
+def field(name: str, node: "Node") -> Tuple[str, "Node"]:
+    """A named member of a :class:`seq` — read via ``getattr`` when
+    encoding, collected into the build dict when decoding."""
+    return (name, node)
+
+
+class uvarint(Node):
+    """An unsigned varint on the named stream."""
+
+    __slots__ = ("stream",)
+
+    def __init__(self, stream: str):
+        self.stream = stream
+
+    def run(self, drv, value):
+        return drv.uint(self.stream, value)
+
+
+class svarint(Node):
+    """A zigzag-signed varint on the named stream."""
+
+    __slots__ = ("stream",)
+
+    def __init__(self, stream: str):
+        self.stream = stream
+
+    def run(self, drv, value):
+        return drv.sint(self.stream, value)
+
+
+class u8(Node):
+    """A single byte on the named stream."""
+
+    __slots__ = ("stream",)
+
+    def __init__(self, stream: str):
+        self.stream = stream
+
+    def run(self, drv, value):
+        return drv.u8(self.stream, value)
+
+
+class fixed(Node):
+    """A big-endian fixed-width unsigned integer (``struct`` format
+    ``">I"`` or ``">Q"``) stored raw on the named stream."""
+
+    __slots__ = ("stream", "fmt", "size")
+
+    def __init__(self, stream: str, fmt: str):
+        self.stream = stream
+        self.fmt = fmt
+        self.size = struct.calcsize(fmt)
+
+    def run(self, drv, value):
+        if value is DECODE:
+            return struct.unpack(self.fmt,
+                                 drv.raw(self.stream, self.size, None))[0]
+        drv.raw(self.stream, self.size, struct.pack(self.fmt, value))
+        return value
+
+
+class text(Node):
+    """A modified-UTF-8 string: byte length on ``len_stream``,
+    characters on ``chars_stream`` (the factored-string layout of
+    Section 4)."""
+
+    __slots__ = ("len_stream", "chars_stream")
+
+    def __init__(self, len_stream: str, chars_stream: str):
+        self.len_stream = len_stream
+        self.chars_stream = chars_stream
+
+    def run(self, drv, value):
+        return drv.text(self.len_stream, self.chars_stream, value)
+
+
+class seq(Node):
+    """Named sub-codecs executed in order; decode feeds the collected
+    parts to ``build(drv, parts)``.
+
+    Encoding reads each part with ``getattr(value, name)``; decoding
+    accumulates ``parts[name]``.  ``build`` receives the driver so it
+    can intern the constructed object.
+    """
+
+    __slots__ = ("build", "fields")
+
+    def __init__(self, build: Optional[Callable], *fields):
+        self.build = build
+        self.fields = fields
+
+    def run(self, drv, value):
+        if value is DECODE:
+            parts = {}
+            for name, node in self.fields:
+                parts[name] = node.run(drv, DECODE)
+            return self.build(drv, parts) if self.build else parts
+        for name, node in self.fields:
+            node.run(drv, getattr(value, name))
+        return value
+
+
+class cond(Node):
+    """A sub-codec present only when ``predicate(parts)`` holds.
+
+    The predicate sees the *parts already processed* of the enclosing
+    construct (a dict), so both directions evaluate the identical
+    expression — typically an access-flag test.  Used via
+    :class:`seq`-like constructs that thread their parts dict through
+    :meth:`run_in`; absent values surface as ``default``.
+    """
+
+    __slots__ = ("predicate", "node", "default")
+
+    def __init__(self, predicate: Callable[[dict], Any], node: Node,
+                 default=None):
+        self.predicate = predicate
+        self.node = node
+        self.default = default
+
+    def run_in(self, drv, parts: dict, value):
+        if not self.predicate(parts):
+            return self.default
+        return self.node.run(drv, value)
+
+    def run(self, drv, value):  # pragma: no cover - cond needs parts
+        raise TypeError("cond must be run through run_in() with the "
+                        "enclosing construct's parts")
+
+
+class repeat(Node):
+    """A uvarint element count on ``count_stream`` followed by that
+    many items."""
+
+    __slots__ = ("count_stream", "item")
+
+    def __init__(self, count_stream: str, item: Node):
+        self.count_stream = count_stream
+        self.item = item
+
+    def run(self, drv, value):
+        if value is DECODE:
+            count = drv.uint(self.count_stream, DECODE)
+            return [self.item.run(drv, DECODE) for _ in range(count)]
+        drv.uint(self.count_stream, len(value))
+        for item in value:
+            self.item.run(drv, item)
+        return value
+
+
+class delta(Node):
+    """A signed varint stored relative to a base supplied at run time
+    (branch targets relative to the instruction offset)."""
+
+    __slots__ = ("stream",)
+
+    def __init__(self, stream: str):
+        self.stream = stream
+
+    def run_from(self, drv, base: int, value):
+        if value is DECODE:
+            return base + drv.sint(self.stream, DECODE)
+        drv.sint(self.stream, value - base)
+        return value
+
+    def run(self, drv, value):  # pragma: no cover - delta needs a base
+        raise TypeError("delta must be run through run_from() with a "
+                        "base offset")
+
+
+class ref(Node):
+    """A shared object: a reference index through the space's coder,
+    with contents serialized only on first occurrence.
+
+    ``contents`` is the spec of the object's serialized form;
+    ``build(drv, contents)`` constructs (and interns) the canonical
+    object when decoding.  ``kind`` selects the coder pool; reference
+    sites with dynamic kinds or stack contexts (method/field operands)
+    go through :meth:`run_as`.
+    """
+
+    __slots__ = ("space", "kind", "contents", "build")
+
+    def __init__(self, space: str, kind: str, contents: Node,
+                 build: Callable):
+        self.space = space
+        self.kind = kind
+        self.contents = contents
+        self.build = build
+
+    def run(self, drv, value):
+        return self.run_as(drv, value, self.kind, NO_CONTEXT)
+
+    def run_as(self, drv, value, kind: str, stack_context):
+        is_new, found = drv.ref(self.space, kind, stack_context, value)
+        if not is_new:
+            return found if value is DECODE else value
+        if value is DECODE:
+            contents = self.contents.run(drv, DECODE)
+            obj = self.build(drv, contents)
+            drv.register(self.space, kind, stack_context, obj)
+            return obj
+        self.contents.run(drv, value)
+        return value

@@ -1,50 +1,27 @@
-"""The packed-archive compressor (encoder side of the wire format).
+"""The packed-archive compressor: a façade over the codec core.
 
-Two passes over the restructured archive:
-
-1. a *counting* pass records how often every shared object is
-   referenced in every pool (needed by the freq/cache schemes and the
-   MTF transients variant), and
-2. the *encoding* pass runs the reference coders and stream writers.
-
-Both passes execute the identical traversal; a flag switches the
-reference sink.
+Both passes (counting and encoding) and every construct's wire shape
+live in :mod:`repro.pack.codec_core`; this module only assembles the
+pieces — coders, streams, header — and runs the shared spec in count
+then encode mode.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from ..classfile.opcodes import OPCODES, OperandKind as K
-from ..coding.streams import StreamSet, StreamWriter
-from ..bytecode_codec.apply import (
-    OPCODES_BY_NAME,
-    apply_instruction_state,
-)
-from ..observe import recorder as observe
-from ..bytecode_codec.stack_state import StackTracker
+from ..coding.streams import StreamSet
+from ..errors import PackError
 from ..ir import model as ir
-from ..refs.schemes import make_codec
-from . import wire
+from ..observe import recorder as observe
+from . import codec_core, wire
 from .options import PackOptions
-from .sizes import ir_instruction_size
 
-#: Object spaces: coder name -> (index stream, seed offset)
-SPACES = {
-    "package": wire.REF_PACKAGE,
-    "simple": wire.REF_SIMPLE,
-    "class": wire.REF_CLASS,
-    "methodname": wire.REF_METHODNAME,
-    "fieldname": wire.REF_FIELDNAME,
-    "method": wire.REF_METHOD,
-    "field": wire.REF_FIELD,
-    "string": wire.REF_STRING,
-}
+__all__ = ["Compressor", "PackError", "SPACES", "pack_archive_ir"]
 
-
-class PackError(ValueError):
-    """Raised when an archive cannot be packed."""
+#: Back-compat alias; the object-space table is wire-format data.
+SPACES = wire.SPACES
 
 
 class Compressor:
@@ -56,329 +33,43 @@ class Compressor:
         #: None unless an observe recorder is installed (the hot-path
         #: on/off switch: one attribute test per reported event).
         self._metrics = observe.current().metrics
-        self._encoders = {}
-        for index, (space, _) in enumerate(sorted(SPACES.items())):
-            encoder, _ = make_codec(
-                options.scheme, use_context=options.use_context,
-                transients=options.transients, seed=options.seed + index)
-            self._encoders[space] = encoder
-        self._counting = False
-        self._counts: Dict[str, Dict[Tuple[str, Hashable], int]] = {
-            space: {} for space in SPACES}
-        self._count_seen: Dict[str, set] = {space: set() for space in SPACES}
+        self._coders = codec_core.make_space_coders(options)
+        self._count_seen: Dict[str, set] = {
+            space: set() for space in wire.SPACES}
         if options.preload:
-            from ..ir.model import Interner
             from .preload import preload_coders, preload_objects
 
-            preload_coders(self._encoders, Interner())
+            preload_coders(self._coders, ir.Interner())
             # The counting pass must also treat preloaded objects as
             # already seen, so it recurses into the same contents the
             # encoding pass will.
-            for space, values in preload_objects(Interner()).items():
+            for space, values in preload_objects(ir.Interner()).items():
                 self._count_seen[space].update(values)
-
-    # -- entry point ---------------------------------------------------
+        self.attribution = codec_core.SizeAttribution(self.streams,
+                                                      self.options)
 
     def pack(self, archive: ir.Archive) -> bytes:
-        recorder = observe.current()
-        # Pass 1: count references.
-        with recorder.span("count", classes=len(archive.classes)):
-            self._counting = True
-            for definition in archive.classes:
-                self._encode_class(definition)
-            self._counting = False
-            for space, encoder in self._encoders.items():
-                if encoder.needs_frequencies:
-                    encoder.set_frequencies(self._counts[space])
-        # Pass 2: encode.
-        with recorder.span("encode"):
-            self.streams.stream(wire.META).uvarint(len(archive.classes))
-            for definition in archive.classes:
-                self._encode_class(definition)
+        codec_core.count_references(archive, self.options,
+                                    coders=self._coders,
+                                    seen=self._count_seen)
+        codec_core.encode_archive(archive, self.options, self._coders,
+                                  self.streams, metrics=self._metrics)
         header = bytearray(struct.pack(">I", wire.MAGIC))
         header.append(wire.VERSION)
         header.append(1 if self.options.compress else 0)
-        with recorder.span("serialize"):
+        with observe.current().span("serialize"):
             payload = self.streams.serialize(
                 compress=self.options.compress,
                 level=self.options.zlib_level)
         if self._metrics is not None:
             self._metrics.count("pack.classes", len(archive.classes))
-            self._record_size_metrics(len(header) + len(payload))
+            self.attribution.emit_metrics(self._metrics,
+                                          len(header) + len(payload))
         return bytes(header) + payload
-
-    def _record_size_metrics(self, packed_size: int) -> None:
-        """Per-stream byte tallies (raw and independently zlib'd)."""
-        metrics = self._metrics
-        for name, size in self.streams.raw_sizes().items():
-            metrics.tally("stream.raw_bytes", name, size)
-        if self.options.compress:
-            sizes = self.streams.compressed_sizes(self.options.zlib_level)
-            for name, size in sizes.items():
-                metrics.tally("stream.zlib_bytes", name, size)
-        metrics.tally("archive", "packed_bytes", packed_size)
 
     def stream_sizes(self, compressed: bool = True) -> Dict[str, int]:
         """Per-stream byte sizes of the encoded archive (after pack())."""
-        if compressed and self.options.compress:
-            return self.streams.compressed_sizes(self.options.zlib_level)
-        return self.streams.raw_sizes()
-
-    # -- reference plumbing ------------------------------------------------
-
-    def _stream(self, name: str) -> StreamWriter:
-        return self.streams.stream(name)
-
-    def _ref(self, space: str, kind: str, stack_context: Tuple[str, str],
-             key: Hashable) -> bool:
-        """Encode (or count) one reference; True when contents follow."""
-        if self._counting:
-            counts = self._counts[space]
-            slot = (kind, key)
-            counts[slot] = counts.get(slot, 0) + 1
-            seen = self._count_seen[space]
-            if key in seen:
-                return False
-            seen.add(key)
-            return True
-        encoder = self._encoders[space]
-        return encoder.encode(self._stream(SPACES[space]),
-                              (kind, stack_context), key)
-
-    def _int(self, stream: str, value: int, signed: bool = False) -> None:
-        if self._counting:
-            return
-        if signed:
-            self._stream(stream).svarint(value)
-        else:
-            self._stream(stream).uvarint(value)
-
-    def _u8(self, stream: str, value: int) -> None:
-        if not self._counting:
-            self._stream(stream).u8(value)
-
-    def _raw(self, stream: str, data: bytes) -> None:
-        if not self._counting:
-            self._stream(stream).raw(data)
-
-    # -- shared objects ------------------------------------------------------
-
-    _NO_CONTEXT = ("-", "-")
-
-    def _emit_text(self, text: str, len_stream: str,
-                   chars_stream: str) -> None:
-        from ..classfile import mutf8
-
-        encoded = mutf8.encode(text)
-        self._int(len_stream, len(encoded))
-        self._raw(chars_stream, encoded)
-
-    def _emit_package(self, package: ir.PackageName) -> None:
-        if self._ref("package", "package", self._NO_CONTEXT, package):
-            self._emit_text(package.name, wire.STR_PKG_LEN,
-                            wire.STR_PKG_CHARS)
-
-    def _emit_simple(self, simple: ir.SimpleClassName) -> None:
-        if self._ref("simple", "simple", self._NO_CONTEXT, simple):
-            self._emit_text(simple.name, wire.STR_CLS_LEN,
-                            wire.STR_CLS_CHARS)
-
-    def _emit_class_ref(self, ref: ir.ClassRef) -> None:
-        if self._ref("class", "class", self._NO_CONTEXT, ref):
-            self._emit_package(ref.package)
-            self._emit_simple(ref.simple)
-
-    def _emit_type_ref(self, type_ref: ir.TypeRef) -> None:
-        self._int(wire.SHAPE, type_ref.dims)
-        if isinstance(type_ref.base, ir.ClassRef):
-            self._u8(wire.SHAPE, 0)
-            self._emit_class_ref(type_ref.base)
-        else:
-            self._u8(wire.SHAPE, ir.PRIMITIVE_CODES[type_ref.base])
-
-    def _emit_method_name(self, name: ir.MethodName) -> None:
-        if self._ref("methodname", "methodname", self._NO_CONTEXT, name):
-            self._emit_text(name.name, wire.STR_MNAME_LEN,
-                            wire.STR_MNAME_CHARS)
-
-    def _emit_field_name(self, name: ir.FieldName) -> None:
-        if self._ref("fieldname", "fieldname", self._NO_CONTEXT, name):
-            self._emit_text(name.name, wire.STR_FNAME_LEN,
-                            wire.STR_FNAME_CHARS)
-
-    def _emit_method_ref(self, ref: ir.MethodRef, kind: str,
-                         stack_context: Tuple[str, str]) -> None:
-        if self._ref("method", kind, stack_context, ref):
-            self._emit_class_ref(ref.owner)
-            self._emit_method_name(ref.name)
-            self._emit_type_ref(ref.return_type)
-            self._int(wire.SHAPE, len(ref.arg_types))
-            for arg in ref.arg_types:
-                self._emit_type_ref(arg)
-
-    def _emit_field_ref(self, ref: ir.FieldRef, kind: str) -> None:
-        if self._ref("field", kind, self._NO_CONTEXT, ref):
-            self._emit_class_ref(ref.owner)
-            self._emit_field_name(ref.name)
-            self._emit_type_ref(ref.type)
-
-    def _emit_const(self, const: ir.ConstValue) -> None:
-        """Primitive constants by value; strings via the string pool."""
-        if const.kind == "int":
-            self._int(wire.CONST_INT, const.value, signed=True)
-        elif const.kind == "long":
-            self._int(wire.CONST_LONG, const.value, signed=True)
-        elif const.kind == "float":
-            self._raw(wire.CONST_FLOAT, struct.pack(">I", const.value))
-        elif const.kind == "double":
-            self._raw(wire.CONST_DOUBLE, struct.pack(">Q", const.value))
-        elif const.kind == "string":
-            if self._ref("string", "string", self._NO_CONTEXT, const.value):
-                self._emit_text(const.value, wire.STR_CONST_LEN,
-                                wire.STR_CONST_CHARS)
-        else:  # pragma: no cover - exhaustive over kinds
-            raise PackError(f"unknown constant kind {const.kind}")
-
-    # -- class structure ---------------------------------------------------
-
-    def _encode_class(self, definition: ir.ClassDefinition) -> None:
-        self._emit_class_ref(definition.this_class)
-        self._int(wire.META, definition.access_flags)
-        if definition.access_flags & ir.FLAG_HAS_SUPER:
-            self._emit_class_ref(definition.super_class)
-        self._int(wire.META, len(definition.interfaces))
-        for interface in definition.interfaces:
-            self._emit_class_ref(interface)
-        self._int(wire.META, len(definition.fields))
-        self._int(wire.META, len(definition.methods))
-        for field_def in definition.fields:
-            self._encode_field(field_def)
-        for method_def in definition.methods:
-            self._encode_method(method_def)
-
-    def _encode_field(self, field_def: ir.FieldDefinition) -> None:
-        self._int(wire.META, field_def.access_flags)
-        self._emit_field_ref(field_def.ref, "field.def")
-        if field_def.access_flags & ir.FLAG_HAS_CONSTANT:
-            self._emit_const(field_def.constant)
-
-    def _encode_method(self, method_def: ir.MethodDefinition) -> None:
-        self._int(wire.META, method_def.access_flags)
-        self._emit_method_ref(method_def.ref, "method.def",
-                              self._NO_CONTEXT)
-        if method_def.access_flags & ir.FLAG_HAS_EXCEPTIONS:
-            self._int(wire.META, len(method_def.exceptions))
-            for exception in method_def.exceptions:
-                self._emit_class_ref(exception)
-        if method_def.access_flags & ir.FLAG_HAS_CODE:
-            self._encode_code(method_def.code)
-
-    # -- bytecode ------------------------------------------------------------
-
-    def _encode_code(self, code: ir.IRCode) -> None:
-        self._int(wire.META, code.max_stack)
-        self._int(wire.META, code.max_locals)
-        self._int(wire.META, len(code.instructions))
-        self._int(wire.META, len(code.handlers))
-        for handler in code.handlers:
-            self._int(wire.CODE_EXC, handler.start_pc)
-            self._int(wire.CODE_EXC, handler.end_pc - handler.start_pc)
-            self._int(wire.CODE_EXC, handler.handler_pc)
-            if handler.catch_type is None:
-                self._u8(wire.CODE_EXC, 0)
-            else:
-                self._u8(wire.CODE_EXC, 1)
-                self._emit_class_ref(handler.catch_type)
-        tracker = StackTracker()
-        offset = 0
-        use_state = self.options.stack_state
-        for instruction in code.instructions:
-            if use_state:
-                tracker.at_instruction(offset)
-            self._encode_instruction(instruction, tracker, offset,
-                                     use_state)
-            self._apply_state(tracker, instruction, offset)
-            offset += ir_instruction_size(instruction, offset)
-
-    def _encode_instruction(self, instruction: ir.IRInstruction,
-                            tracker: StackTracker, offset: int,
-                            use_state: bool) -> None:
-        spec = OPCODES[instruction.opcode]
-        mnemonic = spec.mnemonic
-        metrics = self._metrics if not self._counting else None
-        if metrics is not None:
-            metrics.count("bytecode.instructions")
-        # Opcode byte (pseudo for LDC, collapsed when the state allows).
-        if instruction.const is not None:
-            pseudo = wire.PSEUDO_LDC[(instruction.const.kind,
-                                      instruction.wide_const)]
-            self._u8(wire.CODE_OPCODES, pseudo)
-            if metrics is not None:
-                metrics.count("bytecode.pseudo_ldc")
-        else:
-            emitted = tracker.collapse(mnemonic) if use_state else mnemonic
-            self._u8(wire.CODE_OPCODES, OPCODES_BY_NAME[emitted])
-            if metrics is not None and emitted != mnemonic:
-                metrics.count("bytecode.collapsed")
-        # Operands, routed to their streams.
-        if spec.is_switch:
-            self._int(wire.CODE_BRANCHES,
-                      instruction.switch_default - offset, signed=True)
-            if instruction.switch_low is not None:
-                self._int(wire.CODE_INTS, instruction.switch_low,
-                          signed=True)
-                self._int(wire.CODE_INTS, len(instruction.switch_pairs))
-                for _, target in instruction.switch_pairs:
-                    self._int(wire.CODE_BRANCHES, target - offset,
-                              signed=True)
-            else:
-                self._int(wire.CODE_INTS, len(instruction.switch_pairs))
-                for match, target in instruction.switch_pairs:
-                    self._int(wire.CODE_INTS, match, signed=True)
-                    self._int(wire.CODE_BRANCHES, target - offset,
-                              signed=True)
-            return
-        for kind in spec.operands:
-            if kind == K.LOCAL:
-                self._int(wire.CODE_REGS, instruction.local)
-            elif kind in (K.SBYTE, K.SSHORT, K.IINC_DELTA):
-                self._int(wire.CODE_INTS, instruction.immediate,
-                          signed=True)
-            elif kind in (K.BRANCH2, K.BRANCH4):
-                self._int(wire.CODE_BRANCHES,
-                          instruction.target - offset, signed=True)
-            elif kind == K.ATYPE:
-                self._int(wire.CODE_INTS, instruction.atype)
-            elif kind == K.DIMS:
-                self._int(wire.CODE_INTS, instruction.dims)
-            elif kind in (K.COUNT, K.ZERO):
-                pass  # regenerated from the descriptor
-            elif kind in (K.CP_LDC, K.CP_LDC_W, K.CP_LDC2_W):
-                self._emit_const(instruction.const)
-            elif kind == K.CP_FIELD:
-                self._emit_field_ref(instruction.field_ref,
-                                     wire.FIELD_KINDS[instruction.opcode])
-            elif kind in (K.CP_METHOD, K.CP_IMETHOD):
-                context = tracker.top_categories() if use_state \
-                    else ("-", "-")
-                self._emit_method_ref(
-                    instruction.method_ref,
-                    wire.INVOKE_KINDS[instruction.opcode], context)
-            elif kind == K.CP_CLASS:
-                if instruction.type_ref is not None:
-                    self._u8(wire.SHAPE, 1)
-                    self._emit_type_ref(instruction.type_ref)
-                else:
-                    self._u8(wire.SHAPE, 0)
-                    self._emit_class_ref(instruction.class_ref)
-            else:  # pragma: no cover - exhaustive over kinds
-                raise PackError(f"unhandled operand kind {kind}")
-
-    def _apply_state(self, tracker: StackTracker,
-                     instruction: ir.IRInstruction, offset: int) -> None:
-        if not self.options.stack_state:
-            return
-        apply_instruction_state(tracker, instruction, offset)
+        return self.attribution.stream_sizes(compressed)
 
 
 def pack_archive_ir(archive: ir.Archive,

@@ -1,372 +1,80 @@
-"""The packed-archive decompressor (decoder side of the wire format).
+"""The packed-archive decompressor: a façade over the codec core.
 
-Mirrors :mod:`repro.pack.compressor` operation for operation: the same
-traversal order, the same reference-coder state machines, and the same
-stack-state computation, so every index decoded refers to exactly the
-object the encoder meant.
+Decoding runs the *same* codec spec the compressor ran (selected by
+the header's version byte through the wire-spec registry), so the
+traversals agree by construction.  This module owns the header, the
+error boundary (malformed bytes always surface as
+:class:`~repro.errors.UnpackError`), and reconstruction.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List, Optional, Tuple
+import zlib
+from typing import List, Optional
 
-from ..classfile import mutf8
 from ..classfile.classfile import ClassFile
-from ..classfile.opcodes import OPCODES, OperandKind as K
-from ..coding.streams import StreamCursor, StreamReader
-from ..bytecode_codec.stack_state import StackTracker
+from ..coding.streams import StreamReader
+from ..errors import ReproError, UnpackError
 from ..ir import model as ir
 from ..ir.reconstruct import reconstruct_class
-from ..refs.schemes import make_codec
-from . import wire
-from ..bytecode_codec.apply import (
-    OPCODES_BY_NAME,
-    apply_instruction_state,
-)
 from ..observe import recorder as observe
-from .compressor import SPACES
-from .options import PackOptions
-from .sizes import ir_instruction_size
+from . import codec_core, wire
 
+__all__ = ["Decompressor", "UnpackError"]
 
-class UnpackError(ValueError):
-    """Raised when packed bytes are malformed."""
+#: Everything malformed input can make the codec raise; the entry
+#: points rewrap these so callers only ever see UnpackError.
+_CORRUPTION_ERRORS = (ValueError, KeyError, IndexError, OverflowError,
+                      UnicodeError, struct.error, zlib.error,
+                      MemoryError, RecursionError)
 
 
 class Decompressor:
     """Decodes packed bytes back into class definitions / class files."""
 
-    def __init__(self, options: PackOptions):
+    def __init__(self, options):
         self.options = options.validate()
         self.interner = ir.Interner()
-        self._decoders = {}
-        for index, (space, _) in enumerate(sorted(SPACES.items())):
-            _, decoder = make_codec(
-                options.scheme, use_context=options.use_context,
-                transients=options.transients, seed=options.seed + index)
-            self._decoders[space] = decoder
+        self._coders = codec_core.make_space_coders(options)
         if options.preload:
             from .preload import preload_coders
 
-            preload_coders(self._decoders, self.interner)
+            preload_coders(self._coders, self.interner)
         self.streams: Optional[StreamReader] = None
 
-    # -- entry points ----------------------------------------------------
-
     def unpack_ir(self, data: bytes) -> ir.Archive:
-        if len(data) < 6:
-            raise UnpackError("truncated packed archive")
-        magic = struct.unpack(">I", data[:4])[0]
-        if magic != wire.MAGIC:
-            raise UnpackError(f"bad magic {magic:#x}")
-        version = data[4]
-        if version != wire.VERSION:
-            raise UnpackError(f"unsupported version {version}")
-        compressed = bool(data[5])
-        recorder = observe.current()
-        with recorder.span("inflate", bytes=len(data)):
-            self.streams = StreamReader(data[6:], compressed=compressed)
-        with recorder.span("decode"):
-            count = self._stream(wire.META).uvarint()
-            classes = [self._decode_class() for _ in range(count)]
-        metrics = recorder.metrics
+        try:
+            if len(data) < 6:
+                raise UnpackError("truncated packed archive")
+            magic = struct.unpack(">I", data[:4])[0]
+            if magic != wire.MAGIC:
+                raise UnpackError(f"bad magic {magic:#x}")
+            spec = codec_core.spec_for_version(data[4])
+            compressed = bool(data[5])
+            with observe.current().span("inflate", bytes=len(data)):
+                self.streams = StreamReader(data[6:],
+                                            compressed=compressed)
+            archive = codec_core.decode_archive(
+                self.options, self._coders, self.streams, self.interner,
+                spec=spec)
+        except ReproError:
+            raise
+        except _CORRUPTION_ERRORS as exc:
+            raise UnpackError(f"corrupt packed archive: {exc}") from exc
+        metrics = observe.current().metrics
         if metrics is not None:
-            metrics.count("unpack.classes", count)
-        return ir.Archive(classes)
+            metrics.count("unpack.classes", len(archive.classes))
+        return archive
 
     def unpack(self, data: bytes) -> List[ClassFile]:
         archive = self.unpack_ir(data)
         with observe.current().span("reconstruct"):
-            return [reconstruct_class(definition)
-                    for definition in archive.classes]
-
-    # -- plumbing ------------------------------------------------------------
-
-    _NO_CONTEXT = ("-", "-")
-
-    def _stream(self, name: str) -> StreamCursor:
-        return self.streams.stream(name)
-
-    def _ref(self, space: str, kind: str,
-             stack_context: Tuple[str, str]) -> Tuple[bool, object]:
-        decoder = self._decoders[space]
-        return decoder.decode(self._stream(SPACES[space]),
-                              (kind, stack_context))
-
-    def _register(self, space: str, kind: str,
-                  stack_context: Tuple[str, str], value: object) -> object:
-        self._decoders[space].register((kind, stack_context), value)
-        return value
-
-    def _int(self, stream: str, signed: bool = False) -> int:
-        cursor = self._stream(stream)
-        return cursor.svarint() if signed else cursor.uvarint()
-
-    def _u8(self, stream: str) -> int:
-        return self._stream(stream).u8()
-
-    def _raw(self, stream: str, length: int) -> bytes:
-        return self._stream(stream).raw(length)
-
-    def _read_text(self, len_stream: str, chars_stream: str) -> str:
-        length = self._int(len_stream)
-        return mutf8.decode(self._raw(chars_stream, length))
-
-    # -- shared objects ------------------------------------------------------
-
-    def _decode_package(self) -> ir.PackageName:
-        is_new, value = self._ref("package", "package", self._NO_CONTEXT)
-        if not is_new:
-            return value
-        package = self.interner.package(
-            self._read_text(wire.STR_PKG_LEN, wire.STR_PKG_CHARS))
-        self._register("package", "package", self._NO_CONTEXT, package)
-        return package
-
-    def _decode_simple(self) -> ir.SimpleClassName:
-        is_new, value = self._ref("simple", "simple", self._NO_CONTEXT)
-        if not is_new:
-            return value
-        simple = self.interner.simple(
-            self._read_text(wire.STR_CLS_LEN, wire.STR_CLS_CHARS))
-        self._register("simple", "simple", self._NO_CONTEXT, simple)
-        return simple
-
-    def _decode_class_ref(self) -> ir.ClassRef:
-        is_new, value = self._ref("class", "class", self._NO_CONTEXT)
-        if not is_new:
-            return value
-        package = self._decode_package()
-        simple = self._decode_simple()
-        ref = ir.ClassRef(package, simple)
-        ref = self.interner.class_ref(ref.internal_name)
-        self._register("class", "class", self._NO_CONTEXT, ref)
-        return ref
-
-    def _decode_type_ref(self) -> ir.TypeRef:
-        dims = self._int(wire.SHAPE)
-        tag = self._u8(wire.SHAPE)
-        if tag == 0:
-            base: object = self._decode_class_ref()
-            descriptor = "[" * dims + f"L{base.internal_name};"
-        else:
-            descriptor = "[" * dims + ir.PRIMITIVE_CHARS[tag]
-        return self.interner.type_ref(descriptor)
-
-    def _decode_method_name(self) -> ir.MethodName:
-        is_new, value = self._ref("methodname", "methodname",
-                                  self._NO_CONTEXT)
-        if not is_new:
-            return value
-        name = self.interner.method_name(
-            self._read_text(wire.STR_MNAME_LEN, wire.STR_MNAME_CHARS))
-        self._register("methodname", "methodname", self._NO_CONTEXT, name)
-        return name
-
-    def _decode_field_name(self) -> ir.FieldName:
-        is_new, value = self._ref("fieldname", "fieldname",
-                                  self._NO_CONTEXT)
-        if not is_new:
-            return value
-        name = self.interner.field_name(
-            self._read_text(wire.STR_FNAME_LEN, wire.STR_FNAME_CHARS))
-        self._register("fieldname", "fieldname", self._NO_CONTEXT, name)
-        return name
-
-    def _decode_method_ref(self, kind: str,
-                           stack_context: Tuple[str, str]) -> ir.MethodRef:
-        is_new, value = self._ref("method", kind, stack_context)
-        if not is_new:
-            return value
-        owner = self._decode_class_ref()
-        name = self._decode_method_name()
-        return_type = self._decode_type_ref()
-        arg_count = self._int(wire.SHAPE)
-        args = tuple(self._decode_type_ref() for _ in range(arg_count))
-        descriptor = "(" + "".join(a.descriptor for a in args) + ")" + \
-            return_type.descriptor
-        ref = self.interner.method_ref(owner.internal_name, name.name,
-                                       descriptor)
-        self._register("method", kind, stack_context, ref)
-        return ref
-
-    def _decode_field_ref(self, kind: str) -> ir.FieldRef:
-        is_new, value = self._ref("field", kind, self._NO_CONTEXT)
-        if not is_new:
-            return value
-        owner = self._decode_class_ref()
-        name = self._decode_field_name()
-        type_ref = self._decode_type_ref()
-        ref = self.interner.field_ref(owner.internal_name, name.name,
-                                      type_ref.descriptor)
-        self._register("field", kind, self._NO_CONTEXT, ref)
-        return ref
-
-    def _decode_const(self, kind: str) -> ir.ConstValue:
-        if kind == "int":
-            return ir.ConstValue("int", self._int(wire.CONST_INT,
-                                                  signed=True))
-        if kind == "long":
-            return ir.ConstValue("long", self._int(wire.CONST_LONG,
-                                                   signed=True))
-        if kind == "float":
-            bits = struct.unpack(">I", self._raw(wire.CONST_FLOAT, 4))[0]
-            return ir.ConstValue("float", bits)
-        if kind == "double":
-            bits = struct.unpack(">Q", self._raw(wire.CONST_DOUBLE, 8))[0]
-            return ir.ConstValue("double", bits)
-        if kind == "string":
-            is_new, value = self._ref("string", "string", self._NO_CONTEXT)
-            if not is_new:
-                return ir.ConstValue("string", value)
-            text = self._read_text(wire.STR_CONST_LEN, wire.STR_CONST_CHARS)
-            self._register("string", "string", self._NO_CONTEXT, text)
-            return ir.ConstValue("string", text)
-        raise UnpackError(f"unknown constant kind {kind}")
-
-    # -- class structure ---------------------------------------------------
-
-    def _decode_class(self) -> ir.ClassDefinition:
-        this_class = self._decode_class_ref()
-        access_flags = self._int(wire.META)
-        super_class = None
-        if access_flags & ir.FLAG_HAS_SUPER:
-            super_class = self._decode_class_ref()
-        interfaces = [self._decode_class_ref()
-                      for _ in range(self._int(wire.META))]
-        field_count = self._int(wire.META)
-        method_count = self._int(wire.META)
-        fields = [self._decode_field() for _ in range(field_count)]
-        methods = [self._decode_method() for _ in range(method_count)]
-        return ir.ClassDefinition(access_flags, this_class, super_class,
-                                  interfaces, fields, methods)
-
-    def _decode_field(self) -> ir.FieldDefinition:
-        access_flags = self._int(wire.META)
-        ref = self._decode_field_ref("field.def")
-        constant = None
-        if access_flags & ir.FLAG_HAS_CONSTANT:
-            constant = self._decode_const(
-                wire.constant_kind_for_field(ref.type.descriptor))
-        return ir.FieldDefinition(access_flags, ref, constant)
-
-    def _decode_method(self) -> ir.MethodDefinition:
-        access_flags = self._int(wire.META)
-        ref = self._decode_method_ref("method.def", self._NO_CONTEXT)
-        exceptions: List[ir.ClassRef] = []
-        if access_flags & ir.FLAG_HAS_EXCEPTIONS:
-            exceptions = [self._decode_class_ref()
-                          for _ in range(self._int(wire.META))]
-        code = None
-        if access_flags & ir.FLAG_HAS_CODE:
-            code = self._decode_code()
-        return ir.MethodDefinition(access_flags, ref, code, exceptions)
-
-    # -- bytecode ------------------------------------------------------------
-
-    def _decode_code(self) -> ir.IRCode:
-        max_stack = self._int(wire.META)
-        max_locals = self._int(wire.META)
-        instruction_count = self._int(wire.META)
-        handler_count = self._int(wire.META)
-        handlers = []
-        for _ in range(handler_count):
-            start = self._int(wire.CODE_EXC)
-            end = start + self._int(wire.CODE_EXC)
-            handler_pc = self._int(wire.CODE_EXC)
-            catch = None
-            if self._u8(wire.CODE_EXC):
-                catch = self._decode_class_ref()
-            handlers.append(ir.IRExceptionHandler(start, end, handler_pc,
-                                                  catch))
-        tracker = StackTracker()
-        use_state = self.options.stack_state
-        instructions: List[ir.IRInstruction] = []
-        offset = 0
-        for _ in range(instruction_count):
-            if use_state:
-                tracker.at_instruction(offset)
-            instruction = self._decode_instruction(tracker, offset,
-                                                   use_state)
-            if use_state:
-                apply_instruction_state(tracker, instruction, offset)
-            offset += ir_instruction_size(instruction, offset)
-            instructions.append(instruction)
-        return ir.IRCode(max_stack, max_locals, instructions, handlers)
-
-    def _decode_instruction(self, tracker: StackTracker, offset: int,
-                            use_state: bool) -> ir.IRInstruction:
-        opcode_byte = self._u8(wire.CODE_OPCODES)
-        pseudo = wire.PSEUDO_LDC_REVERSE.get(opcode_byte)
-        if pseudo is not None:
-            const_kind, wide_const = pseudo
-            const = self._decode_const(const_kind)
-            if const_kind in ("long", "double"):
-                opcode = wire.LDC2_W_OPCODE
-            elif wide_const:
-                opcode = wire.LDC_W_OPCODE
-            else:
-                opcode = wire.LDC_OPCODE
-            return ir.IRInstruction(opcode, const=const,
-                                    wide_const=wide_const)
-        spec = OPCODES.get(opcode_byte)
-        if spec is None:
-            raise UnpackError(f"bad opcode byte {opcode_byte:#x}")
-        mnemonic = tracker.expand(spec.mnemonic) if use_state \
-            else spec.mnemonic
-        opcode = OPCODES_BY_NAME[mnemonic]
-        spec = OPCODES[opcode]
-        instruction = ir.IRInstruction(opcode)
-        if spec.is_switch:
-            instruction.switch_default = offset + self._int(
-                wire.CODE_BRANCHES, signed=True)
-            if spec.mnemonic == "tableswitch":
-                low = self._int(wire.CODE_INTS, signed=True)
-                count = self._int(wire.CODE_INTS)
-                instruction.switch_low = low
-                instruction.switch_pairs = [
-                    (low + i,
-                     offset + self._int(wire.CODE_BRANCHES, signed=True))
-                    for i in range(count)]
-            else:
-                count = self._int(wire.CODE_INTS)
-                pairs = []
-                for _ in range(count):
-                    match = self._int(wire.CODE_INTS, signed=True)
-                    target = offset + self._int(wire.CODE_BRANCHES,
-                                                signed=True)
-                    pairs.append((match, target))
-                instruction.switch_pairs = pairs
-            return instruction
-        for kind in spec.operands:
-            if kind == K.LOCAL:
-                instruction.local = self._int(wire.CODE_REGS)
-            elif kind in (K.SBYTE, K.SSHORT, K.IINC_DELTA):
-                instruction.immediate = self._int(wire.CODE_INTS,
-                                                  signed=True)
-            elif kind in (K.BRANCH2, K.BRANCH4):
-                instruction.target = offset + self._int(
-                    wire.CODE_BRANCHES, signed=True)
-            elif kind == K.ATYPE:
-                instruction.atype = self._int(wire.CODE_INTS)
-            elif kind == K.DIMS:
-                instruction.dims = self._int(wire.CODE_INTS)
-            elif kind in (K.COUNT, K.ZERO):
-                pass
-            elif kind == K.CP_FIELD:
-                instruction.field_ref = self._decode_field_ref(
-                    wire.FIELD_KINDS[opcode])
-            elif kind in (K.CP_METHOD, K.CP_IMETHOD):
-                context = tracker.top_categories() if use_state \
-                    else ("-", "-")
-                instruction.method_ref = self._decode_method_ref(
-                    wire.INVOKE_KINDS[opcode], context)
-            elif kind == K.CP_CLASS:
-                if self._u8(wire.SHAPE):
-                    instruction.type_ref = self._decode_type_ref()
-                else:
-                    instruction.class_ref = self._decode_class_ref()
-            else:  # pragma: no cover - exhaustive over kinds
-                raise UnpackError(f"unhandled operand kind {kind}")
-        return instruction
+            try:
+                return [reconstruct_class(definition)
+                        for definition in archive.classes]
+            except ReproError:
+                raise
+            except _CORRUPTION_ERRORS as exc:
+                raise UnpackError(
+                    f"corrupt packed archive: {exc}") from exc

@@ -105,12 +105,20 @@ def preload_coders(coders: Dict[str, object],
                    interner: Interner) -> None:
     """Seed every MTF coder in ``coders`` with the standard objects.
 
-    ``coders`` maps space name to a RefEncoder or RefDecoder; entries
-    whose scheme has no preload support are left untouched.
+    ``coders`` maps space name to a dual-mode
+    :class:`~repro.refs.base.Coder` (preloads both halves) or a bare
+    RefEncoder/RefDecoder half; entries whose scheme has no preload
+    support are left untouched.
     """
     objects = preload_objects(interner)
     for space, values in objects.items():
         coder = coders.get(space)
+        if coder is None:
+            continue
+        preload = getattr(coder, "preload", None)
+        if preload is not None:
+            preload(values)
+            continue
         inner = getattr(coder, "_coder", None)
         if inner is None:
             continue  # not an MTF coder; preload is a no-op

@@ -5,6 +5,11 @@ from __future__ import annotations
 from ..classfile.opcodes import BY_NAME
 
 MAGIC = 0x504A504B  # "PJPK"
+
+#: The wire-format version written into every archive header.  Each
+#: version maps to a codec-spec table in
+#: :mod:`repro.pack.codec_core.registry`; bumping the format means
+#: adding a registry entry, not forking the codec.
 VERSION = 1
 
 # -- stream names -------------------------------------------------------
@@ -42,6 +47,20 @@ CONST_INT = "const.int"
 CONST_LONG = "const.long"
 CONST_FLOAT = "const.float"
 CONST_DOUBLE = "const.double"
+
+#: Object spaces: reference-coder name -> index stream.  The sorted
+#: space order also fixes each coder's PRNG seed offset, so it is part
+#: of the wire format.
+SPACES = {
+    "package": REF_PACKAGE,
+    "simple": REF_SIMPLE,
+    "class": REF_CLASS,
+    "methodname": REF_METHODNAME,
+    "fieldname": REF_FIELDNAME,
+    "method": REF_METHOD,
+    "field": REF_FIELD,
+    "string": REF_STRING,
+}
 
 #: Table 6 category accounting: stream name -> reported category.
 STREAM_CATEGORIES = {

@@ -1,12 +1,15 @@
 """Reference-encoding schemes (Section 5 / Table 3)."""
 
-from .base import Context, RefDecoder, RefEncoder
-from .schemes import SCHEME_NAMES, make_codec
+from .base import Coder, Context, PairCoder, RefDecoder, RefEncoder
+from .schemes import SCHEME_NAMES, make_codec, make_coder
 
 __all__ = [
+    "Coder",
     "Context",
+    "PairCoder",
     "RefDecoder",
     "RefEncoder",
     "SCHEME_NAMES",
     "make_codec",
+    "make_coder",
 ]

@@ -65,3 +65,77 @@ class RefDecoder:
     def register(self, context: Context, value: Any) -> None:
         """Record the contents of the object just decoded as new."""
         raise NotImplementedError
+
+
+class Coder:
+    """Both directions of one reference scheme behind a single object.
+
+    The codec driver holds exactly one ``Coder`` per object space and
+    calls whichever direction its mode needs.  The two halves are
+    built together from the same seed, so their state machines mirror
+    by construction — the structural guarantee the wire format rests
+    on (Sections 5 and 7 of the paper).
+    """
+
+    encoder: RefEncoder
+    decoder: RefDecoder
+
+    @property
+    def needs_frequencies(self) -> bool:
+        """Whether a counting pass must run before encoding."""
+        raise NotImplementedError
+
+    def set_frequencies(self, counts: Dict[Hashable, int]) -> None:
+        """Feed the counting pass's per-``(kind, key)`` totals in."""
+        raise NotImplementedError
+
+    def encode(self, stream: StreamWriter, context: Context,
+               key: Hashable) -> bool:
+        raise NotImplementedError
+
+    def decode(self, stream: StreamCursor,
+               context: Context) -> Tuple[bool, Optional[Any]]:
+        raise NotImplementedError
+
+    def register(self, context: Context, value: Any) -> None:
+        raise NotImplementedError
+
+    def preload(self, values) -> None:
+        """Seed both halves with a standard dictionary (MTF only;
+        a no-op for schemes that derive ids from the archive)."""
+        raise NotImplementedError
+
+
+class PairCoder(Coder):
+    """A :class:`Coder` over a matched encoder/decoder pair."""
+
+    def __init__(self, encoder: RefEncoder, decoder: RefDecoder):
+        self.encoder = encoder
+        self.decoder = decoder
+
+    @property
+    def needs_frequencies(self) -> bool:
+        return self.encoder.needs_frequencies
+
+    def set_frequencies(self, counts: Dict[Hashable, int]) -> None:
+        self.encoder.set_frequencies(counts)
+
+    def encode(self, stream: StreamWriter, context: Context,
+               key: Hashable) -> bool:
+        return self.encoder.encode(stream, context, key)
+
+    def decode(self, stream: StreamCursor,
+               context: Context) -> Tuple[bool, Optional[Any]]:
+        return self.decoder.decode(stream, context)
+
+    def register(self, context: Context, value: Any) -> None:
+        self.decoder.register(context, value)
+
+    def preload(self, values) -> None:
+        for half in (self.encoder, self.decoder):
+            inner = getattr(half, "_coder", None)
+            if inner is None:
+                continue  # not an MTF half; preload is a no-op
+            for value in values:
+                if not inner.knows(value):
+                    inner._register(value, value)

@@ -12,11 +12,23 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 from ..coding.streams import StreamCursor, StreamWriter
 from ..mtf.queue import MtfCoder
 from ..observe import recorder as observe
-from .base import Context, RefDecoder, RefEncoder
+from .base import Coder, Context, PairCoder, RefDecoder, RefEncoder
 
 CACHE_SIZE = 16
 
 SCHEME_NAMES = ["simple", "basic", "freq", "cache", "mtf"]
+
+
+def make_coder(scheme: str, use_context: bool = False,
+               transients: bool = False, seed: int = 0) -> Coder:
+    """Build the dual-mode :class:`Coder` for one object space.
+
+    This is what the codec driver consumes: one object whose encoder
+    and decoder halves were constructed together (same seed, same
+    variant flags) and therefore mirror each other exactly.
+    """
+    return PairCoder(*make_codec(scheme, use_context=use_context,
+                                 transients=transients, seed=seed))
 
 
 def make_codec(scheme: str, use_context: bool = False,

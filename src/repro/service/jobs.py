@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from ..errors import JobInputError
 from ..jar.jarfile import read_jar
 from ..pack.options import PackOptions
 
@@ -41,11 +42,6 @@ REPORT_SCHEMA = "repro.service/1"
 STATUS_OK = "ok"
 STATUS_DEGRADED = "degraded"
 STATUS_FAILED = "failed"
-
-
-class JobInputError(ValueError):
-    """Raised when a job's input cannot even be enumerated (no class
-    files, unreadable jar) — before any packing is attempted."""
 
 
 @dataclass(frozen=True)

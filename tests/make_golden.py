@@ -1,0 +1,78 @@
+"""Golden wire fixtures: the byte-identity guard for the wire format.
+
+The fixture corpus is a small, deterministic mini-Java suite compiled
+in-process; each Table-3 scheme variant (with and without preload,
+plus the stack-state and no-zlib toggles) is packed once and the bytes
+are checked in under ``tests/fixtures/golden/``.
+
+``test_golden_fixtures.py`` asserts that today's encoder still
+produces those exact bytes and that today's decoder still reads them.
+Regenerate (only for a deliberate, versioned wire-format change) with::
+
+    PYTHONPATH=src python tests/make_golden.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures" / "golden"
+
+
+def golden_corpus():
+    """The deterministic class-file list every fixture packs."""
+    from helpers import compile_shapes, compile_simple, compile_sink
+
+    classes = {}
+    classes.update(compile_simple())
+    classes.update(compile_sink())
+    classes.update(compile_shapes())
+    return [classes[name] for name in sorted(classes)]
+
+
+def golden_variants() -> Dict[str, object]:
+    """Fixture name -> PackOptions for every guarded configuration."""
+    from repro.pack import TABLE3_VARIANTS, PackOptions
+
+    slugs = {
+        "Simple": "simple",
+        "Basic": "basic",
+        "Freq": "freq",
+        "Cache": "cache",
+        "MTF Basic": "mtf_basic",
+        "MTF Transients": "mtf_transients",
+        "MTF Use Context": "mtf_context",
+        "MTF Transients and Context": "mtf_full",
+    }
+    variants = {}
+    for label, options in TABLE3_VARIANTS.items():
+        slug = slugs[label]
+        variants[slug] = options
+        variants[slug + "_preload"] = type(options)(
+            **{**options.__dict__, "preload": True})
+    variants["mtf_full_nostate"] = PackOptions(stack_state=False)
+    variants["mtf_full_raw"] = PackOptions(compress=False)
+    return variants
+
+
+def generate(directory: Path = FIXTURE_DIR) -> List[str]:
+    from repro.pack import pack_archive
+
+    corpus = golden_corpus()
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, options in sorted(golden_variants().items()):
+        data = pack_archive(corpus, options)
+        (directory / f"{name}.pack").write_bytes(data)
+        written.append(name)
+    return written
+
+
+if __name__ == "__main__":
+    for name in generate():
+        print(f"wrote {FIXTURE_DIR / (name + '.pack')}")

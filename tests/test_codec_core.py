@@ -1,0 +1,246 @@
+"""Codec-core tests: combinator units plus the mode-agreement law.
+
+The dual-mode codec's whole value is one invariant: the count, encode,
+and decode drivers execute the identical traversal.  The property test
+here checks it directly via the drivers' probe hook — every reference
+visit, ``(space, kind, is_new)``, in order, must match across all
+three modes — on real compiled archives across the scheme matrix.
+The unit tests pin each combinator's roundtrip behavior in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding.streams import (
+    NULL_STREAM,
+    NullStreamSet,
+    StreamReader,
+    StreamSet,
+)
+from repro.errors import PackError, UnpackError
+from repro.ir.build import build_archive
+from repro.ir.model import Interner
+from repro.pack import codec_core
+from repro.pack.codec_core import spec
+from repro.pack.codec_core.driver import (
+    CountDriver,
+    DecodeDriver,
+    EncodeDriver,
+)
+from repro.pack.options import PackOptions, TABLE3_VARIANTS
+
+from helpers import compile_shapes, compile_simple, compile_sink
+
+
+def _encoder(options=None):
+    options = options or PackOptions()
+    streams = StreamSet()
+    coders = codec_core.make_space_coders(options)
+    return EncodeDriver(options, coders, streams), streams
+
+
+def _decoder(payload, options=None):
+    options = options or PackOptions()
+    reader = StreamReader(payload, compressed=False)
+    coders = codec_core.make_space_coders(options)
+    return DecodeDriver(options, coders, reader, Interner())
+
+
+def _roundtrip(node, values):
+    """Encode ``values`` through ``node``, decode them back."""
+    drv, streams = _encoder()
+    for value in values:
+        node.run(drv, value)
+    reader_drv = _decoder(streams.serialize(compress=False))
+    return [node.run(reader_drv, spec.DECODE) for _ in values]
+
+
+class TestScalarCombinators:
+    def test_uvarint_roundtrip(self):
+        values = [0, 1, 127, 128, 1 << 20]
+        assert _roundtrip(spec.uvarint("s"), values) == values
+
+    def test_svarint_roundtrip(self):
+        values = [0, -1, 1, -300, 1 << 17, -(1 << 17)]
+        assert _roundtrip(spec.svarint("s"), values) == values
+
+    def test_u8_roundtrip(self):
+        values = [0, 1, 200, 255]
+        assert _roundtrip(spec.u8("s"), values) == values
+
+    def test_fixed_roundtrip(self):
+        values = [0, 0x1234, 0xFFFFFFFF]
+        assert _roundtrip(spec.fixed("s", ">I"), values) == values
+
+    def test_text_roundtrip(self):
+        values = ["", "hello", "ÜnïcodeĀ"]
+        assert _roundtrip(spec.text("len", "chars"), values) == values
+
+    def test_repeat_roundtrip(self):
+        node = spec.repeat("n", spec.uvarint("item"))
+        values = [[1, 2, 3], [], [9]]
+        assert _roundtrip(node, values) == values
+
+    def test_delta_is_base_relative(self):
+        node = spec.delta("s")
+        drv, streams = _encoder()
+        node.run_from(drv, 100, 40)  # stores -60
+        reader_drv = _decoder(streams.serialize(compress=False))
+        assert node.run_from(reader_drv, 100, spec.DECODE) == 40
+        with pytest.raises(TypeError):
+            node.run(drv, 40)
+
+    def test_cond_needs_parts(self):
+        node = spec.cond(lambda parts: parts["flag"], spec.uvarint("s"),
+                         default=-1)
+        drv, streams = _encoder()
+        assert node.run_in(drv, {"flag": 0}, 7) == -1
+        node.run_in(drv, {"flag": 1}, 7)
+        reader_drv = _decoder(streams.serialize(compress=False))
+        assert node.run_in(reader_drv, {"flag": 0}, spec.DECODE) == -1
+        assert node.run_in(reader_drv, {"flag": 1}, spec.DECODE) == 7
+        with pytest.raises(TypeError):
+            node.run(drv, 7)
+
+
+class TestSeqAndRef:
+    class Pair:
+        def __init__(self, a, b):
+            self.a, self.b = a, b
+
+    def test_seq_encodes_attributes_and_builds_parts(self):
+        node = spec.seq(lambda drv, parts: (parts["a"], parts["b"]),
+                        spec.field("a", spec.uvarint("s")),
+                        spec.field("b", spec.svarint("s")))
+        drv, streams = _encoder()
+        node.run(drv, self.Pair(5, -3))
+        reader_drv = _decoder(streams.serialize(compress=False))
+        assert node.run(reader_drv, spec.DECODE) == (5, -3)
+
+    def test_ref_contents_only_on_first_occurrence(self):
+        from repro.pack.codec_core.constructs import STRING
+        from repro.pack import wire
+
+        drv, streams = _encoder()
+        for value in ("alpha", "beta", "alpha", "alpha"):
+            STRING.run(drv, value)
+        # Two distinct strings: exactly two length entries.
+        payload = streams.serialize(compress=False)
+        reader = StreamReader(payload, compressed=False)
+        lengths = reader.stream(wire.STR_CONST_LEN)
+        assert lengths.uvarint() == len("alpha")
+        assert lengths.uvarint() == len("beta")
+        assert lengths.at_end()
+        reader_drv = _decoder(payload)
+        decoded = [STRING.run(reader_drv, spec.DECODE)
+                   for _ in range(4)]
+        assert decoded == ["alpha", "beta", "alpha", "alpha"]
+
+
+class TestDriverModes:
+    def test_null_port_discards_and_reads_nothing(self):
+        port = NullStreamSet()
+        stream = port.stream("anything")
+        assert stream is NULL_STREAM
+        stream.u8(1)
+        stream.uvarint(2)
+        stream.raw(b"xyz")
+        assert len(stream) == 0
+
+    def test_count_driver_counts_and_gates_recursion(self):
+        drv = CountDriver(PackOptions())
+        assert drv.ref("string", "string", ("-", "-"), "x") == (True, "x")
+        assert drv.ref("string", "string", ("-", "-"), "x") == (False, "x")
+        assert drv.ref("string", "other", ("-", "-"), "x") == (False, "x")
+        assert drv.counts["string"] == {("string", "x"): 2,
+                                        ("other", "x"): 1}
+
+    def test_count_driver_respects_preseeded_seen(self):
+        seen = {space: set() for space in codec_core.make_space_coders(
+            PackOptions())}
+        seen["string"].add("x")
+        drv = CountDriver(PackOptions(), seen=seen)
+        is_new, _ = drv.ref("string", "string", ("-", "-"), "x")
+        assert not is_new  # preloaded: contents never re-visited
+
+    def test_fail_raises_the_modes_error(self):
+        drv, _ = _encoder()
+        with pytest.raises(PackError):
+            drv.fail("boom")
+        reader_drv = _decoder(StreamSet().serialize(compress=False))
+        with pytest.raises(UnpackError):
+            reader_drv.fail("boom")
+
+
+def _corpus_archive():
+    classes = {}
+    classes.update(compile_simple())
+    classes.update(compile_sink())
+    classes.update(compile_shapes())
+    return build_archive([classes[name] for name in sorted(classes)])
+
+
+_MODE_VARIANTS = {name.lower().replace(" ", "_"): options
+                  for name, options in TABLE3_VARIANTS.items()}
+_MODE_VARIANTS["mtf_preload"] = PackOptions(preload=True)
+_MODE_VARIANTS["no_stack_state"] = PackOptions(stack_state=False)
+
+
+class TestModeAgreement:
+    """The lockstep law: all three modes visit the identical reference
+    sequence."""
+
+    @pytest.mark.parametrize("variant", sorted(_MODE_VARIANTS))
+    def test_count_encode_decode_agree(self, variant):
+        options = _MODE_VARIANTS[variant]
+        archive = _corpus_archive()
+
+        seen = {space: set()
+                for space in codec_core.make_space_coders(options)}
+        coders = codec_core.make_space_coders(options)
+        if options.preload:
+            from repro.pack.preload import preload_coders, \
+                preload_objects
+
+            preload_coders(coders, Interner())
+            for space, values in preload_objects(Interner()).items():
+                seen[space].update(values)
+
+        count_probe, encode_probe, decode_probe = [], [], []
+        codec_core.count_references(archive, options, coders=coders,
+                                    seen=seen, probe=count_probe)
+        streams = StreamSet()
+        codec_core.encode_archive(archive, options, coders, streams,
+                                  probe=encode_probe)
+
+        decode_coders = codec_core.make_space_coders(options)
+        interner = Interner()
+        if options.preload:
+            from repro.pack.preload import preload_coders
+
+            preload_coders(decode_coders, interner)
+        reader = StreamReader(streams.serialize(compress=False),
+                              compressed=False)
+        decoded = codec_core.decode_archive(options, decode_coders,
+                                            reader, interner,
+                                            probe=decode_probe)
+
+        assert encode_probe, "probe captured nothing"
+        # The wire-format law: encoder and decoder visit the identical
+        # reference sequence, always.
+        assert encode_probe == decode_probe
+        # The counting pass gates recursion by first occurrence of the
+        # key.  That matches every scheme except freq/cache, whose
+        # singletons (count < 2) re-serialize their contents at every
+        # occurrence — there the count pass is only a frequency
+        # estimate, by design.
+        if options.scheme not in ("freq", "cache"):
+            assert count_probe == encode_probe
+        else:
+            # Every site the count pass visited, the encoder visits in
+            # the same order; the encoder's extras are exactly the
+            # singleton re-serializations.
+            remaining = iter(visit[:2] for visit in encode_probe)
+            assert all(visit[:2] in remaining for visit in count_probe)
+        assert len(decoded.classes) == len(archive.classes)

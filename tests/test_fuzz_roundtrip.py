@@ -5,9 +5,10 @@ Two directions:
 * *generative*: fresh random programs (new corpus seeds) must survive
   compile -> verify -> pack -> unpack -> semantic equality, across the
   option matrix;
-* *adversarial*: corrupted packed archives must fail with controlled
-  errors, never silently succeed with wrong classes and never escape
-  with non-ValueError exceptions;
+* *adversarial*: corrupted packed archives must fail with
+  :class:`repro.errors.UnpackError` — the codec boundary's contract —
+  never an incidental ``KeyError``/``IndexError``/``struct.error``
+  from the decoding machinery;
 * *adversarial through the service*: the same corruptions fed to the
   batch engine as job inputs must come back as controlled per-job
   degraded/failed results — one bad jar must never kill a worker
@@ -19,6 +20,7 @@ import random
 import pytest
 
 from repro.classfile.classfile import write_class
+from repro.errors import JobInputError, ReproError, UnpackError
 from repro.classfile.verify import verify_class
 from repro.corpus.generator import SuiteSpec, generate_sources
 from repro.minijava import compile_sources
@@ -79,7 +81,7 @@ class TestAdversarialFuzz:
     def _packed(self):
         return pack_archive(_random_suite(5000))
 
-    def test_bit_flips_fail_controlled(self):
+    def test_bit_flips_raise_unpack_error_only(self):
         packed = bytearray(self._packed())
         rng = random.Random(17)
         failures = 0
@@ -89,32 +91,48 @@ class TestAdversarialFuzz:
             mutated[position] ^= 1 << rng.randrange(8)
             try:
                 unpack_archive(bytes(mutated))
-            except ValueError:
+            except UnpackError:
                 failures += 1
-            except Exception as exc:  # noqa: BLE001
-                # Decoding random garbage may trip container-level
-                # errors; anything else must still be a clean Python
-                # exception, not a hang or corruption.
-                assert isinstance(exc, (KeyError, IndexError,
-                                        OverflowError, MemoryError,
-                                        UnicodeError)) or \
-                    isinstance(exc, Exception)
-                failures += 1
+            # Any other exception type escaping is a bug: the decode
+            # boundary must rewrap everything corruption can trip.
         # Most single-bit flips land in the zlib payload and must be
         # caught; a few may decode by luck, which is acceptable.
         assert failures > 30
 
-    def test_truncations_fail_controlled(self):
+    def test_truncations_raise_unpack_error(self):
         packed = self._packed()
-        for cut in (7, len(packed) // 2, len(packed) - 1):
-            with pytest.raises(Exception):
+        for cut in (0, 3, 7, len(packed) // 2, len(packed) - 1):
+            with pytest.raises(UnpackError):
                 unpack_archive(packed[:cut])
 
     def test_header_corruption(self):
         packed = bytearray(self._packed())
         packed[0] ^= 0xFF
-        with pytest.raises(ValueError):
+        with pytest.raises(UnpackError, match="bad magic"):
             unpack_archive(bytes(packed))
+
+    def test_unsupported_version(self):
+        packed = bytearray(self._packed())
+        packed[4] = 0x7F
+        with pytest.raises(UnpackError, match="unsupported version"):
+            unpack_archive(bytes(packed))
+
+    def test_stream_garbage_raises_unpack_error(self):
+        """Replacing the whole payload with noise must still surface
+        as UnpackError, whatever the container parser trips on."""
+        packed = self._packed()
+        rng = random.Random(99)
+        for length in (0, 1, 17, 256):
+            noise = bytes(rng.randrange(256) for _ in range(length))
+            with pytest.raises(UnpackError):
+                unpack_archive(packed[:6] + noise)
+
+    def test_error_hierarchy(self):
+        """One catch point: every operational error is a ReproError,
+        and ReproError keeps the historical ValueError contract."""
+        assert issubclass(UnpackError, ReproError)
+        assert issubclass(JobInputError, ReproError)
+        assert issubclass(ReproError, ValueError)
 
 
 class TestServiceAdversarial:

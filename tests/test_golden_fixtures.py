@@ -1,0 +1,40 @@
+"""Byte-identity against the checked-in golden wire fixtures.
+
+These fixtures were generated before the codec-core refactor; any
+change to the packed bytes of any scheme variant is a wire-format
+break and must come with a ``wire.VERSION`` bump plus deliberately
+regenerated fixtures (``python tests/make_golden.py``).
+"""
+
+import pytest
+
+from repro.pack import archives_equal, pack_archive, unpack_archive
+
+from make_golden import FIXTURE_DIR, golden_corpus, golden_variants
+
+VARIANTS = golden_variants()
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return golden_corpus()
+
+
+@pytest.mark.parametrize("name", sorted(VARIANTS))
+def test_packed_bytes_are_byte_identical(name, corpus):
+    fixture = FIXTURE_DIR / f"{name}.pack"
+    assert fixture.exists(), (
+        f"missing golden fixture {fixture}; run "
+        "PYTHONPATH=src python tests/make_golden.py")
+    expected = fixture.read_bytes()
+    assert pack_archive(corpus, VARIANTS[name]) == expected, (
+        f"wire bytes changed for variant {name!r}: this is a "
+        "format break; bump wire.VERSION and regenerate fixtures "
+        "only if intentional")
+
+
+@pytest.mark.parametrize("name", sorted(VARIANTS))
+def test_fixtures_still_decode(name, corpus):
+    data = (FIXTURE_DIR / f"{name}.pack").read_bytes()
+    restored = unpack_archive(data, VARIANTS[name])
+    assert archives_equal(corpus, restored)

@@ -2,7 +2,7 @@
 
 from repro.classfile.bytecode import disassemble
 from repro.ir.build import build_class
-from repro.pack.sizes import ir_instruction_size
+from repro.pack.codec_core.layout import ir_instruction_size
 
 from helpers import compile_sink, compile_shapes
 

@@ -8,7 +8,7 @@ from repro.bytecode_codec.stack_state import StackTracker
 from repro.classfile.opcodes import OPCODES
 from repro.ir.build import build_class
 from repro.minijava import compile_sources
-from repro.pack.sizes import ir_instruction_size
+from repro.pack.codec_core.layout import ir_instruction_size
 
 from helpers import compile_shapes, compile_sink
 
