@@ -10,8 +10,10 @@ Commands
 ``inspect``  summarize a class file, jar, or packed archive
 ``bench``    size comparison of every format on one corpus suite
 ``run``      execute class files on the bytecode interpreter
+``diff``     delta between two packed archives -> .dpack container
+``patch``    apply a .dpack delta to a base archive
 ``batch``    pack many jars concurrently (manifest or directory)
-``serve``    the pack service daemon (/pack, /stats, /healthz)
+``serve``    the pack service daemon (/pack, /delta, /stats, /healthz)
 
 ``pack``, ``unpack``, ``stats``, and ``batch`` accept ``--trace``
 (print the phase timing tree) and ``--metrics-json FILE`` (write the
@@ -238,6 +240,39 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_diff(args: argparse.Namespace) -> int:
+    from .delta import diff_packed
+
+    options = _options_from_args(args)
+    with _observed(args) as recorder:
+        delta, summary = diff_packed(Path(args.base).read_bytes(),
+                                     Path(args.target).read_bytes(),
+                                     options)
+        Path(args.output).write_bytes(delta)
+    print(f"delta {args.base} -> {args.target}: "
+          f"{summary.unchanged} unchanged, {summary.modified} modified, "
+          f"{summary.added} added, {summary.removed} removed")
+    print(f"wrote {summary.delta_bytes} bytes to {args.output} "
+          f"({100 * summary.ratio:.0f}% of the {summary.target_pack_bytes}"
+          f"-byte full pack)")
+    _report_observed(args, recorder)
+    return 0
+
+
+def cmd_patch(args: argparse.Namespace) -> int:
+    from .delta import patch_packed
+
+    with _observed(args) as recorder:
+        target, summary = patch_packed(Path(args.base).read_bytes(),
+                                       Path(args.delta).read_bytes())
+        Path(args.output).write_bytes(target)
+    print(f"patched {args.base} + {args.delta} -> {args.output}: "
+          f"{summary.target_classes} classes, "
+          f"{summary.target_pack_bytes} bytes (verified)")
+    _report_observed(args, recorder)
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .baselines.jazz import jazz_pack
     from .corpus.suites import generate_suite
@@ -378,7 +413,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     engine = _engine_from_args(args)
     service = PackService(engine, host=args.host, port=args.port,
-                          verbose=args.verbose)
+                          verbose=args.verbose,
+                          max_body=args.max_body)
     host, port = service.address
     print(f"repro serve listening on http://{host}:{port} "
           f"(workers={engine.workers}, "
@@ -455,6 +491,23 @@ def build_parser() -> argparse.ArgumentParser:
                             help="arguments passed to main")
     run_parser.set_defaults(func=cmd_run)
 
+    diff_parser = commands.add_parser(
+        "diff", help="delta between two packed archives")
+    diff_parser.add_argument("base", help="base packed archive")
+    diff_parser.add_argument("target", help="target packed archive")
+    diff_parser.add_argument("-o", "--output", default="out.dpack")
+    _add_pack_options(diff_parser)
+    _add_observe_options(diff_parser)
+    diff_parser.set_defaults(func=cmd_diff)
+
+    patch_parser = commands.add_parser(
+        "patch", help="apply a delta to a base packed archive")
+    patch_parser.add_argument("base", help="base packed archive")
+    patch_parser.add_argument("delta", help=".dpack delta container")
+    patch_parser.add_argument("-o", "--output", default="out.pack")
+    _add_observe_options(patch_parser)
+    patch_parser.set_defaults(func=cmd_patch)
+
     bench_parser = commands.add_parser(
         "bench", help="compare formats on a corpus suite")
     bench_parser.add_argument("suite")
@@ -486,6 +539,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--port", type=int, default=8790)
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log every request")
+    serve_parser.add_argument("--max-body", type=int,
+                              default=32 * 1024 * 1024, metavar="BYTES",
+                              help="reject request bodies larger than "
+                                   "this with 413 (default: 32 MiB; "
+                                   "0 disables the cap)")
     _add_service_options(serve_parser)
     serve_parser.set_defaults(func=cmd_serve)
     return parser

@@ -1,0 +1,58 @@
+"""Incremental archive deltas for update serving.
+
+An installed client holds yesterday's packed archive; today's build
+changed a handful of classes.  Instead of re-shipping the full pack,
+``repro diff`` emits a *delta container* (version
+:data:`repro.pack.wire.DELTA_VERSION` under the same magic) carrying
+only per-class change operations, manifest fingerprints, and the
+codec-stream suffixes for the changed classes; ``repro patch``
+replays the shared prefix from the base archive it already holds and
+reconstructs the target pack byte-identically.
+
+* :mod:`~repro.delta.manifest` — stable per-class content hashes over
+  the codec-core traversal;
+* :mod:`~repro.delta.diff` — classification + prefix-replay encoding;
+* :mod:`~repro.delta.patch` — prefix replay + suffix stitch + decode;
+* :mod:`~repro.delta.verify` — manifest and digest checks on the
+  reconstructed archive.
+"""
+
+from __future__ import annotations
+
+from .diff import (
+    OP_ADDED,
+    OP_MODIFIED,
+    OP_UNCHANGED,
+    DeltaSummary,
+    classify,
+    diff_archives,
+    diff_packed,
+)
+from .manifest import (
+    HASH_OPTIONS,
+    HASH_PREFIX_BYTES,
+    archive_manifest,
+    class_fingerprint,
+    manifest_index,
+)
+from .patch import open_delta, patch_packed
+from .verify import verify_classes, verify_packed_sha
+
+__all__ = [
+    "DeltaSummary",
+    "HASH_OPTIONS",
+    "HASH_PREFIX_BYTES",
+    "OP_ADDED",
+    "OP_MODIFIED",
+    "OP_UNCHANGED",
+    "archive_manifest",
+    "class_fingerprint",
+    "classify",
+    "diff_archives",
+    "diff_packed",
+    "manifest_index",
+    "open_delta",
+    "patch_packed",
+    "verify_classes",
+    "verify_packed_sha",
+]

@@ -1,0 +1,56 @@
+"""Post-patch verification against the delta's manifest hashes.
+
+A patch reconstructs the target archive from bytes it largely did not
+receive (the prefix is replayed from the base), so the container
+carries a truncated fingerprint per target class and the patcher
+refuses to hand back an archive that does not match them.  This
+catches base/delta mixups that happen to parse, as well as any replay
+divergence, before the result is trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+from ..errors import UnpackError
+from ..ir import model as ir
+from .manifest import HASH_PREFIX_BYTES, class_fingerprint
+
+__all__ = ["verify_classes", "verify_packed_sha"]
+
+
+def verify_classes(classes: Sequence[ir.ClassDefinition],
+                   expected_prefixes: Sequence[bytes]) -> None:
+    """Check every reconstructed class against its manifest hash.
+
+    ``expected_prefixes`` holds the :data:`HASH_PREFIX_BYTES`-byte
+    fingerprint prefixes from the delta container, one per target
+    class in archive order.  Raises :class:`UnpackError` naming the
+    offending classes.
+    """
+    if len(classes) != len(expected_prefixes):
+        raise UnpackError(
+            f"delta manifest covers {len(expected_prefixes)} classes "
+            f"but patch produced {len(classes)}")
+    bad: List[str] = []
+    for position, (definition, expected) in enumerate(
+            zip(classes, expected_prefixes)):
+        actual = class_fingerprint(definition)[:HASH_PREFIX_BYTES]
+        if actual != expected[:HASH_PREFIX_BYTES]:
+            bad.append(
+                f"#{position} {definition.this_class.internal_name}")
+    if bad:
+        raise UnpackError(
+            "patched archive fails manifest verification: "
+            + ", ".join(bad))
+
+
+def verify_packed_sha(packed: bytes, expected_sha: bytes,
+                      what: str) -> None:
+    """Check a packed byte string against its expected SHA-256."""
+    actual = hashlib.sha256(packed).digest()
+    if actual != expected_sha:
+        raise UnpackError(
+            f"{what} hash mismatch: expected {expected_sha.hex()[:16]}…,"
+            f" got {actual.hex()[:16]}…")

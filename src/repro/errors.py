@@ -19,6 +19,16 @@ the decode boundary.
 
 from __future__ import annotations
 
+import struct
+import zlib
+
+#: Everything malformed input can make the decoding machinery raise;
+#: decode boundaries (Decompressor.unpack_ir, repro.delta.patch)
+#: rewrap these so callers only ever see UnpackError.
+CORRUPTION_ERRORS = (ValueError, KeyError, IndexError, OverflowError,
+                     UnicodeError, struct.error, zlib.error,
+                     MemoryError, RecursionError)
+
 
 class ReproError(ValueError):
     """Base class for expected operational failures (CLI exit 2)."""
@@ -37,4 +47,5 @@ class JobInputError(ReproError):
     packable."""
 
 
-__all__ = ["JobInputError", "PackError", "ReproError", "UnpackError"]
+__all__ = ["CORRUPTION_ERRORS", "JobInputError", "PackError",
+           "ReproError", "UnpackError"]

@@ -28,6 +28,7 @@ from ...coding.streams import StreamReader, StreamSet
 from ...ir import model as ir
 from ...observe import recorder as observe
 from ..options import PackOptions
+from .archive import class_definition
 from .attribution import SizeAttribution
 from .driver import (
     CountDriver,
@@ -37,10 +38,18 @@ from .driver import (
     make_space_coders,
 )
 from .layout import ir_instruction_size
-from .registry import WireSpec, current_spec, spec_for_version
+from .registry import (
+    CONTAINER_ARCHIVE,
+    CONTAINER_DELTA,
+    WireSpec,
+    current_spec,
+    spec_for_version,
+)
 from .spec import DECODE
 
 __all__ = [
+    "CONTAINER_ARCHIVE",
+    "CONTAINER_DELTA",
     "CountDriver",
     "DECODE",
     "DecodeDriver",
@@ -48,6 +57,7 @@ __all__ = [
     "Probe",
     "SizeAttribution",
     "WireSpec",
+    "class_definition",
     "count_references",
     "current_spec",
     "decode_archive",

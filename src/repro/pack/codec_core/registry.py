@@ -17,6 +17,13 @@ from .. import wire
 from . import archive as archive_mod
 
 
+#: Container kinds a version byte can select.  ``archive`` is a full
+#: packed archive; ``delta`` is the incremental container produced by
+#: :mod:`repro.delta` (base-relative, applied with ``repro patch``).
+CONTAINER_ARCHIVE = "archive"
+CONTAINER_DELTA = "delta"
+
+
 @dataclass(frozen=True)
 class WireSpec:
     """Everything version-dependent about the wire format."""
@@ -26,11 +33,19 @@ class WireSpec:
     spaces: Mapping[str, str]
     #: The top-level archive codec (runs under any driver mode).
     archive: Callable
+    #: Which container this version byte labels (archive | delta).
+    container: str = CONTAINER_ARCHIVE
 
 
 SPECS: Dict[int, WireSpec] = {
     1: WireSpec(version=1, spaces=wire.SPACES,
                 archive=archive_mod.archive),
+    # The delta container shares the archive's class codec (its
+    # changed-class payload is a codec-core suffix) but is not a
+    # standalone archive: Decompressor refuses it, repro.delta owns it.
+    wire.DELTA_VERSION: WireSpec(
+        version=wire.DELTA_VERSION, spaces=wire.SPACES,
+        archive=archive_mod.archive, container=CONTAINER_DELTA),
 }
 
 

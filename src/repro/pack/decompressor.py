@@ -10,12 +10,11 @@ error boundary (malformed bytes always surface as
 from __future__ import annotations
 
 import struct
-import zlib
 from typing import List, Optional
 
 from ..classfile.classfile import ClassFile
 from ..coding.streams import StreamReader
-from ..errors import ReproError, UnpackError
+from ..errors import CORRUPTION_ERRORS, ReproError, UnpackError
 from ..ir import model as ir
 from ..ir.reconstruct import reconstruct_class
 from ..observe import recorder as observe
@@ -23,11 +22,7 @@ from . import codec_core, wire
 
 __all__ = ["Decompressor", "UnpackError"]
 
-#: Everything malformed input can make the codec raise; the entry
-#: points rewrap these so callers only ever see UnpackError.
-_CORRUPTION_ERRORS = (ValueError, KeyError, IndexError, OverflowError,
-                      UnicodeError, struct.error, zlib.error,
-                      MemoryError, RecursionError)
+_CORRUPTION_ERRORS = CORRUPTION_ERRORS
 
 
 class Decompressor:
@@ -51,6 +46,11 @@ class Decompressor:
             if magic != wire.MAGIC:
                 raise UnpackError(f"bad magic {magic:#x}")
             spec = codec_core.spec_for_version(data[4])
+            if spec.container != "archive":
+                raise UnpackError(
+                    f"version {spec.version} is a {spec.container} "
+                    "container, not a packed archive; apply it with "
+                    "repro patch")
             compressed = bool(data[5])
             with observe.current().span("inflate", bytes=len(data)):
                 self.streams = StreamReader(data[6:],

@@ -12,6 +12,12 @@ MAGIC = 0x504A504B  # "PJPK"
 #: adding a registry entry, not forking the codec.
 VERSION = 1
 
+#: The version byte of the *delta* container (``repro diff`` output).
+#: Registered alongside the archive versions so one header parse
+#: dispatches both container kinds; the full-archive decompressor
+#: refuses it with a pointer at ``repro patch``.
+DELTA_VERSION = 2
+
 # -- stream names -------------------------------------------------------
 
 META = "meta"
@@ -47,6 +53,12 @@ CONST_INT = "const.int"
 CONST_LONG = "const.long"
 CONST_FLOAT = "const.float"
 CONST_DOUBLE = "const.double"
+
+# Delta-container streams (DELTA_VERSION only; see repro.delta).
+DELTA_META = "delta.meta"
+DELTA_OPS = "delta.ops"
+DELTA_BASE = "delta.base"
+DELTA_HASHES = "delta.hashes"
 
 #: Object spaces: reference-coder name -> index stream.  The sorted
 #: space order also fixes each coder's PRNG seed offset, so it is part
@@ -93,6 +105,10 @@ STREAM_CATEGORIES = {
     CONST_LONG: "ints",
     CONST_FLOAT: "misc",
     CONST_DOUBLE: "misc",
+    DELTA_META: "misc",
+    DELTA_OPS: "misc",
+    DELTA_BASE: "misc",
+    DELTA_HASHES: "misc",
 }
 
 # -- pseudo-opcodes -------------------------------------------------------

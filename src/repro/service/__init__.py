@@ -15,14 +15,15 @@ turns packing into an operable workload:
 * :mod:`~repro.service.workers` — the picklable worker entry point
   (parse → strip/order → pack) plus the fault-injection chaos hooks;
 * :mod:`~repro.service.http` — the ``repro serve`` front end
-  (``/pack``, ``/stats``, ``/healthz`` on a threading HTTP server).
+  (``/pack``, ``/delta``, ``/stats``, ``/healthz`` on a threading
+  HTTP server).
 
 The CLI surfaces all of it as ``repro batch`` and ``repro serve``;
 see docs/SERVICE.md for semantics and docs/CLI.md for flags.
 """
 
 from .cache import ResultCache, cache_key, canonical_options
-from .http import PackService, options_from_query
+from .http import DEFAULT_MAX_BODY, PackService, options_from_query
 from .jobs import (
     REPORT_SCHEMA,
     STATUS_DEGRADED,
@@ -44,6 +45,7 @@ from .workers import WorkerInputError, pack_payload
 
 __all__ = [
     "BatchEngine",
+    "DEFAULT_MAX_BODY",
     "EngineStats",
     "FaultSpec",
     "JobInputError",

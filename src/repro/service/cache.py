@@ -33,11 +33,14 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
+from ..pack import wire
 from ..pack.options import PackOptions
 
-#: Version tag folded into every key so a wire-format change (which
-#: would make old cached bytes wrong) can bump it and orphan the old
-#: entries instead of serving them.
+#: Version tag folded into every key so a cache-layout change can bump
+#: it and orphan the old entries instead of serving them.  The wire
+#: format's own version byte is folded in separately (below), so a new
+#: archive version orphans stale packed bytes automatically — no
+#: manual bump needed for format changes.
 KEY_VERSION = b"repro.service.cache/1"
 
 #: Default in-memory budget: 64 MiB.
@@ -59,9 +62,11 @@ def cache_key(classes: Dict[str, bytes],
               options: PackOptions,
               strip: bool = False,
               eager: bool = False) -> str:
-    """SHA-256 over the sorted class entries plus canonical options."""
+    """SHA-256 over the sorted class entries plus canonical options
+    (and the wire-format version the bytes would be packed as)."""
     digest = hashlib.sha256()
     digest.update(KEY_VERSION)
+    digest.update(bytes([wire.VERSION]))
     for name in sorted(classes):
         data = classes[name]
         digest.update(name.encode("utf-8"))

@@ -19,12 +19,34 @@ Endpoints
     * ``X-Repro-Status``: ``ok`` | ``degraded``
     * ``X-Repro-Cache``: ``hit`` | ``disk-hit`` | ``miss``
     * ``X-Repro-Attempts``: attempts consumed
+    * ``X-Repro-Key``: the content-addressed cache key of the packed
+      archive (present when the engine has a cache) — pass it back as
+      ``/delta?base=…`` later
     * ``Content-Type``: ``application/x-repro-pack`` or
       ``application/java-archive`` (degraded fallback)
 
     400 for bodies that are not jars of class files, 500 (JSON body)
     for a failed job when the engine was built with
     ``degrade=False``.
+
+``POST /delta?base=<key>``
+    Body: a jar (today's build).  ``base`` is the ``X-Repro-Key`` a
+    previous ``/pack`` (or ``/delta``) returned for the archive the
+    client already holds; the remaining query parameters are the
+    ``/pack`` pack options and must match the base.  The body is
+    packed through the engine (cached like any ``/pack``), then a
+    delta container (``repro patch``-able) from the base archive to
+    the fresh pack is returned with ``X-Repro-Key`` (the *target*
+    pack's key, usable as the next ``base``) plus
+    ``X-Repro-Delta-Unchanged/-Modified/-Added/-Removed`` and
+    ``X-Repro-Delta-Ratio`` (delta bytes / full pack bytes).
+
+    404 when ``base`` is not in the cache (client falls back to
+    ``/pack``); 400 for a missing ``base``, a cacheless engine, or a
+    base archive the given options cannot read.
+
+Both POST endpoints refuse bodies larger than the server's
+``max_body`` (``repro serve --max-body``, default 32 MiB) with 413.
 
 ``GET /stats``
     JSON: engine counters, latency summary, retry policy, cache
@@ -41,13 +63,17 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..errors import ReproError
 from ..pack.options import PackOptions
-from .jobs import JobInputError, PackJob, classes_from_jar
+from .jobs import JobInputError, JobResult, PackJob, classes_from_jar
 from .scheduler import BatchEngine
 
 #: Flags understood by ``/pack`` query strings.  ``1/true/yes/on``
 #: (any case) is true, everything else false.
 _TRUE = {"1", "true", "yes", "on"}
+
+#: Default request-body cap; ``repro serve --max-body`` overrides.
+DEFAULT_MAX_BODY = 32 * 1024 * 1024
 
 
 def _flag(params: Dict[str, Any], name: str, default: bool) -> bool:
@@ -120,23 +146,47 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         url = urlparse(self.path)
-        if url.path != "/pack":
+        if url.path == "/pack":
+            handler = self._handle_pack
+        elif url.path == "/delta":
+            handler = self._handle_delta
+        else:
             self._respond_error(404, f"no such endpoint: {url.path}")
             return
+        body = self._read_body()
+        if body is None:
+            return
+        handler(url, body)
+
+    def _read_body(self) -> Optional[bytes]:
+        """The request body, or None after responding 400/413."""
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
             length = 0
         if length <= 0:
             self._respond_error(400, "empty request body")
-            return
-        body = self.rfile.read(length)
+            return None
+        max_body = getattr(self.server, "max_body", DEFAULT_MAX_BODY)
+        if max_body and length > max_body:
+            # Refuse before reading: a cap that buffers the oversized
+            # body first would not protect the server at all.
+            self._respond_error(
+                413, f"request body of {length} bytes exceeds the "
+                     f"{max_body}-byte limit")
+            self.close_connection = True
+            return None
+        return self.rfile.read(length)
+
+    def _execute_pack(self, url, body) -> Optional[JobResult]:
+        """Pack the request body through the engine; None after
+        responding with an error."""
         try:
             options, strip, eager = options_from_query(url.query)
             classes = classes_from_jar(body)
         except (JobInputError, ValueError) as exc:
             self._respond_error(400, str(exc))
-            return
+            return None
         job = PackJob(job_id=f"http-{self.client_address[0]}",
                       classes=classes, options=options,
                       strip=strip, eager=eager)
@@ -146,18 +196,81 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "error": result.error or "pack failed",
                 "job": result.to_dict(),
             })
-            return
+            return None
+        return result
+
+    @staticmethod
+    def _result_headers(result: JobResult) -> Dict[str, str]:
         cache_state = "miss"
         if result.cached:
             cache_state = "disk-hit" if result.cache_disk else "hit"
+        headers = {
+            "X-Repro-Status": result.status,
+            "X-Repro-Cache": cache_state,
+            "X-Repro-Attempts": str(result.attempts),
+        }
+        if result.key is not None:
+            headers["X-Repro-Key"] = result.key
+        return headers
+
+    def _handle_pack(self, url, body) -> None:
+        result = self._execute_pack(url, body)
+        if result is None:
+            return
         content_type = "application/java-archive" if result.degraded \
             else "application/x-repro-pack"
         self._respond(200, result.data, content_type=content_type,
-                      headers={
-                          "X-Repro-Status": result.status,
-                          "X-Repro-Cache": cache_state,
-                          "X-Repro-Attempts": str(result.attempts),
-                      })
+                      headers=self._result_headers(result))
+
+    def _handle_delta(self, url, body) -> None:
+        if self.engine.cache is None:
+            self._respond_error(
+                400, "/delta requires the result cache "
+                     "(serve without --no-cache)")
+            return
+        base_key = parse_qs(url.query).get("base", [None])[-1]
+        if not base_key:
+            self._respond_error(
+                400, "missing base=<key> (the X-Repro-Key of the "
+                     "archive you hold)")
+            return
+        base_data, _ = self.engine.cache.get(base_key)
+        if base_data is None:
+            self._respond_error(
+                404, f"unknown base archive {base_key}; "
+                     "request a full /pack instead")
+            return
+        result = self._execute_pack(url, body)
+        if result is None:
+            return
+        if result.degraded:
+            self._respond_json(500, {
+                "error": "pack degraded to a fallback jar; "
+                         "no delta possible",
+                "job": result.to_dict(),
+            })
+            return
+        from ..delta import diff_packed
+
+        options, _, _ = options_from_query(url.query)
+        try:
+            delta, summary = diff_packed(base_data, result.data,
+                                         options)
+        except ReproError as exc:
+            self._respond_error(400, f"cannot delta from base "
+                                     f"{base_key}: {exc}")
+            return
+        headers = self._result_headers(result)
+        headers.update({
+            "X-Repro-Delta-Unchanged": str(summary.unchanged),
+            "X-Repro-Delta-Modified": str(summary.modified),
+            "X-Repro-Delta-Added": str(summary.added),
+            "X-Repro-Delta-Removed": str(summary.removed),
+            "X-Repro-Delta-Ratio": f"{summary.ratio:.4f}",
+        })
+        self._respond(200, delta,
+                      content_type="application/x-repro-dpack",
+                      headers=headers)
 
 
 class PackService:
@@ -169,11 +282,13 @@ class PackService:
 
     def __init__(self, engine: BatchEngine,
                  host: str = "127.0.0.1", port: int = 8790,
-                 verbose: bool = False):
+                 verbose: bool = False,
+                 max_body: int = DEFAULT_MAX_BODY):
         self.engine = engine
         self._server = ThreadingHTTPServer((host, port), ServiceHandler)
         self._server.engine = engine  # type: ignore[attr-defined]
         self._server.verbose = verbose  # type: ignore[attr-defined]
+        self._server.max_body = max_body  # type: ignore[attr-defined]
         self._server.daemon_threads = True
         self._thread: Optional[Any] = None
 

@@ -99,6 +99,9 @@ class JobResult:
     job_id: str
     status: str
     attempts: int = 0
+    #: Content-addressed cache key of the packed artifact (None when
+    #: the engine runs cacheless or the job degraded/failed).
+    key: Optional[str] = None
     cached: bool = False
     #: True when the cached bytes came from the on-disk spill store.
     cache_disk: bool = False
@@ -130,6 +133,8 @@ class JobResult:
             "output_bytes": self.output_bytes,
             "seconds": round(self.seconds, 6),
         }
+        if self.key is not None:
+            doc["key"] = self.key
         if self.cache_disk:
             doc["cache_disk"] = True
         if self.output is not None:

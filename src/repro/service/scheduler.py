@@ -264,7 +264,8 @@ class BatchEngine:
                 self._count("cache.hits")
                 result = JobResult(
                     job_id=job.job_id, status=STATUS_OK, attempts=0,
-                    cached=True, cache_disk=from_disk, data=data,
+                    key=key, cached=True, cache_disk=from_disk,
+                    data=data,
                     input_bytes=job.input_bytes,
                     output_bytes=len(data),
                     seconds=time.perf_counter() - start)
@@ -296,7 +297,7 @@ class BatchEngine:
                 self._count("jobs.ok")
                 result = JobResult(
                     job_id=job.job_id, status=STATUS_OK,
-                    attempts=attempt, data=packed,
+                    attempts=attempt, key=key, data=packed,
                     input_bytes=job.input_bytes,
                     output_bytes=len(packed),
                     seconds=time.perf_counter() - start,

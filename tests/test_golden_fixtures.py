@@ -38,3 +38,22 @@ def test_fixtures_still_decode(name, corpus):
     data = (FIXTURE_DIR / f"{name}.pack").read_bytes()
     restored = unpack_archive(data, VARIANTS[name])
     assert archives_equal(corpus, restored)
+
+
+def test_every_fixture_on_disk_is_covered():
+    """No orphan fixtures: every checked-in ``.pack`` belongs to a
+    variant (and is therefore byte-compared *and* decoded above), and
+    every variant has its fixture on disk.  A stray or stale file in
+    the fixture directory would otherwise never be exercised."""
+    on_disk = {path.stem for path in FIXTURE_DIR.glob("*.pack")}
+    assert on_disk == set(VARIANTS)
+
+
+def test_fixtures_start_with_wire_magic():
+    """Cheap corruption tripwire independent of any variant table:
+    ``.gitattributes`` marks fixtures binary, and this catches the
+    characteristic damage (line-ending rewrites mangling the header)
+    if that marking is ever lost."""
+    for path in sorted(FIXTURE_DIR.glob("*.pack")):
+        assert path.read_bytes()[:4] == b"PJPK", \
+            f"{path.name}: bad magic"
