@@ -55,6 +55,7 @@ def _options_from_args(args: argparse.Namespace) -> PackOptions:
         stack_state=not args.no_stack_state,
         compress=not args.no_gzip,
         preload=args.preload,
+        codec_backend=args.codec_backend,
     )
 
 
@@ -73,6 +74,11 @@ def _add_pack_options(parser: argparse.ArgumentParser) -> None:
                         help="disable the zlib stage (Table 5)")
     parser.add_argument("--preload", action="store_true",
                         help="seed coders with the standard dictionary")
+    parser.add_argument("--codec-backend", default="compiled",
+                        metavar="{interpreted,compiled}",
+                        help="codec execution backend; byte-identical "
+                             "output, compiled is faster (default: "
+                             "compiled)")
 
 
 def _add_observe_options(parser: argparse.ArgumentParser) -> None:
@@ -338,11 +344,15 @@ def _engine_from_args(args: argparse.Namespace):
         cache = ResultCache(max_bytes=budget, spill_dir=args.cache_dir)
     retry = RetryPolicy(max_attempts=args.max_attempts,
                         backoff=args.backoff)
+    backend = PackOptions(
+        codec_backend=getattr(args, "codec_backend", "compiled"),
+    ).validate().codec_backend
     return BatchEngine(workers=args.workers,
                        queue_limit=args.queue_limit,
                        cache=cache, retry=retry,
                        timeout=args.timeout,
-                       degrade=not args.no_degrade)
+                       degrade=not args.no_degrade,
+                       codec_backend=backend)
 
 
 def _batch_jobs(args: argparse.Namespace, options: PackOptions):
@@ -544,6 +554,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="reject request bodies larger than "
                                    "this with 413 (default: 32 MiB; "
                                    "0 disables the cap)")
+    serve_parser.add_argument("--codec-backend", default="compiled",
+                              metavar="{interpreted,compiled}",
+                              help="default codec backend for requests "
+                                   "(?backend=… overrides per request)")
     _add_service_options(serve_parser)
     serve_parser.set_defaults(func=cmd_serve)
     return parser

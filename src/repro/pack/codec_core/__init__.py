@@ -18,6 +18,17 @@ traversals — and with them the reference-coder state machines the
 paper's format depends on — agree by construction.
 :class:`~repro.pack.codec_core.registry.WireSpec` keys the spec table
 off the header's version byte.
+
+Two execution backends run the spec
+(``PackOptions.codec_backend``):
+
+* **interpreted** — the reference drivers below walk the spec
+  combinators value by value;
+* **compiled** (the default) — :mod:`~repro.pack.codec_core.compile`
+  emits specialized closures per registered spec at registry-import
+  time, byte-identical to the interpreted path but several times
+  faster.  Probe-carrying calls (the traversal-identity tests)
+  always run interpreted — probes hook the spec walk itself.
 """
 
 from __future__ import annotations
@@ -30,6 +41,12 @@ from ...observe import recorder as observe
 from ..options import PackOptions
 from .archive import class_definition
 from .attribution import SizeAttribution
+from .compile import (
+    CompiledCodec,
+    compiled_codec,
+    make_fast_mtf_coder,
+    warm,
+)
 from .driver import (
     CountDriver,
     DecodeDriver,
@@ -50,6 +67,7 @@ from .spec import DECODE
 __all__ = [
     "CONTAINER_ARCHIVE",
     "CONTAINER_DELTA",
+    "CompiledCodec",
     "CountDriver",
     "DECODE",
     "DecodeDriver",
@@ -58,14 +76,29 @@ __all__ = [
     "SizeAttribution",
     "WireSpec",
     "class_definition",
+    "compiled_codec",
     "count_references",
     "current_spec",
     "decode_archive",
     "encode_archive",
     "ir_instruction_size",
+    "make_fast_mtf_coder",
     "make_space_coders",
     "spec_for_version",
+    "warm",
 ]
+
+
+def _compiled_for(options: PackOptions, probe,
+                  spec: WireSpec) -> Optional["CompiledCodec"]:
+    """The compiled codec to dispatch to, or None for the interpreted
+    reference path (probe requests always interpret: probes observe
+    the spec walk, which the compiled closures skip entirely)."""
+    if probe is not None:
+        return None
+    if getattr(options, "codec_backend", "interpreted") != "compiled":
+        return None
+    return compiled_codec(spec)
 
 
 def count_references(
@@ -82,6 +115,10 @@ def count_references(
     have their contents re-counted).
     """
     spec = spec or current_spec()
+    codec = _compiled_for(options, probe, spec)
+    if codec is not None:
+        return codec.count_references(archive, options, coders=coders,
+                                      seen=seen)
     drv = CountDriver(options, seen=seen, probe=probe)
     with observe.current().span("count", classes=len(archive.classes)):
         spec.archive(drv, archive)
@@ -98,6 +135,11 @@ def encode_archive(archive: ir.Archive, options: PackOptions, coders,
                    spec: Optional[WireSpec] = None) -> None:
     """Encoding pass: run the spec forward onto ``streams``."""
     spec = spec or current_spec()
+    codec = _compiled_for(options, probe, spec)
+    if codec is not None:
+        codec.encode_archive(archive, options, coders, streams,
+                             metrics=metrics)
+        return
     drv = EncodeDriver(options, coders, streams, metrics=metrics,
                        probe=probe)
     with observe.current().span("encode"):
@@ -110,6 +152,9 @@ def decode_archive(options: PackOptions, coders,
                    spec: Optional[WireSpec] = None) -> ir.Archive:
     """Decoding pass: run the spec in reverse off ``reader``."""
     spec = spec or current_spec()
+    codec = _compiled_for(options, probe, spec)
+    if codec is not None:
+        return codec.decode_archive(options, coders, reader, interner)
     drv = DecodeDriver(options, coders, reader, interner, probe=probe)
     with observe.current().span("decode"):
         return spec.archive(drv, DECODE)

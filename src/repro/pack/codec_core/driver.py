@@ -39,11 +39,24 @@ def make_space_coders(options: PackOptions) -> Dict[str, Coder]:
     order is part of the wire format — both sides must build identical
     coder state machines.
     """
+    fast_mtf = (options.scheme == "mtf" and
+                getattr(options, "codec_backend",
+                        "interpreted") == "compiled")
+    if fast_mtf:
+        from . import compile as compile_mod
+
     coders: Dict[str, Coder] = {}
     for index, space in enumerate(sorted(wire.SPACES)):
-        coders[space] = make_coder(
-            options.scheme, use_context=options.use_context,
-            transients=options.transients, seed=options.seed + index)
+        if fast_mtf:
+            coders[space] = compile_mod.make_fast_mtf_coder(
+                use_context=options.use_context,
+                transients=options.transients,
+                seed=options.seed + index)
+        else:
+            coders[space] = make_coder(
+                options.scheme, use_context=options.use_context,
+                transients=options.transients,
+                seed=options.seed + index)
     return coders
 
 

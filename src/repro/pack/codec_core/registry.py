@@ -61,3 +61,12 @@ def spec_for_version(version: int) -> WireSpec:
     if spec is None:
         raise UnpackError(f"unsupported version {version}")
     return spec
+
+
+# Compile every registered spec once, at registry-import time, so the
+# compiled backend (PackOptions.codec_backend="compiled") dispatches to
+# prebuilt closures instead of compiling on first use.  Specs the
+# compiler cannot prove it matches stay interpreted automatically.
+from . import compile as _compile  # noqa: E402 — registry must exist first
+
+_compile.warm(SPECS.values())

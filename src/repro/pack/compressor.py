@@ -3,7 +3,11 @@
 Both passes (counting and encoding) and every construct's wire shape
 live in :mod:`repro.pack.codec_core`; this module only assembles the
 pieces — coders, streams, header — and runs the shared spec in count
-then encode mode.
+then encode mode.  ``options.codec_backend`` selects *how* the spec
+runs (interpreted walker or compiled closures, dispatched inside
+:func:`codec_core.count_references` / :func:`codec_core.encode_archive`);
+the emitted bytes are identical either way (see
+``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations

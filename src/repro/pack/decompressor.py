@@ -2,9 +2,14 @@
 
 Decoding runs the *same* codec spec the compressor ran (selected by
 the header's version byte through the wire-spec registry), so the
-traversals agree by construction.  This module owns the header, the
-error boundary (malformed bytes always surface as
-:class:`~repro.errors.UnpackError`), and reconstruction.
+traversals agree by construction.  Which execution backend runs the
+spec — the interpreted walker or the compiled closures — is
+``options.codec_backend``'s choice, dispatched inside
+:func:`codec_core.decode_archive`; the bytes accepted and the archive
+produced are identical either way (see ``docs/PERFORMANCE.md``).
+This module owns the header, the error boundary (malformed bytes
+always surface as :class:`~repro.errors.UnpackError`), and
+reconstruction.
 """
 
 from __future__ import annotations

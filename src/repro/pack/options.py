@@ -4,6 +4,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Codec execution backends.  Both produce byte-identical archives;
+#: ``compiled`` runs the specialized closures emitted by
+#: :mod:`repro.pack.codec_core.compile`, ``interpreted`` runs the
+#: reference drivers in :mod:`repro.pack.codec_core.driver`.
+CODEC_BACKENDS = ("interpreted", "compiled")
+
 
 @dataclass(frozen=True)
 class PackOptions:
@@ -32,13 +38,22 @@ class PackOptions:
     preload: bool = False
     #: Seed for the skiplist height PRNG (affects performance only).
     seed: int = 0
+    #: Codec execution backend: interpreted | compiled.  Selects *how*
+    #: the wire spec runs, never *what* it emits — the packed bytes are
+    #: identical either way (see docs/PERFORMANCE.md).
+    codec_backend: str = "compiled"
 
     def validate(self) -> "PackOptions":
+        from ..errors import ReproError
         from ..refs.schemes import SCHEME_NAMES
 
         if self.scheme not in SCHEME_NAMES:
             raise ValueError(
                 f"unknown scheme {self.scheme!r}; one of {SCHEME_NAMES}")
+        if self.codec_backend not in CODEC_BACKENDS:
+            raise ReproError(
+                f"unknown codec backend {self.codec_backend!r}; "
+                f"one of {list(CODEC_BACKENDS)}")
         return self
 
 

@@ -53,6 +53,11 @@ def canonical_options(options: PackOptions,
     """A stable, human-auditable serialization of everything that may
     change the packed bytes."""
     fields = dataclasses.asdict(options)
+    # The codec backend selects *how* the spec runs, not what it
+    # emits: interpreted and compiled archives are byte-identical
+    # (enforced by the lockstep tests), so the backend must not split
+    # the cache — a compiled pack should serve interpreted requests.
+    fields.pop("codec_backend", None)
     fields["strip"] = strip
     fields["eager"] = eager
     return json.dumps(fields, sort_keys=True, separators=(",", ":"))

@@ -13,7 +13,9 @@ Endpoints
 ``POST /pack``
     Body: a jar.  Query parameters select pack options
     (``?scheme=basic&context=0&transients=0&stack_state=0&gzip=0&``
-    ``preload=1&strip=1&eager=1``).  Response body: the packed
+    ``preload=1&strip=1&eager=1&backend=interpreted``; ``backend``
+    defaults to the server's ``--codec-backend``).  Response body:
+    the packed
     archive (or, under graceful degradation, the fallback jar) with
 
     * ``X-Repro-Status``: ``ok`` | ``degraded``
@@ -82,10 +84,20 @@ def _flag(params: Dict[str, Any], name: str, default: bool) -> bool:
     return params[name][-1].strip().lower() in _TRUE
 
 
-def options_from_query(query: str) -> Tuple[PackOptions, bool, bool]:
-    """(options, strip, eager) from a ``/pack`` query string."""
+def options_from_query(
+        query: str,
+        default_backend: Optional[str] = None,
+) -> Tuple[PackOptions, bool, bool]:
+    """(options, strip, eager) from a ``/pack`` query string.
+
+    ``default_backend`` is the server-wide codec backend
+    (``repro serve --codec-backend``); ``?backend=…`` overrides it
+    per request.
+    """
     params = parse_qs(query)
     defaults = PackOptions()
+    if default_backend is None:
+        default_backend = defaults.codec_backend
     options = PackOptions(
         scheme=params.get("scheme", [defaults.scheme])[-1],
         use_context=_flag(params, "context", defaults.use_context),
@@ -94,6 +106,7 @@ def options_from_query(query: str) -> Tuple[PackOptions, bool, bool]:
                           defaults.stack_state),
         compress=_flag(params, "gzip", defaults.compress),
         preload=_flag(params, "preload", defaults.preload),
+        codec_backend=params.get("backend", [default_backend])[-1],
     ).validate()
     return options, _flag(params, "strip", False), \
         _flag(params, "eager", False)
@@ -182,7 +195,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         """Pack the request body through the engine; None after
         responding with an error."""
         try:
-            options, strip, eager = options_from_query(url.query)
+            options, strip, eager = options_from_query(
+                url.query, self.engine.codec_backend)
             classes = classes_from_jar(body)
         except (JobInputError, ValueError) as exc:
             self._respond_error(400, str(exc))
@@ -252,7 +266,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return
         from ..delta import diff_packed
 
-        options, _, _ = options_from_query(url.query)
+        options, _, _ = options_from_query(url.query,
+                                           self.engine.codec_backend)
         try:
             delta, summary = diff_packed(base_data, result.data,
                                          options)

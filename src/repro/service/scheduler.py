@@ -139,6 +139,7 @@ class BatchEngine:
                  retry: Optional[RetryPolicy] = None,
                  timeout: Optional[float] = None,
                  degrade: bool = True,
+                 codec_backend: str = "compiled",
                  sleep: Callable[[float], None] = time.sleep):
         if workers is None:
             import os
@@ -151,6 +152,9 @@ class BatchEngine:
         self.retry = retry or RetryPolicy()
         self.timeout = timeout
         self.degrade = degrade
+        #: Default codec backend for jobs that don't choose one
+        #: (``/pack?backend=…`` overrides per request).
+        self.codec_backend = codec_backend
         self.stats = EngineStats()
         self._sleep = sleep
         self._backpressure = threading.BoundedSemaphore(self.queue_limit)
@@ -353,6 +357,7 @@ class BatchEngine:
         doc["workers"] = self.workers
         doc["queue_limit"] = self.queue_limit
         doc["timeout"] = self.timeout
+        doc["codec_backend"] = self.codec_backend
         doc["retry"] = {
             "max_attempts": self.retry.max_attempts,
             "backoff": self.retry.backoff,

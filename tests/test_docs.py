@@ -1,0 +1,113 @@
+"""Documentation consistency checks.
+
+Docs rot in two characteristic ways: a renamed/deleted file leaves a
+dangling markdown link, and a renamed CLI flag leaves stale usage
+examples. Both are mechanical to detect, so CI does (the ``docs`` job
+runs exactly this module):
+
+* every intra-repo link in README.md and docs/*.md must resolve to an
+  existing file;
+* every ``--flag`` mentioned in docs/CLI.md must exist in the actual
+  argument parser's help (``repro.cli.build_parser``).
+"""
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted([REPO / "README.md",
+                    *(REPO / "docs").glob("*.md")])
+
+#: ``[text](target)`` — target captured up to the closing paren.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG = re.compile(r"--[a-z][a-z0-9-]*")
+
+#: Flags that appear in docs/CLI.md's console examples but belong to
+#: other tools, not to ``python -m repro``.
+FOREIGN_FLAGS = {
+    "--benchmark-only",   # pytest (benchmarks/ invocation)
+    "--data-binary",      # curl (repro serve example)
+}
+
+
+def _intra_repo_targets(path):
+    """(target, resolved_path) for every local link in ``path``."""
+    out = []
+    for target in LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        bare = target.split("#", 1)[0]
+        if not bare:  # same-document anchor
+            continue
+        out.append((target, (path.parent / bare).resolve()))
+    return out
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[p.relative_to(REPO).as_posix()
+                           for p in DOC_FILES])
+def test_intra_repo_links_resolve(doc):
+    dangling = [target for target, resolved
+                in _intra_repo_targets(doc)
+                if not resolved.exists()]
+    assert not dangling, (
+        f"{doc.relative_to(REPO)} links to missing files: {dangling}")
+
+
+def test_docs_are_linked_from_somewhere():
+    """Every file in docs/ is reachable from README.md or another
+    doc — an orphaned document is one nobody will find."""
+    linked = {resolved
+              for doc in DOC_FILES
+              for _, resolved in _intra_repo_targets(doc)}
+    orphans = [doc.name for doc in (REPO / "docs").glob("*.md")
+               if doc.resolve() not in linked]
+    assert not orphans, f"docs/ files linked from nowhere: {orphans}"
+
+
+def _parser_help_corpus():
+    """The concatenated --help of the root parser and every
+    subcommand."""
+    parser = build_parser()
+    texts = [parser.format_help()]
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for sub in dict.fromkeys(action.choices.values()):
+                texts.append(sub.format_help())
+    return "\n".join(texts)
+
+
+def test_cli_doc_flags_exist():
+    text = (REPO / "docs" / "CLI.md").read_text(encoding="utf-8")
+    documented = set(FLAG.findall(text)) - FOREIGN_FLAGS
+    helptext = _parser_help_corpus()
+    stale = sorted(flag for flag in documented
+                   if flag not in helptext)
+    assert not stale, (
+        f"docs/CLI.md documents flags the CLI does not have: {stale}")
+
+
+def test_cli_flags_are_documented():
+    """The converse: a flag added to the parser must be documented.
+    (--help/--output/--output-dir are argparse plumbing documented
+    via their short forms and synopsis lines.)"""
+    parser_flags = set()
+    stack = [build_parser()]
+    while stack:
+        parser = stack.pop()
+        for action in parser._actions:
+            parser_flags.update(
+                s for s in action.option_strings if s.startswith("--"))
+            if isinstance(action, argparse._SubParsersAction):
+                stack.extend(dict.fromkeys(action.choices.values()))
+    text = (REPO / "docs" / "CLI.md").read_text(encoding="utf-8")
+    documented = set(FLAG.findall(text))
+    exempt = {"--help", "--output", "--output-dir"}
+    missing = sorted(parser_flags - documented - exempt)
+    assert not missing, (
+        f"CLI flags missing from docs/CLI.md: {missing}")

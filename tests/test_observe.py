@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro import compile_sources, observe, pack_archive, unpack_archive
+from repro.pack import PackOptions
 from repro.observe import (
     HISTOGRAM_FIELDS,
     Histogram,
@@ -42,11 +43,18 @@ def classfiles():
     return [classes[name] for name in sorted(classes)]
 
 
+#: The interpreted reference backend: its MTF coders ride on the
+#: skiplist, so the skiplist.* metrics asserted below exist.  The
+#: compiled backend's list-backed MTF core emits the same bytes but
+#: no skiplist metrics (see docs/PERFORMANCE.md).
+INTERPRETED = PackOptions(codec_backend="interpreted")
+
+
 @pytest.fixture
 def recorded(classfiles):
     with observe.recording() as recorder:
-        packed = pack_archive(classfiles)
-        unpack_archive(packed)
+        packed = pack_archive(classfiles, INTERPRETED)
+        unpack_archive(packed, INTERPRETED)
     return recorder, packed
 
 
