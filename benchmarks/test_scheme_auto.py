@@ -1,0 +1,136 @@
+"""Adaptive scheme selection on the shaped corpus, at scale.
+
+Not a paper table — the paper hand-picks its scheme per Table 3; this
+benchmark guards the ``--scheme=auto`` replacement for that manual
+step.  Four 1000+-class corpus shapes with deliberately different
+reference statistics (deep inheritance chains, wide interface fan-out,
+string-dominated pools, constant/reflection-heavy pools) are packed
+with every scheme in the matrix and with ``auto``; the gate is the
+ISSUE acceptance bar:
+
+* **oracle** — auto's archive is within 1% of the best exhaustive
+  per-scheme pack on every shape (in practice it ties the winner
+  exactly: selection replays the real coders over the real reference
+  trace, so the prediction is the ref-stream byte count, not a model);
+* **self-describing** — the chosen scheme is readable back from the
+  packed header with no side channel.
+
+Timings report what adaptivity costs: ``select_s`` is the full
+score-the-matrix pass, ``pack_s`` the subsequent pack, and
+``overhead_x`` their sum against a plain single-scheme pack.
+
+The JSON report is written to ``BENCH_scheme_auto.json`` at the repo
+root and committed — ROADMAP item 4 asks for benchmark trajectory
+files, so reruns show up as diffs.  The committed file is produced at
+the full ``SHAPE_CLASSES`` scale; CI's smoke job shrinks the corpus
+via ``REPRO_BENCH_SHAPE_CLASSES`` and does not commit.
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import SHAPE_CLASSES, SHAPE_NAMES, generate_shape
+from repro.ir.build import build_archive
+from repro.jar.formats import strip_classes
+from repro.pack import (
+    PackOptions,
+    pack_archive_ir,
+    recorded_scheme,
+    unpack_archive,
+    wire,
+)
+from repro.refs.schemes import SCHEME_NAMES
+
+from conftest import print_table
+
+#: Class count per shape; override to shrink CI smoke runs.
+CLASSES = int(os.environ.get("REPRO_BENCH_SHAPE_CLASSES",
+                             SHAPE_CLASSES))
+
+#: The acceptance bar: auto within 1% of the best exhaustive pack.
+TOLERANCE = 1.01
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_scheme_auto.json"
+
+
+def test_scheme_auto_matches_exhaustive_best():
+    rows = []
+    report = {
+        "schema": "repro.bench.scheme_auto/1",
+        "classes_per_shape": CLASSES,
+        "tolerance": TOLERANCE,
+        "python": platform.python_version(),
+        "shapes": {},
+    }
+    failures = []
+    for shape in SHAPE_NAMES:
+        classes = strip_classes(generate_shape(shape, classes=CLASSES))
+        classfiles = [classes[name] for name in sorted(classes)]
+        archive = build_archive(classfiles)
+
+        sizes = {}
+        plain_s = None
+        for scheme in SCHEME_NAMES:
+            start = time.perf_counter()
+            data, _ = pack_archive_ir(archive,
+                                      PackOptions(scheme=scheme))
+            elapsed = time.perf_counter() - start
+            sizes[scheme] = len(data)
+            if scheme == "mtf":
+                plain_s = elapsed
+
+        start = time.perf_counter()
+        auto_data, compressor = pack_archive_ir(
+            archive, PackOptions(scheme="auto"))
+        auto_s = time.perf_counter() - start
+        selection = compressor.selection
+
+        best_scheme = min(sizes, key=sizes.get)
+        best = sizes[best_scheme]
+        recorded = recorded_scheme(auto_data)
+        chosen = selection.options
+        assert recorded == wire.scheme_variant(
+            chosen.scheme, chosen.use_context, chosen.transients)
+        # No side channel: plain default-options unpack must work.
+        assert len(unpack_archive(auto_data)) == len(classfiles)
+        if len(auto_data) > best * TOLERANCE:
+            failures.append(
+                f"{shape}: auto={len(auto_data)} (chose "
+                f"{selection.chosen}) vs best {best_scheme}={best}")
+
+        report["shapes"][shape] = {
+            "chosen": selection.chosen,
+            "recorded_variant": list(recorded),
+            "references": selection.references,
+            "predicted_ref_bytes": selection.scores,
+            "packed_bytes": sizes,
+            "auto_bytes": len(auto_data),
+            "best_scheme": best_scheme,
+            "deviation_pct": round(
+                100.0 * (len(auto_data) - best) / best, 3),
+            "select_plus_pack_s": round(auto_s, 3),
+            "single_pack_s": round(plain_s, 3),
+        }
+        rows.append([shape, selection.chosen, best_scheme,
+                     f"{len(auto_data)}", f"{best}",
+                     f"{100.0 * (len(auto_data) - best) / best:+.3f}%",
+                     f"{auto_s:.2f}s", f"{plain_s:.2f}s"])
+
+    print_table(
+        f"scheme=auto vs exhaustive matrix ({CLASSES} classes/shape)",
+        ["shape", "auto chose", "best", "auto B", "best B",
+         "deviation", "auto t", "mtf t"],
+        rows)
+    REPORT_PATH.write_text(json.dumps(report, indent=2,
+                                      sort_keys=True) + "\n")
+    assert not failures, "; ".join(failures)
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v", "-s"])

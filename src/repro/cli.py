@@ -43,8 +43,19 @@ from .pack import (
     PackOptions,
     pack_archive,
     pack_archive_with_stats,
+    recorded_scheme,
     unpack_archive,
 )
+
+
+def _scheme_label(variant) -> str:
+    """Render a ``(scheme, use_context, transients)`` triple."""
+    scheme, use_context, transients = variant
+    if scheme != "mtf":
+        return scheme
+    flags = [name for name, on in (("context", use_context),
+                                   ("transients", transients)) if on]
+    return "mtf" + (f" (+{', +'.join(flags)})" if flags else "")
 
 
 def _options_from_args(args: argparse.Namespace) -> PackOptions:
@@ -62,8 +73,10 @@ def _options_from_args(args: argparse.Namespace) -> PackOptions:
 def _add_pack_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scheme", default="mtf",
                         choices=["simple", "basic", "freq", "cache",
-                                 "mtf"],
-                        help="reference-encoding scheme (Table 3)")
+                                 "mtf", "auto"],
+                        help="reference-encoding scheme (Table 3); "
+                             "auto scores the whole matrix per archive "
+                             "and records the winner in the header")
     parser.add_argument("--no-context", action="store_true",
                         help="disable stack-context MTF queues")
     parser.add_argument("--no-transients", action="store_true",
@@ -164,6 +177,9 @@ def cmd_pack(args: argparse.Namespace) -> int:
         raw = sum(len(write_class(c)) for c in ordered)
     print(f"packed {len(ordered)} classes: {raw} -> {len(packed)} bytes "
           f"({100 * len(packed) / raw:.0f}%)")
+    if options.scheme == "auto":
+        print(f"scheme auto -> {_scheme_label(recorded_scheme(packed))} "
+              "(recorded in header)")
     _report_observed(args, recorder)
     return 0
 
@@ -171,13 +187,16 @@ def cmd_pack(args: argparse.Namespace) -> int:
 def cmd_unpack(args: argparse.Namespace) -> int:
     options = _options_from_args(args)
     with _observed(args) as recorder:
-        classfiles = unpack_archive(Path(args.input).read_bytes(),
-                                    options)
+        data = Path(args.input).read_bytes()
+        classfiles = unpack_archive(data, options)
         serialized = {c.name: write_class(c) for c in classfiles}
         with observe.current().span("write-jar"):
             Path(args.output).write_bytes(
                 make_jar(classes_to_entries(serialized)))
     print(f"unpacked {len(classfiles)} classes -> {args.output}")
+    recorded = recorded_scheme(data)
+    if recorded is not None:
+        print(f"scheme {_scheme_label(recorded)} (from header)")
     _report_observed(args, recorder)
     return 0
 
@@ -192,6 +211,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"{len(ordered)} classes: {raw} class-file bytes -> "
           f"{len(packed)} packed bytes "
           f"({100 * len(packed) / raw:.0f}%)")
+    recorded = recorded_scheme(packed)
+    if recorded is not None:
+        print(f"scheme {'auto -> ' if options.scheme == 'auto' else ''}"
+              f"{_scheme_label(recorded)} (recorded in header)")
     print(stats.render(per_stream=args.per_stream))
     print("phase timings:")
     print(recorder.trace.render())

@@ -2,15 +2,34 @@
 
 from .debug import add_debug_info, add_debug_info_all
 from .generator import SuiteSpec, generate_sources
-from .suites import SUITE_ORDER, SUITE_SPECS, generate_suite, suite_names
+from .shapes import (
+    SHAPE_CLASSES,
+    SHAPE_NAMES,
+    generate_shape,
+    shape_spec,
+    shape_specs,
+)
+from .suites import (
+    SUITE_ORDER,
+    SUITE_SPECS,
+    generate_from_spec,
+    generate_suite,
+    suite_names,
+)
 
 __all__ = [
+    "SHAPE_CLASSES",
+    "SHAPE_NAMES",
     "SUITE_ORDER",
     "SUITE_SPECS",
     "SuiteSpec",
     "add_debug_info",
     "add_debug_info_all",
+    "generate_from_spec",
+    "generate_shape",
     "generate_sources",
     "generate_suite",
+    "shape_spec",
+    "shape_specs",
     "suite_names",
 ]

@@ -37,6 +37,15 @@ class SuiteSpec:
     statements_per_method: int = 8
     #: Fraction of classes that are interfaces.
     interface_fraction: float = 0.12
+    #: Fraction of (non-first) concrete classes that extend another.
+    subclass_fraction: float = 0.3
+    #: Fraction of concrete classes implementing an interface.
+    implement_fraction: float = 0.35
+    #: Bias toward extending the *most recently defined* class instead
+    #: of a Zipf draw over all earlier ones — 0 keeps the default
+    #: shallow forest, near 1 grows deep inheritance chains (the
+    #: "inheritance-deep" corpus shape).
+    inheritance_depth_bias: float = 0.0
     #: Fraction of classes given constant-table init methods
     #: (mpegaudio-style numeric payload).
     table_fraction: float = 0.0
@@ -46,6 +55,13 @@ class SuiteSpec:
     stringiness: float = 1.0
     #: Weight of arithmetic statements.
     mathiness: float = 1.0
+    #: Weight of reflection-flavored statements: fully-qualified class
+    #: names as string constants (Class.forName-style metadata), which
+    #: load the constant pool with many long, prefix-sharing strings.
+    #: 0 (the default) emits none — and, like every knob above, leaves
+    #: the default rng draw sequence untouched, so pre-existing suites
+    #: are byte-identical to their pre-knob selves.
+    reflectiveness: float = 0.0
 
     @property
     def class_count(self) -> int:
@@ -135,10 +151,18 @@ class Synthesizer:
                 iface.methods.append(self._signature(allow_static=False))
         # Concrete classes: fields, inheritance, methods.
         for index, cls in enumerate(concrete):
-            if index > 0 and self.rng.random() < 0.3:
-                parent = self._zipf_choice(concrete[:index])
+            if index > 0 and self.rng.random() < self.spec.subclass_fraction:
+                # The depth-bias test must short-circuit on the spec
+                # value: drawing from the rng only when the knob is on
+                # keeps default-knob suites byte-identical.
+                if self.spec.inheritance_depth_bias > 0 and \
+                        self.rng.random() < self.spec.inheritance_depth_bias:
+                    parent = concrete[index - 1]
+                else:
+                    parent = self._zipf_choice(concrete[:index])
                 cls.superclass = parent.qualified
-            if interfaces and self.rng.random() < 0.35:
+            if interfaces and \
+                    self.rng.random() < self.spec.implement_fraction:
                 iface = self.rng.choice(interfaces)
                 cls.interfaces.append(iface.qualified)
                 cls.methods.extend(
@@ -462,7 +486,7 @@ class _BodyGenerator:
 
     def _statement_weights(self) -> List[Tuple[str, float]]:
         spec = self.synth.spec
-        return [
+        weights = [
             ("decl", 2.0),
             ("assign", 1.5),
             ("arith", 1.2 * spec.mathiness),
@@ -475,6 +499,11 @@ class _BodyGenerator:
             ("tryy", 0.25),
             ("array", 0.6),
         ]
+        # Appended only when the knob is on, so default-knob suites
+        # present random.choices with the exact historical weight list.
+        if spec.reflectiveness > 0:
+            weights.append(("reflecty", 1.0 * spec.reflectiveness))
+        return weights
 
     def _stmt_decl(self) -> List[str]:
         typ = self.rng.choice(_PRIMS)
@@ -578,6 +607,21 @@ class _BodyGenerator:
             f"    System.out.println(e.getMessage());",
             "}",
         ]
+
+    def _stmt_reflecty(self) -> List[str]:
+        """A reflection-flavored statement: a fully-qualified class
+        name as a string constant (the shape Class.forName tables and
+        serialization metadata give real constant pools)."""
+        target = self.synth._zipf_choice(self.synth.classes)
+        constant = f"\"{target.qualified}\""
+        roll = self.rng.random()
+        if roll < 0.5:
+            name = self._fresh("String")
+            return [f"String {name} = {constant};"]
+        strings = self._vars_of("String")
+        if strings and roll < 0.8:
+            return [f"{self.rng.choice(strings)} = {constant};"]
+        return [f"System.out.println({constant});"]
 
     def _stmt_array(self) -> List[str]:
         arrays = self._vars_of("int[]")

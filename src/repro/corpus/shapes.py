@@ -1,0 +1,103 @@
+"""Shaped large-corpus generators for scheme-selection experiments.
+
+The named suites (:mod:`repro.corpus.suites`) mirror the paper's
+Table 1 — many small-to-mid archives with *mixed* character.  The
+shapes here are the opposite experiment: archives of 1000+ classes
+each dominated by ONE structural trait, chosen to pull the Table-3
+reference schemes apart:
+
+* ``inherit_deep`` — long ``extends`` chains (depth-biased parents):
+  class/package references concentrate on the chain neighborhood, the
+  locality MTF exploits;
+* ``interface_heavy`` — many interfaces, nearly every class
+  implements one: method-name references repeat across unrelated
+  classes, the global skew the frequency schemes rank well;
+* ``string_heavy`` — string-manipulating bodies and phrase-pool
+  constants dominate: the string space dwarfs the others;
+* ``const_heavy`` — mpegaudio-style numeric tables plus
+  reflection-flavored qualified-class-name constants: big constant
+  pools, weak reference locality.
+
+Every shape is an ordinary :class:`~repro.corpus.generator.SuiteSpec`
+(same seeded synthesizer, same caching), parameterized by a target
+class count, so tests can run the identical shapes at ~100 classes
+while the benchmark runs them at full scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..classfile.classfile import ClassFile
+from .generator import SuiteSpec
+from .suites import generate_from_spec
+
+#: Default full-scale class count ("1000+-class archives").
+SHAPE_CLASSES = 1100
+
+#: Shape name -> spec overrides (layout + character knobs).  Seeds are
+#: spaced so no shape shares a PRNG stream with a Table-1 suite.
+_SHAPES: Dict[str, Dict] = {
+    "inherit_deep": dict(
+        seed=7101, classes_per_package=16, methods_per_class=5,
+        statements_per_method=6, interface_fraction=0.04,
+        subclass_fraction=0.85, inheritance_depth_bias=0.85),
+    "interface_heavy": dict(
+        seed=7202, classes_per_package=12, methods_per_class=6,
+        statements_per_method=6, interface_fraction=0.4,
+        implement_fraction=0.95),
+    "string_heavy": dict(
+        seed=7303, classes_per_package=12, methods_per_class=6,
+        statements_per_method=7, stringiness=2.5, mathiness=0.3),
+    "const_heavy": dict(
+        seed=7404, classes_per_package=10, methods_per_class=5,
+        statements_per_method=7, mathiness=2.2, stringiness=0.25,
+        table_fraction=0.45, table_size=96, reflectiveness=1.4),
+}
+
+SHAPE_NAMES: List[str] = list(_SHAPES)
+
+
+def shape_spec(shape: str, classes: int = SHAPE_CLASSES,
+               seed: int = None) -> SuiteSpec:
+    """The :class:`SuiteSpec` for one shape at a target class count.
+
+    The package grid is sized to the smallest multiple of the shape's
+    package width that reaches ``classes`` (so the result has *at
+    least* that many classes).  ``seed`` overrides the shape's default
+    seed — distinct seeds give independent corpora of the same shape,
+    which the determinism and fuzz tests lean on.
+    """
+    if shape not in _SHAPES:
+        raise KeyError(f"unknown shape {shape!r}; "
+                       f"known: {', '.join(_SHAPES)}")
+    knobs = dict(_SHAPES[shape])
+    if seed is not None:
+        knobs["seed"] = seed
+    per_package = knobs.pop("classes_per_package")
+    packages = max(1, -(-classes // per_package))
+    return SuiteSpec(name=f"{shape}-{packages * per_package}",
+                     packages=packages,
+                     classes_per_package=per_package, **knobs)
+
+
+def shape_specs(classes: int = SHAPE_CLASSES) -> Dict[str, SuiteSpec]:
+    """All shapes at one target class count, name -> spec."""
+    return {shape: shape_spec(shape, classes) for shape in SHAPE_NAMES}
+
+
+def generate_shape(shape: str, classes: int = SHAPE_CLASSES,
+                   seed: int = None,
+                   fresh: bool = False) -> Dict[str, ClassFile]:
+    """Generate and compile one shape (cached like the named suites)."""
+    return generate_from_spec(shape_spec(shape, classes, seed),
+                              fresh=fresh)
+
+
+def describe(spec: SuiteSpec) -> Dict[str, object]:
+    """Spec facts for reports (committed benchmark JSON)."""
+    return {"name": spec.name, "classes": spec.class_count,
+            **{field.name: getattr(spec, field.name)
+               for field in dataclasses.fields(spec)
+               if field.name not in ("name",)}}

@@ -20,7 +20,8 @@ takes a few seconds and every benchmark table reuses it.
 from __future__ import annotations
 
 import copy
-from typing import Dict, List
+import dataclasses
+from typing import Dict, List, Tuple
 
 from ..classfile.classfile import ClassFile
 from ..minijava import compile_sources
@@ -87,11 +88,22 @@ SUITE_SPECS: Dict[str, SuiteSpec] = {
 #: Suites ordered as in the paper's Table 1.
 SUITE_ORDER: List[str] = list(SUITE_SPECS)
 
-_CACHE: Dict[str, Dict[str, ClassFile]] = {}
+#: Compiled-suite cache, keyed by the *full spec contents* — not the
+#: suite name.  Name-only keying served stale results whenever a spec
+#: changed under a cached name (tests overriding ``SUITE_SPECS``
+#: entries, shaped variants reusing a name): a ``-j4`` batch whose
+#: workers saw the fresh spec then disagreed byte-for-byte with a
+#: ``-j1`` run served from the stale in-process cache.
+_CACHE: Dict[Tuple, Dict[str, ClassFile]] = {}
 
 
-def generate_suite(name: str, fresh: bool = False) -> Dict[str, ClassFile]:
-    """Generate and compile one suite; results are cached per process.
+def _spec_key(spec: SuiteSpec) -> Tuple:
+    return dataclasses.astuple(spec)
+
+
+def generate_from_spec(spec: SuiteSpec,
+                       fresh: bool = False) -> Dict[str, ClassFile]:
+    """Generate and compile one spec; results are cached per process.
 
     Returns a map from internal class name to a deep-copied
     :class:`ClassFile` (callers may mutate freely).  Class files are
@@ -99,16 +111,23 @@ def generate_suite(name: str, fresh: bool = False) -> Dict[str, ClassFile]:
     Section 2 preprocessing (``strip_classes``) removes — reproducing
     the paper's ``jar`` vs ``sjar`` gap.
     """
+    key = _spec_key(spec)
+    if fresh or key not in _CACHE:
+        from .debug import add_debug_info_all
+
+        sources = generate_sources(spec)
+        _CACHE[key] = add_debug_info_all(compile_sources(sources))
+    return {name_: copy.deepcopy(classfile)
+            for name_, classfile in _CACHE[key].items()}
+
+
+def generate_suite(name: str, fresh: bool = False) -> Dict[str, ClassFile]:
+    """Generate and compile one named suite (see
+    :func:`generate_from_spec` for caching and the returned shape)."""
     if name not in SUITE_SPECS:
         raise KeyError(f"unknown suite {name!r}; "
                        f"known: {', '.join(SUITE_SPECS)}")
-    if fresh or name not in _CACHE:
-        from .debug import add_debug_info_all
-
-        sources = generate_sources(SUITE_SPECS[name])
-        _CACHE[name] = add_debug_info_all(compile_sources(sources))
-    return {name_: copy.deepcopy(classfile)
-            for name_, classfile in _CACHE[name].items()}
+    return generate_from_spec(SUITE_SPECS[name], fresh=fresh)
 
 
 def suite_names(small_only: bool = False) -> List[str]:

@@ -229,13 +229,19 @@ def diff_packed(base_packed: bytes, target_packed: bytes,
     """Delta between two packed archives (the ``repro diff`` core).
 
     Both archives must have been packed with ``options`` — the same
-    out-of-band contract :func:`repro.pack.unpack_archive` documents.
+    out-of-band contract :func:`repro.pack.unpack_archive` documents —
+    unless the *target* records its scheme in its header
+    (``--scheme=auto`` output): the recorded scheme then overrides
+    ``options``, because the patcher must repack to the target's
+    exact bytes, tag included.
     """
     options = (options or PackOptions()).validate()
     start = time.perf_counter()
     with observe.current().span("delta.diff"):
+        target_decompressor = Decompressor(options)
+        target = target_decompressor.unpack_ir(target_packed)
+        options = target_decompressor.effective_options
         base = Decompressor(options).unpack_ir(base_packed)
-        target = Decompressor(options).unpack_ir(target_packed)
         delta, summary = diff_archives(
             base, target, options,
             hashlib.sha256(base_packed).digest(),

@@ -7,17 +7,20 @@ from ..ir.build import build_archive
 from ..ir.model import Archive
 from ..observe import recorder as _observe
 from .compressor import Compressor, pack_archive_ir
-from .decompressor import Decompressor, UnpackError
+from .decompressor import Decompressor, UnpackError, recorded_scheme
 from .equivalence import archives_equal, semantic_equal
-from .options import PackOptions, TABLE3_VARIANTS
+from .options import AUTO_SCHEME, PackOptions, TABLE3_VARIANTS
+from .select import SchemeSelection, select_scheme
 from .stats import PackStats, collect_stats
 
 __all__ = [
+    "AUTO_SCHEME",
     "Archive",
     "Compressor",
     "Decompressor",
     "PackOptions",
     "PackStats",
+    "SchemeSelection",
     "TABLE3_VARIANTS",
     "UnpackError",
     "archives_equal",
@@ -25,6 +28,8 @@ __all__ = [
     "pack_archive",
     "pack_archive_ir",
     "pack_archive_with_stats",
+    "recorded_scheme",
+    "select_scheme",
     "semantic_equal",
     "unpack_archive",
 ]
@@ -62,7 +67,10 @@ def unpack_archive(data: bytes,
     ``options`` must match the ones used to pack (the paper's format
     is a fixed policy; ours exposes the experiment matrix, so the
     policy travels out of band — the benchmark harness always pairs
-    pack/unpack options).
+    pack/unpack options) — except the reference scheme, when the
+    archive records it: ``--scheme=auto`` output carries its chosen
+    scheme in the header flags byte, which overrides
+    ``options.scheme`` (see :func:`recorded_scheme`).
     """
     with _observe.current().span("unpack"):
         return Decompressor(options or PackOptions()).unpack(data)

@@ -52,6 +52,7 @@ from .driver import (
     DecodeDriver,
     EncodeDriver,
     Probe,
+    TraceEvent,
     make_space_coders,
 )
 from .layout import ir_instruction_size
@@ -74,6 +75,7 @@ __all__ = [
     "EncodeDriver",
     "Probe",
     "SizeAttribution",
+    "TraceEvent",
     "WireSpec",
     "class_definition",
     "compiled_codec",
@@ -105,6 +107,7 @@ def count_references(
         archive: ir.Archive, options: PackOptions, coders=None,
         seen: Optional[Dict[str, Set]] = None,
         probe: Optional[Probe] = None,
+        trace=None,
         spec: Optional[WireSpec] = None,
 ) -> Dict[str, Dict[Tuple[str, Hashable], int]]:
     """Counting pass: per-space ``(kind, key)`` reference totals.
@@ -112,14 +115,17 @@ def count_references(
     When ``coders`` is given, schemes that need the totals
     (freq/cache) receive them before the pass returns.  ``seen``
     pre-seeds the first-occurrence sets (preloaded objects must not
-    have their contents re-counted).
+    have their contents re-counted).  A ``trace`` list records every
+    reference visit (see :data:`~repro.pack.codec_core.driver.
+    TraceEvent`); like probes, it hooks the spec walk itself, so
+    trace-carrying calls always run interpreted.
     """
     spec = spec or current_spec()
-    codec = _compiled_for(options, probe, spec)
+    codec = _compiled_for(options, probe, spec) if trace is None else None
     if codec is not None:
         return codec.count_references(archive, options, coders=coders,
                                       seen=seen)
-    drv = CountDriver(options, seen=seen, probe=probe)
+    drv = CountDriver(options, seen=seen, probe=probe, trace=trace)
     with observe.current().span("count", classes=len(archive.classes)):
         spec.archive(drv, archive)
         if coders is not None:

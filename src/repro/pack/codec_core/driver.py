@@ -31,6 +31,12 @@ from ..options import PackOptions
 
 Probe = List[Tuple[str, str, bool]]
 
+#: One recorded reference visit: ``(space, kind, stack_context, key)``.
+#: A trace is the full per-archive sequence — what
+#: :mod:`repro.pack.select` replays through candidate coders to score
+#: the scheme matrix without re-walking the IR.
+TraceEvent = Tuple[str, str, object, Hashable]
+
 
 def make_space_coders(options: PackOptions) -> Dict[str, Coder]:
     """One dual-mode :class:`~repro.refs.base.Coder` per object space.
@@ -139,18 +145,28 @@ class CountDriver(Driver):
     encoder's first-occurrence rule, so the counting pass visits the
     same contents the encoding pass will; preloaded objects arrive
     already seen.
+
+    An optional ``trace`` list additionally records every reference
+    visit as ``(space, kind, stack_context, key)``.  Because the
+    traversal — and the first-occurrence ``is_new`` sequence — is the
+    same under every reference scheme, replaying a trace through a
+    scheme's coders reproduces exactly the reference-stream bytes a
+    full encode under that scheme would write (the dry-run scoring
+    pass of ``--scheme=auto``).
     """
 
-    __slots__ = ("counts", "seen")
+    __slots__ = ("counts", "seen", "trace")
 
     def __init__(self, options: PackOptions,
                  seen: Optional[Dict[str, Set]] = None,
-                 probe: Optional[Probe] = None):
+                 probe: Optional[Probe] = None,
+                 trace: Optional[List[TraceEvent]] = None):
         self.options = options
         self.coders = None
         self.port = NullStreamSet()
         self.metrics = None
         self.probe = probe
+        self.trace = trace
         self.interner = None
         self.counts: Dict[str, Dict[Tuple[str, Hashable], int]] = {
             space: {} for space in wire.SPACES}
@@ -178,6 +194,8 @@ class CountDriver(Driver):
         counts = self.counts[space]
         slot = (kind, key)
         counts[slot] = counts.get(slot, 0) + 1
+        if self.trace is not None:
+            self.trace.append((space, kind, stack_context, key))
         seen = self.seen[space]
         if key in seen:
             is_new = False

@@ -20,7 +20,7 @@ from ..errors import PackError
 from ..ir import model as ir
 from ..observe import recorder as observe
 from . import codec_core, wire
-from .options import PackOptions
+from .options import AUTO_SCHEME, PackOptions
 
 __all__ = ["Compressor", "PackError", "SPACES", "pack_archive_ir"]
 
@@ -33,6 +33,15 @@ class Compressor:
 
     def __init__(self, options: PackOptions):
         self.options = options.validate()
+        if self.options.scheme == AUTO_SCHEME:
+            raise PackError(
+                "scheme 'auto' must be resolved before packing; go "
+                "through pack_archive / pack_archive_ir, or resolve "
+                "with repro.pack.select.select_scheme")
+        #: The :class:`~repro.pack.select.SchemeSelection` behind these
+        #: options when ``--scheme=auto`` chose them (set by
+        #: :func:`pack_archive_ir`); None for explicit schemes.
+        self.selection = None
         self.streams = StreamSet()
         #: None unless an observe recorder is installed (the hot-path
         #: on/off switch: one attribute test per reported event).
@@ -58,9 +67,14 @@ class Compressor:
                                     seen=self._count_seen)
         codec_core.encode_archive(archive, self.options, self._coders,
                                   self.streams, metrics=self._metrics)
+        scheme_tag = 0
+        if self.options.record_scheme:
+            scheme_tag = wire.SCHEME_TAG_FOR[wire.scheme_variant(
+                self.options.scheme, self.options.use_context,
+                self.options.transients)]
         header = bytearray(struct.pack(">I", wire.MAGIC))
         header.append(wire.VERSION)
-        header.append(1 if self.options.compress else 0)
+        header.append(wire.pack_flags(self.options.compress, scheme_tag))
         with observe.current().span("serialize"):
             payload = self.streams.serialize(
                 compress=self.options.compress,
@@ -79,7 +93,18 @@ class Compressor:
 def pack_archive_ir(archive: ir.Archive,
                     options: Optional[PackOptions] = None
                     ) -> Tuple[bytes, Compressor]:
-    """Pack a restructured archive; returns (bytes, compressor)."""
-    compressor = Compressor(options or PackOptions())
+    """Pack a restructured archive; returns (bytes, compressor).
+
+    ``scheme="auto"`` is resolved here: the scheme matrix is scored
+    against this archive (:mod:`repro.pack.select`) and the winner —
+    with ``record_scheme`` set so the header carries the choice — is
+    what the compressor actually runs.  The selection report is left
+    on ``compressor.selection``.
+    """
+    from .select import resolve_options
+
+    options, selection = resolve_options(archive, options)
+    compressor = Compressor(options)
+    compressor.selection = selection
     data = compressor.pack(archive)
     return data, compressor

@@ -14,8 +14,9 @@ reconstruction.
 
 from __future__ import annotations
 
+import dataclasses
 import struct
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..classfile.classfile import ClassFile
 from ..coding.streams import StreamReader
@@ -24,24 +25,88 @@ from ..ir import model as ir
 from ..ir.reconstruct import reconstruct_class
 from ..observe import recorder as observe
 from . import codec_core, wire
+from .options import AUTO_SCHEME
 
-__all__ = ["Decompressor", "UnpackError"]
+__all__ = ["Decompressor", "UnpackError", "recorded_scheme"]
 
 _CORRUPTION_ERRORS = CORRUPTION_ERRORS
 
 
+def _parse_flags(flags: int) -> Tuple[bool, int]:
+    """Split the header flags byte -> (compressed, scheme_tag)."""
+    if flags & wire.FLAG_RESERVED:
+        raise UnpackError(
+            f"reserved header flag bits set ({flags:#04x}): corrupt "
+            "archive or a future wire extension")
+    scheme_tag = flags >> wire.SCHEME_TAG_SHIFT
+    if scheme_tag and scheme_tag not in wire.SCHEME_TAGS:
+        raise UnpackError(
+            f"unknown recorded-scheme tag {scheme_tag}")
+    return bool(flags & wire.FLAG_COMPRESS), scheme_tag
+
+
+def recorded_scheme(data: bytes) -> Optional[Tuple[str, bool, bool]]:
+    """The scheme variant an archive's header records, or None.
+
+    ``(scheme, use_context, transients)`` when the flags byte carries
+    a tag (``--scheme=auto`` output); None for out-of-band archives
+    and for containers whose flags byte has another meaning (deltas).
+    """
+    if len(data) < 6:
+        raise UnpackError("truncated packed archive")
+    magic = struct.unpack(">I", data[:4])[0]
+    if magic != wire.MAGIC:
+        raise UnpackError(f"bad magic {magic:#x}")
+    spec = codec_core.spec_for_version(data[4])
+    if spec.container != "archive":
+        return None
+    _, scheme_tag = _parse_flags(data[5])
+    if not scheme_tag:
+        return None
+    return wire.SCHEME_TAGS[scheme_tag]
+
+
 class Decompressor:
-    """Decodes packed bytes back into class definitions / class files."""
+    """Decodes packed bytes back into class definitions / class files.
+
+    The reference coders are built lazily, once the header is parsed:
+    an archive whose flags byte records its scheme
+    (``--scheme=auto`` output) overrides the scheme/variant options
+    it is opened with, so such archives need no side channel.  The
+    effective options actually decoded with — after any header
+    override — are left on ``effective_options``.
+    """
 
     def __init__(self, options):
         self.options = options.validate()
         self.interner = ir.Interner()
-        self._coders = codec_core.make_space_coders(options)
+        self.streams: Optional[StreamReader] = None
+        #: Options after applying the header's recorded scheme (set by
+        #: unpack_ir); equal to ``options`` for out-of-band archives.
+        self.effective_options = None
+        #: The header-recorded scheme variant, or None.
+        self.recorded: Optional[Tuple[str, bool, bool]] = None
+
+    def _resolve_options(self, scheme_tag: int):
+        if scheme_tag:
+            self.recorded = wire.SCHEME_TAGS[scheme_tag]
+            scheme, use_context, transients = self.recorded
+            return dataclasses.replace(
+                self.options, scheme=scheme, use_context=use_context,
+                transients=transients, record_scheme=True)
+        if self.options.scheme == AUTO_SCHEME:
+            raise UnpackError(
+                "scheme 'auto' requested but this archive does not "
+                "record its scheme; pass the scheme it was packed with")
+        return self.options
+
+    def _make_coders(self, options):
+        coders = codec_core.make_space_coders(options)
         if options.preload:
             from .preload import preload_coders
 
-            preload_coders(self._coders, self.interner)
-        self.streams: Optional[StreamReader] = None
+            preload_coders(coders, self.interner)
+        return coders
 
     def unpack_ir(self, data: bytes) -> ir.Archive:
         try:
@@ -56,12 +121,15 @@ class Decompressor:
                     f"version {spec.version} is a {spec.container} "
                     "container, not a packed archive; apply it with "
                     "repro patch")
-            compressed = bool(data[5])
+            compressed, scheme_tag = _parse_flags(data[5])
+            options = self._resolve_options(scheme_tag)
+            self.effective_options = options
+            coders = self._make_coders(options)
             with observe.current().span("inflate", bytes=len(data)):
                 self.streams = StreamReader(data[6:],
                                             compressed=compressed)
             archive = codec_core.decode_archive(
-                self.options, self._coders, self.streams, self.interner,
+                options, coders, self.streams, self.interner,
                 spec=spec)
         except ReproError:
             raise

@@ -10,6 +10,12 @@ from dataclasses import dataclass
 #: reference drivers in :mod:`repro.pack.codec_core.driver`.
 CODEC_BACKENDS = ("interpreted", "compiled")
 
+#: Pseudo-scheme: score the Table-3 scheme matrix with the count
+#: driver (a no-bytes dry run) and pack with the predicted winner,
+#: recording the choice in the archive header.  Resolved to a concrete
+#: scheme by :mod:`repro.pack.select` before any codec runs.
+AUTO_SCHEME = "auto"
+
 
 @dataclass(frozen=True)
 class PackOptions:
@@ -21,7 +27,9 @@ class PackOptions:
     entropy coding.
     """
 
-    #: Reference scheme: simple | basic | freq | cache | mtf (Table 3).
+    #: Reference scheme: simple | basic | freq | cache | mtf (Table 3),
+    #: or ``auto`` — pick the smallest per archive (see
+    #: :mod:`repro.pack.select`).
     scheme: str = "mtf"
     #: MTF variant: separate queues per (kind, top-two stack types).
     use_context: bool = True
@@ -42,14 +50,20 @@ class PackOptions:
     #: the wire spec runs, never *what* it emits — the packed bytes are
     #: identical either way (see docs/PERFORMANCE.md).
     codec_backend: str = "compiled"
+    #: Record the scheme variant in the archive header so unpack needs
+    #: no side channel.  Set by ``scheme="auto"`` resolution; explicit
+    #: packs leave it off, keeping their bytes identical to every
+    #: pre-extension archive (and to the golden fixtures).
+    record_scheme: bool = False
 
     def validate(self) -> "PackOptions":
         from ..errors import ReproError
         from ..refs.schemes import SCHEME_NAMES
 
-        if self.scheme not in SCHEME_NAMES:
+        if self.scheme != AUTO_SCHEME and self.scheme not in SCHEME_NAMES:
             raise ValueError(
-                f"unknown scheme {self.scheme!r}; one of {SCHEME_NAMES}")
+                f"unknown scheme {self.scheme!r}; one of "
+                f"{SCHEME_NAMES + [AUTO_SCHEME]}")
         if self.codec_backend not in CODEC_BACKENDS:
             raise ReproError(
                 f"unknown codec backend {self.codec_backend!r}; "

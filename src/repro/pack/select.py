@@ -1,0 +1,188 @@
+"""Adaptive reference-scheme selection (``--scheme=auto``).
+
+The paper's cross-workload result (Tables 3 and 6) is that no single
+reference scheme wins everywhere: which of Simple/Basic/Freq/Cache/MTF
+produces the smallest archive depends on the archive's shape — how
+skewed its reference distribution is, how many objects are referenced
+exactly once, how much locality the reference order has.  ``auto``
+turns that observation into a production feature: score every
+candidate on *this* archive, pack with the predicted winner, and
+record the choice in the header so unpack needs no side channel.
+
+Scoring is a dry run built on two facts the codec core guarantees:
+
+* the archive traversal — and with it the first-occurrence
+  ``is_new`` sequence — is identical under every scheme (the
+  three-mode lockstep law), so the non-reference streams are
+  byte-identical across schemes and cancel out of the comparison; and
+* the counting pass can record the full reference-visit sequence
+  (:data:`~repro.pack.codec_core.driver.TraceEvent`) in one walk.
+
+So one trace-carrying count pass replays through each candidate's
+coders, producing exactly the reference-stream bytes a full encode
+under that scheme would write — no IR re-walk, no non-reference
+bytes.  The candidate whose (independently zlib'd) reference streams
+are smallest wins; the margin between candidates is the same margin
+the full archives would show, up to the shared-context wobble of the
+final whole-archive zlib pass (empirically well under the 1% the
+acceptance tests pin).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..coding.streams import StreamSet
+from ..ir import model as ir
+from ..observe import recorder as observe
+from ..refs.schemes import make_coder
+from . import codec_core, wire
+from .options import AUTO_SCHEME, PackOptions
+
+#: Candidate order, best-overall-first per the paper's Table 3; also
+#: the deterministic tie-break (equal scores pick the earlier entry).
+AUTO_CANDIDATES: Tuple[str, ...] = ("mtf", "cache", "freq", "basic",
+                                    "simple")
+
+
+@dataclass(frozen=True)
+class SchemeSelection:
+    """What ``--scheme=auto`` decided, and why.
+
+    ``scores`` holds every candidate's predicted reference-stream
+    bytes (compressed when the archive is); ``options`` is the
+    resolved :class:`PackOptions` — concrete scheme, canonical variant
+    flags, ``record_scheme=True`` — the archive is then packed with.
+    """
+
+    chosen: str
+    options: PackOptions
+    scores: Dict[str, int] = field(default_factory=dict)
+    #: Total reference visits replayed (trace length).
+    references: int = 0
+    classes: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "chosen": self.chosen,
+            "scores": dict(self.scores),
+            "references": self.references,
+            "classes": self.classes,
+        }
+
+
+def candidate_options(options: PackOptions,
+                      scheme: str) -> PackOptions:
+    """``options`` resolved to one concrete candidate scheme.
+
+    Variant flags are canonicalized through
+    :func:`repro.pack.wire.scheme_variant` so the resolved options
+    always have a header tag (non-mtf schemes ignore the flags on the
+    wire; recording them as ``False`` keeps one tag per distinct
+    format).
+    """
+    scheme, use_context, transients = wire.scheme_variant(
+        scheme, options.use_context, options.transients)
+    return dataclasses.replace(
+        options, scheme=scheme, use_context=use_context,
+        transients=transients, record_scheme=True)
+
+
+def _replay_coders(options: PackOptions, scheme: str,
+                   counts: Dict[str, Dict]) -> Dict[str, object]:
+    """Fresh coders for one candidate, frequency-fed and preloaded
+    exactly as the real encode pass would build them."""
+    resolved = candidate_options(options, scheme)
+    coders = {}
+    for index, space in enumerate(sorted(wire.SPACES)):
+        coders[space] = make_coder(
+            resolved.scheme, use_context=resolved.use_context,
+            transients=resolved.transients,
+            seed=resolved.seed + index)
+    if options.preload:
+        from .preload import preload_coders
+
+        preload_coders(coders, ir.Interner())
+    for space, coder in coders.items():
+        if coder.needs_frequencies:
+            coder.set_frequencies(counts[space])
+    return coders
+
+
+def score_schemes(archive: ir.Archive, options: PackOptions,
+                  candidates: Tuple[str, ...] = AUTO_CANDIDATES
+                  ) -> Tuple[Dict[str, int], int]:
+    """Predicted reference-stream bytes per candidate scheme.
+
+    Returns ``(scores, reference_count)``.  One interpreted counting
+    pass records the trace; each candidate then replays it through its
+    own coders.  Scores are the summed per-stream zlib sizes of the
+    reference streams (raw sizes when ``options.compress`` is off) —
+    the only streams the scheme changes.
+    """
+    trace: List[codec_core.TraceEvent] = []
+    seen = {space: set() for space in wire.SPACES}
+    if options.preload:
+        from .preload import preload_objects
+
+        for space, values in preload_objects(ir.Interner()).items():
+            seen[space].update(values)
+    counts = codec_core.count_references(
+        archive, options, seen=seen, trace=trace)
+    scores: Dict[str, int] = {}
+    for scheme in candidates:
+        coders = _replay_coders(options, scheme, counts)
+        streams = StreamSet()
+        ref_streams = {space: streams.stream(stream_name)
+                       for space, stream_name in wire.SPACES.items()}
+        for space, kind, stack_context, key in trace:
+            coders[space].encode(ref_streams[space],
+                                 (kind, stack_context), key)
+        if options.compress:
+            scores[scheme] = sum(
+                streams.compressed_sizes(options.zlib_level).values())
+        else:
+            scores[scheme] = sum(streams.raw_sizes().values())
+    return scores, len(trace)
+
+
+def select_scheme(archive: ir.Archive,
+                  options: PackOptions,
+                  candidates: Tuple[str, ...] = AUTO_CANDIDATES
+                  ) -> SchemeSelection:
+    """Resolve ``scheme="auto"`` for one archive.
+
+    Deterministic: the trace, the replay, and the tie-break (earlier
+    entry in ``candidates`` wins equal scores) depend only on the
+    archive and the options, so concurrent workers pick identical
+    schemes and produce byte-identical packs.
+    """
+    with observe.current().span("select", classes=len(archive.classes)):
+        scores, references = score_schemes(archive, options, candidates)
+        chosen = min(candidates, key=lambda s: (scores[s],
+                                                candidates.index(s)))
+    metrics = observe.current().metrics
+    if metrics is not None:
+        metrics.count(f"pack.scheme_auto.chosen.{chosen}")
+        for scheme, score in scores.items():
+            metrics.tally("pack.scheme_auto.scores", scheme, score)
+    return SchemeSelection(
+        chosen=chosen,
+        options=candidate_options(options, chosen),
+        scores=scores,
+        references=references,
+        classes=len(archive.classes))
+
+
+def resolve_options(archive: ir.Archive,
+                    options: Optional[PackOptions]
+                    ) -> Tuple[PackOptions, Optional[SchemeSelection]]:
+    """``(concrete options, selection)`` for one archive; selection is
+    ``None`` unless ``options.scheme`` was ``auto``."""
+    options = (options or PackOptions()).validate()
+    if options.scheme != AUTO_SCHEME:
+        return options, None
+    selection = select_scheme(archive, options)
+    return selection.options, selection

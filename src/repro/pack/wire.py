@@ -18,6 +18,60 @@ VERSION = 1
 #: refuses it with a pointer at ``repro patch``.
 DELTA_VERSION = 2
 
+# -- header flags byte ---------------------------------------------------
+#
+# Byte 5 of the archive header is a flags byte:
+#
+#     bit 0     zlib stage on (``PackOptions.compress``)
+#     bits 1-3  reserved, must be zero
+#     bits 4-7  recorded-scheme tag (0 = not recorded)
+#
+# Archives written before the flags-byte extension carry exactly 0 or
+# 1 here, which parses as tag 0 ("scheme travels out of band") — the
+# extension is backward compatible and the golden fixtures are
+# untouched.  ``repro pack --scheme=auto`` records the scheme it
+# selected so ``repro unpack`` needs no side channel.
+
+#: Bit 0 of the header flags byte: the zlib stage ran.
+FLAG_COMPRESS = 0x01
+#: Reserved flag bits; nonzero means a corrupt or future header.
+FLAG_RESERVED = 0x0E
+#: The recorded-scheme tag lives in the high nibble.
+SCHEME_TAG_SHIFT = 4
+
+#: Recorded-scheme tags: tag -> (scheme, use_context, transients).
+#: One tag per Table-3 column; tag 0 means "not recorded".  The
+#: variant flags only alter the wire bytes under ``mtf``, so the four
+#: one-pass/two-pass schemes are registered in canonical
+#: (``False``, ``False``) form.
+SCHEME_TAGS = {
+    1: ("simple", False, False),
+    2: ("basic", False, False),
+    3: ("freq", False, False),
+    4: ("cache", False, False),
+    5: ("mtf", False, False),
+    6: ("mtf", False, True),
+    7: ("mtf", True, False),
+    8: ("mtf", True, True),
+}
+SCHEME_TAG_FOR = {variant: tag for tag, variant in SCHEME_TAGS.items()}
+
+
+def scheme_variant(scheme: str, use_context: bool,
+                   transients: bool) -> tuple:
+    """The canonical ``(scheme, use_context, transients)`` triple a
+    header tag records (variant flags are mtf-only)."""
+    if scheme != "mtf":
+        return (scheme, False, False)
+    return (scheme, bool(use_context), bool(transients))
+
+
+def pack_flags(compress: bool, scheme_tag: int = 0) -> int:
+    """Assemble the header flags byte."""
+    if scheme_tag not in SCHEME_TAGS and scheme_tag != 0:
+        raise ValueError(f"unknown scheme tag {scheme_tag}")
+    return (1 if compress else 0) | (scheme_tag << SCHEME_TAG_SHIFT)
+
 # -- stream names -------------------------------------------------------
 
 META = "meta"

@@ -57,6 +57,10 @@ def canonical_options(options: PackOptions,
     # emits: interpreted and compiled archives are byte-identical
     # (enforced by the lockstep tests), so the backend must not split
     # the cache — a compiled pack should serve interpreted requests.
+    # ``scheme="auto"`` is the opposite case and stays in the key:
+    # selection is deterministic, but auto output differs byte-wise
+    # from the same archive packed with the winning scheme explicitly
+    # (the header records the choice), so they must not share entries.
     fields.pop("codec_backend", None)
     fields["strip"] = strip
     fields["eager"] = eager

@@ -1,0 +1,393 @@
+"""Property-test layer for ``--scheme=auto`` and the shaped corpus.
+
+Pins the three contracts the adaptive-selection feature rests on:
+
+* **round-trip**: every corpus shape × all five schemes × both codec
+  backends packs and unpacks losslessly, with backend-blind bytes;
+* **oracle**: auto's pick is within 1% of the best exhaustive
+  per-scheme pack, and the header-recorded choice round-trips through
+  ``repro stats`` and a plain ``repro unpack`` with no side channel;
+* **determinism**: the shaped generator is byte-identical across runs
+  and processes for a fixed seed, the suites cache cannot serve stale
+  spec builds, and parallel batch packs match sequential ones byte
+  for byte.
+
+The fuzz loops are seeded ``random.Random`` sweeps — Hypothesis-style
+shrinking is traded for reproducible cases without the dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.classfile.classfile import write_class
+from repro.corpus import (
+    SHAPE_NAMES,
+    SUITE_SPECS,
+    generate_from_spec,
+    generate_shape,
+    generate_sources,
+    shape_spec,
+)
+from repro.ir.build import build_archive
+from repro.jar.formats import strip_classes
+from repro.jar.jarfile import classes_to_entries, make_jar
+from repro.pack import (
+    PackOptions,
+    UnpackError,
+    archives_equal,
+    pack_archive,
+    pack_archive_ir,
+    recorded_scheme,
+    select_scheme,
+    unpack_archive,
+    wire,
+)
+from repro.refs.schemes import SCHEME_NAMES
+from repro.service import BatchEngine, PackJob
+
+#: Shape scale for the test matrix — the same specs the benchmark
+#: runs at 1000+ classes, shrunk so the module stays in budget.
+TEST_CLASSES = 24
+
+
+@pytest.fixture(scope="module")
+def shaped_suites():
+    """shape -> ordered, stripped class files (CLI order)."""
+    suites = {}
+    for shape in SHAPE_NAMES:
+        classes = strip_classes(generate_shape(shape,
+                                               classes=TEST_CLASSES))
+        suites[shape] = [classes[name] for name in sorted(classes)]
+    return suites
+
+
+@pytest.fixture(scope="module")
+def explicit_packs(shaped_suites):
+    """(shape, scheme) -> packed bytes under the compiled backend."""
+    packs = {}
+    for shape, classfiles in shaped_suites.items():
+        for scheme in SCHEME_NAMES:
+            packs[shape, scheme] = pack_archive(
+                classfiles, PackOptions(scheme=scheme))
+    return packs
+
+
+@pytest.fixture(scope="module")
+def auto_packs(shaped_suites):
+    """shape -> (packed bytes, SchemeSelection) for scheme=auto."""
+    packs = {}
+    for shape, classfiles in shaped_suites.items():
+        data, compressor = pack_archive_ir(
+            build_archive(classfiles), PackOptions(scheme="auto"))
+        packs[shape] = (data, compressor.selection)
+    return packs
+
+
+class TestRoundTripMatrix:
+    """Shape × scheme × backend: lossless, backend-blind, stable."""
+
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    @pytest.mark.parametrize("scheme", SCHEME_NAMES)
+    def test_round_trip_both_backends(self, shaped_suites,
+                                      explicit_packs, shape, scheme):
+        classfiles = shaped_suites[shape]
+        compiled = explicit_packs[shape, scheme]
+        interpreted = pack_archive(
+            classfiles, PackOptions(scheme=scheme,
+                                    codec_backend="interpreted"))
+        assert interpreted == compiled
+        for backend in ("compiled", "interpreted"):
+            restored = unpack_archive(
+                compiled, PackOptions(scheme=scheme,
+                                      codec_backend=backend))
+            assert archives_equal(classfiles, restored)
+
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    def test_repack_of_unpack_is_byte_identical(self, shaped_suites,
+                                                explicit_packs, shape):
+        options = PackOptions(scheme="mtf")
+        packed = explicit_packs[shape, "mtf"]
+        again = pack_archive(unpack_archive(packed, options), options)
+        assert again == packed
+
+    def test_seeded_fuzz_sweep(self):
+        """Random (shape, scale, scheme, variant) points round-trip.
+
+        Seeded, so a failure here is a reproducible case, not a flake.
+        """
+        rng = random.Random(0x20260808)
+        for iteration in range(5):
+            shape = rng.choice(SHAPE_NAMES)
+            classes = rng.choice([12, 16])
+            seed = rng.randrange(1 << 16)
+            scheme = rng.choice(SCHEME_NAMES + ["auto"])
+            options = PackOptions(
+                scheme=scheme,
+                use_context=rng.random() < 0.7,
+                transients=rng.random() < 0.7,
+                compress=rng.random() < 0.8,
+                preload=rng.random() < 0.3,
+                codec_backend=rng.choice(["compiled", "interpreted"]),
+            )
+            suite = strip_classes(generate_shape(shape, classes=classes,
+                                                 seed=seed))
+            classfiles = [suite[name] for name in sorted(suite)]
+            packed = pack_archive(classfiles, options)
+            restored = unpack_archive(packed, options)
+            case = (f"iteration {iteration}: {shape} seed={seed} "
+                    f"{options}")
+            assert archives_equal(classfiles, restored), case
+            if scheme == "auto":
+                assert recorded_scheme(packed) is not None, case
+            else:
+                assert recorded_scheme(packed) is None, case
+
+
+class TestAutoOracle:
+    """auto's prediction versus the exhaustive per-scheme truth."""
+
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    def test_within_one_percent_of_best(self, explicit_packs,
+                                        auto_packs, shape):
+        data, selection = auto_packs[shape]
+        sizes = {scheme: len(explicit_packs[shape, scheme])
+                 for scheme in SCHEME_NAMES}
+        best = min(sizes.values())
+        assert len(data) <= best * 1.01, (
+            f"auto chose {selection.chosen} ({len(data)} bytes); "
+            f"best exhaustive is {best} ({sizes})")
+
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    def test_header_records_the_choice(self, auto_packs, shape):
+        data, selection = auto_packs[shape]
+        chosen = selection.options
+        assert recorded_scheme(data) == wire.scheme_variant(
+            chosen.scheme, chosen.use_context, chosen.transients)
+        assert selection.scores[selection.chosen] == \
+            min(selection.scores.values())
+
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    def test_unpack_needs_no_side_channel(self, shaped_suites,
+                                          auto_packs, shape):
+        data, _ = auto_packs[shape]
+        # Deliberately wrong scheme options: the header tag must win.
+        for options in (None, PackOptions(scheme="simple"),
+                        PackOptions(scheme="auto")):
+            restored = unpack_archive(data, options) if options \
+                else unpack_archive(data)
+            assert archives_equal(shaped_suites[shape], restored)
+
+    def test_explicit_packs_record_nothing(self, explicit_packs):
+        for (shape, scheme), data in explicit_packs.items():
+            assert recorded_scheme(data) is None
+            assert data[5] in (0, 1)
+
+    def test_auto_unpack_of_unrecorded_archive_raises(
+            self, shaped_suites, explicit_packs):
+        data = explicit_packs["inherit_deep", "mtf"]
+        with pytest.raises(UnpackError, match="does not record"):
+            unpack_archive(data, PackOptions(scheme="auto"))
+
+    def test_selection_is_deterministic(self, shaped_suites):
+        archive = build_archive(shaped_suites["interface_heavy"])
+        first = select_scheme(archive, PackOptions(scheme="auto"))
+        second = select_scheme(archive, PackOptions(scheme="auto"))
+        assert first.chosen == second.chosen
+        assert first.scores == second.scores
+
+    def test_auto_is_backend_blind(self, shaped_suites, auto_packs):
+        classfiles = shaped_suites["string_heavy"]
+        data, _ = auto_packs["string_heavy"]
+        interpreted = pack_archive(
+            classfiles, PackOptions(scheme="auto",
+                                    codec_backend="interpreted"))
+        assert interpreted == data
+
+
+class TestCliRoundTrip:
+    """The recorded scheme surfaces through the CLI end to end."""
+
+    @pytest.fixture()
+    def small_jar(self, tmp_path):
+        suite = strip_classes(generate_shape("interface_heavy",
+                                             classes=12))
+        serialized = {name: write_class(c)
+                      for name, c in suite.items()}
+        jar = tmp_path / "in.jar"
+        jar.write_bytes(make_jar(classes_to_entries(serialized)))
+        return jar
+
+    def test_pack_stats_unpack_report_choice(self, tmp_path, small_jar,
+                                             capsys):
+        packed = tmp_path / "out.pack"
+        assert main(["pack", str(small_jar), "--scheme=auto",
+                     "-o", str(packed)]) == 0
+        out = capsys.readouterr().out
+        assert "scheme auto -> " in out
+        assert "recorded in header" in out
+
+        assert main(["stats", str(small_jar), "--scheme=auto"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme auto -> " in out
+
+        restored = tmp_path / "out.jar"
+        # Plain unpack: no scheme flags at all.
+        assert main(["unpack", str(packed.resolve()),
+                     "-o", str(restored)]) == 0
+        out = capsys.readouterr().out
+        assert "(from header)" in out
+        assert restored.stat().st_size > 0
+
+
+class TestGeneratorDeterminism:
+    """Fixed seed -> byte-identical corpus, in and across processes."""
+
+    def test_sources_identical_across_runs(self):
+        spec = shape_spec("const_heavy", classes=TEST_CLASSES)
+        assert generate_sources(spec) == generate_sources(spec)
+
+    def test_classfiles_identical_across_fresh_builds(self):
+        spec = shape_spec("string_heavy", classes=16)
+        first = {name: write_class(c) for name, c in
+                 generate_from_spec(spec, fresh=True).items()}
+        second = {name: write_class(c) for name, c in
+                  generate_from_spec(spec, fresh=True).items()}
+        assert first == second
+
+    def test_sources_identical_across_processes(self):
+        """A fresh interpreter (fresh hash randomization) produces the
+        same bytes — no hidden set/dict-order dependence."""
+        spec = shape_spec("inherit_deep", classes=TEST_CLASSES)
+        local = hashlib.sha256("\0".join(
+            generate_sources(spec)).encode()).hexdigest()
+        script = (
+            "import hashlib\n"
+            "from repro.corpus import generate_sources, shape_spec\n"
+            f"spec = shape_spec('inherit_deep', classes={TEST_CLASSES})\n"
+            "print(hashlib.sha256('\\0'.join("
+            "generate_sources(spec)).encode()).hexdigest())\n")
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        remote = subprocess.run(
+            [sys.executable, "-c", script], check=True,
+            capture_output=True, text=True,
+            env={"PYTHONPATH": src, "PYTHONHASHSEED": "random"},
+        ).stdout.strip()
+        assert remote == local
+
+    def test_suite_cache_is_keyed_by_spec(self):
+        """A changed spec under a cached name must rebuild, not serve
+        the stale compile (the -j1 vs -jN divergence bug)."""
+        base = shape_spec("string_heavy", classes=8)
+        variant = shape_spec("string_heavy", classes=8, seed=4242)
+        assert base.name == variant.name
+        first = generate_from_spec(base)
+        second = generate_from_spec(variant)
+        assert {n: write_class(c) for n, c in first.items()} != \
+            {n: write_class(c) for n, c in second.items()}
+        # And the original spec still serves its own (cached) build.
+        again = generate_from_spec(base)
+        assert {n: write_class(c) for n, c in first.items()} == \
+            {n: write_class(c) for n, c in again.items()}
+
+    def test_named_suite_tracks_spec_table(self):
+        """generate_suite reflects SUITE_SPECS edits immediately."""
+        name = "Hanoi_jax"
+        original = SUITE_SPECS[name]
+        baseline = {n: write_class(c)
+                    for n, c in generate_from_spec(original).items()}
+        try:
+            SUITE_SPECS[name] = shape_spec("const_heavy", classes=4)
+            SUITE_SPECS[name].name = name
+            from repro.corpus import generate_suite
+
+            swapped = {n: write_class(c)
+                       for n, c in generate_suite(name).items()}
+            assert swapped != baseline
+        finally:
+            SUITE_SPECS[name] = original
+        from repro.corpus import generate_suite
+
+        restored = {n: write_class(c)
+                    for n, c in generate_suite(name).items()}
+        assert restored == baseline
+
+
+class TestBatchDeterminism:
+    """-j4 and -j1 batches agree byte for byte under scheme=auto."""
+
+    @pytest.fixture(scope="class")
+    def jobs_classes(self):
+        jars = {}
+        for index, shape in enumerate(SHAPE_NAMES[:3]):
+            suite = strip_classes(generate_shape(shape, classes=12))
+            jars[f"job-{shape}"] = {
+                name + ".class": write_class(c)
+                for name, c in suite.items()}
+        return jars
+
+    def _run(self, jobs_classes, workers):
+        options = PackOptions(scheme="auto")
+        jobs = [PackJob(job_id=job_id, classes=classes,
+                        options=options)
+                for job_id, classes in sorted(jobs_classes.items())]
+        with BatchEngine(workers=workers) as engine:
+            results = engine.run_batch(jobs)
+        assert all(result.status == "ok" for result in results)
+        return {result.job_id: result.data for result in results}
+
+    def test_parallel_matches_sequential(self, jobs_classes):
+        sequential = self._run(jobs_classes, workers=1)
+        parallel = self._run(jobs_classes, workers=4)
+        assert parallel == sequential
+        for data in parallel.values():
+            assert recorded_scheme(data) is not None
+
+
+class TestShapedCorpusScale:
+    """The shapes hit their scale target and carry their trait."""
+
+    def test_full_scale_specs_reach_1000_classes(self):
+        for shape in SHAPE_NAMES:
+            spec = shape_spec(shape)
+            assert spec.packages * spec.classes_per_package >= 1000
+
+    def test_shapes_have_distinct_traits(self, shaped_suites):
+        def depth(classfile, by_name):
+            seen = 0
+            current = classfile
+            while current is not None and seen < 100:
+                parent = current.super_name
+                current = by_name.get(parent)
+                seen += 1
+            return seen
+
+        traits = {}
+        for shape, classfiles in shaped_suites.items():
+            by_name = {c.name: c for c in classfiles}
+            interfaces = sum(1 for c in classfiles
+                             if c.access_flags & 0x0200)
+            max_depth = max(depth(c, by_name) for c in classfiles)
+            traits[shape] = (interfaces / len(classfiles), max_depth)
+        assert traits["inherit_deep"][1] > \
+            traits["interface_heavy"][1] + 3
+        assert traits["interface_heavy"][0] > \
+            2 * traits["inherit_deep"][0]
+
+    def test_reflective_shape_carries_class_name_constants(
+            self, shaped_suites):
+        spec = shape_spec("const_heavy", classes=TEST_CLASSES)
+        joined = "\n".join(generate_sources(spec))
+        # Class.forName-style constants: package-qualified names in
+        # string literals, emitted only when reflectiveness > 0.
+        assert any('"' + root in joined
+                   for root in ("com.", "org.", "net.", "io."))
+        plain = shape_spec("string_heavy", classes=TEST_CLASSES)
+        assert plain.reflectiveness == 0
