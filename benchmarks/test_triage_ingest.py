@@ -1,0 +1,167 @@
+"""Triage ingest throughput and accounting on a nested corpus.
+
+Not a paper table — the paper assumes clean jars; this benchmark
+guards the ``repro.triage`` front door that feeds the pipeline from
+real-world layouts (see ``docs/TRIAGE.md``).  A corpus of shaped
+1000+-class jars is arranged the way inputs actually arrive — a flat
+MRJAR with a ``META-INF/versions/`` layer, a jar with another jar
+nested under ``lib/``, and a gzip-wrapped jar — and ingested under
+the default budget.  The gate:
+
+* **throughput** — ingest sustains a conservative floor (MB of input
+  per second of wall clock; the walk is zipfile + zlib work, so the
+  floor is far below what any healthy run achieves);
+* **exact accounting** — every class in the corpus is recovered
+  exactly once, every resource routed to the fallback pile, zero
+  errors, zero truncations, and the one deliberate MRJAR shadow is
+  the only skip.  A bounded ingest that loses or double-counts
+  entries fails here, not in production.
+
+The JSON report is written to ``BENCH_triage_ingest.json`` at the
+repo root and committed — reruns show up as diffs.  The committed
+file is produced at the full ``SHAPE_CLASSES`` scale; CI's smoke job
+shrinks the corpus via ``REPRO_BENCH_SHAPE_CLASSES``.
+"""
+
+import gzip
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.classfile.classfile import write_class
+from repro.corpus import SHAPE_CLASSES, generate_shape
+from repro.jar.jarfile import make_jar
+from repro.jar.manifest import class_entry_name
+from repro.triage import TriageBudget, triage_bytes
+
+from conftest import print_table
+
+#: Class count per shape; override to shrink CI smoke runs.
+CLASSES = int(os.environ.get("REPRO_BENCH_SHAPE_CLASSES",
+                             SHAPE_CLASSES))
+
+#: Conservative floor, in MB of (compressed) input per second.
+FLOOR_MB_S = 2.0
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_triage_ingest.json"
+
+
+def _entries(shape):
+    classes = generate_shape(shape, classes=CLASSES)
+    return [(class_entry_name(name), write_class(classes[name]))
+            for name in sorted(classes)]
+
+
+def _corpus():
+    """(root name -> root bytes, expected totals) for the layouts."""
+    deep = _entries("inherit_deep")
+    interfaces = _entries("interface_heavy")
+    strings = _entries("string_heavy")
+    consts = _entries("const_heavy")
+
+    # A flat MRJAR: one class also ships a version-11 layer, which
+    # must win (and leave exactly one mrjar-shadowed skip behind).
+    layered_name, layered_data = deep[0]
+    mrjar = make_jar(deep + [
+        ("app.properties", b"retries=3\ncolor=blue\n"),
+        ("META-INF/notes.txt", b"shaped corpus, inherit_deep\n"),
+        (f"META-INF/versions/11/{layered_name}", layered_data),
+    ])
+
+    # A jar with a second jar nested under lib/.
+    inner = make_jar(strings + [("strings.properties", b"greeting=hi\n")])
+    nested = make_jar(interfaces + [("lib/strings.jar", inner)])
+
+    # A gzip-wrapped jar, as served by download mirrors.
+    gzipped = gzip.compress(
+        make_jar(consts + [("consts.txt", b"tables\n")]), 9)
+
+    # Shapes can share class names; within one ingest the duplicate
+    # dedups first-wins (one skip each), so expectations come from
+    # the union, not the sum.
+    nested_names = {name for name, _ in interfaces} | \
+                   {name for name, _ in strings}
+    dup_skips = len(interfaces) + len(strings) - len(nested_names)
+    expected = {
+        "classes": len(deep) + len(nested_names) + len(consts),
+        "resources": 4,
+        "artifacts": 5,   # mrjar; nested + inner; gzip + its jar
+        # the shadowed base copy of layered_name, plus one
+        # duplicate-class skip per name the two nested shapes share.
+        "skips": 1 + dup_skips,
+    }
+    return {"mrjar.jar": mrjar,
+            "nested.jar": nested,
+            "consts.jar.gz": gzipped}, expected
+
+
+def test_triage_ingest_throughput_and_accounting():
+    corpus, expected = _corpus()
+    budget = TriageBudget()
+    rows = []
+    report = {
+        "schema": "repro.bench.triage_ingest/1",
+        "classes_per_shape": CLASSES,
+        "floor_mb_s": FLOOR_MB_S,
+        "python": platform.python_version(),
+        "roots": {},
+    }
+    got = {"classes": 0, "resources": 0, "artifacts": 0, "skips": 0,
+           "errors": 0, "truncations": 0}
+    total_bytes = 0
+    total_s = 0.0
+    for name, data in corpus.items():
+        start = time.perf_counter()
+        result = triage_bytes(data, name=name, budget=budget)
+        elapsed = time.perf_counter() - start
+        totals = result.report.totals()
+        assert len(result.classes) == totals["classes"], name
+        for key in got:
+            got[key] += totals[key]
+        total_bytes += len(data)
+        total_s += elapsed
+        mb_s = len(data) / max(elapsed, 1e-9) / 1e6
+        report["roots"][name] = {
+            "input_bytes": len(data),
+            "artifacts": totals["artifacts"],
+            "entries": totals["entries"],
+            "classes": totals["classes"],
+            "resources": totals["resources"],
+            "max_depth": totals["max_depth"],
+            "seconds": round(elapsed, 4),
+            "mb_s": round(mb_s, 2),
+        }
+        rows.append([name, f"{len(data)}", totals["artifacts"],
+                     totals["entries"], totals["classes"],
+                     totals["resources"], f"{elapsed:.3f}s",
+                     f"{mb_s:.1f}"])
+
+    overall_mb_s = total_bytes / max(total_s, 1e-9) / 1e6
+    report["totals"] = dict(got, input_bytes=total_bytes,
+                            seconds=round(total_s, 4),
+                            mb_s=round(overall_mb_s, 2))
+    print_table(
+        f"triage ingest ({CLASSES} classes/shape, "
+        f"floor {FLOOR_MB_S} MB/s)",
+        ["root", "bytes", "artifacts", "entries", "classes",
+         "resources", "t", "MB/s"],
+        rows)
+    REPORT_PATH.write_text(json.dumps(report, indent=2,
+                                      sort_keys=True) + "\n")
+
+    assert got["errors"] == 0
+    assert got["truncations"] == 0
+    for key in ("classes", "resources", "artifacts", "skips"):
+        assert got[key] == expected[key], \
+            f"{key}: got {got[key]}, expected {expected[key]}"
+    assert overall_mb_s >= FLOOR_MB_S, \
+        f"ingest ran at {overall_mb_s:.2f} MB/s, floor {FLOOR_MB_S}"
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v", "-s"])

@@ -14,6 +14,11 @@ Commands
 ``patch``    apply a .dpack delta to a base archive
 ``batch``    pack many jars concurrently (manifest or directory)
 ``serve``    the pack service daemon (/pack, /delta, /stats, /healthz)
+``triage``   inspect an input through bounded recursive ingestion
+
+``pack`` and ``batch`` accept ``--triage`` (plus ``--triage-*`` budget
+flags) to ingest nested/compressed real-world containers; ``serve
+--triage`` does the same for request bodies.  See docs/TRIAGE.md.
 
 ``pack``, ``unpack``, ``stats``, and ``batch`` accept ``--trace``
 (print the phase timing tree) and ``--metrics-json FILE`` (write the
@@ -67,6 +72,7 @@ def _options_from_args(args: argparse.Namespace) -> PackOptions:
         compress=not args.no_gzip,
         preload=args.preload,
         codec_backend=args.codec_backend,
+        auto_sample=args.auto_sample,
     )
 
 
@@ -92,6 +98,77 @@ def _add_pack_options(parser: argparse.ArgumentParser) -> None:
                         help="codec execution backend; byte-identical "
                              "output, compiled is faster (default: "
                              "compiled)")
+    parser.add_argument("--auto-sample", type=float, default=1.0,
+                        metavar="RATE",
+                        help="fraction of the reference trace "
+                             "--scheme=auto scoring replays (seeded, "
+                             "deterministic; default: 1.0 = full "
+                             "trace)")
+
+
+def _add_triage_options(parser: argparse.ArgumentParser,
+                        mode_flag: bool = True) -> None:
+    """The triage ingestion flags (budgets + the ``--triage`` mode
+    switch for commands where triage is opt-in)."""
+    from .triage import TriageBudget
+
+    defaults = TriageBudget()
+    if mode_flag:
+        parser.add_argument("--triage", action="store_true",
+                            help="ingest input through bounded "
+                                 "recursive triage (nested jars/zips, "
+                                 "gzip blobs, MRJARs; see "
+                                 "docs/TRIAGE.md)")
+        parser.add_argument("--triage-report", metavar="FILE",
+                            default=None,
+                            help="write the repro.triage/1 report "
+                                 "JSON to FILE (implies --triage)")
+    parser.add_argument("--triage-depth", type=int,
+                        default=defaults.max_depth, metavar="N",
+                        help="max container nesting depth "
+                             f"(default: {defaults.max_depth})")
+    parser.add_argument("--triage-bytes", type=int,
+                        default=defaults.max_total_bytes,
+                        metavar="BYTES",
+                        help="max total decompressed bytes "
+                             f"(default: {defaults.max_total_bytes})")
+    parser.add_argument("--triage-entries", type=int,
+                        default=defaults.max_entries, metavar="N",
+                        help="max entries across all artifacts "
+                             f"(default: {defaults.max_entries})")
+    parser.add_argument("--triage-artifacts", type=int,
+                        default=defaults.max_artifacts, metavar="N",
+                        help="max artifacts walked "
+                             f"(default: {defaults.max_artifacts})")
+    parser.add_argument("--triage-deadline", type=float,
+                        default=defaults.deadline_seconds,
+                        metavar="SECONDS",
+                        help="wall-clock deadline per ingest "
+                             f"(default: {defaults.deadline_seconds})")
+    parser.add_argument("--triage-ratio", type=float,
+                        default=defaults.max_expansion_ratio,
+                        metavar="X",
+                        help="max per-entry expansion ratio, the "
+                             "zip-bomb guard (default: "
+                             f"{defaults.max_expansion_ratio:.0f})")
+
+
+def _triage_budget(args: argparse.Namespace):
+    from .triage import TriageBudget
+
+    return TriageBudget(
+        max_depth=args.triage_depth,
+        max_total_bytes=args.triage_bytes,
+        max_entries=args.triage_entries,
+        max_artifacts=args.triage_artifacts,
+        deadline_seconds=args.triage_deadline,
+        max_expansion_ratio=args.triage_ratio,
+    ).validate()
+
+
+def _triage_requested(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "triage", False) or
+                getattr(args, "triage_report", None))
 
 
 def _add_observe_options(parser: argparse.ArgumentParser) -> None:
@@ -157,10 +234,48 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _triage_input(args: argparse.Namespace) -> Dict[str, ClassFile]:
+    """Load class files through bounded recursive triage; stashes the
+    :class:`~repro.triage.ingest.TriageResult` on ``args`` so the
+    command can write the report and the resources jar."""
+    from .triage import classes_from_triage, triage_path
+
+    result = triage_path(Path(args.input),
+                         budget=_triage_budget(args))
+    args.triage_result = result
+    class_bytes = classes_from_triage(result)
+    with observe.current().span("parse"):
+        classes: Dict[str, ClassFile] = {}
+        for name in sorted(class_bytes):
+            classfile = parse_class(class_bytes[name])
+            classes[classfile.name] = classfile
+    return classes
+
+
+def _report_triage(args: argparse.Namespace) -> None:
+    """Print the triage summary; write the report when asked."""
+    result = getattr(args, "triage_result", None)
+    if result is None:
+        return
+    print(result.report.summary())
+    if getattr(args, "triage_report", None):
+        Path(args.triage_report).write_text(result.report.to_json())
+        print(f"triage report written to {args.triage_report}")
+    if result.resources:
+        target = Path(args.output).with_suffix(".resources.jar")
+        target.write_bytes(
+            make_jar(sorted(result.resources.items()), compress=True))
+        print(f"{len(result.resources)} non-class entries -> {target} "
+              "(deflate fallback)")
+
+
 def _prepare_input(args: argparse.Namespace) -> List[ClassFile]:
     """Load, optionally strip, and order the input class files."""
-    with observe.current().span("parse"):
-        classes = _load_classes(Path(args.input))
+    if _triage_requested(args):
+        classes = _triage_input(args)
+    else:
+        with observe.current().span("parse"):
+            classes = _load_classes(Path(args.input))
     if args.strip:
         with observe.current().span("strip"):
             classes = strip_classes(classes)
@@ -180,7 +295,24 @@ def cmd_pack(args: argparse.Namespace) -> int:
     if options.scheme == "auto":
         print(f"scheme auto -> {_scheme_label(recorded_scheme(packed))} "
               "(recorded in header)")
+    _report_triage(args)
     _report_observed(args, recorder)
+    return 0
+
+
+def cmd_triage(args: argparse.Namespace) -> int:
+    """Inspect an input through triage; print the report as JSON."""
+    from .triage import triage_path
+
+    result = triage_path(Path(args.input),
+                         budget=_triage_budget(args))
+    doc = result.report.to_json()
+    if args.output:
+        Path(args.output).write_text(doc)
+        print(result.report.summary())
+        print(f"report written to {args.output}")
+    else:
+        sys.stdout.write(doc)
     return 0
 
 
@@ -380,9 +512,23 @@ def _engine_from_args(args: argparse.Namespace):
 
 def _batch_jobs(args: argparse.Namespace, options: PackOptions):
     from .service import (job_from_path, jobs_from_directory,
-                          jobs_from_manifest)
+                          jobs_from_manifest, triage_job_from_path,
+                          triage_jobs_from_directory,
+                          triage_jobs_from_manifest)
 
     source = Path(args.input)
+    if _triage_requested(args):
+        budget = _triage_budget(args)
+        if source.is_dir():
+            return triage_jobs_from_directory(
+                source, options, strip=args.strip, eager=args.eager,
+                budget=budget)
+        if source.suffix == ".json":
+            return triage_jobs_from_manifest(
+                source, options, strip=args.strip, eager=args.eager,
+                budget=budget)
+        return [triage_job_from_path(source, options, strip=args.strip,
+                                     eager=args.eager, budget=budget)]
     if source.is_dir():
         return jobs_from_directory(source, options, strip=args.strip,
                                    eager=args.eager)
@@ -422,13 +568,29 @@ def cmd_batch(args: argparse.Namespace) -> int:
             target.parent.mkdir(parents=True, exist_ok=True)
             target.write_bytes(result.data)
             result.output = str(target)
+            if job.resources:
+                # Triage's non-class entries ride along as a plain
+                # deflate jar next to the packed artifact.
+                side = outdir / f"{result.job_id}.resources.jar"
+                side.write_bytes(make_jar(sorted(job.resources.items()),
+                                          compress=True))
         marker = {STATUS_DEGRADED: " DEGRADED",
                   STATUS_FAILED: " FAILED"}.get(result.status, "")
         cached = " (cached)" if result.cached else ""
         print(f"  {result.job_id}: {result.input_bytes} -> "
               f"{result.output_bytes} bytes in {result.attempts} "
               f"attempt(s){cached}{marker}")
+        if result.status == STATUS_FAILED and result.error:
+            print(f"    error: {result.error}")
     report = batch_report(results, elapsed, engine_stats)
+    triage_reports = {job.job_id: job.triage for job in jobs
+                      if job.triage is not None}
+    if triage_reports:
+        report["triage"] = triage_reports
+        if args.triage_report:
+            Path(args.triage_report).write_text(
+                json.dumps(triage_reports, indent=2) + "\n")
+            print(f"triage reports written to {args.triage_report}")
     totals = report["totals"]
     print(f"batch: {totals['ok']} ok, {totals['degraded']} degraded, "
           f"{totals['failed']} failed, {totals['cached']} cached "
@@ -447,7 +609,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
     service = PackService(engine, host=args.host, port=args.port,
                           verbose=args.verbose,
-                          max_body=args.max_body)
+                          max_body=args.max_body,
+                          triage=args.triage)
     host, port = service.address
     print(f"repro serve listening on http://{host}:{port} "
           f"(workers={engine.workers}, "
@@ -484,8 +647,21 @@ def build_parser() -> argparse.ArgumentParser:
     pack_parser.add_argument("--eager", action="store_true",
                              help="order for eager class loading (11)")
     _add_pack_options(pack_parser)
+    _add_triage_options(pack_parser)
     _add_observe_options(pack_parser)
     pack_parser.set_defaults(func=cmd_pack)
+
+    triage_parser = commands.add_parser(
+        "triage", help="inspect an input through bounded recursive "
+                       "triage; prints the repro.triage/1 report")
+    triage_parser.add_argument("input",
+                               help="container file, blob, or "
+                                    "directory")
+    triage_parser.add_argument("-o", "--output", default=None,
+                               help="write the report JSON here "
+                                    "instead of stdout")
+    _add_triage_options(triage_parser, mode_flag=False)
+    triage_parser.set_defaults(func=cmd_triage)
 
     unpack_parser = commands.add_parser(
         "unpack", help="decompress a packed archive to a jar")
@@ -563,6 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="order for eager class loading (11)")
     _add_service_options(batch_parser)
     _add_pack_options(batch_parser)
+    _add_triage_options(batch_parser)
     _add_observe_options(batch_parser)
     batch_parser.set_defaults(func=cmd_batch)
 
@@ -581,6 +758,9 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="{interpreted,compiled}",
                               help="default codec backend for requests "
                                    "(?backend=… overrides per request)")
+    serve_parser.add_argument("--triage", action="store_true",
+                              help="triage request bodies by default "
+                                   "(?triage=0 opts a request out)")
     _add_service_options(serve_parser)
     serve_parser.set_defaults(func=cmd_serve)
     return parser

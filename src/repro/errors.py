@@ -47,5 +47,12 @@ class JobInputError(ReproError):
     packable."""
 
 
+class TriageError(ReproError):
+    """Recursive ingestion cannot proceed: the input location is
+    unreadable, the budget is invalid, or triage found nothing
+    packable.  Malformed *content* never raises this — it degrades
+    into the TriageReport instead (see :mod:`repro.triage.ingest`)."""
+
+
 __all__ = ["CORRUPTION_ERRORS", "JobInputError", "PackError",
-           "ReproError", "UnpackError"]
+           "ReproError", "TriageError", "UnpackError"]

@@ -19,6 +19,7 @@ and verifies every digest.
 from __future__ import annotations
 
 import io
+import warnings
 import zipfile
 from typing import Dict, List, Optional, Tuple
 
@@ -26,6 +27,7 @@ from ..classfile.classfile import ClassFile
 from .manifest import (
     Manifest,
     ManifestError,
+    class_entry_name,
     sign_classfiles,
     verify_classfiles,
 )
@@ -69,7 +71,10 @@ def open_bundle(data: bytes, options=None
     """Open a bundle; returns (class files, resources, manifest).
 
     Every class file and resource is verified against the manifest;
-    tampering raises :class:`ManifestError`.
+    tampering raises :class:`ManifestError`.  A manifest entry that
+    references a file missing from the archive is surfaced as a
+    one-line :class:`UserWarning` (a torn bundle should be visible,
+    not silently accepted) without failing the open.
     """
     from ..pack import unpack_archive
 
@@ -88,4 +93,12 @@ def open_bundle(data: bytes, options=None
     verify_classfiles(manifest, classfiles)
     for name, payload in resources.items():
         manifest.verify_entry(name, payload)
+    present = {class_entry_name(c.name) for c in classfiles}
+    present.update(resources)
+    missing = sorted(set(manifest.entries) - present)
+    if missing:
+        warnings.warn(
+            f"bundle manifest references {len(missing)} file(s) "
+            f"missing from the archive: {', '.join(missing)}",
+            UserWarning, stacklevel=2)
     return classfiles, resources, manifest

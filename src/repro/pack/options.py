@@ -55,6 +55,14 @@ class PackOptions:
     #: packs leave it off, keeping their bytes identical to every
     #: pre-extension archive (and to the golden fixtures).
     record_scheme: bool = False
+    #: Fraction of the reference trace ``--scheme=auto`` scoring
+    #: replays through each candidate (1.0: the full trace).  Lower
+    #: rates cut the ~3-5x scoring overhead proportionally; the keep
+    #: mask is seeded and shared across candidates so the comparison
+    #: stays apples-to-apples and the selection stays deterministic.
+    #: Affects which scheme ``auto`` picks, never how a picked scheme
+    #: encodes.
+    auto_sample: float = 1.0
 
     def validate(self) -> "PackOptions":
         from ..errors import ReproError
@@ -68,6 +76,9 @@ class PackOptions:
             raise ReproError(
                 f"unknown codec backend {self.codec_backend!r}; "
                 f"one of {list(CODEC_BACKENDS)}")
+        if not 0.0 < self.auto_sample <= 1.0:
+            raise ReproError(
+                f"auto_sample must be in (0, 1], got {self.auto_sample}")
         return self
 
 

@@ -31,6 +31,7 @@ acceptance tests pin).
 from __future__ import annotations
 
 import dataclasses
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -63,6 +64,8 @@ class SchemeSelection:
     #: Total reference visits replayed (trace length).
     references: int = 0
     classes: int = 0
+    #: The trace fraction scoring replayed (``options.auto_sample``).
+    sample: float = 1.0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -70,6 +73,7 @@ class SchemeSelection:
             "scores": dict(self.scores),
             "references": self.references,
             "classes": self.classes,
+            "sample": self.sample,
         }
 
 
@@ -111,6 +115,25 @@ def _replay_coders(options: PackOptions, scheme: str,
     return coders
 
 
+#: Fixed seed for the sampled-scoring keep mask; XORed with the trace
+#: length so distinct archives draw distinct (but reproducible) masks.
+_SAMPLE_SEED = 0x5EED
+
+
+def _sample_trace(trace: List[codec_core.TraceEvent],
+                  rate: float) -> List[codec_core.TraceEvent]:
+    """A seeded, deterministic subsample of the reference trace.
+
+    One mask is drawn and every candidate replays the same events, so
+    sampling shifts all scores together instead of adding per-scheme
+    noise.  At least one event is always kept (a zero-length replay
+    would make every candidate score identically).
+    """
+    rng = random.Random(_SAMPLE_SEED ^ len(trace))
+    sampled = [event for event in trace if rng.random() < rate]
+    return sampled or trace[:1]
+
+
 def score_schemes(archive: ir.Archive, options: PackOptions,
                   candidates: Tuple[str, ...] = AUTO_CANDIDATES
                   ) -> Tuple[Dict[str, int], int]:
@@ -131,6 +154,9 @@ def score_schemes(archive: ir.Archive, options: PackOptions,
             seen[space].update(values)
     counts = codec_core.count_references(
         archive, options, seen=seen, trace=trace)
+    full_length = len(trace)
+    if options.auto_sample < 1.0:
+        trace = _sample_trace(trace, options.auto_sample)
     scores: Dict[str, int] = {}
     for scheme in candidates:
         coders = _replay_coders(options, scheme, counts)
@@ -145,7 +171,7 @@ def score_schemes(archive: ir.Archive, options: PackOptions,
                 streams.compressed_sizes(options.zlib_level).values())
         else:
             scores[scheme] = sum(streams.raw_sizes().values())
-    return scores, len(trace)
+    return scores, full_length
 
 
 def select_scheme(archive: ir.Archive,
@@ -173,7 +199,8 @@ def select_scheme(archive: ir.Archive,
         options=candidate_options(options, chosen),
         scores=scores,
         references=references,
-        classes=len(archive.classes))
+        classes=len(archive.classes),
+        sample=options.auto_sample)
 
 
 def resolve_options(archive: ir.Archive,

@@ -29,6 +29,7 @@ from .jobs import (
     STATUS_DEGRADED,
     STATUS_FAILED,
     STATUS_OK,
+    TRIAGE_GLOBS,
     FaultSpec,
     JobInputError,
     JobResult,
@@ -39,6 +40,9 @@ from .jobs import (
     job_from_path,
     jobs_from_directory,
     jobs_from_manifest,
+    triage_job_from_path,
+    triage_jobs_from_directory,
+    triage_jobs_from_manifest,
 )
 from .scheduler import BatchEngine, EngineStats, JobTimeout, RetryPolicy
 from .workers import WorkerInputError, pack_payload
@@ -59,6 +63,7 @@ __all__ = [
     "STATUS_DEGRADED",
     "STATUS_FAILED",
     "STATUS_OK",
+    "TRIAGE_GLOBS",
     "WorkerInputError",
     "batch_report",
     "cache_key",
@@ -70,4 +75,7 @@ __all__ = [
     "jobs_from_manifest",
     "options_from_query",
     "pack_payload",
+    "triage_job_from_path",
+    "triage_jobs_from_directory",
+    "triage_jobs_from_manifest",
 ]

@@ -14,7 +14,15 @@ Endpoints
     Body: a jar.  Query parameters select pack options
     (``?scheme=basic&context=0&transients=0&stack_state=0&gzip=0&``
     ``preload=1&strip=1&eager=1&backend=interpreted``; ``backend``
-    defaults to the server's ``--codec-backend``).  Response body:
+    defaults to the server's ``--codec-backend``).  ``?triage=1``
+    (default when the server runs with ``repro serve --triage``;
+    ``?triage=0`` opts back out) ingests the body through bounded
+    recursive triage (:mod:`repro.triage`) instead of the flat jar
+    reader — nested jars/zips, gzip blobs, and MRJARs all work, and
+    the response adds ``X-Repro-Triage-Artifacts``,
+    ``X-Repro-Triage-Truncations``, and ``X-Repro-Triage-Resources``
+    counts.  A triaged body with no class files is a 400 whose JSON
+    body carries the full ``repro.triage/1`` report.  Response body:
     the packed
     archive (or, under graceful degradation, the fallback jar) with
 
@@ -191,13 +199,47 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return None
         return self.rfile.read(length)
 
+    def _triage_classes(self, body: bytes) -> Optional[Dict[str, Any]]:
+        """Triage the request body; responds 400 (with the full
+        triage report) and returns None when nothing is packable."""
+        from ..triage import triage_bytes
+
+        result = triage_bytes(body, name="request-body")
+        if not result.classes:
+            self._respond_json(400, {
+                "error": "triage found no class files in the "
+                         "request body",
+                "triage": result.report.to_dict(),
+            })
+            return None
+        totals = result.report.totals()
+        return {
+            "classes": dict(result.classes),
+            "headers": {
+                "X-Repro-Triage-Artifacts": str(totals["artifacts"]),
+                "X-Repro-Triage-Truncations":
+                    str(totals["truncations"]),
+                "X-Repro-Triage-Resources": str(totals["resources"]),
+            },
+        }
+
     def _execute_pack(self, url, body) -> Optional[JobResult]:
         """Pack the request body through the engine; None after
         responding with an error."""
         try:
             options, strip, eager = options_from_query(
                 url.query, self.engine.codec_backend)
-            classes = classes_from_jar(body)
+            params = parse_qs(url.query)
+            triage_headers: Dict[str, str] = {}
+            if _flag(params, "triage",
+                     getattr(self.server, "triage_default", False)):
+                triaged = self._triage_classes(body)
+                if triaged is None:
+                    return None
+                classes = triaged["classes"]
+                triage_headers = triaged["headers"]
+            else:
+                classes = classes_from_jar(body)
         except (JobInputError, ValueError) as exc:
             self._respond_error(400, str(exc))
             return None
@@ -211,6 +253,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "job": result.to_dict(),
             })
             return None
+        result.triage_headers = triage_headers
         return result
 
     @staticmethod
@@ -225,6 +268,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         }
         if result.key is not None:
             headers["X-Repro-Key"] = result.key
+        headers.update(getattr(result, "triage_headers", {}))
         return headers
 
     def _handle_pack(self, url, body) -> None:
@@ -298,12 +342,14 @@ class PackService:
     def __init__(self, engine: BatchEngine,
                  host: str = "127.0.0.1", port: int = 8790,
                  verbose: bool = False,
-                 max_body: int = DEFAULT_MAX_BODY):
+                 max_body: int = DEFAULT_MAX_BODY,
+                 triage: bool = False):
         self.engine = engine
         self._server = ThreadingHTTPServer((host, port), ServiceHandler)
         self._server.engine = engine  # type: ignore[attr-defined]
         self._server.verbose = verbose  # type: ignore[attr-defined]
         self._server.max_body = max_body  # type: ignore[attr-defined]
+        self._server.triage_default = triage  # type: ignore[attr-defined]
         self._server.daemon_threads = True
         self._thread: Optional[Any] = None
 

@@ -28,11 +28,14 @@ import dataclasses
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
-from ..errors import JobInputError
+from ..errors import JobInputError, TriageError
 from ..jar.jarfile import read_jar
 from ..pack.options import PackOptions
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from ..triage import TriageBudget
 
 #: Schema tag written at the top of every batch report.
 REPORT_SCHEMA = "repro.service/1"
@@ -86,6 +89,17 @@ class PackJob:
     output: Optional[Path] = None
     #: Chaos hook; None in production.
     faults: Optional[FaultSpec] = None
+    #: Non-class entries triage routed to the deflate-fallback path
+    #: (``!``-qualified entry name -> raw bytes); None outside
+    #: ``--triage`` mode.
+    resources: Optional[Dict[str, bytes]] = None
+    #: The ``repro.triage/1`` report dict for this job's input; None
+    #: outside ``--triage`` mode.
+    triage: Optional[Dict[str, Any]] = None
+    #: Set when the input could not be loaded at all (poisoned
+    #: artifact): the engine fails this job without attempting it —
+    #: one bad input never takes down the batch.
+    load_error: Optional[str] = None
 
     @property
     def input_bytes(self) -> int:
@@ -203,6 +217,121 @@ def jobs_from_directory(directory: Path,
         raise JobInputError(f"no .jar files in {directory}")
     return [job_from_path(jar, options, strip=strip, eager=eager)
             for jar in jars]
+
+
+# -- triage ingestion ---------------------------------------------------
+
+#: Container suffixes the triage directory loader picks up (triage
+#: handles nested/compressed layouts the flat loader cannot).
+TRIAGE_GLOBS = ("*.jar", "*.zip", "*.war", "*.gz", "*.apk")
+
+
+def triage_job_from_path(path: Path,
+                         options: Optional[PackOptions] = None,
+                         job_id: Optional[str] = None,
+                         strip: bool = False,
+                         eager: bool = False,
+                         output: Optional[Path] = None,
+                         faults: Optional[FaultSpec] = None,
+                         budget: Optional["TriageBudget"] = None
+                         ) -> PackJob:
+    """A job built through bounded recursive triage.
+
+    Never raises for a poisoned *input*: unreadable paths, malformed
+    containers, and class-free blobs all come back as a job with
+    ``load_error`` set (and the triage report attached when one
+    exists), which the engine turns into a per-job ``failed`` entry.
+    """
+    from ..triage import classes_from_triage, triage_path
+
+    job_id = job_id or path.stem
+    try:
+        result = triage_path(path, budget=budget)
+    except (TriageError, OSError) as exc:
+        return PackJob(job_id=job_id, classes={},
+                       options=options or PackOptions(),
+                       strip=strip, eager=eager, output=output,
+                       faults=faults, load_error=str(exc))
+    report = result.report.to_dict()
+    try:
+        classes = classes_from_triage(result)
+    except TriageError as exc:
+        return PackJob(job_id=job_id, classes={},
+                       options=options or PackOptions(),
+                       strip=strip, eager=eager, output=output,
+                       faults=faults, resources=dict(result.resources),
+                       triage=report, load_error=str(exc))
+    return PackJob(job_id=job_id, classes=classes,
+                   options=options or PackOptions(),
+                   strip=strip, eager=eager, output=output,
+                   faults=faults, resources=dict(result.resources),
+                   triage=report)
+
+
+def triage_jobs_from_directory(directory: Path,
+                               options: Optional[PackOptions] = None,
+                               strip: bool = False,
+                               eager: bool = False,
+                               budget: Optional["TriageBudget"] = None
+                               ) -> List[PackJob]:
+    """One triaged job per container file in ``directory``."""
+    containers = sorted({member for pattern in TRIAGE_GLOBS
+                         for member in directory.glob(pattern)})
+    if not containers:
+        raise JobInputError(
+            f"no container files ({', '.join(TRIAGE_GLOBS)}) "
+            f"in {directory}")
+    return [triage_job_from_path(member, options, strip=strip,
+                                 eager=eager, budget=budget)
+            for member in containers]
+
+
+def triage_jobs_from_manifest(path: Path,
+                              base_options: Optional[PackOptions] = None,
+                              strip: bool = False,
+                              eager: bool = False,
+                              budget: Optional["TriageBudget"] = None
+                              ) -> List[PackJob]:
+    """Manifest jobs with per-entry isolation.
+
+    The manifest itself must parse (same format as
+    :func:`jobs_from_manifest`) — but an individual entry whose input
+    is missing, malformed, or class-free becomes a ``load_error`` job
+    instead of killing batch assembly.
+    """
+    base = base_options or PackOptions()
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise JobInputError(f"unreadable manifest {path}: {exc}") from exc
+    entries = doc.get("jobs")
+    if not isinstance(entries, list) or not entries:
+        raise JobInputError(f"manifest {path} has no \"jobs\" list")
+    root = path.parent
+    jobs: List[PackJob] = []
+    for index, entry in enumerate(entries):
+        job_id = entry.get("id") or \
+            f"{Path(entry.get('input', 'job')).stem}#{index}"
+        try:
+            if "input" not in entry:
+                raise JobInputError(
+                    f"manifest job #{index} has no input")
+            source = root / Path(entry["input"])
+            output = root / Path(entry["output"]) \
+                if "output" in entry else None
+            faults = FaultSpec.from_dict(entry["faults"]) \
+                if entry.get("faults") else None
+            jobs.append(triage_job_from_path(
+                source,
+                options=_options_from_manifest(entry, base),
+                job_id=job_id,
+                strip=bool(entry.get("strip", strip)),
+                eager=bool(entry.get("eager", eager)),
+                output=output, faults=faults, budget=budget))
+        except JobInputError as exc:
+            jobs.append(PackJob(job_id=job_id, classes={}, options=base,
+                                load_error=str(exc)))
+    return jobs
 
 
 #: PackOptions fields a manifest entry may override.

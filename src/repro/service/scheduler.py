@@ -259,6 +259,19 @@ class BatchEngine:
         """
         start = time.perf_counter()
         self._count("jobs")
+        if job.load_error is not None:
+            # A poisoned input (triage could not produce anything
+            # packable): fail this job only — no attempts, no
+            # fallback of nothing, no effect on its batchmates.
+            self._count("jobs.poisoned")
+            self._count("jobs.failed")
+            result = JobResult(
+                job_id=job.job_id, status=STATUS_FAILED, attempts=0,
+                input_bytes=job.input_bytes, output_bytes=0,
+                seconds=time.perf_counter() - start,
+                error=job.load_error)
+            self._observe_latency(result.seconds)
+            return result
         key = None
         if self.cache is not None:
             key = cache_key(job.classes, job.options,

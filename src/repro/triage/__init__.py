@@ -1,0 +1,103 @@
+"""Bounded recursive ingestion of real-world containers.
+
+``repro.triage`` is the front door for inputs that are *not* the flat
+jars the paper assumes: jars-of-jars, MRJARs, gzip blobs, prefixed
+archives, adversarial garbage.  It classifies blobs by magic bytes,
+enumerates nested children under explicit budgets, and accounts for
+every byte it refuses to ingest — see :mod:`repro.triage.ingest` for
+the degradation contract and ``docs/TRIAGE.md`` for the operator view.
+"""
+
+from .budget import (
+    GLOBAL_REASONS,
+    TRUNCATE_ARTIFACTS,
+    TRUNCATE_BYTES,
+    TRUNCATE_DEADLINE,
+    TRUNCATE_DEPTH,
+    TRUNCATE_ENTRIES,
+    TRUNCATE_RATIO,
+    BudgetTracker,
+    TriageBudget,
+    Truncation,
+)
+from .ingest import (
+    KIND_DIR,
+    TriageResult,
+    classes_from_triage,
+    triage_bytes,
+    triage_path,
+)
+from .magic import (
+    CLASS_MAGIC,
+    EOCD_MAGIC,
+    GZIP_MAGIC,
+    KIND_CLASS,
+    KIND_GZIP,
+    KIND_UNKNOWN,
+    KIND_ZIP,
+    KINDS,
+    ZIP_LOCAL_MAGIC,
+    detect,
+    find_eocd,
+    has_eocd,
+)
+from .report import (
+    REPORT_SCHEMA,
+    SKIP_BAD_CLASS_MAGIC,
+    SKIP_CYCLIC,
+    SKIP_DUPLICATE_ARTIFACT,
+    SKIP_DUPLICATE_CLASS,
+    SKIP_MRJAR_SHADOWED,
+    SKIP_PATH_TRAVERSAL,
+    SKIP_UNREADABLE_ENTRY,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TRUNCATED,
+    ArtifactReport,
+    EntrySkip,
+    TriageReport,
+)
+
+__all__ = [
+    "ArtifactReport",
+    "BudgetTracker",
+    "CLASS_MAGIC",
+    "EOCD_MAGIC",
+    "EntrySkip",
+    "GLOBAL_REASONS",
+    "GZIP_MAGIC",
+    "KINDS",
+    "KIND_CLASS",
+    "KIND_DIR",
+    "KIND_GZIP",
+    "KIND_UNKNOWN",
+    "KIND_ZIP",
+    "REPORT_SCHEMA",
+    "SKIP_BAD_CLASS_MAGIC",
+    "SKIP_CYCLIC",
+    "SKIP_DUPLICATE_ARTIFACT",
+    "SKIP_DUPLICATE_CLASS",
+    "SKIP_MRJAR_SHADOWED",
+    "SKIP_PATH_TRAVERSAL",
+    "SKIP_UNREADABLE_ENTRY",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TRUNCATED",
+    "TRUNCATE_ARTIFACTS",
+    "TRUNCATE_BYTES",
+    "TRUNCATE_DEADLINE",
+    "TRUNCATE_DEPTH",
+    "TRUNCATE_ENTRIES",
+    "TRUNCATE_RATIO",
+    "TriageBudget",
+    "TriageReport",
+    "TriageResult",
+    "Truncation",
+    "ZIP_LOCAL_MAGIC",
+    "classes_from_triage",
+    "detect",
+    "find_eocd",
+    "has_eocd",
+    "triage_bytes",
+    "triage_path",
+]

@@ -1,0 +1,203 @@
+"""Explicit resource budgets for recursive ingestion.
+
+Every recursion triage performs runs under a :class:`TriageBudget`:
+hard ceilings on nesting depth, total decompressed bytes, entry count,
+artifact count, wall-clock time, and per-entry expansion ratio (the
+zip-bomb guard).  The :class:`BudgetTracker` does the accounting and
+records one :class:`Truncation` per cut — *never hide when we cut* is
+the design rule: a budget that silently drops work would make a
+truncated ingest indistinguishable from a complete one.
+
+Budgets are deliberately generous by default (a normal fat jar never
+trips them) and deliberately unforgiving when tripped: once a global
+budget (bytes, entries, artifacts, deadline) is exhausted the whole
+walk stops, because everything after the trip point would be cut
+anyway and per-artifact "partial" accounting would lie about it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import TriageError
+
+#: Truncation reasons — global budget trips that stop enumeration.
+TRUNCATE_DEPTH = "max-depth"
+TRUNCATE_BYTES = "max-total-bytes"
+TRUNCATE_ENTRIES = "max-entries"
+TRUNCATE_ARTIFACTS = "max-artifacts"
+TRUNCATE_DEADLINE = "deadline"
+TRUNCATE_RATIO = "expansion-ratio"
+
+#: Budget trips that stop the *whole* walk (not just one subtree).
+GLOBAL_REASONS = (TRUNCATE_BYTES, TRUNCATE_ENTRIES,
+                  TRUNCATE_ARTIFACTS, TRUNCATE_DEADLINE)
+
+
+@dataclass(frozen=True)
+class TriageBudget:
+    """Hard ceilings for one recursive ingest.
+
+    ``max_expansion_ratio`` guards each decompression: an entry whose
+    declared inflated size exceeds ``ratio * compressed size`` (and the
+    ``ratio_floor_bytes`` floor, so tiny highly-compressible entries —
+    a 100-byte run of zeros deflates 50:1 legitimately — don't trip
+    it) is refused without being inflated.
+    """
+
+    max_depth: int = 8
+    max_total_bytes: int = 256 * 1024 * 1024
+    max_entries: int = 10_000
+    max_artifacts: int = 1_000
+    deadline_seconds: float = 30.0
+    max_expansion_ratio: float = 200.0
+    ratio_floor_bytes: int = 64 * 1024
+
+    def validate(self) -> "TriageBudget":
+        if self.max_depth < 0:
+            raise TriageError("max_depth must be >= 0")
+        for name in ("max_total_bytes", "max_entries", "max_artifacts"):
+            if getattr(self, name) <= 0:
+                raise TriageError(f"{name} must be positive")
+        if self.deadline_seconds <= 0:
+            raise TriageError("deadline_seconds must be positive")
+        if self.max_expansion_ratio <= 1:
+            raise TriageError("max_expansion_ratio must exceed 1")
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_depth": self.max_depth,
+            "max_total_bytes": self.max_total_bytes,
+            "max_entries": self.max_entries,
+            "max_artifacts": self.max_artifacts,
+            "deadline_seconds": self.deadline_seconds,
+            "max_expansion_ratio": self.max_expansion_ratio,
+            "ratio_floor_bytes": self.ratio_floor_bytes,
+        }
+
+
+@dataclass
+class Truncation:
+    """One explicit budget cut: where, why, and what was skipped."""
+
+    path: str
+    reason: str
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        doc = {"path": self.path, "reason": self.reason}
+        if self.detail:
+            doc["detail"] = self.detail
+        return doc
+
+
+@dataclass
+class BudgetTracker:
+    """Mutable accounting against one :class:`TriageBudget`.
+
+    ``clock`` is injectable so deadline behavior is testable without
+    real sleeps.
+    """
+
+    budget: TriageBudget
+    clock: Callable[[], float] = time.monotonic
+    total_bytes: int = 0
+    entries: int = 0
+    artifacts: int = 0
+    truncations: List[Truncation] = field(default_factory=list)
+    #: Set to the tripping reason once a global budget is exhausted;
+    #: the walker stops expanding anything new after that.
+    exhausted: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self._start = self.clock()
+
+    def elapsed(self) -> float:
+        return self.clock() - self._start
+
+    def truncate(self, path: str, reason: str, detail: str = "") -> None:
+        """Record one cut; global reasons also stop the walk."""
+        self.truncations.append(Truncation(path, reason, detail))
+        if reason in GLOBAL_REASONS and self.exhausted is None:
+            self.exhausted = reason
+
+    # -- per-check guards ------------------------------------------------
+
+    def check_deadline(self, path: str) -> bool:
+        """True while time remains; records the trip once."""
+        if self.exhausted == TRUNCATE_DEADLINE:
+            return False
+        if self.elapsed() >= self.budget.deadline_seconds:
+            self.truncate(path, TRUNCATE_DEADLINE,
+                          f"deadline of {self.budget.deadline_seconds}s "
+                          f"reached after {self.elapsed():.2f}s")
+            return False
+        return True
+
+    def admit_artifact(self, path: str) -> bool:
+        if self.exhausted is not None:
+            return False
+        if self.artifacts >= self.budget.max_artifacts:
+            self.truncate(path, TRUNCATE_ARTIFACTS,
+                          f"artifact limit of "
+                          f"{self.budget.max_artifacts} reached")
+            return False
+        self.artifacts += 1
+        return True
+
+    def admit_entry(self, path: str) -> bool:
+        if self.exhausted is not None:
+            return False
+        if self.entries >= self.budget.max_entries:
+            self.truncate(path, TRUNCATE_ENTRIES,
+                          f"entry limit of {self.budget.max_entries} "
+                          "reached")
+            return False
+        self.entries += 1
+        return True
+
+    def admit_bytes(self, path: str, nbytes: int) -> bool:
+        """Charge ``nbytes`` of decompressed payload, or refuse."""
+        if self.exhausted is not None:
+            return False
+        if self.total_bytes + nbytes > self.budget.max_total_bytes:
+            self.truncate(
+                path, TRUNCATE_BYTES,
+                f"{nbytes} more bytes would exceed the "
+                f"{self.budget.max_total_bytes}-byte total budget "
+                f"({self.total_bytes} already ingested)")
+            return False
+        self.total_bytes += nbytes
+        return True
+
+    def ratio_allows(self, path: str, inflated: int,
+                     compressed: int) -> bool:
+        """The zip-bomb guard: refuse suspicious expansion ratios."""
+        if inflated <= self.budget.ratio_floor_bytes:
+            return True
+        ratio = inflated / max(compressed, 1)
+        if ratio > self.budget.max_expansion_ratio:
+            self.truncate(
+                path, TRUNCATE_RATIO,
+                f"{compressed} compressed bytes declare {inflated} "
+                f"inflated ({ratio:.0f}x > "
+                f"{self.budget.max_expansion_ratio:.0f}x limit)")
+            return False
+        return True
+
+
+__all__ = [
+    "BudgetTracker",
+    "GLOBAL_REASONS",
+    "TRUNCATE_ARTIFACTS",
+    "TRUNCATE_BYTES",
+    "TRUNCATE_DEADLINE",
+    "TRUNCATE_DEPTH",
+    "TRUNCATE_ENTRIES",
+    "TRUNCATE_RATIO",
+    "TriageBudget",
+    "Truncation",
+]

@@ -1,0 +1,473 @@
+"""Bounded recursive ingestion of real-world containers.
+
+The walker takes an arbitrary blob — a flat jar, a jar-of-jars, an
+MRJAR, a gzip of a zip of a jar, an executable with a zip stapled to
+its tail, or adversarial garbage — and produces a
+:class:`TriageResult`:
+
+* ``classes``    — every class file found anywhere in the nesting,
+  keyed by canonical entry name (MRJAR version prefixes resolved,
+  duplicates deduplicated first-wins): the input to the normal pack
+  pipeline;
+* ``resources``  — every non-class entry, keyed by its ``!``-qualified
+  path: the input to the deflate-fallback path
+  (:func:`repro.jar.jarfile.make_jar`);
+* ``report``     — the full :class:`~repro.triage.report.TriageReport`
+  audit: every artifact visited, every skip, every budget truncation.
+
+Degradation contract: **malformed input never raises out of the
+walk**.  A corrupt nested container becomes an ``error`` artifact in
+the report (its bytes routed to resources so nothing is lost); only
+the *caller* decides whether zero usable classes is fatal
+(:func:`classes_from_triage` raises :class:`TriageError` for pipeline
+front doors that need classes).
+
+Safety rules, all explicit in the report when applied:
+
+* entry names that escape the root (``../``, absolute paths, drive
+  letters) are rejected — path traversal;
+* a child whose bytes digest-match an ancestor is a cycle and is not
+  recursed;
+* a child digest-matching any previously walked artifact is a
+  duplicate and is not walked twice;
+* every decompression is charged against the byte budget *before* it
+  happens, and suspicious expansion ratios are refused unexpanded
+  (the zip-bomb guard).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import re
+import zipfile
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from .. import observe
+from ..errors import TriageError
+from .budget import TRUNCATE_DEPTH, BudgetTracker, TriageBudget
+from .magic import (
+    CLASS_MAGIC,
+    KIND_CLASS,
+    KIND_GZIP,
+    KIND_UNKNOWN,
+    KIND_ZIP,
+    detect,
+)
+from .report import (
+    SKIP_BAD_CLASS_MAGIC,
+    SKIP_CYCLIC,
+    SKIP_DUPLICATE_ARTIFACT,
+    SKIP_DUPLICATE_CLASS,
+    SKIP_MRJAR_SHADOWED,
+    SKIP_PATH_TRAVERSAL,
+    SKIP_UNREADABLE_ENTRY,
+    STATUS_ERROR,
+    STATUS_TRUNCATED,
+    ArtifactReport,
+    TriageReport,
+)
+
+#: Synthetic artifact kind for a directory root.
+KIND_DIR = "dir"
+
+#: MRJAR layer prefix: ``META-INF/versions/<N>/<real entry name>``.
+_MRJAR_LAYER = re.compile(r"^META-INF/versions/(\d+)/(.+)$")
+
+#: Base (unversioned) entries sort below every MRJAR layer.
+_BASE_VERSION = 0
+
+
+@dataclass
+class TriageResult:
+    """What one recursive ingest produced."""
+
+    report: TriageReport
+    #: canonical class entry name -> class-file bytes.
+    classes: Dict[str, bytes] = field(default_factory=dict)
+    #: ``!``-qualified entry path -> raw bytes (deflate-fallback input).
+    resources: Dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing was cut, skipped, or errored."""
+        totals = self.report.totals()
+        return not (totals["errors"] or totals["skips"]
+                    or totals["truncations"])
+
+
+def _unsafe_name(name: str) -> Optional[str]:
+    """Why an entry name must be rejected, or None when it is safe."""
+    if not name:
+        return "empty name"
+    if name.startswith(("/", "\\")):
+        return "absolute path"
+    if re.match(r"^[A-Za-z]:", name):
+        return "drive-letter path"
+    normalized = name.replace("\\", "/")
+    if any(part == ".." for part in normalized.split("/")):
+        return "parent-directory traversal"
+    if "\x00" in name:
+        return "NUL byte in name"
+    return None
+
+
+class _Walker:
+    """One recursive ingest; see the module docstring for the rules."""
+
+    def __init__(self, root: str, budget: TriageBudget,
+                 tracker: Optional[BudgetTracker] = None):
+        self.root = root
+        self.budget = budget
+        self.tracker = tracker or BudgetTracker(budget)
+        self.report = TriageReport(root=root, budget=budget,
+                                   truncations=self.tracker.truncations)
+        self.classes: Dict[str, bytes] = {}
+        self.resources: Dict[str, bytes] = {}
+        #: canonical class name -> (MRJAR version, source path).
+        self._class_sources: Dict[str, Tuple[int, str]] = {}
+        #: digest of every artifact walked -> its path (dedup).
+        self._seen: Dict[str, str] = {}
+        self._metrics = observe.current().metrics
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.count(f"triage.{name}", n)
+
+    def _relative(self, path: str) -> str:
+        prefix = self.root + "!"
+        return path[len(prefix):] if path.startswith(prefix) else path
+
+    def _add_resource(self, path: str, data: bytes,
+                      artifact: ArtifactReport) -> None:
+        self.resources[self._relative(path)] = data
+        artifact.resources += 1
+
+    def _add_class(self, canonical: str, version: int, data: bytes,
+                   entry: str, path: str,
+                   artifact: ArtifactReport) -> None:
+        held = self._class_sources.get(canonical)
+        if held is not None:
+            held_version, held_path = held
+            if held_path != artifact.path or version <= held_version:
+                # Same artifact: lower/equal MRJAR layer is shadowed.
+                # Different artifact: first occurrence wins.
+                reason = SKIP_MRJAR_SHADOWED \
+                    if held_path == artifact.path \
+                    else SKIP_DUPLICATE_CLASS
+                artifact.skip(entry, reason,
+                              f"kept the copy from {held_path} "
+                              f"(version {held_version})")
+                self._count("skips")
+                return
+            # Higher MRJAR layer replaces the copy already held from
+            # this artifact; the replaced layer becomes the skip.
+            shadowed = canonical if held_version == 0 else \
+                f"META-INF/versions/{held_version}/{canonical}"
+            artifact.skip(shadowed, SKIP_MRJAR_SHADOWED,
+                          f"replaced by the version-{version} layer")
+            self._count("skips")
+            artifact.classes -= 1
+        self._class_sources[canonical] = (version, artifact.path)
+        self.classes[canonical] = data
+        artifact.classes += 1
+
+    # -- the walk --------------------------------------------------------
+
+    def walk(self, data: bytes, path: str, depth: int = 0,
+             ancestors: Tuple[str, ...] = ()) -> None:
+        if not self.tracker.admit_artifact(path):
+            return
+        artifact = ArtifactReport(path=path, kind=detect(data),
+                                  depth=depth, bytes=len(data))
+        self.report.artifacts.append(artifact)
+        self._count("artifacts")
+        if self._metrics is not None:
+            self._metrics.observe("triage.depth", depth)
+        if not self.tracker.check_deadline(path):
+            artifact.status = STATUS_TRUNCATED
+            self._count("truncations")
+            return
+        digest = hashlib.sha256(data).hexdigest()
+        self._seen.setdefault(digest, path)
+        if artifact.kind == KIND_CLASS:
+            canonical = path.rsplit("!", 1)[-1]
+            self._add_class(canonical, _BASE_VERSION, data,
+                            canonical, path, artifact)
+        elif artifact.kind == KIND_ZIP:
+            self._walk_zip(data, path, depth, ancestors + (digest,),
+                           artifact)
+        elif artifact.kind == KIND_GZIP:
+            self._walk_gzip(data, path, depth, ancestors + (digest,),
+                            artifact)
+        else:
+            # Unknown blob: never dropped — route to deflate fallback.
+            self._add_resource(path, data, artifact)
+
+    def _child(self, data: bytes, entry: str, path: str, depth: int,
+               ancestors: Tuple[str, ...],
+               artifact: ArtifactReport) -> None:
+        """Recurse into one nested container entry (cycle, duplicate,
+        and depth guards applied here)."""
+        child_path = f"{path}!{entry}"
+        digest = hashlib.sha256(data).hexdigest()
+        if digest in ancestors:
+            artifact.skip(entry, SKIP_CYCLIC,
+                          "child is byte-identical to an enclosing "
+                          "artifact; not recursing")
+            self._count("skips")
+            return
+        seen_at = self._seen.get(digest)
+        if seen_at is not None:
+            artifact.skip(entry, SKIP_DUPLICATE_ARTIFACT,
+                          f"same bytes already ingested at {seen_at}")
+            self._count("skips")
+            return
+        if depth + 1 > self.budget.max_depth:
+            self.tracker.truncate(
+                child_path, TRUNCATE_DEPTH,
+                f"nesting depth {depth + 1} exceeds the "
+                f"{self.budget.max_depth} limit; kept as a resource")
+            self._count("truncations")
+            self._add_resource(child_path, data, artifact)
+            return
+        artifact.children += 1
+        self.walk(data, child_path, depth + 1, ancestors)
+
+    def _walk_zip(self, data: bytes, path: str, depth: int,
+                  ancestors: Tuple[str, ...],
+                  artifact: ArtifactReport) -> None:
+        try:
+            archive = zipfile.ZipFile(io.BytesIO(data))
+            infos = archive.infolist()
+        except Exception as exc:  # BadZipFile, truncated EOCD, ...
+            artifact.status = STATUS_ERROR
+            artifact.error = f"unreadable zip: {exc}"
+            self._count("errors")
+            return
+        versions = set()
+        with archive:
+            for index, info in enumerate(infos):
+                if info.is_dir():
+                    continue
+                if not self.tracker.check_deadline(path) or \
+                        self.tracker.exhausted is not None:
+                    artifact.status = STATUS_TRUNCATED
+                    self._count("truncations")
+                    break
+                if not self.tracker.admit_entry(path):
+                    artifact.status = STATUS_TRUNCATED
+                    self.tracker.truncations[-1].detail += (
+                        f"; stopped before entry {index + 1} of "
+                        f"{len(infos)} in {path}")
+                    self._count("truncations")
+                    break
+                artifact.entries += 1
+                name = info.filename
+                reason = _unsafe_name(name)
+                if reason is not None:
+                    artifact.skip(name, SKIP_PATH_TRAVERSAL, reason)
+                    self._count("skips")
+                    continue
+                if not self.tracker.ratio_allows(
+                        f"{path}!{name}", info.file_size,
+                        info.compress_size):
+                    artifact.status = STATUS_TRUNCATED
+                    self._count("truncations")
+                    continue
+                if not self.tracker.admit_bytes(f"{path}!{name}",
+                                                info.file_size):
+                    artifact.status = STATUS_TRUNCATED
+                    self._count("truncations")
+                    break
+                try:
+                    payload = archive.read(name)
+                except Exception as exc:  # bad CRC, bogus header, ...
+                    artifact.skip(name, SKIP_UNREADABLE_ENTRY,
+                                  str(exc))
+                    self._count("skips")
+                    continue
+                self._entry(payload, name, path, depth, ancestors,
+                            artifact, versions)
+        if versions:
+            artifact.mrjar_versions = sorted(versions)
+
+    def _entry(self, payload: bytes, name: str, path: str, depth: int,
+               ancestors: Tuple[str, ...], artifact: ArtifactReport,
+               versions: set) -> None:
+        """Classify one extracted zip entry and route it."""
+        canonical, version = name, _BASE_VERSION
+        layer = _MRJAR_LAYER.match(name)
+        if layer is not None:
+            version = int(layer.group(1))
+            canonical = layer.group(2)
+            versions.add(version)
+        if canonical.endswith(".class"):
+            if payload.startswith(CLASS_MAGIC):
+                self._add_class(canonical, version, payload, name,
+                                path, artifact)
+            else:
+                # A .class entry without the magic is not a class
+                # file; say so and keep the bytes as a resource.
+                artifact.skip(name, SKIP_BAD_CLASS_MAGIC,
+                              f"first bytes {payload[:4]!r} are not "
+                              "0xCAFEBABE; kept as a resource")
+                self._count("skips")
+                self._add_resource(f"{path}!{name}", payload, artifact)
+        elif detect(payload) in (KIND_ZIP, KIND_GZIP):
+            self._child(payload, name, path, depth, ancestors,
+                        artifact)
+        elif payload.startswith(CLASS_MAGIC):
+            # A class file under a non-.class name: magic wins.
+            self._add_class(canonical, version, payload, name, path,
+                            artifact)
+        else:
+            self._add_resource(f"{path}!{name}", payload, artifact)
+
+    def _walk_gzip(self, data: bytes, path: str, depth: int,
+                   ancestors: Tuple[str, ...],
+                   artifact: ArtifactReport) -> None:
+        budget = self.budget
+        remaining = budget.max_total_bytes - self.tracker.total_bytes
+        ratio_cap = int(max(len(data), 1) * budget.max_expansion_ratio)
+        if ratio_cap <= budget.ratio_floor_bytes:
+            ratio_cap = budget.ratio_floor_bytes
+        cap = min(remaining, ratio_cap)
+        inflater = zlib.decompressobj(16 + zlib.MAX_WBITS)
+        try:
+            inflated = inflater.decompress(data, cap + 1)
+        except zlib.error as exc:
+            artifact.status = STATUS_ERROR
+            artifact.error = f"unreadable gzip: {exc}"
+            self._count("errors")
+            return
+        if len(inflated) > cap or inflater.unconsumed_tail:
+            reason_path = f"{path}!<gunzip>"
+            if cap == ratio_cap and ratio_cap < remaining:
+                self.tracker.ratio_allows(reason_path, len(inflated),
+                                          len(data))
+            else:
+                self.tracker.admit_bytes(reason_path, len(inflated))
+            artifact.status = STATUS_TRUNCATED
+            self._count("truncations")
+            return
+        if not inflater.eof:
+            artifact.status = STATUS_ERROR
+            artifact.error = "truncated gzip stream"
+            self._count("errors")
+            return
+        if not self.tracker.admit_bytes(f"{path}!<gunzip>",
+                                        len(inflated)):
+            artifact.status = STATUS_TRUNCATED
+            self._count("truncations")
+            return
+        artifact.entries += 1
+        self._child(inflated, "<gunzip>", path, depth, ancestors,
+                    artifact)
+
+    def finish(self) -> TriageResult:
+        self.report.seconds = self.tracker.elapsed()
+        return TriageResult(report=self.report, classes=self.classes,
+                            resources=self.resources)
+
+
+def triage_bytes(data: bytes, name: str = "<input>",
+                 budget: Optional[TriageBudget] = None) -> TriageResult:
+    """Recursively ingest one blob under explicit budgets.
+
+    Never raises on malformed input — the report carries errors,
+    skips, and truncations instead.
+    """
+    budget = (budget or TriageBudget()).validate()
+    walker = _Walker(name, budget)
+    with observe.current().span("triage", root=name):
+        walker.walk(data, name)
+    return walker.finish()
+
+
+def triage_path(path: Path,
+                budget: Optional[TriageBudget] = None) -> TriageResult:
+    """Recursively ingest a file or a directory tree.
+
+    A directory becomes a synthetic ``dir`` root artifact whose
+    children are every regular file under it (sorted, so the walk is
+    deterministic).  Unreadable paths raise :class:`TriageError` —
+    the input *location* must exist; its *contents* may be arbitrary.
+    """
+    budget = (budget or TriageBudget()).validate()
+    path = Path(path)
+    if not path.exists():
+        raise TriageError(f"no such input: {path}")
+    if path.is_dir():
+        walker = _Walker(path.name or str(path), budget)
+        root = ArtifactReport(path=walker.root, kind=KIND_DIR,
+                              depth=0, bytes=0)
+        walker.report.artifacts.append(root)
+        walker.tracker.admit_artifact(walker.root)
+        with observe.current().span("triage", root=walker.root):
+            for member in sorted(path.rglob("*")):
+                if not member.is_file():
+                    continue
+                if not walker.tracker.check_deadline(walker.root) or \
+                        walker.tracker.exhausted is not None:
+                    root.status = STATUS_TRUNCATED
+                    break
+                relative = member.relative_to(path).as_posix()
+                if not walker.tracker.admit_entry(walker.root):
+                    root.status = STATUS_TRUNCATED
+                    break
+                root.entries += 1
+                try:
+                    data = member.read_bytes()
+                except OSError as exc:
+                    root.skip(relative, SKIP_UNREADABLE_ENTRY,
+                              str(exc))
+                    continue
+                if not walker.tracker.admit_bytes(
+                        f"{walker.root}!{relative}", len(data)):
+                    root.status = STATUS_TRUNCATED
+                    break
+                root.children += 1
+                walker.walk(data, f"{walker.root}!{relative}",
+                            depth=1)
+        return walker.finish()
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise TriageError(f"unreadable input {path}: {exc}") from exc
+    return triage_bytes(data, name=path.name, budget=budget)
+
+
+def classes_from_triage(result: TriageResult) -> Dict[str, bytes]:
+    """The packable classes of a triage, or :class:`TriageError`.
+
+    Front doors that exist to *pack* (``repro pack --triage``, the
+    service) call this: zero classes means the input — whatever it
+    was — has nothing for the pipeline, and the error carries the
+    report's own accounting of why.
+    """
+    if not result.classes:
+        totals = result.report.totals()
+        detail = result.report.summary()
+        errors = result.report.errors
+        if errors:
+            detail += f"; first error: {errors[0].path}: " \
+                      f"{errors[0].error}"
+        raise TriageError(
+            f"triage found no class files in {result.report.root} "
+            f"({totals['artifacts']} artifact(s) examined) — {detail}")
+    return dict(result.classes)
+
+
+__all__ = [
+    "KIND_DIR",
+    "TriageResult",
+    "classes_from_triage",
+    "triage_bytes",
+    "triage_path",
+]

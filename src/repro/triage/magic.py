@@ -1,0 +1,102 @@
+"""Magic-byte detection for real-world ingestion.
+
+Real traffic is not flat jars of class files: it is jars-of-jars,
+MRJARs, gzip blobs, self-extracting archives with executable prefixes,
+and plain garbage.  The first triage decision — *what is this blob?* —
+is made here, from leading magic bytes plus a bounded end-of-central-
+directory (EOCD) scan for zips whose local-header magic is hidden
+behind a prefix.
+
+Detection never raises: any input maps to exactly one of the
+:data:`KINDS`.  ``unknown`` is a first-class answer, not an error —
+unknown blobs route to the deflate-fallback path, they are never
+silently dropped (see :mod:`repro.triage.ingest`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: ``0xCAFEBABE``, big-endian — a bare class file (JVMS §4.1).
+CLASS_MAGIC = b"\xca\xfe\xba\xbe"
+
+#: gzip member header (RFC 1952 §2.3.1).
+GZIP_MAGIC = b"\x1f\x8b"
+
+#: Zip local-file-header magic; jars, MRJARs, wars, zipapps all start
+#: here.
+ZIP_LOCAL_MAGIC = b"PK\x03\x04"
+
+#: End-of-central-directory magic; a zip with no entries starts with
+#: this directly, and every readable zip ends with one.
+EOCD_MAGIC = b"PK\x05\x06"
+
+#: The fixed portion of an EOCD record.
+EOCD_SIZE = 22
+
+#: Max bytes scanned backwards for the EOCD: the fixed record plus the
+#: largest possible trailing comment (a 16-bit length field).
+EOCD_SCAN_LIMIT = EOCD_SIZE + 0xFFFF
+
+KIND_CLASS = "class"
+KIND_ZIP = "zip"
+KIND_GZIP = "gzip"
+KIND_UNKNOWN = "unknown"
+
+#: Every answer :func:`detect` can give.
+KINDS = (KIND_CLASS, KIND_ZIP, KIND_GZIP, KIND_UNKNOWN)
+
+
+def find_eocd(data: bytes) -> Optional[int]:
+    """Offset of the EOCD record, scanning backwards from the tail.
+
+    Returns ``None`` when no EOCD exists in the final
+    :data:`EOCD_SCAN_LIMIT` bytes — the truncated-zip signature.
+    """
+    if len(data) < EOCD_SIZE:
+        return None
+    floor = max(0, len(data) - EOCD_SCAN_LIMIT)
+    offset = data.rfind(EOCD_MAGIC, floor)
+    return offset if offset >= 0 else None
+
+
+def has_eocd(data: bytes) -> bool:
+    return find_eocd(data) is not None
+
+
+def detect(data: bytes) -> str:
+    """Classify a blob by magic bytes; one of :data:`KINDS`.
+
+    A blob whose head is not a known magic but whose tail carries an
+    EOCD record is still a zip (prefixed archives — self-extracting
+    jars, installers); a blob that *starts* like a zip but has no EOCD
+    stays ``zip`` so the reader can report the truncation precisely
+    instead of detection papering over it.
+    """
+    if data.startswith(CLASS_MAGIC):
+        return KIND_CLASS
+    if data.startswith((ZIP_LOCAL_MAGIC, EOCD_MAGIC)):
+        return KIND_ZIP
+    if data.startswith(GZIP_MAGIC):
+        return KIND_GZIP
+    if has_eocd(data):
+        return KIND_ZIP
+    return KIND_UNKNOWN
+
+
+__all__ = [
+    "CLASS_MAGIC",
+    "EOCD_MAGIC",
+    "EOCD_SCAN_LIMIT",
+    "EOCD_SIZE",
+    "GZIP_MAGIC",
+    "KINDS",
+    "KIND_CLASS",
+    "KIND_GZIP",
+    "KIND_UNKNOWN",
+    "KIND_ZIP",
+    "ZIP_LOCAL_MAGIC",
+    "detect",
+    "find_eocd",
+    "has_eocd",
+]

@@ -1,0 +1,184 @@
+"""Per-artifact triage reports (schema ``repro.triage/1``).
+
+A :class:`TriageReport` is the full audit trail of one recursive
+ingest: one :class:`ArtifactReport` per container/blob visited (in
+deterministic walk order), every per-entry skip with its reason, and
+every budget :class:`~repro.triage.budget.Truncation`.  The invariant
+callers rely on::
+
+    classes + resources + skips + truncation cuts == everything seen
+
+No entry is ever dropped without a line in the report saying what was
+dropped and why — the report is how a bounded ingest stays honest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .budget import TriageBudget, Truncation
+
+#: Schema tag written at the top of every triage report.
+REPORT_SCHEMA = "repro.triage/1"
+
+#: Artifact terminal states.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TRUNCATED = "truncated"
+
+#: Per-entry skip reasons (policy rejections, not budget cuts).
+SKIP_PATH_TRAVERSAL = "path-traversal"
+SKIP_CYCLIC = "cyclic"
+SKIP_DUPLICATE_ARTIFACT = "duplicate-artifact"
+SKIP_DUPLICATE_CLASS = "duplicate-class-entry"
+SKIP_MRJAR_SHADOWED = "mrjar-shadowed"
+SKIP_BAD_CLASS_MAGIC = "bad-class-magic"
+SKIP_UNREADABLE_ENTRY = "unreadable-entry"
+
+
+@dataclass
+class EntrySkip:
+    """One entry deliberately not ingested, and why."""
+
+    entry: str
+    reason: str
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        doc = {"entry": self.entry, "reason": self.reason}
+        if self.detail:
+            doc["detail"] = self.detail
+        return doc
+
+
+@dataclass
+class ArtifactReport:
+    """What triage saw inside one artifact.
+
+    ``path`` is the nesting chain, ``!``-separated
+    (``app.jar!lib/inner.jar!deep.zip``) — the same convention JVM
+    jar-URLs use, so operators can read it at a glance.
+    """
+
+    path: str
+    kind: str
+    depth: int
+    bytes: int
+    status: str = STATUS_OK
+    error: Optional[str] = None
+    entries: int = 0
+    classes: int = 0
+    resources: int = 0
+    children: int = 0
+    #: MRJAR ``META-INF/versions/<N>/`` layers seen in this artifact.
+    mrjar_versions: List[int] = field(default_factory=list)
+    skips: List[EntrySkip] = field(default_factory=list)
+
+    def skip(self, entry: str, reason: str, detail: str = "") -> None:
+        self.skips.append(EntrySkip(entry, reason, detail))
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "path": self.path,
+            "kind": self.kind,
+            "depth": self.depth,
+            "bytes": self.bytes,
+            "status": self.status,
+            "entries": self.entries,
+            "classes": self.classes,
+            "resources": self.resources,
+            "children": self.children,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.mrjar_versions:
+            doc["mrjar_versions"] = sorted(self.mrjar_versions)
+        if self.skips:
+            doc["skips"] = [skip.to_dict() for skip in self.skips]
+        return doc
+
+
+@dataclass
+class TriageReport:
+    """The complete audit of one recursive ingest."""
+
+    root: str
+    budget: TriageBudget
+    artifacts: List[ArtifactReport] = field(default_factory=list)
+    truncations: List[Truncation] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def truncated(self) -> bool:
+        return bool(self.truncations)
+
+    @property
+    def errors(self) -> List[ArtifactReport]:
+        return [a for a in self.artifacts if a.status == STATUS_ERROR]
+
+    @property
+    def max_depth_seen(self) -> int:
+        return max((a.depth for a in self.artifacts), default=0)
+
+    def totals(self) -> Dict[str, Any]:
+        return {
+            "artifacts": len(self.artifacts),
+            "classes": sum(a.classes for a in self.artifacts),
+            "resources": sum(a.resources for a in self.artifacts),
+            "entries": sum(a.entries for a in self.artifacts),
+            "bytes": sum(a.bytes for a in self.artifacts),
+            "errors": len(self.errors),
+            "skips": sum(len(a.skips) for a in self.artifacts),
+            "truncations": len(self.truncations),
+            "max_depth": self.max_depth_seen,
+            "seconds": round(self.seconds, 6),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "root": self.root,
+            "budget": self.budget.to_dict(),
+            "totals": self.totals(),
+            "artifacts": [a.to_dict() for a in self.artifacts],
+            "truncations": [t.to_dict() for t in self.truncations],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    def summary(self) -> str:
+        """The one-line operator summary the CLI prints."""
+        totals = self.totals()
+        parts = [f"{totals['artifacts']} artifact(s)",
+                 f"{totals['classes']} class(es)",
+                 f"{totals['resources']} resource(s)"]
+        if totals["errors"]:
+            parts.append(f"{totals['errors']} error(s)")
+        if totals["skips"]:
+            parts.append(f"{totals['skips']} skip(s)")
+        if totals["truncations"]:
+            parts.append(f"{totals['truncations']} truncation(s)")
+        return f"triage: {', '.join(parts)} " \
+               f"(depth {totals['max_depth']}, " \
+               f"{totals['bytes']} bytes)"
+
+
+__all__ = [
+    "ArtifactReport",
+    "EntrySkip",
+    "REPORT_SCHEMA",
+    "SKIP_BAD_CLASS_MAGIC",
+    "SKIP_CYCLIC",
+    "SKIP_DUPLICATE_ARTIFACT",
+    "SKIP_DUPLICATE_CLASS",
+    "SKIP_MRJAR_SHADOWED",
+    "SKIP_PATH_TRAVERSAL",
+    "SKIP_UNREADABLE_ENTRY",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TRUNCATED",
+    "TriageReport",
+]

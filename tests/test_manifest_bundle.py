@@ -133,3 +133,33 @@ class TestBundle:
         plain_jar = make_jar([("a.txt", b"hello")])
         with pytest.raises(ManifestError):
             open_bundle(plain_jar)
+
+    def test_missing_manifest_entry_warns(self):
+        """A manifest entry whose file is absent from the archive is a
+        one-line warning, not a silent skip (and not a failure)."""
+        import io
+        import zipfile
+
+        originals = ordered_values(compile_shapes())
+        bundle = make_bundle(originals, dict(self.RESOURCES))
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(io.BytesIO(bundle)) as source, \
+                zipfile.ZipFile(buffer, "w") as target:
+            for info in source.infolist():
+                if info.filename == "images/logo.png":
+                    continue  # drop the file; keep its manifest line
+                target.writestr(info, source.read(info.filename))
+        with pytest.warns(UserWarning,
+                          match=r"images/logo\.png"):
+            classfiles, resources, _ = open_bundle(buffer.getvalue())
+        assert len(classfiles) == len(originals)
+        assert "images/logo.png" not in resources
+
+    def test_intact_bundle_does_not_warn(self):
+        import warnings
+
+        originals = ordered_values(compile_shapes())
+        bundle = make_bundle(originals, dict(self.RESOURCES))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            open_bundle(bundle)

@@ -1,0 +1,495 @@
+"""Tests for ``repro.triage``: bounded recursive ingestion.
+
+Three layers:
+
+* **detection** — magic bytes, EOCD scanning, prefixed archives;
+* **degradation** — every adversarial fixture (zip bomb, cyclic
+  nesting, truncated EOCD, path traversal, garbage magic,
+  gzip-of-zip-of-jar) produces a clean ``TriageReport`` with explicit
+  truncation/skip accounting: no crash, no silent drop;
+* **isolation** — a poisoned artifact inside a ``repro batch``
+  manifest fails only its own entry; the rest of the batch packs
+  byte-identically to a run without it.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import zipfile
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro import observe
+from repro.errors import ReproError, TriageError
+from repro.jar.jarfile import make_jar
+from repro.service import (
+    STATUS_FAILED,
+    STATUS_OK,
+    BatchEngine,
+    triage_job_from_path,
+    triage_jobs_from_manifest,
+)
+from repro.triage import (
+    CLASS_MAGIC,
+    KIND_CLASS,
+    KIND_GZIP,
+    KIND_UNKNOWN,
+    KIND_ZIP,
+    SKIP_BAD_CLASS_MAGIC,
+    SKIP_CYCLIC,
+    SKIP_DUPLICATE_ARTIFACT,
+    SKIP_MRJAR_SHADOWED,
+    SKIP_PATH_TRAVERSAL,
+    STATUS_ERROR,
+    STATUS_TRUNCATED,
+    TRUNCATE_BYTES,
+    TRUNCATE_DEADLINE,
+    TRUNCATE_DEPTH,
+    TRUNCATE_ENTRIES,
+    TRUNCATE_RATIO,
+    BudgetTracker,
+    TriageBudget,
+    detect,
+    find_eocd,
+    triage_bytes,
+    triage_path,
+)
+from repro.triage.ingest import _Walker
+
+#: A minimal blob that passes the class-magic check.
+FAKE_CLASS = CLASS_MAGIC + b"\x00\x00\x00\x34" + b"\x00" * 16
+
+
+def class_jar(*names: str) -> bytes:
+    """A deflate jar of fake class files (distinct bodies per name)."""
+    return make_jar([(name, FAKE_CLASS + name.encode())
+                     for name in names], compress=True)
+
+
+def raw_zip(entries) -> bytes:
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
+        for name, data in entries:
+            archive.writestr(name, data)
+    return buffer.getvalue()
+
+
+class TestDetection:
+    def test_class_magic(self):
+        assert detect(FAKE_CLASS) == KIND_CLASS
+
+    def test_zip_magic(self):
+        assert detect(class_jar("A.class")) == KIND_ZIP
+
+    def test_empty_zip_is_zip(self):
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w"):
+            pass
+        assert detect(buffer.getvalue()) == KIND_ZIP
+
+    def test_gzip_magic(self):
+        assert detect(gzip.compress(b"data")) == KIND_GZIP
+
+    def test_garbage_is_unknown(self):
+        assert detect(b"\x00\x01\x02\x03 garbage") == KIND_UNKNOWN
+        assert detect(b"") == KIND_UNKNOWN
+
+    def test_prefixed_archive_found_via_eocd(self):
+        """A zip behind an executable prefix (self-extracting jar)."""
+        blob = b"#!/bin/sh\nexec java -jar $0\n" + class_jar("A.class")
+        assert detect(blob) == KIND_ZIP
+        assert find_eocd(blob) is not None
+
+    def test_truncated_zip_keeps_zip_kind(self):
+        """Local-header magic with the EOCD cut off stays ``zip`` so
+        the reader reports the truncation precisely."""
+        blob = class_jar("A.class")[:-8]
+        assert detect(blob) == KIND_ZIP
+
+    def test_detect_never_raises_on_fuzz(self):
+        import random
+
+        rng = random.Random(1999)
+        for size in (0, 1, 3, 4, 21, 22, 100, 4096):
+            for _ in range(20):
+                blob = bytes(rng.randrange(256) for _ in range(size))
+                assert detect(blob) in (KIND_CLASS, KIND_ZIP,
+                                        KIND_GZIP, KIND_UNKNOWN)
+
+
+class TestBudgets:
+    def test_defaults_validate(self):
+        TriageBudget().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_depth": -1}, {"max_total_bytes": 0},
+        {"max_entries": 0}, {"max_artifacts": -3},
+        {"deadline_seconds": 0}, {"max_expansion_ratio": 1.0},
+    ])
+    def test_invalid_budgets_rejected(self, kwargs):
+        with pytest.raises(TriageError):
+            TriageBudget(**kwargs).validate()
+
+    def test_triage_error_is_repro_error(self):
+        assert issubclass(TriageError, ReproError)
+
+    def test_deadline_uses_injectable_clock(self):
+        ticks = iter([0.0, 0.1, 10.0, 20.0])
+        tracker = BudgetTracker(TriageBudget(deadline_seconds=5.0),
+                                clock=lambda: next(ticks))
+        assert tracker.check_deadline("root")        # 0.1s elapsed
+        assert not tracker.check_deadline("root")    # 10s elapsed
+        assert tracker.truncations[0].reason == TRUNCATE_DEADLINE
+
+    def test_ratio_floor_spares_small_entries(self):
+        tracker = BudgetTracker(TriageBudget(max_expansion_ratio=10.0,
+                                             ratio_floor_bytes=1024))
+        # 1000:1 ratio but under the floor: legitimate tiny entry.
+        assert tracker.ratio_allows("p", 1000, 1)
+        assert not tracker.ratio_allows("p", 100_000, 1)
+        assert tracker.truncations[0].reason == TRUNCATE_RATIO
+
+
+class TestFlatIngestion:
+    def test_flat_jar(self):
+        result = triage_bytes(class_jar("pkg/A.class", "pkg/B.class"),
+                              "app.jar")
+        assert sorted(result.classes) == ["pkg/A.class", "pkg/B.class"]
+        assert result.ok
+        assert result.report.totals()["classes"] == 2
+
+    def test_bare_class_file(self):
+        result = triage_bytes(FAKE_CLASS, "Foo.class")
+        assert result.classes == {"Foo.class": FAKE_CLASS}
+
+    def test_non_class_entries_become_resources(self):
+        data = raw_zip([("a/B.class", FAKE_CLASS),
+                        ("META-INF/MANIFEST.MF", b"Manifest\n"),
+                        ("doc/readme.txt", b"hi")])
+        result = triage_bytes(data, "app.jar")
+        assert sorted(result.resources) == ["META-INF/MANIFEST.MF",
+                                            "doc/readme.txt"]
+
+    def test_unknown_blob_routes_to_resources(self):
+        result = triage_bytes(b"plain text", "note.txt")
+        assert result.resources == {"note.txt": b"plain text"}
+        assert result.report.artifacts[0].kind == KIND_UNKNOWN
+
+    def test_misnamed_class_entry_skipped_with_reason(self):
+        data = raw_zip([("fake.class", b"not a class file")])
+        result = triage_bytes(data, "app.jar")
+        assert not result.classes
+        skip = result.report.artifacts[0].skips[0]
+        assert skip.reason == SKIP_BAD_CLASS_MAGIC
+        # The bytes are preserved, not dropped.
+        assert result.resources["fake.class"] == b"not a class file"
+
+    def test_class_magic_under_other_name_is_ingested(self):
+        data = raw_zip([("blob.bin", FAKE_CLASS)])
+        result = triage_bytes(data, "app.jar")
+        assert result.classes == {"blob.bin": FAKE_CLASS}
+
+
+class TestNestedIngestion:
+    def test_jar_of_jars(self):
+        outer = make_jar([("lib/inner.jar", class_jar("q/C.class")),
+                          ("top/D.class", FAKE_CLASS + b"D")],
+                         compress=True)
+        result = triage_bytes(outer, "fat.jar")
+        assert sorted(result.classes) == ["q/C.class", "top/D.class"]
+        paths = [a.path for a in result.report.artifacts]
+        assert "fat.jar!lib/inner.jar" in paths
+
+    def test_gzip_of_zip_of_jar(self):
+        blob = gzip.compress(
+            make_jar([("lib/a.jar", class_jar("p/E.class"))],
+                     compress=True))
+        result = triage_bytes(blob, "release.gz")
+        assert list(result.classes) == ["p/E.class"]
+        assert result.report.max_depth_seen == 2
+        kinds = [a.kind for a in result.report.artifacts]
+        assert kinds[0] == KIND_GZIP
+
+    def test_mrjar_higher_version_wins(self):
+        data = raw_zip([
+            ("p/F.class", FAKE_CLASS + b"base"),
+            ("META-INF/versions/9/p/F.class", FAKE_CLASS + b"v9"),
+            ("META-INF/versions/11/p/F.class", FAKE_CLASS + b"v11"),
+        ])
+        result = triage_bytes(data, "mr.jar")
+        assert result.classes["p/F.class"].endswith(b"v11")
+        artifact = result.report.artifacts[0]
+        assert artifact.mrjar_versions == [9, 11]
+        assert artifact.classes == 1
+        assert all(s.reason == SKIP_MRJAR_SHADOWED
+                   for s in artifact.skips)
+        assert len(artifact.skips) == 2
+
+    def test_duplicate_class_across_artifacts_first_wins(self):
+        first = class_jar("dup/G.class")
+        second = raw_zip([("dup/G.class", FAKE_CLASS + b"other")])
+        outer = make_jar([("a.jar", first), ("b.jar", second)],
+                         compress=True)
+        result = triage_bytes(outer, "fat.jar")
+        # a.jar sorts first in the zip, so its copy is kept.
+        assert result.classes["dup/G.class"] == \
+            FAKE_CLASS + b"dup/G.class"
+        totals = result.report.totals()
+        assert totals["skips"] == 1
+
+    def test_duplicate_sibling_artifact_walked_once(self):
+        inner = class_jar("q/H.class")
+        outer = make_jar([("a/x.jar", inner), ("b/y.jar", inner)],
+                         compress=True)
+        result = triage_bytes(outer, "fat.jar")
+        skips = result.report.artifacts[0].skips
+        assert [s.reason for s in skips] == [SKIP_DUPLICATE_ARTIFACT]
+        assert len(result.report.artifacts) == 2
+
+
+class TestAdversarial:
+    """Every fixture: clean report, explicit accounting, no crash."""
+
+    def test_zip_bomb_refused_unexpanded(self):
+        bomb = raw_zip([("boom.bin", b"\x00" * (64 * 1024 * 1024))])
+        budget = TriageBudget(max_expansion_ratio=50.0)
+        result = triage_bytes(bomb, "bomb.zip", budget)
+        assert result.report.truncated
+        cut = result.report.truncations[0]
+        assert cut.reason == TRUNCATE_RATIO
+        assert "bomb.zip!boom.bin" == cut.path
+        # The declared sizes appear in the detail: auditable.
+        assert "inflated" in cut.detail
+        assert result.report.artifacts[0].status == STATUS_TRUNCATED
+
+    def test_gzip_bomb_bounded(self):
+        bomb = gzip.compress(b"\x00" * (32 * 1024 * 1024))
+        budget = TriageBudget(max_total_bytes=1024 * 1024)
+        result = triage_bytes(bomb, "bomb.gz", budget)
+        assert result.report.artifacts[0].status == STATUS_TRUNCATED
+        assert result.report.truncations[0].reason in (
+            TRUNCATE_BYTES, TRUNCATE_RATIO)
+
+    def test_cyclic_nesting_guard(self):
+        """A child byte-identical to an enclosing artifact is a cycle
+        (true zip quines exist in the wild)."""
+        inner = class_jar("c/I.class")
+        walker = _Walker("quine.jar", TriageBudget().validate())
+        import hashlib
+
+        digest = hashlib.sha256(inner).hexdigest()
+        artifact_count_before = len(walker.report.artifacts)
+        walker._child(inner, "self.jar", "quine.jar", 0,
+                      (digest,), _root_artifact(walker, inner))
+        report_artifact = walker.report.artifacts[-1]
+        assert [s.reason for s in report_artifact.skips] == [SKIP_CYCLIC]
+        # Not recursed: no new artifact was walked.
+        assert len(walker.report.artifacts) == artifact_count_before + 1
+
+    def test_deep_nesting_truncated_with_bytes_preserved(self):
+        blob = class_jar("leaf/L.class")
+        for index in range(6):
+            blob = make_jar([(f"n{index}.jar", blob)], compress=True)
+        result = triage_bytes(blob, "deep.jar",
+                              TriageBudget(max_depth=3))
+        assert result.report.truncated
+        assert result.report.truncations[0].reason == TRUNCATE_DEPTH
+        assert not result.classes
+        assert len(result.resources) == 1  # the cut subtree, intact
+
+    def test_truncated_eocd_is_error_artifact(self):
+        blob = class_jar("t/M.class")[:-10]
+        result = triage_bytes(blob, "trunc.jar")
+        artifact = result.report.artifacts[0]
+        assert artifact.status == STATUS_ERROR
+        assert "unreadable zip" in artifact.error
+        assert result.report.totals()["errors"] == 1
+
+    def test_path_traversal_rejected(self):
+        evil = raw_zip([("../escape.class", FAKE_CLASS),
+                        ("/abs/path.class", FAKE_CLASS),
+                        ("nested/../../up.txt", b"x"),
+                        ("ok.txt", b"fine")])
+        result = triage_bytes(evil, "evil.zip")
+        assert not result.classes
+        reasons = [s.reason for s in result.report.artifacts[0].skips]
+        assert reasons == [SKIP_PATH_TRAVERSAL] * 3
+        assert list(result.resources) == ["ok.txt"]
+
+    def test_entry_budget_reports_cut_point(self):
+        many = raw_zip([(f"f{i:03d}.txt", b"x") for i in range(50)])
+        result = triage_bytes(many, "many.zip",
+                              TriageBudget(max_entries=10))
+        assert result.report.truncations[0].reason == TRUNCATE_ENTRIES
+        assert "stopped before entry" in \
+            result.report.truncations[0].detail
+        assert len(result.resources) == 10
+
+    def test_corrupt_entry_payload_skipped_not_fatal(self):
+        data = bytearray(raw_zip([("a/N.class", FAKE_CLASS + b"N"),
+                                  ("b/O.class", FAKE_CLASS + b"O")]))
+        # Flip bytes inside the first entry's deflate stream: CRC error.
+        data[40] ^= 0xFF
+        data[41] ^= 0xFF
+        result = triage_bytes(bytes(data), "dent.jar")
+        artifact = result.report.artifacts[0]
+        assert result.report.totals()["classes"] >= 1
+        assert artifact.skips or artifact.status == STATUS_ERROR
+
+    def test_fuzzed_garbage_never_crashes(self):
+        import random
+
+        rng = random.Random(8)
+        prefixes = [b"", b"PK\x03\x04", b"\x1f\x8b", CLASS_MAGIC,
+                    b"PK\x05\x06"]
+        for trial in range(60):
+            blob = rng.choice(prefixes) + bytes(
+                rng.randrange(256) for _ in range(rng.randrange(400)))
+            result = triage_bytes(blob, f"fuzz-{trial}")
+            totals = result.report.totals()
+            assert totals["artifacts"] >= 1
+            # Conservation: everything seen is accounted somewhere.
+            assert (totals["classes"] + totals["resources"] +
+                    totals["skips"] + totals["errors"] +
+                    totals["truncations"]) >= 0
+
+    def test_report_json_schema(self):
+        result = triage_bytes(class_jar("s/P.class"), "app.jar")
+        doc = json.loads(result.report.to_json())
+        assert doc["schema"] == "repro.triage/1"
+        assert doc["root"] == "app.jar"
+        assert doc["budget"]["max_depth"] == TriageBudget().max_depth
+        assert doc["artifacts"][0]["status"] == "ok"
+        assert doc["totals"]["classes"] == 1
+
+
+def _root_artifact(walker, data):
+    from repro.triage.report import ArtifactReport
+
+    artifact = ArtifactReport(path=walker.root, kind=KIND_ZIP,
+                              depth=0, bytes=len(data))
+    walker.report.artifacts.append(artifact)
+    return artifact
+
+
+class TestDirectoryIngestion:
+    def test_directory_root(self, tmp_path):
+        (tmp_path / "a.jar").write_bytes(class_jar("d/Q.class"))
+        (tmp_path / "note.txt").write_text("hello")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "b.jar").write_bytes(class_jar("d/R.class"))
+        result = triage_path(tmp_path)
+        assert sorted(result.classes) == ["d/Q.class", "d/R.class"]
+        assert result.report.artifacts[0].kind == "dir"
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(TriageError):
+            triage_path(tmp_path / "ghost.jar")
+
+
+class TestObserveIntegration:
+    def test_counters_and_depth_histogram(self):
+        blob = gzip.compress(
+            make_jar([("x.jar", class_jar("o/S.class"))],
+                     compress=True))
+        with observe.recording() as recorder:
+            triage_bytes(blob, "obs.gz",
+                         TriageBudget(max_depth=1))
+        counters = recorder.metrics.counters
+        assert counters.get("triage.artifacts", 0) >= 2
+        assert counters.get("triage.truncations", 0) >= 1
+        assert "triage.depth" in recorder.metrics.histograms
+
+    def test_span_emitted(self):
+        with observe.recording() as recorder:
+            triage_bytes(b"junk", "t.bin")
+        spans = [s.name for s in recorder.trace.walk()] \
+            if hasattr(recorder.trace, "walk") else \
+            recorder.trace.render()
+        assert "triage" in str(spans)
+
+
+class TestBatchIsolation:
+    """One poisoned container never takes down a batch."""
+
+    def _manifest(self, root: Path, inputs) -> Path:
+        doc = {"jobs": [{"input": name, "id": Path(name).stem}
+                        for name in inputs]}
+        manifest = root / "batch.json"
+        manifest.write_text(json.dumps(doc))
+        return manifest
+
+    def test_poisoned_job_fails_alone(self, tmp_path, sink_class_bytes):
+        good = make_jar(sorted(sink_class_bytes.items()),
+                        compress=True)
+        (tmp_path / "good.jar").write_bytes(good)
+        (tmp_path / "poison.jar").write_bytes(
+            b"PK\x03\x04 not really a zip at all")
+        manifest = self._manifest(tmp_path,
+                                  ["good.jar", "poison.jar"])
+        jobs = triage_jobs_from_manifest(manifest)
+        assert jobs[1].load_error is not None
+        with BatchEngine(workers=0) as engine:
+            results = engine.run_batch(jobs)
+        assert results[0].status == STATUS_OK
+        assert results[1].status == STATUS_FAILED
+        assert results[1].attempts == 0
+        assert "poison.jar" in results[1].error
+
+    def test_rest_of_batch_byte_identical(self, tmp_path,
+                                          sink_class_bytes):
+        good = make_jar(sorted(sink_class_bytes.items()),
+                        compress=True)
+        (tmp_path / "good.jar").write_bytes(good)
+        (tmp_path / "poison.jar").write_bytes(b"\x1f\x8b\x08 torn")
+        with_poison = triage_jobs_from_manifest(self._manifest(
+            tmp_path, ["good.jar", "poison.jar"]))
+        without = triage_jobs_from_manifest(self._manifest(
+            tmp_path, ["good.jar"]))
+        with BatchEngine(workers=0) as engine:
+            poisoned_results = engine.run_batch(with_poison)
+            clean_results = engine.run_batch(without)
+        assert poisoned_results[0].data == clean_results[0].data
+        assert poisoned_results[0].data is not None
+
+    def test_missing_input_is_per_job_error(self, tmp_path,
+                                            sink_class_bytes):
+        good = make_jar(sorted(sink_class_bytes.items()),
+                        compress=True)
+        (tmp_path / "good.jar").write_bytes(good)
+        manifest = self._manifest(tmp_path,
+                                  ["good.jar", "ghost.jar"])
+        jobs = triage_jobs_from_manifest(manifest)
+        assert jobs[0].load_error is None
+        assert "ghost.jar" in jobs[1].load_error
+
+    def test_job_from_path_attaches_report(self, tmp_path,
+                                           sink_class_bytes):
+        nested = make_jar(
+            [("lib/app.jar", make_jar(sorted(sink_class_bytes.items()),
+                                      compress=True))],
+            compress=True)
+        (tmp_path / "fat.jar").write_bytes(nested)
+        job = triage_job_from_path(tmp_path / "fat.jar")
+        assert job.load_error is None
+        assert job.triage["schema"] == "repro.triage/1"
+        assert job.classes
+        with BatchEngine(workers=0) as engine:
+            result = engine.execute(job)
+        assert result.status == STATUS_OK
+
+
+@pytest.fixture(scope="module")
+def sink_class_bytes():
+    """Real (packable) class-file bytes keyed by entry name."""
+    from helpers import compile_sink
+
+    from repro.classfile.classfile import write_class
+
+    return {f"{name}.class": write_class(classfile)
+            for name, classfile in compile_sink().items()}
