@@ -46,10 +46,11 @@ from .minijava import compile_sources
 from .errors import ReproError
 from .pack import (
     PackOptions,
+    iter_unpack_archive,
     pack_archive,
+    pack_archive_to,
     pack_archive_with_stats,
     recorded_scheme,
-    unpack_archive,
 )
 
 
@@ -73,6 +74,7 @@ def _options_from_args(args: argparse.Namespace) -> PackOptions:
         preload=args.preload,
         codec_backend=args.codec_backend,
         auto_sample=args.auto_sample,
+        memory_budget=getattr(args, "memory_budget", None),
     )
 
 
@@ -104,6 +106,12 @@ def _add_pack_options(parser: argparse.ArgumentParser) -> None:
                              "--scheme=auto scoring replays (seeded, "
                              "deterministic; default: 1.0 = full "
                              "trace)")
+    parser.add_argument("--memory-budget", type=int, default=None,
+                        metavar="BYTES",
+                        help="bound the encoder's resident stream "
+                             "bytes; overflow spills to temp files and "
+                             "the output stays byte-identical "
+                             "(default: unbounded, all in memory)")
 
 
 def _add_triage_options(parser: argparse.ArgumentParser,
@@ -151,6 +159,13 @@ def _add_triage_options(parser: argparse.ArgumentParser,
                         help="max per-entry expansion ratio, the "
                              "zip-bomb guard (default: "
                              f"{defaults.max_expansion_ratio:.0f})")
+    parser.add_argument("--triage-spool", type=int,
+                        default=defaults.spool_window_bytes,
+                        metavar="BYTES",
+                        help="spool extracted entries at or above "
+                             "this size to a temp file instead of "
+                             "holding them resident (default: "
+                             f"{defaults.spool_window_bytes})")
 
 
 def _triage_budget(args: argparse.Namespace):
@@ -163,6 +178,7 @@ def _triage_budget(args: argparse.Namespace):
         max_artifacts=args.triage_artifacts,
         deadline_seconds=args.triage_deadline,
         max_expansion_ratio=args.triage_ratio,
+        spool_window_bytes=args.triage_spool,
     ).validate()
 
 
@@ -287,13 +303,23 @@ def cmd_pack(args: argparse.Namespace) -> int:
     with _observed(args) as recorder:
         ordered = _prepare_input(args)
         options = _options_from_args(args)
-        packed = pack_archive(ordered, options)
-        Path(args.output).write_bytes(packed)
+        if options.memory_budget is not None:
+            # Streaming path: encoded streams spill to temp files and
+            # the archive is written straight to the output file — the
+            # packed bytes never exist in memory at once.
+            with open(args.output, "wb") as out:
+                packed_len = pack_archive_to(ordered, out, options)
+            with open(args.output, "rb") as fh:
+                header = fh.read(6)
+        else:
+            packed = pack_archive(ordered, options)
+            Path(args.output).write_bytes(packed)
+            packed_len, header = len(packed), packed
         raw = sum(len(write_class(c)) for c in ordered)
-    print(f"packed {len(ordered)} classes: {raw} -> {len(packed)} bytes "
-          f"({100 * len(packed) / raw:.0f}%)")
+    print(f"packed {len(ordered)} classes: {raw} -> {packed_len} bytes "
+          f"({100 * packed_len / raw:.0f}%)")
     if options.scheme == "auto":
-        print(f"scheme auto -> {_scheme_label(recorded_scheme(packed))} "
+        print(f"scheme auto -> {_scheme_label(recorded_scheme(header))} "
               "(recorded in header)")
     _report_triage(args)
     _report_observed(args, recorder)
@@ -320,12 +346,16 @@ def cmd_unpack(args: argparse.Namespace) -> int:
     options = _options_from_args(args)
     with _observed(args) as recorder:
         data = Path(args.input).read_bytes()
-        classfiles = unpack_archive(data, options)
-        serialized = {c.name: write_class(c) for c in classfiles}
+        # One class resident at a time: each ClassFile is serialized
+        # and dropped before the next is decoded (§11 load order).
+        serialized: Dict[str, bytes] = {}
+        with observe.current().span("unpack"):
+            for classfile in iter_unpack_archive(data, options):
+                serialized[classfile.name] = write_class(classfile)
         with observe.current().span("write-jar"):
             Path(args.output).write_bytes(
                 make_jar(classes_to_entries(serialized)))
-    print(f"unpacked {len(classfiles)} classes -> {args.output}")
+    print(f"unpacked {len(serialized)} classes -> {args.output}")
     recorded = recorded_scheme(data)
     if recorded is not None:
         print(f"scheme {_scheme_label(recorded)} (from header)")
@@ -333,8 +363,54 @@ def cmd_unpack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _packed_stats(args: argparse.Namespace, data: bytes) -> int:
+    """``repro stats`` on an already-packed archive: decode one class
+    at a time (each dropped after its size is attributed — the whole
+    class list is never resident) and report the decoded stream
+    bytes."""
+    from .pack.decompressor import Decompressor
+    from .pack.stats import collect_stats
+
+    options = _options_from_args(args)
+    with _observed(args, always=True) as recorder:
+        decompressor = Decompressor(options)
+        count = raw = 0
+        with observe.current().span("unpack"):
+            for classfile in decompressor.iter_classes(data):
+                raw += len(write_class(classfile))
+                count += 1
+        stats = collect_stats(decompressor.streams.raw_sizes())
+    print(f"{count} classes: {len(data)} packed bytes -> "
+          f"{raw} class-file bytes "
+          f"({100 * len(data) / raw:.0f}%)")
+    if decompressor.recorded is not None:
+        print(f"scheme {_scheme_label(decompressor.recorded)} "
+              "(from header)")
+    print(stats.render(title="per-category breakdown "
+                             "(decoded stream bytes)",
+                       per_stream=args.per_stream))
+    print("phase timings:")
+    print(recorder.trace.render())
+    if args.metrics_json:
+        observe.dump_json(recorder, args.metrics_json, stats=stats)
+        print(f"metrics written to {args.metrics_json}")
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
-    """Pack the input and report Table-6-style sizes plus timings."""
+    """Pack the input and report Table-6-style sizes plus timings.
+
+    A packed archive as input (recognized by its magic) flips the
+    direction: decode streamingly and attribute the decoded bytes."""
+    import struct
+
+    from .pack import wire
+
+    source = Path(args.input)
+    if source.is_file():
+        data = source.read_bytes()
+        if data[:4] == struct.pack(">I", wire.MAGIC):
+            return _packed_stats(args, data)
     options = _options_from_args(args)
     with _observed(args, always=True) as recorder:
         ordered = _prepare_input(args)
@@ -672,9 +748,12 @@ def build_parser() -> argparse.ArgumentParser:
     unpack_parser.set_defaults(func=cmd_unpack)
 
     stats_parser = commands.add_parser(
-        "stats", help="pack and report per-stream sizes and timings")
+        "stats", help="pack and report per-stream sizes and timings "
+                      "(a packed archive as input is decoded and "
+                      "attributed instead)")
     stats_parser.add_argument("input",
-                              help="jar, .class file, or directory")
+                              help="jar, .class file, directory, or "
+                                   "packed archive")
     stats_parser.add_argument("--strip", action="store_true",
                               help="apply the Section 2 preprocessing")
     stats_parser.add_argument("--eager", action="store_true",

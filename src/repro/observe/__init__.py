@@ -42,6 +42,7 @@ from .recorder import (
     enabled,
     install,
     recording,
+    silenced,
     uninstall,
 )
 from .report import HISTOGRAM_FIELDS, SCHEMA, dump_json, to_json
@@ -65,6 +66,7 @@ __all__ = [
     "install",
     "profile",
     "recording",
+    "silenced",
     "to_json",
     "uninstall",
 ]

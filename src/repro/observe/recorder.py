@@ -49,6 +49,9 @@ class NullRecorder:
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
 
+    def accumulator(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
 
 NULL_RECORDER = NullRecorder()
 
@@ -64,6 +67,9 @@ class Recorder:
 
     def span(self, name: str, **attrs: Any) -> Span:
         return self.trace.span(name, **attrs)
+
+    def accumulator(self, name: str, **attrs: Any) -> Span:
+        return self.trace.accumulator(name, **attrs)
 
 
 _current = NULL_RECORDER
@@ -91,6 +97,24 @@ def uninstall() -> None:
     """Restore the disabled (null) recorder."""
     global _current
     _current = NULL_RECORDER
+
+
+@contextmanager
+def silenced() -> Iterator[None]:
+    """Suppress the ambient recorder for the duration of a block.
+
+    Internal dry runs (the layout sizing sub-pass re-encodes the
+    archive against a byte-counting port) must not pollute the live
+    trace or double-count metrics; they run under ``silenced()`` so
+    any coders they construct capture the null recorder.
+    """
+    global _current
+    previous = _current
+    _current = NULL_RECORDER
+    try:
+        yield
+    finally:
+        _current = previous
 
 
 @contextmanager

@@ -1,0 +1,36 @@
+"""Peak resident-set-size probes.
+
+Thin wrappers over ``resource.getrusage`` used by the service (worker
+density reporting in ``/stats``) and the streaming-pack benchmark.
+``ru_maxrss`` is a process-lifetime high-water mark, so meaningful
+deltas require a baseline snapshot (or a fresh subprocess); these
+helpers only normalize units — Linux reports KiB, macOS bytes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _normalize_kb(ru_maxrss: int) -> int:
+    if sys.platform == "darwin":
+        return ru_maxrss // 1024
+    return ru_maxrss
+
+
+def peak_rss_kb() -> int:
+    """This process's lifetime peak RSS in KiB (0 where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    return _normalize_kb(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def child_peak_rss_kb() -> int:
+    """Peak RSS in KiB over all waited-for children (0 if none)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    return _normalize_kb(resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)

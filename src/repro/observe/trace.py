@@ -82,6 +82,19 @@ class Trace:
         """A new span that will attach under the innermost open span."""
         return Span(name, trace=self, **attrs)
 
+    def accumulator(self, name: str, **attrs: Any) -> Span:
+        """A span attached under the innermost open span *now* but
+        never pushed on the stack: enter/exit it repeatedly and its
+        ``seconds`` accumulate.  Streaming consumers use this to time
+        phases that interleave per item (decode vs reconstruct, one
+        class at a time) without emitting one span per item — and
+        without holding a stack span open across a ``yield``, which
+        would corrupt the tree.
+        """
+        span = Span(name, **attrs)
+        self._stack[-1].children.append(span)
+        return span
+
     @property
     def spans(self) -> List[Span]:
         """Top-level recorded spans."""

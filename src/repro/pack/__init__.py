@@ -25,8 +25,10 @@ __all__ = [
     "UnpackError",
     "archives_equal",
     "collect_stats",
+    "iter_unpack_archive",
     "pack_archive",
     "pack_archive_ir",
+    "pack_archive_to",
     "pack_archive_with_stats",
     "recorded_scheme",
     "select_scheme",
@@ -43,6 +45,42 @@ def pack_archive(classfiles: List[ClassFile],
             archive = build_archive(classfiles)
         data, _ = pack_archive_ir(archive, options)
     return data
+
+
+def pack_archive_to(classfiles: List[ClassFile], out,
+                    options: Optional[PackOptions] = None) -> int:
+    """Pack class files straight into the file object ``out``.
+
+    The streaming counterpart of :func:`pack_archive` — byte-identical
+    output, returns the byte count written.  With
+    ``options.memory_budget`` set, stream buffers spill to temp files
+    and serialization streams into ``out``, so the packed archive is
+    never resident as one byte string (see :mod:`repro.pack.spool`).
+    ``scheme="auto"`` resolves exactly as in :func:`pack_archive_ir`.
+    """
+    from .select import resolve_options
+
+    with _observe.current().span("pack"):
+        with _observe.current().span("ir.build"):
+            archive = build_archive(classfiles)
+        options, selection = resolve_options(archive, options)
+        compressor = Compressor(options)
+        compressor.selection = selection
+        return compressor.pack_to(archive, out)
+
+
+def iter_unpack_archive(data: bytes,
+                        options: Optional[PackOptions] = None):
+    """Decompress one :class:`ClassFile` at a time, in the paper's §11
+    eager class-loading order (dependencies precede dependents).
+
+    The streaming counterpart of :func:`unpack_archive`: the archive
+    IR is never materialized, so a consumer that drops each class
+    after use holds one class instead of the whole archive.  Header
+    errors raise immediately; per-class corruption raises
+    :class:`UnpackError` from ``next()``.
+    """
+    return Decompressor(options or PackOptions()).iter_classes(data)
 
 
 def pack_archive_with_stats(

@@ -35,10 +35,12 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Optional, Set, Tuple
 
-from ...coding.streams import StreamReader, StreamSet
+from ...coding.streams import SizingStreamSet, StreamReader, StreamSet
 from ...ir import model as ir
 from ...observe import recorder as observe
+from .. import wire
 from ..options import PackOptions
+from . import archive as archive_mod
 from .archive import class_definition
 from .attribution import SizeAttribution
 from .compile import (
@@ -84,6 +86,7 @@ __all__ = [
     "decode_archive",
     "encode_archive",
     "ir_instruction_size",
+    "iter_decode_archive",
     "make_fast_mtf_coder",
     "make_space_coders",
     "spec_for_version",
@@ -109,6 +112,7 @@ def count_references(
         probe: Optional[Probe] = None,
         trace=None,
         spec: Optional[WireSpec] = None,
+        layout=None,
 ) -> Dict[str, Dict[Tuple[str, Hashable], int]]:
     """Counting pass: per-space ``(kind, key)`` reference totals.
 
@@ -119,12 +123,21 @@ def count_references(
     reference visit (see :data:`~repro.pack.codec_core.driver.
     TraceEvent`); like probes, it hooks the spec walk itself, so
     trace-carrying calls always run interpreted.
+
+    With a ``layout`` (an :class:`~repro.pack.spool.ArchiveLayout`),
+    the pass additionally prices the upcoming encode: a sizing
+    sub-pass replays the encode walk against a byte-counting port and
+    records exact per-class per-stream offsets — the spill planner's
+    input (see :mod:`repro.pack.spool`).
     """
     spec = spec or current_spec()
     codec = _compiled_for(options, probe, spec) if trace is None else None
     if codec is not None:
-        return codec.count_references(archive, options, coders=coders,
-                                      seen=seen)
+        counts = codec.count_references(archive, options, coders=coders,
+                                        seen=seen)
+        if layout is not None:
+            _measure_layout(layout, archive, options, counts, spec)
+        return counts
     drv = CountDriver(options, seen=seen, probe=probe, trace=trace)
     with observe.current().span("count", classes=len(archive.classes)):
         spec.archive(drv, archive)
@@ -132,7 +145,42 @@ def count_references(
             for space, coder in coders.items():
                 if coder.needs_frequencies:
                     coder.set_frequencies(drv.counts[space])
+    if layout is not None:
+        _measure_layout(layout, archive, options, drv.counts, spec)
     return drv.counts
+
+
+def _measure_layout(layout, archive: ir.Archive, options: PackOptions,
+                    counts, spec: WireSpec) -> None:
+    """Size the upcoming encode without emitting a byte.
+
+    Exact per-class offsets cannot come from pure counting — reference
+    bytes depend on coder state, and freq/cache coders need the
+    frequencies that are the count's own output — so this replays the
+    encode walk against a :class:`~repro.coding.streams.SizingStreamSet`
+    with *fresh* coders (encoding mutates MTF queues; the real coders
+    must reach the encode pass untouched).  Runs under
+    :func:`~repro.observe.recorder.silenced` so the dry run neither
+    pollutes the trace nor double-counts metrics.
+    """
+    with observe.silenced():
+        coders = make_space_coders(options)
+        if options.preload:
+            from ..preload import preload_coders
+
+            preload_coders(coders, ir.Interner())
+        for space, coder in coders.items():
+            if coder.needs_frequencies:
+                coder.set_frequencies(counts[space])
+        sizing = SizingStreamSet()
+        codec = _compiled_for(options, None, spec)
+        if codec is not None:
+            codec.measure_archive(archive, options, coders, sizing,
+                                  layout)
+        else:
+            drv = EncodeDriver(options, coders, sizing, layout=layout)
+            spec.archive(drv, archive)
+        layout.finish(sizing.raw_sizes())
 
 
 def encode_archive(archive: ir.Archive, options: PackOptions, coders,
@@ -164,3 +212,34 @@ def decode_archive(options: PackOptions, coders,
     drv = DecodeDriver(options, coders, reader, interner, probe=probe)
     with observe.current().span("decode"):
         return spec.archive(drv, DECODE)
+
+
+def _iter_decode_interpreted(options: PackOptions, coders,
+                             reader: StreamReader, interner):
+    drv = DecodeDriver(options, coders, reader, interner)
+    count = drv.uint(wire.META, DECODE)
+    for _ in range(count):
+        yield class_definition(drv, DECODE)
+
+
+def iter_decode_archive(options: PackOptions, coders,
+                        reader: StreamReader, interner,
+                        spec: Optional[WireSpec] = None):
+    """Decode one class at a time, in the paper's §11 load order.
+
+    Returns an iterator of :class:`~repro.ir.model.ClassDefinition`;
+    the whole archive is never materialized.  Span-free by design (a
+    span held open across yields would corrupt the trace tree) — the
+    consumer owns phase accounting.  A future spec whose archive walk
+    this module doesn't know falls back to a full decode behind an
+    iterator, trading memory for correctness.
+    """
+    spec = spec or current_spec()
+    codec = _compiled_for(options, None, spec)
+    if codec is not None:
+        return codec.iter_decode(options, coders, reader, interner)
+    if spec.archive is archive_mod.archive:
+        return _iter_decode_interpreted(options, coders, reader,
+                                        interner)
+    return iter(decode_archive(options, coders, reader, interner,
+                               spec=spec).classes)

@@ -90,13 +90,19 @@ def class_definition(drv, value):
 
 
 def archive(drv, value):
-    """The whole archive: a class count on META, then each class."""
+    """The whole archive: a class count on META, then each class.
+
+    ``drv.class_boundary(i)`` fires after each class — a no-op on
+    every driver except the layout sizing sub-pass, which snapshots
+    per-stream offsets there (see :mod:`repro.pack.spool`).
+    """
     count = drv.uint(wire.META,
                      DECODE if value is DECODE else len(value.classes))
-    classes = [
-        class_definition(
-            drv, DECODE if value is DECODE else value.classes[i])
-        for i in range(count)]
+    classes = []
+    for i in range(count):
+        classes.append(class_definition(
+            drv, DECODE if value is DECODE else value.classes[i]))
+        drv.class_boundary(i)
     if value is DECODE:
         return ir.Archive(classes)
     return value

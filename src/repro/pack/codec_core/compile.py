@@ -774,7 +774,8 @@ _U32 = struct.Struct(">I")
 _U64 = struct.Struct(">Q")
 
 
-def _encode_archive(archive, options, coders, streams, metrics=None):
+def _encode_archive(archive, options, coders, streams, metrics=None,
+                    layout=None):
     """Write the archive to ``streams``, specialized.
 
     Byte-identity depends on two invariants beyond value equality:
@@ -784,6 +785,10 @@ def _encode_archive(archive, options, coders, streams, metrics=None):
     is order-sensitive).  Both follow from mirroring the interpreted
     traversal statement by statement; only the per-value plumbing is
     inlined away.
+
+    With a ``layout``, per-stream offsets are snapshotted after every
+    class — the sizing sub-pass runs this same walk against a
+    :class:`~repro.coding.streams.SizingStreamSet`.
     """
     use_state = options.stack_state
     mx = observe.current().metrics
@@ -1055,6 +1060,8 @@ def _encode_archive(archive, options, coders, streams, metrics=None):
                     enc_class(exception)
             if method_flags & ir.FLAG_HAS_CODE:
                 enc_code(method_def.code)
+        if layout is not None:
+            layout.snapshot(streams)
 
     if metrics is not None:
         if total_instructions > 0:
@@ -1075,8 +1082,8 @@ def _encode_archive(archive, options, coders, streams, metrics=None):
 # ---------------------------------------------------------------------
 
 
-def _decode_archive(options, coders, reader, interner):
-    """Rebuild the archive from ``reader``, specialized.
+def _iter_decode_archive(options, coders, reader, interner):
+    """Yield decoded classes one at a time, specialized.
 
     Varint-only streams are prescanned in one pass each
     (:func:`decode_uvarints`), so the per-value hot path is a list
@@ -1084,6 +1091,12 @@ def _decode_archive(options, coders, reader, interner):
     Exhaustion surfaces as ``IndexError``/``ValueError`` — the same
     corruption-error family the interpreted cursors raise, wrapped
     identically by the :class:`~repro.pack.decompressor.Decompressor`.
+
+    This is a generator: classes materialize lazily in the paper's
+    §11 eager class-loading order (dependencies precede dependents),
+    so a consumer that drops each class after use never holds the
+    whole archive.  Stack-state metrics are emitted when the final
+    class has been yielded.
     """
     use_state = options.stack_state
     mx = observe.current().metrics
@@ -1489,7 +1502,6 @@ def _decode_archive(options, coders, reader, interner):
             instructions.append(ins)
         return ir.IRCode(max_stack, max_locals, instructions, handlers)
 
-    classes = []
     for _ in range(meta()):
         this_class = dec_class()
         flags = meta()
@@ -1519,16 +1531,20 @@ def _decode_archive(options, coders, reader, interner):
             methods.append(ir.MethodDefinition(method_flags,
                                                method_ref, code,
                                                exceptions))
-        classes.append(ir.ClassDefinition(flags, this_class,
-                                          super_class, interfaces,
-                                          fields, methods))
+        yield ir.ClassDefinition(flags, this_class, super_class,
+                                 interfaces, fields, methods)
 
     if mx is not None and use_state:
         if applied > 0:
             mx.count("stack_state.applied", applied)
         if unknown > 0:
             mx.count("stack_state.unknown", unknown)
-    return ir.Archive(classes)
+
+
+def _decode_archive(options, coders, reader, interner):
+    """Rebuild the whole archive from ``reader``, specialized."""
+    return ir.Archive(list(_iter_decode_archive(options, coders,
+                                                reader, interner)))
 
 
 # ---------------------------------------------------------------------
@@ -1570,6 +1586,20 @@ class CompiledCodec:
     def decode_archive(self, options, coders, reader, interner):
         with observe.current().span("decode"):
             return _decode_archive(options, coders, reader, interner)
+
+    def measure_archive(self, archive, options, coders, streams,
+                        layout):
+        """The encode walk against a sizing port, snapshotting
+        per-class offsets into ``layout``.  Span-free: callers run it
+        under ``observe.silenced()`` inside the count phase."""
+        _encode_archive(archive, options, coders, streams,
+                        layout=layout)
+
+    def iter_decode(self, options, coders, reader, interner):
+        """One decoded class at a time (see
+        :func:`_iter_decode_archive`).  Span-free: a span held open
+        across yields would corrupt the trace tree."""
+        return _iter_decode_archive(options, coders, reader, interner)
 
 
 _COMPILED: Dict[int, CompiledCodec] = {}

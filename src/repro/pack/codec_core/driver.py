@@ -86,19 +86,30 @@ class Driver:
         """Record a just-built shared object (live only while
         decoding)."""
 
+    def class_boundary(self, index: int) -> None:
+        """Hook fired after each class (live only on the layout sizing
+        sub-pass, where it snapshots per-stream offsets)."""
+
 
 class EncodeDriver(Driver):
-    """Runs the spec forward: every primitive writes to its stream."""
+    """Runs the spec forward: every primitive writes to its stream.
+
+    With a ``layout`` (an :class:`~repro.pack.spool.ArchiveLayout`,
+    duck-typed), every class boundary snapshots the port's per-stream
+    offsets — the sizing sub-pass drives this against a
+    :class:`~repro.coding.streams.SizingStreamSet` port.
+    """
 
     def __init__(self, options: PackOptions, coders: Dict[str, Coder],
                  streams: StreamSet, metrics=None,
-                 probe: Optional[Probe] = None):
+                 probe: Optional[Probe] = None, layout=None):
         self.options = options
         self.coders = coders
         self.port = streams
         self.metrics = metrics
         self.probe = probe
         self.interner = None
+        self.layout = layout
 
     def uint(self, name: str, value: int) -> int:
         self.port.stream(name).uvarint(value)
@@ -135,6 +146,10 @@ class EncodeDriver(Driver):
     def bump(self, name: str) -> None:
         if self.metrics is not None:
             self.metrics.count(name)
+
+    def class_boundary(self, index: int) -> None:
+        if self.layout is not None:
+            self.layout.snapshot(self.port)
 
 
 class CountDriver(Driver):

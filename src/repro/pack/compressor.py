@@ -21,6 +21,7 @@ from ..ir import model as ir
 from ..observe import recorder as observe
 from . import codec_core, wire
 from .options import AUTO_SCHEME, PackOptions
+from .spool import ArchiveLayout, SpoolStreamSet, plan_windows
 
 __all__ = ["Compressor", "PackError", "SPACES", "pack_archive_ir"]
 
@@ -42,7 +43,13 @@ class Compressor:
         #: options when ``--scheme=auto`` chose them (set by
         #: :func:`pack_archive_ir`); None for explicit schemes.
         self.selection = None
-        self.streams = StreamSet()
+        #: Per-class per-stream offsets from the count pass's sizing
+        #: sub-pass; populated only on the memory-budgeted path.
+        self.layout = None
+        if self.options.memory_budget is not None:
+            self.streams = SpoolStreamSet(self.options.memory_budget)
+        else:
+            self.streams = StreamSet()
         #: None unless an observe recorder is installed (the hot-path
         #: on/off switch: one attribute test per reported event).
         self._metrics = observe.current().metrics
@@ -61,12 +68,29 @@ class Compressor:
         self.attribution = codec_core.SizeAttribution(self.streams,
                                                       self.options)
 
-    def pack(self, archive: ir.Archive) -> bytes:
+    def _run_codec(self, archive: ir.Archive) -> None:
+        """Count then encode, planning spill windows in between.
+
+        On the memory-budgeted path, the count pass additionally runs
+        the layout sizing sub-pass: exact per-class per-stream offsets
+        feed :func:`~repro.pack.spool.plan_windows` before the encode
+        pass creates any stream.
+        """
+        layout = None
+        if self.options.memory_budget is not None:
+            layout = ArchiveLayout()
         codec_core.count_references(archive, self.options,
                                     coders=self._coders,
-                                    seen=self._count_seen)
+                                    seen=self._count_seen,
+                                    layout=layout)
+        if layout is not None:
+            self.layout = layout
+            self.streams.set_plan(plan_windows(
+                layout.stream_sizes, self.options.memory_budget))
         codec_core.encode_archive(archive, self.options, self._coders,
                                   self.streams, metrics=self._metrics)
+
+    def _header(self) -> bytes:
         scheme_tag = 0
         if self.options.record_scheme:
             scheme_tag = wire.SCHEME_TAG_FOR[wire.scheme_variant(
@@ -75,15 +99,48 @@ class Compressor:
         header = bytearray(struct.pack(">I", wire.MAGIC))
         header.append(wire.VERSION)
         header.append(wire.pack_flags(self.options.compress, scheme_tag))
+        return bytes(header)
+
+    def _emit_metrics(self, archive: ir.Archive, packed_len: int) -> None:
+        if self._metrics is not None:
+            self._metrics.count("pack.classes", len(archive.classes))
+            self.attribution.emit_metrics(self._metrics, packed_len)
+
+    def pack(self, archive: ir.Archive) -> bytes:
+        self._run_codec(archive)
+        header = self._header()
         with observe.current().span("serialize"):
             payload = self.streams.serialize(
                 compress=self.options.compress,
                 level=self.options.zlib_level)
-        if self._metrics is not None:
-            self._metrics.count("pack.classes", len(archive.classes))
-            self.attribution.emit_metrics(self._metrics,
-                                          len(header) + len(payload))
-        return bytes(header) + payload
+        self._emit_metrics(archive, len(header) + len(payload))
+        return header + payload
+
+    def pack_to(self, archive: ir.Archive, out) -> int:
+        """Pack ``archive`` straight into the file object ``out``.
+
+        Returns the byte count written.  With a ``memory_budget`` the
+        serialized container streams from the spool buffers through
+        temp files into ``out`` — the packed archive is never resident
+        as one byte string.  Output is byte-identical to :meth:`pack`.
+        """
+        self._run_codec(archive)
+        header = self._header()
+        out.write(header)
+        with observe.current().span("serialize"):
+            if isinstance(self.streams, SpoolStreamSet):
+                written = self.streams.serialize_to(
+                    out, compress=self.options.compress,
+                    level=self.options.zlib_level)
+            else:
+                payload = self.streams.serialize(
+                    compress=self.options.compress,
+                    level=self.options.zlib_level)
+                out.write(payload)
+                written = len(payload)
+        total = len(header) + written
+        self._emit_metrics(archive, total)
+        return total
 
     def stream_sizes(self, compressed: bool = True) -> Dict[str, int]:
         """Per-stream byte sizes of the encoded archive (after pack())."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import struct
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..classfile.classfile import ClassFile
 from ..coding.streams import StreamReader
@@ -108,7 +108,14 @@ class Decompressor:
             preload_coders(coders, self.interner)
         return coders
 
-    def unpack_ir(self, data: bytes) -> ir.Archive:
+    def _open(self, data: bytes):
+        """Parse the header, inflate the container, build the coders.
+
+        Returns ``(spec, options, coders)`` with ``self.streams`` /
+        ``self.effective_options`` populated.  Shared by the
+        whole-archive and iterator entry points; raises
+        :class:`UnpackError` eagerly on malformed headers.
+        """
         try:
             if len(data) < 6:
                 raise UnpackError("truncated packed archive")
@@ -128,6 +135,15 @@ class Decompressor:
             with observe.current().span("inflate", bytes=len(data)):
                 self.streams = StreamReader(data[6:],
                                             compressed=compressed)
+            return spec, options, coders
+        except ReproError:
+            raise
+        except _CORRUPTION_ERRORS as exc:
+            raise UnpackError(f"corrupt packed archive: {exc}") from exc
+
+    def unpack_ir(self, data: bytes) -> ir.Archive:
+        spec, options, coders = self._open(data)
+        try:
             archive = codec_core.decode_archive(
                 options, coders, self.streams, self.interner,
                 spec=spec)
@@ -151,3 +167,66 @@ class Decompressor:
             except _CORRUPTION_ERRORS as exc:
                 raise UnpackError(
                     f"corrupt packed archive: {exc}") from exc
+
+    def iter_ir(self, data: bytes) -> Iterator[ir.ClassDefinition]:
+        """Decode one class definition at a time, in §11 load order.
+
+        Header parsing and container inflation happen eagerly (a
+        malformed header raises before any iteration); per-class
+        corruption surfaces as :class:`UnpackError` from ``next()``.
+        The whole-archive IR is never materialized — each definition
+        is yielded as soon as its streams' bytes are consumed, and the
+        ``unpack.classes`` metric is emitted at exhaustion.  Decode
+        time accumulates in one ``decode`` trace span (an
+        accumulator — no stack span is held open across a yield).
+        """
+        spec, options, coders = self._open(data)
+        iterator = codec_core.iter_decode_archive(
+            options, coders, self.streams, self.interner, spec=spec)
+        decoding = observe.current().accumulator("decode")
+
+        def generate():
+            count = 0
+            while True:
+                try:
+                    with decoding:
+                        definition = next(iterator)
+                except StopIteration:
+                    break
+                except ReproError:
+                    raise
+                except _CORRUPTION_ERRORS as exc:
+                    raise UnpackError(
+                        f"corrupt packed archive: {exc}") from exc
+                count += 1
+                yield definition
+            metrics = observe.current().metrics
+            if metrics is not None:
+                metrics.count("unpack.classes", count)
+
+        return generate()
+
+    def iter_classes(self, data: bytes) -> Iterator[ClassFile]:
+        """Reconstruct one :class:`ClassFile` at a time (§11 order).
+
+        The streaming counterpart of :meth:`unpack`: consumers that
+        drop each class after use (``repro unpack``'s jar writer,
+        ``repro stats`` attribution) hold a single class instead of
+        the archive.
+        """
+        definitions = self.iter_ir(data)
+        reconstructing = observe.current().accumulator("reconstruct")
+
+        def generate():
+            for definition in definitions:
+                try:
+                    with reconstructing:
+                        classfile = reconstruct_class(definition)
+                except ReproError:
+                    raise
+                except _CORRUPTION_ERRORS as exc:
+                    raise UnpackError(
+                        f"corrupt packed archive: {exc}") from exc
+                yield classfile
+
+        return generate()

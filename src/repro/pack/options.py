@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 #: Codec execution backends.  Both produce byte-identical archives;
 #: ``compiled`` runs the specialized closures emitted by
@@ -63,6 +64,15 @@ class PackOptions:
     #: Affects which scheme ``auto`` picks, never how a picked scheme
     #: encodes.
     auto_sample: float = 1.0
+    #: Approximate encode-side memory target in bytes.  When set, the
+    #: compressor writes through spill-to-disk stream buffers
+    #: (:mod:`repro.pack.spool`): the count pass prices every stream,
+    #: a window plan keeps small streams resident and spills the big
+    #: ones, and serialization streams through temp files.  The packed
+    #: bytes are identical to the unbounded path — this knob trades
+    #: speed for a bounded resident set, never output.  ``None`` (the
+    #: default) keeps everything in memory.
+    memory_budget: Optional[int] = None
 
     def validate(self) -> "PackOptions":
         from ..errors import ReproError
@@ -79,6 +89,10 @@ class PackOptions:
         if not 0.0 < self.auto_sample <= 1.0:
             raise ReproError(
                 f"auto_sample must be in (0, 1], got {self.auto_sample}")
+        if self.memory_budget is not None and self.memory_budget < 1:
+            raise ReproError(
+                f"memory_budget must be a positive byte count, got "
+                f"{self.memory_budget}")
         return self
 
 

@@ -62,6 +62,10 @@ def canonical_options(options: PackOptions,
     # from the same archive packed with the winning scheme explicitly
     # (the header records the choice), so they must not share entries.
     fields.pop("codec_backend", None)
+    # Same reasoning for the memory budget: spill-to-disk packing is
+    # byte-identical to in-memory packing (pinned by tests/test_spool),
+    # so a bounded pack must serve unbounded requests and vice versa.
+    fields.pop("memory_budget", None)
     fields["strip"] = strip
     fields["eager"] = eager
     return json.dumps(fields, sort_keys=True, separators=(",", ":"))

@@ -106,6 +106,14 @@ def options_from_query(
     defaults = PackOptions()
     if default_backend is None:
         default_backend = defaults.codec_backend
+    memory_budget = defaults.memory_budget
+    if "memory_budget" in params:
+        raw = params["memory_budget"][-1]
+        try:
+            memory_budget = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"memory_budget must be a byte count, got {raw!r}")
     options = PackOptions(
         scheme=params.get("scheme", [defaults.scheme])[-1],
         use_context=_flag(params, "context", defaults.use_context),
@@ -115,6 +123,7 @@ def options_from_query(
         compress=_flag(params, "gzip", defaults.compress),
         preload=_flag(params, "preload", defaults.preload),
         codec_backend=params.get("backend", [default_backend])[-1],
+        memory_budget=memory_budget,
     ).validate()
     return options, _flag(params, "strip", False), \
         _flag(params, "eager", False)

@@ -254,7 +254,9 @@ def triage_job_from_path(path: Path,
                        faults=faults, load_error=str(exc))
     report = result.report.to_dict()
     try:
-        classes = classes_from_triage(result)
+        # Materialize: triage may hold spooled (file-backed) entries,
+        # and job classes must pickle across the pool boundary.
+        classes = dict(classes_from_triage(result))
     except TriageError as exc:
         return PackJob(job_id=job_id, classes={},
                        options=options or PackOptions(),

@@ -49,6 +49,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from .. import observe
 from ..jar.jarfile import make_jar
+from ..observe.rss import child_peak_rss_kb, peak_rss_kb
 from .cache import ResultCache, cache_key
 from .jobs import (
     STATUS_DEGRADED,
@@ -92,10 +93,16 @@ class EngineStats:
         self._latency_count = 0
         self._latency_sum = 0.0
         self._latency_max = 0.0
+        self._worker_rss_kb = 0
 
     def count(self, name: str, n: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe_worker_rss(self, kb: int) -> None:
+        """Track the highest per-attempt worker peak RSS seen."""
+        with self._lock:
+            self._worker_rss_kb = max(self._worker_rss_kb, kb)
 
     def observe_latency(self, seconds: float) -> None:
         with self._lock:
@@ -119,6 +126,7 @@ class EngineStats:
                     "mean_seconds": round(mean, 6),
                     "max_seconds": round(self._latency_max, 6),
                 },
+                "worker_peak_rss_kb": self._worker_rss_kb,
             }
 
 
@@ -220,7 +228,8 @@ class BatchEngine:
     # -- execution -------------------------------------------------------
 
     def _attempt(self, job: PackJob, attempt: int):
-        """Run one attempt; returns ``(packed, raw, class_count)``."""
+        """Run one attempt; returns
+        ``(packed, raw, class_count, worker_peak_rss_kb)``."""
         if self.workers == 0:
             return run_inline(job, attempt)
         payload = make_payload(job, attempt)
@@ -296,7 +305,9 @@ class BatchEngine:
             attempt += 1
             self._count("attempts")
             try:
-                packed, _raw, _count = self._attempt(job, attempt)
+                packed, _raw, _count, worker_rss = \
+                    self._attempt(job, attempt)
+                self.stats.observe_worker_rss(worker_rss)
             except WorkerInputError as exc:
                 attempt_errors.append(f"attempt {attempt}: {exc}")
                 break  # deterministic: retrying cannot succeed
@@ -378,4 +389,12 @@ class BatchEngine:
             "max_backoff": self.retry.max_backoff,
         }
         doc["cache"] = self.cache.stats() if self.cache else None
+        doc["rss"] = {
+            # Lifetime peaks: the parent process, the highest worker
+            # peak reported per attempt, and the kernel's aggregate
+            # over all reaped children (pool workers included).
+            "parent_peak_kb": peak_rss_kb(),
+            "worker_peak_kb": self.stats.to_dict()["worker_peak_rss_kb"],
+            "children_peak_kb": child_peak_rss_kb(),
+        }
         return doc

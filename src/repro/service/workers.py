@@ -31,6 +31,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..classfile.classfile import parse_class, write_class
 from ..jar.formats import strip_classes
 from ..loader.eager import eager_order
+from ..observe.rss import peak_rss_kb
 from ..pack import pack_archive
 from ..pack.options import PackOptions
 from .jobs import FaultSpec, PackJob
@@ -69,12 +70,17 @@ def _inject(faults: Optional[FaultSpec], attempt: int,
         raise RuntimeError(f"injected failure (attempt {attempt})")
 
 
-def pack_payload(payload: Dict[str, Any]) -> Tuple[bytes, int, int]:
-    """Pack one job; returns ``(packed, raw_bytes, class_count)``.
+def pack_payload(payload: Dict[str, Any]
+                 ) -> Tuple[bytes, int, int, int]:
+    """Pack one job; returns
+    ``(packed, raw_bytes, class_count, peak_rss_kb)``.
 
     ``raw_bytes`` is the serialized size of the (possibly stripped)
     class files actually packed — the same "raw" the ``repro pack``
-    summary line reports.
+    summary line reports.  ``peak_rss_kb`` is the worker process's
+    lifetime peak RSS after the pack — with ``options.memory_budget``
+    set, jobs pack densely enough that the engine can report worker
+    memory headroom in ``/stats``.
     """
     _inject(payload["faults"], payload["attempt"],
             payload.get("inject_crashes", True))
@@ -102,10 +108,11 @@ def pack_payload(payload: Dict[str, Any]) -> Tuple[bytes, int, int]:
         raise WorkerInputError(
             f"{type(exc).__name__}: {detail}" if detail
             else type(exc).__name__) from exc
-    return packed, raw, len(ordered)
+    return packed, raw, len(ordered), peak_rss_kb()
 
 
-def run_inline(job: PackJob, attempt: int) -> Tuple[bytes, int, int]:
+def run_inline(job: PackJob, attempt: int
+               ) -> Tuple[bytes, int, int, int]:
     """Execute an attempt in-process (``workers=0`` engines).
 
     Injected crashes become exceptions here — taking the calling

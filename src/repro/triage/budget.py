@@ -54,6 +54,12 @@ class TriageBudget:
     deadline_seconds: float = 30.0
     max_expansion_ratio: float = 200.0
     ratio_floor_bytes: int = 64 * 1024
+    #: Extracted entries at or above this size are spooled to a shared
+    #: temp file instead of held resident (see
+    #: :class:`repro.pack.spool.BlobStore`), so ingesting a container
+    #: full of large artifacts costs bounded memory.  Not a ceiling —
+    #: nothing is refused — hence no truncation reason.
+    spool_window_bytes: int = 4 * 1024 * 1024
 
     def validate(self) -> "TriageBudget":
         if self.max_depth < 0:
@@ -65,6 +71,8 @@ class TriageBudget:
             raise TriageError("deadline_seconds must be positive")
         if self.max_expansion_ratio <= 1:
             raise TriageError("max_expansion_ratio must exceed 1")
+        if self.spool_window_bytes <= 0:
+            raise TriageError("spool_window_bytes must be positive")
         return self
 
     def to_dict(self) -> Dict[str, Any]:
@@ -76,6 +84,7 @@ class TriageBudget:
             "deadline_seconds": self.deadline_seconds,
             "max_expansion_ratio": self.max_expansion_ratio,
             "ratio_floor_bytes": self.ratio_floor_bytes,
+            "spool_window_bytes": self.spool_window_bytes,
         }
 
 

@@ -44,10 +44,11 @@ import zipfile
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from .. import observe
 from ..errors import TriageError
+from ..pack.spool import BlobMap, BlobStore
 from .budget import TRUNCATE_DEPTH, BudgetTracker, TriageBudget
 from .magic import (
     CLASS_MAGIC,
@@ -86,10 +87,14 @@ class TriageResult:
     """What one recursive ingest produced."""
 
     report: TriageReport
-    #: canonical class entry name -> class-file bytes.
-    classes: Dict[str, bytes] = field(default_factory=dict)
+    #: canonical class entry name -> class-file bytes.  A
+    #: :class:`~repro.pack.spool.BlobMap` when produced by the walker:
+    #: entries at or above ``budget.spool_window_bytes`` live in a
+    #: shared temp file, not resident memory.  Callers that need a
+    #: picklable/plain mapping must ``dict()`` it.
+    classes: Mapping[str, bytes] = field(default_factory=dict)
     #: ``!``-qualified entry path -> raw bytes (deflate-fallback input).
-    resources: Dict[str, bytes] = field(default_factory=dict)
+    resources: Mapping[str, bytes] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -125,8 +130,12 @@ class _Walker:
         self.tracker = tracker or BudgetTracker(budget)
         self.report = TriageReport(root=root, budget=budget,
                                    truncations=self.tracker.truncations)
-        self.classes: Dict[str, bytes] = {}
-        self.resources: Dict[str, bytes] = {}
+        # One shared spool: entries >= spool_window_bytes are kept in a
+        # temp file rather than resident, so ingesting a container of
+        # large artifacts costs bounded memory.
+        self._store = BlobStore(budget.spool_window_bytes)
+        self.classes: BlobMap = BlobMap(self._store)
+        self.resources: BlobMap = BlobMap(self._store)
         #: canonical class name -> (MRJAR version, source path).
         self._class_sources: Dict[str, Tuple[int, str]] = {}
         #: digest of every artifact walked -> its path (dedup).
@@ -372,6 +381,9 @@ class _Walker:
 
     def finish(self) -> TriageResult:
         self.report.seconds = self.tracker.elapsed()
+        if self._store.spilled_entries:
+            self._count("spooled_entries", self._store.spilled_entries)
+            self._count("spooled_bytes", self._store.spilled_bytes)
         return TriageResult(report=self.report, classes=self.classes,
                             resources=self.resources)
 
@@ -443,7 +455,7 @@ def triage_path(path: Path,
     return triage_bytes(data, name=path.name, budget=budget)
 
 
-def classes_from_triage(result: TriageResult) -> Dict[str, bytes]:
+def classes_from_triage(result: TriageResult) -> Mapping[str, bytes]:
     """The packable classes of a triage, or :class:`TriageError`.
 
     Front doors that exist to *pack* (``repro pack --triage``, the
@@ -461,7 +473,9 @@ def classes_from_triage(result: TriageResult) -> Dict[str, bytes]:
         raise TriageError(
             f"triage found no class files in {result.report.root} "
             f"({totals['artifacts']} artifact(s) examined) — {detail}")
-    return dict(result.classes)
+    # Returned as-is (possibly spool-backed): iterating one entry at a
+    # time never materializes the whole corpus.
+    return result.classes
 
 
 __all__ = [

@@ -3,7 +3,14 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.coding.streams import StreamReader, StreamSet, concat_streams
+from repro.coding.streams import (
+    SizingStream,
+    SizingStreamSet,
+    StreamReader,
+    StreamSet,
+    concat_streams,
+)
+from repro.pack.spool import SpoolStreamSet
 
 
 class TestStreamSet:
@@ -75,6 +82,152 @@ class TestStreamSet:
         reader = StreamReader(streams.serialize())
         for name, payload in payloads.items():
             assert reader.stream(name).raw(len(payload)) == payload
+
+
+def _write_battery(streams):
+    """Values chosen to straddle varint width boundaries (0x7f/0x80,
+    0x3fff/0x4000) and ranged escape thresholds."""
+    cursor = streams.stream("varints")
+    for value in (0, 1, 127, 128, 129, 16383, 16384, 1 << 32):
+        cursor.uvarint(value)
+    for value in (0, -1, 1, -64, 64, -8192, 8192):
+        cursor.svarint(value)
+    other = streams.stream("mixed")
+    other.u8(0)
+    other.u8(255)
+    other.ranged(5, 10)        # one-byte form
+    other.ranged(700, 1000)    # escape form
+    other.raw(b"")
+    other.raw(b"raw payload \x00\xff")
+    # The compiled codec writes through ``stream.buf`` directly.
+    other.buf.append(42)
+    other.buf.extend(b"tail")
+
+
+def _read_battery(reader):
+    cursor = reader.stream("varints")
+    values = [cursor.uvarint() for _ in range(8)]
+    assert values == [0, 1, 127, 128, 129, 16383, 16384, 1 << 32]
+    signed = [cursor.svarint() for _ in range(7)]
+    assert signed == [0, -1, 1, -64, 64, -8192, 8192]
+    assert cursor.at_end()
+    other = reader.stream("mixed")
+    assert other.u8() == 0
+    assert other.u8() == 255
+    assert other.ranged(10) == 5
+    assert other.ranged(1000) == 700
+    assert other.raw(0) == b""
+    assert other.raw(14) == b"raw payload \x00\xff"
+    assert other.u8() == 42
+    assert other.raw(4) == b"tail"
+    assert other.at_end()
+
+
+class TestAdversarialChunking:
+    """The reader must be agnostic to how the writer chunked: a
+    one-byte spool window puts a flush boundary inside every multibyte
+    varint and every raw payload."""
+
+    @pytest.mark.parametrize("window", [1, 2, 3, 5])
+    @pytest.mark.parametrize("compress", [True, False])
+    def test_boundary_straddling_values(self, window, compress):
+        spool = SpoolStreamSet(budget_bytes=1, min_window=1)
+        spool.set_plan({"varints": window, "mixed": window})
+        _write_battery(spool)
+        assert spool.spool_stats()["spilled_streams"] == 2
+        data = spool.serialize(compress=compress)
+        _read_battery(StreamReader(data, compressed=compress))
+
+    @pytest.mark.parametrize("compress", [True, False])
+    def test_identical_to_unchunked(self, compress):
+        base = StreamSet()
+        _write_battery(base)
+        spool = SpoolStreamSet(budget_bytes=1, min_window=1)
+        spool.set_plan({"varints": 1, "mixed": 1})
+        _write_battery(spool)
+        assert spool.serialize(compress=compress) == \
+            base.serialize(compress=compress)
+
+    def test_truncation_mid_spill_rejected(self):
+        spool = SpoolStreamSet(budget_bytes=1, min_window=1)
+        spool.set_plan({"varints": 1, "mixed": 1})
+        _write_battery(spool)
+        data = spool.serialize(compress=False)
+        for cut in (1, len(data) // 2, len(data) - 1):
+            with pytest.raises(ValueError):
+                StreamReader(data[:cut], compressed=False)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 40),
+                    max_size=50))
+    def test_arbitrary_varints_across_windows(self, values):
+        base = StreamSet()
+        spool = SpoolStreamSet(budget_bytes=1, min_window=1)
+        spool.set_plan({"v": 1})
+        for streams in (base, spool):
+            cursor = streams.stream("v")
+            for value in values:
+                cursor.uvarint(value)
+        data = spool.serialize(compress=False)
+        assert data == base.serialize(compress=False)
+        cursor = StreamReader(data, compressed=False).stream("v")
+        assert [cursor.uvarint() for _ in values] == values
+
+
+class TestSizingStream:
+    """The analytic byte-counting port must agree exactly with the
+    bytes a real writer produces."""
+
+    def test_sizes_match_real_writer(self):
+        real = StreamSet()
+        sizing = SizingStreamSet()
+        _write_battery(real)
+        _write_battery(sizing)
+        assert sizing.raw_sizes() == real.raw_sizes()
+        assert sorted(sizing.names()) == sorted(real.raw_sizes())
+
+    @given(st.integers(min_value=0, max_value=1 << 62))
+    def test_uvarint_width(self, value):
+        real = StreamSet()
+        real.stream("s").uvarint(value)
+        sizing = SizingStream("s")
+        sizing.uvarint(value)
+        assert sizing.size == real.raw_sizes()["s"]
+
+    @given(st.integers(min_value=-(1 << 31), max_value=1 << 31))
+    def test_svarint_width(self, value):
+        real = StreamSet()
+        real.stream("s").svarint(value)
+        sizing = SizingStream("s")
+        sizing.svarint(value)
+        assert sizing.size == real.raw_sizes()["s"]
+
+    @given(st.integers(min_value=2, max_value=2000))
+    def test_ranged_width(self, n):
+        real = StreamSet()
+        real.stream("s").ranged(n - 1, n)
+        real.stream("s").ranged(0, n)
+        sizing = SizingStream("s")
+        sizing.ranged(n - 1, n)
+        sizing.ranged(0, n)
+        assert sizing.size == real.raw_sizes()["s"]
+
+    def test_append_validates_byte_range(self):
+        sizing = SizingStream("s")
+        sizing.append(0)
+        sizing.append(255)
+        with pytest.raises(ValueError):
+            sizing.append(256)
+        with pytest.raises(ValueError):
+            sizing.append(-1)
+        assert sizing.size == 2
+
+    def test_buf_is_self(self):
+        # The codec's compiled closures write through ``stream.buf``;
+        # the sizing port exposes itself there.
+        sizing = SizingStream("s")
+        sizing.buf.extend(b"abc")
+        sizing.buf.append(1)
+        assert len(sizing) == 4
 
 
 class TestConcatStreams:
