@@ -572,7 +572,18 @@ def _engine_from_args(args: argparse.Namespace):
     if not args.no_cache:
         budget = DEFAULT_MAX_BYTES if args.cache_bytes is None \
             else args.cache_bytes
-        cache = ResultCache(max_bytes=budget, spill_dir=args.cache_dir)
+        shards = getattr(args, "cache_shards", None)
+        if shards is None and getattr(args, "async_serve", False):
+            from .gateway import DEFAULT_SHARDS
+            shards = DEFAULT_SHARDS
+        if shards:
+            from .gateway import ShardedResultCache
+            cache = ShardedResultCache(shards=shards,
+                                       max_bytes=budget,
+                                       spill_dir=args.cache_dir)
+        else:
+            cache = ResultCache(max_bytes=budget,
+                                spill_dir=args.cache_dir)
     retry = RetryPolicy(max_attempts=args.max_attempts,
                         backoff=args.backoff)
     backend = PackOptions(
@@ -680,19 +691,40 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from .service import PackService
+    import time
 
     engine = _engine_from_args(args)
-    service = PackService(engine, host=args.host, port=args.port,
-                          verbose=args.verbose,
-                          max_body=args.max_body,
-                          triage=args.triage)
-    host, port = service.address
+    if args.async_serve:
+        from .gateway import AsyncGateway
+
+        service = AsyncGateway(engine, host=args.host,
+                               port=args.port,
+                               verbose=args.verbose,
+                               max_body=args.max_body,
+                               triage=args.triage)
+        # The asyncio gateway binds inside the event loop, so run it
+        # in the background to learn the address, then block on the
+        # serving thread.
+        host, port = service.start_background()
+        front = "asyncio gateway"
+    else:
+        from .service import PackService
+
+        service = PackService(engine, host=args.host, port=args.port,
+                              verbose=args.verbose,
+                              max_body=args.max_body,
+                              triage=args.triage)
+        host, port = service.address
+        front = "threaded"
     print(f"repro serve listening on http://{host}:{port} "
-          f"(workers={engine.workers}, "
+          f"({front}, workers={engine.workers}, "
           f"queue_limit={engine.queue_limit})")
     try:
-        service.serve_forever()
+        if args.async_serve:
+            while True:
+                time.sleep(3600)
+        else:
+            service.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
@@ -840,6 +872,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--triage", action="store_true",
                               help="triage request bodies by default "
                                    "(?triage=0 opts a request out)")
+    serve_parser.add_argument("--async", dest="async_serve",
+                              action="store_true",
+                              help="serve on the asyncio gateway: "
+                                   "streamed chunked bodies, ETag/304, "
+                                   "Range resume, X-Repro-Have "
+                                   "release-chain deltas, sharded "
+                                   "cache")
+    serve_parser.add_argument("--cache-shards", type=int, default=None,
+                              metavar="N",
+                              help="split the result cache into N "
+                                   "independently locked shards "
+                                   "(default: 8 with --async, "
+                                   "unsharded otherwise)")
     _add_service_options(serve_parser)
     serve_parser.set_defaults(func=cmd_serve)
     return parser

@@ -1,0 +1,34 @@
+"""repro.gateway — the asyncio streaming front end.
+
+The gateway layers three serving-scale pieces over the batch engine:
+
+* :mod:`repro.gateway.http` — :class:`AsyncGateway`, a pure-asyncio
+  HTTP front end with streamed chunked bodies, conditional GET
+  (ETag = cache key), Range resume, per-connection backpressure, and
+  429 admission control shared with the threaded server;
+* :mod:`repro.gateway.shards` — :class:`ShardedResultCache`, the
+  content-addressed cache split into independently locked LRU shards
+  routed by digest prefix;
+* :mod:`repro.gateway.releases` — :class:`ReleaseGraph`, the bounded
+  graph of known releases and delta costs behind release-chain
+  ``/delta`` serving (``X-Repro-Have``).
+
+Run it with ``repro serve --async``.
+"""
+
+from .http import MAX_DELTA_PROBES, STREAM_CHUNK, AsyncGateway
+from .releases import DEFAULT_MAX_RELEASES, ReleaseGraph
+from .shards import DEFAULT_SHARDS, ShardedResultCache, shard_index
+from .stats import GatewayStats
+
+__all__ = [
+    "AsyncGateway",
+    "DEFAULT_MAX_RELEASES",
+    "DEFAULT_SHARDS",
+    "GatewayStats",
+    "MAX_DELTA_PROBES",
+    "ReleaseGraph",
+    "STREAM_CHUNK",
+    "ShardedResultCache",
+    "shard_index",
+]

@@ -1,0 +1,694 @@
+"""The asyncio streaming front end: ``repro serve --async``.
+
+Same protocol surface as the threaded server (``/pack``, ``/delta``,
+``/stats``, ``/healthz``) on an :mod:`asyncio` transport built
+directly on ``asyncio.start_server`` — no third-party HTTP stack.
+What the event loop buys over one-thread-per-request:
+
+* **streamed bodies** — chunked (``Transfer-Encoding: chunked``)
+  uploads are decoded incrementally with the ``--max-body`` cap
+  enforced *as bytes arrive*, and responses are written in 64 KiB
+  slices with an ``await drain()`` between slices, so a slow client
+  paces its own connection instead of ballooning server buffers
+  (per-connection backpressure);
+* **conditional requests** — the strong ETag of a packed archive is
+  its content-addressed cache key; ``If-None-Match`` on ``POST
+  /pack``/``/delta`` (and ``GET /pack/<key>``) answers ``304 Not
+  Modified`` with an empty body before any engine work is queued;
+* **resumable downloads** — ``GET /pack/<key>`` serves cached
+  archives by key with single-range ``Range: bytes=…`` support
+  (``206``/``416``, ``Accept-Ranges``), so an interrupted fetch
+  resumes instead of restarting;
+* **admission control** — engine calls run on a thread-pool executor
+  gated by the shared :class:`~repro.service.admission
+  .AdmissionControl`; a saturated queue answers ``429`` with
+  ``Retry-After`` instead of stalling the accept loop;
+* **release-chain delta serving** — ``POST /delta`` clients advertise
+  the releases they hold via ``X-Repro-Have``; the gateway consults
+  its :class:`~repro.gateway.releases.ReleaseGraph`, probes the
+  cheapest candidate bases, serves the smallest delta container, and
+  falls back to the full pack when no advertised base beats it.
+
+Pack bytes served by the gateway are byte-identical to
+``pack_archive`` output — the engine underneath is the same
+:class:`~repro.service.scheduler.BatchEngine`, pool, retries, triage
+isolation and all.  See docs/SERVICE.md ("The asyncio gateway").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import JobInputError, ReproError
+from ..service.admission import AdmissionControl, QueueSaturated
+from ..service.cache import cache_key
+from ..service.frontend import (
+    TriageRejected,
+    etag_for,
+    etag_matches,
+    load_request_classes,
+    parse_have_keys,
+    parse_range,
+    result_content_type,
+    result_headers,
+)
+from ..service.http import DEFAULT_MAX_BODY, _flag, options_from_query
+from ..service.jobs import JobResult, PackJob
+from ..service.scheduler import BatchEngine
+from .releases import ReleaseGraph
+from .stats import GatewayStats
+
+#: Response bodies are written (and chunked-encoded) in slices of
+#: this size, with a ``drain()`` between slices.
+STREAM_CHUNK = 64 * 1024
+
+#: Unknown delta bases probed (diffed) per ``/delta`` request, after
+#: known-edge candidates.  Bounds worst-case diff work per request.
+MAX_DELTA_PROBES = 4
+
+_REASONS = {
+    200: "OK", 206: "Partial Content", 304: "Not Modified",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    413: "Payload Too Large", 416: "Range Not Satisfiable",
+    429: "Too Many Requests", 431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 501: "Not Implemented",
+}
+
+
+class _ProtocolError(Exception):
+    """An HTTP-level failure with a ready-to-send status."""
+
+    def __init__(self, status: int, message: str,
+                 close: bool = False,
+                 headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = status
+        self.close = close
+        self.headers = headers or {}
+
+
+@dataclass
+class _Request:
+    method: str
+    target: str
+    headers: Dict[str, str]
+    body: bytes = b""
+
+    @property
+    def path(self) -> str:
+        return urlparse(self.target).path
+
+    @property
+    def query(self) -> str:
+        return urlparse(self.target).query
+
+
+@dataclass
+class _Response:
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+    #: Stream the body with ``Transfer-Encoding: chunked`` instead of
+    #: ``Content-Length`` (POST success bodies; Range replies must
+    #: keep a length).
+    chunked: bool = False
+    close: bool = False
+
+
+def _json_response(status: int, doc: Dict[str, Any],
+                   **kwargs: Any) -> _Response:
+    return _Response(status,
+                     (json.dumps(doc, indent=2) + "\n").encode(),
+                     **kwargs)
+
+
+def _error_response(status: int, message: str,
+                    **kwargs: Any) -> _Response:
+    return _json_response(status, {"error": message}, **kwargs)
+
+
+class AsyncGateway:
+    """The asyncio serving subsystem around one shared engine.
+
+    Mirrors :class:`~repro.service.http.PackService`'s lifecycle
+    (``start_background`` / ``serve_forever`` / ``shutdown`` /
+    context manager) so the CLI and tests treat the two front ends
+    interchangeably.
+    """
+
+    def __init__(self, engine: BatchEngine,
+                 host: str = "127.0.0.1", port: int = 8790,
+                 verbose: bool = False,
+                 max_body: int = DEFAULT_MAX_BODY,
+                 triage: bool = False,
+                 releases: Optional[ReleaseGraph] = None,
+                 admission: Optional[AdmissionControl] = None):
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.verbose = verbose
+        self.max_body = max_body
+        self.triage_default = triage
+        self.releases = releases or ReleaseGraph()
+        self.stats = GatewayStats()
+        # Same rule as PackService: a workers=0 engine runs inline
+        # and has no pool queue, so nothing to admission-gate.
+        if admission is None and engine.workers > 0:
+            admission = AdmissionControl(engine.queue_limit)
+        self.admission = admission
+        self.address: Tuple[str, int] = (host, port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        # One executor thread per admission slot: an admitted request
+        # always has a thread to run its engine call on.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.engine.queue_limit,
+            thread_name_prefix="repro-gateway")
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=STREAM_CHUNK)
+        try:
+            self.address = server.sockets[0].getsockname()[:2]
+            self._ready.set()
+            async with server:
+                await self._stop.wait()
+        finally:
+            self._executor.shutdown(wait=False)
+
+    def serve_forever(self) -> None:
+        """Run the event loop in this thread (the CLI main loop)."""
+        asyncio.run(self._serve())
+
+    def start_background(self) -> Tuple[str, int]:
+        """Run the loop in a daemon thread; returns the bound
+        address."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-gateway",
+            daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("gateway failed to start")
+        return self.address
+
+    def shutdown(self) -> None:
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None \
+                and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already torn down
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "AsyncGateway":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _ProtocolError as exc:
+                    self.stats.count("errors.protocol")
+                    await self._write_response(
+                        writer, _error_response(
+                            exc.status, str(exc), close=True,
+                            headers=exc.headers))
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request, writer)
+                await self._write_response(writer, response,
+                                           head_only=False)
+                if response.close or request.headers.get(
+                        "connection", "").lower() == "close":
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass  # client went away mid-exchange
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Optional[_Request]:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, version = \
+                line.decode("latin-1").strip().split()
+        except ValueError:
+            raise _ProtocolError(400, "malformed request line",
+                                 close=True) from None
+        if not version.startswith("HTTP/1."):
+            raise _ProtocolError(501, f"unsupported {version}",
+                                 close=True)
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n"):
+                break
+            if not raw:
+                return None  # EOF mid-headers
+            if len(headers) >= 128:
+                raise _ProtocolError(431, "too many headers",
+                                     close=True)
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                raise _ProtocolError(400,
+                                     f"malformed header {raw!r}",
+                                     close=True)
+            headers[name.strip().lower()] = value.strip()
+        request = _Request(method, target, headers)
+        if method == "POST":
+            request.body = await self._read_body(reader, headers)
+        if self.verbose:
+            print(f"gateway: {method} {target} "
+                  f"({len(request.body)} byte body)")
+        return request
+
+    async def _read_body(self, reader: asyncio.StreamReader,
+                         headers: Dict[str, str]) -> bytes:
+        if headers.get("expect", "").lower() == "100-continue":
+            # The client is waiting for permission to send the body.
+            pass  # granted implicitly by reading; writer side sends
+            # nothing: urllib/http.client don't use Expect, and a
+            # strict client will proceed after its timeout.
+        encoding = headers.get("transfer-encoding", "").lower()
+        if "chunked" in encoding:
+            return await self._read_chunked(reader)
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _ProtocolError(400, "bad Content-Length",
+                                 close=True) from None
+        if length < 0:
+            raise _ProtocolError(400, "bad Content-Length", close=True)
+        if self.max_body and length > self.max_body:
+            # Refuse before reading — same contract as the threaded
+            # server's pre-read cap.
+            raise _ProtocolError(
+                413, f"request body of {length} bytes exceeds the "
+                     f"{self.max_body}-byte limit", close=True)
+        if length == 0:
+            return b""
+        return await reader.readexactly(length)
+
+    async def _read_chunked(self, reader: asyncio.StreamReader
+                            ) -> bytes:
+        """Decode a chunked upload, enforcing the cap incrementally —
+        an unbounded stream is cut off at ``max_body``, not after."""
+        body = bytearray()
+        while True:
+            size_line = await reader.readline()
+            try:
+                size = int(size_line.split(b";", 1)[0].strip(), 16)
+            except ValueError:
+                raise _ProtocolError(400, "malformed chunk size",
+                                     close=True) from None
+            if size == 0:
+                while True:  # drain trailers
+                    trailer = await reader.readline()
+                    if trailer in (b"\r\n", b"\n", b""):
+                        break
+                return bytes(body)
+            if self.max_body and len(body) + size > self.max_body:
+                raise _ProtocolError(
+                    413, f"chunked body exceeds the "
+                         f"{self.max_body}-byte limit", close=True)
+            body.extend(await reader.readexactly(size))
+            await reader.readexactly(2)  # chunk-terminating CRLF
+
+    # -- response writing ------------------------------------------------
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              response: _Response,
+                              head_only: bool = False) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        head = [f"HTTP/1.1 {response.status} {reason}",
+                "Server: repro-gateway/1"]
+        headers = dict(response.headers)
+        if response.status != 304:
+            headers.setdefault("Content-Type", response.content_type)
+        if response.status == 304:
+            pass  # no body, no framing headers
+        elif response.chunked:
+            headers["Transfer-Encoding"] = "chunked"
+        else:
+            headers["Content-Length"] = str(len(response.body))
+        if response.close:
+            headers["Connection"] = "close"
+        head.extend(f"{name}: {value}"
+                    for name, value in headers.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n")
+                     .encode("latin-1"))
+        if response.status == 304 or head_only:
+            await writer.drain()
+            return
+        body = response.body
+        for offset in range(0, len(body), STREAM_CHUNK):
+            piece = body[offset:offset + STREAM_CHUNK]
+            if response.chunked:
+                writer.write(f"{len(piece):x}\r\n".encode())
+                writer.write(piece)
+                writer.write(b"\r\n")
+            else:
+                writer.write(piece)
+            # Per-connection backpressure: wait for the transport
+            # buffer to drain before producing the next slice.
+            await writer.drain()
+        if response.chunked:
+            writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        self.stats.count("bytes_out", len(body))
+
+    # -- dispatch --------------------------------------------------------
+
+    async def _dispatch(self, request: _Request,
+                        writer: asyncio.StreamWriter) -> _Response:
+        start = time.perf_counter()
+        route, handler = self._route(request)
+        self.stats.count("requests")
+        try:
+            response = await handler(request)
+        except QueueSaturated as exc:
+            self.stats.count("rejected")
+            response = _error_response(
+                429, str(exc),
+                headers={"Retry-After": exc.retry_after_header})
+        except _ProtocolError as exc:
+            response = _error_response(exc.status, str(exc),
+                                       close=exc.close,
+                                       headers=exc.headers)
+        except TriageRejected as exc:
+            response = _json_response(
+                400, {"error": str(exc), "triage": exc.report})
+        except (JobInputError, ValueError) as exc:
+            response = _error_response(400, str(exc))
+        except ReproError as exc:
+            response = _error_response(500, str(exc))
+        if response.status >= 500:
+            self.stats.count("errors.5xx")
+        elif response.status >= 400:
+            self.stats.count("errors.4xx")
+        self.stats.observe_route(route,
+                                 time.perf_counter() - start)
+        return response
+
+    def _route(self, request: _Request):
+        path, method = request.path, request.method
+        if path == "/healthz" and method == "GET":
+            return "healthz", self._handle_healthz
+        if path == "/stats" and method == "GET":
+            return "stats", self._handle_stats
+        if path == "/pack" and method == "POST":
+            return "pack", self._handle_pack
+        if path.startswith("/pack/") and method == "GET":
+            return "pack_get", self._handle_pack_get
+        if path == "/delta" and method == "POST":
+            return "delta", self._handle_delta
+        return "unknown", self._handle_unknown
+
+    async def _handle_unknown(self, request: _Request) -> _Response:
+        return _error_response(
+            404, f"no such endpoint: "
+                 f"{request.method} {request.path}")
+
+    async def _handle_healthz(self, request: _Request) -> _Response:
+        return _Response(200, b"ok\n", content_type="text/plain")
+
+    async def _handle_stats(self, request: _Request) -> _Response:
+        doc = self.engine.stats_dict()
+        doc["gateway"] = self.stats.to_dict()
+        doc["gateway"]["admission"] = \
+            self.admission.stats() if self.admission is not None \
+            else None
+        doc["gateway"]["releases"] = self.releases.stats()
+        return _json_response(200, doc)
+
+    # -- blocking work ----------------------------------------------------
+
+    async def _run_blocking(self, fn, *args):
+        return await self._loop.run_in_executor(
+            self._executor, fn, *args)
+
+    def _prepare_job(self, request: _Request
+                     ) -> Tuple[PackJob, Dict[str, str],
+                                Optional[str]]:
+        """Parse options + classes; returns
+        ``(job, triage headers, cache key or None)``."""
+        options, strip, eager = options_from_query(
+            request.query, self.engine.codec_backend)
+        params = parse_qs(request.query)
+        triage = _flag(params, "triage", self.triage_default)
+        classes, triage_headers = \
+            load_request_classes(request.body, triage)
+        job = PackJob(job_id="gateway", classes=classes,
+                      options=options, strip=strip, eager=eager)
+        key = None
+        if self.engine.cache is not None:
+            key = cache_key(classes, options, strip, eager)
+        return job, triage_headers, key
+
+    def _execute(self, job: PackJob) -> JobResult:
+        """Admission-gated engine call (runs on an executor
+        thread)."""
+        if self.admission is not None:
+            with self.admission.admit():
+                result = self.engine.execute(job)
+        else:
+            result = self.engine.execute(job)
+        if result.data is not None and not result.degraded \
+                and result.key is not None:
+            self.releases.add_release(result.key, len(result.data))
+        return result
+
+    @staticmethod
+    def _not_modified(key: str,
+                      extra: Optional[Dict[str, str]] = None
+                      ) -> _Response:
+        headers = {"ETag": etag_for(key), "X-Repro-Key": key}
+        headers.update(extra or {})
+        return _Response(304, headers=headers)
+
+    # -- /pack ------------------------------------------------------------
+
+    async def _handle_pack(self, request: _Request) -> _Response:
+        job, triage_headers, key = await self._run_blocking(
+            self._prepare_job, request)
+        if key is not None and etag_matches(
+                request.headers.get("if-none-match"), key):
+            # The client already holds these exact bytes; skip the
+            # engine entirely.
+            self.stats.count("pack.not_modified")
+            return self._not_modified(key, triage_headers)
+        result = await self._run_blocking(self._execute, job)
+        if result.data is None:
+            return _json_response(500, {
+                "error": result.error or "pack failed",
+                "job": result.to_dict(),
+            })
+        self.stats.count("pack.served")
+        return _Response(
+            200, result.data,
+            content_type=result_content_type(result),
+            headers=result_headers(result, triage_headers),
+            chunked=True)
+
+    async def _handle_pack_get(self, request: _Request) -> _Response:
+        if self.engine.cache is None:
+            return _error_response(
+                400, "GET /pack/<key> requires the result cache "
+                     "(serve without --no-cache)")
+        key = request.path[len("/pack/"):]
+        data = await self._run_blocking(
+            lambda: self.engine.cache.get(key)[0])
+        if data is None:
+            return _error_response(
+                404, f"unknown archive {key}; POST /pack to "
+                     "create it")
+        if etag_matches(request.headers.get("if-none-match"), key):
+            self.stats.count("pack.not_modified")
+            return self._not_modified(key)
+        headers = {"ETag": etag_for(key), "X-Repro-Key": key,
+                   "Accept-Ranges": "bytes"}
+        try:
+            span = parse_range(request.headers.get("range"),
+                               len(data))
+        except ValueError:
+            self.stats.count("pack.bad_range")
+            return _error_response(
+                416, "unsatisfiable Range",
+                headers={"Content-Range": f"bytes */{len(data)}"})
+        if span is None:
+            self.stats.count("pack.fetched")
+            return _Response(200, data,
+                             content_type="application/x-repro-pack",
+                             headers=headers)
+        start, end = span
+        headers["Content-Range"] = \
+            f"bytes {start}-{end}/{len(data)}"
+        self.stats.count("pack.resumed")
+        return _Response(206, data[start:end + 1],
+                         content_type="application/x-repro-pack",
+                         headers=headers)
+
+    # -- /delta -----------------------------------------------------------
+
+    @staticmethod
+    def _delta_cache_key(base_key: str, target_key: str) -> str:
+        """Content address of a delta container.
+
+        Both inputs are content-addressed packs and the diff is
+        deterministic, so the pair of keys addresses the delta bytes;
+        the option canonicalization is already inside each pack key.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(b"repro.gateway.delta/1")
+        digest.update(base_key.encode())
+        digest.update(b">")
+        digest.update(target_key.encode())
+        return digest.hexdigest()
+
+    def _probe_bases(self, have, result, options):
+        """Pick the cheapest delta among advertised bases (runs on an
+        executor thread).  Returns ``(delta bytes, base key, summary
+        headers)`` or ``None`` when no base beats the full pack."""
+        from ..delta import diff_packed
+
+        cache = self.engine.cache
+        target_key = result.key
+        best = None  # (delta bytes, base key, headers dict)
+        probes = 0
+        for base_key, known_cost in self.releases.rank_bases(
+                have, target_key):
+            if base_key == target_key:
+                continue
+            if best is not None and known_cost is not None \
+                    and known_cost >= len(best[0]):
+                # Ranked ascending: everything after a known cost
+                # that already loses is either worse or unknown.
+                continue
+            delta_key = self._delta_cache_key(base_key, target_key)
+            delta, _ = cache.get(delta_key)
+            headers: Optional[Dict[str, str]] = None
+            if delta is not None:
+                meta, _ = cache.get(delta_key + "-meta")
+                if meta is not None:
+                    headers = json.loads(meta)
+                self.stats.count("delta.cache_hits")
+            else:
+                if known_cost is None:
+                    if probes >= MAX_DELTA_PROBES:
+                        continue
+                    probes += 1
+                base_data, _ = cache.get(base_key)
+                if base_data is None:
+                    self.stats.count("delta.base_misses")
+                    continue
+                try:
+                    delta, summary = diff_packed(
+                        base_data, result.data, options)
+                except ReproError:
+                    self.stats.count("delta.probe_failures")
+                    continue
+                headers = {
+                    "X-Repro-Delta-Unchanged": str(summary.unchanged),
+                    "X-Repro-Delta-Modified": str(summary.modified),
+                    "X-Repro-Delta-Added": str(summary.added),
+                    "X-Repro-Delta-Removed": str(summary.removed),
+                    "X-Repro-Delta-Ratio": f"{summary.ratio:.4f}",
+                }
+                cache.put(delta_key, delta)
+                cache.put(delta_key + "-meta",
+                          json.dumps(headers).encode())
+                self.releases.record_edge(base_key, target_key,
+                                          len(delta))
+            if best is None or len(delta) < len(best[0]):
+                best = (delta, base_key, headers or {})
+        if best is not None and len(best[0]) < len(result.data):
+            return best
+        return None
+
+    async def _handle_delta(self, request: _Request) -> _Response:
+        if self.engine.cache is None:
+            return _error_response(
+                400, "/delta requires the result cache "
+                     "(serve without --no-cache)")
+        params = parse_qs(request.query)
+        have = parse_have_keys(request.headers.get("x-repro-have"),
+                               params.get("base", [None])[-1])
+        if not have:
+            return _error_response(
+                400, "advertise held releases via X-Repro-Have "
+                     "(or the legacy base=<key> parameter)")
+        job, triage_headers, key = await self._run_blocking(
+            self._prepare_job, request)
+        if key is not None and etag_matches(
+                request.headers.get("if-none-match"), key):
+            self.stats.count("delta.not_modified")
+            return self._not_modified(key, triage_headers)
+        result = await self._run_blocking(self._execute, job)
+        if result.data is None:
+            return _json_response(500, {
+                "error": result.error or "pack failed",
+                "job": result.to_dict(),
+            })
+        if result.degraded:
+            return _json_response(500, {
+                "error": "pack degraded to a fallback jar; "
+                         "no delta possible",
+                "job": result.to_dict(),
+            })
+        options, _, _ = options_from_query(
+            request.query, self.engine.codec_backend)
+        best = await self._run_blocking(
+            self._probe_bases, have, result, options)
+        headers = result_headers(result, triage_headers)
+        if best is None:
+            # No advertised base beats re-shipping the whole pack.
+            self.stats.count("delta.served_full")
+            headers["X-Repro-Served"] = "full"
+            return _Response(
+                200, result.data,
+                content_type=result_content_type(result),
+                headers=headers, chunked=True)
+        delta, base_key, summary_headers = best
+        self.stats.count("delta.served_delta")
+        headers.update(summary_headers)
+        headers["X-Repro-Served"] = "delta"
+        headers["X-Repro-Delta-Base"] = base_key
+        return _Response(200, delta,
+                         content_type="application/x-repro-dpack",
+                         headers=headers, chunked=True)

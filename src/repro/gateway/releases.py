@@ -1,0 +1,141 @@
+"""The release graph: which archive versions exist and how cheaply
+one turns into another.
+
+Every pack the gateway serves is a *release* — a content-addressed
+key plus its full-pack size.  Every delta it computes is an *edge*
+``base -> target`` weighted by the delta container's byte size.  A
+``/delta`` client advertises the releases it already holds
+(``X-Repro-Have``); the gateway answers with the cheapest way to get
+it to the target:
+
+* a **known edge** from an advertised base — served straight from the
+  delta cache, no diff work;
+* an **unknown edge** — the diff is computed once, recorded, and the
+  next client holding the same base gets the known-edge path;
+* **full pack** — when no advertised base produces a delta smaller
+  than the full archive (the paper's wire format is already small, so
+  a client too many releases behind is often better served whole).
+
+The graph is bounded: releases are kept LRU by last touch, and
+evicting a release drops its edges.  Everything is guarded by one
+lock — operations are dict lookups, orders of magnitude cheaper than
+the diffs they index, so a sharded design would be ceremony here.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Default bound on tracked releases.  Each release is a dict entry
+#: plus its out/in edges; 4096 covers months of daily builds for
+#: hundreds of artifacts.
+DEFAULT_MAX_RELEASES = 4096
+
+
+class ReleaseGraph:
+    """A bounded directed graph of releases and delta costs."""
+
+    def __init__(self, max_releases: int = DEFAULT_MAX_RELEASES):
+        if max_releases < 2:
+            raise ValueError("max_releases must be >= 2")
+        self.max_releases = max_releases
+        self._lock = threading.Lock()
+        #: key -> {"size": full pack bytes, "edges": {target: bytes}}
+        self._releases: "OrderedDict[str, Dict[str, Any]]" = \
+            OrderedDict()
+        self.evictions = 0
+
+    # -- internals (lock held) ------------------------------------------
+
+    def _touch(self, key: str) -> None:
+        self._releases.move_to_end(key)
+
+    def _ensure(self, key: str, size: Optional[int] = None
+                ) -> Dict[str, Any]:
+        node = self._releases.get(key)
+        if node is None:
+            node = {"size": size or 0, "edges": {}}
+            self._releases[key] = node
+            self._evict_to_bound()
+        elif size:
+            node["size"] = size
+        self._touch(key)
+        return node
+
+    def _evict_to_bound(self) -> None:
+        while len(self._releases) > self.max_releases:
+            evicted, _ = self._releases.popitem(last=False)
+            self.evictions += 1
+            for node in self._releases.values():
+                node["edges"].pop(evicted, None)
+
+    # -- recording -------------------------------------------------------
+
+    def add_release(self, key: str, size: int) -> None:
+        """Register (or refresh) a release and its full-pack size."""
+        with self._lock:
+            self._ensure(key, size)
+
+    def record_edge(self, base: str, target: str,
+                    delta_bytes: int) -> None:
+        """Record that ``base -> target`` costs ``delta_bytes``."""
+        if base == target:
+            return
+        with self._lock:
+            node = self._ensure(base)
+            self._ensure(target)
+            node["edges"][target] = delta_bytes
+
+    # -- queries ---------------------------------------------------------
+
+    def known_edge(self, base: str, target: str) -> Optional[int]:
+        with self._lock:
+            node = self._releases.get(base)
+            if node is None:
+                return None
+            return node["edges"].get(target)
+
+    def release_size(self, key: str) -> Optional[int]:
+        with self._lock:
+            node = self._releases.get(key)
+            return node["size"] if node and node["size"] else None
+
+    def rank_bases(self, have: Iterable[str], target: str
+                   ) -> List[Tuple[str, Optional[int]]]:
+        """Advertised bases ordered cheapest-first for ``target``.
+
+        Bases with a known edge cost come first (ascending); unknown
+        bases follow in client order.  The gateway probes in this
+        order so a known-cheap base short-circuits diff work.
+        """
+        known: List[Tuple[str, int]] = []
+        unknown: List[Tuple[str, Optional[int]]] = []
+        with self._lock:
+            for key in have:
+                node = self._releases.get(key)
+                cost = node["edges"].get(target) if node else None
+                if cost is None:
+                    unknown.append((key, None))
+                else:
+                    known.append((key, cost))
+        known.sort(key=lambda pair: pair[1])
+        return list(known) + unknown
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._releases)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            edges = sum(len(node["edges"])
+                        for node in self._releases.values())
+            return {
+                "releases": len(self._releases),
+                "edges": edges,
+                "max_releases": self.max_releases,
+                "evictions": self.evictions,
+            }

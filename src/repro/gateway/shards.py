@@ -1,0 +1,150 @@
+"""Sharded content-addressed cache for hot-archive serving.
+
+The single-lock :class:`~repro.service.cache.ResultCache` is correct
+but serializes *everything* — including disk-spill reads, which hold
+the lock across file I/O.  Under concurrent cache-hit traffic (the
+gateway's entire point) that one lock becomes the ceiling.
+
+:class:`ShardedResultCache` splits the keyspace into ``shards``
+independent :class:`ResultCache` instances, routed by a prefix of the
+key's hex digest (:func:`shard_index`).  Each shard has its own lock
+and its own LRU, so hits on different hot archives proceed in
+parallel — and because a disk read releases the GIL, concurrent
+disk-hits on different shards genuinely overlap.
+
+Properties worth keeping:
+
+* **Stable routing** — :func:`shard_index` is a pure function of the
+  key text, so the same key always lands on the same shard, across
+  instances, processes, and restarts (tested as a property).
+* **Disk compatibility** — every shard shares one spill directory
+  with the exact layout the single-lock cache uses (two-level
+  ``key[:2]/key`` fan-out).  A ``--cache-dir`` written by the
+  threaded server serves the gateway and vice versa; routing
+  determinism means no two shards ever touch the same file.
+* **API compatibility** — same ``get``/``put``/``stats`` surface as
+  :class:`ResultCache`, so the :class:`BatchEngine` takes either.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..service.cache import DEFAULT_MAX_BYTES, ResultCache
+
+#: Default shard count for ``repro serve --async``.  Shards cost a
+#: few dict entries each; 8 keeps collision probability low for
+#: dozens of hot archives without fragmenting the byte budget.
+DEFAULT_SHARDS = 8
+
+#: Hex digits of the key that select the shard.  8 digits = 32 bits,
+#: far more resolution than any sane shard count needs.
+_PREFIX_DIGITS = 8
+
+
+def shard_index(key: str, shards: int) -> int:
+    """The shard a key routes to — a pure, stable function.
+
+    Keys are hex SHA-256 digests; the first 8 hex digits are already
+    uniformly distributed, so a modulo is an unbiased router.  Keys
+    that are not hex (never produced by the service, but the cache
+    should not crash on them) fall back to ``hash``-free folding over
+    the raw bytes so routing stays deterministic across processes.
+    """
+    prefix = key[:_PREFIX_DIGITS]
+    try:
+        value = int(prefix, 16)
+    except ValueError:
+        value = 0
+        for byte in prefix.encode("utf-8", "replace"):
+            value = (value * 131 + byte) & 0xFFFFFFFF
+    return value % shards
+
+
+class ShardedResultCache:
+    """N independent LRU shards behind the :class:`ResultCache` API."""
+
+    def __init__(self,
+                 shards: int = DEFAULT_SHARDS,
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 spill_dir: Optional[Path] = None):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.max_bytes = max_bytes
+        self.spill_dir = Path(spill_dir) if spill_dir else None
+        # Split the byte budget evenly; every shard shares the one
+        # spill directory (stable routing keeps their key sets
+        # disjoint, so the on-disk layout is identical to the
+        # single-lock cache's).
+        per_shard = max(1, max_bytes // shards) if max_bytes else 0
+        self._shards: List[ResultCache] = [
+            ResultCache(max_bytes=per_shard, spill_dir=spill_dir)
+            for _ in range(shards)
+        ]
+
+    def _shard(self, key: str) -> ResultCache:
+        return self._shards[shard_index(key, self.shards)]
+
+    # -- ResultCache API -------------------------------------------------
+
+    def get(self, key: str) -> Tuple[Optional[bytes], bool]:
+        return self._shard(key).get(key)
+
+    def put(self, key: str, data: bytes) -> None:
+        self._shard(key).put(key, data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._shard(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    @property
+    def current_bytes(self) -> int:
+        return sum(shard.current_bytes for shard in self._shards)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self._shards)
+
+    @property
+    def disk_hits(self) -> int:
+        return sum(shard.disk_hits for shard in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        return sum(shard.evictions for shard in self._shards)
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate counters plus per-shard occupancy (the
+        ``/stats`` ``cache.shard_occupancy`` list)."""
+        per_shard = [shard.stats() for shard in self._shards]
+        return {
+            "entries": sum(s["entries"] for s in per_shard),
+            "bytes": sum(s["bytes"] for s in per_shard),
+            "max_bytes": self.max_bytes,
+            "hits": sum(s["hits"] for s in per_shard),
+            "misses": sum(s["misses"] for s in per_shard),
+            "disk_hits": sum(s["disk_hits"] for s in per_shard),
+            "evictions": sum(s["evictions"] for s in per_shard),
+            "spill_dir": str(self.spill_dir) if self.spill_dir
+            else None,
+            "shards": self.shards,
+            "shard_occupancy": [
+                {"entries": s["entries"], "bytes": s["bytes"],
+                 "hits": s["hits"]}
+                for s in per_shard
+            ],
+        }

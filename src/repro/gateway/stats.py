@@ -1,0 +1,69 @@
+"""Gateway observability: counters and per-route latency histograms.
+
+The engine already tracks job-level metrics; the gateway adds the
+transport level — how many requests each route saw, how they resolved
+(``not_modified``, ``delta_served``, ``full_served``, ``rejected``),
+and a per-route wall-latency histogram with exact p50/p99 (the
+:class:`~repro.observe.metrics.Histogram` kept by ``/stats``).
+
+Everything is mirrored into an installed :mod:`repro.observe`
+recorder under ``gateway.*`` (counters) and ``gateway.route_ms.*``
+(histograms), same convention as the engine's ``service.*`` family,
+so a ``--metrics-json`` capture of a serving session carries both
+layers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict
+
+from .. import observe
+from ..observe.metrics import Histogram
+
+
+class GatewayStats:
+    """Thread-safe counters plus per-route latency histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._routes: Dict[str, Histogram] = {}
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+        metrics = observe.current().metrics
+        if metrics is not None:
+            metrics.count(f"gateway.{name}", n)
+
+    def observe_route(self, route: str, seconds: float) -> None:
+        ms = int(seconds * 1000)
+        with self._lock:
+            histogram = self._routes.get(route)
+            if histogram is None:
+                histogram = self._routes[route] = Histogram()
+            histogram.observe(ms)
+        metrics = observe.current().metrics
+        if metrics is not None:
+            metrics.observe(f"gateway.route_ms.{route}", ms)
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "routes": {
+                    route: {
+                        "count": h.count,
+                        "mean_ms": round(h.mean(), 3),
+                        "p50_ms": h.percentile(0.50),
+                        "p99_ms": h.percentile(0.99),
+                        "max_ms": max(h.counts) if h.counts else 0,
+                    }
+                    for route, h in sorted(self._routes.items())
+                },
+            }

@@ -16,13 +16,27 @@ turns packing into an operable workload:
   (parse → strip/order → pack) plus the fault-injection chaos hooks;
 * :mod:`~repro.service.http` — the ``repro serve`` front end
   (``/pack``, ``/delta``, ``/stats``, ``/healthz`` on a threading
-  HTTP server).
+  HTTP server);
+* :mod:`~repro.service.frontend` — the cache protocol (``X-Repro-*``
+  headers, ETag semantics, ``X-Repro-Have``, Range parsing) shared
+  with the asyncio gateway (:mod:`repro.gateway`);
+* :mod:`~repro.service.admission` — the non-blocking admission gate
+  both front ends use to answer 429 + ``Retry-After`` when the batch
+  queue is saturated.
 
 The CLI surfaces all of it as ``repro batch`` and ``repro serve``;
 see docs/SERVICE.md for semantics and docs/CLI.md for flags.
 """
 
+from .admission import AdmissionControl, QueueSaturated
 from .cache import ResultCache, cache_key, canonical_options
+from .frontend import (
+    etag_for,
+    etag_matches,
+    parse_have_keys,
+    parse_range,
+    result_headers,
+)
 from .http import DEFAULT_MAX_BODY, PackService, options_from_query
 from .jobs import (
     REPORT_SCHEMA,
@@ -48,6 +62,7 @@ from .scheduler import BatchEngine, EngineStats, JobTimeout, RetryPolicy
 from .workers import WorkerInputError, pack_payload
 
 __all__ = [
+    "AdmissionControl",
     "BatchEngine",
     "DEFAULT_MAX_BODY",
     "EngineStats",
@@ -57,6 +72,7 @@ __all__ = [
     "JobTimeout",
     "PackJob",
     "PackService",
+    "QueueSaturated",
     "REPORT_SCHEMA",
     "ResultCache",
     "RetryPolicy",
@@ -70,11 +86,16 @@ __all__ = [
     "canonical_options",
     "classes_from_jar",
     "classes_from_path",
+    "etag_for",
+    "etag_matches",
     "job_from_path",
     "jobs_from_directory",
     "jobs_from_manifest",
     "options_from_query",
     "pack_payload",
+    "parse_have_keys",
+    "parse_range",
+    "result_headers",
     "triage_job_from_path",
     "triage_jobs_from_directory",
     "triage_jobs_from_manifest",

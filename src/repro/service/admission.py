@@ -1,0 +1,115 @@
+"""Admission control shared by both HTTP front ends.
+
+The :class:`~repro.service.scheduler.BatchEngine` already has
+backpressure — a bounded semaphore that makes an over-eager submitter
+*block*.  That is the right behavior for ``repro batch`` (the caller
+owns the whole queue), but the wrong one for an HTTP daemon: a blocked
+request thread ties up a connection, and on the asyncio gateway a
+blocked handler would stall the event loop's executor slots.  A loaded
+server should instead tell the client to come back.
+
+:class:`AdmissionControl` is the shared gate.  Each front end wraps
+every engine call in :meth:`admit`; when the number of in-flight
+requests would exceed the engine's ``queue_limit``, the request is
+refused *before any work is queued* with :class:`QueueSaturated`,
+which both servers translate into ``429 Too Many Requests`` plus a
+``Retry-After`` header.  Admitted requests proceed to the engine and
+may still briefly block on the engine's own semaphore — but never more
+than ``queue_limit`` of them exist, so the accept loop stays live.
+
+The controller is plain ``threading`` (no asyncio imports): the
+threaded server calls it from request threads, the gateway from
+executor threads, and both see the same counters.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator
+
+from ..errors import ReproError
+
+#: Default advice for a refused client, in seconds.  One second is
+#: one pack job's order of magnitude on the shaped corpora; front
+#: ends may scale it with saturation.
+DEFAULT_RETRY_AFTER = 1.0
+
+
+class QueueSaturated(ReproError):
+    """Raised by :meth:`AdmissionControl.admit` when the queue is full.
+
+    Carries the ``Retry-After`` advice so the transport layer only has
+    to format headers.
+    """
+
+    def __init__(self, limit: int, retry_after: float):
+        super().__init__(
+            f"request queue is saturated ({limit} in flight); "
+            f"retry after {retry_after:g}s")
+        self.limit = limit
+        self.retry_after = retry_after
+
+    @property
+    def retry_after_header(self) -> str:
+        """``Retry-After`` wants integer seconds; round up so the
+        client never comes back early."""
+        return str(max(1, math.ceil(self.retry_after)))
+
+
+class AdmissionControl:
+    """A non-blocking bounded gate in front of the batch engine."""
+
+    def __init__(self, limit: int,
+                 retry_after: float = DEFAULT_RETRY_AFTER):
+        if limit < 1:
+            raise ValueError("admission limit must be >= 1")
+        self.limit = limit
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def try_acquire(self) -> bool:
+        """Take a slot if one is free; never blocks."""
+        with self._lock:
+            if self._inflight >= self.limit:
+                self.rejected += 1
+                return False
+            self._inflight += 1
+            self.admitted += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("release without acquire")
+            self._inflight -= 1
+
+    @contextmanager
+    def admit(self) -> Iterator[None]:
+        """Hold one slot for the duration, or raise
+        :class:`QueueSaturated` immediately."""
+        if not self.try_acquire():
+            raise QueueSaturated(self.limit, self.retry_after)
+        try:
+            yield
+        finally:
+            self.release()
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "limit": self.limit,
+                "inflight": self._inflight,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "retry_after": self.retry_after,
+            }

@@ -1,0 +1,191 @@
+"""Protocol helpers shared by the threaded server and the gateway.
+
+``repro serve`` has two transports — the legacy
+:class:`~repro.service.http.PackService` (one thread per request) and
+the asyncio :class:`~repro.gateway.http.AsyncGateway` — that must
+speak exactly the same cache protocol: the same ``X-Repro-*`` result
+headers, the same ETag semantics (the strong ETag of a packed archive
+*is* its content-addressed cache key), and the same triage ingestion
+of request bodies.  This module is that shared vocabulary, kept free
+of any transport imports so both sides can use it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import JobInputError
+from .jobs import JobResult, classes_from_jar
+
+#: Upper bound on ``X-Repro-Have`` keys a single ``/delta`` request
+#: may advertise; extras beyond it are ignored (cheapest-base search
+#: is linear in the candidate count).
+MAX_HAVE_KEYS = 16
+
+
+class TriageRejected(JobInputError):
+    """A triaged request body with nothing packable.
+
+    Carries the full ``repro.triage/1`` report so the transport can
+    return it as the 400 response body.
+    """
+
+    def __init__(self, message: str, report: Dict[str, Any]):
+        super().__init__(message)
+        self.report = report
+
+
+def triage_request_classes(body: bytes
+                           ) -> Tuple[Dict[str, bytes], Dict[str, str]]:
+    """Ingest a request body through bounded recursive triage.
+
+    Returns ``(classes, response headers)``; raises
+    :class:`TriageRejected` when triage finds nothing packable.
+    """
+    from ..triage import triage_bytes
+
+    result = triage_bytes(body, name="request-body")
+    if not result.classes:
+        raise TriageRejected(
+            "triage found no class files in the request body",
+            result.report.to_dict())
+    totals = result.report.totals()
+    headers = {
+        "X-Repro-Triage-Artifacts": str(totals["artifacts"]),
+        "X-Repro-Triage-Truncations": str(totals["truncations"]),
+        "X-Repro-Triage-Resources": str(totals["resources"]),
+    }
+    return dict(result.classes), headers
+
+
+def load_request_classes(body: bytes, triage: bool
+                         ) -> Tuple[Dict[str, bytes], Dict[str, str]]:
+    """Request body -> ``(class bytes, extra response headers)``.
+
+    ``triage`` selects bounded recursive ingestion over the flat jar
+    reader.  Raises :class:`JobInputError` (or the richer
+    :class:`TriageRejected`) for unpackable bodies.
+    """
+    if triage:
+        return triage_request_classes(body)
+    return classes_from_jar(body), {}
+
+
+def result_headers(result: JobResult,
+                   triage_headers: Optional[Dict[str, str]] = None
+                   ) -> Dict[str, str]:
+    """The ``X-Repro-*`` response headers both front ends emit."""
+    cache_state = "miss"
+    if result.cached:
+        cache_state = "disk-hit" if result.cache_disk else "hit"
+    headers = {
+        "X-Repro-Status": result.status,
+        "X-Repro-Cache": cache_state,
+        "X-Repro-Attempts": str(result.attempts),
+    }
+    if result.key is not None:
+        headers["X-Repro-Key"] = result.key
+        headers["ETag"] = etag_for(result.key)
+    headers.update(triage_headers
+                   or getattr(result, "triage_headers", None) or {})
+    return headers
+
+
+def result_content_type(result: JobResult) -> str:
+    return "application/java-archive" if result.degraded \
+        else "application/x-repro-pack"
+
+
+# -- ETag / conditional requests ----------------------------------------
+
+
+def etag_for(key: str) -> str:
+    """The strong ETag of a packed archive: its quoted cache key."""
+    return f'"{key}"'
+
+
+def etag_matches(if_none_match: Optional[str], key: str) -> bool:
+    """RFC 9110 ``If-None-Match`` against a cache key.
+
+    Accepts a comma-separated list, quoted or bare keys, ``W/``
+    weak prefixes (weak comparison is fine for a byte-identical
+    content address), and ``*``.
+    """
+    if not if_none_match or not key:
+        return False
+    for candidate in if_none_match.split(","):
+        candidate = candidate.strip()
+        if candidate == "*":
+            return True
+        if candidate.startswith(("W/", "w/")):
+            candidate = candidate[2:].strip()
+        if candidate.startswith('"') and candidate.endswith('"') \
+                and len(candidate) >= 2:
+            candidate = candidate[1:-1]
+        if candidate == key:
+            return True
+    return False
+
+
+def parse_have_keys(header: Optional[str],
+                    base_param: Optional[str] = None) -> List[str]:
+    """The candidate base keys a ``/delta`` client advertises.
+
+    Merges the ``X-Repro-Have`` header (comma-separated cache keys)
+    with the legacy ``base=`` query parameter, de-duplicated in
+    client order, capped at :data:`MAX_HAVE_KEYS`.
+    """
+    seen: List[str] = []
+    raw: List[str] = []
+    if base_param:
+        raw.append(base_param)
+    if header:
+        raw.extend(header.split(","))
+    for key in raw:
+        key = key.strip().strip('"')
+        if key and key not in seen:
+            seen.append(key)
+        if len(seen) >= MAX_HAVE_KEYS:
+            break
+    return seen
+
+
+# -- Range requests -----------------------------------------------------
+
+
+def parse_range(header: Optional[str], size: int
+                ) -> Optional[Tuple[int, int]]:
+    """A single ``bytes=`` range as ``(start, end)`` (inclusive).
+
+    Returns ``None`` when there is no usable range header (serve the
+    whole body) and raises :class:`ValueError` for a syntactically
+    valid range that cannot be satisfied (translate to 416).
+    Multi-range requests are served whole — permitted by RFC 9110,
+    which lets a server ignore or simplify ``Range``.
+    """
+    if not header or size == 0:
+        return None
+    header = header.strip()
+    if not header.startswith("bytes="):
+        return None
+    spec = header[len("bytes="):]
+    if "," in spec:  # multi-range: serve the full body instead
+        return None
+    start_s, _, end_s = spec.partition("-")
+    start_s, end_s = start_s.strip(), end_s.strip()
+    try:
+        if start_s == "":
+            # suffix form: last N bytes
+            suffix = int(end_s)
+            if suffix <= 0:
+                raise ValueError(header)
+            start, end = max(0, size - suffix), size - 1
+        else:
+            start = int(start_s)
+            end = int(end_s) if end_s else size - 1
+    except ValueError:
+        raise ValueError(f"unparsable Range {header!r}") from None
+    if start >= size or start < 0 or end < start:
+        raise ValueError(f"unsatisfiable Range {header!r} "
+                         f"for {size} bytes")
+    return start, min(end, size - 1)

@@ -58,6 +58,20 @@ Endpoints
 Both POST endpoints refuse bodies larger than the server's
 ``max_body`` (``repro serve --max-body``, default 32 MiB) with 413.
 
+Both POST endpoints also speak the shared cache protocol of
+:mod:`repro.service.frontend`:
+
+* responses carry a strong ``ETag`` — the quoted content-addressed
+  cache key (identical to ``X-Repro-Key``);
+* a request with ``If-None-Match`` matching the key the body would
+  produce is answered ``304 Not Modified`` with an empty body before
+  any engine work is queued;
+* when the engine's batch queue is saturated the server answers
+  ``429 Too Many Requests`` with a ``Retry-After`` header instead of
+  blocking the request thread (the same
+  :class:`~repro.service.admission.AdmissionControl` gates the
+  asyncio gateway, ``repro serve --async``).
+
 ``GET /stats``
     JSON: engine counters, latency summary, retry policy, cache
     occupancy (:meth:`BatchEngine.stats_dict`).
@@ -75,7 +89,17 @@ from urllib.parse import parse_qs, urlparse
 
 from ..errors import ReproError
 from ..pack.options import PackOptions
-from .jobs import JobInputError, JobResult, PackJob, classes_from_jar
+from .admission import AdmissionControl, QueueSaturated
+from .cache import cache_key
+from .frontend import (
+    TriageRejected,
+    etag_for,
+    etag_matches,
+    load_request_classes,
+    result_content_type,
+    result_headers,
+)
+from .jobs import JobInputError, JobResult, PackJob
 from .scheduler import BatchEngine
 
 #: Flags understood by ``/pack`` query strings.  ``1/true/yes/on``
@@ -170,7 +194,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if path == "/healthz":
             self._respond(200, b"ok\n", content_type="text/plain")
         elif path == "/stats":
-            self._respond_json(200, self.engine.stats_dict())
+            doc = self.engine.stats_dict()
+            admission = getattr(self.server, "admission", None)
+            if admission is not None:
+                doc["admission"] = admission.stats()
+            self._respond_json(200, doc)
         else:
             self._respond_error(404, f"no such endpoint: {path}")
 
@@ -208,54 +236,53 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return None
         return self.rfile.read(length)
 
-    def _triage_classes(self, body: bytes) -> Optional[Dict[str, Any]]:
-        """Triage the request body; responds 400 (with the full
-        triage report) and returns None when nothing is packable."""
-        from ..triage import triage_bytes
-
-        result = triage_bytes(body, name="request-body")
-        if not result.classes:
-            self._respond_json(400, {
-                "error": "triage found no class files in the "
-                         "request body",
-                "triage": result.report.to_dict(),
-            })
-            return None
-        totals = result.report.totals()
-        return {
-            "classes": dict(result.classes),
-            "headers": {
-                "X-Repro-Triage-Artifacts": str(totals["artifacts"]),
-                "X-Repro-Triage-Truncations":
-                    str(totals["truncations"]),
-                "X-Repro-Triage-Resources": str(totals["resources"]),
-            },
-        }
-
     def _execute_pack(self, url, body) -> Optional[JobResult]:
         """Pack the request body through the engine; None after
-        responding with an error."""
+        responding with an error (or an early 304)."""
         try:
             options, strip, eager = options_from_query(
                 url.query, self.engine.codec_backend)
             params = parse_qs(url.query)
-            triage_headers: Dict[str, str] = {}
-            if _flag(params, "triage",
-                     getattr(self.server, "triage_default", False)):
-                triaged = self._triage_classes(body)
-                if triaged is None:
-                    return None
-                classes = triaged["classes"]
-                triage_headers = triaged["headers"]
-            else:
-                classes = classes_from_jar(body)
+            triage = _flag(params, "triage",
+                           getattr(self.server, "triage_default",
+                                   False))
+            classes, triage_headers = \
+                load_request_classes(body, triage)
+        except TriageRejected as exc:
+            self._respond_json(400, {"error": str(exc),
+                                     "triage": exc.report})
+            return None
         except (JobInputError, ValueError) as exc:
             self._respond_error(400, str(exc))
             return None
+        if self.engine.cache is not None:
+            key = cache_key(classes, options, strip, eager)
+            if etag_matches(self.headers.get("If-None-Match"), key):
+                # The client already holds these exact bytes: answer
+                # 304 with an empty body before queueing any work.
+                headers = {"ETag": etag_for(key), "X-Repro-Key": key}
+                headers.update(triage_headers)
+                self._respond(304, b"", headers=headers)
+                return None
         job = PackJob(job_id=f"http-{self.client_address[0]}",
                       classes=classes, options=options,
                       strip=strip, eager=eager)
-        result = self.engine.execute(job)
+        admission = getattr(self.server, "admission", None)
+        try:
+            if admission is not None:
+                with admission.admit():
+                    result = self.engine.execute(job)
+            else:
+                result = self.engine.execute(job)
+        except QueueSaturated as exc:
+            # Non-blocking admission: a saturated batch queue turns
+            # into 429 + Retry-After instead of a stalled thread.
+            self._respond(
+                429,
+                (json.dumps({"error": str(exc)}, indent=2) + "\n")
+                .encode(),
+                headers={"Retry-After": exc.retry_after_header})
+            return None
         if result.data is None:
             self._respond_json(500, {
                 "error": result.error or "pack failed",
@@ -265,29 +292,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
         result.triage_headers = triage_headers
         return result
 
-    @staticmethod
-    def _result_headers(result: JobResult) -> Dict[str, str]:
-        cache_state = "miss"
-        if result.cached:
-            cache_state = "disk-hit" if result.cache_disk else "hit"
-        headers = {
-            "X-Repro-Status": result.status,
-            "X-Repro-Cache": cache_state,
-            "X-Repro-Attempts": str(result.attempts),
-        }
-        if result.key is not None:
-            headers["X-Repro-Key"] = result.key
-        headers.update(getattr(result, "triage_headers", {}))
-        return headers
-
     def _handle_pack(self, url, body) -> None:
         result = self._execute_pack(url, body)
         if result is None:
             return
-        content_type = "application/java-archive" if result.degraded \
-            else "application/x-repro-pack"
-        self._respond(200, result.data, content_type=content_type,
-                      headers=self._result_headers(result))
+        self._respond(200, result.data,
+                      content_type=result_content_type(result),
+                      headers=result_headers(result))
 
     def _handle_delta(self, url, body) -> None:
         if self.engine.cache is None:
@@ -328,7 +339,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._respond_error(400, f"cannot delta from base "
                                      f"{base_key}: {exc}")
             return
-        headers = self._result_headers(result)
+        headers = result_headers(result)
         headers.update({
             "X-Repro-Delta-Unchanged": str(summary.unchanged),
             "X-Repro-Delta-Modified": str(summary.modified),
@@ -352,13 +363,21 @@ class PackService:
                  host: str = "127.0.0.1", port: int = 8790,
                  verbose: bool = False,
                  max_body: int = DEFAULT_MAX_BODY,
-                 triage: bool = False):
+                 triage: bool = False,
+                 admission: Optional[AdmissionControl] = None):
         self.engine = engine
+        # Admission guards the *pool queue*; a workers=0 engine runs
+        # inline on the request thread and has no queue to saturate,
+        # so it gets no gate (tests can still pass one explicitly).
+        if admission is None and engine.workers > 0:
+            admission = AdmissionControl(engine.queue_limit)
+        self.admission = admission
         self._server = ThreadingHTTPServer((host, port), ServiceHandler)
         self._server.engine = engine  # type: ignore[attr-defined]
         self._server.verbose = verbose  # type: ignore[attr-defined]
         self._server.max_body = max_body  # type: ignore[attr-defined]
         self._server.triage_default = triage  # type: ignore[attr-defined]
+        self._server.admission = self.admission  # type: ignore[attr-defined]
         self._server.daemon_threads = True
         self._thread: Optional[Any] = None
 

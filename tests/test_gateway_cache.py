@@ -1,0 +1,239 @@
+"""Tests for the gateway's sharded cache and release graph.
+
+The contention tests exercise the property the sharding exists for:
+parallel get/put/evict traffic across shards — including the
+disk-spill path, where the single-lock cache serializes file reads —
+must stay correct under threads.
+"""
+
+import hashlib
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.gateway import (
+    DEFAULT_SHARDS,
+    ReleaseGraph,
+    ShardedResultCache,
+    shard_index,
+)
+from repro.service import ResultCache
+
+
+def _key(i: int) -> str:
+    return hashlib.sha256(f"entry-{i}".encode()).hexdigest()
+
+
+def _value(key: str, size: int = 256) -> bytes:
+    # A value derived from its key, so a cross-shard mixup is
+    # detectable as corrupted bytes.
+    seed = key.encode()
+    return (seed * (size // len(seed) + 1))[:size]
+
+
+class TestShardRouting:
+    def test_routing_is_stable_for_fixed_digest(self):
+        """Property: the same key always lands on the same shard —
+        across calls, instances, and shard objects."""
+        rng = random.Random(7)
+        for _ in range(200):
+            key = hashlib.sha256(
+                rng.randbytes(16)).hexdigest()
+            for shards in (1, 2, 4, 8, 16):
+                first = shard_index(key, shards)
+                assert first == shard_index(key, shards)
+                assert 0 <= first < shards
+                assert first == int(key[:8], 16) % shards
+
+    def test_routing_matches_cache_placement(self):
+        cache = ShardedResultCache(shards=4)
+        for i in range(64):
+            key = _key(i)
+            cache.put(key, _value(key))
+            shard = cache._shards[shard_index(key, 4)]
+            assert key in shard
+
+    def test_non_hex_keys_route_deterministically(self):
+        for key in ("not-hex-at-all", "zzzzzzzz1234", ""):
+            assert shard_index(key, 8) == shard_index(key, 8)
+            assert 0 <= shard_index(key, 8) < 8
+
+    def test_keys_spread_across_shards(self):
+        used = {shard_index(_key(i), DEFAULT_SHARDS)
+                for i in range(256)}
+        assert len(used) == DEFAULT_SHARDS
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedResultCache(shards=0)
+
+
+class TestShardedCacheBasics:
+    def test_get_put_roundtrip(self):
+        cache = ShardedResultCache(shards=4)
+        key = _key(1)
+        assert cache.get(key) == (None, False)
+        cache.put(key, b"payload")
+        data, from_disk = cache.get(key)
+        assert data == b"payload"
+        assert not from_disk
+        assert key in cache
+        assert len(cache) == 1
+        assert cache.current_bytes == len(b"payload")
+
+    def test_stats_aggregate_and_occupancy(self):
+        cache = ShardedResultCache(shards=4, max_bytes=1 << 20)
+        for i in range(32):
+            cache.put(_key(i), _value(_key(i)))
+        for i in range(32):
+            cache.get(_key(i))
+        stats = cache.stats()
+        assert stats["shards"] == 4
+        assert stats["entries"] == 32
+        assert stats["hits"] == 32
+        assert len(stats["shard_occupancy"]) == 4
+        assert sum(s["entries"]
+                   for s in stats["shard_occupancy"]) == 32
+        assert sum(s["hits"]
+                   for s in stats["shard_occupancy"]) == 32
+
+    def test_clear(self):
+        cache = ShardedResultCache(shards=4)
+        for i in range(8):
+            cache.put(_key(i), b"x")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+    def test_disk_layout_matches_single_lock_cache(self, tmp_path):
+        """A spill store written by the sharded cache is readable by
+        the single-lock cache and vice versa."""
+        sharded = ShardedResultCache(shards=4, spill_dir=tmp_path)
+        single = ResultCache(spill_dir=tmp_path)
+        key_a, key_b = _key(1), _key(2)
+        sharded.put(key_a, b"from-sharded")
+        single.put(key_b, b"from-single")
+        fresh_single = ResultCache(spill_dir=tmp_path)
+        fresh_sharded = ShardedResultCache(shards=8,
+                                           spill_dir=tmp_path)
+        assert fresh_single.get(key_a) == (b"from-sharded", True)
+        assert fresh_sharded.get(key_b) == (b"from-single", True)
+
+
+class TestShardedCacheContention:
+    N_KEYS = 48
+    N_THREADS = 8
+    ROUNDS = 40
+
+    def _hammer(self, cache):
+        """Parallel get/put traffic; every read must return the
+        key-derived bytes or a miss — never foreign data."""
+        errors = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker(seed):
+            rng = random.Random(seed)
+            barrier.wait()
+            for _ in range(self.ROUNDS):
+                key = _key(rng.randrange(self.N_KEYS))
+                if rng.random() < 0.5:
+                    cache.put(key, _value(key))
+                else:
+                    data, _ = cache.get(key)
+                    if data is not None and data != _value(key):
+                        errors.append(key)
+
+        with ThreadPoolExecutor(self.N_THREADS) as pool:
+            list(pool.map(worker, range(self.N_THREADS)))
+        assert errors == []
+
+    def test_parallel_get_put_in_memory(self):
+        self._hammer(ShardedResultCache(shards=4))
+
+    def test_parallel_get_put_with_evictions(self):
+        # A budget small enough that puts continually evict across
+        # every shard while readers race them.
+        budget = 8 * 256  # ~8 entries across 4 shards
+        self._hammer(ShardedResultCache(shards=4, max_bytes=budget))
+
+    def test_parallel_disk_spill_races(self, tmp_path):
+        # max_bytes=0: nothing is admitted to memory, every get is a
+        # disk read — the path the single lock serializes and the
+        # shards overlap.
+        cache = ShardedResultCache(shards=4, max_bytes=0,
+                                   spill_dir=tmp_path)
+        for i in range(self.N_KEYS):
+            cache.put(_key(i), _value(_key(i)))
+        self._hammer(cache)
+        assert cache.disk_hits > 0
+
+    def test_parallel_traffic_lands_on_home_shards(self):
+        cache = ShardedResultCache(shards=4)
+        self._hammer(cache)
+        for index, shard in enumerate(cache._shards):
+            for key in list(shard._entries):
+                assert shard_index(key, 4) == index
+
+
+class TestReleaseGraph:
+    def test_add_and_rank(self):
+        graph = ReleaseGraph()
+        graph.add_release("aa", 1000)
+        graph.add_release("bb", 1200)
+        graph.add_release("cc", 900)
+        graph.record_edge("aa", "cc", 300)
+        graph.record_edge("bb", "cc", 120)
+        ranked = graph.rank_bases(["aa", "bb", "zz"], "cc")
+        assert ranked == [("bb", 120), ("aa", 300), ("zz", None)]
+        assert graph.known_edge("bb", "cc") == 120
+        assert graph.known_edge("zz", "cc") is None
+        assert graph.release_size("aa") == 1000
+        assert len(graph) == 3
+
+    def test_self_edge_ignored(self):
+        graph = ReleaseGraph()
+        graph.add_release("aa", 100)
+        graph.record_edge("aa", "aa", 5)
+        assert graph.known_edge("aa", "aa") is None
+        assert graph.stats()["edges"] == 0
+
+    def test_eviction_drops_edges(self):
+        graph = ReleaseGraph(max_releases=2)
+        graph.add_release("aa", 100)
+        graph.add_release("bb", 100)
+        graph.record_edge("bb", "aa", 10)
+        graph.add_release("cc", 100)  # evicts LRU ("aa"... "bb"?)
+        stats = graph.stats()
+        assert stats["releases"] == 2
+        assert stats["evictions"] >= 1
+        # No edge may reference an evicted release.
+        evicted = {"aa", "bb", "cc"} - set(graph._releases)
+        for node in graph._releases.values():
+            assert not (set(node["edges"]) & evicted)
+
+    def test_rank_is_thread_safe_under_churn(self):
+        graph = ReleaseGraph(max_releases=16)
+        stop = threading.Event()
+
+        def churn():
+            i = 0
+            while not stop.is_set():
+                graph.add_release(f"{i % 32:02d}", 100 + i)
+                graph.record_edge(f"{i % 32:02d}",
+                                  f"{(i + 1) % 32:02d}", i % 500)
+                i += 1
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for _ in range(500):
+                ranked = graph.rank_bases(
+                    [f"{i:02d}" for i in range(8)], "00")
+                costs = [cost for _, cost in ranked
+                         if cost is not None]
+                assert costs == sorted(costs)
+        finally:
+            stop.set()
+            thread.join()

@@ -231,3 +231,69 @@ class TestDeltaEndpoint:
                 _post(svc, "/delta?base=" + "0" * 64, jars[1])
             assert err.value.code == 400
         engine.close()
+
+
+class TestConditionalGet:
+    def test_if_none_match_is_304(self, service, jar_bytes):
+        first = _post(service, "/pack", jar_bytes)
+        key = first.headers["X-Repro-Key"]
+        first.read()
+        assert first.headers["ETag"] == f'"{key}"'
+        request = urllib.request.Request(
+            _url(service, "/pack"), data=jar_bytes, method="POST",
+            headers={"If-None-Match": f'"{key}"'})
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 304
+        assert err.value.headers["X-Repro-Key"] == key
+        assert err.value.read() == b""
+        # The 304 answered before any engine work was queued.
+        doc = json.loads(urllib.request.urlopen(
+            _url(service, "/stats"), timeout=10).read())
+        assert doc["counters"]["jobs"] == 1
+
+    def test_stale_etag_still_packs(self, service, jar_bytes):
+        first = _post(service, "/pack", jar_bytes)
+        body = first.read()
+        request = urllib.request.Request(
+            _url(service, "/pack"), data=jar_bytes, method="POST",
+            headers={"If-None-Match": '"0" * 64'})
+        response = urllib.request.urlopen(request, timeout=10)
+        assert response.status == 200
+        assert response.read() == body
+
+
+class TestAdmission:
+    def test_saturated_queue_is_429(self, jar_bytes):
+        from repro.service import AdmissionControl
+
+        engine = BatchEngine(workers=0, cache=ResultCache())
+        admission = AdmissionControl(1)
+        with PackService(engine, port=0,
+                         admission=admission) as svc:
+            svc.start_background()
+            assert admission.try_acquire()  # hold the only slot
+            try:
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    _post(svc, "/pack", jar_bytes)
+                assert err.value.code == 429
+                assert int(err.value.headers["Retry-After"]) >= 1
+                body = json.loads(err.value.read())
+                assert "saturated" in body["error"]
+            finally:
+                admission.release()
+            response = _post(svc, "/pack", jar_bytes)
+            assert response.status == 200
+            response.read()
+            doc = json.loads(urllib.request.urlopen(
+                _url(svc, "/stats"), timeout=10).read())
+            assert doc["admission"]["rejected"] == 1
+            assert doc["admission"]["limit"] == 1
+        engine.close()
+
+    def test_inline_engine_has_no_admission_gate(self):
+        engine = BatchEngine(workers=0, cache=ResultCache())
+        with PackService(engine, port=0) as svc:
+            svc.start_background()
+            assert svc.admission is None
+        engine.close()
