@@ -41,6 +41,7 @@ import asyncio
 import json
 import threading
 import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
@@ -53,6 +54,7 @@ from ..service.frontend import (
     TriageRejected,
     etag_for,
     etag_matches,
+    is_cache_key,
     load_request_classes,
     parse_have_keys,
     parse_range,
@@ -100,6 +102,7 @@ class _Request:
     target: str
     headers: Dict[str, str]
     body: bytes = b""
+    version: str = "HTTP/1.1"
 
     @property
     def path(self) -> str:
@@ -243,6 +246,13 @@ class AsyncGateway:
                 if request is None:
                     break
                 response = await self._dispatch(request, writer)
+                if request.version == "HTTP/1.0":
+                    # HTTP/1.0 clients don't understand chunked
+                    # framing; fall back to Content-Length (the body
+                    # is already in memory) and close the connection
+                    # (no keep-alive pre-1.1).
+                    response.chunked = False
+                    response.close = True
                 await self._write_response(writer, response,
                                            head_only=False)
                 if response.close or request.headers.get(
@@ -288,9 +298,15 @@ class AsyncGateway:
                                      f"malformed header {raw!r}",
                                      close=True)
             headers[name.strip().lower()] = value.strip()
-        request = _Request(method, target, headers)
+        request = _Request(method, target, headers, version=version)
         if method == "POST":
             request.body = await self._read_body(reader, headers)
+        elif "content-length" in headers \
+                or "transfer-encoding" in headers:
+            # Drain (and cap) any declared body on other methods so
+            # the next keep-alive request starts at a request line
+            # instead of parsing leftover body bytes.
+            await self._read_body(reader, headers)
         if self.verbose:
             print(f"gateway: {method} {target} "
                   f"({len(request.body)} byte body)")
@@ -416,6 +432,12 @@ class AsyncGateway:
             response = _error_response(400, str(exc))
         except ReproError as exc:
             response = _error_response(500, str(exc))
+        except Exception:
+            # A handler bug must surface as a 500 (counted below),
+            # not a silently dropped connection.
+            self.stats.count("errors.unhandled")
+            traceback.print_exc()
+            response = _error_response(500, "internal server error")
         if response.status >= 500:
             self.stats.count("errors.5xx")
         elif response.status >= 400:
@@ -530,6 +552,13 @@ class AsyncGateway:
                 400, "GET /pack/<key> requires the result cache "
                      "(serve without --no-cache)")
         key = request.path[len("/pack/"):]
+        if not is_cache_key(key):
+            # Only 64-hex digests ever name an archive; anything
+            # else (notably ../-shaped path text) must not reach the
+            # cache's spill-file lookup.
+            return _error_response(
+                404, "malformed archive key (expected the 64-hex "
+                     "X-Repro-Key of a packed archive)")
         data = await self._run_blocking(
             lambda: self.engine.cache.get(key)[0])
         if data is None:

@@ -35,7 +35,9 @@ from ..service.cache import DEFAULT_MAX_BYTES, ResultCache
 
 #: Default shard count for ``repro serve --async``.  Shards cost a
 #: few dict entries each; 8 keeps collision probability low for
-#: dozens of hot archives without fragmenting the byte budget.
+#: dozens of hot archives.  The byte budget is *not* fragmented
+#: across shards — admission is per-shard up to the full budget,
+#: with a global accounting pass after each put.
 DEFAULT_SHARDS = 8
 
 #: Hex digits of the key that select the shard.  8 digits = 32 bits,
@@ -74,26 +76,54 @@ class ShardedResultCache:
         self.shards = shards
         self.max_bytes = max_bytes
         self.spill_dir = Path(spill_dir) if spill_dir else None
-        # Split the byte budget evenly; every shard shares the one
-        # spill directory (stable routing keeps their key sets
+        # Every shard gets the *whole* byte budget as its admission
+        # cap — splitting it N ways would silently refuse any entry
+        # larger than budget/N, a regression against the single-lock
+        # cache, which admits anything up to the full budget.  The
+        # global bound is enforced after each put instead
+        # (:meth:`_evict_to_global_budget`).  Every shard shares the
+        # one spill directory (stable routing keeps their key sets
         # disjoint, so the on-disk layout is identical to the
         # single-lock cache's).
-        per_shard = max(1, max_bytes // shards) if max_bytes else 0
         self._shards: List[ResultCache] = [
-            ResultCache(max_bytes=per_shard, spill_dir=spill_dir)
+            ResultCache(max_bytes=max_bytes, spill_dir=spill_dir)
             for _ in range(shards)
         ]
 
     def _shard(self, key: str) -> ResultCache:
         return self._shards[shard_index(key, self.shards)]
 
+    def _evict_to_global_budget(self) -> None:
+        """Trim the shard ensemble back under the global budget.
+
+        Approximate global LRU: evict the least-recently-used entry
+        of whichever shard currently holds the most bytes, until the
+        sum fits.  No cross-shard lock is taken — each probe/evict
+        takes one shard lock at a time, so a racing put can overshoot
+        momentarily, and the next put converges it.
+        """
+        while True:
+            sizes = [shard.current_bytes for shard in self._shards]
+            if sum(sizes) <= self.max_bytes:
+                return
+            fullest = self._shards[sizes.index(max(sizes))]
+            if fullest.evict_lru() == 0:
+                return  # raced with a clear(); nothing left to trim
+
     # -- ResultCache API -------------------------------------------------
 
     def get(self, key: str) -> Tuple[Optional[bytes], bool]:
-        return self._shard(key).get(key)
+        data, from_disk = self._shard(key).get(key)
+        if from_disk and self.max_bytes:
+            # A disk hit re-admits the bytes to its shard's memory
+            # level; keep the ensemble under the global budget.
+            self._evict_to_global_budget()
+        return data, from_disk
 
     def put(self, key: str, data: bytes) -> None:
         self._shard(key).put(key, data)
+        if self.max_bytes:
+            self._evict_to_global_budget()
 
     def __contains__(self, key: str) -> bool:
         return key in self._shard(key)

@@ -33,6 +33,7 @@ from .cache import ResultCache, cache_key, canonical_options
 from .frontend import (
     etag_for,
     etag_matches,
+    is_cache_key,
     parse_have_keys,
     parse_range,
     result_headers,
@@ -88,6 +89,7 @@ __all__ = [
     "classes_from_path",
     "etag_for",
     "etag_matches",
+    "is_cache_key",
     "job_from_path",
     "jobs_from_directory",
     "jobs_from_manifest",

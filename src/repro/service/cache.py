@@ -47,6 +47,21 @@ KEY_VERSION = b"repro.service.cache/1"
 DEFAULT_MAX_BYTES = 64 * 1024 * 1024
 
 
+def spill_safe(key: str) -> bool:
+    """Whether a key may be used to name a spill file.
+
+    The front ends validate network-supplied keys against the strict
+    64-hex grammar before any cache access; this is the cache's own
+    last line of defense, so even a future caller that forgets to
+    validate cannot turn a key like ``../../etc/passwd`` into a path
+    outside the spill directory.  Internal derived keys
+    (``<digest>-meta``) stay admissible: only path separators and
+    leading dots (``.``/``..``) are refused.
+    """
+    return bool(key) and "/" not in key and "\\" not in key \
+        and not key.startswith(".")
+
+
 def canonical_options(options: PackOptions,
                       strip: bool = False,
                       eager: bool = False) -> str:
@@ -143,7 +158,7 @@ class ResultCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return data, False
-            if self.spill_dir:
+            if self.spill_dir and spill_safe(key):
                 path = self._spill_path(key)
                 try:
                     data = path.read_bytes()
@@ -161,13 +176,26 @@ class ResultCache:
         with self._lock:
             if key not in self._entries:
                 self._admit(key, data)
-            if self.spill_dir:
+            if self.spill_dir and spill_safe(key):
                 path = self._spill_path(key)
                 if not path.exists():
                     path.parent.mkdir(parents=True, exist_ok=True)
                     tmp = path.with_suffix(".tmp")
                     tmp.write_bytes(data)
                     tmp.replace(path)  # atomic vs. concurrent readers
+
+    def evict_lru(self) -> int:
+        """Evict the least-recently-used entry regardless of budget;
+        returns the bytes freed (0 when empty).  Lets a wrapper — the
+        sharded cache's global-budget accounting — drive eviction
+        across several instances."""
+        with self._lock:
+            if not self._entries:
+                return 0
+            _, evicted = self._entries.popitem(last=False)
+            self._current_bytes -= len(evicted)
+            self.evictions += 1
+            return len(evicted)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:

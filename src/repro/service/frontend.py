@@ -12,6 +12,7 @@ of any transport imports so both sides can use it.
 
 from __future__ import annotations
 
+import re
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import JobInputError
@@ -21,6 +22,21 @@ from .jobs import JobResult, classes_from_jar
 #: may advertise; extras beyond it are ignored (cheapest-base search
 #: is linear in the candidate count).
 MAX_HAVE_KEYS = 16
+
+#: A well-formed content-addressed cache key: 64 lowercase hex
+#: digits (a SHA-256 digest, exactly what :func:`..service.cache
+#: .cache_key` produces).  Keys arrive from the network (``GET
+#: /pack/<key>``, ``X-Repro-Have``, ``base=``) and become spill-file
+#: paths inside the cache, so anything else must be rejected before
+#: it reaches a cache lookup — ``../``-shaped "keys" would otherwise
+#: name files outside the spill directory.
+CACHE_KEY_RE = re.compile(r"[0-9a-f]{64}")
+
+
+def is_cache_key(key: Optional[str]) -> bool:
+    """Whether ``key`` is a syntactically valid cache key (64
+    lowercase hex chars)."""
+    return bool(key) and CACHE_KEY_RE.fullmatch(key) is not None
 
 
 class TriageRejected(JobInputError):
@@ -133,7 +149,10 @@ def parse_have_keys(header: Optional[str],
 
     Merges the ``X-Repro-Have`` header (comma-separated cache keys)
     with the legacy ``base=`` query parameter, de-duplicated in
-    client order, capped at :data:`MAX_HAVE_KEYS`.
+    client order, capped at :data:`MAX_HAVE_KEYS`.  Malformed keys
+    (anything but a 64-hex digest, :func:`is_cache_key`) are dropped:
+    they can never name a cached archive, and unvalidated key text
+    must never reach the cache's spill-path construction.
     """
     seen: List[str] = []
     raw: List[str] = []
@@ -143,7 +162,7 @@ def parse_have_keys(header: Optional[str],
         raw.extend(header.split(","))
     for key in raw:
         key = key.strip().strip('"')
-        if key and key not in seen:
+        if is_cache_key(key) and key not in seen:
             seen.append(key)
         if len(seen) >= MAX_HAVE_KEYS:
             break

@@ -95,6 +95,7 @@ from .frontend import (
     TriageRejected,
     etag_for,
     etag_matches,
+    is_cache_key,
     load_request_classes,
     result_content_type,
     result_headers,
@@ -311,6 +312,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._respond_error(
                 400, "missing base=<key> (the X-Repro-Key of the "
                      "archive you hold)")
+            return
+        if not is_cache_key(base_key):
+            # Keys become spill-file paths; unvalidated text must
+            # never reach the cache lookup.
+            self._respond_error(
+                400, f"malformed base key {base_key!r} (expected a "
+                     "64-hex X-Repro-Key)")
             return
         base_data, _ = self.engine.cache.get(base_key)
         if base_data is None:

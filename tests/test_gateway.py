@@ -8,6 +8,8 @@ see them.
 
 import http.client
 import json
+import re
+import socket
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -361,6 +363,106 @@ class TestReleaseChainDelta:
         assert response.headers["X-Repro-Served"] == "delta"
         assert response.headers["X-Repro-Delta-Base"] == key_v1
         response.read()
+
+
+class TestHardening:
+    def test_traversal_pack_get_is_404(self, tmp_path, jar_bytes):
+        """A /pack/<key> shaped like a path must never reach the
+        spill layer — with spill at depth 3, the traversal key below
+        would resolve to the planted secret file."""
+        secret = tmp_path / "secret.bin"
+        secret.write_bytes(b"top secret")
+        spill = tmp_path / "a" / "b" / "c"
+        engine = BatchEngine(
+            workers=0, cache=ShardedResultCache(spill_dir=spill))
+        with AsyncGateway(engine, port=0) as gw:
+            gw.start_background()
+            host, port = gw.address
+            conn = http.client.HTTPConnection(host, port,
+                                              timeout=30)
+            try:
+                # Raw http.client: urllib would normalize ../ away.
+                conn.request("GET", "/pack/../../secret.bin")
+                response = conn.getresponse()
+                body = response.read()
+            finally:
+                conn.close()
+            assert response.status == 404
+            assert b"top secret" not in body
+            assert "malformed" in json.loads(body)["error"]
+        engine.close()
+
+    def test_traversal_have_keys_are_dropped(self, gateway,
+                                             jar_bytes):
+        # Malformed advertised bases are discarded; with nothing
+        # valid left, /delta reports the missing-advertisement 400
+        # instead of probing the cache with path text.
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(gateway, "/delta", jar_bytes,
+                  headers={"X-Repro-Have":
+                           "../../etc/passwd, ALSO-NOT-HEX"})
+        assert err.value.code == 400
+
+    def test_http10_gets_content_length_framing(self, gateway,
+                                                jar_bytes):
+        """An HTTP/1.0 client cannot parse chunked framing: the
+        response must carry Content-Length and close the
+        connection."""
+        host, port = gateway.address
+        head = (f"POST /pack HTTP/1.0\r\nHost: {host}\r\n"
+                f"Content-Length: {len(jar_bytes)}\r\n\r\n").encode()
+        with socket.create_connection((host, port),
+                                      timeout=30) as sock:
+            sock.sendall(head + jar_bytes)
+            raw = b""
+            while True:  # the server closes when done (HTTP/1.0)
+                piece = sock.recv(65536)
+                if not piece:
+                    break
+                raw += piece
+        headers, _, body = raw.partition(b"\r\n\r\n")
+        assert headers.startswith(b"HTTP/1.1 200")
+        assert b"Transfer-Encoding" not in headers
+        assert b"Connection: close" in headers
+        length = int(re.search(rb"Content-Length: (\d+)",
+                               headers).group(1))
+        assert len(body) == length
+        # The body is the archive itself, not chunk-size framing.
+        whole = _post(gateway, "/pack", jar_bytes).read()
+        assert body == whole
+
+    def test_non_post_body_drained_on_keepalive(self, gateway):
+        """A GET carrying a body must not desynchronize a keep-alive
+        connection: the next request still parses cleanly."""
+        host, port = gateway.address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("GET", "/healthz", body=b"stray body")
+            first = conn.getresponse()
+            assert first.status == 200
+            first.read()
+            conn.request("GET", "/healthz")
+            second = conn.getresponse()
+            assert second.status == 200
+            assert second.read() == b"ok\n"
+        finally:
+            conn.close()
+
+    def test_handler_crash_is_500(self, gateway):
+        async def boom(request):
+            raise KeyError("handler bug")
+
+        gateway._handle_healthz = boom  # shadow the bound method
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _request(gateway, "/healthz")
+        assert err.value.code == 500
+        assert json.loads(err.value.read())["error"] == \
+            "internal server error"
+        # The connection survived and the failure was counted.
+        doc = json.loads(_request(gateway, "/stats").read())
+        counters = doc["gateway"]["counters"]
+        assert counters["errors.unhandled"] == 1
+        assert counters["errors.5xx"] == 1
 
 
 class TestAdmission:

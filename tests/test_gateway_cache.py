@@ -107,6 +107,50 @@ class TestShardedCacheBasics:
         assert len(cache) == 0
         assert cache.current_bytes == 0
 
+    def test_entry_over_per_shard_split_is_still_cached(self):
+        """An archive larger than budget/shards but within the whole
+        budget must be admitted — splitting the budget N ways would
+        silently refuse it, a regression vs. the single-lock cache."""
+        budget = 1 << 20
+        cache = ShardedResultCache(shards=8, max_bytes=budget)
+        key = _key(1)
+        big = _value(key, size=budget // 2)  # 4x the per-shard split
+        cache.put(key, big)
+        assert cache.get(key) == (big, False)
+
+    def test_single_lock_admission_parity(self):
+        """Every entry the single-lock cache admits, the sharded
+        cache admits too (same budget)."""
+        budget = 64 * 1024
+        single = ResultCache(max_bytes=budget)
+        sharded = ShardedResultCache(shards=8, max_bytes=budget)
+        for size in (budget // 16, budget // 4, budget // 2, budget):
+            key = _key(size)
+            data = _value(key, size=size)
+            single.clear()
+            sharded.clear()
+            single.put(key, data)
+            sharded.put(key, data)
+            assert (key in sharded) == (key in single)
+            assert key in sharded
+
+    def test_global_budget_enforced_across_shards(self):
+        budget = 64 * 1024
+        cache = ShardedResultCache(shards=4, max_bytes=budget)
+        for i in range(64):
+            key = _key(i)
+            cache.put(key, _value(key, size=4096))
+        assert cache.current_bytes <= budget
+        assert cache.evictions > 0
+        # survivors are still served intact
+        served = 0
+        for i in range(64):
+            data, _ = cache.get(_key(i))
+            if data is not None:
+                assert data == _value(_key(i), size=4096)
+                served += 1
+        assert served > 0
+
     def test_disk_layout_matches_single_lock_cache(self, tmp_path):
         """A spill store written by the sharded cache is readable by
         the single-lock cache and vice versa."""

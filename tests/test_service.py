@@ -138,6 +138,34 @@ class TestResultCache:
         data, disk = cache.get("a")
         assert data == b"x" * 40 and disk
 
+    def test_spill_refuses_traversal_keys(self, tmp_path):
+        # Even if an unvalidated key reaches the cache, it must not
+        # name a file outside the spill directory.  With spill at
+        # depth 3, spill/".."/"../../secret.bin" would resolve to
+        # tmp_path/secret.bin — the planted file below.
+        secret = tmp_path / "secret.bin"
+        secret.write_bytes(b"outside the cache")
+        spill = tmp_path / "a" / "b" / "c"
+        cache = ResultCache(max_bytes=0, spill_dir=spill)
+        key = "../../secret.bin"
+        assert cache.get(key) == (None, False)  # not served
+        cache.put(key, b"overwrite attempt")  # not written
+        assert secret.read_bytes() == b"outside the cache"
+        outside = [p for p in tmp_path.rglob("*")
+                   if p.is_file() and spill not in p.parents]
+        assert outside == [secret]
+
+    def test_evict_lru_frees_oldest(self):
+        cache = ResultCache(max_bytes=1024)
+        cache.put("a", b"x" * 10)
+        cache.put("b", b"y" * 20)
+        cache.get("a")  # "b" becomes LRU
+        assert cache.evict_lru() == 20
+        assert "a" in cache and "b" not in cache
+        assert cache.evict_lru() == 10
+        assert cache.evict_lru() == 0
+        assert cache.stats()["evictions"] == 2
+
 
 class TestRetryPolicy:
     def test_exponential_capped(self):

@@ -223,6 +223,25 @@ class TestDeltaEndpoint:
             _post(service, "/delta", jars[1])
         assert err.value.code == 400
 
+    def test_traversal_base_is_400(self, jars, tmp_path):
+        # A base "key" shaped like a path must be rejected before it
+        # reaches the cache (whose spill layer turns keys into file
+        # paths) — not looked up, not served.
+        secret = tmp_path / "secret.bin"
+        secret.write_bytes(b"top secret")
+        spill = tmp_path / "a" / "b" / "c"
+        engine = BatchEngine(workers=0,
+                             cache=ResultCache(spill_dir=spill))
+        with PackService(engine, port=0) as svc:
+            svc.start_background()
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(svc, "/delta?base=../../secret.bin", jars[1])
+            assert err.value.code == 400
+            body = err.value.read()
+            assert b"top secret" not in body
+            assert "malformed" in json.loads(body)["error"]
+        engine.close()
+
     def test_cacheless_engine_is_400(self, jars):
         engine = BatchEngine(workers=0, cache=None)
         with PackService(engine, port=0) as svc:
